@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks mirroring Table 1's operation inventory with
+//! real wall-clock measurements of this engine: lock acquire/release,
+//! point query through a hash index, one-tuple cursor update, insert +
+//! delete, and one Black-Scholes evaluation. Relative magnitudes should
+//! resemble the calibrated model (locks ≪ point ops ≪ full transactions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strip_core::Strip;
+use strip_finance::bs_call_default;
+use strip_txn::{LockManager, LockMode, TxnId};
+
+fn bench_locks(c: &mut Criterion) {
+    let lm = LockManager::new();
+    c.bench_function("lock_acquire_release_shared", |b| {
+        b.iter(|| {
+            lm.lock(TxnId(1), black_box("stocks"), LockMode::Shared).unwrap();
+            lm.release_all(TxnId(1));
+        })
+    });
+    c.bench_function("lock_acquire_release_exclusive", |b| {
+        b.iter(|| {
+            lm.lock(TxnId(1), black_box("stocks"), LockMode::Exclusive).unwrap();
+            lm.release_all(TxnId(1));
+        })
+    });
+}
+
+fn indexed_db(rows: i64) -> Strip {
+    let db = Strip::new();
+    db.execute("create table t (k int, v float)").unwrap();
+    db.execute("create index ix_t on t (k)").unwrap();
+    for i in 0..rows {
+        db.execute_with("insert into t values (?, ?)", &[i.into(), (i as f64).into()])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let db = indexed_db(10_000);
+    let mut k = 0i64;
+    c.bench_function("point_query_hash_index_10k", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            db.execute_with("select v from t where k = ?", &[k.into()]).unwrap()
+        })
+    });
+    c.bench_function("simple_update_txn_10k", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            db.execute_with("update t set v = v + 1 where k = ?", &[k.into()]).unwrap()
+        })
+    });
+    let db2 = indexed_db(1_000);
+    let mut next = 1_000i64;
+    c.bench_function("insert_then_delete_txn", |b| {
+        b.iter(|| {
+            next += 1;
+            db2.execute_with("insert into t values (?, 0.0)", &[next.into()]).unwrap();
+            db2.execute_with("delete from t where k = ?", &[next.into()]).unwrap();
+        })
+    });
+}
+
+fn bench_black_scholes(c: &mut Criterion) {
+    c.bench_function("black_scholes_eval", |b| {
+        b.iter(|| {
+            bs_call_default(
+                black_box(42.0),
+                black_box(40.0),
+                black_box(0.5),
+                black_box(0.2),
+            )
+        })
+    });
+}
+
+fn bench_group_by_recompute(c: &mut Criterion) {
+    // The Figure-6 recompute query over a 1 000-row matches-like table.
+    let db = Strip::new();
+    db.execute(
+        "create table matches (comp str, weight float, old_price float, new_price float)",
+    )
+    .unwrap();
+    for i in 0..1000 {
+        db.execute_with(
+            "insert into matches values (?, 0.5, 30.0, 31.0)",
+            &[format!("C{:03}", i % 50).into()],
+        )
+        .unwrap();
+    }
+    c.bench_function("group_by_sum_1k_rows_50_groups", |b| {
+        b.iter(|| {
+            db.query(
+                "select comp, sum((new_price - old_price) * weight) as diff \
+                 from matches group by comp",
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = table1;
+    config = Criterion::default().sample_size(30);
+    targets = bench_locks, bench_point_ops, bench_black_scholes, bench_group_by_recompute
+}
+criterion_main!(table1);

@@ -1,0 +1,30 @@
+//! Regenerates **Figures 9, 10, and 11**: maintaining `comp_prices`.
+//!
+//! Sweeps the delay window over the paper's 0.5–3 s range for the three
+//! unique variants, against the non-unique baseline. Prints the three
+//! figure tables and writes `results/comps.csv`.
+//!
+//! Usage: `exp_comps [--paper|--medium|--small]` (default `--paper`).
+
+use strip_bench::{render_csv, render_figures, run_comp_sweep, Scale, DELAYS_S};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| Scale::from_arg(&a))
+        .unwrap_or(Scale::Paper);
+    eprintln!("running composite experiment at {scale:?} scale");
+    let points = run_comp_sweep(scale, &DELAYS_S);
+    print!(
+        "{}",
+        render_figures(
+            &points,
+            "Figure 9: CPU utilization maintaining comp_prices",
+            "Figure 10: number of recomputations N_r",
+            "Figure 11: recompute transaction length",
+        )
+    );
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/comps.csv", render_csv(&points)).expect("write csv");
+    eprintln!("\nwrote results/comps.csv");
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figures 12, 13, and 14**: maintaining `option_prices`.
+//!
+//! Sweeps the delay window for coarse unique and per-stock batching against
+//! the non-unique baseline. Pass `--per-option` to also measure
+//! `unique on option_symbol`, the variant the paper dropped for flooding
+//! the system with transactions.
+//!
+//! Usage: `exp_options [--paper|--medium|--small] [--per-option]`.
+
+use strip_bench::{render_csv, render_figures, run_option_sweep, Scale, DELAYS_S};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::from_arg(a))
+        .unwrap_or(Scale::Paper);
+    let per_option = args.iter().any(|a| a == "--per-option");
+    eprintln!("running option experiment at {scale:?} scale");
+    let points = run_option_sweep(scale, &DELAYS_S, per_option);
+    print!(
+        "{}",
+        render_figures(
+            &points,
+            "Figure 12: CPU utilization maintaining option_prices",
+            "Figure 13: number of recomputations N_r",
+            "Figure 14: recompute transaction length",
+        )
+    );
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/options.csv", render_csv(&points)).expect("write csv");
+    eprintln!("\nwrote results/options.csv");
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Table 1**: basic timing measurements of STRIP primitives.
+//!
+//! Two columns are printed:
+//! * the calibrated virtual cost used by the simulator (the reproduction's
+//!   Table 1), and
+//! * a real wall-clock measurement of the corresponding operation in this
+//!   engine, so the relative magnitudes can be sanity-checked.
+//!
+//! Ends with the paper's worked example: the cost of a simple one-tuple
+//! cursor update and the implied transactions-per-second.
+
+use std::time::Instant;
+use strip_core::Strip;
+use strip_storage::Op;
+use strip_txn::{CostModel, LockManager, LockMode, TxnId};
+
+fn measure(n: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64 / 1000.0 // µs/op
+}
+
+fn main() {
+    let model = CostModel::paper_calibrated();
+
+    // Real measurements on this machine.
+    let db = Strip::new();
+    db.execute("create table t1 (k int, v float)").unwrap();
+    db.execute("create index ix_t1 on t1 (k)").unwrap();
+    for i in 0..1000i64 {
+        db.execute_with("insert into t1 values (?, ?)", &[i.into(), (i as f64).into()])
+            .unwrap();
+    }
+    let lm = LockManager::new();
+    let mut k = 0i64;
+
+    let wall_lock = measure(100_000, || {
+        lm.lock(TxnId(1), "t1", LockMode::Shared).unwrap();
+        lm.release_all(TxnId(1));
+    }) / 2.0;
+    let wall_update = measure(10_000, || {
+        k = (k + 1) % 1000;
+        db.execute_with(
+            "update t1 set v = v + 1 where k = ?",
+            &[k.into()],
+        )
+        .unwrap();
+    });
+    let wall_select = measure(10_000, || {
+        k = (k + 1) % 1000;
+        db.query(&format!("select v from t1 where k = {k}")).unwrap();
+    });
+
+    println!("Table 1: Basic STRIP operation costs");
+    println!("{:<18} {:>14}", "operation", "model (us)");
+    let rows = [
+        ("begin task", Op::BeginTask),
+        ("end task", Op::EndTask),
+        ("begin txn", Op::BeginTxn),
+        ("commit txn", Op::CommitTxn),
+        ("get lock", Op::GetLock),
+        ("release lock", Op::ReleaseLock),
+        ("open cursor", Op::OpenCursor),
+        ("fetch cursor", Op::FetchCursor),
+        ("update cursor", Op::UpdateCursor),
+        ("close cursor", Op::CloseCursor),
+    ];
+    for (name, op) in rows {
+        println!("{:<18} {:>14}", name, model.cost(op));
+    }
+    println!();
+    println!(
+        "simple one-tuple cursor update = {} us  ->  {} TPS  (paper: 172 us, ~5814 TPS)",
+        model.simple_update_us(),
+        1_000_000 / model.simple_update_us()
+    );
+    println!();
+    println!("wall-clock sanity checks on this machine:");
+    println!("  lock acquire+release     {wall_lock:8.3} us");
+    println!("  full indexed update txn  {wall_update:8.3} us");
+    println!("  full indexed point query {wall_select:8.3} us");
+}

@@ -1,0 +1,279 @@
+//! # strip-bench
+//!
+//! The experiment harness that regenerates every measured artifact of the
+//! paper:
+//!
+//! | artifact | binary | series |
+//! |---|---|---|
+//! | Table 1  | `exp_table1`  | per-op costs, simple-update µs, TPS |
+//! | Fig 9/10/11 | `exp_comps` | CPU %, N_r, recompute length vs delay |
+//! | Fig 12/13/14 | `exp_options` | CPU %, N_r, recompute length vs delay |
+//!
+//! Criterion micro-benches (`cargo bench`) validate the cost model against
+//! real wall-clock behaviour and benchmark the design choices DESIGN.md
+//! calls out (pointer-tuple layout, index structures, scheduling policies,
+//! unique-dispatch overhead).
+
+use std::fmt::Write as _;
+use strip_core::Strip;
+use strip_finance::{CompVariant, OptionVariant, Pta, PtaConfig, RunReport};
+
+/// The delay windows the paper sweeps (x-axis of Figures 9–14).
+pub const DELAYS_S: [f64; 7] = [0.5, 0.7, 1.0, 1.5, 2.0, 2.5, 3.0];
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Series label (e.g. "unique on comp").
+    pub series: String,
+    /// Delay window, seconds (0 for the non-unique baseline).
+    pub delay_s: f64,
+    /// The full run measurements.
+    pub report: RunReport,
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's §4.2 sizing (6 600 stocks, 400×200 composites, 50 000
+    /// options, 30 simulated minutes, ~60 000 updates).
+    Paper,
+    /// ~5× smaller in update volume; same shapes, minutes faster.
+    Medium,
+    /// CI-sized.
+    Small,
+}
+
+impl Scale {
+    /// Parse from a CLI argument.
+    pub fn from_arg(arg: &str) -> Option<Scale> {
+        match arg {
+            "--paper" | "paper" => Some(Scale::Paper),
+            "--medium" | "medium" => Some(Scale::Medium),
+            "--small" | "small" => Some(Scale::Small),
+            _ => None,
+        }
+    }
+
+    /// The PTA configuration for this scale.
+    pub fn config(self) -> PtaConfig {
+        match self {
+            Scale::Paper => PtaConfig::paper(),
+            Scale::Medium => {
+                let mut cfg = PtaConfig::paper();
+                cfg.trace.n_stocks = 2000;
+                cfg.trace.target_updates = 12_000;
+                cfg.trace.duration_s = 360.0;
+                cfg.n_composites = 100;
+                cfg.stocks_per_composite = 100;
+                cfg.n_options = 10_000;
+                cfg
+            }
+            Scale::Small => PtaConfig::small(),
+        }
+    }
+}
+
+/// Build a fresh PTA (fresh DB, same seed ⇒ same trace and tables).
+pub fn fresh_pta(scale: Scale) -> Pta {
+    Pta::build(scale.config(), Strip::new()).expect("PTA build")
+}
+
+/// Run the composite-maintenance experiment: the non-unique baseline plus
+/// the three unique variants swept over `delays`. Regenerates the series of
+/// Figures 9, 10, and 11.
+pub fn run_comp_sweep(scale: Scale, delays: &[f64]) -> Vec<Point> {
+    let mut out = Vec::new();
+    {
+        let pta = fresh_pta(scale);
+        pta.install_comp_rule(CompVariant::NonUnique, 0.0).unwrap();
+        let report = pta.run_trace().unwrap();
+        assert_eq!(report.errors, 0);
+        eprintln!("  [comps] non-unique done (N_r = {})", report.recompute_count);
+        out.push(Point {
+            series: CompVariant::NonUnique.label().to_string(),
+            delay_s: 0.0,
+            report,
+        });
+    }
+    for variant in [
+        CompVariant::Unique,
+        CompVariant::UniqueOnSymbol,
+        CompVariant::UniqueOnComp,
+    ] {
+        for &d in delays {
+            let pta = fresh_pta(scale);
+            pta.install_comp_rule(variant, d).unwrap();
+            let report = pta.run_trace().unwrap();
+            assert_eq!(report.errors, 0);
+            eprintln!(
+                "  [comps] {} delay={d}s done (N_r = {})",
+                variant.label(),
+                report.recompute_count
+            );
+            out.push(Point {
+                series: variant.label().to_string(),
+                delay_s: d,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Run the option-maintenance experiment (Figures 12, 13, 14).
+/// `include_per_option` additionally measures `unique on option_symbol`,
+/// which the paper dropped from its graphs for flooding the system.
+pub fn run_option_sweep(scale: Scale, delays: &[f64], include_per_option: bool) -> Vec<Point> {
+    let mut out = Vec::new();
+    {
+        let pta = fresh_pta(scale);
+        pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+        let report = pta.run_trace().unwrap();
+        assert_eq!(report.errors, 0);
+        eprintln!("  [options] non-unique done (N_r = {})", report.recompute_count);
+        out.push(Point {
+            series: OptionVariant::NonUnique.label().to_string(),
+            delay_s: 0.0,
+            report,
+        });
+    }
+    let mut variants = vec![OptionVariant::Unique, OptionVariant::UniqueOnStock];
+    if include_per_option {
+        variants.push(OptionVariant::UniqueOnOption);
+    }
+    for variant in variants {
+        for &d in delays {
+            let pta = fresh_pta(scale);
+            pta.install_option_rule(variant, d).unwrap();
+            let report = pta.run_trace().unwrap();
+            assert_eq!(report.errors, 0);
+            eprintln!(
+                "  [options] {} delay={d}s done (N_r = {})",
+                variant.label(),
+                report.recompute_count
+            );
+            out.push(Point {
+                series: variant.label().to_string(),
+                delay_s: d,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Render a sweep as the three figure tables (utilization / N_r / length).
+pub fn render_figures(points: &[Point], util_fig: &str, nr_fig: &str, len_fig: &str) -> String {
+    let mut s = String::new();
+    let series: Vec<String> = {
+        let mut v = Vec::new();
+        for p in points {
+            if !v.contains(&p.series) {
+                v.push(p.series.clone());
+            }
+        }
+        v
+    };
+
+    let mut table = |title: &str, f: &dyn Fn(&RunReport) -> String| {
+        let _ = writeln!(s, "\n## {title}\n");
+        let _ = writeln!(s, "{:<24} {:>8}  value", "series", "delay(s)");
+        for name in &series {
+            for p in points.iter().filter(|p| p.series == *name) {
+                let _ = writeln!(
+                    s,
+                    "{:<24} {:>8}  {}",
+                    p.series,
+                    if p.delay_s == 0.0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1}", p.delay_s)
+                    },
+                    f(&p.report)
+                );
+            }
+        }
+    };
+
+    table(util_fig, &|r: &RunReport| {
+        format!(
+            "{:6.2}% of CPU  (recompute busy {:.2}s over {:.0}s)",
+            100.0 * r.recompute_utilization(),
+            r.recompute_busy_us as f64 / 1e6,
+            r.duration_us as f64 / 1e6
+        )
+    });
+    table(nr_fig, &|r: &RunReport| {
+        format!("N_r = {}", r.recompute_count)
+    });
+    table(len_fig, &|r: &RunReport| {
+        format!(
+            "mean {:9.1} us   max {:9} us",
+            r.recompute_mean_us, r.recompute_max_us
+        )
+    });
+    s
+}
+
+/// Render a sweep as CSV (one row per point).
+pub fn render_csv(points: &[Point]) -> String {
+    let mut s = String::from(
+        "series,delay_s,recompute_cpu_util,n_r,mean_recompute_us,max_recompute_us,\
+         update_busy_us,total_busy_us,updates,duration_us\n",
+    );
+    for p in points {
+        let r = &p.report;
+        let _ = writeln!(
+            s,
+            "{},{},{:.6},{},{:.2},{},{},{},{},{}",
+            p.series,
+            p.delay_s,
+            r.recompute_utilization(),
+            r.recompute_count,
+            r.recompute_mean_us,
+            r.recompute_max_us,
+            r.update_busy_us,
+            r.total_busy_us,
+            r.updates,
+            r.duration_us
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_comp_sweep_has_expected_shape() {
+        let points = run_comp_sweep(Scale::Small, &[0.5, 2.0]);
+        // 1 baseline + 3 variants × 2 delays.
+        assert_eq!(points.len(), 7);
+        assert_eq!(points[0].series, "non-unique");
+        // Longer delay ⇒ no more recomputes than shorter delay.
+        for series in ["unique", "unique on symbol", "unique on comp"] {
+            let ps: Vec<&Point> = points.iter().filter(|p| p.series == series).collect();
+            assert_eq!(ps.len(), 2);
+            assert!(ps[0].report.recompute_count >= ps[1].report.recompute_count);
+        }
+    }
+
+    #[test]
+    fn render_outputs_are_complete() {
+        let points = run_comp_sweep(Scale::Small, &[1.0]);
+        let fig = render_figures(&points, "Fig 9", "Fig 10", "Fig 11");
+        assert!(fig.contains("Fig 9"));
+        assert!(fig.contains("unique on comp"));
+        let csv = render_csv(&points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_arg("--paper"), Some(Scale::Paper));
+        assert_eq!(Scale::from_arg("small"), Some(Scale::Small));
+        assert_eq!(Scale::from_arg("--bogus"), None);
+    }
+}

@@ -1,0 +1,611 @@
+//! The `Strip` database facade.
+//!
+//! `Strip` ties together the storage catalog, the SQL front end, the lock
+//! manager, the rule engine, and an executor. Two executor modes:
+//!
+//! * **Simulated** (default) — a deterministic discrete-event executor on a
+//!   virtual single CPU with the Table-1 cost model. `execute`/`txn` run
+//!   immediately at the current virtual time; triggered rule actions queue
+//!   and run when the virtual clock reaches their release time
+//!   (`advance_to` / `drain`). This is the mode the experiments use.
+//! * **Pool** — a wall-clock worker pool; `after` delays are real time.
+
+use crate::error::{Error, Result};
+use crate::txn::{action_task, run_txn, timer_task, Txn, UserFn};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_rules::{CompiledRule, RuleEngine};
+use strip_sql::exec::ResultSet;
+use strip_sql::expr::ScalarFn;
+use strip_sql::{parse_script, parse_statement, Statement};
+use strip_storage::{Catalog, IndexKind, Meter, Schema, TempTable, Value, ViewDef};
+use strip_txn::{CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, WorkerPool};
+
+/// Outcome of `Strip::execute`.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// DDL completed.
+    Ddl,
+    /// A query's rows.
+    Rows(ResultSet),
+    /// DML affected-row count.
+    Count(usize),
+}
+
+impl ExecOutcome {
+    /// The rows, if this was a query.
+    pub fn rows(self) -> Option<ResultSet> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count, if this was DML.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            ExecOutcome::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// State of one periodic timer.
+#[derive(Debug, Clone)]
+pub(crate) struct TimerState {
+    pub interval_us: u64,
+    pub func: String,
+    /// Remaining firings; `None` = unlimited.
+    pub remaining: Option<u64>,
+}
+
+pub(crate) enum ExecutorHandle {
+    Sim(Box<Mutex<Simulator>>),
+    Pool(WorkerPool),
+}
+
+/// Shared state behind a `Strip` handle.
+pub struct StripInner {
+    pub(crate) catalog: Catalog,
+    pub(crate) model: CostModel,
+    /// Plain (non-materialized) view definitions, expanded on read.
+    pub(crate) views: RwLock<HashMap<String, Arc<strip_sql::ast::Query>>>,
+    /// Active periodic timers: name -> (interval_us, user function,
+    /// remaining firings).
+    pub(crate) timers: Mutex<HashMap<String, TimerState>>,
+    pub(crate) locks: LockManager,
+    pub(crate) engine: RuleEngine,
+    pub(crate) user_fns: RwLock<HashMap<String, UserFn>>,
+    pub(crate) scalar_fns: RwLock<HashMap<String, ScalarFn>>,
+    pub(crate) exec: ExecutorHandle,
+    pub(crate) errors: Mutex<Vec<String>>,
+    txn_ids: AtomicU64,
+}
+
+impl StripInner {
+    pub(crate) fn next_txn_id(&self) -> TxnId {
+        TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Builder for [`Strip`].
+pub struct StripBuilder {
+    model: CostModel,
+    policy: Policy,
+    pool_workers: Option<usize>,
+}
+
+impl Default for StripBuilder {
+    fn default() -> Self {
+        StripBuilder {
+            model: CostModel::paper_calibrated(),
+            policy: Policy::Fifo,
+            pool_workers: None,
+        }
+    }
+}
+
+impl StripBuilder {
+    /// Use a custom cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Use a scheduling policy (FIFO / EDF / value-density).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Use the wall-clock worker-pool executor with `n` workers instead of
+    /// the virtual-time simulator.
+    pub fn pool(mut self, workers: usize) -> Self {
+        self.pool_workers = Some(workers);
+        self
+    }
+
+    /// Build the database.
+    pub fn build(self) -> Strip {
+        let exec = match self.pool_workers {
+            Some(n) => ExecutorHandle::Pool(WorkerPool::new(n, self.model.clone(), self.policy)),
+            None => ExecutorHandle::Sim(Box::new(Mutex::new(Simulator::new(
+                self.model.clone(),
+                self.policy,
+            )))),
+        };
+        let model = self.model;
+        Strip {
+            inner: Arc::new(StripInner {
+                catalog: Catalog::new(),
+                model,
+                views: RwLock::new(HashMap::new()),
+                timers: Mutex::new(HashMap::new()),
+                locks: LockManager::new(),
+                engine: RuleEngine::new(),
+                user_fns: RwLock::new(HashMap::new()),
+                scalar_fns: RwLock::new(HashMap::new()),
+                exec,
+                errors: Mutex::new(Vec::new()),
+                txn_ids: AtomicU64::new(1),
+            }),
+        }
+    }
+}
+
+/// The STRIP database. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Strip {
+    inner: Arc<StripInner>,
+}
+
+impl Default for Strip {
+    fn default() -> Self {
+        Strip::new()
+    }
+}
+
+impl Strip {
+    /// A database with the paper-calibrated cost model, FIFO scheduling,
+    /// and the simulated executor.
+    pub fn new() -> Strip {
+        StripBuilder::default().build()
+    }
+
+    /// Start building a customized database.
+    pub fn builder() -> StripBuilder {
+        StripBuilder::default()
+    }
+
+    // ---- time & executor --------------------------------------------------
+
+    /// Current time in µs (virtual in sim mode, wall in pool mode).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().now_us(),
+            ExecutorHandle::Pool(p) => p.now_us(),
+        }
+    }
+
+    /// Advance virtual time to `us`, running any tasks that become due
+    /// (sim mode). In pool mode this blocks until the pool is idle.
+    pub fn advance_to(&self, us: u64) {
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().run_until(us),
+            ExecutorHandle::Pool(p) => p.wait_idle(),
+        }
+    }
+
+    /// Run everything to completion (all delayed actions included).
+    /// Returns the final time.
+    pub fn drain(&self) -> u64 {
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().run_to_completion(),
+            ExecutorHandle::Pool(p) => {
+                p.wait_idle();
+                p.now_us()
+            }
+        }
+    }
+
+    /// Number of queued (delayed + ready) tasks.
+    pub fn pending_tasks(&self) -> usize {
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().pending(),
+            ExecutorHandle::Pool(p) => p.pending(),
+        }
+    }
+
+    /// Executor statistics (tasks run, busy time, per-kind breakdown).
+    pub fn stats(&self) -> SimStats {
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().stats().clone(),
+            ExecutorHandle::Pool(p) => p.stats(),
+        }
+    }
+
+    /// Errors recorded by background action tasks (drained).
+    pub fn take_errors(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.errors.lock())
+    }
+
+    // ---- registration ------------------------------------------------------
+
+    /// Register a rule-action user function (the paper's "application-
+    /// provided functions that are linked into the database").
+    pub fn register_function(
+        &self,
+        name: &str,
+        f: impl for<'a> Fn(&mut Txn<'a>) -> Result<()> + Send + Sync + 'static,
+    ) {
+        self.inner
+            .user_fns
+            .write()
+            .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Register a scalar function usable in SQL expressions (e.g. `f_bs`).
+    pub fn register_scalar(&self, f: ScalarFn) {
+        self.inner
+            .scalar_fns
+            .write()
+            .insert(f.name.to_ascii_lowercase(), f);
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    /// Execute one SQL statement (DDL, query, or DML). Queries and DML run
+    /// in their own immediate transaction; triggered rule actions are
+    /// enqueued on the executor.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt, &[])
+    }
+
+    /// Execute one statement with `?` parameters.
+    pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt, params)
+    }
+
+    /// Execute a semicolon-separated script, stopping at the first error.
+    pub fn execute_script(&self, sql: &str) -> Result<()> {
+        for stmt in parse_script(sql)? {
+            self.execute_stmt(&stmt, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                let schema = Schema::new(
+                    ct.columns
+                        .iter()
+                        .map(|(n, t)| strip_storage::Column::new(n, *t))
+                        .collect(),
+                )?
+                .into_ref();
+                self.inner.catalog.create_table(&ct.name, schema)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateIndex(ci) => {
+                let t = self.inner.catalog.table(&ci.table)?;
+                let kind = if ci.using_rbtree {
+                    IndexKind::RbTree
+                } else {
+                    IndexKind::Hash
+                };
+                t.write().create_index(&ci.name, &ci.column, kind)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateView(cv) => {
+                if !cv.materialized {
+                    // Plain views are expanded on read: the defining query
+                    // runs against current base data each time the view is
+                    // referenced (no staleness, no maintenance — the
+                    // "recompute every time" alternative of §1).
+                    self.inner
+                        .views
+                        .write()
+                        .insert(cv.name.to_ascii_lowercase(), Arc::new(cv.query.clone()));
+                }
+                if cv.materialized {
+                    // Materialize the defining query into a backing table.
+                    // Keeping it fresh is the application's job — that is
+                    // the whole point of the paper's rules.
+                    let rows = self.txn_named("materialize", |t| t.query_ast(&cv.query, params))?;
+                    let table = self.inner.catalog.create_table(&cv.name, rows.schema.clone())?;
+                    {
+                        let mut t = table.write();
+                        for row in rows.rows {
+                            t.insert(row)?;
+                        }
+                    }
+                }
+                self.inner.catalog.create_view(ViewDef {
+                    name: cv.name.clone(),
+                    query_text: String::new(),
+                    materialized: cv.materialized,
+                })?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateRule(cr) => {
+                let rule = CompiledRule::compile(cr)?;
+                self.inner.engine.add_rule(rule)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateTimer(ct) => {
+                self.create_timer(ct)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropTimer { name } => {
+                self.drop_timer(name)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropTable { name } => {
+                self.inner.catalog.drop_table(name)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropRule { name } => {
+                self.inner.engine.drop_rule(name)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::Select(q) => {
+                let rs = self.txn_named("adhoc-query", |t| t.query_ast(q, params))?;
+                Ok(ExecOutcome::Rows(rs))
+            }
+            dml @ (Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)) => {
+                let n = self.txn_named("adhoc-dml", |t| t.exec_ast(dml, params))?;
+                Ok(ExecOutcome::Count(n))
+            }
+        }
+    }
+
+    /// Shorthand: run a query and return its rows.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)? {
+            ExecOutcome::Rows(r) => Ok(r),
+            _ => Err(Error::Other(format!("not a query: `{sql}`"))),
+        }
+    }
+
+    // ---- transactions --------------------------------------------------------
+
+    /// Run a transaction immediately (at the current time), committing on
+    /// `Ok` and rolling back on `Err`. Triggered rule actions are enqueued.
+    pub fn txn<R>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<R>) -> Result<R> {
+        self.txn_named("txn", f)
+    }
+
+    /// Like [`Strip::txn`] with a task-kind label for statistics.
+    pub fn txn_named<R>(
+        &self,
+        kind: &str,
+        f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let inner = self.inner.clone();
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => {
+                let mut sim = s.lock();
+                sim.run_inline(kind, move |ctx| {
+                    ctx.meter.charge(strip_storage::Op::BeginTask, 1);
+                    let r = run_txn(&inner, ctx, HashMap::new(), f);
+                    ctx.meter.charge(strip_storage::Op::EndTask, 1);
+                    r
+                })
+            }
+            ExecutorHandle::Pool(p) => {
+                // Run inline on the caller thread at wall time; spawned
+                // action tasks go to the pool.
+                let meter = strip_txn::CostMeter::new(inner.model.clone());
+                let mut ctx = strip_txn::TaskCtx {
+                    start_us: p.now_us(),
+                    task_id: strip_txn::TaskId::fresh(),
+                    meter: &meter,
+                    spawned: Vec::new(),
+                };
+                ctx.meter.charge(strip_storage::Op::BeginTask, 1);
+                let r = run_txn(&inner, &mut ctx, HashMap::new(), f);
+                ctx.meter.charge(strip_storage::Op::EndTask, 1);
+                for t in ctx.spawned {
+                    p.submit(t);
+                }
+                r
+            }
+        }
+    }
+
+    /// Submit a transaction to run as a task at `release_us` (trace-driven
+    /// workloads). Errors inside the task are recorded in
+    /// [`Strip::take_errors`].
+    pub fn submit_txn(
+        &self,
+        kind: &str,
+        release_us: u64,
+        f: impl for<'a> FnOnce(&mut Txn<'a>) -> Result<()> + Send + 'static,
+    ) {
+        self.submit_txn_with(kind, release_us, None, 1.0, f)
+    }
+
+    /// [`Strip::submit_txn`] with real-time attributes: an optional
+    /// deadline (earliest-deadline-first) and a value (value-density
+    /// scheduling) — §6.2's "standard real-time scheduling algorithms".
+    pub fn submit_txn_with(
+        &self,
+        kind: &str,
+        release_us: u64,
+        deadline_us: Option<u64>,
+        value: f64,
+        f: impl for<'a> FnOnce(&mut Txn<'a>) -> Result<()> + Send + 'static,
+    ) {
+        let weak = Arc::downgrade(&self.inner);
+        let kind_owned = kind.to_string();
+        let mut task = Task::at(
+            kind,
+            release_us,
+            Box::new(move |ctx| {
+                let Some(inner) = weak.upgrade() else {
+                    return;
+                };
+                ctx.meter.charge(strip_storage::Op::BeginTask, 1);
+                if let Err(e) = run_txn(&inner, ctx, HashMap::new(), f) {
+                    inner
+                        .errors
+                        .lock()
+                        .push(format!("task `{kind_owned}`: {e}"));
+                }
+                ctx.meter.charge(strip_storage::Op::EndTask, 1);
+            }),
+        )
+        .with_value(value);
+        if let Some(d) = deadline_us {
+            task = task.with_deadline(d);
+        }
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().submit(task),
+            ExecutorHandle::Pool(p) => p.submit(task),
+        }
+    }
+
+    // ---- periodic timers --------------------------------------------------------
+
+    /// Install a periodic timer (`CREATE TIMER`): the named user function
+    /// runs every `interval_us`, starting one interval from now. The paper
+    /// notes STRIP supports periodic recomputation (e.g. refreshing
+    /// `stock_stdev`, §3). An **unlimited** timer keeps the executor busy
+    /// forever, so `drain()` would not terminate until the timer is
+    /// dropped; use a `LIMIT`, `advance_to`, or [`Strip::drop_timer`].
+    fn create_timer(&self, ct: &strip_sql::ast::CreateTimer) -> Result<()> {
+        let name = ct.name.to_ascii_lowercase();
+        {
+            let mut timers = self.inner.timers.lock();
+            if timers.contains_key(&name) {
+                return Err(Error::Other(format!("timer `{name}` already exists")));
+            }
+            timers.insert(
+                name.clone(),
+                TimerState {
+                    interval_us: ct.every_us,
+                    func: ct.execute.to_ascii_lowercase(),
+                    remaining: ct.limit,
+                },
+            );
+        }
+        let release = self.now_us() + ct.every_us;
+        let task = timer_task(&self.inner, name, release);
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().submit(task),
+            ExecutorHandle::Pool(p) => p.submit(task),
+        }
+        Ok(())
+    }
+
+    /// Remove a timer; its already-queued firing becomes a no-op.
+    pub fn drop_timer(&self, name: &str) -> Result<()> {
+        self.inner
+            .timers
+            .lock()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| Error::Other(format!("no such timer `{name}`")))
+    }
+
+    /// Names of active timers.
+    pub fn timer_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.timers.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Verify cross-cutting invariants: every table's secondary indexes
+    /// exactly cover its live rows, and no transaction currently holds
+    /// locks (call when quiescent, e.g. after `drain`). Returns the list
+    /// of violations (empty = consistent).
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for name in self.inner.catalog.table_names() {
+            if let Ok(t) = self.inner.catalog.table(&name) {
+                if let Err(e) = t.read().check_index_integrity() {
+                    problems.push(format!("table `{name}`: {e}"));
+                }
+            }
+        }
+        if self.inner.locks.blocked_count() > 0 {
+            problems.push(format!(
+                "{} transaction(s) still blocked on locks",
+                self.inner.locks.blocked_count()
+            ));
+        }
+        problems
+    }
+
+    // ---- introspection ---------------------------------------------------------
+
+    /// The storage catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Names of defined rules.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.inner.engine.rule_names()
+    }
+
+    /// Enable or disable a rule without dropping it. The paper's §7.1
+    /// discusses deactivation as the (fragile) way single-event systems
+    /// emulate unique execution; here it is just an operational switch.
+    pub fn set_rule_enabled(&self, name: &str, enabled: bool) -> Result<()> {
+        self.inner.engine.set_rule_enabled(name, enabled)?;
+        Ok(())
+    }
+
+    /// Is the named rule currently enabled?
+    pub fn rule_enabled(&self, name: &str) -> bool {
+        self.inner.engine.rule_enabled(name)
+    }
+
+    /// Pending unique transactions for a user function (diagnostics).
+    pub fn pending_unique(&self, func: &str) -> usize {
+        self.inner.engine.unique().pending_count(func)
+    }
+
+    /// Build an action task directly from a payload (used by tests of the
+    /// task machinery; normal flow goes through rules).
+    #[doc(hidden)]
+    pub fn __action_task_for_test(&self, sa: strip_rules::SpawnAction) -> Task {
+        action_task(&self.inner, sa)
+    }
+
+    /// Direct read access to a bound-table-free snapshot of a table's rows
+    /// (test helper).
+    pub fn table_rows(&self, name: &str) -> Result<Vec<Vec<Value>>> {
+        let t = self.inner.catalog.table(name)?;
+        let t = t.read();
+        Ok(t.scan().map(|(_, r)| r.values().to_vec()).collect())
+    }
+
+    /// Make a temp table visible is not supported on `Strip` — bound tables
+    /// only exist inside rule-action transactions. This helper exists for
+    /// examples that want to show overlay behavior.
+    #[doc(hidden)]
+    pub fn __overlay_txn_for_test<R>(
+        &self,
+        overlay: HashMap<String, Arc<TempTable>>,
+        f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let inner = self.inner.clone();
+        match &self.inner.exec {
+            ExecutorHandle::Sim(s) => {
+                let mut sim = s.lock();
+                sim.run_inline("overlay-txn", move |ctx| run_txn(&inner, ctx, overlay, f))
+            }
+            ExecutorHandle::Pool(_) => Err(Error::Other(
+                "overlay transactions are only available in sim mode".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Unified error type for the STRIP database facade.
+
+use std::fmt;
+use strip_rules::RuleError;
+use strip_sql::SqlError;
+use strip_storage::StorageError;
+use strip_txn::LockError;
+
+/// Any error a STRIP operation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    Storage(StorageError),
+    Sql(SqlError),
+    Rule(RuleError),
+    Lock(LockError),
+    /// The transaction was aborted (deadlock victim or explicit rollback);
+    /// all its changes were undone.
+    Aborted(String),
+    /// A named user function is not registered.
+    NoSuchFunction(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "{e}"),
+            Error::Sql(e) => write!(f, "{e}"),
+            Error::Rule(e) => write!(f, "{e}"),
+            Error::Lock(e) => write!(f, "{e}"),
+            Error::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::NoSuchFunction(n) => write!(f, "no user function `{n}` registered"),
+            Error::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+impl From<SqlError> for Error {
+    fn from(e: SqlError) -> Self {
+        Error::Sql(e)
+    }
+}
+impl From<RuleError> for Error {
+    fn from(e: RuleError) -> Self {
+        Error::Rule(e)
+    }
+}
+impl From<LockError> for Error {
+    fn from(e: LockError) -> Self {
+        Error::Lock(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, Error>;

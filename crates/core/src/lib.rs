@@ -1,0 +1,27 @@
+//! # strip-core
+//!
+//! The STRIP database facade: SQL entry points, transactions, user-function
+//! registry, and executor plumbing. See [`Strip`] for the main API.
+//!
+//! ```
+//! use strip_core::Strip;
+//!
+//! let db = Strip::new();
+//! db.execute_script(
+//!     "create table stocks (symbol str, price float); \
+//!      insert into stocks values ('IBM', 101.5);",
+//! )
+//! .unwrap();
+//! let rows = db.query("select price from stocks where symbol = 'IBM'").unwrap();
+//! assert_eq!(rows.single("price").unwrap().as_f64(), Some(101.5));
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod feed;
+pub mod txn;
+
+pub use db::{ExecOutcome, Strip, StripBuilder};
+pub use feed::{ChangeEvent, ChangeKind, Subscription};
+pub use error::{Error, Result};
+pub use txn::{Txn, UserFn};

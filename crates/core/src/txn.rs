@@ -1,0 +1,440 @@
+//! Transactions over the STRIP database.
+//!
+//! A [`Txn`] is created by the task machinery (`run_txn`) inside a task
+//! context. It implements the SQL executor's [`Env`], routing reads through
+//! strict-2PL lock acquisition and writes through the transaction log so
+//! commit-time rule processing (paper §6.3) sees every change.
+//!
+//! Rule-action transactions get an *overlay* of bound tables: inside a user
+//! function, `select ... from matches` resolves `matches` to the bound
+//! table carried in the action's control block (§2).
+
+use crate::db::StripInner;
+use crate::error::{Error, Result};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use strip_rules::SpawnAction;
+use strip_sql::exec::{Env, Rel, ResultSet};
+use strip_sql::expr::ScalarFn;
+use strip_sql::{parse_statement, Statement};
+use strip_storage::{Meter, Op, RowId, TempTable, Value};
+use strip_txn::cost::CostMeter;
+use strip_txn::{LockMode, LogEntry, Task, TaskCtx, TxnId, TxnLog};
+
+/// A user-provided action function, run by a rule's action transaction.
+pub type UserFn = Arc<dyn for<'a> Fn(&mut Txn<'a>) -> Result<()> + Send + Sync>;
+
+/// An in-flight transaction.
+pub struct Txn<'a> {
+    inner: &'a Arc<StripInner>,
+    meter: &'a CostMeter,
+    start_us: u64,
+    id: TxnId,
+    log: RefCell<TxnLog>,
+    overlay: HashMap<String, Arc<TempTable>>,
+    locks: RefCell<HashSet<(String, LockMode)>>,
+    finished: bool,
+}
+
+impl<'a> Txn<'a> {
+    fn new(
+        inner: &'a Arc<StripInner>,
+        meter: &'a CostMeter,
+        start_us: u64,
+        id: TxnId,
+        overlay: HashMap<String, Arc<TempTable>>,
+    ) -> Txn<'a> {
+        Txn {
+            inner,
+            meter,
+            start_us,
+            id,
+            log: RefCell::new(TxnLog::new()),
+            overlay,
+            locks: RefCell::new(HashSet::new()),
+            finished: false,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Current virtual time: task start plus work charged so far.
+    pub fn now_us(&self) -> u64 {
+        self.start_us + self.meter.charged_us()
+    }
+
+    /// A bound table by name, if this is a rule-action transaction.
+    pub fn bound(&self, name: &str) -> Option<Arc<TempTable>> {
+        self.overlay.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Names of all bound tables visible to this transaction.
+    pub fn bound_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.overlay.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Charge `n` rows of user-function work to the cost model. Action
+    /// functions call this per processed row so experiments account the
+    /// `foreach` bodies of the paper's `compute_*` functions.
+    pub fn charge_user_work(&self, rows: u64) {
+        self.meter.charge(Op::UserFnRow, rows);
+    }
+
+    /// Charge an arbitrary operation to the cost model. Used by application
+    /// code for work the engine cannot see — most importantly
+    /// [`Op::ModelEval`] for each derived-data model evaluation (the paper
+    /// prices Black-Scholes separately because "pricing models ... are
+    /// expensive", §1).
+    pub fn charge_op(&self, op: Op, n: u64) {
+        self.meter.charge(op, n);
+    }
+
+    /// Run a `SELECT`, returning materialized rows.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(q) => Ok(strip_sql::execute_query(self, &q, params)?),
+            _ => Err(Error::Other(format!("not a query: `{sql}`"))),
+        }
+    }
+
+    /// Run a pre-parsed `SELECT`.
+    pub fn query_ast(&self, q: &strip_sql::ast::Query, params: &[Value]) -> Result<ResultSet> {
+        Ok(strip_sql::execute_query(self, q, params)?)
+    }
+
+    /// Run DML (`INSERT`/`UPDATE`/`DELETE`). Returns affected-row count.
+    pub fn exec(&self, sql: &str, params: &[Value]) -> Result<usize> {
+        let stmt = parse_statement(sql)?;
+        self.exec_ast(&stmt, params)
+    }
+
+    /// Run pre-parsed DML.
+    pub fn exec_ast(&self, stmt: &Statement, params: &[Value]) -> Result<usize> {
+        match stmt {
+            Statement::Insert(i) => Ok(strip_sql::execute_insert(self, i, params)?),
+            Statement::Update(u) => Ok(strip_sql::execute_update(self, u, params)?),
+            Statement::Delete(d) => Ok(strip_sql::execute_delete(self, d, params)?),
+            _ => Err(Error::Other("exec() only accepts DML statements".into())),
+        }
+    }
+
+    /// Number of changes logged so far.
+    pub fn change_count(&self) -> usize {
+        self.log.borrow().len()
+    }
+
+    fn acquire(&self, table: &str, mode: LockMode) -> Result<()> {
+        let key = (table.to_ascii_lowercase(), mode);
+        if self.locks.borrow().contains(&key) {
+            return Ok(());
+        }
+        // An exclusive lock already covers shared access.
+        if mode == LockMode::Shared
+            && self
+                .locks
+                .borrow()
+                .contains(&(key.0.clone(), LockMode::Exclusive))
+        {
+            return Ok(());
+        }
+        self.inner.locks.lock(self.id, &key.0, mode).map_err(|e| {
+            Error::Aborted(format!("lock on `{}`: {e}", key.0))
+        })?;
+        self.meter.charge(Op::GetLock, 1);
+        self.locks.borrow_mut().insert(key);
+        Ok(())
+    }
+
+    /// Commit: run rule processing over the log, release locks, and return
+    /// the action tasks to enqueue.
+    pub(crate) fn commit(mut self) -> Result<Vec<Task>> {
+        self.meter.charge(Op::CommitTxn, 1);
+        let commit_us = self.now_us();
+        let mut tasks = Vec::new();
+        let result = {
+            let log = self.log.borrow();
+            self.inner.engine.process_commit(&self, &log, commit_us, &mut |sa| {
+                tasks.push(action_task(self.inner, sa));
+            })
+        };
+        if let Err(e) = result {
+            drop(tasks);
+            self.undo();
+            self.release_locks();
+            self.finished = true;
+            return Err(Error::Aborted(format!("rule processing failed: {e}")));
+        }
+        self.release_locks();
+        self.finished = true;
+        Ok(tasks)
+    }
+
+    /// Abort: undo all logged changes in reverse order, release locks.
+    pub(crate) fn rollback(mut self) {
+        self.undo();
+        self.release_locks();
+        self.finished = true;
+    }
+
+    fn undo(&self) {
+        let entries = self.log.borrow_mut().drain_for_undo();
+        for e in entries {
+            // Undo is best-effort on a consistent store; failures here mean
+            // the table vanished mid-transaction, which the catalog forbids.
+            match e {
+                LogEntry::Insert { table, row, .. } => {
+                    if let Ok(t) = self.inner.catalog.table(&table) {
+                        let _ = t.write().delete(row);
+                    }
+                }
+                LogEntry::Delete { table, old, .. } => {
+                    if let Ok(t) = self.inner.catalog.table(&table) {
+                        let _ = t.write().reinsert(&old);
+                    }
+                }
+                LogEntry::Update { table, row, old, .. } => {
+                    if let Ok(t) = self.inner.catalog.table(&table) {
+                        let _ = t.write().update(row, old.values().to_vec());
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_locks(&self) {
+        let n = self.locks.borrow().len() as u64;
+        if n > 0 {
+            self.meter.charge(Op::ReleaseLock, n);
+        }
+        self.inner.locks.release_all(self.id);
+        self.locks.borrow_mut().clear();
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        // A dropped-without-commit transaction (panic path) must not leave
+        // locks behind.
+        if !self.finished {
+            self.inner.locks.release_all(self.id);
+        }
+    }
+}
+
+impl Env for Txn<'_> {
+    fn meter(&self) -> &dyn Meter {
+        self.meter
+    }
+
+    fn relation(&self, name: &str) -> Option<Rel> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.overlay.get(&key) {
+            return Some(Rel::Temp(t.clone()));
+        }
+        if let Ok(t) = self.inner.catalog.table(&key) {
+            return Some(Rel::Standard(t));
+        }
+        // Plain views expand on read: run the defining query now and expose
+        // the result as a temporary table.
+        let view = self.inner.views.read().get(&key).cloned();
+        if let Some(q) = view {
+            match strip_sql::execute_query_bound(self, &q, &[], &key) {
+                Ok(t) => return Some(Rel::Temp(Arc::new(t))),
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
+        self.inner.scalar_fns.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn before_read(&self, table: &str) -> strip_sql::Result<()> {
+        self.acquire(table, LockMode::Shared)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
+    }
+
+    fn before_write(&self, table: &str) -> strip_sql::Result<()> {
+        self.acquire(table, LockMode::Exclusive)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
+    }
+
+    fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
+        self.acquire(table, LockMode::Exclusive)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
+        let t = self.inner.catalog.table(table)?;
+        let mut t = t.write();
+        let (id, rec) = t.insert(row)?;
+        self.meter.charge(Op::InsertTuple, 1);
+        self.meter.charge(Op::IndexMaintain, t.indexes().len() as u64);
+        let name = t.name().to_string();
+        self.log.borrow_mut().log_insert(&name, id, rec);
+        Ok(())
+    }
+
+    fn dml_update(&self, table: &str, id: RowId, new: Vec<Value>) -> strip_sql::Result<()> {
+        self.acquire(table, LockMode::Exclusive)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
+        let t = self.inner.catalog.table(table)?;
+        let mut t = t.write();
+        // Count indexes whose key actually changes (real maintenance work).
+        let (old, newr) = t.update(id, new)?;
+        let changed_keys = t
+            .indexes()
+            .iter()
+            .filter(|ix| old.get(ix.column()) != newr.get(ix.column()))
+            .count() as u64;
+        self.meter.charge(Op::UpdateCursor, 1);
+        if changed_keys > 0 {
+            self.meter.charge(Op::IndexMaintain, changed_keys);
+        }
+        let name = t.name().to_string();
+        self.log.borrow_mut().log_update(&name, id, old, newr);
+        Ok(())
+    }
+
+    fn dml_delete(&self, table: &str, id: RowId) -> strip_sql::Result<()> {
+        self.acquire(table, LockMode::Exclusive)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
+        let t = self.inner.catalog.table(table)?;
+        let mut t = t.write();
+        let old = t.delete(id)?;
+        self.meter.charge(Op::DeleteTuple, 1);
+        self.meter.charge(Op::IndexMaintain, t.indexes().len() as u64);
+        let name = t.name().to_string();
+        self.log.borrow_mut().log_delete(&name, id, old);
+        Ok(())
+    }
+}
+
+/// Run a transaction inside a task context: begin, run `f`, commit (rule
+/// processing included) or roll back on error. Spawned action tasks go to
+/// the task context.
+pub(crate) fn run_txn<R>(
+    inner: &Arc<StripInner>,
+    ctx: &mut TaskCtx<'_>,
+    overlay: HashMap<String, Arc<TempTable>>,
+    f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+) -> Result<R> {
+    ctx.meter.charge(Op::BeginTxn, 1);
+    let id = inner.next_txn_id();
+    let mut txn = Txn::new(inner, ctx.meter, ctx.start_us, id, overlay);
+    match f(&mut txn) {
+        Ok(r) => {
+            let tasks = txn.commit()?;
+            for t in tasks {
+                ctx.spawn(t);
+            }
+            Ok(r)
+        }
+        Err(e) => {
+            txn.rollback();
+            Err(e)
+        }
+    }
+}
+
+/// Wrap a rule's action (a [`SpawnAction`]) into an executor task. The task:
+/// 1. fixes the payload's bound tables and removes the unique-hash entry,
+/// 2. snapshots the bound tables into the transaction's overlay,
+/// 3. runs the registered user function in a fresh transaction.
+pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
+    let weak = Arc::downgrade(inner);
+    let kind = format!("recompute:{}", sa.func);
+    let rule = sa.rule;
+    let func_name = sa.func;
+    let payload = sa.payload;
+    Task::at(
+        &kind,
+        sa.release_us,
+        Box::new(move |ctx| {
+            let Some(inner) = weak.upgrade() else {
+                return;
+            };
+            ctx.meter.charge(Op::BeginTask, 1);
+            inner.engine.begin_action(&payload, ctx.meter);
+            let bound = payload.snapshot_bound();
+            let func = inner.user_fns.read().get(&func_name).cloned();
+            let outcome = match func {
+                None => Err(Error::NoSuchFunction(func_name.clone())),
+                Some(f) => run_txn(&inner, ctx, bound, |txn| f(txn)),
+            };
+            if let Err(e) = outcome {
+                inner
+                    .errors
+                    .lock()
+                    .push(format!("rule `{rule}` action `{func_name}`: {e}"));
+            }
+            ctx.meter.charge(Op::EndTask, 1);
+        }),
+    )
+}
+
+/// Build the self-rescheduling task for a periodic timer. Each firing runs
+/// the timer's user function in its own transaction, then re-queues itself
+/// one interval later while the timer remains registered with firings left.
+pub(crate) fn timer_task(inner: &Arc<StripInner>, name: String, release_us: u64) -> Task {
+    let weak = Arc::downgrade(inner);
+    let kind = format!("timer:{name}");
+    Task::at(
+        &kind,
+        release_us,
+        Box::new(move |ctx| {
+            let Some(inner) = weak.upgrade() else {
+                return;
+            };
+            // Consume one firing; vanish silently if the timer was dropped.
+            let func_name = {
+                let mut timers = inner.timers.lock();
+                let Some(st) = timers.get_mut(&name) else {
+                    return;
+                };
+                if let Some(r) = &mut st.remaining {
+                    *r -= 1;
+                    if *r == 0 {
+                        let func = st.func.clone();
+                        timers.remove(&name);
+                        Some((func, None))
+                    } else {
+                        Some((st.func.clone(), Some(st.interval_us)))
+                    }
+                } else {
+                    Some((st.func.clone(), Some(st.interval_us)))
+                }
+            };
+            let Some((func_name, reschedule)) = func_name else {
+                return;
+            };
+            ctx.meter.charge(Op::BeginTask, 1);
+            let func = inner.user_fns.read().get(&func_name).cloned();
+            let outcome = match func {
+                None => Err(Error::NoSuchFunction(func_name.clone())),
+                Some(f) => run_txn(&inner, ctx, HashMap::new(), |txn| f(txn)),
+            };
+            if let Err(e) = outcome {
+                inner
+                    .errors
+                    .lock()
+                    .push(format!("timer `{name}` function `{func_name}`: {e}"));
+            }
+            ctx.meter.charge(Op::EndTask, 1);
+            if let Some(interval) = reschedule {
+                let next = ctx.now_us() + interval;
+                ctx.spawn(timer_task_again(&inner, name.clone(), next));
+            }
+        }),
+    )
+}
+
+/// Re-entry point used by a firing to schedule the next one.
+fn timer_task_again(inner: &Arc<StripInner>, name: String, release_us: u64) -> Task {
+    timer_task(inner, name, release_us)
+}

@@ -1,0 +1,590 @@
+//! End-to-end rule-system tests built on the paper's worked example
+//! (Figures 3–7): the `stocks` / `comps_list` / `comp_prices` schema with
+//! the data of Figure 4 and the three composite-maintenance rules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_core::{Result, Strip};
+use strip_storage::Value;
+
+/// Schema + Figure 4 data.
+fn figure4_db() -> Strip {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_stocks_symbol on stocks (symbol); \
+         create table comps_list (comp str, symbol str, weight float); \
+         create index ix_cl_symbol on comps_list (symbol); \
+         create table comp_prices (comp str, price float); \
+         create index ix_cp_comp on comp_prices (comp); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50); \
+         insert into comps_list values \
+           ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7); \
+         insert into comp_prices values ('C1', 40.0), ('C2', 37.0);",
+    )
+    .unwrap();
+    db
+}
+
+const MATCHES_CONDITION: &str = "if \
+    select comp, comps_list.symbol as symbol, weight, \
+           old.price as old_price, new.price as new_price \
+    from comps_list, new, old \
+    where comps_list.symbol = new.symbol \
+      and new.execute_order = old.execute_order \
+    bind as matches ";
+
+/// Register `compute_comps` in the style of Figure 6: group the incremental
+/// changes per composite, then apply each with one update.
+fn register_compute_comps(db: &Strip, name: &str, calls: Arc<AtomicU64>) {
+    db.register_function(name, move |txn| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        let diffs = txn.query(
+            "select comp, sum((new_price - old_price) * weight) as diff \
+             from matches group by comp",
+            &[],
+        )?;
+        for i in 0..diffs.len() {
+            txn.charge_user_work(1);
+            let comp = diffs.value(i, "comp")?.clone();
+            let diff = diffs.value(i, "diff")?.clone();
+            txn.exec(
+                "update comp_prices set price += ? where comp = ?",
+                &[diff, comp],
+            )?;
+        }
+        Ok(())
+    });
+}
+
+fn comp_price(db: &Strip, comp: &str) -> f64 {
+    db.query(&format!("select price from comp_prices where comp = '{comp}'"))
+        .unwrap()
+        .single("price")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+}
+
+/// Apply the paper's T1 (S1: 30→31, S2: 40→39) and T2 (S2: 39→38,
+/// S3: 50→51).
+fn run_t1_t2(db: &Strip) {
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        t.exec("update stocks set price = 39 where symbol = 'S2'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 38 where symbol = 'S2'", &[])?;
+        t.exec("update stocks set price = 51 where symbol = 'S3'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+/// Expected final prices: C1 = 0.5*31 + 0.5*51 = 41; C2 = 0.3*31+0.7*38=35.9.
+fn assert_final_prices(db: &Strip) {
+    assert!((comp_price(db, "C1") - 41.0).abs() < 1e-9);
+    assert!((comp_price(db, "C2") - 35.9).abs() < 1e-9);
+}
+
+#[test]
+fn non_unique_rule_runs_one_action_per_firing() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps1", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    // Two triggering transactions -> two distinct action transactions
+    // (Figure 5(a)).
+    assert_eq!(db.pending_tasks(), 2);
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    assert!(db.take_errors().is_empty());
+    assert_final_prices(&db);
+}
+
+#[test]
+fn coarse_unique_batches_across_transactions() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps2", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 1.0 seconds"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    // T2 fired within the window: its rows were appended to T1's pending
+    // transaction (Figure 5(b)) — only ONE task queued.
+    assert_eq!(db.pending_tasks(), 1);
+    assert_eq!(db.pending_unique("compute_comps2"), 1);
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert!(db.take_errors().is_empty());
+    assert_final_prices(&db);
+    assert_eq!(db.pending_unique("compute_comps2"), 0);
+}
+
+#[test]
+fn unique_on_comp_partitions_by_composite() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps3", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps3 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps3 unique on comp after 1.0 seconds"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    // One pending transaction per composite (Figure 5(c)).
+    assert_eq!(db.pending_tasks(), 2);
+    assert_eq!(db.pending_unique("compute_comps3"), 2);
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    assert!(db.take_errors().is_empty());
+    assert_final_prices(&db);
+}
+
+#[test]
+fn delay_window_defers_release() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps2", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 2.0 seconds"
+    ))
+    .unwrap();
+
+    let t0 = db.now_us();
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    // Not yet: the window is 2 s.
+    db.advance_to(t0 + 1_000_000);
+    assert_eq!(calls.load(Ordering::SeqCst), 0);
+    assert_eq!(db.pending_tasks(), 1);
+    // A second change inside the window batches into the same transaction.
+    db.txn(|t| {
+        t.exec("update stocks set price = 32 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.pending_tasks(), 1);
+    db.advance_to(t0 + 3_000_000);
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    // Both deltas applied: C1 += 0.5*(31-30) + 0.5*(32-31) = 41.
+    assert!((comp_price(&db, "C1") - 41.0).abs() < 1e-9);
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn firing_after_action_starts_opens_new_transaction() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps2", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 1.0 seconds"
+    ))
+    .unwrap();
+
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.drain(); // first action runs
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    db.txn(|t| {
+        t.exec("update stocks set price = 33 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.pending_tasks(), 1, "new transaction after the first ran");
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn condition_false_suppresses_action() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps1", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+
+    // A stock not in any composite: condition query joins to zero rows.
+    db.execute("insert into stocks values ('LONER', 5.0)").unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 6.0 where symbol = 'LONER'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn updated_column_filter_respected() {
+    let db = Strip::new();
+    db.execute_script(
+        "create table t (a int, b int); insert into t values (1, 1);",
+    )
+    .unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    let c = calls.clone();
+    db.register_function("f", move |_| {
+        c.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    });
+    db.execute("create rule r on t when updated b then execute f").unwrap();
+
+    // Update that changes only `a`: must not trigger.
+    db.execute("update t set a = 2").unwrap();
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 0);
+    // Update that changes `b`: triggers.
+    db.execute("update t set b = 2").unwrap();
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn insert_and_delete_events() {
+    let db = Strip::new();
+    db.execute("create table t (x int)").unwrap();
+    let inserts = Arc::new(AtomicU64::new(0));
+    let deletes = Arc::new(AtomicU64::new(0));
+    let (i2, d2) = (inserts.clone(), deletes.clone());
+    db.register_function("on_ins", move |txn| {
+        // The `evaluate` clause bound the inserted rows as `my_inserted`
+        // (the §2 `foo` rule).
+        let t = txn.bound("my_inserted").expect("bound table visible");
+        i2.fetch_add(t.len() as u64, Ordering::SeqCst);
+        Ok(())
+    });
+    db.register_function("on_del", move |_| {
+        d2.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    });
+    db.execute(
+        "create rule foo on t when inserted \
+         then evaluate select * from inserted bind as my_inserted \
+         execute on_ins",
+    )
+    .unwrap();
+    db.execute("create rule bar on t when deleted then execute on_del").unwrap();
+
+    db.execute("insert into t values (1), (2), (3)").unwrap();
+    db.drain();
+    assert_eq!(inserts.load(Ordering::SeqCst), 3);
+    db.execute("delete from t where x = 2").unwrap();
+    db.drain();
+    assert_eq!(deletes.load(Ordering::SeqCst), 1);
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn commit_time_column_instantiated() {
+    let db = Strip::new();
+    db.execute("create table t (x int)").unwrap();
+    let seen = Arc::new(AtomicU64::new(u64::MAX));
+    let s2 = seen.clone();
+    db.register_function("f", move |txn| {
+        let b = txn.bound("changes").expect("bound");
+        let ct = b.schema().index_of("commit_time").expect("commit_time column");
+        if let Value::Timestamp(t) = b.value(0, ct) {
+            s2.store(*t, Ordering::SeqCst);
+        }
+        Ok(())
+    });
+    db.execute(
+        "create rule r on t when inserted \
+         then evaluate select x, commit_time from inserted bind as changes \
+         execute f",
+    )
+    .unwrap();
+    let before = db.now_us();
+    db.execute("insert into t values (42)").unwrap();
+    db.drain();
+    let ct = seen.load(Ordering::SeqCst);
+    assert!(ct != u64::MAX, "commit_time was instantiated");
+    assert!(ct >= before && ct <= db.now_us());
+}
+
+#[test]
+fn rollback_undoes_changes_and_fires_no_rules() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps1", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+
+    let r: Result<()> = db.txn(|t| {
+        t.exec("update stocks set price = 99 where symbol = 'S1'", &[])?;
+        Err(strip_core::Error::Other("boom".into()))
+    });
+    assert!(r.is_err());
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 0, "aborted txn fires no rules");
+    let price = db
+        .query("select price from stocks where symbol = 'S1'")
+        .unwrap()
+        .single("price")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(price, 30.0, "update rolled back");
+}
+
+#[test]
+fn cascading_rules_fire() {
+    // A rule on comp_prices triggered by the recompute action itself.
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps1", calls.clone());
+    let cascades = Arc::new(AtomicU64::new(0));
+    let c2 = cascades.clone();
+    db.register_function("watch_comp", move |_| {
+        c2.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    });
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+    db.execute("create rule watch on comp_prices when updated price then execute watch_comp")
+        .unwrap();
+
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert_eq!(cascades.load(Ordering::SeqCst), 1, "action triggered second rule");
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn bound_table_snapshot_semantics() {
+    // The action reads condition-time values even if base data changed
+    // between condition evaluation and action execution (§6.1).
+    let db = figure4_db();
+    let snapshot = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let s2 = snapshot.clone();
+    db.register_function("observe", move |txn| {
+        let m = txn.bound("matches").unwrap();
+        let np = m.schema().index_of("new_price").unwrap();
+        for i in 0..m.len() {
+            s2.lock().push(m.value(i, np).as_f64().unwrap());
+        }
+        Ok(())
+    });
+    db.execute(&format!(
+        "create rule r on stocks when updated price {MATCHES_CONDITION} \
+         then execute observe after 1.0 seconds"
+    ))
+    .unwrap();
+
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    // Clobber the stock before the action runs. This fires the rule again
+    // (non-unique => second task) but the FIRST task's bound table must
+    // still show 31.
+    db.txn(|t| {
+        t.exec("update stocks set price = 1000 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.drain();
+    let vals = snapshot.lock();
+    assert_eq!(vals.len(), 4, "two firings x two composite rows");
+    assert_eq!(vals[0], 31.0);
+    assert_eq!(vals[1], 31.0);
+    assert_eq!(vals[2], 1000.0);
+    assert_eq!(vals[3], 1000.0);
+}
+
+#[test]
+fn missing_user_function_reports_error() {
+    let db = Strip::new();
+    db.execute("create table t (x int)").unwrap();
+    db.execute("create rule r on t when inserted then execute ghost").unwrap();
+    db.execute("insert into t values (1)").unwrap();
+    db.drain();
+    let errors = db.take_errors();
+    assert_eq!(errors.len(), 1);
+    assert!(errors[0].contains("ghost"));
+}
+
+#[test]
+fn stats_track_recompute_tasks() {
+    let db = figure4_db();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps3", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps3 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps3 unique on comp after 1.0 seconds"
+    ))
+    .unwrap();
+    run_t1_t2(&db);
+    db.drain();
+    let stats = db.stats();
+    let rk = stats.kind("recompute:compute_comps3");
+    assert_eq!(rk.count, 2);
+    assert!(rk.total_us > 0);
+    assert!(stats.busy_us >= rk.total_us);
+}
+
+#[test]
+fn pool_mode_end_to_end() {
+    // The same rule flow on the wall-clock worker pool.
+    let db = Strip::builder().pool(2).build();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create table comps_list (comp str, symbol str, weight float); \
+         create index ix_cl_symbol on comps_list (symbol); \
+         create table comp_prices (comp str, price float); \
+         create index ix_cp_comp on comp_prices (comp); \
+         insert into stocks values ('S1', 30); \
+         insert into comps_list values ('C1','S1',1.0); \
+         insert into comp_prices values ('C1', 30.0);",
+    )
+    .unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    register_compute_comps(&db, "compute_comps2", calls.clone());
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 0.01 seconds"
+    ))
+    .unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 35 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    // Wait out the 10 ms window plus execution.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert!((db
+        .query("select price from comp_prices where comp = 'C1'")
+        .unwrap()
+        .single("price")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        - 35.0)
+        .abs()
+        < 1e-9);
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn two_rules_sharing_a_function_merge_into_one_transaction() {
+    // §2: "the bound tables of all rules executing the same user function
+    // are combined (and must be defined identically)". Two rules on two
+    // different tables execute `audit_changes`; firings within the window
+    // merge into ONE pending transaction.
+    let db = Strip::new();
+    db.execute_script(
+        "create table t1 (k str, v float); \
+         create table t2 (k str, v float); \
+         insert into t1 values ('a', 1.0); \
+         insert into t2 values ('b', 2.0);",
+    )
+    .unwrap();
+    let rows_seen = Arc::new(AtomicU64::new(0));
+    let calls = Arc::new(AtomicU64::new(0));
+    let (r2, c2) = (rows_seen.clone(), calls.clone());
+    db.register_function("audit_changes", move |txn| {
+        c2.fetch_add(1, Ordering::SeqCst);
+        let b = txn.bound("changes").unwrap();
+        r2.fetch_add(b.len() as u64, Ordering::SeqCst);
+        Ok(())
+    });
+    // Identically-defined bound tables, as the paper requires.
+    for (rule, table) in [("r1", "t1"), ("r2", "t2")] {
+        db.execute(&format!(
+            "create rule {rule} on {table} when updated v \
+             if select new.k as k, new.v as v from new bind as changes \
+             then execute audit_changes unique after 1.0 seconds"
+        ))
+        .unwrap();
+    }
+
+    db.execute("update t1 set v = 10").unwrap();
+    db.execute("update t2 set v = 20").unwrap();
+    // Both rules fired, but only one pending transaction exists.
+    assert_eq!(db.pending_tasks(), 1);
+    assert_eq!(db.pending_unique("audit_changes"), 1);
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert_eq!(rows_seen.load(Ordering::SeqCst), 2, "rows from both rules merged");
+    assert!(db.take_errors().is_empty());
+}
+
+#[test]
+fn rules_sharing_function_with_mismatched_bound_tables_error() {
+    // If a second rule binds a differently-defined table for the same
+    // function, the merge is rejected and surfaces as an abort of the
+    // triggering transaction.
+    let db = Strip::new();
+    db.execute_script(
+        "create table t1 (k str, v float); \
+         create table t2 (k str, v float); \
+         insert into t1 values ('a', 1.0); \
+         insert into t2 values ('b', 2.0);",
+    )
+    .unwrap();
+    db.register_function("f", |_| Ok(()));
+    db.execute(
+        "create rule r1 on t1 when updated v \
+         if select new.k as k, new.v as v from new bind as changes \
+         then execute f unique after 1.0 seconds",
+    )
+    .unwrap();
+    db.execute(
+        "create rule r2 on t2 when updated v \
+         if select new.k as k from new bind as changes \
+         then execute f unique after 1.0 seconds",
+    )
+    .unwrap();
+
+    db.execute("update t1 set v = 10").unwrap();
+    // The second firing tries to append a 1-column `changes` to the pending
+    // 2-column one: the triggering transaction aborts with a bound-table
+    // mismatch rather than corrupting the batch.
+    let err = db.execute("update t2 set v = 20").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("mismatch"), "unexpected error: {msg}");
+    // The pending transaction from the first firing is intact.
+    assert_eq!(db.pending_unique("f"), 1);
+    db.drain();
+    assert!(db.take_errors().is_empty());
+}

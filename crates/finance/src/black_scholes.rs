@@ -1,0 +1,234 @@
+//! Black-Scholes call-option pricing (paper Appendix B).
+//!
+//! ```text
+//! p_option = p_s Φ(d1) - (p_e / e^{rt}) Φ(d2)
+//! d1 = [ln(p_s/p_e) + (r + σ²/2) t] / (σ √t)
+//! d2 = [ln(p_s/p_e) + (r - σ²/2) t] / (σ √t)
+//! ```
+//!
+//! The paper computes `Φ()` "using the error function in the C math
+//! library"; Rust's std has no `erf`, so we implement one from scratch
+//! (Abramowitz & Stegun 7.1.26-style rational approximation refined to the
+//! higher-precision W. J. Cody constants), accurate to ~1.5e-7 — more than
+//! enough for theoretical prices quoted in eighths.
+
+/// The error function, |error| < 1.5e-7 (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    // A&S 7.1.26 coefficients.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function Φ.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inputs to the Black-Scholes call model, named as in Appendix B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BsInputs {
+    /// `p_s` — current price of the underlying stock.
+    pub stock_price: f64,
+    /// `p_e` — exercise (strike) price.
+    pub strike: f64,
+    /// `t` — time remaining before expiration, as a fraction of a year.
+    pub expiration_years: f64,
+    /// `σ` — standard deviation of the annualized rate of return.
+    pub stdev: f64,
+    /// `r` — continuously compounded risk-less rate of return.
+    pub risk_free_rate: f64,
+}
+
+/// The continuously compounded risk-free rate used throughout the PTA
+/// (roughly the mid-90s T-bill yield).
+pub const DEFAULT_RISK_FREE_RATE: f64 = 0.05;
+
+/// Theoretical price of a call option (Appendix B).
+///
+/// ```
+/// use strip_finance::black_scholes::{bs_call, BsInputs};
+///
+/// // Hull's classic example: S=42, K=40, r=10%, σ=20%, t=0.5y ⇒ ~4.76.
+/// let p = bs_call(BsInputs {
+///     stock_price: 42.0,
+///     strike: 40.0,
+///     expiration_years: 0.5,
+///     stdev: 0.2,
+///     risk_free_rate: 0.10,
+/// });
+/// assert!((p - 4.76).abs() < 0.01);
+/// ```
+///
+/// Degenerate inputs are handled the way a pricing library must:
+/// at `t = 0` or `σ = 0` the price collapses to discounted intrinsic value.
+pub fn bs_call(inp: BsInputs) -> f64 {
+    let BsInputs {
+        stock_price: s,
+        strike: k,
+        expiration_years: t,
+        stdev: sigma,
+        risk_free_rate: r,
+    } = inp;
+    if s <= 0.0 || k <= 0.0 {
+        return 0.0;
+    }
+    let discount = (-r * t).exp();
+    if t <= 0.0 || sigma <= 0.0 {
+        return (s - k * discount).max(0.0);
+    }
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * sqrt_t);
+    let d2 = d1 - sigma * sqrt_t;
+    s * phi(d1) - k * discount * phi(d2)
+}
+
+/// Convenience wrapper with the default risk-free rate.
+pub fn bs_call_default(stock_price: f64, strike: f64, expiration_years: f64, stdev: f64) -> f64 {
+    bs_call(BsInputs {
+        stock_price,
+        strike,
+        expiration_years,
+        stdev,
+        risk_free_rate: DEFAULT_RISK_FREE_RATE,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_a_cdf() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!(phi(-8.0) < 1e-6);
+        assert!(phi(8.0) > 1.0 - 1e-6);
+        // Monotone.
+        let mut prev = phi(-4.0);
+        let mut x = -4.0;
+        while x < 4.0 {
+            x += 0.1;
+            let p = phi(x);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn bs_textbook_value() {
+        // Classic Hull example: S=42, K=40, r=0.10, σ=0.20, t=0.5
+        // → call ≈ 4.76.
+        let p = bs_call(BsInputs {
+            stock_price: 42.0,
+            strike: 40.0,
+            expiration_years: 0.5,
+            stdev: 0.2,
+            risk_free_rate: 0.10,
+        });
+        assert!((p - 4.76).abs() < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn bs_bounds_and_monotonicity() {
+        // A call is worth at least discounted intrinsic value and at most
+        // the stock price.
+        let base = BsInputs {
+            stock_price: 100.0,
+            strike: 95.0,
+            expiration_years: 0.25,
+            stdev: 0.3,
+            risk_free_rate: 0.05,
+        };
+        let p = bs_call(base);
+        let intrinsic = 100.0 - 95.0 * (-0.05f64 * 0.25).exp();
+        assert!(p >= intrinsic);
+        assert!(p <= 100.0);
+        // Increasing in stock price, volatility, and expiry.
+        assert!(bs_call(BsInputs { stock_price: 101.0, ..base }) > p);
+        assert!(bs_call(BsInputs { stdev: 0.4, ..base }) > p);
+        assert!(bs_call(BsInputs { expiration_years: 0.5, ..base }) > p);
+        // Decreasing in strike.
+        assert!(bs_call(BsInputs { strike: 100.0, ..base }) < p);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(
+            bs_call(BsInputs {
+                stock_price: 0.0,
+                strike: 40.0,
+                expiration_years: 0.5,
+                stdev: 0.2,
+                risk_free_rate: 0.05
+            }),
+            0.0
+        );
+        // t = 0: intrinsic value.
+        let p = bs_call(BsInputs {
+            stock_price: 50.0,
+            strike: 40.0,
+            expiration_years: 0.0,
+            stdev: 0.2,
+            risk_free_rate: 0.05,
+        });
+        assert!((p - 10.0).abs() < 1e-9);
+        // Deep out of the money at expiry: worthless.
+        let p = bs_call(BsInputs {
+            stock_price: 30.0,
+            strike: 40.0,
+            expiration_years: 0.0,
+            stdev: 0.2,
+            risk_free_rate: 0.05,
+        });
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn deep_in_and_out_of_the_money_limits() {
+        // Deep ITM ≈ S - K e^{-rt}; deep OTM ≈ 0.
+        let itm = bs_call(BsInputs {
+            stock_price: 200.0,
+            strike: 10.0,
+            expiration_years: 0.5,
+            stdev: 0.2,
+            risk_free_rate: 0.05,
+        });
+        let bound = 200.0 - 10.0 * (-0.05f64 * 0.5).exp();
+        assert!((itm - bound).abs() < 1e-6);
+        let otm = bs_call(BsInputs {
+            stock_price: 10.0,
+            strike: 200.0,
+            expiration_years: 0.5,
+            stdev: 0.2,
+            risk_free_rate: 0.05,
+        });
+        assert!(otm < 1e-9);
+    }
+}

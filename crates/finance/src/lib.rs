@@ -1,0 +1,21 @@
+//! # strip-finance
+//!
+//! The program trading application (PTA) of the paper's §3–§4, used both as
+//! the flagship example and as the workload behind every figure of the
+//! evaluation:
+//!
+//! * [`black_scholes`] — the Appendix-B call-option pricing model with a
+//!   from-scratch `erf`/Φ.
+//! * [`trace`] — synthetic TAQ-style quote traces (the substitution for the
+//!   proprietary NYSE TAQ file; see DESIGN.md §4).
+//! * [`pta`] — schema, activity-proportional table population, the six
+//!   `compute_*` user functions, rule installation per batching variant,
+//!   and the trace-driven experiment runner.
+
+pub mod black_scholes;
+pub mod pta;
+pub mod trace;
+
+pub use black_scholes::{bs_call, bs_call_default, erf, phi, BsInputs, DEFAULT_RISK_FREE_RATE};
+pub use pta::{CompVariant, OptionVariant, Pta, PtaConfig, RunReport};
+pub use trace::{generate, Quote, Trace, TraceConfig};

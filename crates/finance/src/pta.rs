@@ -1,0 +1,672 @@
+//! The program trading application (paper §3–§4): schema, population,
+//! rules, user functions, and the trace-driven experiment runner.
+//!
+//! The six tables are exactly the paper's:
+//! `stocks`, `stock_stdev`, `comp_prices`, `comps_list`, `option_prices`,
+//! `options_list`. Composites and option listings are assigned to stocks
+//! "in direct proportion to their trading activity" (§4.2).
+//!
+//! The rule/function pairs mirror Figures 3 and 6–8:
+//!
+//! | variant | rule | function style |
+//! |---|---|---|
+//! | [`CompVariant::NonUnique`] | `do_comps1` | row-at-a-time (Fig. 3) |
+//! | [`CompVariant::Unique`] | `do_comps2` | group-by-comp in SQL (Fig. 6) |
+//! | [`CompVariant::UniqueOnSymbol`] | — | group-by-comp in SQL |
+//! | [`CompVariant::UniqueOnComp`] | `do_comps3` | accumulate one comp (Fig. 7) |
+//! | [`OptionVariant::NonUnique`] | `do_options1` | per-row model eval (Fig. 8) |
+//! | [`OptionVariant::Unique`] | — | dedup-by-option in user code |
+//! | [`OptionVariant::UniqueOnStock`] | — | per-stock dedup, stdev once |
+//! | [`OptionVariant::UniqueOnOption`] | — | last change only |
+
+use crate::black_scholes::bs_call_default;
+use crate::trace::{generate, to_eighths, Trace, TraceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use strip_core::{Result, Strip};
+use strip_sql::parse_statement;
+use strip_sql::Statement;
+use strip_storage::{Op, Value};
+
+/// Which composite-maintenance rule to install (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompVariant {
+    /// One recompute transaction per triggering transaction (Figure 3).
+    NonUnique,
+    /// Coarse batching: `unique` (Figure 6).
+    Unique,
+    /// `unique on symbol`.
+    UniqueOnSymbol,
+    /// `unique on comp` (Figure 7).
+    UniqueOnComp,
+}
+
+impl CompVariant {
+    /// All variants, in the order the paper's figures plot them.
+    pub const ALL: [CompVariant; 4] = [
+        CompVariant::NonUnique,
+        CompVariant::Unique,
+        CompVariant::UniqueOnSymbol,
+        CompVariant::UniqueOnComp,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompVariant::NonUnique => "non-unique",
+            CompVariant::Unique => "unique",
+            CompVariant::UniqueOnSymbol => "unique on symbol",
+            CompVariant::UniqueOnComp => "unique on comp",
+        }
+    }
+}
+
+/// Which option-maintenance rule to install (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionVariant {
+    /// One recompute per triggering transaction (Figure 8).
+    NonUnique,
+    /// Coarse batching: `unique`.
+    Unique,
+    /// `unique on stock_symbol` — the paper's winner.
+    UniqueOnStock,
+    /// `unique on option_symbol` — "led to an unmanageable number of
+    /// transactions"; kept for reproducing that observation.
+    UniqueOnOption,
+}
+
+impl OptionVariant {
+    /// The variants the paper plots (per-option excluded from its graphs).
+    pub const PLOTTED: [OptionVariant; 3] = [
+        OptionVariant::NonUnique,
+        OptionVariant::Unique,
+        OptionVariant::UniqueOnStock,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptionVariant::NonUnique => "non-unique",
+            OptionVariant::Unique => "unique",
+            OptionVariant::UniqueOnStock => "unique on symbol",
+            OptionVariant::UniqueOnOption => "unique on option_symbol",
+        }
+    }
+}
+
+/// PTA sizing parameters.
+#[derive(Debug, Clone)]
+pub struct PtaConfig {
+    /// Quote-trace generation parameters.
+    pub trace: TraceConfig,
+    /// Number of composite indexes (paper: 400).
+    pub n_composites: usize,
+    /// Stocks per composite (paper: 200, giving 80 000 `comps_list` rows).
+    pub stocks_per_composite: usize,
+    /// Number of listed options (paper: 50 000).
+    pub n_options: usize,
+    /// RNG seed for table population.
+    pub seed: u64,
+}
+
+impl PtaConfig {
+    /// The paper's §4.2 sizing.
+    pub fn paper() -> PtaConfig {
+        PtaConfig {
+            trace: TraceConfig::default(),
+            n_composites: 400,
+            stocks_per_composite: 200,
+            n_options: 50_000,
+            seed: 42,
+        }
+    }
+
+    /// Laptop-test sizing: everything scaled down ~50×.
+    pub fn small() -> PtaConfig {
+        PtaConfig {
+            trace: TraceConfig::small(),
+            n_composites: 10,
+            stocks_per_composite: 20,
+            n_options: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// Measurements from one trace run — the quantities of Figures 9–14.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Trace duration, µs.
+    pub duration_us: u64,
+    /// Price-change transactions executed.
+    pub updates: u64,
+    /// Virtual CPU spent in update transactions (includes commit-time rule
+    /// checking and condition evaluation), µs.
+    pub update_busy_us: u64,
+    /// Number of recomputation transactions run — the paper's `N_r`.
+    pub recompute_count: u64,
+    /// Virtual CPU spent in recompute transactions, µs.
+    pub recompute_busy_us: u64,
+    /// Mean recompute transaction length, µs (execution only, no queueing —
+    /// Figures 11/14).
+    pub recompute_mean_us: f64,
+    /// Longest recompute transaction, µs.
+    pub recompute_max_us: u64,
+    /// All busy time on the virtual CPU, µs.
+    pub total_busy_us: u64,
+    /// Total time update transactions spent queued (release to start), µs.
+    pub update_queue_us: u64,
+    /// Total time recompute transactions spent queued, µs.
+    pub recompute_queue_us: u64,
+    /// Background task errors observed (must be 0 in a healthy run).
+    pub errors: usize,
+}
+
+impl RunReport {
+    /// Fraction of the (single, virtual) CPU spent on recomputation — the
+    /// y-axis of Figures 9 and 12.
+    pub fn recompute_utilization(&self) -> f64 {
+        self.recompute_busy_us as f64 / self.duration_us as f64
+    }
+
+    /// Fraction of CPU spent on everything (updates + recomputation).
+    pub fn total_utilization(&self) -> f64 {
+        self.total_busy_us as f64 / self.duration_us as f64
+    }
+}
+
+/// The assembled application: database + trace + generated metadata.
+pub struct Pta {
+    /// The database with the six tables populated and indexes built.
+    pub db: Strip,
+    /// The synthetic quote trace.
+    pub trace: Trace,
+    /// Sizing used.
+    pub cfg: PtaConfig,
+    /// Interned symbol strings (index = symbol id).
+    pub symbols: Vec<Arc<str>>,
+}
+
+impl Pta {
+    /// Build the PTA on a database: generate the trace, create and populate
+    /// the tables, and register every user function.
+    pub fn build(cfg: PtaConfig, db: Strip) -> Result<Pta> {
+        let trace = generate(&cfg.trace);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = cfg.trace.n_stocks;
+
+        let symbols: Vec<Arc<str>> = (0..n).map(|i| Arc::from(format!("S{i:05}"))).collect();
+
+        db.execute_script(
+            "create table stocks (symbol str, price float); \
+             create index ix_stocks_symbol on stocks (symbol); \
+             create table stock_stdev (symbol str, stdev float); \
+             create index ix_sd_symbol on stock_stdev (symbol); \
+             create table comps_list (comp str, symbol str, weight float); \
+             create index ix_cl_symbol on comps_list (symbol); \
+             create table comp_prices (comp str, price float); \
+             create index ix_cp_comp on comp_prices (comp); \
+             create table options_list (option_symbol str, stock_symbol str, \
+                                        strike float, expiration float); \
+             create index ix_ol_stock on options_list (stock_symbol); \
+             create table option_prices (option_symbol str, price float); \
+             create index ix_op_symbol on option_prices (option_symbol);",
+        )?;
+
+        // Bulk population goes straight to storage: setup is not part of
+        // the measured workload.
+        let stdevs: Vec<f64> = (0..n).map(|_| 0.15 + rng.gen::<f64>() * 0.45).collect();
+        {
+            let stocks = db.catalog().table("stocks")?;
+            let mut stocks = stocks.write();
+            let sd = db.catalog().table("stock_stdev")?;
+            let mut sd = sd.write();
+            for i in 0..n {
+                stocks.insert(vec![
+                    Value::Str(symbols[i].clone()),
+                    trace.initial_prices[i].into(),
+                ])?;
+                sd.insert(vec![Value::Str(symbols[i].clone()), stdevs[i].into()])?;
+            }
+        }
+
+        // Composite membership: stocks drawn ∝ activity, distinct within a
+        // composite (§4.2).
+        let cum = cumulative(&trace.activity);
+        {
+            let cl = db.catalog().table("comps_list")?;
+            let mut cl = cl.write();
+            let cp = db.catalog().table("comp_prices")?;
+            let mut cp = cp.write();
+            let k = cfg.stocks_per_composite.min(n);
+            for c in 0..cfg.n_composites {
+                let comp: Arc<str> = Arc::from(format!("C{c:04}"));
+                let mut members = HashSet::with_capacity(k);
+                while members.len() < k {
+                    members.insert(sample_weighted(&cum, &mut rng));
+                }
+                let mut price = 0.0;
+                for &m in &members {
+                    let w = 0.1 + rng.gen::<f64>() * 0.9;
+                    price += w * trace.initial_prices[m];
+                    cl.insert(vec![
+                        Value::Str(comp.clone()),
+                        Value::Str(symbols[m].clone()),
+                        w.into(),
+                    ])?;
+                }
+                cp.insert(vec![Value::Str(comp.clone()), price.into()])?;
+            }
+        }
+
+        // Options: underlying drawn ∝ activity; strike near the money;
+        // expiration within nine months (§4.2: "chosen randomly but from a
+        // reasonable range of values").
+        {
+            let ol = db.catalog().table("options_list")?;
+            let mut ol = ol.write();
+            let op = db.catalog().table("option_prices")?;
+            let mut op = op.write();
+            for o in 0..cfg.n_options {
+                let sym_idx = sample_weighted(&cum, &mut rng);
+                let osym: Arc<str> = Arc::from(format!("O{o:06}"));
+                let p = trace.initial_prices[sym_idx];
+                let strike = to_eighths(p * (0.8 + rng.gen::<f64>() * 0.4));
+                let expiration = 0.05 + rng.gen::<f64>() * 0.7;
+                ol.insert(vec![
+                    Value::Str(osym.clone()),
+                    Value::Str(symbols[sym_idx].clone()),
+                    strike.into(),
+                    expiration.into(),
+                ])?;
+                let price = bs_call_default(p, strike, expiration, stdevs[sym_idx]);
+                op.insert(vec![Value::Str(osym.clone()), price.into()])?;
+            }
+        }
+
+        let pta = Pta {
+            db,
+            trace,
+            cfg,
+            symbols,
+        };
+        pta.register_functions()?;
+        Ok(pta)
+    }
+
+    /// Register every `compute_*` user function (Figures 3, 6–8).
+    fn register_functions(&self) -> Result<()> {
+        let db = &self.db;
+
+        // -- composites -----------------------------------------------------
+        // Figure 3: row-at-a-time incremental maintenance.
+        let upd_comp =
+            prepared("update comp_prices set price += ? where comp = ?")?;
+        {
+            let upd = upd_comp.clone();
+            db.register_function("compute_comps1", move |txn| {
+                let m = txn.bound("matches").expect("matches bound");
+                let s = m.schema();
+                let (ci, wi, oi, ni) = (
+                    s.index_of("comp").unwrap(),
+                    s.index_of("weight").unwrap(),
+                    s.index_of("old_price").unwrap(),
+                    s.index_of("new_price").unwrap(),
+                );
+                for r in 0..m.len() {
+                    txn.charge_user_work(1);
+                    let w = m.value(r, wi).as_f64().unwrap_or(0.0);
+                    let d = m.value(r, ni).as_f64().unwrap_or(0.0)
+                        - m.value(r, oi).as_f64().unwrap_or(0.0);
+                    txn.exec_ast(&upd, &[(w * d).into(), m.value(r, ci).clone()])?;
+                }
+                Ok(())
+            });
+        }
+
+        // Figure 6: aggregate the incremental changes per composite in SQL,
+        // then one read-modify-write per composite. Registered under two
+        // names so `unique` and `unique on symbol` rules keep independent
+        // pending-transaction hash tables.
+        let grouped_q = match parse_statement(
+            "select comp, sum((new_price - old_price) * weight) as diff \
+             from matches group by comp",
+        )? {
+            Statement::Select(q) => Arc::new(q),
+            _ => unreachable!(),
+        };
+        for name in ["compute_comps2", "compute_comps2s"] {
+            let upd = upd_comp.clone();
+            let q = grouped_q.clone();
+            db.register_function(name, move |txn| {
+                let diffs = txn.query_ast(&q, &[])?;
+                for i in 0..diffs.len() {
+                    txn.charge_user_work(1);
+                    txn.exec_ast(
+                        &upd,
+                        &[
+                            diffs.value(i, "diff")?.clone(),
+                            diffs.value(i, "comp")?.clone(),
+                        ],
+                    )?;
+                }
+                Ok(())
+            });
+        }
+
+        // Figure 7: the bound table holds a single composite — accumulate
+        // in application code and apply once.
+        {
+            let upd = upd_comp.clone();
+            db.register_function("compute_comps3", move |txn| {
+                let m = txn.bound("matches").expect("matches bound");
+                if m.is_empty() {
+                    return Ok(());
+                }
+                let s = m.schema();
+                let (ci, wi, oi, ni) = (
+                    s.index_of("comp").unwrap(),
+                    s.index_of("weight").unwrap(),
+                    s.index_of("old_price").unwrap(),
+                    s.index_of("new_price").unwrap(),
+                );
+                let mut diff = 0.0;
+                for r in 0..m.len() {
+                    txn.charge_user_work(1);
+                    diff += m.value(r, wi).as_f64().unwrap_or(0.0)
+                        * (m.value(r, ni).as_f64().unwrap_or(0.0)
+                            - m.value(r, oi).as_f64().unwrap_or(0.0));
+                }
+                txn.exec_ast(&upd, &[diff.into(), m.value(0, ci).clone()])?;
+                Ok(())
+            });
+        }
+
+        // -- options -----------------------------------------------------------
+        let upd_opt =
+            prepared("update option_prices set price = ? where option_symbol = ?")?;
+        let sel_sd = match parse_statement("select stdev from stock_stdev where symbol = ?")? {
+            Statement::Select(q) => Arc::new(q),
+            _ => unreachable!(),
+        };
+
+        // Figure 8: recompute each affected option for every change.
+        {
+            let upd = upd_opt.clone();
+            let sd = sel_sd.clone();
+            db.register_function("compute_options1", move |txn| {
+                let m = txn.bound("matches").expect("matches bound");
+                let s = m.schema();
+                let (osym, ssym, ki, ei, ni) = option_offsets(s);
+                for r in 0..m.len() {
+                    txn.charge_user_work(1);
+                    let stdev = txn
+                        .query_ast(&sd, &[m.value(r, ssym).clone()])?
+                        .single("stdev")?
+                        .as_f64()
+                        .unwrap_or(0.3);
+                    txn.charge_op(Op::ModelEval, 1);
+                    let price = bs_call_default(
+                        m.value(r, ni).as_f64().unwrap_or(0.0),
+                        m.value(r, ki).as_f64().unwrap_or(0.0),
+                        m.value(r, ei).as_f64().unwrap_or(0.0),
+                        stdev,
+                    );
+                    txn.exec_ast(&upd, &[price.into(), m.value(r, osym).clone()])?;
+                }
+                Ok(())
+            });
+        }
+
+        // Coarse unique / per-stock / per-option: deduplicate repeated
+        // changes, keeping the LAST price per option within the batch, and
+        // cache stdev per stock so shared partial results are computed once.
+        for name in [
+            "compute_options_batched",  // coarse `unique`
+            "compute_options_by_stock", // `unique on stock_symbol`
+            "compute_options_by_opt",   // `unique on option_symbol`
+        ] {
+            let upd = upd_opt.clone();
+            let sd = sel_sd.clone();
+            db.register_function(name, move |txn| {
+                let m = txn.bound("matches").expect("matches bound");
+                let s = m.schema();
+                let (osym, ssym, ki, ei, ni) = option_offsets(s);
+                // Last change wins: rows are appended in firing order.
+                let mut last: HashMap<Value, usize> = HashMap::new();
+                for r in 0..m.len() {
+                    txn.charge_user_work(1);
+                    last.insert(m.value(r, osym).clone(), r);
+                }
+                let mut stdev_cache: HashMap<Value, f64> = HashMap::new();
+                for (opt, r) in last {
+                    let stock = m.value(r, ssym).clone();
+                    let stdev = match stdev_cache.get(&stock) {
+                        Some(v) => *v,
+                        None => {
+                            let v = txn
+                                .query_ast(&sd, std::slice::from_ref(&stock))?
+                                .single("stdev")?
+                                .as_f64()
+                                .unwrap_or(0.3);
+                            stdev_cache.insert(stock, v);
+                            v
+                        }
+                    };
+                    txn.charge_op(Op::ModelEval, 1);
+                    let price = bs_call_default(
+                        m.value(r, ni).as_f64().unwrap_or(0.0),
+                        m.value(r, ki).as_f64().unwrap_or(0.0),
+                        m.value(r, ei).as_f64().unwrap_or(0.0),
+                        stdev,
+                    );
+                    txn.exec_ast(&upd, &[price.into(), opt])?;
+                }
+                Ok(())
+            });
+        }
+        Ok(())
+    }
+
+    /// Install the composite-maintenance rule for a variant (Figures 3/6/7).
+    /// `delay_s` is the `after` window (ignored for [`CompVariant::NonUnique`]).
+    pub fn install_comp_rule(&self, variant: CompVariant, delay_s: f64) -> Result<()> {
+        const CONDITION: &str = "if \
+            select comp, comps_list.symbol as symbol, weight, \
+                   old.price as old_price, new.price as new_price \
+            from comps_list, new, old \
+            where comps_list.symbol = new.symbol \
+              and new.execute_order = old.execute_order \
+            bind as matches ";
+        let tail = match variant {
+            CompVariant::NonUnique => "execute compute_comps1".to_string(),
+            CompVariant::Unique => {
+                format!("execute compute_comps2 unique after {delay_s} seconds")
+            }
+            CompVariant::UniqueOnSymbol => {
+                format!("execute compute_comps2s unique on symbol after {delay_s} seconds")
+            }
+            CompVariant::UniqueOnComp => {
+                format!("execute compute_comps3 unique on comp after {delay_s} seconds")
+            }
+        };
+        self.db.execute(&format!(
+            "create rule do_comps on stocks when updated price {CONDITION} then {tail}"
+        ))?;
+        Ok(())
+    }
+
+    /// Install the option-maintenance rule for a variant (Figure 8 + §5.2).
+    pub fn install_option_rule(&self, variant: OptionVariant, delay_s: f64) -> Result<()> {
+        const CONDITION: &str = "if \
+            select option_symbol, stock_symbol, strike, expiration, \
+                   new.price as new_price \
+            from options_list, new \
+            where options_list.stock_symbol = new.symbol \
+            bind as matches ";
+        let tail = match variant {
+            OptionVariant::NonUnique => "execute compute_options1".to_string(),
+            OptionVariant::Unique => {
+                format!("execute compute_options_batched unique after {delay_s} seconds")
+            }
+            OptionVariant::UniqueOnStock => format!(
+                "execute compute_options_by_stock unique on stock_symbol \
+                 after {delay_s} seconds"
+            ),
+            OptionVariant::UniqueOnOption => format!(
+                "execute compute_options_by_opt unique on option_symbol \
+                 after {delay_s} seconds"
+            ),
+        };
+        self.db.execute(&format!(
+            "create rule do_options on stocks when updated price {CONDITION} then {tail}"
+        ))?;
+        Ok(())
+    }
+
+    /// Drive the quote trace through the database in virtual time: one
+    /// price-update transaction per quote, released at the quote's
+    /// timestamp; then drain all pending recomputations and report.
+    pub fn run_trace(&self) -> Result<RunReport> {
+        self.run_trace_with_deadlines(None)
+    }
+
+    /// [`Pta::run_trace`] where each update transaction additionally
+    /// carries a deadline `release + deadline_slack_us` and a high value —
+    /// feed updates are the urgent work in a real-time monitoring system.
+    /// Use with an EDF or value-density [`strip_txn::Policy`] to study
+    /// scheduling (§6.2).
+    pub fn run_trace_with_deadlines(&self, deadline_slack_us: Option<u64>) -> Result<RunReport> {
+        let upd = prepared("update stocks set price = ? where symbol = ?")?;
+        for q in &self.trace.quotes {
+            let upd = upd.clone();
+            let sym = self.symbols[q.symbol as usize].clone();
+            let price = q.price;
+            let deadline = deadline_slack_us.map(|s| q.time_us + s);
+            self.db.submit_txn_with("update", q.time_us, deadline, 10.0, move |t| {
+                t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
+                Ok(())
+            });
+        }
+        self.db.drain();
+
+        let stats = self.db.stats();
+        let upd_stats = stats.kind("update");
+        let recompute_count = stats.count_with_prefix("recompute:");
+        let recompute_busy_us = stats.busy_us_with_prefix("recompute:");
+        let recompute_max_us = stats
+            .by_kind
+            .iter()
+            .filter(|(k, _)| k.starts_with("recompute:"))
+            .map(|(_, s)| s.max_us)
+            .max()
+            .unwrap_or(0);
+        let recompute_queue_us = stats
+            .by_kind
+            .iter()
+            .filter(|(k, _)| k.starts_with("recompute:"))
+            .map(|(_, s)| s.queue_us)
+            .sum();
+        let errors = self.db.take_errors();
+        for e in errors.iter().take(3) {
+            eprintln!("task error: {e}");
+        }
+        Ok(RunReport {
+            duration_us: self.trace.duration_us,
+            updates: upd_stats.count,
+            update_busy_us: upd_stats.total_us,
+            recompute_count,
+            recompute_busy_us,
+            recompute_mean_us: if recompute_count == 0 {
+                0.0
+            } else {
+                recompute_busy_us as f64 / recompute_count as f64
+            },
+            recompute_max_us,
+            update_queue_us: upd_stats.queue_us,
+            recompute_queue_us,
+            total_busy_us: stats.busy_us,
+            errors: errors.len(),
+        })
+    }
+
+    /// Current composite price (verification helper).
+    pub fn comp_price(&self, comp: &str) -> Result<f64> {
+        Ok(self
+            .db
+            .query(&format!("select price from comp_prices where comp = '{comp}'"))?
+            .single("price")?
+            .as_f64()
+            .unwrap_or(f64::NAN))
+    }
+
+    /// Recompute every composite price from scratch (the "recompute
+    /// completely" alternative of §1) — used to verify that incremental
+    /// maintenance converged to the truth.
+    pub fn comp_prices_from_scratch(&self) -> Result<Vec<(String, f64)>> {
+        let rs = self.db.query(
+            "select comp, sum(price * weight) as price \
+             from stocks, comps_list \
+             where stocks.symbol = comps_list.symbol \
+             group by comp order by comp",
+        )?;
+        Ok((0..rs.len())
+            .map(|i| {
+                (
+                    rs.value(i, "comp").unwrap().to_string(),
+                    rs.value(i, "price").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect())
+    }
+
+    /// Materialized composite prices, sorted by name.
+    pub fn comp_prices_materialized(&self) -> Result<Vec<(String, f64)>> {
+        let rs = self
+            .db
+            .query("select comp, price from comp_prices order by comp")?;
+        Ok((0..rs.len())
+            .map(|i| {
+                (
+                    rs.value(i, "comp").unwrap().to_string(),
+                    rs.value(i, "price").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect())
+    }
+}
+
+fn option_offsets(s: &strip_storage::Schema) -> (usize, usize, usize, usize, usize) {
+    (
+        s.index_of("option_symbol").unwrap(),
+        s.index_of("stock_symbol").unwrap(),
+        s.index_of("strike").unwrap(),
+        s.index_of("expiration").unwrap(),
+        s.index_of("new_price").unwrap(),
+    )
+}
+
+fn prepared(sql: &str) -> Result<Arc<Statement>> {
+    Ok(Arc::new(parse_statement(sql)?))
+}
+
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in weights {
+        acc += w;
+        cum.push(acc);
+    }
+    cum
+}
+
+fn sample_weighted(cum: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cum.last().expect("non-empty weights");
+    let x = rng.gen::<f64>() * total;
+    match cum.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN weights")) {
+        Ok(i) => i,
+        Err(i) => i.min(cum.len() - 1),
+    }
+}

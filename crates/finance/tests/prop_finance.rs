@@ -1,0 +1,106 @@
+//! Property-based tests for the finance substrate: Black-Scholes laws,
+//! `erf` bounds, and quote-trace invariants.
+
+use proptest::prelude::*;
+use strip_finance::black_scholes::{bs_call, erf, phi, BsInputs};
+use strip_finance::trace::{generate, to_eighths, TraceConfig};
+
+proptest! {
+    #[test]
+    fn erf_is_odd_bounded_monotone(x in -6.0..6.0f64, y in -6.0..6.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 3e-7, "odd function");
+        prop_assert!(erf(x).abs() <= 1.0 + 1e-12);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y) + 1e-12, "monotone");
+        }
+    }
+
+    #[test]
+    fn phi_complement_law(x in -6.0..6.0f64) {
+        prop_assert!((phi(x) + phi(-x) - 1.0).abs() < 3e-7);
+    }
+
+    #[test]
+    fn bs_call_respects_no_arbitrage_bounds(
+        s in 1.0..500.0f64,
+        k in 1.0..500.0f64,
+        t in 0.0..2.0f64,
+        sigma in 0.0..1.5f64,
+        r in 0.0..0.12f64,
+    ) {
+        let p = bs_call(BsInputs {
+            stock_price: s,
+            strike: k,
+            expiration_years: t,
+            stdev: sigma,
+            risk_free_rate: r,
+        });
+        // 0 <= C <= S and C >= S - K e^{-rt}.
+        prop_assert!(p >= -1e-9, "negative price: {p}");
+        prop_assert!(p <= s + 1e-9, "call above stock: {p} > {s}");
+        let intrinsic = s - k * (-r * t).exp();
+        prop_assert!(p >= intrinsic - 1e-6, "below intrinsic: {p} < {intrinsic}");
+    }
+
+    #[test]
+    fn bs_call_monotone_in_stock_price(
+        s in 1.0..400.0f64,
+        bump in 0.01..50.0f64,
+        k in 1.0..400.0f64,
+        t in 0.01..2.0f64,
+        sigma in 0.05..1.0f64,
+    ) {
+        let base = BsInputs {
+            stock_price: s,
+            strike: k,
+            expiration_years: t,
+            stdev: sigma,
+            risk_free_rate: 0.05,
+        };
+        let p0 = bs_call(base);
+        let p1 = bs_call(BsInputs { stock_price: s + bump, ..base });
+        prop_assert!(p1 >= p0 - 1e-7, "call must rise with the stock: {p0} -> {p1}");
+        // Delta is at most 1: the option gains no faster than the stock.
+        prop_assert!(p1 - p0 <= bump + 1e-6);
+    }
+
+    #[test]
+    fn to_eighths_is_idempotent_and_grid_aligned(p in 0.0..1000.0f64) {
+        let q = to_eighths(p);
+        prop_assert!(q >= 0.125);
+        prop_assert!((q * 8.0 - (q * 8.0).round()).abs() < 1e-9);
+        prop_assert_eq!(to_eighths(q), q);
+        prop_assert!((q - p.max(0.125)).abs() <= 0.0626);
+    }
+
+    #[test]
+    fn trace_respects_config(
+        n_stocks in 10..120usize,
+        target in 100..2000usize,
+        seed in any::<u64>(),
+    ) {
+        let cfg = TraceConfig {
+            n_stocks,
+            target_updates: target,
+            duration_s: 60.0,
+            ..TraceConfig::default()
+        };
+        let t = generate(&cfg);
+        prop_assert_eq!(t.initial_prices.len(), n_stocks);
+        prop_assert_eq!(t.activity.len(), n_stocks);
+        let _ = seed;
+        // Time-ordered, within duration, symbols in range, prices on grid.
+        prop_assert!(t.quotes.windows(2).all(|w| w[0].time_us <= w[1].time_us));
+        for q in &t.quotes {
+            prop_assert!(q.time_us < t.duration_us);
+            prop_assert!((q.symbol as usize) < n_stocks);
+            prop_assert!(q.price >= 0.125);
+        }
+        // Activity normalized.
+        let s: f64 = t.activity.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        // Volume in a sane band around the target (bursts are stochastic).
+        prop_assert!(t.len() > target / 4, "too few quotes: {}", t.len());
+        prop_assert!(t.len() < target * 3, "too many quotes: {}", t.len());
+    }
+}

@@ -1,0 +1,263 @@
+//! Small-scale end-to-end PTA runs: correctness of derived-data maintenance
+//! under every batching variant, plus the qualitative batching effects the
+//! paper's figures rest on.
+
+use strip_core::Strip;
+use strip_finance::{CompVariant, OptionVariant, Pta, PtaConfig};
+
+fn small_pta() -> Pta {
+    Pta::build(PtaConfig::small(), Strip::new()).unwrap()
+}
+
+/// Incremental maintenance must converge to the from-scratch recomputation
+/// (the correctness bar for every composite variant).
+fn assert_comps_converged(pta: &Pta) {
+    let truth = pta.comp_prices_from_scratch().unwrap();
+    let materialized = pta.comp_prices_materialized().unwrap();
+    assert_eq!(truth.len(), materialized.len());
+    for ((name_t, p_t), (name_m, p_m)) in truth.iter().zip(&materialized) {
+        assert_eq!(name_t, name_m);
+        assert!(
+            (p_t - p_m).abs() < 1e-6 * p_t.abs().max(1.0),
+            "{name_t}: incremental {p_m} vs truth {p_t}"
+        );
+    }
+}
+
+#[test]
+fn tables_populated_to_config() {
+    let pta = small_pta();
+    let cfg = &pta.cfg;
+    let count = |t: &str| {
+        pta.db
+            .query(&format!("select count(*) as n from {t}"))
+            .unwrap()
+            .single("n")
+            .unwrap()
+            .as_i64()
+            .unwrap() as usize
+    };
+    assert_eq!(count("stocks"), cfg.trace.n_stocks);
+    assert_eq!(count("stock_stdev"), cfg.trace.n_stocks);
+    assert_eq!(count("comp_prices"), cfg.n_composites);
+    assert_eq!(
+        count("comps_list"),
+        cfg.n_composites * cfg.stocks_per_composite
+    );
+    assert_eq!(count("options_list"), cfg.n_options);
+    assert_eq!(count("option_prices"), cfg.n_options);
+}
+
+#[test]
+fn initial_comp_prices_match_definition() {
+    let pta = small_pta();
+    assert_comps_converged(&pta);
+}
+
+#[test]
+fn comps_non_unique_converges() {
+    let pta = small_pta();
+    pta.install_comp_rule(CompVariant::NonUnique, 0.0).unwrap();
+    let report = pta.run_trace().unwrap();
+    assert_eq!(report.errors, 0);
+    assert!(report.updates > 0);
+    // Non-unique: one recompute per triggering update that matched a
+    // composite member.
+    assert!(report.recompute_count > 0);
+    assert_comps_converged(&pta);
+}
+
+#[test]
+fn comps_unique_coarse_converges_with_fewer_recomputes() {
+    let a = {
+        let pta = small_pta();
+        pta.install_comp_rule(CompVariant::NonUnique, 0.0).unwrap();
+        let r = pta.run_trace().unwrap();
+        assert_comps_converged(&pta);
+        r
+    };
+    let b = {
+        let pta = small_pta();
+        pta.install_comp_rule(CompVariant::Unique, 1.0).unwrap();
+        let r = pta.run_trace().unwrap();
+        assert_eq!(r.errors, 0);
+        assert_comps_converged(&pta);
+        r
+    };
+    assert!(
+        b.recompute_count < a.recompute_count / 2,
+        "coarse batching should slash N_r: {} vs {}",
+        b.recompute_count,
+        a.recompute_count
+    );
+    assert!(
+        b.recompute_busy_us < a.recompute_busy_us,
+        "batching should reduce recompute CPU: {} vs {}",
+        b.recompute_busy_us,
+        a.recompute_busy_us
+    );
+    // Coarse batching makes individual transactions much longer (Fig. 11).
+    assert!(b.recompute_mean_us > 3.0 * a.recompute_mean_us);
+}
+
+#[test]
+fn comps_unique_on_symbol_converges() {
+    let pta = small_pta();
+    pta.install_comp_rule(CompVariant::UniqueOnSymbol, 1.0).unwrap();
+    let r = pta.run_trace().unwrap();
+    assert_eq!(r.errors, 0);
+    assert_comps_converged(&pta);
+}
+
+#[test]
+fn comps_unique_on_comp_converges_with_short_transactions() {
+    let pta = small_pta();
+    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0).unwrap();
+    let per_comp = pta.run_trace().unwrap();
+    assert_eq!(per_comp.errors, 0);
+    assert_comps_converged(&pta);
+
+    let pta2 = small_pta();
+    pta2.install_comp_rule(CompVariant::Unique, 1.0).unwrap();
+    let coarse = pta2.run_trace().unwrap();
+    // Per-comp batching runs many more, far shorter transactions (Figs 10/11).
+    assert!(per_comp.recompute_count > coarse.recompute_count);
+    assert!(per_comp.recompute_mean_us < coarse.recompute_mean_us);
+    assert!(per_comp.recompute_max_us < coarse.recompute_max_us);
+}
+
+/// Option prices must match a from-scratch Black-Scholes pass over the
+/// final stock prices.
+fn assert_options_converged(pta: &Pta) {
+    // Final stock prices.
+    let stocks = pta.db.query("select symbol, price from stocks").unwrap();
+    let mut price_of = std::collections::HashMap::new();
+    for i in 0..stocks.len() {
+        price_of.insert(
+            stocks.value(i, "symbol").unwrap().to_string(),
+            stocks.value(i, "price").unwrap().as_f64().unwrap(),
+        );
+    }
+    let sd = pta.db.query("select symbol, stdev from stock_stdev").unwrap();
+    let mut sd_of = std::collections::HashMap::new();
+    for i in 0..sd.len() {
+        sd_of.insert(
+            sd.value(i, "symbol").unwrap().to_string(),
+            sd.value(i, "stdev").unwrap().as_f64().unwrap(),
+        );
+    }
+    let listing = pta
+        .db
+        .query("select option_symbol, stock_symbol, strike, expiration from options_list")
+        .unwrap();
+    let prices = pta
+        .db
+        .query("select option_symbol, price from option_prices")
+        .unwrap();
+    let mut got = std::collections::HashMap::new();
+    for i in 0..prices.len() {
+        got.insert(
+            prices.value(i, "option_symbol").unwrap().to_string(),
+            prices.value(i, "price").unwrap().as_f64().unwrap(),
+        );
+    }
+    for i in 0..listing.len() {
+        let osym = listing.value(i, "option_symbol").unwrap().to_string();
+        let stock = listing.value(i, "stock_symbol").unwrap().to_string();
+        let strike = listing.value(i, "strike").unwrap().as_f64().unwrap();
+        let exp = listing.value(i, "expiration").unwrap().as_f64().unwrap();
+        let want =
+            strip_finance::bs_call_default(price_of[&stock], strike, exp, sd_of[&stock]);
+        let have = got[&osym];
+        assert!(
+            (want - have).abs() < 1e-9,
+            "{osym}: maintained {have} vs truth {want}"
+        );
+    }
+}
+
+#[test]
+fn options_non_unique_converges() {
+    let pta = small_pta();
+    pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+    let r = pta.run_trace().unwrap();
+    assert_eq!(r.errors, 0);
+    assert!(r.recompute_count > 0);
+    assert_options_converged(&pta);
+}
+
+#[test]
+fn options_unique_variants_converge_and_dedup() {
+    let non_unique = {
+        let pta = small_pta();
+        pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+        pta.run_trace().unwrap()
+    };
+    for variant in [OptionVariant::Unique, OptionVariant::UniqueOnStock] {
+        let pta = small_pta();
+        pta.install_option_rule(variant, 2.0).unwrap();
+        let r = pta.run_trace().unwrap();
+        assert_eq!(r.errors, 0, "{variant:?}");
+        assert_options_converged(&pta);
+        assert!(
+            r.recompute_busy_us < non_unique.recompute_busy_us,
+            "{variant:?} should save CPU: {} vs {}",
+            r.recompute_busy_us,
+            non_unique.recompute_busy_us
+        );
+    }
+}
+
+#[test]
+fn options_per_option_batching_floods_the_system() {
+    // §5.2: "the fan-out from stocks to options was so high that batching
+    // on option symbols led to an unmanageable number of transactions".
+    let per_stock = {
+        let pta = small_pta();
+        pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0).unwrap();
+        pta.run_trace().unwrap()
+    };
+    let per_option = {
+        let pta = small_pta();
+        pta.install_option_rule(OptionVariant::UniqueOnOption, 1.0).unwrap();
+        let r = pta.run_trace().unwrap();
+        assert_options_converged(&pta);
+        r
+    };
+    assert!(
+        per_option.recompute_count > 2 * per_stock.recompute_count,
+        "per-option N_r {} should dwarf per-stock {}",
+        per_option.recompute_count,
+        per_stock.recompute_count
+    );
+}
+
+#[test]
+fn longer_delay_means_fewer_recomputes() {
+    let mut counts = Vec::new();
+    for delay in [0.5, 1.5, 3.0] {
+        let pta = small_pta();
+        pta.install_comp_rule(CompVariant::UniqueOnComp, delay).unwrap();
+        let r = pta.run_trace().unwrap();
+        assert_eq!(r.errors, 0);
+        counts.push(r.recompute_count);
+        assert_comps_converged(&pta);
+    }
+    assert!(
+        counts[0] > counts[1] && counts[1] > counts[2],
+        "N_r must fall with the delay window: {counts:?}"
+    );
+}
+
+#[test]
+fn both_rules_together() {
+    // Comps and options maintained simultaneously, as in a real PTA.
+    let pta = small_pta();
+    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0).unwrap();
+    pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0).unwrap();
+    let r = pta.run_trace().unwrap();
+    assert_eq!(r.errors, 0);
+    assert_comps_converged(&pta);
+    assert_options_converged(&pta);
+    assert!(r.recompute_count > 0);
+}

@@ -1,0 +1,308 @@
+//! Compiled rule definitions and the rule catalog.
+
+use crate::error::{Result, RuleError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_sql::ast::{BindableQuery, CreateRule, Event};
+
+/// A rule after validation, ready for commit-time processing.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Rule name.
+    pub name: String,
+    /// Table the rule is defined on (lower-cased).
+    pub table: String,
+    /// Triggering events.
+    pub events: Vec<Event>,
+    /// Condition queries (true iff every query returns ≥ 1 row; vacuously
+    /// true when empty).
+    pub condition: Vec<BindableQuery>,
+    /// Evaluate-clause queries (run only when the condition holds; used to
+    /// pass additional bound tables to the action).
+    pub evaluate: Vec<BindableQuery>,
+    /// User function executed by the action transaction.
+    pub execute: String,
+    /// `None` = not unique; `Some([])` = coarse unique; `Some(cols)` =
+    /// unique on the named bound-table columns.
+    pub unique: Option<Vec<String>>,
+    /// Release delay in microseconds.
+    pub after_us: u64,
+}
+
+impl CompiledRule {
+    /// Validate and compile an AST rule definition.
+    pub fn compile(ast: &CreateRule) -> Result<CompiledRule> {
+        if ast.events.is_empty() {
+            return Err(RuleError::Definition(format!(
+                "rule `{}` has no triggering events",
+                ast.name
+            )));
+        }
+        if let Some(cols) = &ast.unique {
+            // Unique columns must be named somewhere in the bound tables'
+            // select lists; full verification happens when the first firing
+            // produces the bound tables, but catch the obvious case where
+            // the rule binds nothing at all.
+            if !cols.is_empty()
+                && ast.condition.iter().chain(&ast.evaluate).all(|q| q.bind_as.is_none())
+            {
+                return Err(RuleError::Definition(format!(
+                    "rule `{}` is unique on columns but binds no tables",
+                    ast.name
+                )));
+            }
+        }
+        // Duplicate bind names within one rule are definition errors.
+        let mut names: Vec<&str> = ast
+            .condition
+            .iter()
+            .chain(&ast.evaluate)
+            .filter_map(|q| q.bind_as.as_deref())
+            .collect();
+        names.sort();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(RuleError::Definition(format!(
+                "rule `{}` binds the same table name twice",
+                ast.name
+            )));
+        }
+        Ok(CompiledRule {
+            name: ast.name.to_ascii_lowercase(),
+            table: ast.table.to_ascii_lowercase(),
+            events: ast.events.clone(),
+            condition: ast.condition.clone(),
+            evaluate: ast.evaluate.clone(),
+            execute: ast.execute.to_ascii_lowercase(),
+            unique: ast.unique.clone(),
+            after_us: ast.after_us,
+        })
+    }
+
+    /// Does this rule's transition predicate match the given event kinds?
+    /// `updated_any` lists, for update events, whether any of the rule's
+    /// named columns changed (pre-computed by the caller per column set).
+    pub fn wants_inserted(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::Inserted))
+    }
+
+    /// True if the rule triggers on deletes.
+    pub fn wants_deleted(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::Deleted))
+    }
+
+    /// The column restrictions of `updated` events: `None` entry = any
+    /// column.
+    pub fn updated_filters(&self) -> Vec<Option<&[String]>> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Updated(cols) if cols.is_empty() => Some(None),
+                Event::Updated(cols) => Some(Some(cols.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The rule catalog: rules indexed by name and by table, plus the per-user-
+/// function uniqueness registry (a function's unique spec is fixed by the
+/// first rule that executes it; the paper requires all rules sharing a
+/// function to define bound tables identically, and we additionally pin the
+/// unique spec).
+#[derive(Debug, Default)]
+pub struct RuleCatalog {
+    by_name: HashMap<String, Arc<CompiledRule>>,
+    by_table: HashMap<String, Vec<Arc<CompiledRule>>>,
+    fn_unique: HashMap<String, Option<Vec<String>>>,
+    /// Deactivated rules (paper §7.1 discusses rule deactivation as the
+    /// workaround other systems need; STRIP has it as a plain convenience).
+    disabled: std::collections::HashSet<String>,
+}
+
+impl RuleCatalog {
+    /// New empty catalog.
+    pub fn new() -> RuleCatalog {
+        RuleCatalog::default()
+    }
+
+    /// Register a rule.
+    pub fn add(&mut self, rule: CompiledRule) -> Result<Arc<CompiledRule>> {
+        if self.by_name.contains_key(&rule.name) {
+            return Err(RuleError::Definition(format!(
+                "rule `{}` already exists",
+                rule.name
+            )));
+        }
+        match self.fn_unique.get(&rule.execute) {
+            Some(existing) if *existing != rule.unique => {
+                return Err(RuleError::Definition(format!(
+                    "rule `{}` executes `{}` with a different unique spec than an existing rule",
+                    rule.name, rule.execute
+                )));
+            }
+            Some(_) => {}
+            None => {
+                self.fn_unique
+                    .insert(rule.execute.clone(), rule.unique.clone());
+            }
+        }
+        let rule = Arc::new(rule);
+        self.by_name.insert(rule.name.clone(), rule.clone());
+        self.by_table
+            .entry(rule.table.clone())
+            .or_default()
+            .push(rule.clone());
+        Ok(rule)
+    }
+
+    /// Remove a rule by name.
+    pub fn remove(&mut self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.disabled.remove(&key);
+        let rule = self
+            .by_name
+            .remove(&key)
+            .ok_or_else(|| RuleError::Definition(format!("no such rule `{key}`")))?;
+        if let Some(v) = self.by_table.get_mut(&rule.table) {
+            v.retain(|r| r.name != key);
+        }
+        // Release the function's unique pin if no other rule uses it.
+        if !self.by_name.values().any(|r| r.execute == rule.execute) {
+            self.fn_unique.remove(&rule.execute);
+        }
+        Ok(())
+    }
+
+    /// Rules defined on `table`.
+    pub fn rules_on(&self, table: &str) -> &[Arc<CompiledRule>] {
+        self.by_table
+            .get(&table.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Rule by name.
+    pub fn rule(&self, name: &str) -> Option<&Arc<CompiledRule>> {
+        self.by_name.get(&name.to_ascii_lowercase())
+    }
+
+    /// Enable or disable a rule. Disabled rules stay defined but never
+    /// trigger.
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if !self.by_name.contains_key(&key) {
+            return Err(RuleError::Definition(format!("no such rule `{key}`")));
+        }
+        if enabled {
+            self.disabled.remove(&key);
+        } else {
+            self.disabled.insert(key);
+        }
+        Ok(())
+    }
+
+    /// Is the rule currently enabled?
+    pub fn is_enabled(&self, name: &str) -> bool {
+        !self.disabled.contains(&name.to_ascii_lowercase())
+    }
+
+    /// All rule names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_name.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strip_sql::parse_statement;
+    use strip_sql::Statement;
+
+    fn compile(sql: &str) -> Result<CompiledRule> {
+        let Statement::CreateRule(ast) = parse_statement(sql).unwrap() else {
+            panic!("not a rule")
+        };
+        CompiledRule::compile(&ast)
+    }
+
+    #[test]
+    fn compiles_paper_rule() {
+        let r = compile(
+            "create rule do_comps3 on stocks when updated price \
+             if select comp from comps_list, new where comps_list.symbol = new.symbol \
+             bind as matches \
+             then execute compute_comps3 unique on comp after 1.0 seconds",
+        )
+        .unwrap();
+        assert_eq!(r.table, "stocks");
+        assert_eq!(r.unique, Some(vec!["comp".to_string()]));
+        assert_eq!(r.after_us, 1_000_000);
+        assert_eq!(r.updated_filters(), vec![Some(&["price".to_string()][..])]);
+    }
+
+    #[test]
+    fn unique_on_columns_requires_binding() {
+        let e = compile(
+            "create rule r on t when updated then execute f unique on comp",
+        );
+        assert!(e.is_err());
+        // Coarse unique without binding is fine.
+        compile("create rule r on t when updated then execute f unique").unwrap();
+    }
+
+    #[test]
+    fn duplicate_bind_names_rejected() {
+        let e = compile(
+            "create rule r on t when inserted \
+             if select * from inserted bind as m \
+             then evaluate select * from inserted bind as m \
+             execute f",
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn catalog_add_lookup_remove() {
+        let mut cat = RuleCatalog::new();
+        let r = compile("create rule r1 on stocks when updated then execute f unique").unwrap();
+        cat.add(r).unwrap();
+        assert_eq!(cat.rules_on("STOCKS").len(), 1);
+        assert!(cat.rule("R1").is_some());
+        assert_eq!(cat.names(), vec!["r1".to_string()]);
+        cat.remove("r1").unwrap();
+        assert!(cat.rules_on("stocks").is_empty());
+        assert!(cat.remove("r1").is_err());
+    }
+
+    #[test]
+    fn duplicate_rule_name_rejected() {
+        let mut cat = RuleCatalog::new();
+        cat.add(compile("create rule r on t when inserted then execute f").unwrap())
+            .unwrap();
+        assert!(cat
+            .add(compile("create rule r on u when deleted then execute g").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn function_unique_spec_is_pinned() {
+        let mut cat = RuleCatalog::new();
+        cat.add(compile("create rule r1 on t when inserted then execute f unique").unwrap())
+            .unwrap();
+        // Same function, same spec: ok (the paper explicitly allows multiple
+        // rules executing the same function).
+        cat.add(compile("create rule r2 on u when deleted then execute f unique").unwrap())
+            .unwrap();
+        // Different spec: rejected.
+        assert!(cat
+            .add(compile("create rule r3 on v when inserted then execute f").unwrap())
+            .is_err());
+        // Removing both rules releases the pin.
+        cat.remove("r1").unwrap();
+        cat.remove("r2").unwrap();
+        cat.add(compile("create rule r3 on v when inserted then execute f").unwrap())
+            .unwrap();
+    }
+}

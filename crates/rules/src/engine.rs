@@ -1,0 +1,412 @@
+//! Commit-time rule processing (paper §6.3).
+//!
+//! "Rule processing in STRIP occurs at the end of a transaction. At this
+//! time, the transaction's log is scanned to see which events have occurred,
+//! and hence which rules have been triggered. If a rule is triggered, its
+//! transition tables are built during the log pass. After the pass through
+//! the log, each triggered rule is considered in turn. First, its condition
+//! is checked. If the results are to be bound, a temporary table is built.
+//! If the condition evaluates to true, any other queries in the evaluate
+//! clause are computed and bound as well. Finally a task is created to
+//! perform the rule action."
+//!
+//! The engine is executor-agnostic: it reports the actions to spawn through
+//! a callback; `strip-core` wraps them into [`strip_txn::Task`]s.
+
+use crate::def::{CompiledRule, RuleCatalog};
+use crate::error::{Result, RuleError};
+use crate::transition::{any_column_updated, build_transition_tables, TransitionTables};
+use crate::unique::{ActionPayload, Dispatch, UniqueManager};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_sql::ast::BindableQuery;
+use strip_sql::exec::{execute_query, execute_query_bound, Env, Rel};
+use strip_sql::expr::ScalarFn;
+use strip_storage::{
+    ColumnSource, DataType, Meter, Op, RowId, Schema, SchemaRef, StaticMap, TempTable, Value,
+};
+use strip_txn::TxnLog;
+
+/// An action transaction to enqueue, reported by
+/// [`RuleEngine::process_commit`].
+pub struct SpawnAction {
+    /// The triggering rule.
+    pub rule: String,
+    /// The user function to run.
+    pub func: String,
+    /// The shared control-block payload (bound tables inside).
+    pub payload: Arc<ActionPayload>,
+    /// Absolute release time in µs (commit time + `after` delay).
+    pub release_us: u64,
+}
+
+/// An [`Env`] overlay that resolves transition/bound tables before falling
+/// back to the base environment. Used both for condition evaluation (with
+/// `inserted`/`deleted`/`new`/`old`) and for user-function execution (with
+/// the action's bound tables).
+pub struct OverlayEnv<'a> {
+    base: &'a dyn Env,
+    overlay: &'a HashMap<String, Arc<TempTable>>,
+}
+
+impl<'a> OverlayEnv<'a> {
+    /// Wrap `base`, resolving names in `overlay` first.
+    pub fn new(base: &'a dyn Env, overlay: &'a HashMap<String, Arc<TempTable>>) -> OverlayEnv<'a> {
+        OverlayEnv { base, overlay }
+    }
+}
+
+impl Env for OverlayEnv<'_> {
+    fn meter(&self) -> &dyn Meter {
+        self.base.meter()
+    }
+
+    fn relation(&self, name: &str) -> Option<Rel> {
+        if let Some(t) = self.overlay.get(&name.to_ascii_lowercase()) {
+            return Some(Rel::Temp(t.clone()));
+        }
+        self.base.relation(name)
+    }
+
+    fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
+        self.base.scalar_fn(name)
+    }
+
+    fn before_read(&self, table: &str) -> strip_sql::Result<()> {
+        self.base.before_read(table)
+    }
+
+    fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
+        self.base.dml_insert(table, row)
+    }
+
+    fn dml_update(&self, table: &str, id: RowId, new: Vec<Value>) -> strip_sql::Result<()> {
+        self.base.dml_update(table, id, new)
+    }
+
+    fn dml_delete(&self, table: &str, id: RowId) -> strip_sql::Result<()> {
+        self.base.dml_delete(table, id)
+    }
+}
+
+/// The rule engine: catalog + unique-transaction manager.
+#[derive(Default)]
+pub struct RuleEngine {
+    catalog: RwLock<RuleCatalog>,
+    unique: UniqueManager,
+}
+
+impl RuleEngine {
+    /// New empty engine.
+    pub fn new() -> RuleEngine {
+        RuleEngine::default()
+    }
+
+    /// Define a rule (already compiled).
+    pub fn add_rule(&self, rule: CompiledRule) -> Result<()> {
+        if rule.unique.is_some() {
+            // §6.3: the unique hash table is created when the first rule
+            // that executes the transaction is defined.
+            self.unique.register_function(&rule.execute);
+        }
+        self.catalog.write().add(rule)?;
+        Ok(())
+    }
+
+    /// Drop a rule by name.
+    pub fn drop_rule(&self, name: &str) -> Result<()> {
+        self.catalog.write().remove(name)
+    }
+
+    /// Enable or disable a rule without dropping it (§7.1 "deactivation").
+    pub fn set_rule_enabled(&self, name: &str, enabled: bool) -> Result<()> {
+        self.catalog.write().set_enabled(name, enabled)
+    }
+
+    /// Is the rule enabled?
+    pub fn rule_enabled(&self, name: &str) -> bool {
+        self.catalog.read().is_enabled(name)
+    }
+
+    /// All rule names.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.catalog.read().names()
+    }
+
+    /// Rule by name.
+    pub fn rule(&self, name: &str) -> Option<Arc<CompiledRule>> {
+        self.catalog.read().rule(name).cloned()
+    }
+
+    /// The unique manager (for action startup and diagnostics).
+    pub fn unique(&self) -> &UniqueManager {
+        &self.unique
+    }
+
+    /// Mark an action payload as started: fixes its bound tables and removes
+    /// the pending-hash entry (§6.3). Call as the action task's first step.
+    pub fn begin_action(&self, payload: &Arc<ActionPayload>, meter: &dyn Meter) {
+        self.unique.begin_action(payload, meter);
+    }
+
+    /// Process a committing transaction's log: detect events, evaluate
+    /// triggered rules' conditions, build bound tables, and dispatch action
+    /// transactions. `spawn` is called once per action transaction to
+    /// enqueue (merged firings don't spawn).
+    ///
+    /// `env` must resolve the base tables; transition tables are overlaid
+    /// internally. `commit_us` is the triggering transaction's commit time.
+    pub fn process_commit(
+        &self,
+        env: &dyn Env,
+        log: &TxnLog,
+        commit_us: u64,
+        spawn: &mut dyn FnMut(SpawnAction),
+    ) -> Result<()> {
+        if log.is_empty() {
+            return Ok(());
+        }
+        let meter = env.meter();
+
+        // Which tables changed? (single log pass; §6.3)
+        let mut touched: Vec<&str> = Vec::new();
+        for e in log.entries() {
+            if !touched.contains(&e.table()) {
+                touched.push(e.table());
+            }
+        }
+
+        let catalog = self.catalog.read();
+        // Transition tables are built at most once per touched table and
+        // shared by all rules on it.
+        let mut transitions: HashMap<String, TransitionTables> = HashMap::new();
+
+        for table in touched {
+            let rules = catalog.rules_on(table);
+            if rules.is_empty() {
+                continue;
+            }
+            for rule in rules {
+                if !catalog.is_enabled(&rule.name) {
+                    continue;
+                }
+                meter.charge(Op::RuleCheck, 1);
+                if !self.rule_triggered(rule, log, env, table)? {
+                    continue;
+                }
+                // Build (or reuse) transition tables for this table.
+                if !transitions.contains_key(table) {
+                    let schema = base_schema(env, table)?;
+                    let tt = build_transition_tables(log, table, &schema, meter)?;
+                    transitions.insert(table.to_string(), tt);
+                }
+                let tt = &transitions[table];
+                let overlay = transition_overlay(tt);
+                let rule_env = OverlayEnv::new(env, &overlay);
+
+                // Condition: every query must return ≥ 1 row.
+                let mut bound: HashMap<String, TempTable> = HashMap::new();
+                let mut condition_holds = true;
+                for bq in &rule.condition {
+                    if !run_bindable(&rule_env, bq, commit_us, &mut bound)? {
+                        condition_holds = false;
+                        break;
+                    }
+                }
+                if !condition_holds {
+                    continue;
+                }
+                // Evaluate clause: results only passed to the action.
+                for bq in &rule.evaluate {
+                    run_bindable(&rule_env, bq, commit_us, &mut bound)?;
+                }
+
+                let release_us = commit_us + rule.after_us;
+                match &rule.unique {
+                    None => {
+                        let payload = self.unique.dispatch_non_unique(&rule.execute, bound);
+                        spawn(SpawnAction {
+                            rule: rule.name.clone(),
+                            func: rule.execute.clone(),
+                            payload,
+                            release_us,
+                        });
+                    }
+                    Some(cols) => {
+                        for d in self.unique.dispatch_unique(&rule.execute, cols, bound, meter)? {
+                            if let Dispatch::New(payload) = d {
+                                spawn(SpawnAction {
+                                    rule: rule.name.clone(),
+                                    func: rule.execute.clone(),
+                                    payload,
+                                    release_us,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the rule's transition predicate match this transaction's events?
+    fn rule_triggered(
+        &self,
+        rule: &CompiledRule,
+        log: &TxnLog,
+        env: &dyn Env,
+        table: &str,
+    ) -> Result<bool> {
+        let has_insert = log
+            .entries()
+            .iter()
+            .any(|e| e.table() == table && matches!(e, strip_txn::LogEntry::Insert { .. }));
+        let has_delete = log
+            .entries()
+            .iter()
+            .any(|e| e.table() == table && matches!(e, strip_txn::LogEntry::Delete { .. }));
+        if rule.wants_inserted() && has_insert {
+            return Ok(true);
+        }
+        if rule.wants_deleted() && has_delete {
+            return Ok(true);
+        }
+        let filters = rule.updated_filters();
+        if !filters.is_empty() {
+            let schema = base_schema(env, table)?;
+            for f in filters {
+                let cols: &[String] = f.unwrap_or(&[]);
+                if any_column_updated(log, table, &schema, cols) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn base_schema(env: &dyn Env, table: &str) -> Result<SchemaRef> {
+    env.relation(table)
+        .map(|r| r.schema())
+        .ok_or_else(|| RuleError::Definition(format!("rule table `{table}` does not exist")))
+}
+
+fn transition_overlay(tt: &TransitionTables) -> HashMap<String, Arc<TempTable>> {
+    let mut m = HashMap::with_capacity(4);
+    m.insert("inserted".to_string(), tt.inserted.clone());
+    m.insert("deleted".to_string(), tt.deleted.clone());
+    m.insert("old".to_string(), tt.old.clone());
+    m.insert("new".to_string(), tt.new.clone());
+    m
+}
+
+/// Run one condition/evaluate query. If it binds, the result (with the
+/// `commit_time` system column instantiated when requested) is added to
+/// `bound`. Returns whether the query produced at least one row.
+fn run_bindable(
+    env: &dyn Env,
+    bq: &BindableQuery,
+    commit_us: u64,
+    bound: &mut HashMap<String, TempTable>,
+) -> Result<bool> {
+    // `commit_time` handling (§2): a select item that is the bare column
+    // `commit_time` is stripped before execution and instantiated at
+    // bind-time with the triggering transaction's commit time.
+    let (query, commit_time_positions, append_ct) = extract_commit_time(&bq.query);
+
+    match &bq.bind_as {
+        Some(name) => {
+            let t = execute_query_bound(env, &query, &[], name)?;
+            let rows = t.len();
+            let t = if commit_time_positions.is_empty() {
+                t
+            } else {
+                add_commit_time_columns(&t, &commit_time_positions, append_ct, commit_us)?
+            };
+            bound.insert(name.to_ascii_lowercase(), t);
+            Ok(rows > 0)
+        }
+        None => {
+            let rs = execute_query(env, &query, &[])?;
+            Ok(!rs.is_empty())
+        }
+    }
+}
+
+/// Strip bare `commit_time` select items; return the rewritten query, the
+/// output positions where the column should be re-inserted, and whether the
+/// positions are unusable because wildcards expand to an unknown width (in
+/// which case the commit_time columns are appended at the end instead).
+fn extract_commit_time(q: &strip_sql::ast::Query) -> (strip_sql::ast::Query, Vec<usize>, bool) {
+    use strip_sql::ast::{Expr, SelectItem};
+    let mut positions = Vec::new();
+    let mut items = Vec::with_capacity(q.items.len());
+    let mut has_wildcard = false;
+    for (i, item) in q.items.iter().enumerate() {
+        let is_ct = match item {
+            SelectItem::Expr {
+                expr: Expr::Column { qualifier: None, name },
+                ..
+            } => name == "commit_time",
+            _ => false,
+        };
+        if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+            has_wildcard = true;
+        }
+        if is_ct {
+            positions.push(i);
+        } else {
+            items.push(item.clone());
+        }
+    }
+    let mut q2 = q.clone();
+    q2.items = items;
+    (q2, positions, has_wildcard)
+}
+
+/// Rebuild a bound table with `commit_time` timestamp columns inserted at
+/// the requested output positions.
+fn add_commit_time_columns(
+    t: &TempTable,
+    positions: &[usize],
+    append: bool,
+    commit_us: u64,
+) -> Result<TempTable> {
+    let old_schema = t.schema();
+    let old_sources = t.static_map().sources();
+    let total = old_schema.arity() + positions.len();
+    let mut columns = Vec::with_capacity(total);
+    let mut sources = Vec::with_capacity(total);
+    let mut extra_slot = t.static_map().n_slots();
+    let mut old_i = 0usize;
+    for out_i in 0..total {
+        let is_ct_slot = if append {
+            out_i >= old_schema.arity()
+        } else {
+            positions.contains(&out_i)
+        };
+        if is_ct_slot {
+            columns.push(strip_storage::Column::new("commit_time", DataType::Timestamp));
+            sources.push(ColumnSource::Slot(extra_slot));
+            extra_slot += 1;
+        } else {
+            let c = old_schema.column(old_i);
+            columns.push(c.clone());
+            sources.push(old_sources[old_i]);
+            old_i += 1;
+        }
+    }
+    let schema = Schema::new(columns)?.into_ref();
+    let map = StaticMap::new(sources)?;
+    let mut out = TempTable::new(t.name(), schema, map)?;
+    for tup in t.tuples() {
+        let mut slots = tup.slots().to_vec();
+        for _ in positions {
+            slots.push(Value::Timestamp(commit_us));
+        }
+        out.push(tup.ptrs().to_vec(), slots)?;
+    }
+    Ok(out)
+}

@@ -1,0 +1,58 @@
+//! Error type for the rule engine.
+
+use std::fmt;
+use strip_sql::SqlError;
+use strip_storage::StorageError;
+
+/// Errors from rule definition or commit-time processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// Invalid rule definition.
+    Definition(String),
+    /// Bound tables merged by the unique-transaction manager were not
+    /// defined identically (paper §2).
+    BoundTableMismatch(String),
+    /// Unique column missing from the bound tables.
+    UniqueColumn(String),
+    /// Error evaluating a condition/evaluate query.
+    Sql(SqlError),
+    /// Storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Definition(m) => write!(f, "rule definition error: {m}"),
+            RuleError::BoundTableMismatch(m) => write!(f, "bound-table mismatch: {m}"),
+            RuleError::UniqueColumn(m) => write!(f, "unique-column error: {m}"),
+            RuleError::Sql(e) => write!(f, "rule query error: {e}"),
+            RuleError::Storage(e) => write!(f, "rule storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuleError::Sql(e) => Some(e),
+            RuleError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for RuleError {
+    fn from(e: SqlError) -> Self {
+        RuleError::Sql(e)
+    }
+}
+
+impl From<StorageError> for RuleError {
+    fn from(e: StorageError) -> Self {
+        RuleError::Storage(e)
+    }
+}
+
+/// Result alias for the rules crate.
+pub type Result<T> = std::result::Result<T, RuleError>;

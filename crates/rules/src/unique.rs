@@ -1,0 +1,548 @@
+//! Unique transactions (paper §2, §6.3, Appendix A).
+//!
+//! "A transaction being unique means that at any given time there is at most
+//! one such transaction queued in the system to execute a particular user
+//! function. If a rule fires that would trigger another transaction with the
+//! same function, no new transaction is enqueued. Instead, the tuples of the
+//! bound tables of the new rule firing are appended to those of the bound
+//! tables of the currently enqueued transaction."
+//!
+//! With `unique on (columns)`, there is one pending transaction per distinct
+//! combination of the unique columns (Appendix A): bound tables containing
+//! unique columns are partitioned by value; bound tables without unique
+//! columns are passed whole to every partition's transaction.
+//!
+//! §6.3 implementation notes followed here: one hash table per unique user
+//! function mapping unique-column values to the pending transaction's
+//! control block; the table is created when the first rule executing the
+//! function is defined; an enqueued task removes its entry when it starts
+//! running, after which "its bound tables are fixed and any new rule firings
+//! will start a new transaction". Hash accesses are guarded by a lock (the
+//! paper uses spinlocks; we use a mutex).
+
+use crate::error::{Result, RuleError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_storage::{Meter, Op, TempTable, Value};
+
+/// The mutable state of a pending (or running) action transaction.
+#[derive(Debug)]
+pub struct PayloadState {
+    /// Bound tables by name.
+    pub bound: HashMap<String, TempTable>,
+    /// Once true, the task has started executing: bound tables are frozen
+    /// and no further rows may be appended (§2).
+    pub fixed: bool,
+    /// Number of rule firings merged into this payload (diagnostics).
+    pub merged_firings: u64,
+}
+
+/// The control-block payload shared between the task queued in the executor
+/// and the unique manager's hash table (the paper's TCB carries exactly
+/// this: bound-table schemas + data, the user function name, and the delay).
+#[derive(Debug)]
+pub struct ActionPayload {
+    /// User function to run.
+    pub func: String,
+    /// The unique-column values identifying this partition (empty for
+    /// coarse unique and for non-unique actions).
+    pub unique_key: Vec<Value>,
+    /// Shared mutable state.
+    pub state: Mutex<PayloadState>,
+}
+
+impl ActionPayload {
+    fn new(func: &str, unique_key: Vec<Value>, bound: HashMap<String, TempTable>) -> ActionPayload {
+        ActionPayload {
+            func: func.to_string(),
+            unique_key,
+            state: Mutex::new(PayloadState {
+                bound,
+                fixed: false,
+                merged_firings: 1,
+            }),
+        }
+    }
+
+    /// Snapshot the bound tables for execution (called by the action task
+    /// after the payload is fixed).
+    pub fn snapshot_bound(&self) -> HashMap<String, Arc<TempTable>> {
+        let st = self.state.lock();
+        st.bound
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::new(v.clone())))
+            .collect()
+    }
+}
+
+/// Result of dispatching one partition of a rule firing.
+pub enum Dispatch {
+    /// A new action transaction must be enqueued with this payload.
+    New(Arc<ActionPayload>),
+    /// The rows were appended to an already-queued transaction.
+    Merged,
+}
+
+#[derive(Debug, Default)]
+struct FnTable {
+    pending: HashMap<Vec<Value>, Arc<ActionPayload>>,
+}
+
+/// The unique-transaction manager.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use strip_rules::{Dispatch, UniqueManager};
+/// use strip_storage::{DataType, NullMeter, Schema, TempTable};
+///
+/// let um = UniqueManager::new();
+/// let mk = |rows: &[(&str, f64)]| {
+///     let schema = Schema::of(&[("comp", DataType::Str), ("d", DataType::Float)]);
+///     let mut t = TempTable::materialized("matches", schema.into_ref());
+///     for (c, d) in rows {
+///         t.push_row(vec![(*c).into(), (*d).into()]).unwrap();
+///     }
+///     HashMap::from([("matches".to_string(), t)])
+/// };
+/// // First firing creates a pending transaction per composite...
+/// let d1 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 1.0)]), &NullMeter).unwrap();
+/// assert!(matches!(d1[0], Dispatch::New(_)));
+/// // ...a second firing for the same composite merges instead.
+/// let d2 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 2.0)]), &NullMeter).unwrap();
+/// assert!(matches!(d2[0], Dispatch::Merged));
+/// assert_eq!(um.pending_count("f"), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct UniqueManager {
+    tables: Mutex<HashMap<String, FnTable>>,
+}
+
+impl UniqueManager {
+    /// New empty manager.
+    pub fn new() -> UniqueManager {
+        UniqueManager::default()
+    }
+
+    /// Create the hash table for a unique user function (§6.3: created when
+    /// the first rule that executes the transaction is defined). Idempotent.
+    pub fn register_function(&self, func: &str) {
+        self.tables
+            .lock()
+            .entry(func.to_ascii_lowercase())
+            .or_default();
+    }
+
+    /// Number of pending transactions for `func` (diagnostics).
+    pub fn pending_count(&self, func: &str) -> usize {
+        self.tables
+            .lock()
+            .get(&func.to_ascii_lowercase())
+            .map(|t| t.pending.len())
+            .unwrap_or(0)
+    }
+
+    /// Dispatch a non-unique firing: always a fresh payload, never registered.
+    pub fn dispatch_non_unique(
+        &self,
+        func: &str,
+        bound: HashMap<String, TempTable>,
+    ) -> Arc<ActionPayload> {
+        Arc::new(ActionPayload::new(func, Vec::new(), bound))
+    }
+
+    /// Dispatch a unique firing. `unique_cols` is the rule's `unique on`
+    /// list (empty = coarse batching). `bound` holds the firing's bound
+    /// tables. Returns one [`Dispatch`] per partition.
+    pub fn dispatch_unique(
+        &self,
+        func: &str,
+        unique_cols: &[String],
+        bound: HashMap<String, TempTable>,
+        meter: &dyn Meter,
+    ) -> Result<Vec<Dispatch>> {
+        let func = func.to_ascii_lowercase();
+        let partitions = partition_bound_tables_metered(unique_cols, bound, meter)?;
+        let mut tables = self.tables.lock();
+        let fn_table = tables.entry(func.clone()).or_default();
+        let mut out = Vec::with_capacity(partitions.len());
+        for (key, part) in partitions {
+            meter.charge(Op::UniqueHashOp, 1);
+            match fn_table.pending.get(&key) {
+                Some(existing) => {
+                    let mut st = existing.state.lock();
+                    if st.fixed {
+                        // The queued task started running between our lookup
+                        // and now (possible in pool mode): start a fresh one.
+                        drop(st);
+                        let payload = Arc::new(ActionPayload::new(&func, key.clone(), part));
+                        fn_table.pending.insert(key, payload.clone());
+                        out.push(Dispatch::New(payload));
+                        continue;
+                    }
+                    // Append each bound table (must be defined identically).
+                    for (name, table) in part {
+                        match st.bound.get_mut(&name) {
+                            Some(dst) => {
+                                meter.charge(Op::TempTupleBuild, table.len() as u64);
+                                dst.append_from(&table).map_err(|e| {
+                                    RuleError::BoundTableMismatch(e.to_string())
+                                })?;
+                            }
+                            None => {
+                                return Err(RuleError::BoundTableMismatch(format!(
+                                    "bound table `{name}` not present in pending transaction \
+                                     for `{func}`"
+                                )));
+                            }
+                        }
+                    }
+                    st.merged_firings += 1;
+                    out.push(Dispatch::Merged);
+                }
+                None => {
+                    let payload = Arc::new(ActionPayload::new(&func, key.clone(), part));
+                    fn_table.pending.insert(key, payload.clone());
+                    out.push(Dispatch::New(payload));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Called by the action task as its first step: fix the bound tables and
+    /// remove the hash-table entry so later firings start a new transaction.
+    pub fn begin_action(&self, payload: &Arc<ActionPayload>, meter: &dyn Meter) {
+        {
+            let mut st = payload.state.lock();
+            st.fixed = true;
+        }
+        let mut tables = self.tables.lock();
+        if let Some(fn_table) = tables.get_mut(&payload.func) {
+            meter.charge(Op::UniqueHashOp, 1);
+            // Only remove if the entry still points at this payload.
+            if let Some(cur) = fn_table.pending.get(&payload.unique_key) {
+                if Arc::ptr_eq(cur, payload) {
+                    fn_table.pending.remove(&payload.unique_key);
+                }
+            }
+        }
+    }
+}
+
+/// Appendix-A partitioning: split a firing's bound tables by the values of
+/// the unique columns.
+///
+/// * `T^u` = bound tables containing at least one unique column; the rest
+///   (`T^a`) are broadcast whole to every partition.
+/// * The distinct unique-column combinations are the projection of the
+///   cross product of `T^u` onto the unique columns; since tables are
+///   independent in the product, this is the cross product of each table's
+///   distinct value tuples over the unique columns it contains.
+/// * A row of a `T^u` table belongs to partition `v` iff its own unique
+///   columns agree with `v`.
+#[allow(clippy::type_complexity)]
+pub fn partition_bound_tables(
+    unique_cols: &[String],
+    bound: HashMap<String, TempTable>,
+) -> Result<Vec<(Vec<Value>, HashMap<String, TempTable>)>> {
+    partition_bound_tables_metered(unique_cols, bound, &strip_storage::NullMeter)
+}
+
+/// [`partition_bound_tables`] with per-row build work charged to `meter`.
+#[allow(clippy::type_complexity)]
+pub fn partition_bound_tables_metered(
+    unique_cols: &[String],
+    bound: HashMap<String, TempTable>,
+    meter: &dyn Meter,
+) -> Result<Vec<(Vec<Value>, HashMap<String, TempTable>)>> {
+    if unique_cols.is_empty() {
+        // Coarse unique: a single partition keyed by the empty tuple.
+        return Ok(vec![(Vec::new(), bound)]);
+    }
+
+    // Locate each unique column: (table name, column offset), in the order
+    // the columns were declared. Column names must be unique across bound
+    // tables (the paper assumes this in Appendix A).
+    let mut locations: Vec<(String, usize)> = Vec::with_capacity(unique_cols.len());
+    for uc in unique_cols {
+        let mut found: Option<(String, usize)> = None;
+        for (name, t) in &bound {
+            if let Some(off) = t.schema().index_of(uc) {
+                if found.is_some() {
+                    return Err(RuleError::UniqueColumn(format!(
+                        "unique column `{uc}` appears in multiple bound tables"
+                    )));
+                }
+                found = Some((name.clone(), off));
+            }
+        }
+        locations.push(found.ok_or_else(|| {
+            RuleError::UniqueColumn(format!(
+                "unique column `{uc}` not found in any bound table"
+            ))
+        })?);
+    }
+
+    // Group unique columns by table, preserving their position in the key.
+    let mut by_table: HashMap<String, Vec<(usize, usize)>> = HashMap::new(); // table -> [(key_pos, col_off)]
+    for (pos, (table, off)) in locations.iter().enumerate() {
+        by_table.entry(table.clone()).or_default().push((pos, *off));
+    }
+
+    // One pass per unique table: group row indices by that table's
+    // unique-value tuple, in first-seen order. This keeps dispatch linear
+    // in the bound-table size even when a firing produces thousands of
+    // partitions (the paper's `unique on option_symbol` observation).
+    type Groups = Vec<(Vec<Value>, Vec<usize>)>;
+    let mut table_groups: Vec<(String, Groups)> = Vec::new();
+    for (table, cols) in &by_table {
+        let t = &bound[table];
+        let mut order: Groups = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for i in 0..t.len() {
+            let tuple: Vec<Value> =
+                cols.iter().map(|(_, off)| t.value(i, *off).clone()).collect();
+            match index.get(&tuple) {
+                Some(&g) => order[g].1.push(i),
+                None => {
+                    index.insert(tuple.clone(), order.len());
+                    order.push((tuple, vec![i]));
+                }
+            }
+        }
+        table_groups.push((table.clone(), order));
+    }
+    // Stable order across runs.
+    table_groups.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Cross product over the tables' distinct tuples (usually one table).
+    let mut combos: Vec<Vec<(usize, usize)>> = vec![Vec::new()]; // (table_idx, group_idx)
+    for (ti, (_, groups)) in table_groups.iter().enumerate() {
+        let mut next = Vec::with_capacity(combos.len() * groups.len().max(1));
+        for prefix in &combos {
+            for gi in 0..groups.len() {
+                let mut c = prefix.clone();
+                c.push((ti, gi));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    if combos.len() == 1 && combos[0].is_empty() {
+        // A unique table had no rows: no partitions at all.
+        combos.clear();
+    }
+
+    let mut out = Vec::with_capacity(combos.len());
+    for combo in combos {
+        // Assemble the full key in declared unique-column order.
+        let mut key = vec![Value::Null; unique_cols.len()];
+        for &(ti, gi) in &combo {
+            let (table, groups) = &table_groups[ti];
+            let tuple = &groups[gi].0;
+            for (i, (key_pos, _)) in by_table[table].iter().enumerate() {
+                key[*key_pos] = tuple[i].clone();
+            }
+        }
+        // Build this partition's bound tables.
+        let mut part: HashMap<String, TempTable> = HashMap::with_capacity(bound.len());
+        for &(ti, gi) in &combo {
+            let (table, groups) = &table_groups[ti];
+            let t = &bound[table];
+            let mut filtered =
+                TempTable::new(table.clone(), t.schema().clone(), t.static_map().clone())?;
+            for &i in &groups[gi].1 {
+                meter.charge(Op::TempTupleBuild, 1);
+                let tup = &t.tuples()[i];
+                filtered.push(tup.ptrs().to_vec(), tup.slots().to_vec())?;
+            }
+            part.insert(table.clone(), filtered);
+        }
+        for (name, t) in &bound {
+            if !by_table.contains_key(name) {
+                // T^a: broadcast whole.
+                part.insert(name.clone(), t.clone());
+            }
+        }
+        out.push((key, part));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strip_storage::{DataType, NullMeter, Schema};
+
+    fn matches_table(rows: &[(&str, f64)]) -> TempTable {
+        let schema = Schema::of(&[("comp", DataType::Str), ("diff", DataType::Float)]).into_ref();
+        let mut t = TempTable::materialized("matches", schema);
+        for (c, d) in rows {
+            t.push_row(vec![(*c).into(), (*d).into()]).unwrap();
+        }
+        t
+    }
+
+    fn bound_with(rows: &[(&str, f64)]) -> HashMap<String, TempTable> {
+        let mut m = HashMap::new();
+        m.insert("matches".to_string(), matches_table(rows));
+        m
+    }
+
+    #[test]
+    fn coarse_unique_single_partition() {
+        let parts =
+            partition_bound_tables(&[], bound_with(&[("C1", 1.0), ("C2", 2.0)])).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].0.is_empty());
+        assert_eq!(parts[0].1["matches"].len(), 2);
+    }
+
+    #[test]
+    fn partition_by_single_column() {
+        let parts = partition_bound_tables(
+            &["comp".to_string()],
+            bound_with(&[("C1", 1.0), ("C2", 2.0), ("C1", 3.0)]),
+        )
+        .unwrap();
+        assert_eq!(parts.len(), 2);
+        let c1 = parts.iter().find(|(k, _)| k[0] == "C1".into()).unwrap();
+        assert_eq!(c1.1["matches"].len(), 2);
+        let c2 = parts.iter().find(|(k, _)| k[0] == "C2".into()).unwrap();
+        assert_eq!(c2.1["matches"].len(), 1);
+    }
+
+    #[test]
+    fn broadcast_table_passed_whole() {
+        let mut bound = bound_with(&[("C1", 1.0), ("C2", 2.0)]);
+        let aux_schema = Schema::of(&[("k", DataType::Int)]).into_ref();
+        let mut aux = TempTable::materialized("aux", aux_schema);
+        aux.push_row(vec![7i64.into()]).unwrap();
+        bound.insert("aux".to_string(), aux);
+        let parts = partition_bound_tables(&["comp".to_string()], bound).unwrap();
+        assert_eq!(parts.len(), 2);
+        for (_, p) in &parts {
+            assert_eq!(p["aux"].len(), 1, "T^a tables broadcast whole");
+        }
+    }
+
+    #[test]
+    fn missing_unique_column_is_error() {
+        let e = partition_bound_tables(&["nope".to_string()], bound_with(&[("C1", 1.0)]));
+        assert!(matches!(e, Err(RuleError::UniqueColumn(_))));
+    }
+
+    #[test]
+    fn empty_bound_table_yields_no_partitions() {
+        let parts = partition_bound_tables(&["comp".to_string()], bound_with(&[])).unwrap();
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn dispatch_merges_into_pending() {
+        let um = UniqueManager::new();
+        um.register_function("f");
+        // First firing: creates one pending transaction per composite.
+        let d1 = um
+            .dispatch_unique(
+                "f",
+                &["comp".to_string()],
+                bound_with(&[("C1", 1.0), ("C2", 2.0)]),
+                &NullMeter,
+            )
+            .unwrap();
+        assert_eq!(d1.len(), 2);
+        assert!(d1.iter().all(|d| matches!(d, Dispatch::New(_))));
+        assert_eq!(um.pending_count("f"), 2);
+
+        // Second firing for C1 merges; C3 is new.
+        let d2 = um
+            .dispatch_unique(
+                "f",
+                &["comp".to_string()],
+                bound_with(&[("C1", 5.0), ("C3", 9.0)]),
+                &NullMeter,
+            )
+            .unwrap();
+        assert_eq!(d2.len(), 2);
+        let merged = d2.iter().filter(|d| matches!(d, Dispatch::Merged)).count();
+        assert_eq!(merged, 1);
+        assert_eq!(um.pending_count("f"), 3);
+
+        // The pending C1 payload now holds both rows, in firing order.
+        let Dispatch::New(c1) = d1
+            .iter()
+            .find(|d| matches!(d, Dispatch::New(p) if p.unique_key == vec![Value::str("C1")]))
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        let st = c1.state.lock();
+        assert_eq!(st.bound["matches"].len(), 2);
+        assert_eq!(st.bound["matches"].value(0, 1).as_f64(), Some(1.0));
+        assert_eq!(st.bound["matches"].value(1, 1).as_f64(), Some(5.0));
+        assert_eq!(st.merged_firings, 2);
+    }
+
+    #[test]
+    fn begin_action_fixes_and_unregisters() {
+        let um = UniqueManager::new();
+        let d = um
+            .dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter)
+            .unwrap();
+        let Dispatch::New(p) = &d[0] else { panic!() };
+        assert_eq!(um.pending_count("f"), 1);
+        um.begin_action(p, &NullMeter);
+        assert_eq!(um.pending_count("f"), 0);
+        assert!(p.state.lock().fixed);
+
+        // After fixing, a new firing starts a NEW transaction (§2).
+        let d2 = um
+            .dispatch_unique("f", &[], bound_with(&[("C2", 2.0)]), &NullMeter)
+            .unwrap();
+        assert!(matches!(d2[0], Dispatch::New(_)));
+        // And the old payload was not touched.
+        assert_eq!(p.state.lock().bound["matches"].len(), 1);
+    }
+
+    #[test]
+    fn merge_with_mismatched_schema_is_error() {
+        let um = UniqueManager::new();
+        um.dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter)
+            .unwrap();
+        // A firing with a differently-defined `matches`.
+        let other_schema = Schema::of(&[("comp", DataType::Str)]).into_ref();
+        let mut bad = HashMap::new();
+        let mut t = TempTable::materialized("matches", other_schema);
+        t.push_row(vec!["C1".into()]).unwrap();
+        bad.insert("matches".to_string(), t);
+        let e = um.dispatch_unique("f", &[], bad, &NullMeter);
+        assert!(matches!(e, Err(RuleError::BoundTableMismatch(_))));
+    }
+
+    #[test]
+    fn multi_column_unique_key() {
+        let schema = Schema::of(&[
+            ("a", DataType::Str),
+            ("b", DataType::Int),
+            ("x", DataType::Float),
+        ])
+        .into_ref();
+        let mut t = TempTable::materialized("m", schema);
+        t.push_row(vec!["p".into(), 1i64.into(), 0.1.into()]).unwrap();
+        t.push_row(vec!["p".into(), 2i64.into(), 0.2.into()]).unwrap();
+        t.push_row(vec!["q".into(), 1i64.into(), 0.3.into()]).unwrap();
+        t.push_row(vec!["p".into(), 1i64.into(), 0.4.into()]).unwrap();
+        let mut bound = HashMap::new();
+        bound.insert("m".to_string(), t);
+        let parts =
+            partition_bound_tables(&["a".to_string(), "b".to_string()], bound).unwrap();
+        assert_eq!(parts.len(), 3);
+        let p1 = parts
+            .iter()
+            .find(|(k, _)| k == &vec![Value::str("p"), Value::Int(1)])
+            .unwrap();
+        assert_eq!(p1.1["m"].len(), 2);
+    }
+}

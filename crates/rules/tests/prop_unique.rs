@@ -1,0 +1,146 @@
+//! Property-based test: the optimized single-pass partitioner equals a
+//! naive transcription of Appendix A, and dispatch/merge preserves every
+//! row exactly once.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use strip_rules::unique::{partition_bound_tables, Dispatch, UniqueManager};
+use strip_storage::{DataType, NullMeter, Schema, TempTable, Value};
+
+/// A bound table of (a: str, b: int, x: float) rows.
+fn bound_from(rows: &[(u8, i64, f64)]) -> HashMap<String, TempTable> {
+    let schema = Schema::of(&[
+        ("a", DataType::Str),
+        ("b", DataType::Int),
+        ("x", DataType::Float),
+    ])
+    .into_ref();
+    let mut t = TempTable::materialized("m", schema);
+    for (a, b, x) in rows {
+        t.push_row(vec![format!("k{a}").into(), (*b).into(), (*x).into()])
+            .unwrap();
+    }
+    let mut m = HashMap::new();
+    m.insert("m".to_string(), t);
+    m
+}
+
+/// A row of the test's bound table.
+type Row = (u8, i64, f64);
+/// Key extractor for the reference partitioner.
+type KeyFn = fn(&Row) -> Vec<Value>;
+
+/// Naive Appendix-A reference for a single bound table: distinct key
+/// combinations present in the table, each with the rows whose key columns
+/// match.
+fn reference_partition(rows: &[Row], key: KeyFn) -> Vec<(Vec<Value>, Vec<Row>)> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<(u8, i64, f64)>> = HashMap::new();
+    for r in rows {
+        let k = key(r);
+        if !groups.contains_key(&k) {
+            order.push(k.clone());
+        }
+        groups.entry(k).or_default().push(*r);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let v = groups.remove(&k).unwrap();
+            (k, v)
+        })
+        .collect()
+}
+
+fn rows_of(t: &TempTable) -> Vec<(u8, i64, f64)> {
+    (0..t.len())
+        .map(|i| {
+            let a = t.value(i, 0).as_str().unwrap()[1..].parse::<u8>().unwrap();
+            (
+                a,
+                t.value(i, 1).as_i64().unwrap(),
+                t.value(i, 2).as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn partition_matches_appendix_a_reference(
+        rows in proptest::collection::vec((0..4u8, 0..3i64, -10.0..10.0f64), 0..40),
+        key_choice in 0..3usize,
+    ) {
+        let (cols, key): (Vec<String>, KeyFn) = match key_choice {
+            0 => (vec!["a".into()], |r| vec![Value::str(format!("k{}", r.0))]),
+            1 => (vec!["b".into()], |r| vec![Value::Int(r.1)]),
+            _ => (
+                vec!["a".into(), "b".into()],
+                |r| vec![Value::str(format!("k{}", r.0)), Value::Int(r.1)],
+            ),
+        };
+        let got = partition_bound_tables(&cols, bound_from(&rows)).unwrap();
+        let want = reference_partition(&rows, key);
+
+        prop_assert_eq!(got.len(), want.len());
+        // Same keys, same rows per key (row order within a partition must
+        // preserve the original order — the paper guarantees firing order).
+        let got_map: HashMap<Vec<Value>, Vec<(u8, i64, f64)>> = got
+            .into_iter()
+            .map(|(k, mut part)| (k, rows_of(&part.remove("m").unwrap())))
+            .collect();
+        for (k, rows) in want {
+            let got_rows = got_map.get(&k).ok_or_else(|| {
+                TestCaseError::fail(format!("missing partition {k:?}"))
+            })?;
+            prop_assert_eq!(got_rows, &rows);
+        }
+    }
+
+    #[test]
+    fn coarse_partition_is_identity(
+        rows in proptest::collection::vec((0..4u8, 0..3i64, -10.0..10.0f64), 0..30),
+    ) {
+        let got = partition_bound_tables(&[], bound_from(&rows)).unwrap();
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(rows_of(&got[0].1["m"]), rows);
+    }
+
+    #[test]
+    fn dispatch_preserves_every_row_exactly_once(
+        firings in proptest::collection::vec(
+            proptest::collection::vec((0..4u8, 0..3i64, -10.0..10.0f64), 1..10),
+            1..10,
+        ),
+    ) {
+        // Fire repeatedly without running any action: every input row must
+        // end up in exactly one pending payload, in firing order per key.
+        let um = UniqueManager::new();
+        let mut new_payloads = Vec::new();
+        for rows in &firings {
+            for d in um
+                .dispatch_unique("f", &["a".to_string()], bound_from(rows), &NullMeter)
+                .unwrap()
+            {
+                if let Dispatch::New(p) = d {
+                    new_payloads.push(p);
+                }
+            }
+        }
+        // Collect all rows across pending payloads.
+        let mut got: Vec<(u8, i64, f64)> = Vec::new();
+        for p in &new_payloads {
+            let st = p.state.lock();
+            got.extend(rows_of(&st.bound["m"]));
+        }
+        let mut want: Vec<(u8, i64, f64)> =
+            firings.iter().flatten().copied().collect();
+        got.sort_by(|l, r| l.partial_cmp(r).unwrap());
+        want.sort_by(|l, r| l.partial_cmp(r).unwrap());
+        prop_assert_eq!(got, want);
+        // Pending count equals the number of distinct keys seen.
+        let distinct: std::collections::HashSet<u8> =
+            firings.iter().flatten().map(|r| r.0).collect();
+        prop_assert_eq!(um.pending_count("f"), distinct.len());
+    }
+}

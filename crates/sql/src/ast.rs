@@ -1,0 +1,421 @@
+//! Abstract syntax tree for the STRIP SQL subset and rule DDL.
+//!
+//! The rule-definition grammar follows Figure 2 of the paper:
+//!
+//! ```text
+//! create rule rule-name on t-name
+//!    when transition-predicate
+//!        [ if condition ]
+//!    then
+//!        [ evaluate query-commalist ]
+//!        execute function-name
+//!        [ unique [on column-commalist] ]
+//!        [ after time-value ]
+//! ```
+
+use strip_storage::DataType;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    CreateView(CreateView),
+    CreateRule(CreateRule),
+    CreateTimer(CreateTimer),
+    DropTable { name: String },
+    DropRule { name: String },
+    DropTimer { name: String },
+    Select(Query),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+}
+
+/// `CREATE TABLE name (col type, ...)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, DataType)>,
+}
+
+/// `CREATE INDEX name ON table (column) [USING HASH | RBTREE]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    pub using_rbtree: bool,
+}
+
+/// `CREATE [MATERIALIZED] VIEW name AS query`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    pub name: String,
+    pub materialized: bool,
+    pub query: Query,
+}
+
+/// `CREATE TIMER name EVERY t SECONDS EXECUTE f [LIMIT n]` — periodic
+/// recomputation (the paper notes STRIP supports periodic recomputation,
+/// e.g. for `stock_stdev`; §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTimer {
+    pub name: String,
+    /// Firing interval in microseconds.
+    pub every_us: u64,
+    /// User function run on each firing.
+    pub execute: String,
+    /// Maximum number of firings; `None` = forever.
+    pub limit: Option<u64>,
+}
+
+/// The triggering events of a rule (`when` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    Inserted,
+    Deleted,
+    /// `updated` optionally restricted to specific columns.
+    Updated(Vec<String>),
+}
+
+/// `CREATE RULE` — Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateRule {
+    pub name: String,
+    /// The table the rule is defined on (`on t-name`).
+    pub table: String,
+    /// Transition predicate: one to three events.
+    pub events: Vec<Event>,
+    /// `if` condition: queries, each optionally bound. Condition is true iff
+    /// every query returns at least one row (vacuously true when empty).
+    pub condition: Vec<BindableQuery>,
+    /// `evaluate` queries: run only if the condition holds; used solely to
+    /// pass bound tables to the action.
+    pub evaluate: Vec<BindableQuery>,
+    /// Name of the user function run by the action transaction.
+    pub execute: String,
+    /// `unique` / `unique on (cols)`: `None` = not unique; `Some(vec![])` =
+    /// coarse batching; `Some(cols)` = batch per distinct value combination.
+    pub unique: Option<Vec<String>>,
+    /// Release delay in virtual microseconds (`after x seconds`).
+    pub after_us: u64,
+}
+
+/// A query optionally bound as a named table (`... bind as name`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindableQuery {
+    pub query: Query,
+    pub bind_as: Option<String>,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT` deduplicates output rows.
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    /// `HAVING` filter over grouped output.
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, bool)>, // (expr, descending)
+    pub limit: Option<u64>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS name]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in `FROM`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    /// Alias; defaults to the table name.
+    pub alias: String,
+}
+
+/// `INSERT INTO t [ (cols) ] VALUES (...), ... | SELECT ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+}
+
+/// The rows being inserted.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Query is big; InsertSource is never stored in bulk
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Query),
+}
+
+/// `UPDATE t SET assignments [WHERE expr]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<Assignment>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `col = expr` or the paper's increment form `col += expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub column: String,
+    pub expr: Expr,
+    /// True for `+=` (the paper's `set price += composite_change`).
+    pub increment: bool,
+}
+
+/// `DELETE FROM t [WHERE expr]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Parser precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+
+    /// SQL spelling for display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+    /// Population variance.
+    Var,
+    /// Population standard deviation (what `stock_stdev` holds, §3).
+    Stddev,
+}
+
+impl AggFunc {
+    /// Parse by (lower-cased) name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "sum" => AggFunc::Sum,
+            "count" => AggFunc::Count,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "var" | "variance" => AggFunc::Var,
+            "stddev" | "stdev" => AggFunc::Stddev,
+            _ => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Var => "var",
+            AggFunc::Stddev => "stddev",
+        }
+    }
+}
+
+/// Scalar-valued expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `NULL` literal.
+    NullLit,
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// String literal.
+    StrLit(String),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Column reference, optionally qualified: `price` or `new.price`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// `?` positional parameter (0-based position assigned by the parser).
+    Param(usize),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// Aggregate call; `None` argument means `count(*)`.
+    Aggregate { func: AggFunc, arg: Option<Box<Expr>> },
+    /// Registered scalar function call, e.g. `f_bs(price, strike, ...)`.
+    Call { name: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a qualified column.
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    /// True if this expression (transitively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Call { args, .. } => args.iter().any(Expr::contains_aggregate),
+            _ => false,
+        }
+    }
+
+    /// Visit every column reference in the expression.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a Option<String>, &'a str)) {
+        match self {
+            Expr::Column { qualifier, name } => f(qualifier, name),
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::Neg(e) | Expr::Not(e) => e.visit_columns(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Aggregate { arg: Some(a), .. } => a.visit_columns(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(Expr::col("w")),
+            right: Box::new(Expr::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(Expr::col("x"))),
+            }),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn visit_columns_reaches_nested() {
+        let e = Expr::Call {
+            name: "f".into(),
+            args: vec![Expr::qcol("new", "price"), Expr::Neg(Box::new(Expr::col("w")))],
+        };
+        let mut seen = Vec::new();
+        e.visit_columns(&mut |q, n| seen.push((q.clone(), n.to_string())));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (Some("new".to_string()), "price".to_string()));
+        assert_eq!(seen[1], (None, "w".to_string()));
+    }
+
+    #[test]
+    fn agg_func_names_roundtrip() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Var,
+            AggFunc::Stddev,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the SQL layer.
+
+use std::fmt;
+use strip_storage::StorageError;
+
+/// Errors from lexing, parsing, analysis, or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error.
+    Lex(String),
+    /// Syntax error.
+    Parse(String),
+    /// Name-resolution / semantic error.
+    Analyze(String),
+    /// Runtime execution error.
+    Exec(String),
+    /// Error propagated from storage.
+    Storage(StorageError),
+}
+
+impl SqlError {
+    pub(crate) fn lex(msg: String) -> SqlError {
+        SqlError::Lex(msg)
+    }
+
+    /// Construct a parse error.
+    pub fn parse(msg: impl Into<String>) -> SqlError {
+        SqlError::Parse(msg.into())
+    }
+
+    /// Construct an analysis error.
+    pub fn analyze(msg: impl Into<String>) -> SqlError {
+        SqlError::Analyze(msg.into())
+    }
+
+    /// Construct an execution error.
+    pub fn exec(msg: impl Into<String>) -> SqlError {
+        SqlError::Exec(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lexical error: {m}"),
+            SqlError::Parse(m) => write!(f, "syntax error: {m}"),
+            SqlError::Analyze(m) => write!(f, "semantic error: {m}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Result alias for the SQL layer.
+pub type Result<T> = std::result::Result<T, SqlError>;

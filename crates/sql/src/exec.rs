@@ -1,0 +1,1670 @@
+//! Query and DML execution.
+//!
+//! The executor is a small volcano-style engine specialized for STRIP's
+//! workload: short selections and equi-joins between base tables (indexed)
+//! and tiny transition/bound tables, plus hash aggregation for the paper's
+//! `group by` recompute queries.
+//!
+//! Join planning is greedy: start from the smallest input, then repeatedly
+//! attach the table reachable through an equi-join predicate, preferring one
+//! with a usable index (`comps_list.symbol = new.symbol` probes the
+//! `comps_list` hash index once per `new` row instead of scanning 80 000
+//! rows per stock update — essential for the paper's update rates).
+//!
+//! ## Provenance and bound tables
+//!
+//! While joining, the executor tracks which `RecordRef` produced each FROM
+//! item's slice of the row. When a query result is bound (`bind as`), select
+//! items that are plain column references resolve into **pointer** columns of
+//! the output [`TempTable`] (the §6.1 scheme); computed items become
+//! materialized slots.
+//!
+//! ## Metering
+//!
+//! Read-side work is charged here (cursor open/fetch, index probes, temp
+//! tuple reads/builds, expression evaluation, aggregation rows). Write-side
+//! work (locks, tuple writes, index maintenance) is charged by the [`Env`]
+//! implementation, which routes DML through transaction bookkeeping.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::expr::{bind_expr, BExpr, Layout, LayoutCol, ScalarFn};
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_storage::{
+    ColumnSource, DataType, Meter, Op, RecordRef, RowId, Schema, SchemaRef, StaticMap, TempTable,
+    Value,
+};
+
+/// A readable relation.
+#[derive(Clone)]
+pub enum Rel {
+    /// A standard table from the catalog.
+    Standard(strip_storage::TableRef),
+    /// A temporary table (transition table, bound table, query result).
+    Temp(Arc<TempTable>),
+}
+
+impl Rel {
+    /// The relation's schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            Rel::Standard(t) => t.read().schema().clone(),
+            Rel::Temp(t) => t.schema().clone(),
+        }
+    }
+
+    /// Estimated (here: exact) row count.
+    pub fn len(&self) -> usize {
+        match self {
+            Rel::Standard(t) => t.read().len(),
+            Rel::Temp(t) => t.len(),
+        }
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The environment a statement executes in: relation resolution, scalar
+/// functions, metering, and DML hooks that route writes through transaction
+/// bookkeeping (locking, logging, index maintenance).
+pub trait Env {
+    /// Operation meter for cost accounting.
+    fn meter(&self) -> &dyn Meter;
+    /// Resolve a named relation (standard, transition, or bound table).
+    fn relation(&self, name: &str) -> Option<Rel>;
+    /// Resolve a registered scalar function.
+    fn scalar_fn(&self, name: &str) -> Option<ScalarFn>;
+    /// Called once before reading a standard table (S-lock acquisition).
+    fn before_read(&self, _table: &str) -> Result<()> {
+        Ok(())
+    }
+    /// Called before a statement that will write `table` reads it
+    /// (X-lock acquisition up front, preventing S→X upgrade deadlocks
+    /// between concurrent single-statement updates).
+    fn before_write(&self, _table: &str) -> Result<()> {
+        Ok(())
+    }
+    /// Insert a row (write-side charging + logging inside).
+    fn dml_insert(&self, table: &str, row: Vec<Value>) -> Result<()>;
+    /// Update a row to new values.
+    fn dml_update(&self, table: &str, id: RowId, new: Vec<Value>) -> Result<()>;
+    /// Delete a row.
+    fn dml_delete(&self, table: &str, id: RowId) -> Result<()>;
+}
+
+/// A fully-materialized query result.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output schema.
+    pub schema: SchemaRef,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at `(row, named column)`.
+    pub fn value(&self, row: usize, column: &str) -> Result<&Value> {
+        let c = self.schema.index_of_ok(column)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[c])
+            .ok_or_else(|| SqlError::exec(format!("row {row} out of range")))
+    }
+
+    /// First row's value in `column`, convenient for scalar lookups.
+    pub fn single(&self, column: &str) -> Result<&Value> {
+        if self.rows.is_empty() {
+            return Err(SqlError::exec("query returned no rows"));
+        }
+        self.value(0, column)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning structures
+// ---------------------------------------------------------------------------
+
+struct FromItemEx {
+    alias: String,
+    #[allow(dead_code)] // kept for diagnostics
+    name: String,
+    rel: Rel,
+    schema: SchemaRef,
+    est_rows: usize,
+    /// For each visible column: offset within the item's single backing
+    /// record, when the column can be served by a record pointer.
+    prov_offsets: Vec<Option<usize>>,
+    /// Whether the item can yield a `RecordRef` per row at all.
+    has_prov: bool,
+}
+
+fn make_item(env: &dyn Env, tref: &crate::ast::TableRef) -> Result<FromItemEx> {
+    let rel = env
+        .relation(&tref.table)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", tref.table)))?;
+    if let Rel::Standard(_) = rel {
+        env.before_read(&tref.table)?;
+    }
+    let schema = rel.schema();
+    let est_rows = rel.len();
+    let (prov_offsets, has_prov) = match &rel {
+        Rel::Standard(_) => ((0..schema.arity()).map(Some).collect(), true),
+        Rel::Temp(t) => {
+            let map = t.static_map();
+            if map.n_ptrs() == 1 {
+                (
+                    map.sources()
+                        .iter()
+                        .map(|s| match s {
+                            ColumnSource::Pointer { offset, .. } => Some(*offset),
+                            ColumnSource::Slot(_) => None,
+                        })
+                        .collect(),
+                    true,
+                )
+            } else {
+                // Zero or multiple backing records per tuple: no single
+                // provenance pointer; downstream bound tables materialize.
+                (vec![None; schema.arity()], false)
+            }
+        }
+    };
+    Ok(FromItemEx {
+        alias: tref.alias.to_ascii_lowercase(),
+        name: tref.table.to_ascii_lowercase(),
+        rel,
+        schema,
+        est_rows,
+        prov_offsets,
+        has_prov,
+    })
+}
+
+/// One row mid-join: concatenated values plus per-item provenance.
+#[derive(Clone)]
+struct JRow {
+    vals: Vec<Value>,
+    provs: Vec<Option<RecordRef>>,
+}
+
+fn build_layout(items: &[FromItemEx]) -> Layout {
+    let mut cols = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        for (j, c) in item.schema.columns().iter().enumerate() {
+            cols.push(LayoutCol {
+                qualifier: item.alias.clone(),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                item: i,
+                item_offset: j,
+            });
+        }
+    }
+    Layout { cols }
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn max_col_of(b: &BExpr) -> Option<usize> {
+    match b {
+        BExpr::Col(i) => Some(*i),
+        BExpr::IsNull { expr, .. } => max_col_of(expr),
+        BExpr::Neg(e) | BExpr::Not(e) => max_col_of(e),
+        BExpr::Binary { left, right, .. } => match (max_col_of(left), max_col_of(right)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        },
+        BExpr::Call { args, .. } => args.iter().filter_map(max_col_of).max(),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The join pipeline
+// ---------------------------------------------------------------------------
+
+/// Output of the join phase: the joined rows, the join-order layout, and the
+/// items in join order.
+struct Joined {
+    items: Vec<FromItemEx>,
+    layout: Layout,
+    rows: Vec<JRow>,
+}
+
+fn scan_item(env: &dyn Env, item: &FromItemEx) -> Vec<(Vec<Value>, Option<RecordRef>)> {
+    let m = env.meter();
+    m.charge(Op::OpenCursor, 1);
+    let out = match &item.rel {
+        Rel::Standard(t) => {
+            let t = t.read();
+            let mut v = Vec::with_capacity(t.len());
+            for (_, rec) in t.scan() {
+                v.push((rec.values().to_vec(), Some(rec.clone())));
+            }
+            m.charge(Op::FetchCursor, v.len() as u64);
+            v
+        }
+        Rel::Temp(t) => {
+            let mut v = Vec::with_capacity(t.len());
+            for i in 0..t.len() {
+                let rec = if item.has_prov && !t.tuples()[i].ptrs().is_empty() {
+                    Some(t.tuples()[i].ptrs()[0].clone())
+                } else {
+                    None
+                };
+                v.push((t.row_values(i), rec));
+            }
+            m.charge(Op::TempTupleRead, v.len() as u64);
+            v
+        }
+    };
+    m.charge(Op::CloseCursor, 1);
+    out
+}
+
+fn probe_item(
+    env: &dyn Env,
+    item: &FromItemEx,
+    column: usize,
+    key: &Value,
+) -> Option<Vec<(Vec<Value>, Option<RecordRef>)>> {
+    let Rel::Standard(t) = &item.rel else {
+        return None;
+    };
+    let t = t.read();
+    let ids = t.index_lookup(column, key)?;
+    let m = env.meter();
+    m.charge(Op::IndexProbe, 1);
+    m.charge(Op::FetchCursor, ids.len() as u64);
+    Some(
+        ids.into_iter()
+            .filter_map(|id| t.get(id).ok())
+            .map(|rec| (rec.values().to_vec(), Some(rec)))
+            .collect(),
+    )
+}
+
+fn item_has_index(item: &FromItemEx, column: usize) -> bool {
+    match &item.rel {
+        Rel::Standard(t) => t.read().index_on(column).is_some(),
+        Rel::Temp(_) => false,
+    }
+}
+
+/// Try to interpret a conjunct as `col = other-side` usable as an index
+/// probe into `target` (an item index in join order) given that all other
+/// referenced columns lie within `prefix_len`.
+struct ProbePlan {
+    /// Column offset within the target item to probe.
+    target_col: usize,
+    /// Key expression over the already-joined prefix row.
+    key: BExpr,
+}
+
+fn join_all(env: &dyn Env, query: &Query, params: &[Value]) -> Result<Joined> {
+    // Resolve FROM items in declaration order first.
+    let mut declared = Vec::with_capacity(query.from.len());
+    for tref in &query.from {
+        declared.push(make_item(env, tref)?);
+    }
+    if declared.is_empty() {
+        return Err(SqlError::analyze("query has no FROM items"));
+    }
+    // Duplicate alias check.
+    for (i, a) in declared.iter().enumerate() {
+        if declared[..i].iter().any(|b| b.alias == a.alias) {
+            return Err(SqlError::analyze(format!(
+                "duplicate table alias `{}`",
+                a.alias
+            )));
+        }
+    }
+
+    // Classify conjuncts using a layout over declaration order (names only;
+    // the BExpr binding happens later against join order).
+    let decl_layout = build_layout(&declared);
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &query.where_clause {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    // Which declared items does each conjunct touch?
+    let mut conj_items: Vec<Vec<usize>> = Vec::with_capacity(conjuncts.len());
+    for c in &conjuncts {
+        let mut items = Vec::new();
+        let mut err = None;
+        c.visit_columns(&mut |q, n| {
+            match decl_layout.resolve(q, n) {
+                Ok(i) => {
+                    let it = decl_layout.cols[i].item;
+                    if !items.contains(&it) {
+                        items.push(it);
+                    }
+                }
+                Err(e) => err = Some(e),
+            };
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        conj_items.push(items);
+    }
+
+    // Greedy join-order selection over declared item indices.
+    let n = declared.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bound = vec![false; n];
+    // Seed: smallest estimated input.
+    let seed = (0..n).min_by_key(|&i| declared[i].est_rows).unwrap();
+    order.push(seed);
+    bound[seed] = true;
+    while order.len() < n {
+        // Candidates joined to the bound set by an equi-join conjunct.
+        let mut best: Option<(usize, bool, usize)> = None; // (item, has_index, rows)
+        for (ci, c) in conjuncts.iter().enumerate() {
+            let items = &conj_items[ci];
+            if items.len() != 2 {
+                continue;
+            }
+            let (a, b) = (items[0], items[1]);
+            let target = match (bound[a], bound[b]) {
+                (true, false) => b,
+                (false, true) => a,
+                _ => continue,
+            };
+            // Does the conjunct give the target an indexable column?
+            let has_index = equi_join_target_col(c, &decl_layout, target)
+                .map(|col| item_has_index(&declared[target], col))
+                .unwrap_or(false);
+            let rows = declared[target].est_rows;
+            let better = match &best {
+                None => true,
+                Some((_, bi, br)) => (has_index, std::cmp::Reverse(rows)) > (*bi, std::cmp::Reverse(*br)),
+            };
+            if better {
+                best = Some((target, has_index, rows));
+            }
+        }
+        let next = match best {
+            Some((t, _, _)) => t,
+            // No join predicate reaches any unbound item: cartesian step
+            // with the smallest remaining input.
+            None => (0..n)
+                .filter(|&i| !bound[i])
+                .min_by_key(|&i| declared[i].est_rows)
+                .unwrap(),
+        };
+        order.push(next);
+        bound[next] = true;
+    }
+
+    // Re-arrange items into join order and build the final layout.
+    let mut items: Vec<FromItemEx> = Vec::with_capacity(n);
+    let mut decl_to_join = vec![0usize; n];
+    for (pos, &d) in order.iter().enumerate() {
+        decl_to_join[d] = pos;
+    }
+    // `order` holds declared indices in join order; move them.
+    let mut opt: Vec<Option<FromItemEx>> = declared.into_iter().map(Some).collect();
+    for &d in &order {
+        items.push(opt[d].take().expect("each item moved once"));
+    }
+    let layout = build_layout(&items);
+    let prefix_len: Vec<usize> = {
+        let mut v = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        v.push(0);
+        for it in &items {
+            acc += it.schema.arity();
+            v.push(acc);
+        }
+        v
+    };
+
+    // Bind all conjuncts against the join-order layout.
+    let fns = |name: &str| env.scalar_fn(name);
+    struct BoundConj {
+        expr: BExpr,
+        max_col: usize,
+        applied: bool,
+        ast: Expr,
+    }
+    let mut bconj = Vec::with_capacity(conjuncts.len());
+    for c in &conjuncts {
+        let b = bind_expr(c, &layout, &fns)?;
+        bconj.push(BoundConj {
+            max_col: max_col_of(&b).unwrap_or(0),
+            expr: b,
+            applied: false,
+            ast: c.clone(),
+        });
+    }
+
+    // Seed access path: prefer an index probe when some conjunct pins an
+    // indexed seed column to a constant (`where symbol = ?` point lookups
+    // must not scan the table).
+    let m = env.meter();
+    let mut seed_rows: Option<Vec<(Vec<Value>, Option<RecordRef>)>> = None;
+    for bc in bconj.iter_mut() {
+        if bc.applied {
+            continue;
+        }
+        if let Some(plan) = probe_plan_for(&bc.ast, &layout, 0, 0, &fns)? {
+            if item_has_index(&items[0], plan.target_col) {
+                let key = plan.key.eval(&[], params)?;
+                if let Some(hits) = probe_item(env, &items[0], plan.target_col, &key) {
+                    bc.applied = true;
+                    seed_rows = Some(hits);
+                    break;
+                }
+            }
+        }
+    }
+    let seed_rows = match seed_rows {
+        Some(r) => r,
+        None => scan_item(env, &items[0]),
+    };
+    let mut rows: Vec<JRow> = seed_rows
+        .into_iter()
+        .map(|(vals, prov)| {
+            let mut provs = vec![None; n];
+            provs[0] = prov;
+            JRow { vals, provs }
+        })
+        .collect();
+
+    // Apply conjuncts that fit the first prefix, then join remaining items.
+    let apply_fitting = |rows: &mut Vec<JRow>,
+                             bconj: &mut Vec<BoundConj>,
+                             upto: usize|
+     -> Result<()> {
+        for bc in bconj.iter_mut() {
+            if !bc.applied && bc.max_col < upto {
+                bc.applied = true;
+                let mut kept = Vec::with_capacity(rows.len());
+                for r in rows.drain(..) {
+                    m.charge(Op::EvalExpr, 1);
+                    if bc.expr.eval_bool(&r.vals, params)? {
+                        kept.push(r);
+                    }
+                }
+                *rows = kept;
+            }
+        }
+        Ok(())
+    };
+    apply_fitting(&mut rows, &mut bconj, prefix_len[1])?;
+
+    for k in 1..n {
+        let item = &items[k];
+        // Find an index-probe plan: an unapplied equi-join conjunct whose
+        // target is this item, key side within the prefix, and an index on
+        // the target column.
+        let mut probe: Option<(usize, ProbePlan)> = None;
+        for (ci, bc) in bconj.iter().enumerate() {
+            if bc.applied {
+                continue;
+            }
+            if let Some(plan) = probe_plan_for(&bc.ast, &layout, k, prefix_len[k], &fns)? {
+                if item_has_index(item, plan.target_col) {
+                    probe = Some((ci, plan));
+                    break;
+                }
+            }
+        }
+
+        let item_arity = item.schema.arity();
+        let mut next_rows = Vec::new();
+        match probe {
+            Some((ci, plan)) => {
+                bconj[ci].applied = true;
+                for r in &rows {
+                    m.charge(Op::EvalExpr, 1);
+                    let key = plan.key.eval(&r.vals, params)?;
+                    if let Some(matches) = probe_item(env, item, plan.target_col, &key) {
+                        for (vals, prov) in matches {
+                            let mut nr = r.clone();
+                            nr.vals.extend(vals);
+                            nr.provs[k] = prov;
+                            next_rows.push(nr);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Nested-loop join: materialize the inner once.
+                let inner = scan_item(env, item);
+                for r in &rows {
+                    for (vals, prov) in &inner {
+                        let mut nr = r.clone();
+                        nr.vals.extend(vals.iter().cloned());
+                        nr.provs[k] = prov.clone();
+                        next_rows.push(nr);
+                    }
+                }
+            }
+        }
+        let _ = item_arity;
+        rows = next_rows;
+        apply_fitting(&mut rows, &mut bconj, prefix_len[k + 1])?;
+    }
+
+    // All conjuncts must have been applied by now.
+    debug_assert!(bconj.iter().all(|b| b.applied));
+
+    Ok(Joined {
+        items,
+        layout,
+        rows,
+    })
+}
+
+/// If `e` is `colA = colB` (or `col = const/param expr`) where the column on
+/// one side belongs to item `target` (in join order) and the other side
+/// references only columns below `prefix`, return the probe plan.
+fn probe_plan_for(
+    e: &Expr,
+    layout: &Layout,
+    target: usize,
+    prefix: usize,
+    fns: &dyn Fn(&str) -> Option<ScalarFn>,
+) -> Result<Option<ProbePlan>> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return Ok(None);
+    };
+    for (a, b) in [(left, right), (right, left)] {
+        if let Expr::Column { qualifier, name } = a.as_ref() {
+            if let Ok(idx) = layout.resolve(qualifier, name) {
+                let lc = &layout.cols[idx];
+                if lc.item == target {
+                    // The other side must bind within the prefix.
+                    let key = match bind_expr(b, layout, fns) {
+                        Ok(k) => k,
+                        Err(_) => continue,
+                    };
+                    if max_col_of(&key).map(|c| c < prefix).unwrap_or(true) {
+                        return Ok(Some(ProbePlan {
+                            target_col: lc.item_offset,
+                            key,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Extract the target-side column offset of an equi-join conjunct, if any.
+fn equi_join_target_col(e: &Expr, layout: &Layout, target: usize) -> Option<usize> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
+    for side in [left, right] {
+        if let Expr::Column { qualifier, name } = side.as_ref() {
+            if let Ok(idx) = layout.resolve(qualifier, name) {
+                if layout.cols[idx].item == target {
+                    return Some(layout.cols[idx].item_offset);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Projection / aggregation
+// ---------------------------------------------------------------------------
+
+/// A select item after binding.
+enum OutCol {
+    /// Direct column passthrough: flat offset. Eligible for pointer-column
+    /// output in bound tables.
+    Passthrough { idx: usize, name: String },
+    /// Computed expression.
+    Computed { expr: BExpr, name: String, dtype: DataType },
+}
+
+fn expand_items(q: &Query, layout: &Layout) -> Result<Vec<(Expr, Option<String>)>> {
+    let mut out = Vec::new();
+    for item in &q.items {
+        match item {
+            SelectItem::Wildcard => {
+                for c in &layout.cols {
+                    out.push((
+                        Expr::Column {
+                            qualifier: Some(c.qualifier.clone()),
+                            name: c.name.clone(),
+                        },
+                        Some(c.name.clone()),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let ql = q.to_ascii_lowercase();
+                let mut any = false;
+                for c in layout.cols.iter().filter(|c| c.qualifier == ql) {
+                    any = true;
+                    out.push((
+                        Expr::Column {
+                            qualifier: Some(c.qualifier.clone()),
+                            name: c.name.clone(),
+                        },
+                        Some(c.name.clone()),
+                    ));
+                }
+                if !any {
+                    return Err(SqlError::analyze(format!("unknown alias `{q}` in `{q}.*`")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => out.push((expr.clone(), alias.clone())),
+        }
+    }
+    Ok(out)
+}
+
+fn default_name(e: &Expr, i: usize) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Aggregate { func, .. } => func.name().to_string(),
+        _ => format!("col{i}"),
+    }
+}
+
+fn bind_output(
+    q: &Query,
+    layout: &Layout,
+    fns: &dyn Fn(&str) -> Option<ScalarFn>,
+) -> Result<Vec<OutCol>> {
+    let items = expand_items(q, layout)?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, (e, alias)) in items.iter().enumerate() {
+        let name = alias.clone().unwrap_or_else(|| default_name(e, i));
+        let b = bind_expr(e, layout, fns)?;
+        match b {
+            BExpr::Col(idx) => out.push(OutCol::Passthrough { idx, name }),
+            other => {
+                let dtype = other.dtype(layout);
+                out.push(OutCol::Computed {
+                    expr: other,
+                    name,
+                    dtype,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn output_schema(cols: &[OutCol], layout: &Layout) -> Result<SchemaRef> {
+    let mut sc = Vec::new();
+    for c in cols {
+        match c {
+            OutCol::Passthrough { idx, name } => {
+                sc.push((name.clone(), layout.cols[*idx].dtype));
+            }
+            OutCol::Computed { name, dtype, .. } => sc.push((name.clone(), *dtype)),
+        }
+    }
+    let columns = sc
+        .into_iter()
+        .map(|(n, t)| strip_storage::Column::new(n, t))
+        .collect();
+    Ok(Schema::new(columns).map(Schema::into_ref)?)
+}
+
+/// Aggregate accumulator.
+enum AggState {
+    Sum { acc: f64, any: bool, int: bool, iacc: i64 },
+    Count(i64),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// Welford accumulator for var/stddev (population).
+    Var { n: i64, mean: f64, m2: f64, stddev: bool },
+}
+
+impl AggState {
+    fn new(func: AggFunc, int_input: bool) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                any: false,
+                int: int_input,
+                iacc: 0,
+            },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Var => AggState::Var {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                stddev: false,
+            },
+            AggFunc::Stddev => AggState::Var {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                stddev: true,
+            },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // count(*) gets None and counts every row; count(expr)
+                // skips nulls per SQL.
+                match v {
+                    Some(Value::Null) => {}
+                    _ => *n += 1,
+                }
+            }
+            AggState::Sum {
+                acc,
+                any,
+                int,
+                iacc,
+            } => {
+                if let Some(v) = v {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    *any = true;
+                    match v {
+                        Value::Int(i) if *int => {
+                            *iacc = iacc
+                                .checked_add(*i)
+                                .ok_or_else(|| SqlError::exec("sum overflow"))?
+                        }
+                        _ => {
+                            *int = false;
+                            *acc += v
+                                .as_f64()
+                                .ok_or_else(|| SqlError::exec("sum of non-numeric value"))?;
+                        }
+                    }
+                    if !*int {
+                        // Keep the float accumulator in sync after a switch.
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = v {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    *sum += v
+                        .as_f64()
+                        .ok_or_else(|| SqlError::exec("avg of non-numeric value"))?;
+                    *n += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = v {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    if cur.as_ref().map(|c| v < c).unwrap_or(true) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = v {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    if cur.as_ref().map(|c| v > c).unwrap_or(true) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Var { n, mean, m2, .. } => {
+                if let Some(v) = v {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    let x = v
+                        .as_f64()
+                        .ok_or_else(|| SqlError::exec("var/stddev of non-numeric value"))?;
+                    // Welford's online update.
+                    *n += 1;
+                    let d = x - *mean;
+                    *mean += d / *n as f64;
+                    *m2 += d * (x - *mean);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum {
+                acc,
+                any,
+                int,
+                iacc,
+            } => {
+                if !any {
+                    Value::Null
+                } else if int {
+                    Value::Int(iacc)
+                } else {
+                    Value::Float(acc + iacc as f64)
+                }
+            }
+            AggState::Count(n) => Value::Int(n),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Var { n, m2, stddev, .. } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    let var = m2 / n as f64;
+                    Value::Float(if stddev { var.sqrt() } else { var })
+                }
+            }
+        }
+    }
+}
+
+/// A select item in a grouped query, rewritten over the "outer row"
+/// `[group keys..., aggregate results...]`.
+enum GroupedOut {
+    /// Index into the outer row.
+    OuterCol { idx: usize, name: String, dtype: DataType },
+    /// Expression over outer-row offsets.
+    Expr { expr: BExpr, name: String, dtype: DataType },
+}
+
+/// Execute a grouped query over joined rows. Returns (schema, rows).
+#[allow(clippy::type_complexity)]
+fn run_grouped(
+    env: &dyn Env,
+    q: &Query,
+    joined: &Joined,
+    params: &[Value],
+) -> Result<(SchemaRef, Vec<Vec<Value>>)> {
+    let layout = &joined.layout;
+    let fns = |name: &str| env.scalar_fn(name);
+
+    // Bind the group-key expressions.
+    let mut key_exprs = Vec::with_capacity(q.group_by.len());
+    for g in &q.group_by {
+        key_exprs.push(bind_expr(g, layout, &fns)?);
+    }
+
+    // Collect aggregates and rewrite select items over the outer row.
+    // Outer row layout: [k0..k_{m-1}, a0..a_{p-1}].
+    let m = key_exprs.len();
+    let mut aggs: Vec<(AggFunc, Option<BExpr>, bool)> = Vec::new(); // (func, arg, int_input)
+    let items = expand_items(q, layout)?;
+    let mut outs: Vec<GroupedOut> = Vec::with_capacity(items.len());
+
+    // Rewrites an AST expression into a BExpr over the outer row.
+    fn rewrite(
+        e: &Expr,
+        group_by: &[Expr],
+        layout: &Layout,
+        fns: &dyn Fn(&str) -> Option<ScalarFn>,
+        aggs: &mut Vec<(AggFunc, Option<BExpr>, bool)>,
+        m: usize,
+    ) -> Result<BExpr> {
+        // A subtree that syntactically equals a group-by expression reads
+        // the corresponding key slot.
+        if let Some(k) = group_by.iter().position(|g| g == e) {
+            return Ok(BExpr::Col(k));
+        }
+        match e {
+            Expr::Aggregate { func, arg } => {
+                let (bound, int_input) = match arg {
+                    Some(a) => {
+                        let b = bind_expr(a, layout, fns)?;
+                        let int_input = b.dtype(layout) == DataType::Int;
+                        (Some(b), int_input)
+                    }
+                    None => (None, false),
+                };
+                aggs.push((*func, bound, int_input));
+                Ok(BExpr::Col(m + aggs.len() - 1))
+            }
+            Expr::IntLit(i) => Ok(BExpr::Lit(Value::Int(*i))),
+            Expr::FloatLit(f) => Ok(BExpr::Lit(Value::Float(*f))),
+            Expr::StrLit(s) => Ok(BExpr::Lit(Value::str(s))),
+            Expr::BoolLit(b) => Ok(BExpr::Lit(Value::Bool(*b))),
+            Expr::Param(i) => Ok(BExpr::Param(*i)),
+            Expr::NullLit => Ok(BExpr::Lit(Value::Null)),
+            Expr::IsNull { expr, negated } => Ok(BExpr::IsNull {
+                expr: Box::new(rewrite(expr, group_by, layout, fns, aggs, m)?),
+                negated: *negated,
+            }),
+            Expr::Neg(inner) => Ok(BExpr::Neg(Box::new(rewrite(
+                inner, group_by, layout, fns, aggs, m,
+            )?))),
+            Expr::Not(inner) => Ok(BExpr::Not(Box::new(rewrite(
+                inner, group_by, layout, fns, aggs, m,
+            )?))),
+            Expr::Binary { op, left, right } => Ok(BExpr::Binary {
+                op: *op,
+                left: Box::new(rewrite(left, group_by, layout, fns, aggs, m)?),
+                right: Box::new(rewrite(right, group_by, layout, fns, aggs, m)?),
+            }),
+            Expr::Call { name, args } => {
+                let f = fns(name)
+                    .ok_or_else(|| SqlError::analyze(format!("unknown function `{name}`")))?;
+                Ok(BExpr::Call {
+                    f,
+                    args: args
+                        .iter()
+                        .map(|a| rewrite(a, group_by, layout, fns, aggs, m))
+                        .collect::<Result<_>>()?,
+                })
+            }
+            Expr::Column { qualifier, name } => Err(SqlError::analyze(format!(
+                "column `{}` must appear in GROUP BY or inside an aggregate",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.clone(),
+                }
+            ))),
+        }
+    }
+
+    for (i, (e, alias)) in items.iter().enumerate() {
+        let name = alias.clone().unwrap_or_else(|| default_name(e, i));
+        let before = aggs.len();
+        let b = rewrite(e, &q.group_by, layout, &fns, &mut aggs, m)?;
+        let dtype = match &b {
+            BExpr::Col(k) if *k < m => key_exprs[*k].dtype(layout),
+            BExpr::Col(k) => {
+                // Pure aggregate reference.
+                let (func, arg, int_input) = &aggs[*k - m];
+                agg_dtype(*func, arg.as_ref().map(|a| a.dtype(layout)), *int_input)
+            }
+            other => {
+                // A computed expression over keys/aggregates; infer
+                // conservatively as float unless clearly bool/int.
+                let _ = before;
+                computed_grouped_dtype(other)
+            }
+        };
+        match b {
+            BExpr::Col(idx) => outs.push(GroupedOut::OuterCol { idx, name, dtype }),
+            expr => outs.push(GroupedOut::Expr { expr, name, dtype }),
+        }
+    }
+
+    // HAVING binds through the same rewrite machinery (it may reference
+    // aggregates, which register additional accumulator slots); it must be
+    // rewritten BEFORE the aggregation pass so its states are computed.
+    let having = match &q.having {
+        Some(h) => Some(rewrite(h, &q.group_by, layout, &fns, &mut aggs, m)?),
+        None => None,
+    };
+
+    // Hash aggregation.
+    let meter = env.meter();
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    for r in &joined.rows {
+        meter.charge(Op::AggRow, 1);
+        let mut key = Vec::with_capacity(m);
+        for ke in &key_exprs {
+            key.push(ke.eval(&r.vals, params)?);
+        }
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                group_order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| {
+                    aggs.iter()
+                        .map(|(f, _, int)| AggState::new(*f, *int))
+                        .collect()
+                });
+                groups.get_mut(&key).expect("just inserted")
+            }
+        };
+        for (st, (_, arg, _)) in states.iter_mut().zip(&aggs) {
+            let v = match arg {
+                Some(a) => Some(a.eval(&r.vals, params)?),
+                None => None,
+            };
+            st.update(v.as_ref())?;
+        }
+    }
+
+    // Global aggregate without GROUP BY over empty input still yields one row.
+    if m == 0 && group_order.is_empty() {
+        group_order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            aggs.iter()
+                .map(|(f, _, int)| AggState::new(*f, *int))
+                .collect(),
+        );
+    }
+
+    // Emit one output row per group in first-seen order.
+    let mut out_rows = Vec::with_capacity(group_order.len());
+    for key in group_order {
+        let states = groups.remove(&key).expect("group present");
+        let mut outer: Vec<Value> = key;
+        outer.extend(states.into_iter().map(AggState::finish));
+        if let Some(h) = &having {
+            meter.charge(Op::EvalExpr, 1);
+            if !h.eval_bool(&outer, params)? {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(outs.len());
+        for o in &outs {
+            match o {
+                GroupedOut::OuterCol { idx, .. } => row.push(outer[*idx].clone()),
+                GroupedOut::Expr { expr, .. } => row.push(expr.eval(&outer, params)?),
+            }
+        }
+        out_rows.push(row);
+    }
+
+    let columns = outs
+        .iter()
+        .map(|o| match o {
+            GroupedOut::OuterCol { name, dtype, .. } => {
+                strip_storage::Column::new(name.clone(), *dtype)
+            }
+            GroupedOut::Expr { name, dtype, .. } => {
+                strip_storage::Column::new(name.clone(), *dtype)
+            }
+        })
+        .collect();
+    let schema = Schema::new(columns)?.into_ref();
+    Ok((schema, out_rows))
+}
+
+fn agg_dtype(func: AggFunc, arg: Option<DataType>, int_input: bool) -> DataType {
+    match func {
+        AggFunc::Count => DataType::Int,
+        AggFunc::Sum => {
+            if int_input {
+                DataType::Int
+            } else {
+                DataType::Float
+            }
+        }
+        AggFunc::Avg | AggFunc::Var | AggFunc::Stddev => DataType::Float,
+        AggFunc::Min | AggFunc::Max => arg.unwrap_or(DataType::Float),
+    }
+}
+
+fn computed_grouped_dtype(e: &BExpr) -> DataType {
+    match e {
+        BExpr::Lit(v) => v.data_type().unwrap_or(DataType::Float),
+        BExpr::Not(_) => DataType::Bool,
+        BExpr::Binary { op, .. } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => DataType::Float,
+            _ => DataType::Bool,
+        },
+        BExpr::Call { f, .. } => f.returns,
+        _ => DataType::Float,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// `SELECT DISTINCT`: deduplicate rows preserving first-occurrence order.
+fn dedup_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if seen.insert(r.clone()) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Layout over a flat output schema (no qualifiers). ORDER BY falls back to
+/// this when keys don't resolve against the input layout; qualified names
+/// are matched by ignoring the qualifier.
+fn output_layout(schema: &SchemaRef) -> Layout {
+    Layout {
+        cols: schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| LayoutCol {
+                qualifier: String::new(),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                item: 0,
+                item_offset: i,
+            })
+            .collect(),
+    }
+}
+
+/// Strip qualifiers from column references (used when binding ORDER BY
+/// against the unqualified output schema).
+fn strip_qualifiers(e: &Expr) -> Expr {
+    match e {
+        Expr::Column { name, .. } => Expr::Column {
+            qualifier: None,
+            name: name.clone(),
+        },
+        Expr::Neg(i) => Expr::Neg(Box::new(strip_qualifiers(i))),
+        Expr::Not(i) => Expr::Not(Box::new(strip_qualifiers(i))),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(strip_qualifiers(left)),
+            right: Box::new(strip_qualifiers(right)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(strip_qualifiers).collect(),
+        },
+        Expr::Aggregate { func, arg } => Expr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(strip_qualifiers(a))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Sort rows by bound key expressions.
+fn sort_rows(
+    keys: &[(BExpr, bool)],
+    rows: &mut [Vec<Value>],
+    params: &[Value],
+) -> Result<()> {
+    let mut err = None;
+    rows.sort_by(|a, b| {
+        for (k, desc) in keys {
+            let (va, vb) = match (k.eval(a, params), k.eval(b, params)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) | (_, Err(e)) => {
+                    err.get_or_insert(e);
+                    return std::cmp::Ordering::Equal;
+                }
+            };
+            let ord = va.cmp(&vb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Apply ORDER BY / LIMIT to materialized output rows, binding keys against
+/// the output schema (qualifiers ignored).
+fn order_and_limit(
+    env: &dyn Env,
+    q: &Query,
+    schema: &SchemaRef,
+    mut rows: Vec<Vec<Value>>,
+    params: &[Value],
+) -> Result<Vec<Vec<Value>>> {
+    if !q.order_by.is_empty() {
+        let layout = output_layout(schema);
+        let fns = |name: &str| env.scalar_fn(name);
+        let mut keys = Vec::new();
+        for (e, desc) in &q.order_by {
+            keys.push((bind_expr(&strip_qualifiers(e), &layout, &fns)?, *desc));
+        }
+        sort_rows(&keys, &mut rows, params)?;
+    }
+    if let Some(l) = q.limit {
+        rows.truncate(l as usize);
+    }
+    Ok(rows)
+}
+
+/// Execute a `SELECT`, returning a materialized result set.
+pub fn execute_query(env: &dyn Env, q: &Query, params: &[Value]) -> Result<ResultSet> {
+    let mut joined = join_all(env, q, params)?;
+    if !q.group_by.is_empty() || q.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    }) {
+        let (schema, rows) = run_grouped(env, q, &joined, params)?;
+        let rows = if q.distinct { dedup_rows(rows) } else { rows };
+        let rows = order_and_limit(env, q, &schema, rows, params)?;
+        return Ok(ResultSet { schema, rows });
+    }
+    let fns = |name: &str| env.scalar_fn(name);
+
+    // For non-grouped queries, ORDER BY preferentially binds against the
+    // *input* layout (SQL permits ordering by non-projected columns, e.g.
+    // `select new_price from ... order by new.execute_order`); if that
+    // fails, it falls back to the output schema after projection.
+    let mut sorted_pre_projection = false;
+    if !q.order_by.is_empty() {
+        let bound: Result<Vec<(BExpr, bool)>> = q
+            .order_by
+            .iter()
+            .map(|(e, d)| bind_expr(e, &joined.layout, &fns).map(|b| (b, *d)))
+            .collect();
+        if let Ok(keys) = bound {
+            let mut err = None;
+            joined.rows.sort_by(|a, b| {
+                for (k, desc) in &keys {
+                    let (va, vb) = match (k.eval(&a.vals, params), k.eval(&b.vals, params)) {
+                        (Ok(x), Ok(y)) => (x, y),
+                        (Err(e), _) | (_, Err(e)) => {
+                            err.get_or_insert(e);
+                            return std::cmp::Ordering::Equal;
+                        }
+                    };
+                    let ord = va.cmp(&vb);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            sorted_pre_projection = true;
+        }
+    }
+
+    let outs = bind_output(q, &joined.layout, &fns)?;
+    let schema = output_schema(&outs, &joined.layout)?;
+    let meter = env.meter();
+    let mut rows = Vec::with_capacity(joined.rows.len());
+    for r in &joined.rows {
+        meter.charge(Op::EvalExpr, 1);
+        let mut row = Vec::with_capacity(outs.len());
+        for o in &outs {
+            match o {
+                OutCol::Passthrough { idx, .. } => row.push(r.vals[*idx].clone()),
+                OutCol::Computed { expr, .. } => row.push(expr.eval(&r.vals, params)?),
+            }
+        }
+        rows.push(row);
+    }
+    let rows = if q.distinct { dedup_rows(rows) } else { rows };
+    let rows = if sorted_pre_projection {
+        if let Some(l) = q.limit {
+            let mut rows = rows;
+            rows.truncate(l as usize);
+            rows
+        } else {
+            rows
+        }
+    } else {
+        order_and_limit(env, q, &schema, rows, params)?
+    };
+    Ok(ResultSet { schema, rows })
+}
+
+/// Execute a `SELECT` and bind its result as a named temporary table using
+/// the §6.1 pointer scheme where possible: passthrough columns backed by a
+/// provenance record become pointer columns; computed columns become slots.
+pub fn execute_query_bound(
+    env: &dyn Env,
+    q: &Query,
+    params: &[Value],
+    bind_name: &str,
+) -> Result<TempTable> {
+    // Grouped/aggregate results are computed values: fully materialized.
+    let grouped = !q.group_by.is_empty()
+        || q.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+    if grouped || !q.order_by.is_empty() || q.limit.is_some() {
+        let rs = execute_query(env, q, params)?;
+        let mut t = TempTable::materialized(bind_name, rs.schema.clone());
+        let meter = env.meter();
+        for row in rs.rows {
+            meter.charge(Op::TempTupleBuild, 1);
+            t.push_row(row)?;
+        }
+        return Ok(t);
+    }
+
+    let joined = join_all(env, q, params)?;
+    let fns = |name: &str| env.scalar_fn(name);
+    let outs = bind_output(q, &joined.layout, &fns)?;
+    let schema = output_schema(&outs, &joined.layout)?;
+
+    // Decide per output column: pointer or slot. Pointer columns require the
+    // producing FROM item to supply a RecordRef on *every* row (standard
+    // tables and single-pointer temp tables do).
+    // Assign pointer slots per contributing item, in first-use order — the
+    // paper's "one pointer to each standard tuple that contributes at least
+    // one attribute".
+    let mut item_ptr_slot: HashMap<usize, usize> = HashMap::new();
+    let mut sources = Vec::with_capacity(outs.len());
+    let mut slot_count = 0usize;
+    for o in &outs {
+        match o {
+            OutCol::Passthrough { idx, .. } => {
+                let lc = &joined.layout.cols[*idx];
+                let item = &joined.items[lc.item];
+                if item.has_prov {
+                    if let Some(offset) = item.prov_offsets[lc.item_offset] {
+                        let next = item_ptr_slot.len();
+                        let ptr = *item_ptr_slot.entry(lc.item).or_insert(next);
+                        sources.push(ColumnSource::Pointer { ptr, offset });
+                        continue;
+                    }
+                }
+                sources.push(ColumnSource::Slot(slot_count));
+                slot_count += 1;
+            }
+            OutCol::Computed { .. } => {
+                sources.push(ColumnSource::Slot(slot_count));
+                slot_count += 1;
+            }
+        }
+    }
+    let map = StaticMap::new(sources.clone())?;
+    let mut out = TempTable::new(bind_name, schema, map)?;
+
+    // Item -> pointer slot, ordered by slot for row building.
+    let mut ptr_items: Vec<usize> = vec![0; item_ptr_slot.len()];
+    for (item, slot) in &item_ptr_slot {
+        ptr_items[*slot] = *item;
+    }
+
+    let meter = env.meter();
+    for r in &joined.rows {
+        meter.charge(Op::TempTupleBuild, 1);
+        let mut ptrs = Vec::with_capacity(ptr_items.len());
+        for &item in &ptr_items {
+            ptrs.push(
+                r.provs[item]
+                    .clone()
+                    .ok_or_else(|| SqlError::exec("missing provenance record"))?,
+            );
+        }
+        let mut slots = Vec::with_capacity(slot_count);
+        for (o, src) in outs.iter().zip(&sources) {
+            if let ColumnSource::Slot(_) = src {
+                match o {
+                    OutCol::Passthrough { idx, .. } => slots.push(r.vals[*idx].clone()),
+                    OutCol::Computed { expr, .. } => slots.push(expr.eval(&r.vals, params)?),
+                }
+            }
+        }
+        out.push(ptrs, slots)?;
+    }
+    Ok(out)
+}
+
+/// Rows matched by a single-table predicate: `(RowId, current values)`.
+type MatchedRows = Vec<(RowId, Vec<Value>)>;
+
+/// Uses an index probe when the predicate contains an indexed `col = const`
+/// conjunct; otherwise scans.
+fn match_rows(
+    env: &dyn Env,
+    table_name: &str,
+    where_clause: &Option<Expr>,
+    params: &[Value],
+) -> Result<(strip_storage::TableRef, MatchedRows)> {
+    let rel = env
+        .relation(table_name)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{table_name}`")))?;
+    let Rel::Standard(tref) = rel else {
+        return Err(SqlError::exec(format!(
+            "`{table_name}` is read-only (temporary/bound table)"
+        )));
+    };
+    // This scan feeds an UPDATE/DELETE: take the exclusive lock up front
+    // so concurrent writers don't deadlock on S→X upgrades.
+    env.before_write(table_name)?;
+    let schema = tref.read().schema().clone();
+    let layout = Layout {
+        cols: schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| LayoutCol {
+                qualifier: table_name.to_ascii_lowercase(),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                item: 0,
+                item_offset: i,
+            })
+            .collect(),
+    };
+    let fns = |name: &str| env.scalar_fn(name);
+    let pred = match where_clause {
+        Some(w) => Some(bind_expr(w, &layout, &fns)?),
+        None => None,
+    };
+
+    // Index fast path: a conjunct `col = <const expr>` with an index on col.
+    let mut probe: Option<(usize, Value)> = None;
+    if let Some(w) = where_clause {
+        let mut conjs = Vec::new();
+        split_conjuncts(w, &mut conjs);
+        for c in &conjs {
+            if let Some(plan) = probe_plan_for(c, &layout, 0, 0, &fns)? {
+                let t = tref.read();
+                if t.index_on(plan.target_col).is_some() {
+                    let key = plan.key.eval(&[], params)?;
+                    probe = Some((plan.target_col, key));
+                    break;
+                }
+            }
+        }
+    }
+
+    let meter = env.meter();
+    meter.charge(Op::OpenCursor, 1);
+    let mut out = Vec::new();
+    {
+        let t = tref.read();
+        let candidates: Vec<(RowId, RecordRef)> = match &probe {
+            Some((col, key)) => {
+                meter.charge(Op::IndexProbe, 1);
+                t.index_lookup(*col, key)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter_map(|id| t.get(id).ok().map(|r| (id, r)))
+                    .collect()
+            }
+            None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
+        };
+        meter.charge(Op::FetchCursor, candidates.len() as u64);
+        for (id, rec) in candidates {
+            let vals = rec.values().to_vec();
+            let keep = match &pred {
+                Some(p) => {
+                    meter.charge(Op::EvalExpr, 1);
+                    p.eval_bool(&vals, params)?
+                }
+                None => true,
+            };
+            if keep {
+                out.push((id, vals));
+            }
+        }
+    }
+    meter.charge(Op::CloseCursor, 1);
+    Ok((tref, out))
+}
+
+/// Execute an `UPDATE`. Returns the number of rows updated.
+pub fn execute_update(env: &dyn Env, u: &Update, params: &[Value]) -> Result<usize> {
+    let (tref, matched) = match_rows(env, &u.table, &u.where_clause, params)?;
+    let schema = tref.read().schema().clone();
+    let layout = Layout {
+        cols: schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| LayoutCol {
+                qualifier: u.table.to_ascii_lowercase(),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                item: 0,
+                item_offset: i,
+            })
+            .collect(),
+    };
+    let fns = |name: &str| env.scalar_fn(name);
+    let mut bound = Vec::with_capacity(u.assignments.len());
+    for a in &u.assignments {
+        let col = schema.index_of_ok(&a.column)?;
+        bound.push((col, bind_expr(&a.expr, &layout, &fns)?, a.increment));
+    }
+    let count = matched.len();
+    for (id, old_vals) in matched {
+        let mut new_vals = old_vals.clone();
+        for (col, expr, increment) in &bound {
+            let v = expr.eval(&old_vals, params)?;
+            new_vals[*col] = if *increment {
+                // `col += expr` (paper's compute_comps functions).
+                let base = old_vals[*col]
+                    .as_f64()
+                    .ok_or_else(|| SqlError::exec("+= on non-numeric column"))?;
+                let delta = v
+                    .as_f64()
+                    .ok_or_else(|| SqlError::exec("+= with non-numeric value"))?;
+                match schema.column(*col).dtype {
+                    DataType::Int => Value::Int((base + delta) as i64),
+                    _ => Value::Float(base + delta),
+                }
+            } else {
+                v
+            };
+        }
+        env.dml_update(&u.table, id, new_vals)?;
+    }
+    Ok(count)
+}
+
+/// Execute a `DELETE`. Returns the number of rows deleted.
+pub fn execute_delete(env: &dyn Env, d: &Delete, params: &[Value]) -> Result<usize> {
+    let (_tref, matched) = match_rows(env, &d.table, &d.where_clause, params)?;
+    let count = matched.len();
+    for (id, _) in matched {
+        env.dml_delete(&d.table, id)?;
+    }
+    Ok(count)
+}
+
+/// Execute an `INSERT`. Returns the number of rows inserted.
+pub fn execute_insert(env: &dyn Env, ins: &Insert, params: &[Value]) -> Result<usize> {
+    let rel = env
+        .relation(&ins.table)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", ins.table)))?;
+    let Rel::Standard(tref) = rel else {
+        return Err(SqlError::exec(format!(
+            "`{}` is read-only (temporary/bound table)",
+            ins.table
+        )));
+    };
+    let schema = tref.read().schema().clone();
+
+    // Column mapping: explicit column list or full schema order.
+    let positions: Vec<usize> = if ins.columns.is_empty() {
+        (0..schema.arity()).collect()
+    } else {
+        let mut v = Vec::with_capacity(ins.columns.len());
+        for c in &ins.columns {
+            v.push(schema.index_of_ok(c)?);
+        }
+        v
+    };
+
+    let source_rows: Vec<Vec<Value>> = match &ins.source {
+        InsertSource::Values(rows) => {
+            let fns = |name: &str| env.scalar_fn(name);
+            let empty = Layout::default();
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut vals = Vec::with_capacity(r.len());
+                for e in r {
+                    vals.push(bind_expr(e, &empty, &fns)?.eval(&[], params)?);
+                }
+                out.push(vals);
+            }
+            out
+        }
+        InsertSource::Query(q) => execute_query(env, q, params)?.rows,
+    };
+
+    let count = source_rows.len();
+    for vals in source_rows {
+        if vals.len() != positions.len() {
+            return Err(SqlError::exec(format!(
+                "INSERT provides {} values for {} columns",
+                vals.len(),
+                positions.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.arity()];
+        for (pos, v) in positions.iter().zip(vals) {
+            row[*pos] = v;
+        }
+        // Unmentioned columns are not defaulted: base tables are
+        // non-nullable, so storage will reject the Null.
+        env.dml_insert(&ins.table, row)?;
+    }
+    Ok(count)
+}
+

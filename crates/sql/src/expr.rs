@@ -1,0 +1,482 @@
+//! Name-resolved ("bound") expressions and their evaluation.
+//!
+//! The parser produces [`crate::ast::Expr`] with textual column references;
+//! before execution these are resolved against the flattened schema of the
+//! current row layout into [`BExpr`], whose column references are plain
+//! offsets. This keeps per-row evaluation allocation-free and O(1) per node.
+
+use crate::ast::{BinOp, Expr};
+use crate::error::{Result, SqlError};
+use std::sync::Arc;
+use strip_storage::{DataType, Value};
+
+/// The boxed implementation of a scalar function.
+pub type ScalarFnImpl = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// A registered scalar function: pure `fn(&[Value]) -> Result<Value>` plus
+/// its return type for schema inference.
+#[derive(Clone)]
+pub struct ScalarFn {
+    /// Function name (lower-cased).
+    pub name: String,
+    /// Declared return type.
+    pub returns: DataType,
+    /// The implementation.
+    pub f: ScalarFnImpl,
+    /// Virtual cost charged per call, in addition to `Op::EvalExpr`; lets
+    /// applications declare expensive model functions (paper §1: "pricing
+    /// models ... often involve ... complicated statistics"). Interpreted by
+    /// the cost model as `Op::ModelEval` repetitions.
+    pub model_evals: u64,
+}
+
+impl std::fmt::Debug for ScalarFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScalarFn({} -> {})", self.name, self.returns.name())
+    }
+}
+
+/// One column of the flattened row layout a query executes over.
+#[derive(Debug, Clone)]
+pub struct LayoutCol {
+    /// FROM-item alias that contributed this column.
+    pub qualifier: String,
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Which FROM item (by position) the column came from.
+    pub item: usize,
+    /// Offset of this column within its FROM item's schema.
+    pub item_offset: usize,
+}
+
+/// The flattened layout: the concatenated schemas of all bound FROM items.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    pub cols: Vec<LayoutCol>,
+}
+
+impl Layout {
+    /// Resolve a possibly-qualified column name to a flat offset.
+    ///
+    /// Unqualified names must be unambiguous across all FROM items — the
+    /// classic SQL rule. Qualified names match on alias.
+    pub fn resolve(&self, qualifier: &Option<String>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let mut hit = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let q_ok = match qualifier {
+                Some(q) => c.qualifier == q.to_ascii_lowercase(),
+                None => true,
+            };
+            if q_ok && c.name == name {
+                if hit.is_some() {
+                    return Err(SqlError::analyze(format!(
+                        "ambiguous column reference `{}`",
+                        display_name(qualifier, &name)
+                    )));
+                }
+                hit = Some(i);
+            }
+        }
+        hit.ok_or_else(|| {
+            SqlError::analyze(format!(
+                "unknown column `{}`",
+                display_name(qualifier, &name)
+            ))
+        })
+    }
+}
+
+fn display_name(q: &Option<String>, n: &str) -> String {
+    match q {
+        Some(q) => format!("{q}.{n}"),
+        None => n.to_string(),
+    }
+}
+
+/// A bound (name-resolved) scalar expression.
+#[derive(Debug, Clone)]
+pub enum BExpr {
+    Lit(Value),
+    /// Flat offset into the current row.
+    Col(usize),
+    Param(usize),
+    Neg(Box<BExpr>),
+    Not(Box<BExpr>),
+    IsNull { expr: Box<BExpr>, negated: bool },
+    Binary {
+        op: BinOp,
+        left: Box<BExpr>,
+        right: Box<BExpr>,
+    },
+    Call {
+        f: ScalarFn,
+        args: Vec<BExpr>,
+    },
+}
+
+impl BExpr {
+    /// Infer the static type of this expression given the layout.
+    pub fn dtype(&self, layout: &Layout) -> DataType {
+        match self {
+            BExpr::Lit(v) => v.data_type().unwrap_or(DataType::Float),
+            BExpr::Col(i) => layout.cols[*i].dtype,
+            BExpr::Param(_) => DataType::Float,
+            BExpr::Neg(e) => e.dtype(layout),
+            BExpr::Not(_) => DataType::Bool,
+            BExpr::IsNull { .. } => DataType::Bool,
+            BExpr::Binary { op, left, right } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let (l, r) = (left.dtype(layout), right.dtype(layout));
+                    if l == DataType::Int && r == DataType::Int && *op != BinOp::Div {
+                        DataType::Int
+                    } else {
+                        DataType::Float
+                    }
+                }
+                _ => DataType::Bool,
+            },
+            BExpr::Call { f, .. } => f.returns,
+        }
+    }
+
+    /// Evaluate against a flat row. `params` supplies `?` values.
+    pub fn eval(&self, row: &[Value], params: &[Value]) -> Result<Value> {
+        match self {
+            BExpr::Lit(v) => Ok(v.clone()),
+            BExpr::Col(i) => Ok(row[*i].clone()),
+            BExpr::Param(i) => params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| SqlError::exec(format!("missing parameter ?{}", i + 1))),
+            BExpr::Neg(e) => match e.eval(row, params)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(SqlError::exec(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            },
+            BExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row, params)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BExpr::Not(e) => match e.eval(row, params)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(SqlError::exec(format!(
+                    "NOT applied to {}",
+                    other.type_name()
+                ))),
+            },
+            BExpr::Binary { op, left, right } => {
+                let l = left.eval(row, params)?;
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        return if l == Value::Bool(false) {
+                            Ok(Value::Bool(false))
+                        } else {
+                            let r = right.eval(row, params)?;
+                            bool_op(&l, &r, |a, b| a && b)
+                        }
+                    }
+                    BinOp::Or => {
+                        return if l == Value::Bool(true) {
+                            Ok(Value::Bool(true))
+                        } else {
+                            let r = right.eval(row, params)?;
+                            bool_op(&l, &r, |a, b| a || b)
+                        }
+                    }
+                    _ => {}
+                }
+                let r = right.eval(row, params)?;
+                match op {
+                    BinOp::Add => arith(&l, &r, |a, b| a + b, i64::checked_add),
+                    BinOp::Sub => arith(&l, &r, |a, b| a - b, i64::checked_sub),
+                    BinOp::Mul => arith(&l, &r, |a, b| a * b, i64::checked_mul),
+                    BinOp::Div => {
+                        // SQL-style: division always yields float; divide by
+                        // zero is an execution error.
+                        let (a, b) = both_f64(&l, &r)?;
+                        if b == 0.0 {
+                            Err(SqlError::exec("division by zero"))
+                        } else {
+                            Ok(Value::Float(a / b))
+                        }
+                    }
+                    BinOp::Eq => Ok(Value::Bool(l == r)),
+                    BinOp::NotEq => Ok(Value::Bool(l != r)),
+                    BinOp::Lt => Ok(Value::Bool(l < r)),
+                    BinOp::LtEq => Ok(Value::Bool(l <= r)),
+                    BinOp::Gt => Ok(Value::Bool(l > r)),
+                    BinOp::GtEq => Ok(Value::Bool(l >= r)),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            BExpr::Call { f, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row, params)?);
+                }
+                (f.f)(&vals)
+            }
+        }
+    }
+
+    /// Evaluate and require a boolean (for predicates).
+    pub fn eval_bool(&self, row: &[Value], params: &[Value]) -> Result<bool> {
+        match self.eval(row, params)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(SqlError::exec(format!(
+                "predicate evaluated to {} instead of bool",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn both_f64(l: &Value, r: &Value) -> Result<(f64, f64)> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(SqlError::exec(format!(
+            "arithmetic on non-numeric values ({}, {})",
+            l.type_name(),
+            r.type_name()
+        ))),
+    }
+}
+
+fn arith(
+    l: &Value,
+    r: &Value,
+    ff: impl Fn(f64, f64) -> f64,
+    fi: impl Fn(i64, i64) -> Option<i64>,
+) -> Result<Value> {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return fi(*a, *b)
+            .map(Value::Int)
+            .ok_or_else(|| SqlError::exec("integer overflow"));
+    }
+    let (a, b) = both_f64(l, r)?;
+    Ok(Value::Float(ff(a, b)))
+}
+
+fn bool_op(l: &Value, r: &Value, f: impl Fn(bool, bool) -> bool) -> Result<Value> {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(a), Some(b)) => Ok(Value::Bool(f(a, b))),
+        _ => Err(SqlError::exec("logical operator on non-boolean values")),
+    }
+}
+
+/// Resolve an AST expression against a layout. Aggregates are rejected here;
+/// grouped queries extract them before binding (see the executor).
+pub fn bind_expr(
+    e: &Expr,
+    layout: &Layout,
+    fns: &dyn Fn(&str) -> Option<ScalarFn>,
+) -> Result<BExpr> {
+    Ok(match e {
+        Expr::IntLit(i) => BExpr::Lit(Value::Int(*i)),
+        Expr::FloatLit(f) => BExpr::Lit(Value::Float(*f)),
+        Expr::StrLit(s) => BExpr::Lit(Value::str(s)),
+        Expr::BoolLit(b) => BExpr::Lit(Value::Bool(*b)),
+        Expr::NullLit => BExpr::Lit(Value::Null),
+        Expr::Param(i) => BExpr::Param(*i),
+        Expr::IsNull { expr, negated } => BExpr::IsNull {
+            expr: Box::new(bind_expr(expr, layout, fns)?),
+            negated: *negated,
+        },
+        Expr::Column { qualifier, name } => BExpr::Col(layout.resolve(qualifier, name)?),
+        Expr::Neg(inner) => BExpr::Neg(Box::new(bind_expr(inner, layout, fns)?)),
+        Expr::Not(inner) => BExpr::Not(Box::new(bind_expr(inner, layout, fns)?)),
+        Expr::Binary { op, left, right } => BExpr::Binary {
+            op: *op,
+            left: Box::new(bind_expr(left, layout, fns)?),
+            right: Box::new(bind_expr(right, layout, fns)?),
+        },
+        Expr::Aggregate { .. } => {
+            return Err(SqlError::analyze(
+                "aggregate function not allowed in this context",
+            ))
+        }
+        Expr::Call { name, args } => {
+            let f = fns(name)
+                .ok_or_else(|| SqlError::analyze(format!("unknown function `{name}`")))?;
+            BExpr::Call {
+                f,
+                args: args
+                    .iter()
+                    .map(|a| bind_expr(a, layout, fns))
+                    .collect::<Result<_>>()?,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout {
+            cols: vec![
+                LayoutCol {
+                    qualifier: "t".into(),
+                    name: "a".into(),
+                    dtype: DataType::Int,
+                    item: 0,
+                    item_offset: 0,
+                },
+                LayoutCol {
+                    qualifier: "t".into(),
+                    name: "b".into(),
+                    dtype: DataType::Float,
+                    item: 0,
+                    item_offset: 1,
+                },
+                LayoutCol {
+                    qualifier: "u".into(),
+                    name: "a".into(),
+                    dtype: DataType::Int,
+                    item: 1,
+                    item_offset: 0,
+                },
+            ],
+        }
+    }
+
+    fn no_fns(_: &str) -> Option<ScalarFn> {
+        None
+    }
+
+    #[test]
+    fn resolve_qualified_and_ambiguous() {
+        let l = layout();
+        assert_eq!(l.resolve(&Some("t".into()), "a").unwrap(), 0);
+        assert_eq!(l.resolve(&Some("u".into()), "a").unwrap(), 2);
+        assert_eq!(l.resolve(&None, "b").unwrap(), 1);
+        assert!(l.resolve(&None, "a").is_err(), "ambiguous");
+        assert!(l.resolve(&None, "zzz").is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let l = layout();
+        let e = crate::parser::parse_query("select a from t where t.a * 2 + 1 = 7")
+            .unwrap()
+            .where_clause
+            .unwrap();
+        let b = bind_expr(&e, &l, &no_fns).unwrap();
+        assert!(b.eval_bool(&[Value::Int(3), Value::Float(0.0), Value::Int(0)], &[]).unwrap());
+        assert!(!b.eval_bool(&[Value::Int(4), Value::Float(0.0), Value::Int(0)], &[]).unwrap());
+    }
+
+    #[test]
+    fn division_is_float_and_checked() {
+        let b = BExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(BExpr::Lit(Value::Int(7))),
+            right: Box::new(BExpr::Lit(Value::Int(2))),
+        };
+        assert_eq!(b.eval(&[], &[]).unwrap(), Value::Float(3.5));
+        let z = BExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(BExpr::Lit(Value::Int(1))),
+            right: Box::new(BExpr::Lit(Value::Int(0))),
+        };
+        assert!(z.eval(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let b = BExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(BExpr::Lit(Value::Int(i64::MAX))),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        assert!(b.eval(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        // `false and (1/0)` must not evaluate the division.
+        let div0 = BExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(BExpr::Lit(Value::Int(1))),
+            right: Box::new(BExpr::Lit(Value::Int(0))),
+        };
+        let e = BExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BExpr::Lit(Value::Bool(false))),
+            right: Box::new(div0.clone()),
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Bool(false));
+        let e = BExpr::Binary {
+            op: BinOp::Or,
+            left: Box::new(BExpr::Lit(Value::Bool(true))),
+            right: Box::new(div0),
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn params_and_missing_params() {
+        let e = BExpr::Param(0);
+        assert_eq!(e.eval(&[], &[Value::Int(9)]).unwrap(), Value::Int(9));
+        assert!(e.eval(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn scalar_function_call() {
+        let f = ScalarFn {
+            name: "twice".into(),
+            returns: DataType::Float,
+            f: Arc::new(|args| Ok(Value::Float(args[0].as_f64().unwrap() * 2.0))),
+            model_evals: 0,
+        };
+        let fns = move |n: &str| if n == "twice" { Some(f.clone()) } else { None };
+        let ast = Expr::Call {
+            name: "twice".into(),
+            args: vec![Expr::FloatLit(2.5)],
+        };
+        let b = bind_expr(&ast, &Layout::default(), &fns).unwrap();
+        assert_eq!(b.eval(&[], &[]).unwrap(), Value::Float(5.0));
+        assert_eq!(b.dtype(&Layout::default()), DataType::Float);
+    }
+
+    #[test]
+    fn type_inference() {
+        let l = layout();
+        let int_add = BExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(BExpr::Col(0)),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        assert_eq!(int_add.dtype(&l), DataType::Int);
+        let mixed = BExpr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(BExpr::Col(0)),
+            right: Box::new(BExpr::Col(1)),
+        };
+        assert_eq!(mixed.dtype(&l), DataType::Float);
+        let cmp = BExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(BExpr::Col(0)),
+            right: Box::new(BExpr::Col(1)),
+        };
+        assert_eq!(cmp.dtype(&l), DataType::Bool);
+    }
+
+    #[test]
+    fn aggregates_rejected_by_bind() {
+        let e = Expr::Aggregate {
+            func: crate::ast::AggFunc::Sum,
+            arg: Some(Box::new(Expr::col("a"))),
+        };
+        assert!(bind_expr(&e, &layout(), &no_fns).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Hand-written SQL lexer.
+
+use crate::error::SqlError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (stored lower-cased; SQL is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    PlusEq,
+    Question,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::PlusEq => f.write_str("+="),
+            Token::Question => f.write_str("?"),
+            Token::Semicolon => f.write_str(";"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL text. `--` line comments are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if i + 1 < n && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '+' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    tokens.push(Token::PlusEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::lex(format!("unexpected character `!` at {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(SqlError::lex("unterminated string literal".to_string()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < n && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // A '.' is part of the number only if followed by a digit
+                // (so `1.price` lexes as Int Dot Ident, though that's not
+                // valid syntax anyway).
+                if i + 1 < n && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Scientific notation.
+                if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < n && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::lex(format!("bad float literal `{text}`")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::lex(format!("bad int literal `{text}`")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(SqlError::lex(format!(
+                    "unexpected character `{other}` at offset {i}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let t = toks("SELECT comp, price FROM comp_prices WHERE price >= 10.5");
+        assert_eq!(t[0], Token::Ident("select".into()));
+        assert_eq!(t[1], Token::Ident("comp".into()));
+        assert_eq!(t[2], Token::Comma);
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::Float(10.5)));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= <> != < <= > >= + - * / += ?"),
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::PlusEq,
+                Token::Question,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(toks("'it''s'")[0], Token::Str("it's".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Token::Int(42));
+        assert_eq!(toks("1.5")[0], Token::Float(1.5));
+        assert_eq!(toks("1e3")[0], Token::Float(1000.0));
+        assert_eq!(toks("2.5e-1")[0], Token::Float(0.25));
+        // `1.price` must lex the dot separately (qualified-name syntax).
+        assert_eq!(
+            toks("t1.price")[..3],
+            [
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("price".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("select -- a comment\n x");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        assert_eq!(toks("CoMp_PriCes")[0], Token::Ident("comp_prices".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("select #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

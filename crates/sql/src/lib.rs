@@ -1,0 +1,31 @@
+//! # strip-sql
+//!
+//! SQL subset and STRIP rule-DDL front end plus a volcano-style executor.
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — hand-written front end covering
+//!   `CREATE TABLE/INDEX/VIEW/RULE` (the full Figure-2 rule grammar),
+//!   `SELECT` with joins/`GROUP BY`/aggregates, and `INSERT`/`UPDATE`
+//!   (including the paper's `SET col += expr`)/`DELETE`.
+//! * [`expr`] — name-resolved expressions and scalar-function registry.
+//! * [`exec`] — greedy index-aware join execution, hash aggregation, DML,
+//!   and bound-table output using the §6.1 pointer-tuple scheme.
+//!
+//! The executor is deliberately independent of transactions: it runs against
+//! an [`exec::Env`] supplied by `strip-core`, which routes reads through
+//! lock acquisition and writes through transaction logging.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use error::{Result, SqlError};
+pub use exec::{
+    execute_delete, execute_insert, execute_query, execute_query_bound, execute_update, Env, Rel,
+    ResultSet,
+};
+pub use expr::{BExpr, Layout, ScalarFn};
+pub use parser::{parse_query, parse_script, parse_statement};

@@ -1,0 +1,1175 @@
+//! Recursive-descent parser for the STRIP SQL subset and rule DDL (Figure 2).
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Token};
+use strip_storage::DataType;
+
+/// Parse a single statement (a trailing semicolon is allowed).
+///
+/// ```
+/// use strip_sql::{parse_statement, Statement};
+///
+/// let stmt = parse_statement(
+///     "create rule r on stocks when updated price \
+///      then execute f unique on comp after 1.0 seconds",
+/// )
+/// .unwrap();
+/// let Statement::CreateRule(r) = stmt else { unreachable!() };
+/// assert_eq!(r.unique, Some(vec!["comp".to_string()]));
+/// assert_eq!(r.after_us, 1_000_000);
+/// ```
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.statement()?;
+    p.accept(&Token::Semicolon);
+    p.expect(&Token::Eof)?;
+    Ok(stmt)
+}
+
+/// Parse a script: multiple statements separated by semicolons.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut stmts = Vec::new();
+    loop {
+        while p.accept(&Token::Semicolon) {}
+        if p.peek() == &Token::Eof {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if p.peek() != &Token::Eof && !p.accept(&Token::Semicolon) {
+            return Err(p.err("expected `;` between statements"));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse a standalone query (used by view definitions stored as text).
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut p = Parser::new(input)?;
+    let q = p.query()?;
+    p.accept(&Token::Semicolon);
+    p.expect(&Token::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Number of `?` parameters seen so far, for positional numbering.
+    params: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            params: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> SqlError {
+        SqlError::parse(format!("{msg} (near `{}`)", self.peek()))
+    }
+
+    fn accept(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{t}`")))
+        }
+    }
+
+    /// Accept a specific keyword (identifiers are already lower-cased).
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if let Token::Ident(s) = self.peek() {
+            if s == kw {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::parse(format!(
+                "expected identifier, found `{other}`"
+            ))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.accept_kw("create") {
+            if self.accept_kw("table") {
+                return self.create_table();
+            }
+            if self.accept_kw("index") {
+                return self.create_index();
+            }
+            if self.accept_kw("materialized") {
+                self.expect_kw("view")?;
+                return self.create_view(true);
+            }
+            if self.accept_kw("view") {
+                return self.create_view(false);
+            }
+            if self.accept_kw("rule") {
+                return self.create_rule();
+            }
+            if self.accept_kw("timer") {
+                return self.create_timer();
+            }
+            return Err(self.err("expected TABLE, INDEX, VIEW, RULE or TIMER after CREATE"));
+        }
+        if self.accept_kw("drop") {
+            if self.accept_kw("table") {
+                return Ok(Statement::DropTable { name: self.ident()? });
+            }
+            if self.accept_kw("rule") {
+                return Ok(Statement::DropRule { name: self.ident()? });
+            }
+            if self.accept_kw("timer") {
+                return Ok(Statement::DropTimer { name: self.ident()? });
+            }
+            return Err(self.err("expected TABLE, RULE or TIMER after DROP"));
+        }
+        if self.peek_kw("select") {
+            return Ok(Statement::Select(self.query()?));
+        }
+        if self.accept_kw("insert") {
+            return self.insert();
+        }
+        if self.accept_kw("update") {
+            return self.update();
+        }
+        if self.accept_kw("delete") {
+            return self.delete();
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "int" | "integer" | "bigint" => DataType::Int,
+            "float" | "real" | "double" => DataType::Float,
+            "str" | "text" | "varchar" | "char" | "symbol" => {
+                // Accept an optional length, e.g. varchar(16); ignored since
+                // all strings are fixed-width symbols in STRIP's spirit.
+                if self.accept(&Token::LParen) {
+                    match self.next() {
+                        Token::Int(_) => {}
+                        _ => return Err(self.err("expected length in type")),
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                DataType::Str
+            }
+            "bool" | "boolean" => DataType::Bool,
+            "timestamp" => DataType::Timestamp,
+            other => return Err(SqlError::parse(format!("unknown type `{other}`"))),
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { name, columns }))
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(&Token::RParen)?;
+        let mut using_rbtree = false;
+        if self.accept_kw("using") {
+            let kind = self.ident()?;
+            using_rbtree = match kind.as_str() {
+                "hash" => false,
+                "rbtree" | "tree" | "btree" => true,
+                other => return Err(SqlError::parse(format!("unknown index kind `{other}`"))),
+            };
+        }
+        Ok(Statement::CreateIndex(CreateIndex {
+            name,
+            table,
+            column,
+            using_rbtree,
+        }))
+    }
+
+    fn create_view(&mut self, materialized: bool) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("as")?;
+        let query = self.query()?;
+        Ok(Statement::CreateView(CreateView {
+            name,
+            materialized,
+            query,
+        }))
+    }
+
+    /// `create rule name on table when events [if ...] then [evaluate ...]
+    ///  execute f [unique [on cols]] [after t seconds] [end rule]`
+    fn create_rule(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect_kw("when")?;
+
+        let mut events = Vec::new();
+        loop {
+            if self.accept_kw("inserted") {
+                events.push(Event::Inserted);
+            } else if self.accept_kw("deleted") {
+                events.push(Event::Deleted);
+            } else if self.accept_kw("updated") {
+                let mut cols = Vec::new();
+                // Optional column-commalist; ends at a keyword that can
+                // follow the transition predicate.
+                while let Token::Ident(s) = self.peek() {
+                    if Self::is_rule_keyword(s) {
+                        break;
+                    }
+                    cols.push(self.ident()?);
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                events.push(Event::Updated(cols));
+            } else {
+                break;
+            }
+            // Events may be separated by `or` or commas or juxtaposition.
+            let _ = self.accept_kw("or") || self.accept(&Token::Comma);
+        }
+        if events.is_empty() {
+            return Err(self.err("rule must name at least one event"));
+        }
+
+        let mut condition = Vec::new();
+        if self.accept_kw("if") {
+            condition = self.bindable_queries()?;
+        }
+        self.expect_kw("then")?;
+        let mut evaluate = Vec::new();
+        if self.accept_kw("evaluate") {
+            evaluate = self.bindable_queries()?;
+        }
+        self.expect_kw("execute")?;
+        let execute = self.ident()?;
+
+        let mut unique = None;
+        if self.accept_kw("unique") {
+            let mut cols = Vec::new();
+            if self.accept_kw("on") {
+                loop {
+                    // Accept optionally qualified names (e.g. `X.A` in the
+                    // paper); the qualifier is dropped since unique columns
+                    // name bound-table columns, which are unqualified.
+                    let first = self.ident()?;
+                    let col = if self.accept(&Token::Dot) {
+                        self.ident()?
+                    } else {
+                        first
+                    };
+                    cols.push(col);
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            unique = Some(cols);
+        }
+
+        let mut after_us = 0u64;
+        if self.accept_kw("after") {
+            let v = match self.next() {
+                Token::Int(i) => i as f64,
+                Token::Float(f) => f,
+                other => {
+                    return Err(SqlError::parse(format!(
+                        "expected time value after AFTER, found `{other}`"
+                    )))
+                }
+            };
+            let unit_us: f64 = if self.accept_kw("seconds") || self.accept_kw("second") {
+                1_000_000.0
+            } else if self.accept_kw("milliseconds") || self.accept_kw("ms") {
+                1_000.0
+            } else if self.accept_kw("microseconds") || self.accept_kw("us") {
+                1.0
+            } else {
+                1_000_000.0 // bare numbers are seconds, as in the paper
+            };
+            after_us = (v * unit_us).round() as u64;
+        }
+        // Optional `end rule` terminator (used in the paper's figures).
+        if self.accept_kw("end") {
+            let _ = self.accept_kw("rule") || self.accept_kw("function");
+        }
+
+        Ok(Statement::CreateRule(CreateRule {
+            name,
+            table,
+            events,
+            condition,
+            evaluate,
+            execute,
+            unique,
+            after_us,
+        }))
+    }
+
+    /// `create timer name every <t> [seconds|ms|us] execute f [limit n]`
+    fn create_timer(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("every")?;
+        let v = match self.next() {
+            Token::Int(i) => i as f64,
+            Token::Float(f) => f,
+            other => {
+                return Err(SqlError::parse(format!(
+                    "expected interval after EVERY, found `{other}`"
+                )))
+            }
+        };
+        let unit_us: f64 = if self.accept_kw("seconds") || self.accept_kw("second") {
+            1_000_000.0
+        } else if self.accept_kw("milliseconds") || self.accept_kw("ms") {
+            1_000.0
+        } else if self.accept_kw("microseconds") || self.accept_kw("us") {
+            1.0
+        } else {
+            1_000_000.0
+        };
+        self.expect_kw("execute")?;
+        let execute = self.ident()?;
+        let limit = if self.accept_kw("limit") {
+            match self.next() {
+                Token::Int(i) if i > 0 => Some(i as u64),
+                other => {
+                    return Err(SqlError::parse(format!(
+                        "expected positive LIMIT, found `{other}`"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        if (v * unit_us) < 1.0 {
+            return Err(SqlError::parse("timer interval must be at least 1 us"));
+        }
+        Ok(Statement::CreateTimer(CreateTimer {
+            name,
+            every_us: (v * unit_us).round() as u64,
+            execute,
+            limit,
+        }))
+    }
+
+    fn is_rule_keyword(s: &str) -> bool {
+        matches!(
+            s,
+            "if" | "then" | "inserted" | "deleted" | "updated" | "or" | "evaluate" | "execute"
+        )
+    }
+
+    fn bindable_queries(&mut self) -> Result<Vec<BindableQuery>> {
+        let mut out = Vec::new();
+        loop {
+            let query = self.query()?;
+            let bind_as = if self.accept_kw("bind") {
+                self.expect_kw("as")?;
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            out.push(BindableQuery { query, bind_as });
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let distinct = self.accept_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            // Optional alias: a bare identifier that is not a clause keyword.
+            let alias = match self.peek() {
+                Token::Ident(s) if !Self::is_clause_keyword(s) => self.ident()?,
+                _ => table.clone(),
+            };
+            from.push(TableRef { table, alias });
+            // A comma continues the FROM list unless it is followed by
+            // `select`, in which case it separates queries in a rule's
+            // query-commalist and belongs to our caller.
+            let continues = self.peek() == &Token::Comma
+                && !matches!(self.peek2(), Token::Ident(s) if s == "select");
+            if continues {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.accept_kw("where") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr(0)?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        } else if self.accept_kw("groupby") {
+            // The paper writes `groupby` as one word in places.
+            loop {
+                group_by.push(self.expr(0)?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.accept_kw("having") {
+            having = Some(self.expr(0)?);
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr(0)?;
+                let desc = if self.accept_kw("desc") {
+                    true
+                } else {
+                    let _ = self.accept_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw("limit") {
+            match self.next() {
+                Token::Int(i) if i >= 0 => Some(i as u64),
+                other => {
+                    return Err(SqlError::parse(format!(
+                        "expected non-negative LIMIT, found `{other}`"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn is_clause_keyword(s: &str) -> bool {
+        matches!(
+            s,
+            "where"
+                | "group"
+                | "groupby"
+                | "order"
+                | "limit"
+                | "bind"
+                | "from"
+                | "select"
+                | "then"
+                | "execute"
+                | "evaluate"
+                | "unique"
+                | "after"
+                | "end"
+                | "on"
+                | "as"
+                | "set"
+                | "values"
+                | "having"
+                | "distinct"
+        )
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.accept(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Token::Ident(q), Token::Dot) = (self.peek(), self.peek2()) {
+            if self.tokens.get(self.pos + 2) == Some(&Token::Star) {
+                let q = q.clone();
+                self.next();
+                self.next();
+                self.next();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr(0)?;
+        let alias = if self.accept_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ---- DML ---------------------------------------------------------------
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.accept(&Token::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let source = if self.accept_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr(0)?);
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_kw("select") {
+            InsertSource::Query(self.query()?)
+        } else {
+            return Err(self.err("expected VALUES or SELECT in INSERT"));
+        };
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.ident()?;
+            let increment = if self.accept(&Token::PlusEq) {
+                true
+            } else {
+                self.expect(&Token::Eq)?;
+                false
+            };
+            let expr = self.expr(0)?;
+            assignments.push(Assignment {
+                column,
+                expr,
+                increment,
+            });
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.accept_kw("where") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            where_clause,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_clause = if self.accept_kw("where") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            where_clause,
+        }))
+    }
+
+    // ---- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            // Comparison-level postfix predicates: IS [NOT] NULL,
+            // [NOT] BETWEEN .. AND .., [NOT] IN (..).
+            if min_prec <= 3 {
+                if let Some(e) = self.postfix_predicate(left.clone())? {
+                    left = e;
+                    continue;
+                }
+            }
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Eq => BinOp::Eq,
+                Token::NotEq => BinOp::NotEq,
+                Token::Lt => BinOp::Lt,
+                Token::LtEq => BinOp::LtEq,
+                Token::Gt => BinOp::Gt,
+                Token::GtEq => BinOp::GtEq,
+                Token::Ident(s) if s == "and" => BinOp::And,
+                Token::Ident(s) if s == "or" => BinOp::Or,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.next();
+            let right = self.expr(op.precedence() + 1)?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    /// Try the postfix predicate forms on `left`. Returns `None` (leaving
+    /// the token stream untouched) when the lookahead doesn't match.
+    fn postfix_predicate(&mut self, left: Expr) -> Result<Option<Expr>> {
+        if self.accept_kw("is") {
+            let negated = self.accept_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Some(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            }));
+        }
+        // `NOT` only binds here when followed by IN/BETWEEN.
+        let negated = if self.peek_kw("not")
+            && matches!(self.peek2(), Token::Ident(s) if s == "in" || s == "between")
+        {
+            self.next();
+            true
+        } else {
+            false
+        };
+        if self.accept_kw("between") {
+            // Bounds parse at additive precedence so the connecting AND is
+            // not consumed as a logical operator.
+            let lo = self.expr(4)?;
+            self.expect_kw("and")?;
+            let hi = self.expr(4)?;
+            let ge = Expr::Binary {
+                op: BinOp::GtEq,
+                left: Box::new(left.clone()),
+                right: Box::new(lo),
+            };
+            let le = Expr::Binary {
+                op: BinOp::LtEq,
+                left: Box::new(left),
+                right: Box::new(hi),
+            };
+            let both = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(ge),
+                right: Box::new(le),
+            };
+            return Ok(Some(if negated {
+                Expr::Not(Box::new(both))
+            } else {
+                both
+            }));
+        }
+        if self.accept_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut alts = Vec::new();
+            loop {
+                alts.push(self.expr(0)?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            // Desugar to an OR chain of equalities.
+            let mut it = alts.into_iter();
+            let first = it.next().expect("IN list is non-empty");
+            let mut acc = Expr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(left.clone()),
+                right: Box::new(first),
+            };
+            for alt in it {
+                acc = Expr::Binary {
+                    op: BinOp::Or,
+                    left: Box::new(acc),
+                    right: Box::new(Expr::Binary {
+                        op: BinOp::Eq,
+                        left: Box::new(left.clone()),
+                        right: Box::new(alt),
+                    }),
+                };
+            }
+            return Ok(Some(if negated {
+                Expr::Not(Box::new(acc))
+            } else {
+                acc
+            }));
+        }
+        if negated {
+            return Err(self.err("expected IN or BETWEEN after NOT"));
+        }
+        Ok(None)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.accept_kw("not") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Token::Int(i) => Ok(Expr::IntLit(i)),
+            Token::Float(f) => Ok(Expr::FloatLit(f)),
+            Token::Str(s) => Ok(Expr::StrLit(s)),
+            Token::Question => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Token::LParen => {
+                let e = self.expr(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name == "true" {
+                    return Ok(Expr::BoolLit(true));
+                }
+                if name == "false" {
+                    return Ok(Expr::BoolLit(false));
+                }
+                if name == "null" {
+                    return Ok(Expr::NullLit);
+                }
+                // Function or aggregate call.
+                if self.peek() == &Token::LParen {
+                    self.next();
+                    if let Some(func) = AggFunc::from_name(&name) {
+                        // count(*) special case.
+                        if func == AggFunc::Count && self.accept(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(Expr::Aggregate { func, arg: None });
+                        }
+                        let arg = self.expr(0)?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::RParen {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if !self.accept(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Call { name, args });
+                }
+                // Qualified column `alias.col`.
+                if self.accept(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(SqlError::parse(format!(
+                "expected expression, found `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let s = parse_statement("create table stocks (symbol str, price float)").unwrap();
+        match s {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, "stocks");
+                assert_eq!(ct.columns.len(), 2);
+                assert_eq!(ct.columns[0], ("symbol".to_string(), DataType::Str));
+                assert_eq!(ct.columns[1], ("price".to_string(), DataType::Float));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_with_joins_groupby() {
+        let q = parse_query(
+            "select comp, sum(price*weight) as price \
+             from stocks, comps_list \
+             where stocks.symbol = comps_list.symbol \
+             group by comp",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 2);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by, vec![Expr::col("comp")]);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        let q = parse_query("select r.a from table1 r where r.a > 3").unwrap();
+        assert_eq!(q.from[0].table, "table1");
+        assert_eq!(q.from[0].alias, "r");
+    }
+
+    #[test]
+    fn parse_paper_rule_do_comps3() {
+        // Figure 7, lightly reformatted.
+        let s = parse_statement(
+            "create rule do_comps3 on stocks \
+             when updated price \
+             if \
+               select comp, comps_list.symbol as symbol, weight, \
+                      old.price as old_price, new.price as new_price \
+               from comps_list, new, old \
+               where comps_list.symbol = new.symbol \
+                 and new.execute_order = old.execute_order \
+               bind as matches \
+             then \
+               execute compute_comps3 \
+               unique on comp \
+               after 1.0 seconds \
+             end rule",
+        )
+        .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.name, "do_comps3");
+        assert_eq!(r.table, "stocks");
+        assert_eq!(r.events, vec![Event::Updated(vec!["price".to_string()])]);
+        assert_eq!(r.condition.len(), 1);
+        assert_eq!(r.condition[0].bind_as.as_deref(), Some("matches"));
+        assert_eq!(r.execute, "compute_comps3");
+        assert_eq!(r.unique, Some(vec!["comp".to_string()]));
+        assert_eq!(r.after_us, 1_000_000);
+    }
+
+    #[test]
+    fn parse_rule_without_condition() {
+        // The `foo` rule from §2.
+        let s = parse_statement(
+            "create rule foo on table1 \
+             when inserted \
+             then evaluate select * from inserted bind as my_inserted \
+             execute my_function",
+        )
+        .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert!(r.condition.is_empty());
+        assert_eq!(r.evaluate.len(), 1);
+        assert_eq!(r.evaluate[0].bind_as.as_deref(), Some("my_inserted"));
+        assert_eq!(r.unique, None);
+        assert_eq!(r.after_us, 0);
+    }
+
+    #[test]
+    fn parse_rule_multiple_events_and_coarse_unique() {
+        let s = parse_statement(
+            "create rule r on t when inserted or deleted or updated a, b \
+             then execute f unique after 250 ms",
+        )
+        .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.events.len(), 3);
+        assert_eq!(
+            r.events[2],
+            Event::Updated(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(r.unique, Some(vec![]));
+        assert_eq!(r.after_us, 250_000);
+    }
+
+    #[test]
+    fn parse_unique_on_qualified_column() {
+        // The paper writes `unique on X.A`.
+        let s = parse_statement("create rule r on x when updated then execute f unique on x.a")
+            .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.unique, Some(vec!["a".to_string()]));
+    }
+
+    #[test]
+    fn parse_update_with_increment() {
+        let s =
+            parse_statement("update comp_prices set price += 1.5 where comp = 'C1'").unwrap();
+        let Statement::Update(u) = s else {
+            panic!("expected update")
+        };
+        assert_eq!(u.table, "comp_prices");
+        assert!(u.assignments[0].increment);
+        assert!(u.where_clause.is_some());
+    }
+
+    #[test]
+    fn parse_insert_forms() {
+        let s = parse_statement("insert into t values (1, 'a'), (2, 'b')").unwrap();
+        let Statement::Insert(i) = s else {
+            panic!("expected insert")
+        };
+        assert!(matches!(i.source, InsertSource::Values(ref v) if v.len() == 2));
+
+        let s = parse_statement("insert into t (a, b) select a, b from u").unwrap();
+        let Statement::Insert(i) = s else {
+            panic!("expected insert")
+        };
+        assert_eq!(i.columns, vec!["a".to_string(), "b".to_string()]);
+        assert!(matches!(i.source, InsertSource::Query(_)));
+    }
+
+    #[test]
+    fn parse_delete() {
+        let s = parse_statement("delete from t where x <> 3").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse_query("select a + b * c from t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.items[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        let Expr::Binary { op, right, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let q = parse_query("select * from t where a = 1 or b = 2 and c = 3").unwrap();
+        // or(a=1, and(b=2, c=3))
+        let Some(Expr::Binary { op, .. }) = &q.where_clause else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Or);
+    }
+
+    #[test]
+    fn params_numbered_in_order() {
+        let q = parse_query("select * from t where a = ? and b = ?").unwrap();
+        let mut params = Vec::new();
+        fn walk(e: &Expr, out: &mut Vec<usize>) {
+            match e {
+                Expr::Param(i) => out.push(*i),
+                Expr::Binary { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                _ => {}
+            }
+        }
+        walk(q.where_clause.as_ref().unwrap(), &mut params);
+        assert_eq!(params, vec![0, 1]);
+    }
+
+    #[test]
+    fn count_star_and_aggregates() {
+        let q = parse_query("select count(*), sum(x), avg(y) from t").unwrap();
+        assert!(matches!(
+            q.items[0],
+            SelectItem::Expr {
+                expr: Expr::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wildcards() {
+        let q = parse_query("select *, t.* from t").unwrap();
+        assert_eq!(q.items[0], SelectItem::Wildcard);
+        assert_eq!(q.items[1], SelectItem::QualifiedWildcard("t".to_string()));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = parse_query("select * from t order by a desc, b limit 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].1);
+        assert!(!q.order_by[1].1);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_script_multiple_statements() {
+        let stmts = parse_script(
+            "create table a (x int); create table b (y float);; select * from a;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_messages_mention_context() {
+        let e = parse_statement("create banana x").unwrap_err();
+        assert!(matches!(e, SqlError::Parse(_)));
+        let e = parse_statement("select from t").unwrap_err();
+        assert!(matches!(e, SqlError::Parse(_)));
+    }
+
+    #[test]
+    fn groupby_one_word_accepted() {
+        // The paper's compute_comps2 writes `groupby comp`.
+        let q = parse_query("select comp, sum(d) from m groupby comp").unwrap();
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn create_materialized_view() {
+        let s = parse_statement(
+            "create materialized view comp_prices as \
+             select comp, sum(price*weight) as price from stocks, comps_list \
+             where stocks.symbol = comps_list.symbol group by comp",
+        )
+        .unwrap();
+        let Statement::CreateView(v) = s else {
+            panic!()
+        };
+        assert!(v.materialized);
+        assert_eq!(v.name, "comp_prices");
+    }
+}

@@ -1,0 +1,446 @@
+//! Executor tests against a minimal `Env` implementation (no transactions:
+//! DML writes straight through to storage).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_sql::exec::{
+    execute_delete, execute_insert, execute_query, execute_query_bound, execute_update, Env, Rel,
+};
+use strip_sql::expr::ScalarFn;
+use strip_sql::parser::{parse_query, parse_statement};
+use strip_sql::{SqlError, Statement};
+use strip_storage::{
+    Catalog, ColumnSource, CountingMeter, DataType, IndexKind, Meter, Op, Schema, TempTable, Value,
+};
+
+struct TestEnv {
+    catalog: Catalog,
+    temps: HashMap<String, Arc<TempTable>>,
+    meter: CountingMeter,
+    fns: HashMap<String, ScalarFn>,
+}
+
+impl TestEnv {
+    fn new() -> TestEnv {
+        TestEnv {
+            catalog: Catalog::new(),
+            temps: HashMap::new(),
+            meter: CountingMeter::new(),
+            fns: HashMap::new(),
+        }
+    }
+
+    fn ddl(&self, sql: &str) {
+        match parse_statement(sql).unwrap() {
+            Statement::CreateTable(ct) => {
+                let schema = Schema::new(
+                    ct.columns
+                        .iter()
+                        .map(|(n, t)| strip_storage::Column::new(n, *t))
+                        .collect(),
+                )
+                .unwrap()
+                .into_ref();
+                self.catalog.create_table(&ct.name, schema).unwrap();
+            }
+            Statement::CreateIndex(ci) => {
+                let t = self.catalog.table(&ci.table).unwrap();
+                let kind = if ci.using_rbtree {
+                    IndexKind::RbTree
+                } else {
+                    IndexKind::Hash
+                };
+                t.write().create_index(ci.name, &ci.column, kind).unwrap();
+            }
+            other => panic!("not DDL: {other:?}"),
+        }
+    }
+
+    fn run(&self, sql: &str) -> strip_sql::ResultSet {
+        let q = parse_query(sql).unwrap();
+        execute_query(self, &q, &[]).unwrap()
+    }
+
+    fn dml(&self, sql: &str) -> usize {
+        match parse_statement(sql).unwrap() {
+            Statement::Insert(i) => execute_insert(self, &i, &[]).unwrap(),
+            Statement::Update(u) => execute_update(self, &u, &[]).unwrap(),
+            Statement::Delete(d) => execute_delete(self, &d, &[]).unwrap(),
+            other => panic!("not DML: {other:?}"),
+        }
+    }
+}
+
+impl Env for TestEnv {
+    fn meter(&self) -> &dyn Meter {
+        &self.meter
+    }
+
+    fn relation(&self, name: &str) -> Option<Rel> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.temps.get(&key) {
+            return Some(Rel::Temp(t.clone()));
+        }
+        self.catalog.table(&key).ok().map(Rel::Standard)
+    }
+
+    fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
+        self.fns.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
+        let t = self.catalog.table(table)?;
+        t.write().insert(row)?;
+        Ok(())
+    }
+
+    fn dml_update(
+        &self,
+        table: &str,
+        id: strip_storage::RowId,
+        new: Vec<Value>,
+    ) -> strip_sql::Result<()> {
+        let t = self.catalog.table(table)?;
+        t.write().update(id, new)?;
+        Ok(())
+    }
+
+    fn dml_delete(&self, table: &str, id: strip_storage::RowId) -> strip_sql::Result<()> {
+        let t = self.catalog.table(table)?;
+        t.write().delete(id)?;
+        Ok(())
+    }
+}
+
+/// The paper's Figure-4 data set.
+fn figure4_env() -> TestEnv {
+    let env = TestEnv::new();
+    env.ddl("create table stocks (symbol str, price float)");
+    env.ddl("create table comps_list (comp str, symbol str, weight float)");
+    env.ddl("create table comp_prices (comp str, price float)");
+    env.ddl("create index ix_cl_symbol on comps_list (symbol)");
+    env.ddl("create index ix_cp_comp on comp_prices (comp)");
+    env.dml("insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50)");
+    env.dml(
+        "insert into comps_list values \
+         ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7)",
+    );
+    env.dml("insert into comp_prices values ('C1', 40.0), ('C2', 37.0)");
+    env
+}
+
+#[test]
+fn point_select() {
+    let env = figure4_env();
+    let rs = env.run("select price from stocks where symbol = 'S2'");
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.single("price").unwrap().as_f64(), Some(40.0));
+}
+
+#[test]
+fn join_computes_figure4_view() {
+    let env = figure4_env();
+    // comp_prices as defined in §3: select comp, sum(price*weight) group by comp.
+    let rs = env.run(
+        "select comp, sum(price*weight) as price \
+         from stocks, comps_list \
+         where stocks.symbol = comps_list.symbol \
+         group by comp order by comp",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "comp").unwrap().as_str(), Some("C1"));
+    assert_eq!(rs.value(0, "price").unwrap().as_f64(), Some(40.0));
+    assert_eq!(rs.value(1, "comp").unwrap().as_str(), Some("C2"));
+    assert_eq!(rs.value(1, "price").unwrap().as_f64(), Some(37.0));
+}
+
+#[test]
+fn three_way_join() {
+    let env = figure4_env();
+    let rs = env.run(
+        "select c.comp, s.price, p.price as comp_price \
+         from stocks s, comps_list c, comp_prices p \
+         where s.symbol = c.symbol and c.comp = p.comp and s.symbol = 'S2' \
+         order by c.comp",
+    );
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.value(0, "comp").unwrap().as_str(), Some("C2"));
+    assert_eq!(rs.value(0, "comp_price").unwrap().as_f64(), Some(37.0));
+}
+
+#[test]
+fn index_probe_avoids_full_scan() {
+    let env = figure4_env();
+    env.meter.reset();
+    // stocks has no index: the 3-row side seeds; comps_list (4 rows, indexed
+    // on symbol) must be probed, not scanned.
+    let _ = env.run(
+        "select comp from stocks, comps_list \
+         where stocks.symbol = comps_list.symbol and stocks.symbol = 'S1'",
+    );
+    assert!(env.meter.count(Op::IndexProbe) >= 1, "index probe expected");
+    // Fetches: 3 stock rows + probed comps_list rows (2 for S1), not 3*4.
+    assert!(env.meter.count(Op::FetchCursor) <= 6);
+}
+
+#[test]
+fn update_with_increment_and_index() {
+    let env = figure4_env();
+    let n = env.dml("update comp_prices set price += 1.5 where comp = 'C2'");
+    assert_eq!(n, 1);
+    let rs = env.run("select price from comp_prices where comp = 'C2'");
+    assert_eq!(rs.single("price").unwrap().as_f64(), Some(38.5));
+}
+
+#[test]
+fn update_all_rows_and_delete() {
+    let env = figure4_env();
+    assert_eq!(env.dml("update stocks set price = price * 2"), 3);
+    let rs = env.run("select sum(price) as s from stocks");
+    assert_eq!(rs.single("s").unwrap().as_f64(), Some(240.0));
+    assert_eq!(env.dml("delete from stocks where price > 70"), 2);
+    let rs = env.run("select count(*) as n from stocks");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(1));
+}
+
+#[test]
+fn insert_select() {
+    let env = figure4_env();
+    env.ddl("create table snapshot (symbol str, price float)");
+    assert_eq!(env.dml("insert into snapshot select symbol, price from stocks"), 3);
+    let rs = env.run("select count(*) as n from snapshot");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(3));
+}
+
+#[test]
+fn aggregates_full_set() {
+    let env = figure4_env();
+    let rs = env.run(
+        "select count(*) as n, sum(price) as s, avg(price) as a, \
+         min(price) as lo, max(price) as hi from stocks",
+    );
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(1 + 2));
+    assert_eq!(rs.single("s").unwrap().as_f64(), Some(120.0));
+    assert_eq!(rs.single("a").unwrap().as_f64(), Some(40.0));
+    assert_eq!(rs.single("lo").unwrap().as_f64(), Some(30.0));
+    assert_eq!(rs.single("hi").unwrap().as_f64(), Some(50.0));
+}
+
+#[test]
+fn aggregate_over_empty_input() {
+    let env = figure4_env();
+    let rs = env.run("select count(*) as n, sum(price) as s from stocks where price > 1000");
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(0));
+    assert!(rs.single("s").unwrap().is_null());
+}
+
+#[test]
+fn group_by_expression_over_aggregates() {
+    let env = figure4_env();
+    // Arithmetic combining aggregates and group keys.
+    let rs = env.run(
+        "select comp, sum(weight) * 100 as pct from comps_list group by comp order by comp",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "pct").unwrap().as_f64(), Some(100.0));
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let env = figure4_env();
+    let rs = env.run("select symbol, price from stocks order by price desc limit 2");
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "symbol").unwrap().as_str(), Some("S3"));
+    assert_eq!(rs.value(1, "symbol").unwrap().as_str(), Some("S2"));
+}
+
+#[test]
+fn wildcard_and_qualified_wildcard() {
+    let env = figure4_env();
+    let rs = env.run("select * from stocks where symbol = 'S1'");
+    assert_eq!(rs.schema.arity(), 2);
+    let rs = env.run(
+        "select s.* from stocks s, comps_list c where s.symbol = c.symbol and c.comp = 'C1' \
+         order by s.symbol",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.schema.arity(), 2);
+}
+
+#[test]
+fn scalar_function_in_query() {
+    let mut env = figure4_env();
+    env.fns.insert(
+        "double_it".to_string(),
+        ScalarFn {
+            name: "double_it".into(),
+            returns: DataType::Float,
+            f: Arc::new(|args| {
+                Ok(Value::Float(args[0].as_f64().ok_or_else(|| {
+                    SqlError::exec("double_it needs a number")
+                })? * 2.0))
+            }),
+            model_evals: 0,
+        },
+    );
+    let rs = env.run("select double_it(price) as p2 from stocks where symbol = 'S1'");
+    assert_eq!(rs.single("p2").unwrap().as_f64(), Some(60.0));
+}
+
+#[test]
+fn bound_result_uses_pointer_columns() {
+    let env = figure4_env();
+    let q = parse_query(
+        "select comp, symbol, weight from comps_list where symbol = 'S1'",
+    )
+    .unwrap();
+    let bound = execute_query_bound(&env, &q, &[], "matches").unwrap();
+    assert_eq!(bound.len(), 2);
+    // All three columns come from comps_list records: one pointer, no slots.
+    assert_eq!(bound.static_map().n_ptrs(), 1);
+    assert_eq!(bound.static_map().n_slots(), 0);
+    assert!(bound
+        .static_map()
+        .sources()
+        .iter()
+        .all(|s| matches!(s, ColumnSource::Pointer { .. })));
+}
+
+#[test]
+fn bound_result_mixes_pointers_and_slots() {
+    let env = figure4_env();
+    let q = parse_query(
+        "select comp, weight * 2 as w2 from comps_list where symbol = 'S1'",
+    )
+    .unwrap();
+    let bound = execute_query_bound(&env, &q, &[], "m").unwrap();
+    assert_eq!(bound.static_map().n_ptrs(), 1);
+    assert_eq!(bound.static_map().n_slots(), 1);
+    assert_eq!(bound.value(0, 1).as_f64(), Some(1.0));
+}
+
+#[test]
+fn bound_result_joins_pin_multiple_records() {
+    let env = figure4_env();
+    let q = parse_query(
+        "select stocks.symbol, price, comp from stocks, comps_list \
+         where stocks.symbol = comps_list.symbol and comp = 'C1'",
+    )
+    .unwrap();
+    let bound = execute_query_bound(&env, &q, &[], "m").unwrap();
+    assert_eq!(bound.len(), 2);
+    // Two pointers per tuple: one into stocks, one into comps_list.
+    assert_eq!(bound.static_map().n_ptrs(), 2);
+    // The bound table keeps reading condition-time values after updates.
+    let before: Vec<f64> = (0..bound.len())
+        .map(|i| bound.value(i, 1).as_f64().unwrap())
+        .collect();
+    env.dml("update stocks set price = 999");
+    let after: Vec<f64> = (0..bound.len())
+        .map(|i| bound.value(i, 1).as_f64().unwrap())
+        .collect();
+    assert_eq!(before, after, "snapshot semantics via pinned versions");
+}
+
+#[test]
+fn grouped_bound_result_is_materialized() {
+    let env = figure4_env();
+    let q = parse_query("select comp, sum(weight) as w from comps_list group by comp").unwrap();
+    let bound = execute_query_bound(&env, &q, &[], "agg").unwrap();
+    assert_eq!(bound.static_map().n_ptrs(), 0);
+    assert_eq!(bound.len(), 2);
+}
+
+#[test]
+fn query_against_temp_table() {
+    let mut env = figure4_env();
+    let schema = Schema::of(&[("x", DataType::Int), ("y", DataType::Float)]).into_ref();
+    let mut t = TempTable::materialized("tmp", schema);
+    t.push_row(vec![1i64.into(), 10.0.into()]).unwrap();
+    t.push_row(vec![2i64.into(), 20.0.into()]).unwrap();
+    env.temps.insert("tmp".into(), Arc::new(t));
+    let rs = env.run("select sum(y) as s from tmp where x > 1");
+    assert_eq!(rs.single("s").unwrap().as_f64(), Some(20.0));
+}
+
+#[test]
+fn dml_against_temp_table_rejected() {
+    let mut env = figure4_env();
+    let schema = Schema::of(&[("x", DataType::Int)]).into_ref();
+    env.temps
+        .insert("b".into(), Arc::new(TempTable::materialized("b", schema)));
+    let stmt = parse_statement("update b set x = 1").unwrap();
+    let Statement::Update(u) = stmt else { panic!() };
+    assert!(execute_update(&env, &u, &[]).is_err());
+    let stmt = parse_statement("delete from b").unwrap();
+    let Statement::Delete(d) = stmt else { panic!() };
+    assert!(execute_delete(&env, &d, &[]).is_err());
+}
+
+#[test]
+fn positional_parameters() {
+    let env = figure4_env();
+    let q = parse_query("select price from stocks where symbol = ?").unwrap();
+    let rs = execute_query(&env, &q, &[Value::str("S3")]).unwrap();
+    assert_eq!(rs.single("price").unwrap().as_f64(), Some(50.0));
+    // Missing parameter is an error.
+    assert!(execute_query(&env, &q, &[]).is_err());
+}
+
+#[test]
+fn errors_unknown_names() {
+    let env = figure4_env();
+    let q = parse_query("select x from nope").unwrap();
+    assert!(matches!(
+        execute_query(&env, &q, &[]),
+        Err(SqlError::Analyze(_))
+    ));
+    let q = parse_query("select nope from stocks").unwrap();
+    assert!(execute_query(&env, &q, &[]).is_err());
+    let q = parse_query("select symbol from stocks s, comps_list c").unwrap();
+    assert!(execute_query(&env, &q, &[]).is_err(), "ambiguous symbol");
+}
+
+#[test]
+fn cartesian_join_without_predicate() {
+    let env = figure4_env();
+    let rs = env.run("select count(*) as n from stocks, comp_prices");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(6));
+}
+
+#[test]
+fn duplicate_alias_rejected() {
+    let env = figure4_env();
+    let q = parse_query("select * from stocks s, comps_list s").unwrap();
+    assert!(execute_query(&env, &q, &[]).is_err());
+}
+
+#[test]
+fn execute_order_style_temp_join() {
+    // Mimics the paper's `new.execute_order = old.execute_order` join
+    // between two temp tables.
+    let mut env = TestEnv::new();
+    let schema =
+        Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float), ("execute_order", DataType::Int)])
+            .into_ref();
+    let mut new_t = TempTable::materialized("new", schema.clone());
+    let mut old_t = TempTable::materialized("old", schema);
+    // Two updates to the same symbol: order matters.
+    old_t.push_row(vec!["S1".into(), 30.0.into(), 1i64.into()]).unwrap();
+    new_t.push_row(vec!["S1".into(), 31.0.into(), 1i64.into()]).unwrap();
+    old_t.push_row(vec!["S1".into(), 31.0.into(), 2i64.into()]).unwrap();
+    new_t.push_row(vec!["S1".into(), 32.0.into(), 2i64.into()]).unwrap();
+    env.temps.insert("new".into(), Arc::new(new_t));
+    env.temps.insert("old".into(), Arc::new(old_t));
+    let rs = env.run(
+        "select new.price as new_price, old.price as old_price \
+         from new, old where new.execute_order = old.execute_order \
+         order by new.execute_order",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "old_price").unwrap().as_f64(), Some(30.0));
+    assert_eq!(rs.value(0, "new_price").unwrap().as_f64(), Some(31.0));
+    assert_eq!(rs.value(1, "old_price").unwrap().as_f64(), Some(31.0));
+    assert_eq!(rs.value(1, "new_price").unwrap().as_f64(), Some(32.0));
+}

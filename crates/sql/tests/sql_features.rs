@@ -1,0 +1,211 @@
+//! Tests for the extended SQL surface: DISTINCT, HAVING, IN, BETWEEN,
+//! IS [NOT] NULL, and NULL literals.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use strip_sql::exec::{execute_query, Env, Rel};
+use strip_sql::expr::ScalarFn;
+use strip_sql::parser::parse_query;
+use strip_storage::{Catalog, CountingMeter, DataType, Meter, Schema, TempTable, Value};
+
+struct TestEnv {
+    catalog: Catalog,
+    temps: HashMap<String, Arc<TempTable>>,
+    meter: CountingMeter,
+}
+
+impl Env for TestEnv {
+    fn meter(&self) -> &dyn Meter {
+        &self.meter
+    }
+    fn relation(&self, name: &str) -> Option<Rel> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.temps.get(&key) {
+            return Some(Rel::Temp(t.clone()));
+        }
+        self.catalog.table(&key).ok().map(Rel::Standard)
+    }
+    fn scalar_fn(&self, _name: &str) -> Option<ScalarFn> {
+        None
+    }
+    fn dml_insert(&self, _: &str, _: Vec<Value>) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+    fn dml_update(
+        &self,
+        _: &str,
+        _: strip_storage::RowId,
+        _: Vec<Value>,
+    ) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+    fn dml_delete(&self, _: &str, _: strip_storage::RowId) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+}
+
+/// orders(customer str, amount float) with a few rows.
+fn env() -> TestEnv {
+    let e = TestEnv {
+        catalog: Catalog::new(),
+        temps: HashMap::new(),
+        meter: CountingMeter::new(),
+    };
+    let schema = Schema::of(&[("customer", DataType::Str), ("amount", DataType::Float)]);
+    let t = e.catalog.create_table("orders", schema.into_ref()).unwrap();
+    {
+        let mut t = t.write();
+        for (c, a) in [
+            ("alice", 10.0),
+            ("bob", 5.0),
+            ("alice", 30.0),
+            ("carol", 7.0),
+            ("bob", 5.0),
+        ] {
+            t.insert(vec![c.into(), a.into()]).unwrap();
+        }
+    }
+    e
+}
+
+fn run(env: &TestEnv, sql: &str) -> strip_sql::ResultSet {
+    execute_query(env, &parse_query(sql).unwrap(), &[]).unwrap()
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let e = env();
+    let rs = run(&e, "select customer from orders order by customer");
+    assert_eq!(rs.len(), 5);
+    let rs = run(&e, "select distinct customer from orders order by customer");
+    assert_eq!(rs.len(), 3);
+    // Multi-column distinct: (bob, 5.0) appears twice, collapses to once.
+    let rs = run(&e, "select distinct customer, amount from orders");
+    assert_eq!(rs.len(), 4);
+}
+
+#[test]
+fn having_filters_groups() {
+    let e = env();
+    let rs = run(
+        &e,
+        "select customer, sum(amount) as total from orders \
+         group by customer having sum(amount) > 9 order by customer",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "customer").unwrap().as_str(), Some("alice"));
+    assert_eq!(rs.value(0, "total").unwrap().as_f64(), Some(40.0));
+    assert_eq!(rs.value(1, "customer").unwrap().as_str(), Some("bob"));
+}
+
+#[test]
+fn having_may_reference_aggregates_not_in_select() {
+    let e = env();
+    let rs = run(
+        &e,
+        "select customer from orders group by customer \
+         having count(*) = 2 order by customer",
+    );
+    assert_eq!(rs.len(), 2); // alice (2 orders) and bob (2 orders)
+}
+
+#[test]
+fn in_list_and_not_in() {
+    let e = env();
+    let rs = run(
+        &e,
+        "select distinct customer from orders \
+         where customer in ('alice', 'carol') order by customer",
+    );
+    assert_eq!(rs.len(), 2);
+    let rs = run(
+        &e,
+        "select distinct customer from orders \
+         where customer not in ('alice', 'carol')",
+    );
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.value(0, "customer").unwrap().as_str(), Some("bob"));
+}
+
+#[test]
+fn between_and_not_between() {
+    let e = env();
+    let rs = run(&e, "select amount from orders where amount between 5 and 10 order by amount");
+    assert_eq!(rs.len(), 4); // 5, 5, 7, 10
+    let rs = run(&e, "select amount from orders where amount not between 5 and 10");
+    assert_eq!(rs.len(), 1); // 30
+    // BETWEEN's AND must not swallow a following logical AND.
+    let rs = run(
+        &e,
+        "select amount from orders \
+         where amount between 5 and 10 and customer = 'bob'",
+    );
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn is_null_on_aggregate_results() {
+    let e = env();
+    // SUM over an empty input is NULL; IS NULL sees it.
+    let rs = run(
+        &e,
+        "select sum(amount) as s from orders where customer = 'nobody'",
+    );
+    assert!(rs.single("s").unwrap().is_null());
+    let rs = run(
+        &e,
+        "select count(*) as n from orders where customer = 'nobody' having sum(amount) is null",
+    );
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(0));
+    let rs = run(
+        &e,
+        "select count(*) as n from orders having sum(amount) is not null",
+    );
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn null_literal_comparisons() {
+    let e = env();
+    // NULL = NULL is true under our total ordering (documented deviation
+    // from three-valued logic; STRIP v2.0 had no NULLs at all).
+    let rs = run(&e, "select count(*) as n from orders where null is null");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(5));
+    let rs = run(&e, "select count(*) as n from orders where amount is null");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(0));
+    let rs = run(&e, "select count(*) as n from orders where amount is not null");
+    assert_eq!(rs.single("n").unwrap().as_i64(), Some(5));
+}
+
+#[test]
+fn distinct_with_order_and_limit() {
+    let e = env();
+    let rs = run(
+        &e,
+        "select distinct customer from orders order by customer desc limit 2",
+    );
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.value(0, "customer").unwrap().as_str(), Some("carol"));
+    assert_eq!(rs.value(1, "customer").unwrap().as_str(), Some("bob"));
+}
+
+#[test]
+fn stddev_and_var_aggregates() {
+    let e = env();
+    // amounts: 10, 5, 30, 7, 5 — mean 11.4, population var 89.84.
+    let rs = run(&e, "select var(amount) as v, stddev(amount) as sd from orders");
+    let v = rs.single("v").unwrap().as_f64().unwrap();
+    let sd = rs.single("sd").unwrap().as_f64().unwrap();
+    assert!((v - 89.84).abs() < 1e-9, "var = {v}");
+    assert!((sd - 89.84f64.sqrt()).abs() < 1e-9, "stddev = {sd}");
+    // Per-group and over empty input.
+    let rs = run(
+        &e,
+        "select customer, stddev(amount) as sd from orders group by customer order by customer",
+    );
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs.value(1, "sd").unwrap().as_f64(), Some(0.0), "bob: 5 and 5");
+    let rs = run(&e, "select var(amount) as v from orders where amount > 1000");
+    assert!(rs.single("v").unwrap().is_null());
+}

@@ -1,0 +1,184 @@
+//! The catalog: named standard tables (plus registered view definitions).
+//!
+//! Tables are shared as `Arc<RwLock<StandardTable>>`: the lock is a short
+//! physical latch for structural safety; *logical* isolation is provided by
+//! the strict-2PL lock manager in `strip-txn`.
+
+use crate::error::{Result, StorageError};
+use crate::schema::SchemaRef;
+use crate::table::StandardTable;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to a standard table.
+pub type TableRef = Arc<RwLock<StandardTable>>;
+
+/// A stored view definition. The catalog treats the definition text as
+/// opaque; the SQL layer parses it. Materialized views are backed by a
+/// standard table of the same name maintained by rules (the paper's usage).
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// View name (lower-cased).
+    pub name: String,
+    /// The defining `SELECT ...` text.
+    pub query_text: String,
+    /// Whether a backing table was materialized at creation.
+    pub materialized: bool,
+}
+
+/// The database catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, TableRef>>,
+    views: RwLock<HashMap<String, ViewDef>>,
+}
+
+impl Catalog {
+    /// New empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a table. Fails if a table or view of that name exists.
+    pub fn create_table(&self, name: &str, schema: SchemaRef) -> Result<TableRef> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) || self.views.read().contains_key(&key) {
+            return Err(StorageError::TableExists(key));
+        }
+        let table = Arc::new(RwLock::new(StandardTable::new(key.clone(), schema)));
+        tables.insert(key, table.clone());
+        Ok(table)
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .write()
+            .remove(&key)
+            .map(|_| ())
+            .ok_or(StorageError::NoSuchTable(key))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<TableRef> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::NoSuchTable(key))
+    }
+
+    /// True if the named table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables
+            .read()
+            .contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Register a view definition.
+    pub fn create_view(&self, def: ViewDef) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        let mut views = self.views.write();
+        if views.contains_key(&key)
+            || (!def.materialized && self.tables.read().contains_key(&key))
+        {
+            return Err(StorageError::TableExists(key));
+        }
+        views.insert(
+            key.clone(),
+            ViewDef {
+                name: key,
+                ..def
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.views.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// All view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.views.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[("x", DataType::Int)]).into_ref()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let c = Catalog::new();
+        c.create_table("T1", schema()).unwrap();
+        assert!(c.has_table("t1"));
+        assert!(c.has_table("T1"));
+        let t = c.table("t1").unwrap();
+        assert_eq!(t.read().name(), "t1");
+        c.drop_table("T1").unwrap();
+        assert!(!c.has_table("t1"));
+        assert!(matches!(c.table("t1"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(matches!(
+            c.create_table("T", schema()),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn views_registered_and_conflict_with_tables() {
+        let c = Catalog::new();
+        c.create_view(ViewDef {
+            name: "v1".into(),
+            query_text: "select x from t".into(),
+            materialized: false,
+        })
+        .unwrap();
+        assert!(c.view("V1").is_some());
+        // A plain view name blocks table creation...
+        assert!(c.create_table("v1", schema()).is_err());
+        // ...but a materialized view coexists with its backing table.
+        c.create_table("mv", schema()).unwrap();
+        c.create_view(ViewDef {
+            name: "mv".into(),
+            query_text: "select x from t".into(),
+            materialized: true,
+        })
+        .unwrap();
+        assert_eq!(c.view_names(), vec!["mv".to_string(), "v1".to_string()]);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let c = Catalog::new();
+        c.create_table("zeta", schema()).unwrap();
+        c.create_table("alpha", schema()).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

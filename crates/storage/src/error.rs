@@ -1,0 +1,70 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+///
+/// The storage engine is deliberately strict: schema violations, unknown
+/// names, and type mismatches are surfaced immediately rather than coerced,
+/// because the rule engine relies on bound-table schemas being stable across
+/// batched firings (paper §2: bound tables merged across rules "must be
+/// defined identically").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// No column with this name exists in the schema.
+    NoSuchColumn(String),
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// No index with this name exists.
+    NoSuchIndex(String),
+    /// A value's runtime type does not match the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A row id does not refer to a live record.
+    DeadRow(u64),
+    /// The row arity does not match the schema arity.
+    ArityMismatch { expected: usize, got: usize },
+    /// Two schemas that must be identical (e.g. bound tables merged by the
+    /// unique-transaction manager) differ.
+    SchemaMismatch(String),
+    /// Catch-all for invariant violations with a message.
+    Invariant(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(n) => write!(f, "table `{n}` already exists"),
+            StorageError::NoSuchTable(n) => write!(f, "no such table `{n}`"),
+            StorageError::NoSuchColumn(n) => write!(f, "no such column `{n}`"),
+            StorageError::IndexExists(n) => write!(f, "index `{n}` already exists"),
+            StorageError::NoSuchIndex(n) => write!(f, "no such index `{n}`"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {got}"
+            ),
+            StorageError::DeadRow(id) => write!(f, "row id {id} does not refer to a live record"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected}, got {got}")
+            }
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::Invariant(m) => write!(f, "storage invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,148 @@
+//! Secondary-index implementations: hash and red-black tree.
+//!
+//! Both map a key `Value` to the set of `RowId`s whose indexed column holds
+//! that key (indexes are non-unique: `comps_list.symbol` maps one stock to
+//! its ~12 composites).
+
+use crate::rbtree::RbMap;
+use crate::table::RowId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Which index structure to use (paper §6.1 offers both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) point probes, no range scans.
+    Hash,
+    /// Red-black tree index: O(log n) probes plus ordered range scans.
+    RbTree,
+}
+
+/// A non-unique secondary index.
+#[derive(Debug)]
+pub enum Index {
+    Hash(HashMap<Value, Vec<RowId>>),
+    RbTree(RbMap<Value, Vec<RowId>>),
+}
+
+impl Index {
+    /// Create an empty index of the given kind.
+    pub fn new(kind: IndexKind) -> Index {
+        match kind {
+            IndexKind::Hash => Index::Hash(HashMap::new()),
+            IndexKind::RbTree => Index::RbTree(RbMap::new()),
+        }
+    }
+
+    /// Implementation kind.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::Hash(_) => IndexKind::Hash,
+            Index::RbTree(_) => IndexKind::RbTree,
+        }
+    }
+
+    /// Add an entry.
+    pub fn insert(&mut self, key: Value, id: RowId) {
+        match self {
+            Index::Hash(m) => m.entry(key).or_default().push(id),
+            Index::RbTree(m) => {
+                if let Some(v) = m.get_mut(&key) {
+                    v.push(id);
+                } else {
+                    m.insert(key, vec![id]);
+                }
+            }
+        }
+    }
+
+    /// Remove an entry. Missing entries are ignored (delete of a never-
+    /// indexed row is impossible by construction, but defensive here).
+    pub fn remove(&mut self, key: &Value, id: RowId) {
+        match self {
+            Index::Hash(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|x| *x != id);
+                }
+            }
+            Index::RbTree(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|x| *x != id);
+                }
+            }
+        }
+    }
+
+    /// Point probe: all rows whose key equals `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        match self {
+            Index::Hash(m) => m.get(key).cloned().unwrap_or_default(),
+            Index::RbTree(m) => m.get(key).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Range probe `lo <= key <= hi`. `None` for hash indexes (unsupported).
+    pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::RbTree(m) => Some(
+                m.range(&lo.clone(), &hi.clone())
+                    .into_iter()
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Total number of `(key, row)` entries, for integrity checks.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.values().map(Vec::len).sum(),
+            Index::RbTree(m) => m.iter().map(|(_, v)| v.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RowId has private fields; fabricate them through a throwaway table.
+    fn row_ids(n: usize) -> Vec<RowId> {
+        use crate::schema::Schema;
+        use crate::table::StandardTable;
+        use crate::value::DataType;
+        let mut t = StandardTable::new("t", Schema::of(&[("x", DataType::Int)]).into_ref());
+        (0..n)
+            .map(|i| t.insert(vec![(i as i64).into()]).unwrap().0)
+            .collect()
+    }
+
+    #[test]
+    fn hash_index_multimap_behavior() {
+        let ids = row_ids(3);
+        let mut ix = Index::new(IndexKind::Hash);
+        ix.insert("A".into(), ids[0]);
+        ix.insert("A".into(), ids[1]);
+        ix.insert("B".into(), ids[2]);
+        assert_eq!(ix.lookup(&"A".into()), vec![ids[0], ids[1]]);
+        ix.remove(&"A".into(), ids[0]);
+        assert_eq!(ix.lookup(&"A".into()), vec![ids[1]]);
+        assert_eq!(ix.entry_count(), 2);
+        assert_eq!(ix.range(&"A".into(), &"B".into()), None);
+    }
+
+    #[test]
+    fn rbtree_index_range() {
+        let ids = row_ids(4);
+        let mut ix = Index::new(IndexKind::RbTree);
+        for (i, id) in ids.iter().enumerate() {
+            ix.insert((i as i64).into(), *id);
+        }
+        assert_eq!(
+            ix.range(&1i64.into(), &2i64.into()).unwrap(),
+            vec![ids[1], ids[2]]
+        );
+        assert_eq!(ix.kind(), IndexKind::RbTree);
+    }
+}

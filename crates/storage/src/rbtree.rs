@@ -1,0 +1,610 @@
+//! An arena-based red-black tree map.
+//!
+//! STRIP stores table indexes "using either a hash or red-black tree
+//! structure" (paper §6.1). This is a from-scratch red-black tree used as the
+//! ordered index implementation. Nodes live in a `Vec` arena and refer to
+//! each other by index, which keeps the implementation entirely safe Rust
+//! and keeps nodes small and cache-friendly.
+//!
+//! Supported operations: insert, get, remove, in-order iteration, and
+//! inclusive/exclusive range scans — everything an ordered secondary index
+//! needs. The classic CLRS insertion/deletion fixup algorithms are used.
+
+use std::cmp::Ordering;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    left: u32,
+    right: u32,
+    parent: u32,
+    color: Color,
+}
+
+/// An ordered map implemented as a red-black tree.
+///
+/// ```
+/// use strip_storage::rbtree::RbMap;
+///
+/// let mut m = RbMap::new();
+/// m.insert("ibm", 101.5);
+/// m.insert("aapl", 42.0);
+/// assert_eq!(m.get(&"ibm"), Some(&101.5));
+/// let keys: Vec<&str> = m.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(keys, vec!["aapl", "ibm"]); // in-order
+/// assert_eq!(m.remove(&"ibm"), Some(101.5));
+/// m.check_invariants().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbMap<K, V> {
+    nodes: Vec<Option<Node<K, V>>>,
+    /// Indices of removed nodes available for reuse.
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for RbMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> RbMap<K, V> {
+    /// New empty map.
+    pub fn new() -> Self {
+        RbMap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, i: u32) -> &Node<K, V> {
+        self.nodes[i as usize].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, i: u32) -> &mut Node<K, V> {
+        self.nodes[i as usize].as_mut().expect("live node")
+    }
+
+    fn color(&self, i: u32) -> Color {
+        if i == NIL {
+            Color::Black
+        } else {
+            self.node(i).color
+        }
+    }
+
+    fn alloc(&mut self, key: K, val: V) -> u32 {
+        let node = Node {
+            key,
+            val,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            color: Color::Red,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Some(node);
+            i
+        } else {
+            self.nodes.push(Some(node));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let i = self.find(key)?;
+        Some(&self.node(i).val)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let i = self.find(key)?;
+        Some(&mut self.node_mut(i).val)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    fn find(&self, key: &K) -> Option<u32> {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(&self.node(cur).key) {
+                Ordering::Less => cur = self.node(cur).left,
+                Ordering::Greater => cur = self.node(cur).right,
+                Ordering::Equal => return Some(cur),
+            }
+        }
+        None
+    }
+
+    /// Insert a key/value pair. Returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        // Standard BST descent.
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            match key.cmp(&self.node(cur).key) {
+                Ordering::Less => cur = self.node(cur).left,
+                Ordering::Greater => cur = self.node(cur).right,
+                Ordering::Equal => {
+                    return Some(std::mem::replace(&mut self.node_mut(cur).val, val));
+                }
+            }
+        }
+        let n = self.alloc(key, val);
+        self.node_mut(n).parent = parent;
+        if parent == NIL {
+            self.root = n;
+        } else if self.node(n).key < self.node(parent).key {
+            self.node_mut(parent).left = n;
+        } else {
+            self.node_mut(parent).right = n;
+        }
+        self.len += 1;
+        self.insert_fixup(n);
+        None
+    }
+
+    fn rotate_left(&mut self, x: u32) {
+        let y = self.node(x).right;
+        debug_assert_ne!(y, NIL);
+        let y_left = self.node(y).left;
+        self.node_mut(x).right = y_left;
+        if y_left != NIL {
+            self.node_mut(y_left).parent = x;
+        }
+        let xp = self.node(x).parent;
+        self.node_mut(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.node(xp).left == x {
+            self.node_mut(xp).left = y;
+        } else {
+            self.node_mut(xp).right = y;
+        }
+        self.node_mut(y).left = x;
+        self.node_mut(x).parent = y;
+    }
+
+    fn rotate_right(&mut self, x: u32) {
+        let y = self.node(x).left;
+        debug_assert_ne!(y, NIL);
+        let y_right = self.node(y).right;
+        self.node_mut(x).left = y_right;
+        if y_right != NIL {
+            self.node_mut(y_right).parent = x;
+        }
+        let xp = self.node(x).parent;
+        self.node_mut(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.node(xp).right == x {
+            self.node_mut(xp).right = y;
+        } else {
+            self.node_mut(xp).left = y;
+        }
+        self.node_mut(y).right = x;
+        self.node_mut(x).parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.color(self.node(z).parent) == Color::Red {
+            let p = self.node(z).parent;
+            let g = self.node(p).parent;
+            if p == self.node(g).left {
+                let uncle = self.node(g).right;
+                if self.color(uncle) == Color::Red {
+                    self.node_mut(p).color = Color::Black;
+                    self.node_mut(uncle).color = Color::Black;
+                    self.node_mut(g).color = Color::Red;
+                    z = g;
+                } else {
+                    if z == self.node(p).right {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.node(z).parent;
+                    let g = self.node(p).parent;
+                    self.node_mut(p).color = Color::Black;
+                    self.node_mut(g).color = Color::Red;
+                    self.rotate_right(g);
+                }
+            } else {
+                let uncle = self.node(g).left;
+                if self.color(uncle) == Color::Red {
+                    self.node_mut(p).color = Color::Black;
+                    self.node_mut(uncle).color = Color::Black;
+                    self.node_mut(g).color = Color::Red;
+                    z = g;
+                } else {
+                    if z == self.node(p).left {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.node(z).parent;
+                    let g = self.node(p).parent;
+                    self.node_mut(p).color = Color::Black;
+                    self.node_mut(g).color = Color::Red;
+                    self.rotate_left(g);
+                }
+            }
+            if z == self.root {
+                break;
+            }
+        }
+        let root = self.root;
+        self.node_mut(root).color = Color::Black;
+    }
+
+    fn minimum(&self, mut x: u32) -> u32 {
+        while self.node(x).left != NIL {
+            x = self.node(x).left;
+        }
+        x
+    }
+
+    /// Replace subtree rooted at `u` with subtree rooted at `v` (CLRS
+    /// transplant). `v` may be NIL.
+    fn transplant(&mut self, u: u32, v: u32) {
+        let up = self.node(u).parent;
+        if up == NIL {
+            self.root = v;
+        } else if self.node(up).left == u {
+            self.node_mut(up).left = v;
+        } else {
+            self.node_mut(up).right = v;
+        }
+        if v != NIL {
+            self.node_mut(v).parent = up;
+        }
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let z = self.find(key)?;
+        self.len -= 1;
+
+        // `fix_at` is the node that moves into the removed position; we track
+        // its parent explicitly because it may be NIL.
+        let mut y = z;
+        let mut y_original_color = self.node(y).color;
+        let x: u32;
+        let x_parent: u32;
+        if self.node(z).left == NIL {
+            x = self.node(z).right;
+            x_parent = self.node(z).parent;
+            self.transplant(z, x);
+        } else if self.node(z).right == NIL {
+            x = self.node(z).left;
+            x_parent = self.node(z).parent;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.node(z).right);
+            y_original_color = self.node(y).color;
+            x = self.node(y).right;
+            if self.node(y).parent == z {
+                x_parent = y;
+                if x != NIL {
+                    self.node_mut(x).parent = y;
+                }
+            } else {
+                x_parent = self.node(y).parent;
+                self.transplant(y, x);
+                let zr = self.node(z).right;
+                self.node_mut(y).right = zr;
+                self.node_mut(zr).parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.node(z).left;
+            self.node_mut(y).left = zl;
+            self.node_mut(zl).parent = y;
+            self.node_mut(y).color = self.node(z).color;
+        }
+        if y_original_color == Color::Black {
+            self.delete_fixup(x, x_parent);
+        }
+        // `z` has been transplanted out of the tree; reclaim its arena slot.
+        let node = self.nodes[z as usize].take().expect("removed node was live");
+        self.free.push(z);
+        Some(node.val)
+    }
+
+    fn delete_fixup(&mut self, mut x: u32, mut x_parent: u32) {
+        while x != self.root && self.color(x) == Color::Black {
+            if x_parent == NIL {
+                break;
+            }
+            if x == self.node(x_parent).left {
+                let mut w = self.node(x_parent).right;
+                if self.color(w) == Color::Red {
+                    self.node_mut(w).color = Color::Black;
+                    self.node_mut(x_parent).color = Color::Red;
+                    self.rotate_left(x_parent);
+                    w = self.node(x_parent).right;
+                }
+                if self.color(self.node(w).left) == Color::Black
+                    && self.color(self.node(w).right) == Color::Black
+                {
+                    self.node_mut(w).color = Color::Red;
+                    x = x_parent;
+                    x_parent = self.node(x).parent;
+                } else {
+                    if self.color(self.node(w).right) == Color::Black {
+                        let wl = self.node(w).left;
+                        if wl != NIL {
+                            self.node_mut(wl).color = Color::Black;
+                        }
+                        self.node_mut(w).color = Color::Red;
+                        self.rotate_right(w);
+                        w = self.node(x_parent).right;
+                    }
+                    self.node_mut(w).color = self.node(x_parent).color;
+                    self.node_mut(x_parent).color = Color::Black;
+                    let wr = self.node(w).right;
+                    if wr != NIL {
+                        self.node_mut(wr).color = Color::Black;
+                    }
+                    self.rotate_left(x_parent);
+                    x = self.root;
+                    x_parent = NIL;
+                }
+            } else {
+                let mut w = self.node(x_parent).left;
+                if self.color(w) == Color::Red {
+                    self.node_mut(w).color = Color::Black;
+                    self.node_mut(x_parent).color = Color::Red;
+                    self.rotate_right(x_parent);
+                    w = self.node(x_parent).left;
+                }
+                if self.color(self.node(w).right) == Color::Black
+                    && self.color(self.node(w).left) == Color::Black
+                {
+                    self.node_mut(w).color = Color::Red;
+                    x = x_parent;
+                    x_parent = self.node(x).parent;
+                } else {
+                    if self.color(self.node(w).left) == Color::Black {
+                        let wr = self.node(w).right;
+                        if wr != NIL {
+                            self.node_mut(wr).color = Color::Black;
+                        }
+                        self.node_mut(w).color = Color::Red;
+                        self.rotate_left(w);
+                        w = self.node(x_parent).left;
+                    }
+                    self.node_mut(w).color = self.node(x_parent).color;
+                    self.node_mut(x_parent).color = Color::Black;
+                    let wl = self.node(w).left;
+                    if wl != NIL {
+                        self.node_mut(wl).color = Color::Black;
+                    }
+                    self.rotate_right(x_parent);
+                    x = self.root;
+                    x_parent = NIL;
+                }
+            }
+        }
+        if x != NIL {
+            self.node_mut(x).color = Color::Black;
+        }
+    }
+
+    /// In-order iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> RbIter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.node(cur).left;
+        }
+        RbIter { map: self, stack }
+    }
+
+    /// In-order iterator over keys in `[lo, hi]` (inclusive bounds).
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec<'a>(&'a self, n: u32, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
+        if n == NIL {
+            return;
+        }
+        let node = self.node(n);
+        if node.key > *lo {
+            self.range_rec(node.left, lo, hi, out);
+        }
+        if node.key >= *lo && node.key <= *hi {
+            out.push((&node.key, &node.val));
+        }
+        if node.key < *hi {
+            self.range_rec(node.right, lo, hi, out);
+        }
+    }
+
+    /// Validate the red-black invariants. Test/debug helper:
+    /// 1. The root is black.
+    /// 2. No red node has a red child.
+    /// 3. Every root-to-leaf path has the same black height.
+    /// 4. In-order traversal yields strictly increasing keys.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        if self.root != NIL && self.node(self.root).color != Color::Black {
+            return Err("root is not black".into());
+        }
+        let mut keys = Vec::with_capacity(self.len);
+        for (k, _) in self.iter() {
+            keys.push(k);
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("in-order keys not strictly increasing".into());
+        }
+        if keys.len() != self.len {
+            return Err(format!(
+                "len mismatch: iter yielded {} but len={}",
+                keys.len(),
+                self.len
+            ));
+        }
+        self.black_height(self.root).map(|_| ())
+    }
+
+    fn black_height(&self, n: u32) -> std::result::Result<usize, String> {
+        if n == NIL {
+            return Ok(1);
+        }
+        let node = self.node(n);
+        if node.color == Color::Red
+            && (self.color(node.left) == Color::Red || self.color(node.right) == Color::Red)
+        {
+            return Err("red node with red child".into());
+        }
+        let lh = self.black_height(node.left)?;
+        let rh = self.black_height(node.right)?;
+        if lh != rh {
+            return Err(format!("black-height mismatch: {lh} vs {rh}"));
+        }
+        Ok(lh + if node.color == Color::Black { 1 } else { 0 })
+    }
+}
+
+/// In-order iterator.
+pub struct RbIter<'a, K, V> {
+    map: &'a RbMap<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for RbIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let node = self.map.node(n);
+        let mut cur = node.right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.map.node(cur).left;
+        }
+        Some((&node.key, &node.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = RbMap::new();
+        assert!(m.is_empty());
+        for i in 0..100 {
+            assert_eq!(m.insert(i, i * 10), None);
+            m.check_invariants().unwrap();
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100 {
+            assert_eq!(m.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(m.insert(50, 999), Some(500));
+        assert_eq!(m.len(), 100);
+        for i in (0..100).step_by(2) {
+            let expect = if i == 50 { 999 } else { i * 10 };
+            assert_eq!(m.remove(&i), Some(expect));
+            m.check_invariants().unwrap();
+        }
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.remove(&2), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = RbMap::new();
+        for i in [5, 3, 9, 1, 7, 2, 8, 0, 6, 4] {
+            m.insert(i, ());
+        }
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut m = RbMap::new();
+        for i in 0..20 {
+            m.insert(i, i);
+        }
+        let r: Vec<i32> = m.range(&5, &9).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(r, vec![5, 6, 7, 8, 9]);
+        let r: Vec<i32> = m.range(&18, &40).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(r, vec![18, 19]);
+        assert!(m.range(&30, &40).is_empty());
+    }
+
+    #[test]
+    fn descending_and_interleaved_ops_keep_invariants() {
+        let mut m = RbMap::new();
+        for i in (0..256).rev() {
+            m.insert(i, i);
+        }
+        m.check_invariants().unwrap();
+        // Remove in an adversarial pattern.
+        for i in 0..256 {
+            let k = (i * 37) % 256;
+            m.remove(&k);
+            m.check_invariants().unwrap();
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        let mut m = RbMap::new();
+        for i in 0..16 {
+            m.insert(i, i);
+        }
+        let cap = m.nodes.len();
+        for i in 0..8 {
+            m.remove(&i);
+        }
+        for i in 100..108 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.nodes.len(), cap, "freed slots should be reused");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m = RbMap::new();
+        m.insert("k".to_string(), 1);
+        *m.get_mut(&"k".to_string()).unwrap() += 41;
+        assert_eq!(m.get(&"k".to_string()), Some(&42));
+    }
+}

@@ -1,0 +1,194 @@
+//! Table schemas.
+
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Lower-cased column name. Names are case-insensitive in the SQL layer
+    /// and normalized before reaching storage.
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Construct a column, normalizing the name to lower case.
+    pub fn new(name: impl AsRef<str>, dtype: DataType) -> Column {
+        Column {
+            name: name.as_ref().to_ascii_lowercase(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns. Shared via `Arc` because every tuple-bearing
+/// structure (tables, transition tables, bound tables, query results)
+/// references a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from columns. Column names must be unique.
+    pub fn new(columns: Vec<Column>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::Invariant(format!(
+                    "duplicate column name `{}` in schema",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Build a schema from `(name, type)` pairs. Panics on duplicates; used
+    /// for statically-known schemas in tests and builders.
+    pub fn of(cols: &[(&str, DataType)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(n, *t)).collect())
+            .expect("static schema must have unique column names")
+    }
+
+    /// Wrap in an `Arc`.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column (name is matched case-insensitively).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Index of the named column or an error.
+    pub fn index_of_ok(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Column metadata by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Validate a row against this schema, coercing permitted widenings
+    /// (int literal into float column, etc.). Returns the coerced row.
+    pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if v.conforms_to(c.dtype) {
+                    Ok(v.coerce(c.dtype))
+                } else {
+                    Err(StorageError::TypeMismatch {
+                        column: c.name.clone(),
+                        expected: c.dtype.name(),
+                        got: v.type_name(),
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// A new schema equal to `self` with extra columns appended. Used to add
+    /// the system columns `execute_order` and `commit_time` to transition
+    /// and bound tables (paper §2).
+    pub fn extended(&self, extra: &[(&str, DataType)]) -> Result<Schema> {
+        let mut cols = self.columns.clone();
+        cols.extend(extra.iter().map(|(n, t)| Column::new(n, *t)));
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let cols = vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Float),
+        ];
+        assert!(Schema::new(cols).is_err());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
+        assert_eq!(s.index_of("SYMBOL"), Some(0));
+        assert_eq!(s.index_of("Price"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_coerces_int_into_float_column() {
+        let s = Schema::of(&[("price", DataType::Float)]);
+        let row = s.check_row(vec![Value::Int(30)]).unwrap();
+        assert_eq!(row[0], Value::Float(30.0));
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_and_type() {
+        let s = Schema::of(&[("price", DataType::Float)]);
+        assert!(matches!(
+            s.check_row(vec![]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(vec![Value::str("oops")]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extended_appends_system_columns() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let e = s.extended(&[("execute_order", DataType::Int)]).unwrap();
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.index_of("execute_order"), Some(1));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert_eq!(s.to_string(), "(a int, b str)");
+    }
+}

@@ -1,0 +1,473 @@
+//! Standard tables: versioned, in-memory record stores.
+//!
+//! Paper §6.1: "standard table records are not changed in place — a new
+//! record is created and linked into the relation. The old record is removed
+//! from the relation but kept in the system until the last bound table that
+//! references it is retired, as determined by a reference counting scheme."
+//!
+//! We implement the reference-counting scheme with `Arc<RecordData>`: the
+//! table's slot holds one strong reference to the *current* version of each
+//! row; transition tables and bound tables hold strong references to the
+//! versions they captured. Replacing a slot's `Arc` on update is exactly the
+//! paper's create-new/unlink-old step, and the old version is freed when the
+//! last bound table holding it is dropped — no explicit retirement pass
+//! needed.
+
+use crate::error::{Result, StorageError};
+use crate::index::{Index, IndexKind};
+use crate::schema::SchemaRef;
+use crate::value::Value;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic version-id source, global across tables so tests can track
+/// version identity.
+static VERSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// One immutable version of a record. Attribute values are stored inline
+/// (paper §6.1: standard tuples store values, not pointers).
+#[derive(Debug)]
+pub struct RecordData {
+    /// Globally unique id of this version, for diagnostics and tests.
+    version_id: u64,
+    values: Box<[Value]>,
+}
+
+impl RecordData {
+    fn new(values: Vec<Value>) -> Arc<RecordData> {
+        Arc::new(RecordData {
+            version_id: VERSION_IDS.fetch_add(1, Ordering::Relaxed),
+            values: values.into_boxed_slice(),
+        })
+    }
+
+    /// The attribute values of this version.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a column offset.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Globally unique version id.
+    pub fn version_id(&self) -> u64 {
+        self.version_id
+    }
+}
+
+/// Shared handle to one record version.
+pub type RecordRef = Arc<RecordData>;
+
+/// Identifies a row slot within one table. Carries a generation counter so a
+/// stale `RowId` for a deleted-then-reused slot is detected instead of
+/// silently reading an unrelated row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId {
+    slot: u32,
+    generation: u32,
+}
+
+impl RowId {
+    /// Packed representation for error messages.
+    pub fn as_u64(self) -> u64 {
+        ((self.slot as u64) << 32) | self.generation as u64
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.slot, self.generation)
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    rec: Option<RecordRef>,
+}
+
+/// A standard (user-visible, SQL-created) table.
+#[derive(Debug)]
+pub struct StandardTable {
+    name: String,
+    schema: SchemaRef,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    indexes: Vec<TableIndex>,
+}
+
+/// A secondary index over one column of a standard table.
+#[derive(Debug)]
+pub struct TableIndex {
+    name: String,
+    column: usize,
+    index: Index,
+}
+
+impl TableIndex {
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indexed column offset.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Implementation kind.
+    pub fn kind(&self) -> IndexKind {
+        self.index.kind()
+    }
+}
+
+impl StandardTable {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: SchemaRef) -> StandardTable {
+        StandardTable {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row. Returns its `RowId`.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(RowId, RecordRef)> {
+        let row = self.schema.check_row(row)?;
+        let rec = RecordData::new(row);
+        let id = if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.rec = Some(rec.clone());
+            RowId {
+                slot,
+                generation: s.generation,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                rec: Some(rec.clone()),
+            });
+            RowId {
+                slot,
+                generation: 0,
+            }
+        };
+        self.live += 1;
+        for ix in &mut self.indexes {
+            ix.index.insert(rec.get(ix.column).clone(), id);
+        }
+        Ok((id, rec))
+    }
+
+    fn slot_ok(&self, id: RowId) -> Result<&Slot> {
+        let s = self
+            .slots
+            .get(id.slot as usize)
+            .ok_or(StorageError::DeadRow(id.as_u64()))?;
+        if s.generation != id.generation || s.rec.is_none() {
+            return Err(StorageError::DeadRow(id.as_u64()));
+        }
+        Ok(s)
+    }
+
+    /// Fetch the current version of a row.
+    pub fn get(&self, id: RowId) -> Result<RecordRef> {
+        Ok(self.slot_ok(id)?.rec.as_ref().expect("checked live").clone())
+    }
+
+    /// Update a row to new attribute values. A **new record version** is
+    /// created (paper §6.1); the old version is returned so callers
+    /// (transition-table builders) may pin it.
+    pub fn update(&mut self, id: RowId, row: Vec<Value>) -> Result<(RecordRef, RecordRef)> {
+        let row = self.schema.check_row(row)?;
+        self.slot_ok(id)?;
+        let new_rec = RecordData::new(row);
+        let s = &mut self.slots[id.slot as usize];
+        let old_rec = s.rec.replace(new_rec.clone()).expect("checked live");
+        for ix in &mut self.indexes {
+            let old_key = old_rec.get(ix.column);
+            let new_key = new_rec.get(ix.column);
+            if old_key != new_key {
+                ix.index.remove(old_key, id);
+                ix.index.insert(new_key.clone(), id);
+            } else {
+                // RowId is stable across updates, so an unchanged key needs
+                // no index maintenance at all.
+            }
+        }
+        Ok((old_rec, new_rec))
+    }
+
+    /// Delete a row. Returns the final version so callers may pin it in a
+    /// `deleted` transition table.
+    pub fn delete(&mut self, id: RowId) -> Result<RecordRef> {
+        self.slot_ok(id)?;
+        let s = &mut self.slots[id.slot as usize];
+        let old = s.rec.take().expect("checked live");
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        for ix in &mut self.indexes {
+            ix.index.remove(old.get(ix.column), id);
+        }
+        Ok(old)
+    }
+
+    /// Re-insert a specific version at a dead row id's slot. Used by
+    /// transaction rollback to undo a delete; the row gets a fresh `RowId`.
+    pub fn reinsert(&mut self, rec: &RecordRef) -> Result<RowId> {
+        let (id, _) = self.insert(rec.values().to_vec())?;
+        Ok(id)
+    }
+
+    /// Iterate over live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &RecordRef)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.rec.as_ref().map(|r| {
+                (
+                    RowId {
+                        slot: i as u32,
+                        generation: s.generation,
+                    },
+                    r,
+                )
+            })
+        })
+    }
+
+    /// Create a secondary index over `column_name`.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        column_name: &str,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        if self.indexes.iter().any(|ix| ix.name == index_name) {
+            return Err(StorageError::IndexExists(index_name));
+        }
+        let column = self.schema.index_of_ok(column_name)?;
+        let mut index = Index::new(kind);
+        for (id, rec) in self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.rec.as_ref().map(|r| (i, r)))
+            .map(|(i, r)| {
+                (
+                    RowId {
+                        slot: i as u32,
+                        generation: self.slots[i].generation,
+                    },
+                    r,
+                )
+            })
+        {
+            index.insert(rec.get(column).clone(), id);
+        }
+        self.indexes.push(TableIndex {
+            name: index_name,
+            column,
+            index,
+        });
+        Ok(())
+    }
+
+    /// The index over `column` (by offset) if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&TableIndex> {
+        self.indexes.iter().find(|ix| ix.column == column)
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[TableIndex] {
+        &self.indexes
+    }
+
+    /// Probe the index on `column` for `key`. Returns matching row ids.
+    /// Returns `None` if no index exists on that column.
+    pub fn index_lookup(&self, column: usize, key: &Value) -> Option<Vec<RowId>> {
+        self.index_on(column).map(|ix| ix.index.lookup(key))
+    }
+
+    /// Range probe (ordered indexes only): rows with `lo <= key <= hi`.
+    pub fn index_range(&self, column: usize, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        self.index_on(column).and_then(|ix| ix.index.range(lo, hi))
+    }
+
+    /// Debug/test helper: verify that every index exactly covers the live
+    /// rows.
+    pub fn check_index_integrity(&self) -> Result<()> {
+        for ix in &self.indexes {
+            let mut indexed = 0usize;
+            for (id, rec) in self.scan() {
+                let hits = ix.index.lookup(rec.get(ix.column));
+                if !hits.contains(&id) {
+                    return Err(StorageError::Invariant(format!(
+                        "index `{}` missing entry for row {id}",
+                        ix.name
+                    )));
+                }
+                indexed += 1;
+            }
+            if ix.index.entry_count() != indexed {
+                return Err(StorageError::Invariant(format!(
+                    "index `{}` has {} entries but table has {} live rows",
+                    ix.name,
+                    ix.index.entry_count(),
+                    indexed
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn stocks() -> StandardTable {
+        let schema = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
+        StandardTable::new("stocks", schema.into_ref())
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 101.5.into()]).unwrap();
+        let rec = t.get(id).unwrap();
+        assert_eq!(rec.get(0).as_str(), Some("IBM"));
+        assert_eq!(rec.get(1).as_f64(), Some(101.5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_creates_new_version_and_old_stays_alive() {
+        let mut t = stocks();
+        let (id, v0) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        let (old, new) = t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
+        assert_eq!(old.version_id(), v0.version_id());
+        assert_ne!(new.version_id(), old.version_id());
+        // The table now points at the new version...
+        assert_eq!(t.get(id).unwrap().get(1).as_f64(), Some(101.0));
+        // ...but the pinned old version still reads the captured value
+        // (paper §6.1: kept until the last bound table retires it).
+        assert_eq!(old.get(1).as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn delete_then_stale_rowid_is_detected() {
+        let mut t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.delete(id).unwrap();
+        assert!(matches!(t.get(id), Err(StorageError::DeadRow(_))));
+        // Slot reuse gets a new generation; the stale id still fails.
+        let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
+        assert_eq!(id2.slot, id.slot);
+        assert_ne!(id2.generation, id.generation);
+        assert!(t.get(id).is_err());
+        assert!(t.get(id2).is_ok());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut t = stocks();
+        assert!(t.insert(vec![1i64.into()]).is_err());
+        assert!(t.insert(vec![1i64.into(), "x".into()]).is_err());
+        let (id, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        assert!(t.update(id, vec!["A".into(), "bad".into()]).is_err());
+    }
+
+    #[test]
+    fn hash_index_maintained_across_dml() {
+        let mut t = stocks();
+        t.create_index("ix_symbol", "symbol", IndexKind::Hash).unwrap();
+        let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        let (b, _) = t.insert(vec!["B".into(), 2.0.into()]).unwrap();
+        let col = 0;
+        assert_eq!(t.index_lookup(col, &"A".into()), Some(vec![a]));
+        t.update(b, vec!["C".into(), 2.0.into()]).unwrap();
+        assert_eq!(t.index_lookup(col, &"B".into()), Some(vec![]));
+        assert_eq!(t.index_lookup(col, &"C".into()), Some(vec![b]));
+        t.delete(a).unwrap();
+        assert_eq!(t.index_lookup(col, &"A".into()), Some(vec![]));
+        t.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn rbtree_index_supports_range() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let mut t = StandardTable::new("t", schema.into_ref());
+        t.create_index("ix_k", "k", IndexKind::RbTree).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..10i64 {
+            ids.push(t.insert(vec![i.into()]).unwrap().0);
+        }
+        let hits = t.index_range(0, &3i64.into(), &5i64.into()).unwrap();
+        assert_eq!(hits, vec![ids[3], ids[4], ids[5]]);
+    }
+
+    #[test]
+    fn index_on_unchanged_key_keeps_rowid() {
+        let mut t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let (id, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        // Price-only update: the symbol key is unchanged, RowId stays valid.
+        t.update(id, vec!["A".into(), 9.0.into()]).unwrap();
+        assert_eq!(t.index_lookup(0, &"A".into()), Some(vec![id]));
+        t.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        assert!(matches!(
+            t.create_index("ix", "price", IndexKind::Hash),
+            Err(StorageError::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn scan_skips_dead_rows() {
+        let mut t = stocks();
+        let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        let (_b, _) = t.insert(vec!["B".into(), 2.0.into()]).unwrap();
+        t.delete(a).unwrap();
+        let names: Vec<String> = t
+            .scan()
+            .map(|(_, r)| r.get(0).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["B"]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Runtime values and column data types.
+//!
+//! STRIP v2.0 only supported fixed-length fields (paper §6.1). We keep the
+//! same spirit: the value set is small and every value is cheap to copy.
+//! Strings are interned-ish via `Arc<str>` so that copying a symbol between
+//! tuples never reallocates the character data.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (prices, weights).
+    Float,
+    /// Symbol / fixed-length string (stock tickers, composite names).
+    Str,
+    /// Boolean.
+    Bool,
+    /// Microseconds since an arbitrary epoch. Used for `commit_time` and
+    /// `execute_order`-style system columns as well as user timestamps.
+    Timestamp,
+}
+
+impl DataType {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+            DataType::Timestamp => "timestamp",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value. `Null` is permitted in intermediate query results (e.g.
+/// aggregates over empty groups) even though base tables are non-nullable.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    Bool(bool),
+    Timestamp(u64),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.data_type() {
+            Some(t) => t.name(),
+            None => "null",
+        }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and timestamps widen to f64. Used by arithmetic
+    /// and aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no float truncation; floats are rejected).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Checks whether this value may be stored in a column of type `ty`.
+    /// Ints are implicitly widened into float columns, matching the parser's
+    /// treatment of numeric literals.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Int(_), DataType::Int | DataType::Float | DataType::Timestamp)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Timestamp(_), DataType::Timestamp | DataType::Int)
+        )
+    }
+
+    /// Coerce into the declared column type (only the widenings accepted by
+    /// [`Value::conforms_to`]).
+    pub fn coerce(self, ty: DataType) -> Value {
+        match (self, ty) {
+            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+            (Value::Int(i), DataType::Timestamp) => Value::Timestamp(i as u64),
+            (Value::Timestamp(t), DataType::Int) => Value::Int(t as i64),
+            (v, _) => v,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            // Hash floats by their bit pattern, normalizing -0.0 so that
+            // `-0.0 == 0.0` implies equal hashes, consistent with cmp_total.
+            Value::Float(f) => {
+                let f = if *f == 0.0 { 0.0f64 } else { *f };
+                f.to_bits().hash(state)
+            }
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Timestamp(t) => t.hash(state),
+        }
+    }
+}
+
+impl Value {
+    /// Total order over all values: Null < Bool < numeric < Str < Timestamp,
+    /// with NaN ordered after every other float (total float order).
+    /// Ints and floats compare numerically so mixed-type predicates behave
+    /// as SQL users expect.
+    fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+                Timestamp(_) => 4,
+            }
+        }
+        // Normalize -0.0 to 0.0 so `-0.0 == 0.0` (SQL semantics) while NaN
+        // stays totally ordered via total_cmp.
+        fn norm(f: f64) -> f64 {
+            if f == 0.0 {
+                0.0
+            } else {
+                f
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => norm(*a).total_cmp(&norm(*b)),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(&norm(*b)),
+            (Float(a), Int(b)) => norm(*a).total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero_and_hashes_equal() {
+        let a = Value::Float(0.0);
+        let b = Value::Float(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn cross_type_rank_is_stable() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(0));
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::str("zzz") < Value::Timestamp(0));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).coerce(DataType::Float), Value::Float(3.0));
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int));
+        assert!(Value::str("x").conforms_to(DataType::Str));
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::str("ab").as_str(), Some("ab"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("IBM").to_string(), "IBM");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+    }
+}

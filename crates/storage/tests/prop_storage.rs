@@ -1,0 +1,170 @@
+//! Property-based tests for the storage engine: the red-black tree against
+//! a `BTreeMap` model, table/index coherence under random DML, and the
+//! §6.1 version-retention invariant.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use strip_storage::rbtree::RbMap;
+use strip_storage::{
+    ColumnSource, DataType, IndexKind, Schema, StandardTable, StaticMap, TempTable, Value,
+};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(i32, i32),
+    Remove(i32),
+    Get(i32),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0..64i32, any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0..64i32).prop_map(MapOp::Remove),
+        (0..64i32).prop_map(MapOp::Get),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rbtree_matches_btreemap_model(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let mut rb = RbMap::new();
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(rb.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(rb.remove(&k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(rb.get(&k), model.get(&k));
+                }
+            }
+            rb.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("red-black invariant broken: {e}"))
+            })?;
+            prop_assert_eq!(rb.len(), model.len());
+        }
+        // Full-order agreement at the end.
+        let got: Vec<(i32, i32)> = rb.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(i32, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rbtree_range_matches_model(
+        keys in proptest::collection::btree_set(0..1000i32, 0..100),
+        lo in 0..1000i32,
+        hi in 0..1000i32,
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut rb = RbMap::new();
+        for &k in &keys {
+            rb.insert(k, k);
+        }
+        let got: Vec<i32> = rb.range(&lo, &hi).into_iter().map(|(k, _)| *k).collect();
+        let want: Vec<i32> = keys.range(lo..=hi).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Insert(i64, f64),
+    /// Update the i-th live row (modulo current size).
+    Update(usize, f64),
+    /// Delete the i-th live row (modulo current size).
+    Delete(usize),
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (0..20i64, -100.0..100.0f64).prop_map(|(k, v)| TableOp::Insert(k, v)),
+        (any::<usize>(), -100.0..100.0f64).prop_map(|(i, v)| TableOp::Update(i, v)),
+        any::<usize>().prop_map(TableOp::Delete),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn table_and_index_stay_coherent(ops in proptest::collection::vec(table_op(), 1..150)) {
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]);
+        let mut t = StandardTable::new("t", schema.into_ref());
+        t.create_index("ix_k", "k", IndexKind::Hash).unwrap();
+        t.create_index("ix_v", "v", IndexKind::RbTree).unwrap();
+        let mut live = Vec::new(); // model: Vec<(RowId, k, v)>
+        for op in ops {
+            match op {
+                TableOp::Insert(k, v) => {
+                    let (id, _) = t.insert(vec![k.into(), v.into()]).unwrap();
+                    live.push((id, k, v));
+                }
+                TableOp::Update(i, v) if !live.is_empty() => {
+                    let i = i % live.len();
+                    let (id, k, _) = live[i];
+                    t.update(id, vec![k.into(), v.into()]).unwrap();
+                    live[i].2 = v;
+                }
+                TableOp::Delete(i) if !live.is_empty() => {
+                    let i = i % live.len();
+                    let (id, _, _) = live.remove(i);
+                    t.delete(id).unwrap();
+                }
+                _ => {}
+            }
+            prop_assert_eq!(t.len(), live.len());
+            t.check_index_integrity().map_err(|e| {
+                TestCaseError::fail(format!("index integrity: {e}"))
+            })?;
+        }
+        // Every modeled row is retrievable by id and by index probe.
+        for (id, k, v) in &live {
+            let rec = t.get(*id).unwrap();
+            prop_assert_eq!(rec.get(0).as_i64(), Some(*k));
+            let hits = t.index_lookup(0, &Value::Int(*k)).unwrap();
+            prop_assert!(hits.contains(id));
+            let hits = t.index_lookup(1, &Value::Float(*v)).unwrap();
+            prop_assert!(hits.contains(id));
+        }
+    }
+
+    #[test]
+    fn pinned_versions_survive_any_update_sequence(
+        updates in proptest::collection::vec(-1000.0..1000.0f64, 1..50),
+        pin_at in 0..49usize,
+    ) {
+        // Pin the version that exists after `pin_at` updates; apply the
+        // rest; the pinned snapshot must still read its value, and must be
+        // freed when the pin is dropped.
+        let schema = Schema::of(&[("v", DataType::Float)]);
+        let mut t = StandardTable::new("t", schema.clone().into_ref());
+        let (id, _) = t.insert(vec![0.0.into()]).unwrap();
+
+        let pin_at = pin_at % updates.len();
+        let mut bound = None;
+        let mut pinned_value = 0.0;
+        for (i, v) in updates.iter().enumerate() {
+            let (_old, new) = t.update(id, vec![(*v).into()]).unwrap();
+            if i == pin_at {
+                let map = StaticMap::new(vec![ColumnSource::Pointer { ptr: 0, offset: 0 }]).unwrap();
+                let mut b = TempTable::new("b", schema.clone().into_ref(), map).unwrap();
+                b.push(vec![new.clone()], vec![]).unwrap();
+                pinned_value = *v;
+                bound = Some((b, Arc::downgrade(&new)));
+            }
+        }
+        let (b, weak) = bound.unwrap();
+        prop_assert_eq!(b.value(0, 0).as_f64(), Some(pinned_value));
+        if pin_at < updates.len() - 1 {
+            // Table has moved on: pinned version is held only by the bound
+            // table (the log entries of this test are not kept).
+            prop_assert!(weak.upgrade().is_some());
+        }
+        drop(b);
+        if pin_at < updates.len() - 1 {
+            prop_assert!(weak.upgrade().is_none(), "freed once the pin drops");
+        }
+    }
+}

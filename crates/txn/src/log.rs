@@ -1,0 +1,217 @@
+//! Per-transaction operation log.
+//!
+//! The log serves two purposes, exactly as in STRIP (§6.3):
+//!
+//! 1. **Rule processing** — at commit, "the transaction's log is scanned to
+//!    see which events have occurred"; transition tables are built during
+//!    the pass. Each entry carries the `execute_order` sequence number the
+//!    paper adds to transition tables.
+//! 2. **Abort** — entries are undone in reverse order.
+//!
+//! Because standard tables are versioned, `Update` entries pin both record
+//! versions with `Arc`s: no value copying, and the old version stays alive
+//! for transition/bound tables (§6.1).
+
+use strip_storage::{RecordRef, RowId};
+
+/// One logged change.
+#[derive(Debug, Clone)]
+pub enum LogEntry {
+    Insert {
+        table: String,
+        row: RowId,
+        new: RecordRef,
+        execute_order: u32,
+    },
+    Delete {
+        table: String,
+        row: RowId,
+        old: RecordRef,
+        execute_order: u32,
+    },
+    Update {
+        table: String,
+        row: RowId,
+        old: RecordRef,
+        new: RecordRef,
+        execute_order: u32,
+    },
+}
+
+impl LogEntry {
+    /// The table this entry touches.
+    pub fn table(&self) -> &str {
+        match self {
+            LogEntry::Insert { table, .. }
+            | LogEntry::Delete { table, .. }
+            | LogEntry::Update { table, .. } => table,
+        }
+    }
+
+    /// The intra-transaction sequence number.
+    pub fn execute_order(&self) -> u32 {
+        match self {
+            LogEntry::Insert { execute_order, .. }
+            | LogEntry::Delete { execute_order, .. }
+            | LogEntry::Update { execute_order, .. } => *execute_order,
+        }
+    }
+}
+
+/// The log of one transaction.
+#[derive(Debug, Default)]
+pub struct TxnLog {
+    entries: Vec<LogEntry>,
+    next_order: u32,
+}
+
+impl TxnLog {
+    /// New empty log.
+    pub fn new() -> TxnLog {
+        TxnLog::default()
+    }
+
+    /// Next `execute_order` value (then increments). An update logs one
+    /// entry but the old/new transition tuples share the number, which the
+    /// paper requires for `new.execute_order = old.execute_order` joins.
+    fn next(&mut self) -> u32 {
+        let n = self.next_order;
+        self.next_order += 1;
+        n
+    }
+
+    /// Record an insert.
+    pub fn log_insert(&mut self, table: &str, row: RowId, new: RecordRef) {
+        let execute_order = self.next();
+        self.entries.push(LogEntry::Insert {
+            table: table.to_string(),
+            row,
+            new,
+            execute_order,
+        });
+    }
+
+    /// Record a delete.
+    pub fn log_delete(&mut self, table: &str, row: RowId, old: RecordRef) {
+        let execute_order = self.next();
+        self.entries.push(LogEntry::Delete {
+            table: table.to_string(),
+            row,
+            old,
+            execute_order,
+        });
+    }
+
+    /// Record an update (old and new versions pinned).
+    pub fn log_update(&mut self, table: &str, row: RowId, old: RecordRef, new: RecordRef) {
+        let execute_order = self.next();
+        self.entries.push(LogEntry::Update {
+            table: table.to_string(),
+            row,
+            old,
+            new,
+            execute_order,
+        });
+    }
+
+    /// All entries, in execution order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Drain entries in **reverse** order for undo.
+    pub fn drain_for_undo(&mut self) -> Vec<LogEntry> {
+        let mut v = std::mem::take(&mut self.entries);
+        v.reverse();
+        v
+    }
+
+    /// Number of logged changes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strip_storage::{Schema, StandardTable};
+
+    #[test]
+    fn execute_order_is_sequential_and_shared_per_update() {
+        let mut t = StandardTable::new(
+            "t",
+            Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
+        );
+        let mut log = TxnLog::new();
+        let (id, rec) = t.insert(vec![1i64.into()]).unwrap();
+        log.log_insert("t", id, rec);
+        let (old, new) = t.update(id, vec![2i64.into()]).unwrap();
+        log.log_update("t", id, old, new);
+        let old = t.delete(id).unwrap();
+        log.log_delete("t", id, old);
+
+        assert_eq!(log.len(), 3);
+        let orders: Vec<u32> = log.entries().iter().map(|e| e.execute_order()).collect();
+        assert_eq!(orders, vec![0, 1, 2]);
+        assert!(matches!(log.entries()[1], LogEntry::Update { .. }));
+    }
+
+    #[test]
+    fn no_net_effect_reduction() {
+        // Insert-then-delete of the same row keeps BOTH entries (paper §2:
+        // "STRIP does not reduce the transition tables to net effect").
+        let mut t = StandardTable::new(
+            "t",
+            Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
+        );
+        let mut log = TxnLog::new();
+        let (id, rec) = t.insert(vec![7i64.into()]).unwrap();
+        log.log_insert("t", id, rec);
+        let old = t.delete(id).unwrap();
+        log.log_delete("t", id, old);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn undo_order_is_reversed() {
+        let mut t = StandardTable::new(
+            "t",
+            Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
+        );
+        let mut log = TxnLog::new();
+        let (a, ra) = t.insert(vec![1i64.into()]).unwrap();
+        log.log_insert("t", a, ra);
+        let (b, rb) = t.insert(vec![2i64.into()]).unwrap();
+        log.log_insert("t", b, rb);
+        let undo = log.drain_for_undo();
+        assert_eq!(undo.len(), 2);
+        assert_eq!(undo[0].execute_order(), 1);
+        assert_eq!(undo[1].execute_order(), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn update_pins_old_version() {
+        let mut t = StandardTable::new(
+            "t",
+            Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
+        );
+        let mut log = TxnLog::new();
+        let (id, rec) = t.insert(vec![1i64.into()]).unwrap();
+        log.log_insert("t", id, rec);
+        let (old, new) = t.update(id, vec![2i64.into()]).unwrap();
+        log.log_update("t", id, old, new);
+        // The old version is readable through the log even after the table
+        // has moved on.
+        let LogEntry::Update { old, .. } = &log.entries()[1] else {
+            panic!()
+        };
+        assert_eq!(old.get(0).as_i64(), Some(1));
+    }
+}

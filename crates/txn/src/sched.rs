@@ -1,0 +1,229 @@
+//! Task queues and scheduling policies (paper §6.2, \[Ade96\]).
+//!
+//! * The **delay queue** holds tasks whose release time is in the future —
+//!   in particular unique transactions waiting out their `after` window.
+//! * The **ready queue** holds released tasks, ordered by a scheduling
+//!   policy: FIFO (by release time), earliest-deadline-first, or
+//!   value-density-first ("standard real-time scheduling algorithms for
+//!   tasks such as earliest-deadline and value-density first").
+
+use crate::task::Task;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Scheduling policy for the ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// First released, first served (ties by creation order).
+    #[default]
+    Fifo,
+    /// Earliest deadline first; tasks without deadlines run last.
+    EarliestDeadline,
+    /// Highest value density first: value / estimated remaining work. With
+    /// no execution-time estimates available, plain value is used, which is
+    /// the degenerate density with unit cost.
+    ValueDensity,
+}
+
+/// Min-heap of tasks by release time.
+#[derive(Debug, Default)]
+pub struct DelayQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, TaskBox)>>,
+    seq: u64,
+}
+
+/// Wrapper to keep `Task` (not `Ord`) inside the heap tuple.
+struct TaskBox(Task);
+
+impl std::fmt::Debug for TaskBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl PartialEq for TaskBox {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for TaskBox {}
+impl PartialOrd for TaskBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TaskBox {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.id.cmp(&other.0.id)
+    }
+}
+
+impl DelayQueue {
+    /// New empty queue.
+    pub fn new() -> DelayQueue {
+        DelayQueue::default()
+    }
+
+    /// Enqueue a task keyed by its release time.
+    pub fn push(&mut self, task: Task) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((task.release_us, seq, TaskBox(task))));
+    }
+
+    /// Release time of the earliest task, if any.
+    pub fn peek_release(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((r, _, _))| *r)
+    }
+
+    /// Pop every task with `release_us <= now`.
+    pub fn pop_released(&mut self, now: u64) -> Vec<Task> {
+        let mut out = Vec::new();
+        while let Some(Reverse((r, _, _))) = self.heap.peek() {
+            if *r <= now {
+                let Reverse((_, _, TaskBox(t))) = self.heap.pop().expect("peeked");
+                out.push(t);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of delayed tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no delayed tasks.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Policy-ordered queue of released tasks.
+#[derive(Debug)]
+pub struct ReadyQueue {
+    policy: Policy,
+    heap: BinaryHeap<Reverse<(u64, u64, TaskBox)>>,
+    seq: u64,
+}
+
+impl ReadyQueue {
+    /// New queue with the given policy.
+    pub fn new(policy: Policy) -> ReadyQueue {
+        ReadyQueue {
+            policy,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn key(&self, t: &Task) -> u64 {
+        match self.policy {
+            Policy::Fifo => t.release_us,
+            Policy::EarliestDeadline => t.deadline_us.unwrap_or(u64::MAX),
+            // Higher value should pop first; invert into a min-key. Values
+            // are finite positives in practice.
+            Policy::ValueDensity => {
+                let v = t.value.max(0.0);
+                u64::MAX - (v * 1_000.0) as u64
+            }
+        }
+    }
+
+    /// Enqueue a released task.
+    pub fn push(&mut self, task: Task) {
+        let key = self.key(&task);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((key, seq, TaskBox(task))));
+    }
+
+    /// Pop the next task per policy.
+    pub fn pop(&mut self) -> Option<Task> {
+        self.heap.pop().map(|Reverse((_, _, TaskBox(t)))| t)
+    }
+
+    /// Number of ready tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(kind: &str, release: u64) -> Task {
+        Task::at(kind, release, Box::new(|_| {}))
+    }
+
+    #[test]
+    fn delay_queue_releases_in_time_order() {
+        let mut q = DelayQueue::new();
+        q.push(noop("c", 300));
+        q.push(noop("a", 100));
+        q.push(noop("b", 200));
+        assert_eq!(q.peek_release(), Some(100));
+        let r = q.pop_released(250);
+        assert_eq!(r.len(), 2);
+        assert_eq!(&*r[0].kind, "a");
+        assert_eq!(&*r[1].kind, "b");
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_released(299).is_empty());
+        assert_eq!(q.pop_released(300).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_orders_by_release_then_insertion() {
+        let mut q = ReadyQueue::new(Policy::Fifo);
+        q.push(noop("second", 10));
+        q.push(noop("first", 5));
+        q.push(noop("third", 10));
+        assert_eq!(&*q.pop().unwrap().kind, "first");
+        assert_eq!(&*q.pop().unwrap().kind, "second");
+        assert_eq!(&*q.pop().unwrap().kind, "third");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadline);
+        q.push(noop("no_deadline", 0));
+        q.push(noop("late", 0).with_deadline(900));
+        q.push(noop("urgent", 0).with_deadline(100));
+        assert_eq!(&*q.pop().unwrap().kind, "urgent");
+        assert_eq!(&*q.pop().unwrap().kind, "late");
+        assert_eq!(&*q.pop().unwrap().kind, "no_deadline");
+    }
+
+    #[test]
+    fn value_density_prefers_high_value() {
+        let mut q = ReadyQueue::new(Policy::ValueDensity);
+        q.push(noop("cheap", 0).with_value(1.0));
+        q.push(noop("vip", 0).with_value(10.0));
+        assert_eq!(&*q.pop().unwrap().kind, "vip");
+        assert_eq!(&*q.pop().unwrap().kind, "cheap");
+    }
+
+    #[test]
+    fn equal_keys_fall_back_to_insertion_order() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadline);
+        q.push(noop("a", 0).with_deadline(5));
+        q.push(noop("b", 0).with_deadline(5));
+        assert_eq!(&*q.pop().unwrap().kind, "a");
+        assert_eq!(&*q.pop().unwrap().kind, "b");
+    }
+}

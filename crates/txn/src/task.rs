@@ -1,0 +1,158 @@
+//! Tasks — STRIP's unit of scheduling (§4.4, §6.2).
+//!
+//! "Transactions must be executed within a task ... a task can contain zero
+//! or more transactions but every transaction must be contained within
+//! exactly one task." Every task has a release time; tasks with future
+//! release times sit in the delay queue (this is how `after`-delayed unique
+//! transactions are implemented).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
+
+impl TaskId {
+    /// Allocate a fresh id.
+    pub fn fresh() -> TaskId {
+        TaskId(NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Execution context handed to a task's work closure by the executor.
+pub struct TaskCtx<'a> {
+    /// Virtual (or wall) time at which the task started running, in µs.
+    pub start_us: u64,
+    /// The task's own id.
+    pub task_id: TaskId,
+    /// Cost meter charged by everything the task does.
+    pub meter: &'a crate::cost::CostMeter,
+    /// Tasks created while running (rule actions); drained by the executor
+    /// after the work closure returns.
+    pub spawned: Vec<Task>,
+}
+
+impl TaskCtx<'_> {
+    /// Current virtual time: start time plus the work charged so far. This
+    /// is what commit timestamps and `after`-delay release times are
+    /// computed from.
+    pub fn now_us(&self) -> u64 {
+        self.start_us + self.meter.charged_us()
+    }
+
+    /// Submit a task created by this one (e.g. a triggered rule action).
+    pub fn spawn(&mut self, task: Task) {
+        self.spawned.push(task);
+    }
+}
+
+/// The work a task performs. Boxed `FnOnce` so rule actions can capture
+/// their payload (`Arc` to the shared bound-table set).
+pub type TaskWork = Box<dyn FnOnce(&mut TaskCtx<'_>) + Send>;
+
+/// A schedulable task.
+pub struct Task {
+    /// Unique id.
+    pub id: TaskId,
+    /// Earliest time the task may run, in µs. Tasks whose release time is in
+    /// the future wait in the delay queue.
+    pub release_us: u64,
+    /// Optional deadline (for EDF scheduling).
+    pub deadline_us: Option<u64>,
+    /// Value for value-density scheduling (higher = more important).
+    pub value: f64,
+    /// Label used for statistics grouping (e.g. `"update"` or
+    /// `"recompute:compute_comps3"`).
+    pub kind: Arc<str>,
+    /// The work closure.
+    pub work: TaskWork,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("release_us", &self.release_us)
+            .field("deadline_us", &self.deadline_us)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Task {
+    /// Build a task with an immediate release time.
+    pub fn immediate(kind: &str, work: TaskWork) -> Task {
+        Task {
+            id: TaskId::fresh(),
+            release_us: 0,
+            deadline_us: None,
+            value: 1.0,
+            kind: Arc::from(kind),
+            work,
+        }
+    }
+
+    /// Build a task released at `release_us`.
+    pub fn at(kind: &str, release_us: u64, work: TaskWork) -> Task {
+        Task {
+            release_us,
+            ..Task::immediate(kind, work)
+        }
+    }
+
+    /// Set a deadline (builder style).
+    pub fn with_deadline(mut self, deadline_us: u64) -> Task {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Set a value (builder style).
+    pub fn with_value(mut self, value: f64) -> Task {
+        self.value = value;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostMeter, CostModel};
+    use strip_storage::Meter;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TaskId::fresh();
+        let b = TaskId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctx_now_advances_with_charge() {
+        let meter = CostMeter::new(CostModel::paper_calibrated());
+        let mut ctx = TaskCtx {
+            start_us: 1000,
+            task_id: TaskId::fresh(),
+            meter: &meter,
+            spawned: Vec::new(),
+        };
+        assert_eq!(ctx.now_us(), 1000);
+        meter.charge(strip_storage::Op::GetLock, 1); // 14 µs
+        assert_eq!(ctx.now_us(), 1014);
+        ctx.spawn(Task::immediate("noop", Box::new(|_| {})));
+        assert_eq!(ctx.spawned.len(), 1);
+    }
+
+    #[test]
+    fn builders() {
+        let t = Task::at("update", 500, Box::new(|_| {}))
+            .with_deadline(900)
+            .with_value(3.0);
+        assert_eq!(t.release_us, 500);
+        assert_eq!(t.deadline_us, Some(900));
+        assert_eq!(t.value, 3.0);
+        assert_eq!(&*t.kind, "update");
+    }
+}

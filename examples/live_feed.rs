@@ -1,0 +1,101 @@
+//! Live (wall-clock) mode: the same rule system on the worker-pool executor
+//! with real-time delay windows, plus a periodic timer — the deployment
+//! shape of the paper's real-time monitoring systems (Figure 1).
+//!
+//! A feed thread pushes price ticks; a unique rule with a 50 ms window
+//! batches them into index recomputations while the main thread keeps
+//! querying; a periodic timer snapshots the index level.
+//!
+//! Run with: `cargo run --example live_feed`
+
+use std::time::Duration;
+use strip::core::Strip;
+
+fn main() -> strip::core::Result<()> {
+    // Two worker threads service rule actions and timers.
+    let db = Strip::builder().pool(2).build();
+    db.execute_script(
+        "create table ticks (symbol str, price float); \
+         create index ix_ticks on ticks (symbol); \
+         create table index_level (name str, level float); \
+         create table snapshots (at timestamp, level float); \
+         insert into ticks values ('AA', 50.0), ('BB', 20.0), ('CC', 30.0); \
+         insert into index_level values ('TECH3', 100.0);",
+    )?;
+
+    db.register_function("refresh_index", |txn| {
+        // Non-incremental refresh: sum the current prices.
+        let level = txn
+            .query("select sum(price) as s from ticks", &[])?
+            .single("s")?
+            .clone();
+        txn.exec("update index_level set level = ? where name = 'TECH3'", &[level])?;
+        Ok(())
+    });
+    db.execute(
+        "create rule watch_ticks on ticks when updated price \
+         then execute refresh_index unique after 0.05 seconds",
+    )?;
+
+    db.register_function("snapshot", |txn| {
+        let level = txn
+            .query("select level from index_level where name = 'TECH3'", &[])?
+            .single("level")?
+            .clone();
+        let at = txn.now_us();
+        txn.exec(
+            "insert into snapshots values (?, ?)",
+            &[(at as i64).into(), level],
+        )?;
+        Ok(())
+    });
+    db.execute("create timer snap every 0.1 seconds execute snapshot limit 3")?;
+
+    // Feed thread: bursts of ticks over ~300 ms of wall time.
+    let feeder = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            for round in 0..6 {
+                for (sym, base) in [("AA", 50.0), ("BB", 20.0), ("CC", 30.0)] {
+                    let price = base + round as f64;
+                    db.execute_with(
+                        "update ticks set price = ? where symbol = ?",
+                        &[price.into(), sym.into()],
+                    )
+                    .expect("tick update");
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        })
+    };
+    feeder.join().expect("feed thread");
+
+    // Let the last delay window expire and all actions drain.
+    std::thread::sleep(Duration::from_millis(120));
+    db.drain();
+
+    let level = db
+        .query("select level from index_level where name = 'TECH3'")?
+        .single("level")?
+        .as_f64()
+        .unwrap();
+    println!("final index level: {level} (expected 55 + 25 + 35 = 115)");
+    assert!((level - 115.0).abs() < 1e-9);
+
+    let stats = db.stats();
+    let refreshes = stats.kind("recompute:refresh_index").count;
+    println!(
+        "18 tick transactions were batched into {refreshes} index refreshes \
+         (wall-clock 50 ms windows)"
+    );
+    assert!(refreshes < 18, "batching must have occurred");
+    assert!(refreshes >= 1);
+
+    let snaps = db.query("select at, level from snapshots order by at")?;
+    println!("periodic snapshots taken: {}", snaps.len());
+    assert_eq!(snaps.len(), 3);
+
+    let errors = db.take_errors();
+    assert!(errors.is_empty(), "background errors: {errors:?}");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Quickstart: define a table, a materialized aggregate, and a **unique
+//! transaction** rule that maintains the aggregate with batching across
+//! transaction boundaries — the paper's core idea in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use strip::core::Strip;
+
+fn main() -> strip::core::Result<()> {
+    let db = Strip::new();
+
+    // Base data: account balances. Derived data: one total per branch.
+    db.execute_script(
+        "create table accounts (id int, branch str, balance float); \
+         create index ix_accounts_id on accounts (id); \
+         create table branch_totals (branch str, total float); \
+         create index ix_bt_branch on branch_totals (branch); \
+         insert into accounts values \
+            (1, 'north', 100.0), (2, 'north', 250.0), (3, 'south', 75.0); \
+         insert into branch_totals values ('north', 350.0), ('south', 75.0);",
+    )?;
+
+    // The action: apply the batched balance deltas, one update per branch.
+    db.register_function("apply_deltas", |txn| {
+        let deltas = txn.query(
+            "select branch, sum(new_balance - old_balance) as delta \
+             from changes group by branch",
+            &[],
+        )?;
+        println!(
+            "  [rule action] applying {} branch delta(s) in one transaction",
+            deltas.len()
+        );
+        for i in 0..deltas.len() {
+            txn.exec(
+                "update branch_totals set total += ? where branch = ?",
+                &[
+                    deltas.value(i, "delta")?.clone(),
+                    deltas.value(i, "branch")?.clone(),
+                ],
+            )?;
+        }
+        Ok(())
+    });
+
+    // The rule: on any balance update, bind the change set and run the
+    // action — but UNIQUE with a 1-second delay window, so changes landing
+    // within the window are batched into ONE recomputation.
+    db.execute(
+        "create rule maintain_totals on accounts \
+         when updated balance \
+         if select new.branch as branch, old.balance as old_balance, new.balance as new_balance \
+            from new, old \
+            where new.execute_order = old.execute_order \
+            bind as changes \
+         then execute apply_deltas unique after 1.0 seconds",
+    )?;
+
+    // A burst of three separate transactions within the window.
+    for (id, delta) in [(1, 50.0), (2, -30.0), (3, 10.0)] {
+        db.execute_with(
+            "update accounts set balance += ? where id = ?",
+            &[delta.into(), (id as i64).into()],
+        )?;
+    }
+    println!(
+        "three update transactions committed; pending recompute tasks: {}",
+        db.pending_tasks()
+    );
+    assert_eq!(db.pending_tasks(), 1, "batched into a single unique transaction");
+
+    // Let the delay window expire (virtual time).
+    db.drain();
+
+    let totals = db.query("select branch, total from branch_totals order by branch")?;
+    for i in 0..totals.len() {
+        println!(
+            "branch {:>6}: total = {}",
+            totals.value(i, "branch")?,
+            totals.value(i, "total")?
+        );
+    }
+    assert_eq!(totals.value(0, "total")?.as_f64(), Some(370.0)); // north
+    assert_eq!(totals.value(1, "total")?.as_f64(), Some(85.0)); // south
+
+    let stats = db.stats();
+    println!(
+        "recompute transactions run: {} (three updates, one recomputation)",
+        stats.kind("recompute:apply_deltas").count
+    );
+    Ok(())
+}

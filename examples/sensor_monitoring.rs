@@ -1,0 +1,124 @@
+//! Real-time monitoring scenario from the paper's introduction: a robot-arm
+//! controller where raw sensor readings (base data) feed an estimated load
+//! weight (derived data), plus an alert table maintained by a second,
+//! cascading rule.
+//!
+//! Demonstrates: `unique on` partitioning by entity, the `commit_time`
+//! system column, insert-event rules, and rule cascades (the derived-data
+//! rule's action triggers the alert rule).
+//!
+//! Run with: `cargo run --example sensor_monitoring`
+
+use strip::core::Strip;
+
+fn main() -> strip::core::Result<()> {
+    let db = Strip::new();
+    db.execute_script(
+        "create table readings (arm str, sensor int, force float); \
+         create index ix_readings_arm on readings (arm); \
+         create table load_estimates (arm str, weight float, updated_at timestamp); \
+         create index ix_le_arm on load_estimates (arm); \
+         create table alerts (arm str, weight float, at timestamp); \
+         insert into readings values \
+            ('left', 0, 0.0), ('left', 1, 0.0), ('left', 2, 0.0), \
+            ('right', 0, 0.0), ('right', 1, 0.0), ('right', 2, 0.0); \
+         insert into load_estimates values ('left', 0.0, 0), ('right', 0.0, 0);",
+    )?;
+
+    // Derived data: estimated weight = mean force across the arm's sensors
+    // divided by g. Batched per arm with a 100 ms window — a burst of
+    // sensor updates produces ONE estimate refresh per arm.
+    db.register_function("estimate_load", |txn| {
+        let m = txn.bound("touched").expect("bound table");
+        if m.is_empty() {
+            return Ok(());
+        }
+        let arm = m.value(0, m.schema().index_of("arm").unwrap()).clone();
+        let ct = m.schema().index_of("commit_time").unwrap();
+        let at = m.value(m.len() - 1, ct).clone();
+        // Recompute from current base data (non-incremental, like option
+        // prices in the paper).
+        let mean = txn.query(
+            "select avg(force) as f from readings where arm = ?",
+            std::slice::from_ref(&arm),
+        )?;
+        let weight = mean.single("f")?.as_f64().unwrap_or(0.0) / 9.81;
+        txn.exec(
+            "update load_estimates set weight = ?, updated_at = ? where arm = ?",
+            &[weight.into(), at, arm],
+        )?;
+        Ok(())
+    });
+    db.execute(
+        "create rule refresh_estimate on readings \
+         when updated force \
+         if select new.arm as arm, commit_time from new bind as touched \
+         then execute estimate_load unique on arm after 0.1 seconds",
+    )?;
+
+    // Alerting: a cascading rule on the DERIVED table fires when an
+    // estimate crosses the safety threshold.
+    db.register_function("raise_alert", |txn| {
+        let m = txn.bound("overweight").expect("bound table");
+        for i in 0..m.len() {
+            let s = m.schema();
+            txn.exec(
+                "insert into alerts values (?, ?, ?)",
+                &[
+                    m.value(i, s.index_of("arm").unwrap()).clone(),
+                    m.value(i, s.index_of("weight").unwrap()).clone(),
+                    m.value(i, s.index_of("commit_time").unwrap()).clone(),
+                ],
+            )?;
+        }
+        Ok(())
+    });
+    db.execute(
+        "create rule overweight_alert on load_estimates \
+         when updated weight \
+         if select new.arm as arm, new.weight as weight, commit_time \
+            from new where new.weight > 5.0 \
+            bind as overweight \
+         then execute raise_alert",
+    )?;
+
+    // A burst of sensor readings: the left arm picks up something heavy,
+    // the right arm something light.
+    for (arm, sensor, force) in [
+        ("left", 0, 70.0),
+        ("left", 1, 72.0),
+        ("left", 2, 69.5),
+        ("right", 0, 9.0),
+        ("right", 1, 10.0),
+        ("right", 2, 9.6),
+    ] {
+        db.execute_with(
+            "update readings set force = ? where arm = ? and sensor = ?",
+            &[force.into(), arm.into(), (sensor as i64).into()],
+        )?;
+    }
+    println!(
+        "six sensor transactions committed; pending estimate refreshes: {}",
+        db.pending_tasks()
+    );
+    assert_eq!(db.pending_tasks(), 2, "one batched refresh per arm");
+    db.drain();
+
+    let est = db.query("select arm, weight, updated_at from load_estimates order by arm")?;
+    for i in 0..est.len() {
+        println!(
+            "arm {:>5}: estimated load {:.2} kg (updated at {})",
+            est.value(i, "arm")?,
+            est.value(i, "weight")?.as_f64().unwrap(),
+            est.value(i, "updated_at")?
+        );
+    }
+
+    let alerts = db.query("select arm, weight from alerts")?;
+    println!("alerts raised: {}", alerts.len());
+    assert_eq!(alerts.len(), 1, "only the heavy lift alerts");
+    assert_eq!(alerts.value(0, "arm")?.as_str(), Some("left"));
+    let errors = db.take_errors();
+    assert!(errors.is_empty(), "unexpected task errors: {errors:?}");
+    Ok(())
+}

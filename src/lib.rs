@@ -1,0 +1,10 @@
+//! Umbrella crate for the STRIP reproduction. Re-exports the public API of
+//! every workspace crate so examples and downstream users need one import.
+pub mod shell;
+
+pub use strip_core as core;
+pub use strip_finance as finance;
+pub use strip_rules as rules;
+pub use strip_sql as sql;
+pub use strip_storage as storage;
+pub use strip_txn as txn;

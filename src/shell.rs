@@ -1,0 +1,261 @@
+//! Support code for the `strip-shell` REPL: statement buffering and result
+//! formatting, kept out of the binary so it is unit-testable.
+
+use strip_core::{ExecOutcome, Strip};
+use strip_sql::ResultSet;
+
+/// Render a result set as an aligned ASCII table.
+pub fn format_result(rs: &ResultSet) -> String {
+    let headers: Vec<String> = rs
+        .schema
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = rs
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let s = v.to_string();
+                    widths[i] = widths[i].max(s.len());
+                    s
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rendered {
+        out.push('|');
+        for (v, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {v:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out.push_str(&format!(
+        "{} row{}\n",
+        rs.len(),
+        if rs.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Accumulates input lines until a complete `;`-terminated statement is
+/// available (ignoring semicolons inside string literals).
+#[derive(Debug, Default)]
+pub struct StatementBuffer {
+    buf: String,
+}
+
+impl StatementBuffer {
+    /// New empty buffer.
+    pub fn new() -> StatementBuffer {
+        StatementBuffer::default()
+    }
+
+    /// True if a statement is in progress.
+    pub fn is_pending(&self) -> bool {
+        !self.buf.trim().is_empty()
+    }
+
+    /// Feed a line; returns any complete statements.
+    pub fn push_line(&mut self, line: &str) -> Vec<String> {
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        let mut stmts = Vec::new();
+        while let Some((stmt, rest)) = split_first_statement(&self.buf) {
+            if !stmt.trim().is_empty() {
+                stmts.push(stmt.trim().to_string());
+            }
+            self.buf = rest;
+        }
+        stmts
+    }
+}
+
+/// Split at the first top-level `;` (outside string literals).
+fn split_first_statement(s: &str) -> Option<(String, String)> {
+    let bytes = s.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => in_str = !in_str,
+            b';' if !in_str => {
+                return Some((s[..i].to_string(), s[i + 1..].to_string()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Execute one shell input (a statement or a `.meta` command) and render
+/// the response.
+pub fn run_shell_input(db: &Strip, input: &str) -> String {
+    let input = input.trim();
+    if let Some(meta) = input.strip_prefix('.') {
+        return run_meta(db, meta);
+    }
+    match db.execute(input) {
+        Ok(ExecOutcome::Rows(rs)) => format_result(&rs),
+        Ok(ExecOutcome::Count(n)) => format!("{n} row{} affected\n", if n == 1 { "" } else { "s" }),
+        Ok(ExecOutcome::Ddl) => "ok\n".to_string(),
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+fn run_meta(db: &Strip, meta: &str) -> String {
+    let mut parts = meta.split_whitespace();
+    match parts.next() {
+        Some("tables") => {
+            let mut out = String::new();
+            for t in db.catalog().table_names() {
+                out.push_str(&t);
+                out.push('\n');
+            }
+            out
+        }
+        Some("rules") => {
+            let mut out = String::new();
+            for r in db.rule_names() {
+                out.push_str(&r);
+                out.push('\n');
+            }
+            out
+        }
+        Some("timers") => {
+            let mut out = String::new();
+            for t in db.timer_names() {
+                out.push_str(&t);
+                out.push('\n');
+            }
+            out
+        }
+        Some("pending") => format!("{} task(s) queued\n", db.pending_tasks()),
+        Some("drain") => {
+            let t = db.drain();
+            format!("drained; now at {:.3}s\n", t as f64 / 1e6)
+        }
+        Some("advance") => match parts.next().and_then(|s| s.parse::<f64>().ok()) {
+            Some(secs) => {
+                let target = db.now_us() + (secs * 1e6) as u64;
+                db.advance_to(target);
+                format!("advanced to {:.3}s\n", db.now_us() as f64 / 1e6)
+            }
+            None => "usage: .advance <seconds>\n".to_string(),
+        },
+        Some("stats") => {
+            let s = db.stats();
+            let mut out = format!(
+                "tasks run: {}   busy: {:.3}s\n",
+                s.tasks_run,
+                s.busy_us as f64 / 1e6
+            );
+            let mut kinds: Vec<_> = s.by_kind.iter().collect();
+            kinds.sort_by(|a, b| a.0.cmp(b.0));
+            for (k, ks) in kinds {
+                out.push_str(&format!(
+                    "  {:<30} n={:<8} mean={:.1}us\n",
+                    k,
+                    ks.count,
+                    ks.mean_us()
+                ));
+            }
+            out
+        }
+        Some("errors") => {
+            let errs = db.take_errors();
+            if errs.is_empty() {
+                "no background errors\n".to_string()
+            } else {
+                errs.join("\n") + "\n"
+            }
+        }
+        Some("help") | None => "\
+meta commands:
+  .tables            list tables
+  .rules             list rules
+  .timers            list timers
+  .pending           queued task count
+  .drain             run all pending tasks (virtual time)
+  .advance <secs>    advance virtual time
+  .stats             executor statistics
+  .errors            drain background task errors
+  .help              this help
+  .quit              exit
+statements end with `;` and may span lines.\n"
+            .to_string(),
+        Some(other) => format!("unknown meta command `.{other}` (try .help)\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_splits_on_semicolons_outside_strings() {
+        let mut b = StatementBuffer::new();
+        assert!(b.push_line("select 1").is_empty());
+        assert!(b.is_pending());
+        let stmts = b.push_line("from t; insert into t values ('a;b');");
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].starts_with("select 1"));
+        assert!(stmts[1].contains("'a;b'"));
+        assert!(!b.is_pending());
+    }
+
+    #[test]
+    fn format_result_aligns_columns() {
+        let db = Strip::new();
+        db.execute_script(
+            "create table t (name str, price float); \
+             insert into t values ('longname', 1.5), ('x', 30.25);",
+        )
+        .unwrap();
+        let rs = db.query("select name, price from t order by name").unwrap();
+        let s = format_result(&rs);
+        assert!(s.contains("| name     | price |"));
+        assert!(s.contains("| longname | 1.5   |"));
+        assert!(s.contains("2 rows"));
+    }
+
+    #[test]
+    fn run_shell_input_dispatches() {
+        let db = Strip::new();
+        assert_eq!(run_shell_input(&db, "create table t (x int)"), "ok\n");
+        assert_eq!(
+            run_shell_input(&db, "insert into t values (1), (2)"),
+            "2 rows affected\n"
+        );
+        let out = run_shell_input(&db, "select count(*) as n from t");
+        assert!(out.contains("| 2 |"), "{out}");
+        assert!(run_shell_input(&db, "select garbage").starts_with("error:"));
+        assert_eq!(run_shell_input(&db, ".tables"), "t\n");
+        assert!(run_shell_input(&db, ".help").contains(".drain"));
+        assert!(run_shell_input(&db, ".bogus").contains("unknown meta"));
+        assert!(run_shell_input(&db, ".pending").contains("0 task"));
+    }
+}

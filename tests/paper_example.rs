@@ -1,0 +1,260 @@
+//! Cross-crate integration test: the paper's Figure 4/5 worked example
+//! reproduced literally through the umbrella crate, checking each batching
+//! regime's queue shape (Figure 5a/b/c) and the final derived data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip::core::Strip;
+use strip::storage::Value;
+
+fn figure4_db() -> Strip {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_s on stocks (symbol); \
+         create table comps_list (comp str, symbol str, weight float); \
+         create index ix_cl on comps_list (symbol); \
+         create table comp_prices (comp str, price float); \
+         create index ix_cp on comp_prices (comp); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50); \
+         insert into comps_list values \
+            ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7); \
+         insert into comp_prices values ('C1', 40.0), ('C2', 37.0);",
+    )
+    .unwrap();
+    db
+}
+
+const RULE_BODY: &str = "on stocks when updated price \
+    if select comp, comps_list.symbol as symbol, weight, \
+              old.price as old_price, new.price as new_price \
+       from comps_list, new, old \
+       where comps_list.symbol = new.symbol \
+         and new.execute_order = old.execute_order \
+       bind as matches \
+    then execute ";
+
+/// The paper's transactions: T1 changes S1 30→31 and S2 40→39;
+/// T2 changes S2 39→38 and S3 50→51.
+fn run_t1_t2(db: &Strip) {
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        t.exec("update stocks set price = 39 where symbol = 'S2'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 38 where symbol = 'S2'", &[])?;
+        t.exec("update stocks set price = 51 where symbol = 'S3'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+/// Record the matches tables each action transaction observes.
+type Observed = Arc<std::sync::Mutex<Vec<Vec<(String, f64, f64, f64)>>>>;
+
+fn register_observer(db: &Strip, name: &str, observed: Observed, fired: Arc<AtomicU64>) {
+    db.register_function(name, move |txn| {
+        fired.fetch_add(1, Ordering::SeqCst);
+        let m = txn.bound("matches").unwrap();
+        let s = m.schema();
+        let (ci, wi, oi, ni) = (
+            s.index_of("comp").unwrap(),
+            s.index_of("weight").unwrap(),
+            s.index_of("old_price").unwrap(),
+            s.index_of("new_price").unwrap(),
+        );
+        let mut rows = Vec::new();
+        for r in 0..m.len() {
+            rows.push((
+                m.value(r, ci).to_string(),
+                m.value(r, wi).as_f64().unwrap(),
+                m.value(r, oi).as_f64().unwrap(),
+                m.value(r, ni).as_f64().unwrap(),
+            ));
+        }
+        observed.lock().unwrap().push(rows);
+        Ok(())
+    });
+}
+
+#[test]
+fn figure5a_non_unique_two_transactions_with_expected_matches() {
+    let db = figure4_db();
+    let observed: Observed = Arc::default();
+    let fired = Arc::new(AtomicU64::new(0));
+    register_observer(&db, "f", observed.clone(), fired.clone());
+    db.execute(&format!("create rule r {RULE_BODY} f")).unwrap();
+
+    run_t1_t2(&db);
+    assert_eq!(db.pending_tasks(), 2, "Figure 5(a): two queued transactions");
+    db.drain();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+
+    let obs = observed.lock().unwrap();
+    // T1a's matches: exactly the paper's first table.
+    assert_eq!(
+        obs[0],
+        vec![
+            ("C1".to_string(), 0.5, 30.0, 31.0),
+            ("C2".to_string(), 0.3, 30.0, 31.0),
+            ("C2".to_string(), 0.7, 40.0, 39.0),
+        ]
+    );
+    // T2a's matches: the paper's second table.
+    assert_eq!(
+        obs[1],
+        vec![
+            ("C2".to_string(), 0.7, 39.0, 38.0),
+            ("C1".to_string(), 0.5, 50.0, 51.0),
+        ]
+    );
+}
+
+#[test]
+fn figure5b_unique_merges_into_one_five_row_table() {
+    let db = figure4_db();
+    let observed: Observed = Arc::default();
+    let fired = Arc::new(AtomicU64::new(0));
+    register_observer(&db, "f", observed.clone(), fired.clone());
+    db.execute(&format!("create rule r {RULE_BODY} f unique after 1.0 seconds"))
+        .unwrap();
+
+    run_t1_t2(&db);
+    assert_eq!(db.pending_tasks(), 1, "Figure 5(b): one queued transaction");
+    db.drain();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+    let obs = observed.lock().unwrap();
+    // All five rows, in firing order (no net-effect reduction: S2 appears
+    // with both 40→39 and 39→38).
+    assert_eq!(
+        obs[0],
+        vec![
+            ("C1".to_string(), 0.5, 30.0, 31.0),
+            ("C2".to_string(), 0.3, 30.0, 31.0),
+            ("C2".to_string(), 0.7, 40.0, 39.0),
+            ("C2".to_string(), 0.7, 39.0, 38.0),
+            ("C1".to_string(), 0.5, 50.0, 51.0),
+        ]
+    );
+}
+
+#[test]
+fn figure5c_unique_on_comp_partitions_per_composite() {
+    let db = figure4_db();
+    let observed: Observed = Arc::default();
+    let fired = Arc::new(AtomicU64::new(0));
+    register_observer(&db, "f", observed.clone(), fired.clone());
+    db.execute(&format!(
+        "create rule r {RULE_BODY} f unique on comp after 1.0 seconds"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    assert_eq!(db.pending_tasks(), 2, "Figure 5(c): one transaction per composite");
+    db.drain();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+
+    let obs = observed.lock().unwrap();
+    let c1 = obs.iter().find(|rows| rows[0].0 == "C1").unwrap();
+    let c2 = obs.iter().find(|rows| rows[0].0 == "C2").unwrap();
+    assert_eq!(
+        *c1,
+        vec![
+            ("C1".to_string(), 0.5, 30.0, 31.0),
+            ("C1".to_string(), 0.5, 50.0, 51.0),
+        ]
+    );
+    assert_eq!(
+        *c2,
+        vec![
+            ("C2".to_string(), 0.3, 30.0, 31.0),
+            ("C2".to_string(), 0.7, 40.0, 39.0),
+            ("C2".to_string(), 0.7, 39.0, 38.0),
+        ]
+    );
+}
+
+#[test]
+fn all_three_regimes_converge_to_the_same_prices() {
+    for rule_tail in [
+        "f",
+        "f unique after 1.0 seconds",
+        "f unique on comp after 1.0 seconds",
+    ] {
+        let db = figure4_db();
+        db.register_function("f", |txn| {
+            let diffs = txn.query(
+                "select comp, sum((new_price - old_price) * weight) as diff \
+                 from matches group by comp",
+                &[],
+            )?;
+            for i in 0..diffs.len() {
+                txn.exec(
+                    "update comp_prices set price += ? where comp = ?",
+                    &[
+                        diffs.value(i, "diff")?.clone(),
+                        diffs.value(i, "comp")?.clone(),
+                    ],
+                )?;
+            }
+            Ok(())
+        });
+        db.execute(&format!("create rule r {RULE_BODY} {rule_tail}")).unwrap();
+        run_t1_t2(&db);
+        db.drain();
+        assert!(db.take_errors().is_empty());
+        // C1 = 0.5*31 + 0.5*51 = 41; C2 = 0.3*31 + 0.7*38 = 35.9.
+        let rs = db
+            .query("select comp, price from comp_prices order by comp")
+            .unwrap();
+        assert_eq!(rs.value(0, "price").unwrap(), &Value::Float(41.0));
+        assert!(
+            (rs.value(1, "price").unwrap().as_f64().unwrap() - 35.9).abs() < 1e-9,
+            "regime `{rule_tail}`"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    // Two identical runs must produce byte-identical statistics — the
+    // property that makes the virtual-time experiments reproducible.
+    let run = || {
+        let db = figure4_db();
+        db.register_function("f", |txn| {
+            let diffs = txn.query(
+                "select comp, sum((new_price - old_price) * weight) as diff \
+                 from matches group by comp",
+                &[],
+            )?;
+            for i in 0..diffs.len() {
+                txn.exec(
+                    "update comp_prices set price += ? where comp = ?",
+                    &[
+                        diffs.value(i, "diff")?.clone(),
+                        diffs.value(i, "comp")?.clone(),
+                    ],
+                )?;
+            }
+            Ok(())
+        });
+        db.execute(&format!(
+            "create rule r {RULE_BODY} f unique on comp after 1.0 seconds"
+        ))
+        .unwrap();
+        run_t1_t2(&db);
+        let end = db.drain();
+        let stats = db.stats();
+        (
+            end,
+            stats.tasks_run,
+            stats.busy_us,
+            stats.kind("recompute:f").count,
+            stats.kind("recompute:f").total_us,
+        )
+    };
+    assert_eq!(run(), run());
+}
