@@ -14,13 +14,15 @@ fn bench_locks(c: &mut Criterion) {
     let lm = LockManager::new();
     c.bench_function("lock_acquire_release_shared", |b| {
         b.iter(|| {
-            lm.lock(TxnId(1), black_box("stocks"), LockMode::Shared).unwrap();
+            lm.lock(TxnId(1), black_box("stocks"), LockMode::Shared)
+                .unwrap();
             lm.release_all(TxnId(1));
         })
     });
     c.bench_function("lock_acquire_release_exclusive", |b| {
         b.iter(|| {
-            lm.lock(TxnId(1), black_box("stocks"), LockMode::Exclusive).unwrap();
+            lm.lock(TxnId(1), black_box("stocks"), LockMode::Exclusive)
+                .unwrap();
             lm.release_all(TxnId(1));
         })
     });
@@ -31,8 +33,11 @@ fn indexed_db(rows: i64) -> Strip {
     db.execute("create table t (k int, v float)").unwrap();
     db.execute("create index ix_t on t (k)").unwrap();
     for i in 0..rows {
-        db.execute_with("insert into t values (?, ?)", &[i.into(), (i as f64).into()])
-            .unwrap();
+        db.execute_with(
+            "insert into t values (?, ?)",
+            &[i.into(), (i as f64).into()],
+        )
+        .unwrap();
     }
     db
 }
@@ -43,13 +48,15 @@ fn bench_point_ops(c: &mut Criterion) {
     c.bench_function("point_query_hash_index_10k", |b| {
         b.iter(|| {
             k = (k + 1) % 10_000;
-            db.execute_with("select v from t where k = ?", &[k.into()]).unwrap()
+            db.execute_with("select v from t where k = ?", &[k.into()])
+                .unwrap()
         })
     });
     c.bench_function("simple_update_txn_10k", |b| {
         b.iter(|| {
             k = (k + 1) % 10_000;
-            db.execute_with("update t set v = v + 1 where k = ?", &[k.into()]).unwrap()
+            db.execute_with("update t set v = v + 1 where k = ?", &[k.into()])
+                .unwrap()
         })
     });
     let db2 = indexed_db(1_000);
@@ -57,8 +64,36 @@ fn bench_point_ops(c: &mut Criterion) {
     c.bench_function("insert_then_delete_txn", |b| {
         b.iter(|| {
             next += 1;
-            db2.execute_with("insert into t values (?, 0.0)", &[next.into()]).unwrap();
-            db2.execute_with("delete from t where k = ?", &[next.into()]).unwrap();
+            db2.execute_with("insert into t values (?, 0.0)", &[next.into()])
+                .unwrap();
+            db2.execute_with("delete from t where k = ?", &[next.into()])
+                .unwrap();
+        })
+    });
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    // The same parameterized point query, run repeatedly: through the
+    // text-keyed prepared-plan cache (plan once, execute many) versus
+    // re-planning from the AST on every call. The difference is the
+    // planning overhead the cache removes from steady-state workloads.
+    let db = indexed_db(10_000);
+    let mut k = 0i64;
+    c.bench_function("point_query_cached_plan", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            db.execute_with("select v from t where k = ?", &[k.into()])
+                .unwrap()
+        })
+    });
+    let q = match strip_sql::parse_statement("select v from t where k = ?").unwrap() {
+        strip_sql::Statement::Select(q) => q,
+        _ => unreachable!(),
+    };
+    c.bench_function("point_query_plan_every_call", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            db.txn(|t| t.query_ast(&q, &[k.into()])).unwrap()
         })
     });
 }
@@ -79,10 +114,8 @@ fn bench_black_scholes(c: &mut Criterion) {
 fn bench_group_by_recompute(c: &mut Criterion) {
     // The Figure-6 recompute query over a 1 000-row matches-like table.
     let db = Strip::new();
-    db.execute(
-        "create table matches (comp str, weight float, old_price float, new_price float)",
-    )
-    .unwrap();
+    db.execute("create table matches (comp str, weight float, old_price float, new_price float)")
+        .unwrap();
     for i in 0..1000 {
         db.execute_with(
             "insert into matches values (?, 0.5, 30.0, 31.0)",
@@ -104,6 +137,7 @@ fn bench_group_by_recompute(c: &mut Criterion) {
 criterion_group! {
     name = table1;
     config = Criterion::default().sample_size(30);
-    targets = bench_locks, bench_point_ops, bench_black_scholes, bench_group_by_recompute
+    targets = bench_locks, bench_point_ops, bench_plan_cache, bench_black_scholes,
+        bench_group_by_recompute
 }
 criterion_main!(table1);

@@ -36,14 +36,14 @@ fn main() {
     ] {
         let db = Strip::builder().policy(policy).build();
         let pta = Pta::build(scale.config(), db).expect("build PTA");
-        pta.install_comp_rule(CompVariant::NonUnique, 0.0).expect("rule");
+        pta.install_comp_rule(CompVariant::NonUnique, 0.0)
+            .expect("rule");
         let report = pta
             .run_trace_with_deadlines(Some(100_000))
             .expect("trace run");
         assert_eq!(report.errors, 0);
         let upd_mean_q = report.update_queue_us as f64 / report.updates.max(1) as f64;
-        let rec_mean_q =
-            report.recompute_queue_us as f64 / report.recompute_count.max(1) as f64;
+        let rec_mean_q = report.recompute_queue_us as f64 / report.recompute_count.max(1) as f64;
         println!(
             "{:<16} {:>14.1} {:>14.2} {:>14.1} {:>13.1}%",
             label,

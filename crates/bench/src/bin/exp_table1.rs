@@ -30,8 +30,11 @@ fn main() {
     db.execute("create table t1 (k int, v float)").unwrap();
     db.execute("create index ix_t1 on t1 (k)").unwrap();
     for i in 0..1000i64 {
-        db.execute_with("insert into t1 values (?, ?)", &[i.into(), (i as f64).into()])
-            .unwrap();
+        db.execute_with(
+            "insert into t1 values (?, ?)",
+            &[i.into(), (i as f64).into()],
+        )
+        .unwrap();
     }
     let lm = LockManager::new();
     let mut k = 0i64;
@@ -42,15 +45,13 @@ fn main() {
     }) / 2.0;
     let wall_update = measure(10_000, || {
         k = (k + 1) % 1000;
-        db.execute_with(
-            "update t1 set v = v + 1 where k = ?",
-            &[k.into()],
-        )
-        .unwrap();
+        db.execute_with("update t1 set v = v + 1 where k = ?", &[k.into()])
+            .unwrap();
     });
     let wall_select = measure(10_000, || {
         k = (k + 1) % 1000;
-        db.query(&format!("select v from t1 where k = {k}")).unwrap();
+        db.execute_with("select v from t1 where k = ?", &[k.into()])
+            .unwrap();
     });
 
     println!("Table 1: Basic STRIP operation costs");
@@ -81,4 +82,9 @@ fn main() {
     println!("  lock acquire+release     {wall_lock:8.3} us");
     println!("  full indexed update txn  {wall_update:8.3} us");
     println!("  full indexed point query {wall_select:8.3} us");
+    let stats = db.stats();
+    println!(
+        "  plan cache               {} hits / {} misses",
+        stats.plan_cache_hits, stats.plan_cache_misses
+    );
 }

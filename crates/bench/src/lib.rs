@@ -89,7 +89,10 @@ pub fn run_comp_sweep(scale: Scale, delays: &[f64]) -> Vec<Point> {
         pta.install_comp_rule(CompVariant::NonUnique, 0.0).unwrap();
         let report = pta.run_trace().unwrap();
         assert_eq!(report.errors, 0);
-        eprintln!("  [comps] non-unique done (N_r = {})", report.recompute_count);
+        eprintln!(
+            "  [comps] non-unique done (N_r = {})",
+            report.recompute_count
+        );
         out.push(Point {
             series: CompVariant::NonUnique.label().to_string(),
             delay_s: 0.0,
@@ -128,10 +131,14 @@ pub fn run_option_sweep(scale: Scale, delays: &[f64], include_per_option: bool) 
     let mut out = Vec::new();
     {
         let pta = fresh_pta(scale);
-        pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+        pta.install_option_rule(OptionVariant::NonUnique, 0.0)
+            .unwrap();
         let report = pta.run_trace().unwrap();
         assert_eq!(report.errors, 0);
-        eprintln!("  [options] non-unique done (N_r = {})", report.recompute_count);
+        eprintln!(
+            "  [options] non-unique done (N_r = {})",
+            report.recompute_count
+        );
         out.push(Point {
             series: OptionVariant::NonUnique.label().to_string(),
             delay_s: 0.0,

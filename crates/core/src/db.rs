@@ -19,7 +19,7 @@ use std::sync::Arc;
 use strip_rules::{CompiledRule, RuleEngine};
 use strip_sql::exec::ResultSet;
 use strip_sql::expr::ScalarFn;
-use strip_sql::{parse_script, parse_statement, Statement};
+use strip_sql::{parse_script, parse_statement, PlanCache, Statement};
 use strip_storage::{Catalog, IndexKind, Meter, Schema, TempTable, Value, ViewDef};
 use strip_txn::{CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, WorkerPool};
 
@@ -77,6 +77,10 @@ pub struct StripInner {
     pub(crate) timers: Mutex<HashMap<String, TimerState>>,
     pub(crate) locks: LockManager,
     pub(crate) engine: RuleEngine,
+    /// Prepared-plan cache shared by ad-hoc statements, rule conditions,
+    /// and view expansion. Keyed by statement text (plus the bound-table
+    /// signature) and the catalog's schema epoch.
+    pub(crate) plan_cache: Arc<PlanCache>,
     pub(crate) user_fns: RwLock<HashMap<String, UserFn>>,
     pub(crate) scalar_fns: RwLock<HashMap<String, ScalarFn>>,
     pub(crate) exec: ExecutorHandle,
@@ -137,6 +141,7 @@ impl StripBuilder {
             )))),
         };
         let model = self.model;
+        let plan_cache = Arc::new(PlanCache::new());
         Strip {
             inner: Arc::new(StripInner {
                 catalog: Catalog::new(),
@@ -144,7 +149,8 @@ impl StripBuilder {
                 views: RwLock::new(HashMap::new()),
                 timers: Mutex::new(HashMap::new()),
                 locks: LockManager::new(),
-                engine: RuleEngine::new(),
+                engine: RuleEngine::with_plan_cache(plan_cache.clone()),
+                plan_cache,
                 user_fns: RwLock::new(HashMap::new()),
                 scalar_fns: RwLock::new(HashMap::new()),
                 exec,
@@ -218,12 +224,21 @@ impl Strip {
         }
     }
 
-    /// Executor statistics (tasks run, busy time, per-kind breakdown).
+    /// Executor statistics (tasks run, busy time, per-kind breakdown,
+    /// plan-cache effectiveness).
     pub fn stats(&self) -> SimStats {
-        match &self.inner.exec {
+        let mut s = match &self.inner.exec {
             ExecutorHandle::Sim(s) => s.lock().stats().clone(),
             ExecutorHandle::Pool(p) => p.stats(),
-        }
+        };
+        s.plan_cache_hits = self.inner.plan_cache.hits();
+        s.plan_cache_misses = self.inner.plan_cache.misses();
+        s
+    }
+
+    /// The shared prepared-plan cache (diagnostics / benchmarks).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.inner.plan_cache
     }
 
     /// Errors recorded by background action tasks (drained).
@@ -261,13 +276,13 @@ impl Strip {
     /// enqueued on the executor.
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse_statement(sql)?;
-        self.execute_stmt(&stmt, &[])
+        self.execute_stmt_text(&stmt, &[], Some(sql))
     }
 
     /// Execute one statement with `?` parameters.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
         let stmt = parse_statement(sql)?;
-        self.execute_stmt(&stmt, params)
+        self.execute_stmt_text(&stmt, params, Some(sql))
     }
 
     /// Execute a semicolon-separated script, stopping at the first error.
@@ -278,8 +293,19 @@ impl Strip {
         Ok(())
     }
 
-    /// Execute a parsed statement.
+    /// Execute a parsed statement. Without the original text the plan cache
+    /// has no key, so queries/DML plan per call; prefer
+    /// [`Strip::execute`] / [`Strip::execute_with`].
     pub fn execute_stmt(&self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        self.execute_stmt_text(stmt, params, None)
+    }
+
+    fn execute_stmt_text(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        text: Option<&str>,
+    ) -> Result<ExecOutcome> {
         match stmt {
             Statement::CreateTable(ct) => {
                 let schema = Schema::new(
@@ -300,6 +326,9 @@ impl Strip {
                     IndexKind::Hash
                 };
                 t.write().create_index(&ci.name, &ci.column, kind)?;
+                // A new index changes the best access path, so cached plans
+                // must be replanned: bump the schema epoch.
+                self.inner.catalog.bump_epoch();
                 Ok(ExecOutcome::Ddl)
             }
             Statement::CreateView(cv) => {
@@ -318,7 +347,10 @@ impl Strip {
                     // Keeping it fresh is the application's job — that is
                     // the whole point of the paper's rules.
                     let rows = self.txn_named("materialize", |t| t.query_ast(&cv.query, params))?;
-                    let table = self.inner.catalog.create_table(&cv.name, rows.schema.clone())?;
+                    let table = self
+                        .inner
+                        .catalog
+                        .create_table(&cv.name, rows.schema.clone())?;
                     {
                         let mut t = table.write();
                         for row in rows.rows {
@@ -355,11 +387,17 @@ impl Strip {
                 Ok(ExecOutcome::Ddl)
             }
             Statement::Select(q) => {
-                let rs = self.txn_named("adhoc-query", |t| t.query_ast(q, params))?;
+                let rs = self.txn_named("adhoc-query", |t| match text {
+                    Some(sql) => t.query_ast_cached(q, sql, params),
+                    None => t.query_ast(q, params),
+                })?;
                 Ok(ExecOutcome::Rows(rs))
             }
             dml @ (Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)) => {
-                let n = self.txn_named("adhoc-dml", |t| t.exec_ast(dml, params))?;
+                let n = self.txn_named("adhoc-dml", |t| match text {
+                    Some(sql) => t.exec_ast_cached(dml, sql, params),
+                    None => t.exec_ast(dml, params),
+                })?;
                 Ok(ExecOutcome::Count(n))
             }
         }
@@ -382,11 +420,7 @@ impl Strip {
     }
 
     /// Like [`Strip::txn`] with a task-kind label for statistics.
-    pub fn txn_named<R>(
-        &self,
-        kind: &str,
-        f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
-    ) -> Result<R> {
+    pub fn txn_named<R>(&self, kind: &str, f: impl FnOnce(&mut Txn<'_>) -> Result<R>) -> Result<R> {
         let inner = self.inner.clone();
         match &self.inner.exec {
             ExecutorHandle::Sim(s) => {

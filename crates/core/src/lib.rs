@@ -22,6 +22,6 @@ pub mod feed;
 pub mod txn;
 
 pub use db::{ExecOutcome, Strip, StripBuilder};
-pub use feed::{ChangeEvent, ChangeKind, Subscription};
 pub use error::{Error, Result};
+pub use feed::{ChangeEvent, ChangeKind, Subscription};
 pub use txn::{Txn, UserFn};

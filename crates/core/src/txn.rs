@@ -17,6 +17,7 @@ use std::sync::Arc;
 use strip_rules::SpawnAction;
 use strip_sql::exec::{Env, Rel, ResultSet};
 use strip_sql::expr::ScalarFn;
+use strip_sql::plan::{self, PhysicalPlan, RelMeta};
 use strip_sql::{parse_statement, Statement};
 use strip_storage::{Meter, Op, RowId, TempTable, Value};
 use strip_txn::cost::CostMeter;
@@ -95,27 +96,44 @@ impl<'a> Txn<'a> {
         self.meter.charge(op, n);
     }
 
-    /// Run a `SELECT`, returning materialized rows.
+    /// Run a `SELECT`, returning materialized rows. The physical plan comes
+    /// from the database's prepared-plan cache, keyed by the statement text.
     pub fn query(&self, sql: &str, params: &[Value]) -> Result<ResultSet> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::Select(q) => Ok(strip_sql::execute_query(self, &q, params)?),
+            Statement::Select(q) => self.query_ast_cached(&q, sql, params),
             _ => Err(Error::Other(format!("not a query: `{sql}`"))),
         }
     }
 
-    /// Run a pre-parsed `SELECT`.
+    /// Run a pre-parsed `SELECT`, planning per call (no cache key).
     pub fn query_ast(&self, q: &strip_sql::ast::Query, params: &[Value]) -> Result<ResultSet> {
         Ok(strip_sql::execute_query(self, q, params)?)
     }
 
-    /// Run DML (`INSERT`/`UPDATE`/`DELETE`). Returns affected-row count.
-    pub fn exec(&self, sql: &str, params: &[Value]) -> Result<usize> {
-        let stmt = parse_statement(sql)?;
-        self.exec_ast(&stmt, params)
+    /// Run a pre-parsed `SELECT` through the prepared-plan cache; `text` is
+    /// the cache key (normally the statement's SQL text).
+    pub fn query_ast_cached(
+        &self,
+        q: &strip_sql::ast::Query,
+        text: &str,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        self.run_cached(
+            text,
+            || plan::plan_query(self, q).map(PhysicalPlan::Select),
+            params,
+        )
     }
 
-    /// Run pre-parsed DML.
+    /// Run DML (`INSERT`/`UPDATE`/`DELETE`). Returns affected-row count.
+    /// Plans come from the prepared-plan cache keyed by the statement text.
+    pub fn exec(&self, sql: &str, params: &[Value]) -> Result<usize> {
+        let stmt = parse_statement(sql)?;
+        self.exec_ast_cached(&stmt, sql, params)
+    }
+
+    /// Run pre-parsed DML, planning per call (no cache key).
     pub fn exec_ast(&self, stmt: &Statement, params: &[Value]) -> Result<usize> {
         match stmt {
             Statement::Insert(i) => Ok(strip_sql::execute_insert(self, i, params)?),
@@ -123,6 +141,67 @@ impl<'a> Txn<'a> {
             Statement::Delete(d) => Ok(strip_sql::execute_delete(self, d, params)?),
             _ => Err(Error::Other("exec() only accepts DML statements".into())),
         }
+    }
+
+    /// Run pre-parsed DML through the prepared-plan cache; `text` is the
+    /// cache key (normally the statement's SQL text).
+    pub fn exec_ast_cached(&self, stmt: &Statement, text: &str, params: &[Value]) -> Result<usize> {
+        match stmt {
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                let rs = self.run_cached(text, || plan::plan_statement(self, stmt), params)?;
+                Ok(dml_count(&rs))
+            }
+            _ => Err(Error::Other("exec() only accepts DML statements".into())),
+        }
+    }
+
+    /// Fetch (or build) the cached plan for `text` and execute it. A stale
+    /// plan — the live schema diverged from the plan mid-epoch — is
+    /// invalidated and replanned once before the error propagates.
+    fn run_cached(
+        &self,
+        text: &str,
+        plan_fn: impl Fn() -> strip_sql::Result<PhysicalPlan>,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let cache = &self.inner.plan_cache;
+        let key = self.plan_key(text);
+        let epoch = self.inner.catalog.epoch();
+        let plan = cache.get_or_plan(&key, epoch, &plan_fn)?;
+        match strip_sql::execute_plan(self, &plan, params) {
+            Err(e) if e.is_stale() => {
+                cache.invalidate(&key);
+                let plan = cache.get_or_plan(&key, epoch, &plan_fn)?;
+                Ok(strip_sql::execute_plan(self, &plan, params)?)
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Cache key: bound-table signature + statement text. Different rule
+    /// actions can bind tables with the same name but different schemas, so
+    /// the schema of every overlay table in scope disambiguates the key.
+    fn plan_key(&self, text: &str) -> String {
+        if self.overlay.is_empty() {
+            return text.to_string();
+        }
+        let mut names: Vec<&String> = self.overlay.keys().collect();
+        names.sort();
+        let mut key = String::new();
+        for n in names {
+            key.push_str(n);
+            key.push('(');
+            for c in self.overlay[n].schema().columns() {
+                key.push_str(&c.name);
+                key.push(':');
+                key.push_str(&format!("{:?}", c.dtype));
+                key.push(',');
+            }
+            key.push(')');
+        }
+        key.push('|');
+        key.push_str(text);
+        key
     }
 
     /// Number of changes logged so far.
@@ -144,9 +223,10 @@ impl<'a> Txn<'a> {
         {
             return Ok(());
         }
-        self.inner.locks.lock(self.id, &key.0, mode).map_err(|e| {
-            Error::Aborted(format!("lock on `{}`: {e}", key.0))
-        })?;
+        self.inner
+            .locks
+            .lock(self.id, &key.0, mode)
+            .map_err(|e| Error::Aborted(format!("lock on `{}`: {e}", key.0)))?;
         self.meter.charge(Op::GetLock, 1);
         self.locks.borrow_mut().insert(key);
         Ok(())
@@ -160,9 +240,11 @@ impl<'a> Txn<'a> {
         let mut tasks = Vec::new();
         let result = {
             let log = self.log.borrow();
-            self.inner.engine.process_commit(&self, &log, commit_us, &mut |sa| {
-                tasks.push(action_task(self.inner, sa));
-            })
+            self.inner
+                .engine
+                .process_commit(&self, &log, commit_us, &mut |sa| {
+                    tasks.push(action_task(self.inner, sa));
+                })
         };
         if let Err(e) = result {
             drop(tasks);
@@ -199,7 +281,9 @@ impl<'a> Txn<'a> {
                         let _ = t.write().reinsert(&old);
                     }
                 }
-                LogEntry::Update { table, row, old, .. } => {
+                LogEntry::Update {
+                    table, row, old, ..
+                } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
                         let _ = t.write().update(row, old.values().to_vec());
                     }
@@ -253,8 +337,40 @@ impl Env for Txn<'_> {
         None
     }
 
+    fn plan_relation(&self, name: &str) -> Option<RelMeta> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.overlay.get(&key) {
+            return Some(RelMeta::of(&Rel::Temp(t.clone())));
+        }
+        if let Ok(t) = self.inner.catalog.table(&key) {
+            return Some(RelMeta::of(&Rel::Standard(t)));
+        }
+        // Plain views: plan the defining query to learn the output schema.
+        // Planning is side-effect free, so — unlike `relation` — this does
+        // not materialize the view.
+        let view = self.inner.views.read().get(&key).cloned();
+        if let Some(q) = view {
+            let sp = plan::plan_query(self, &q).ok()?;
+            return Some(RelMeta {
+                schema: sp.schema.clone(),
+                est_rows: 0,
+                indexes: Vec::new(),
+                standard: false,
+            });
+        }
+        None
+    }
+
+    fn schema_epoch(&self) -> u64 {
+        self.inner.catalog.epoch()
+    }
+
     fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
-        self.inner.scalar_fns.read().get(&name.to_ascii_lowercase()).cloned()
+        self.inner
+            .scalar_fns
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     fn before_read(&self, table: &str) -> strip_sql::Result<()> {
@@ -274,7 +390,8 @@ impl Env for Txn<'_> {
         let mut t = t.write();
         let (id, rec) = t.insert(row)?;
         self.meter.charge(Op::InsertTuple, 1);
-        self.meter.charge(Op::IndexMaintain, t.indexes().len() as u64);
+        self.meter
+            .charge(Op::IndexMaintain, t.indexes().len() as u64);
         let name = t.name().to_string();
         self.log.borrow_mut().log_insert(&name, id, rec);
         Ok(())
@@ -308,11 +425,21 @@ impl Env for Txn<'_> {
         let mut t = t.write();
         let old = t.delete(id)?;
         self.meter.charge(Op::DeleteTuple, 1);
-        self.meter.charge(Op::IndexMaintain, t.indexes().len() as u64);
+        self.meter
+            .charge(Op::IndexMaintain, t.indexes().len() as u64);
         let name = t.name().to_string();
         self.log.borrow_mut().log_delete(&name, id, old);
         Ok(())
     }
+}
+
+/// Affected-row count from a DML plan's single-cell result set.
+fn dml_count(rs: &ResultSet) -> usize {
+    rs.rows
+        .first()
+        .and_then(|r| r.first())
+        .and_then(Value::as_i64)
+        .unwrap_or(0) as usize
 }
 
 /// Run a transaction inside a task context: begin, run `f`, commit (rule

@@ -8,16 +8,15 @@ use strip_core::Strip;
 #[test]
 fn concurrent_increments_are_all_applied() {
     let db = Strip::builder().pool(4).build();
-    db.execute_script(
-        "create table counter (id int, n int); insert into counter values (1, 0);",
-    )
-    .unwrap();
+    db.execute_script("create table counter (id int, n int); insert into counter values (1, 0);")
+        .unwrap();
     let threads: Vec<_> = (0..4)
         .map(|_| {
             let db = db.clone();
             std::thread::spawn(move || {
                 for _ in 0..50 {
-                    db.execute("update counter set n = n + 1 where id = 1").unwrap();
+                    db.execute("update counter set n = n + 1 where id = 1")
+                        .unwrap();
                 }
             })
         })
@@ -86,7 +85,11 @@ fn rule_actions_from_concurrent_feeders_all_run() {
     std::thread::sleep(std::time::Duration::from_millis(60));
     db.drain();
 
-    assert_eq!(applied.load(Ordering::SeqCst), 100, "every insert audited once");
+    assert_eq!(
+        applied.load(Ordering::SeqCst),
+        100,
+        "every insert audited once"
+    );
     let total = db
         .query("select total from audit")
         .unwrap()
@@ -132,8 +135,20 @@ fn deadlock_victim_aborts_cleanly_and_can_retry() {
         "exactly one deadlock victim expected: {r1:?} / {r2:?}"
     );
     // The victim's changes were rolled back; the survivor committed.
-    let a = db.query("select x from a").unwrap().single("x").unwrap().as_i64().unwrap();
-    let b = db.query("select x from b").unwrap().single("x").unwrap().as_i64().unwrap();
+    let a = db
+        .query("select x from a")
+        .unwrap()
+        .single("x")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    let b = db
+        .query("select x from b")
+        .unwrap()
+        .single("x")
+        .unwrap()
+        .as_i64()
+        .unwrap();
     assert_eq!((a, b), (1, 1));
     // Retry of the aborted work succeeds.
     db.txn(|t| {
@@ -143,7 +158,11 @@ fn deadlock_victim_aborts_cleanly_and_can_retry() {
     })
     .unwrap();
     assert_eq!(
-        db.query("select x from a").unwrap().single("x").unwrap().as_i64(),
+        db.query("select x from a")
+            .unwrap()
+            .single("x")
+            .unwrap()
+            .as_i64(),
         Some(2)
     );
 }

@@ -19,7 +19,8 @@ fn db() -> Strip {
 fn updates_stream_with_old_and_new_images() {
     let db = db();
     let sub = db.subscribe("quotes", 0.0).unwrap();
-    db.execute("update quotes set price = 11.0 where symbol = 'AA'").unwrap();
+    db.execute("update quotes set price = 11.0 where symbol = 'AA'")
+        .unwrap();
     db.drain();
     let e = sub.events.try_recv().expect("one event");
     assert_eq!(e.table, "quotes");
@@ -35,8 +36,10 @@ fn updates_stream_with_old_and_new_images() {
 fn inserts_and_deletes_stream() {
     let db = db();
     let sub = db.subscribe("quotes", 0.0).unwrap();
-    db.execute("insert into quotes values ('CC', 30.0)").unwrap();
-    db.execute("delete from quotes where symbol = 'BB'").unwrap();
+    db.execute("insert into quotes values ('CC', 30.0)")
+        .unwrap();
+    db.execute("delete from quotes where symbol = 'BB'")
+        .unwrap();
     db.drain();
     let events: Vec<_> = sub.events.try_iter().collect();
     assert_eq!(events.len(), 2);
@@ -52,15 +55,22 @@ fn batched_subscription_coalesces_bursts_into_one_delivery_batch() {
     let db = db();
     let sub = db.subscribe("quotes", 0.5).unwrap();
     for p in [11.0, 12.0, 13.0] {
-        db.execute_with("update quotes set price = ? where symbol = 'AA'", &[p.into()])
-            .unwrap();
+        db.execute_with(
+            "update quotes set price = ? where symbol = 'AA'",
+            &[p.into()],
+        )
+        .unwrap();
     }
     // Nothing delivered until the window elapses.
     assert!(sub.events.try_recv().is_err());
     assert_eq!(db.pending_tasks(), 1, "one batched export task");
     db.drain();
     let events: Vec<_> = sub.events.try_iter().collect();
-    assert_eq!(events.len(), 3, "no net-effect reduction: all three changes");
+    assert_eq!(
+        events.len(),
+        3,
+        "no net-effect reduction: all three changes"
+    );
     let prices: Vec<f64> = events.iter().map(|e| e.row[1].as_f64().unwrap()).collect();
     assert_eq!(prices, vec![11.0, 12.0, 13.0]);
     // commit_us increases across the batched firings.
@@ -72,12 +82,14 @@ fn batched_subscription_coalesces_bursts_into_one_delivery_batch() {
 fn cancel_stops_future_deliveries() {
     let db = db();
     let sub = db.subscribe("quotes", 0.0).unwrap();
-    db.execute("update quotes set price = 11.0 where symbol = 'AA'").unwrap();
+    db.execute("update quotes set price = 11.0 where symbol = 'AA'")
+        .unwrap();
     db.drain();
     assert_eq!(sub.events.try_iter().count(), 1);
     let events = sub.events.clone();
     sub.cancel().unwrap();
-    db.execute("update quotes set price = 12.0 where symbol = 'AA'").unwrap();
+    db.execute("update quotes set price = 12.0 where symbol = 'AA'")
+        .unwrap();
     db.drain();
     assert_eq!(events.try_iter().count(), 0);
     assert!(db.take_errors().is_empty());
@@ -88,7 +100,8 @@ fn two_subscriptions_deliver_independently() {
     let db = db();
     let a = db.subscribe("quotes", 0.0).unwrap();
     let b = db.subscribe("quotes", 0.0).unwrap();
-    db.execute("update quotes set price = 11.0 where symbol = 'AA'").unwrap();
+    db.execute("update quotes set price = 11.0 where symbol = 'AA'")
+        .unwrap();
     db.drain();
     assert_eq!(a.events.try_iter().count(), 1);
     assert_eq!(b.events.try_iter().count(), 1);

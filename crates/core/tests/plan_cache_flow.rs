@@ -1,0 +1,162 @@
+//! End-to-end tests of the prepared-plan cache: text-keyed reuse for ad-hoc
+//! statements, schema-epoch invalidation on DDL, per-rule plan reuse across
+//! commits, and view planning without materialization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_core::Strip;
+use strip_storage::Value;
+
+fn small_db() -> Strip {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn repeated_statement_text_hits_the_cache() {
+    let db = small_db();
+    let before = db.stats();
+    for k in ["'S1'", "'S2'", "'S3'"] {
+        // Same text, different parameter: one plan, three executions.
+        db.execute_with("select price from stocks where symbol = ?", &[k.into()])
+            .unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.plan_cache_misses - before.plan_cache_misses, 1);
+    assert_eq!(stats.plan_cache_hits - before.plan_cache_hits, 2);
+
+    // DML through `Txn::exec` shares the same cache.
+    db.txn(|t| {
+        for _ in 0..3 {
+            t.exec(
+                "update stocks set price = price + 1 where symbol = 'S1'",
+                &[],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let stats2 = db.stats();
+    assert_eq!(stats2.plan_cache_misses - stats.plan_cache_misses, 1);
+    assert_eq!(stats2.plan_cache_hits - stats.plan_cache_hits, 2);
+}
+
+#[test]
+fn create_index_bumps_epoch_and_replans() {
+    let db = small_db();
+    let q = "select price from stocks where symbol = 'S2'";
+    let r1 = db.query(q).unwrap();
+    db.query(q).unwrap();
+    let cached = db.stats();
+    assert!(cached.plan_cache_hits >= 1);
+
+    // New index -> new best access path -> the cached scan plan must die.
+    db.execute("create index ix_stocks on stocks (symbol)")
+        .unwrap();
+    let misses_before = db.stats().plan_cache_misses;
+    let r2 = db.query(q).unwrap();
+    let after = db.stats();
+    assert_eq!(
+        after.plan_cache_misses,
+        misses_before + 1,
+        "epoch bump must force a replan"
+    );
+    assert_eq!(r1.rows, r2.rows);
+    // And the replanned statement caches again.
+    db.query(q).unwrap();
+    assert_eq!(db.stats().plan_cache_hits, after.plan_cache_hits + 1);
+}
+
+#[test]
+fn create_and_drop_table_invalidate_like_named_plans() {
+    let db = Strip::new();
+    db.execute("create table t (k int)").unwrap();
+    db.execute("insert into t values (1), (2)").unwrap();
+    let n1 = db.query("select * from t").unwrap();
+    assert_eq!(n1.schema.arity(), 1);
+    assert_eq!(n1.len(), 2);
+
+    db.execute("drop table t").unwrap();
+    db.execute("create table t (k int, extra int)").unwrap();
+    db.execute("insert into t values (7, 8)").unwrap();
+    // Same text, structurally different table: the epoch tag (bumped by
+    // both drop and create) forces a replan instead of running a plan
+    // compiled for the one-column schema.
+    let rs = db.query("select * from t").unwrap();
+    assert_eq!(rs.schema.arity(), 2);
+    assert_eq!(rs.rows, vec![vec![Value::Int(7), Value::Int(8)]]);
+}
+
+#[test]
+fn rule_conditions_reuse_plans_across_commits() {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create table comps_list (comp str, symbol str, weight float); \
+         insert into stocks values ('S1', 30), ('S2', 40); \
+         insert into comps_list values ('C1','S1',0.5), ('C1','S2',0.5);",
+    )
+    .unwrap();
+    let calls = Arc::new(AtomicU64::new(0));
+    let c = calls.clone();
+    db.register_function("note_change", move |txn| {
+        c.fetch_add(1, Ordering::SeqCst);
+        txn.charge_user_work(1);
+        Ok(())
+    });
+    db.execute(
+        "create rule watch on stocks when updated price if \
+         select comp, weight from comps_list, new \
+         where comps_list.symbol = new.symbol bind as matches \
+         then execute note_change",
+    )
+    .unwrap();
+
+    let fire = |sym: &str, price: f64| {
+        db.execute_with(
+            "update stocks set price = ? where symbol = ?",
+            &[price.into(), sym.into()],
+        )
+        .unwrap();
+    };
+    fire("S1", 31.0);
+    let first = db.stats();
+    fire("S2", 41.0);
+    fire("S1", 32.0);
+    let later = db.stats();
+    db.drain();
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+    assert!(db.take_errors().is_empty());
+    // The condition is planned on the first commit and reused afterwards.
+    assert!(
+        later.plan_cache_hits > first.plan_cache_hits,
+        "rule condition plans must be reused: {first:?} -> {later:?}"
+    );
+    assert_eq!(later.plan_cache_misses, first.plan_cache_misses);
+}
+
+#[test]
+fn plain_views_plan_without_materializing_and_cache() {
+    let db = small_db();
+    db.execute("create view cheap as select symbol from stocks where price < 45")
+        .unwrap();
+    let q = "select symbol from cheap order by symbol";
+    let r1 = db.query(q).unwrap();
+    assert_eq!(r1.len(), 2);
+    let stats = db.stats();
+    let r2 = db.query(q).unwrap();
+    assert_eq!(r1.rows, r2.rows);
+    assert!(db.stats().plan_cache_hits > stats.plan_cache_hits);
+
+    // The view tracks base data (expanded on read, §1's "recompute every
+    // time" alternative) even through the cached plan.
+    db.execute("update stocks set price = 60 where symbol = 'S1'")
+        .unwrap();
+    let r3 = db.query(q).unwrap();
+    assert_eq!(r3.len(), 1);
+}

@@ -58,12 +58,14 @@ fn register_compute_comps(db: &Strip, name: &str, calls: Arc<AtomicU64>) {
 }
 
 fn comp_price(db: &Strip, comp: &str) -> f64 {
-    db.query(&format!("select price from comp_prices where comp = '{comp}'"))
-        .unwrap()
-        .single("price")
-        .unwrap()
-        .as_f64()
-        .unwrap()
+    db.query(&format!(
+        "select price from comp_prices where comp = '{comp}'"
+    ))
+    .unwrap()
+    .single("price")
+    .unwrap()
+    .as_f64()
+    .unwrap()
 }
 
 /// Apply the paper's T1 (S1: 30→31, S2: 40→39) and T2 (S2: 39→38,
@@ -230,7 +232,8 @@ fn condition_false_suppresses_action() {
     .unwrap();
 
     // A stock not in any composite: condition query joins to zero rows.
-    db.execute("insert into stocks values ('LONER', 5.0)").unwrap();
+    db.execute("insert into stocks values ('LONER', 5.0)")
+        .unwrap();
     db.txn(|t| {
         t.exec("update stocks set price = 6.0 where symbol = 'LONER'", &[])?;
         Ok(())
@@ -243,17 +246,16 @@ fn condition_false_suppresses_action() {
 #[test]
 fn updated_column_filter_respected() {
     let db = Strip::new();
-    db.execute_script(
-        "create table t (a int, b int); insert into t values (1, 1);",
-    )
-    .unwrap();
+    db.execute_script("create table t (a int, b int); insert into t values (1, 1);")
+        .unwrap();
     let calls = Arc::new(AtomicU64::new(0));
     let c = calls.clone();
     db.register_function("f", move |_| {
         c.fetch_add(1, Ordering::SeqCst);
         Ok(())
     });
-    db.execute("create rule r on t when updated b then execute f").unwrap();
+    db.execute("create rule r on t when updated b then execute f")
+        .unwrap();
 
     // Update that changes only `a`: must not trigger.
     db.execute("update t set a = 2").unwrap();
@@ -289,7 +291,8 @@ fn insert_and_delete_events() {
          execute on_ins",
     )
     .unwrap();
-    db.execute("create rule bar on t when deleted then execute on_del").unwrap();
+    db.execute("create rule bar on t when deleted then execute on_del")
+        .unwrap();
 
     db.execute("insert into t values (1), (2), (3)").unwrap();
     db.drain();
@@ -308,7 +311,10 @@ fn commit_time_column_instantiated() {
     let s2 = seen.clone();
     db.register_function("f", move |txn| {
         let b = txn.bound("changes").expect("bound");
-        let ct = b.schema().index_of("commit_time").expect("commit_time column");
+        let ct = b
+            .schema()
+            .index_of("commit_time")
+            .expect("commit_time column");
         if let Value::Timestamp(t) = b.value(0, ct) {
             s2.store(*t, Ordering::SeqCst);
         }
@@ -345,7 +351,11 @@ fn rollback_undoes_changes_and_fires_no_rules() {
     });
     assert!(r.is_err());
     db.drain();
-    assert_eq!(calls.load(Ordering::SeqCst), 0, "aborted txn fires no rules");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "aborted txn fires no rules"
+    );
     let price = db
         .query("select price from stocks where symbol = 'S1'")
         .unwrap()
@@ -383,7 +393,11 @@ fn cascading_rules_fire() {
     .unwrap();
     db.drain();
     assert_eq!(calls.load(Ordering::SeqCst), 1);
-    assert_eq!(cascades.load(Ordering::SeqCst), 1, "action triggered second rule");
+    assert_eq!(
+        cascades.load(Ordering::SeqCst),
+        1,
+        "action triggered second rule"
+    );
     assert!(db.take_errors().is_empty());
 }
 
@@ -434,7 +448,8 @@ fn bound_table_snapshot_semantics() {
 fn missing_user_function_reports_error() {
     let db = Strip::new();
     db.execute("create table t (x int)").unwrap();
-    db.execute("create rule r on t when inserted then execute ghost").unwrap();
+    db.execute("create rule r on t when inserted then execute ghost")
+        .unwrap();
     db.execute("insert into t values (1)").unwrap();
     db.drain();
     let errors = db.take_errors();
@@ -492,16 +507,17 @@ fn pool_mode_end_to_end() {
     std::thread::sleep(std::time::Duration::from_millis(50));
     db.drain();
     assert_eq!(calls.load(Ordering::SeqCst), 1);
-    assert!((db
-        .query("select price from comp_prices where comp = 'C1'")
-        .unwrap()
-        .single("price")
-        .unwrap()
-        .as_f64()
-        .unwrap()
-        - 35.0)
-        .abs()
-        < 1e-9);
+    assert!(
+        (db.query("select price from comp_prices where comp = 'C1'")
+            .unwrap()
+            .single("price")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            - 35.0)
+            .abs()
+            < 1e-9
+    );
     assert!(db.take_errors().is_empty());
 }
 
@@ -545,7 +561,11 @@ fn two_rules_sharing_a_function_merge_into_one_transaction() {
     assert_eq!(db.pending_unique("audit_changes"), 1);
     db.drain();
     assert_eq!(calls.load(Ordering::SeqCst), 1);
-    assert_eq!(rows_seen.load(Ordering::SeqCst), 2, "rows from both rules merged");
+    assert_eq!(
+        rows_seen.load(Ordering::SeqCst),
+        2,
+        "rows from both rules merged"
+    );
     assert!(db.take_errors().is_empty());
 }
 

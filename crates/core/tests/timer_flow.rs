@@ -15,7 +15,8 @@ fn limited_timer_fires_exactly_n_times() {
         f.fetch_add(1, Ordering::SeqCst);
         Ok(())
     });
-    db.execute("create timer t every 0.5 seconds execute tick limit 4").unwrap();
+    db.execute("create timer t every 0.5 seconds execute tick limit 4")
+        .unwrap();
     assert_eq!(db.timer_names(), vec!["t".to_string()]);
     db.drain();
     assert_eq!(fired.load(Ordering::SeqCst), 4);
@@ -34,7 +35,8 @@ fn unlimited_timer_fires_until_dropped() {
         f.fetch_add(1, Ordering::SeqCst);
         Ok(())
     });
-    db.execute("create timer heartbeat every 1.0 seconds execute tick").unwrap();
+    db.execute("create timer heartbeat every 1.0 seconds execute tick")
+        .unwrap();
     // advance_to is the right way to run an unlimited timer.
     let t0 = db.now_us();
     db.advance_to(t0 + 3_500_000);
@@ -59,13 +61,17 @@ fn timer_function_runs_in_a_real_transaction() {
         // The periodic recomputation the paper mentions for stock_stdev
         // (§3), using the engine's stddev aggregate.
         let sd = txn
-            .query("select stddev(r) as sd from samples where symbol = 'A'", &[])?
+            .query(
+                "select stddev(r) as sd from samples where symbol = 'A'",
+                &[],
+            )?
             .single("sd")?
             .clone();
         txn.exec("update stock_stdev set stdev = ? where symbol = 'A'", &[sd])?;
         Ok(())
     });
-    db.execute("create timer sd every 2.0 seconds execute recompute_stdev limit 1").unwrap();
+    db.execute("create timer sd every 2.0 seconds execute recompute_stdev limit 1")
+        .unwrap();
     db.drain();
     let sd = db
         .query("select stdev from stock_stdev where symbol = 'A'")
@@ -82,8 +88,11 @@ fn timer_function_runs_in_a_real_transaction() {
 #[test]
 fn timer_errors_are_reported_and_duplicates_rejected() {
     let db = Strip::new();
-    db.execute("create timer t every 1 seconds execute ghost limit 1").unwrap();
-    assert!(db.execute("create timer t every 1 seconds execute ghost").is_err());
+    db.execute("create timer t every 1 seconds execute ghost limit 1")
+        .unwrap();
+    assert!(db
+        .execute("create timer t every 1 seconds execute ghost")
+        .is_err());
     db.drain();
     let errors = db.take_errors();
     assert_eq!(errors.len(), 1);
@@ -106,8 +115,10 @@ fn timer_actions_can_trigger_rules() {
         txn.exec("insert into t values (1)", &[])?;
         Ok(())
     });
-    db.execute("create rule w on t when inserted then execute on_insert").unwrap();
-    db.execute("create timer wr every 1 seconds execute writer limit 2").unwrap();
+    db.execute("create rule w on t when inserted then execute on_insert")
+        .unwrap();
+    db.execute("create timer wr every 1 seconds execute writer limit 2")
+        .unwrap();
     db.drain();
     assert_eq!(rule_fired.load(Ordering::SeqCst), 2);
     assert!(db.take_errors().is_empty());

@@ -8,7 +8,8 @@ use strip_core::{Error, Strip};
 #[test]
 fn read_your_own_writes_within_a_transaction() {
     let db = Strip::new();
-    db.execute_script("create table t (k int, v int); insert into t values (1, 10);").unwrap();
+    db.execute_script("create table t (k int, v int); insert into t values (1, 10);")
+        .unwrap();
     db.txn(|t| {
         t.exec("update t set v = 20 where k = 1", &[])?;
         let v = t.query("select v from t where k = 1", &[])?;
@@ -64,7 +65,9 @@ fn materialized_view_creates_backing_table() {
     )
     .unwrap();
     // The backing table is queryable and has the view's contents.
-    let rs = db.query("select region, total from region_totals order by region").unwrap();
+    let rs = db
+        .query("select region, total from region_totals order by region")
+        .unwrap();
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.value(0, "total").unwrap().as_f64(), Some(12.5));
     // And, as in the paper's usage, rules can maintain it like any table.
@@ -90,9 +93,12 @@ fn materialized_view_creates_backing_table() {
          execute maintain",
     )
     .unwrap();
-    db.execute("insert into sales values ('west', 4.0)").unwrap();
+    db.execute("insert into sales values ('west', 4.0)")
+        .unwrap();
     db.drain();
-    let rs = db.query("select total from region_totals where region = 'west'").unwrap();
+    let rs = db
+        .query("select total from region_totals where region = 'west'")
+        .unwrap();
     assert_eq!(rs.single("total").unwrap().as_f64(), Some(9.0));
     assert!(db.take_errors().is_empty());
 }
@@ -116,8 +122,10 @@ fn mixed_insert_update_delete_triggers_matching_rules_once_each() {
             c[i].fetch_add(1, Ordering::SeqCst);
             Ok(())
         });
-        db.execute(&format!("create rule r_{name} on t when {event} then execute {name}"))
-            .unwrap();
+        db.execute(&format!(
+            "create rule r_{name} on t when {event} then execute {name}"
+        ))
+        .unwrap();
     }
     // One transaction doing all three kinds of change: each rule fires once
     // (a rule triggers per transaction, not per row).
@@ -143,8 +151,10 @@ fn insert_then_delete_in_one_txn_appears_in_both_transition_tables() {
     let seen = Arc::new(parking_lot_counts::Counts::default());
     let s2 = seen.clone();
     db.register_function("audit", move |txn| {
-        s2.ins.fetch_add(txn.bound("i").unwrap().len() as u64, Ordering::SeqCst);
-        s2.del.fetch_add(txn.bound("d").unwrap().len() as u64, Ordering::SeqCst);
+        s2.ins
+            .fetch_add(txn.bound("i").unwrap().len() as u64, Ordering::SeqCst);
+        s2.del
+            .fetch_add(txn.bound("d").unwrap().len() as u64, Ordering::SeqCst);
         Ok(())
     });
     db.execute(
@@ -179,7 +189,8 @@ mod parking_lot_counts {
 #[test]
 fn params_flow_through_execute_with() {
     let db = Strip::new();
-    db.execute("create table t (name str, score float)").unwrap();
+    db.execute("create table t (name str, score float)")
+        .unwrap();
     db.execute_with(
         "insert into t values (?, ?), (?, ?)",
         &["a".into(), 1.5.into(), "b".into(), 2.5.into()],
@@ -228,10 +239,14 @@ fn consistency_check_passes_after_heavy_dml() {
     )
     .unwrap();
     for i in 0..200i64 {
-        db.execute_with("insert into t values (?, ?)", &[i.into(), (i as f64).into()])
-            .unwrap();
+        db.execute_with(
+            "insert into t values (?, ?)",
+            &[i.into(), (i as f64).into()],
+        )
+        .unwrap();
     }
-    db.execute("update t set v = v * 2 where k between 50 and 150").unwrap();
+    db.execute("update t set v = v * 2 where k between 50 and 150")
+        .unwrap();
     db.execute("delete from t where k in (1, 3, 5, 7)").unwrap();
     db.drain();
     assert!(db.check_consistency().is_empty());
@@ -250,11 +265,16 @@ fn plain_views_expand_on_read() {
          select region, sum(amount) as total from sales group by region",
     )
     .unwrap();
-    let rs = db.query("select total from totals where region = 'east'").unwrap();
+    let rs = db
+        .query("select total from totals where region = 'east'")
+        .unwrap();
     assert_eq!(rs.single("total").unwrap().as_f64(), Some(10.0));
     // Unlike a materialized view, a plain view is never stale.
-    db.execute("insert into sales values ('east', 7.0)").unwrap();
-    let rs = db.query("select total from totals where region = 'east'").unwrap();
+    db.execute("insert into sales values ('east', 7.0)")
+        .unwrap();
+    let rs = db
+        .query("select total from totals where region = 'east'")
+        .unwrap();
     assert_eq!(rs.single("total").unwrap().as_f64(), Some(17.0));
     // Views can be joined with tables.
     let rs = db
@@ -278,13 +298,18 @@ fn rule_deactivation_suppresses_firing_until_reenabled() {
         f.fetch_add(1, Ordering::SeqCst);
         Ok(())
     });
-    db.execute("create rule r on t when inserted then execute f").unwrap();
+    db.execute("create rule r on t when inserted then execute f")
+        .unwrap();
     assert!(db.rule_enabled("r"));
 
     db.set_rule_enabled("r", false).unwrap();
     db.execute("insert into t values (1)").unwrap();
     db.drain();
-    assert_eq!(fired.load(Ordering::SeqCst), 0, "disabled rule must not fire");
+    assert_eq!(
+        fired.load(Ordering::SeqCst),
+        0,
+        "disabled rule must not fire"
+    );
 
     db.set_rule_enabled("R", true).unwrap(); // case-insensitive
     db.execute("insert into t values (2)").unwrap();

@@ -171,11 +171,26 @@ mod tests {
         assert!(p >= intrinsic);
         assert!(p <= 100.0);
         // Increasing in stock price, volatility, and expiry.
-        assert!(bs_call(BsInputs { stock_price: 101.0, ..base }) > p);
+        assert!(
+            bs_call(BsInputs {
+                stock_price: 101.0,
+                ..base
+            }) > p
+        );
         assert!(bs_call(BsInputs { stdev: 0.4, ..base }) > p);
-        assert!(bs_call(BsInputs { expiration_years: 0.5, ..base }) > p);
+        assert!(
+            bs_call(BsInputs {
+                expiration_years: 0.5,
+                ..base
+            }) > p
+        );
         // Decreasing in strike.
-        assert!(bs_call(BsInputs { strike: 100.0, ..base }) < p);
+        assert!(
+            bs_call(BsInputs {
+                strike: 100.0,
+                ..base
+            }) < p
+        );
     }
 
     #[test]

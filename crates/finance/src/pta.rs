@@ -302,8 +302,7 @@ impl Pta {
 
         // -- composites -----------------------------------------------------
         // Figure 3: row-at-a-time incremental maintenance.
-        let upd_comp =
-            prepared("update comp_prices set price += ? where comp = ?")?;
+        let upd_comp = prepared("update comp_prices set price += ? where comp = ?")?;
         {
             let upd = upd_comp.clone();
             db.register_function("compute_comps1", move |txn| {
@@ -385,8 +384,7 @@ impl Pta {
         }
 
         // -- options -----------------------------------------------------------
-        let upd_opt =
-            prepared("update option_prices set price = ? where option_symbol = ?")?;
+        let upd_opt = prepared("update option_prices set price = ? where option_symbol = ?")?;
         let sel_sd = match parse_statement("select stdev from stock_stdev where symbol = ?")? {
             Statement::Select(q) => Arc::new(q),
             _ => unreachable!(),
@@ -545,10 +543,11 @@ impl Pta {
             let sym = self.symbols[q.symbol as usize].clone();
             let price = q.price;
             let deadline = deadline_slack_us.map(|s| q.time_us + s);
-            self.db.submit_txn_with("update", q.time_us, deadline, 10.0, move |t| {
-                t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
-                Ok(())
-            });
+            self.db
+                .submit_txn_with("update", q.time_us, deadline, 10.0, move |t| {
+                    t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
+                    Ok(())
+                });
         }
         self.db.drain();
 
@@ -596,7 +595,9 @@ impl Pta {
     pub fn comp_price(&self, comp: &str) -> Result<f64> {
         Ok(self
             .db
-            .query(&format!("select price from comp_prices where comp = '{comp}'"))?
+            .query(&format!(
+                "select price from comp_prices where comp = '{comp}'"
+            ))?
             .single("price")?
             .as_f64()
             .unwrap_or(f64::NAN))

@@ -161,7 +161,11 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
         // rounded so small expectations still sometimes trade.
         let mean_bursts = expect / cfg.mean_burst_len;
         let n_bursts = mean_bursts.floor() as usize
-            + if rng.gen::<f64>() < mean_bursts.fract() { 1 } else { 0 };
+            + if rng.gen::<f64>() < mean_bursts.fract() {
+                1
+            } else {
+                0
+            };
         for _ in 0..n_bursts {
             let start = rng.gen_range(0..duration_us.max(1));
             // Geometric burst length with the configured mean (≥ 1).

@@ -103,7 +103,8 @@ fn comps_unique_coarse_converges_with_fewer_recomputes() {
 #[test]
 fn comps_unique_on_symbol_converges() {
     let pta = small_pta();
-    pta.install_comp_rule(CompVariant::UniqueOnSymbol, 1.0).unwrap();
+    pta.install_comp_rule(CompVariant::UniqueOnSymbol, 1.0)
+        .unwrap();
     let r = pta.run_trace().unwrap();
     assert_eq!(r.errors, 0);
     assert_comps_converged(&pta);
@@ -112,7 +113,8 @@ fn comps_unique_on_symbol_converges() {
 #[test]
 fn comps_unique_on_comp_converges_with_short_transactions() {
     let pta = small_pta();
-    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0).unwrap();
+    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0)
+        .unwrap();
     let per_comp = pta.run_trace().unwrap();
     assert_eq!(per_comp.errors, 0);
     assert_comps_converged(&pta);
@@ -138,7 +140,10 @@ fn assert_options_converged(pta: &Pta) {
             stocks.value(i, "price").unwrap().as_f64().unwrap(),
         );
     }
-    let sd = pta.db.query("select symbol, stdev from stock_stdev").unwrap();
+    let sd = pta
+        .db
+        .query("select symbol, stdev from stock_stdev")
+        .unwrap();
     let mut sd_of = std::collections::HashMap::new();
     for i in 0..sd.len() {
         sd_of.insert(
@@ -166,8 +171,7 @@ fn assert_options_converged(pta: &Pta) {
         let stock = listing.value(i, "stock_symbol").unwrap().to_string();
         let strike = listing.value(i, "strike").unwrap().as_f64().unwrap();
         let exp = listing.value(i, "expiration").unwrap().as_f64().unwrap();
-        let want =
-            strip_finance::bs_call_default(price_of[&stock], strike, exp, sd_of[&stock]);
+        let want = strip_finance::bs_call_default(price_of[&stock], strike, exp, sd_of[&stock]);
         let have = got[&osym];
         assert!(
             (want - have).abs() < 1e-9,
@@ -179,7 +183,8 @@ fn assert_options_converged(pta: &Pta) {
 #[test]
 fn options_non_unique_converges() {
     let pta = small_pta();
-    pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+    pta.install_option_rule(OptionVariant::NonUnique, 0.0)
+        .unwrap();
     let r = pta.run_trace().unwrap();
     assert_eq!(r.errors, 0);
     assert!(r.recompute_count > 0);
@@ -190,7 +195,8 @@ fn options_non_unique_converges() {
 fn options_unique_variants_converge_and_dedup() {
     let non_unique = {
         let pta = small_pta();
-        pta.install_option_rule(OptionVariant::NonUnique, 0.0).unwrap();
+        pta.install_option_rule(OptionVariant::NonUnique, 0.0)
+            .unwrap();
         pta.run_trace().unwrap()
     };
     for variant in [OptionVariant::Unique, OptionVariant::UniqueOnStock] {
@@ -214,12 +220,14 @@ fn options_per_option_batching_floods_the_system() {
     // on option symbols led to an unmanageable number of transactions".
     let per_stock = {
         let pta = small_pta();
-        pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0).unwrap();
+        pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0)
+            .unwrap();
         pta.run_trace().unwrap()
     };
     let per_option = {
         let pta = small_pta();
-        pta.install_option_rule(OptionVariant::UniqueOnOption, 1.0).unwrap();
+        pta.install_option_rule(OptionVariant::UniqueOnOption, 1.0)
+            .unwrap();
         let r = pta.run_trace().unwrap();
         assert_options_converged(&pta);
         r
@@ -237,7 +245,8 @@ fn longer_delay_means_fewer_recomputes() {
     let mut counts = Vec::new();
     for delay in [0.5, 1.5, 3.0] {
         let pta = small_pta();
-        pta.install_comp_rule(CompVariant::UniqueOnComp, delay).unwrap();
+        pta.install_comp_rule(CompVariant::UniqueOnComp, delay)
+            .unwrap();
         let r = pta.run_trace().unwrap();
         assert_eq!(r.errors, 0);
         counts.push(r.recompute_count);
@@ -253,8 +262,10 @@ fn longer_delay_means_fewer_recomputes() {
 fn both_rules_together() {
     // Comps and options maintained simultaneously, as in a real PTA.
     let pta = small_pta();
-    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0).unwrap();
-    pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0).unwrap();
+    pta.install_comp_rule(CompVariant::UniqueOnComp, 1.0)
+        .unwrap();
+    pta.install_option_rule(OptionVariant::UniqueOnStock, 1.0)
+        .unwrap();
     let r = pta.run_trace().unwrap();
     assert_eq!(r.errors, 0);
     assert_comps_converged(&pta);

@@ -44,7 +44,11 @@ impl CompiledRule {
             // produces the bound tables, but catch the obvious case where
             // the rule binds nothing at all.
             if !cols.is_empty()
-                && ast.condition.iter().chain(&ast.evaluate).all(|q| q.bind_as.is_none())
+                && ast
+                    .condition
+                    .iter()
+                    .chain(&ast.evaluate)
+                    .all(|q| q.bind_as.is_none())
             {
                 return Err(RuleError::Definition(format!(
                     "rule `{}` is unique on columns but binds no tables",
@@ -244,9 +248,7 @@ mod tests {
 
     #[test]
     fn unique_on_columns_requires_binding() {
-        let e = compile(
-            "create rule r on t when updated then execute f unique on comp",
-        );
+        let e = compile("create rule r on t when updated then execute f unique on comp");
         assert!(e.is_err());
         // Coarse unique without binding is fine.
         compile("create rule r on t when updated then execute f unique").unwrap();

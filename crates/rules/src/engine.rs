@@ -21,8 +21,10 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use strip_sql::ast::BindableQuery;
-use strip_sql::exec::{execute_query, execute_query_bound, Env, Rel};
+use strip_sql::exec::{execute_select, execute_select_bound, Env, Rel};
 use strip_sql::expr::ScalarFn;
+use strip_sql::plan::{plan_query, PhysicalPlan, RelMeta};
+use strip_sql::PlanCache;
 use strip_storage::{
     ColumnSource, DataType, Meter, Op, RowId, Schema, SchemaRef, StaticMap, TempTable, Value,
 };
@@ -69,6 +71,17 @@ impl Env for OverlayEnv<'_> {
         self.base.relation(name)
     }
 
+    fn plan_relation(&self, name: &str) -> Option<RelMeta> {
+        if let Some(t) = self.overlay.get(&name.to_ascii_lowercase()) {
+            return Some(RelMeta::of(&Rel::Temp(t.clone())));
+        }
+        self.base.plan_relation(name)
+    }
+
+    fn schema_epoch(&self) -> u64 {
+        self.base.schema_epoch()
+    }
+
     fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
         self.base.scalar_fn(name)
     }
@@ -95,12 +108,24 @@ impl Env for OverlayEnv<'_> {
 pub struct RuleEngine {
     catalog: RwLock<RuleCatalog>,
     unique: UniqueManager,
+    /// Shared prepared-plan cache for condition/evaluate queries. `None`
+    /// plans every invocation (standalone use); `strip-core` installs the
+    /// database-wide cache so rules reuse plans across transactions.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl RuleEngine {
     /// New empty engine.
     pub fn new() -> RuleEngine {
         RuleEngine::default()
+    }
+
+    /// New engine sharing `cache` for condition/evaluate query plans.
+    pub fn with_plan_cache(cache: Arc<PlanCache>) -> RuleEngine {
+        RuleEngine {
+            plan_cache: Some(cache),
+            ..RuleEngine::default()
+        }
     }
 
     /// Define a rule (already compiled).
@@ -205,11 +230,17 @@ impl RuleEngine {
                 let overlay = transition_overlay(tt);
                 let rule_env = OverlayEnv::new(env, &overlay);
 
-                // Condition: every query must return ≥ 1 row.
+                // Condition: every query must return ≥ 1 row. Plans are
+                // cached per (rule, clause index) — the rewritten query is
+                // deterministic for that key, so the statement text is
+                // implied by the key itself.
+                let cache = self.plan_cache.as_deref();
                 let mut bound: HashMap<String, TempTable> = HashMap::new();
                 let mut condition_holds = true;
-                for bq in &rule.condition {
-                    if !run_bindable(&rule_env, bq, commit_us, &mut bound)? {
+                for (i, bq) in rule.condition.iter().enumerate() {
+                    let key = format!("rule:{}:cond:{i}", rule.name);
+                    let c = cache.map(|c| (c, key.as_str()));
+                    if !run_bindable(&rule_env, bq, commit_us, &mut bound, c)? {
                         condition_holds = false;
                         break;
                     }
@@ -218,8 +249,10 @@ impl RuleEngine {
                     continue;
                 }
                 // Evaluate clause: results only passed to the action.
-                for bq in &rule.evaluate {
-                    run_bindable(&rule_env, bq, commit_us, &mut bound)?;
+                for (i, bq) in rule.evaluate.iter().enumerate() {
+                    let key = format!("rule:{}:eval:{i}", rule.name);
+                    let c = cache.map(|c| (c, key.as_str()));
+                    run_bindable(&rule_env, bq, commit_us, &mut bound, c)?;
                 }
 
                 let release_us = commit_us + rule.after_us;
@@ -234,7 +267,10 @@ impl RuleEngine {
                         });
                     }
                     Some(cols) => {
-                        for d in self.unique.dispatch_unique(&rule.execute, cols, bound, meter)? {
+                        for d in self
+                            .unique
+                            .dispatch_unique(&rule.execute, cols, bound, meter)?
+                        {
                             if let Dispatch::New(payload) = d {
                                 spawn(SpawnAction {
                                     rule: rule.name.clone(),
@@ -305,34 +341,66 @@ fn transition_overlay(tt: &TransitionTables) -> HashMap<String, Arc<TempTable>> 
 /// Run one condition/evaluate query. If it binds, the result (with the
 /// `commit_time` system column instantiated when requested) is added to
 /// `bound`. Returns whether the query produced at least one row.
+///
+/// With `cache = Some((cache, key))` the physical plan is fetched from the
+/// shared prepared-plan cache (planning on a miss); a stale plan — the
+/// schema changed mid-epoch in a way the epoch tag didn't capture — is
+/// invalidated and replanned once. `None` plans per call.
 fn run_bindable(
     env: &dyn Env,
     bq: &BindableQuery,
     commit_us: u64,
     bound: &mut HashMap<String, TempTable>,
+    cache: Option<(&PlanCache, &str)>,
 ) -> Result<bool> {
     // `commit_time` handling (§2): a select item that is the bare column
     // `commit_time` is stripped before execution and instantiated at
     // bind-time with the triggering transaction's commit time.
     let (query, commit_time_positions, append_ct) = extract_commit_time(&bq.query);
 
-    match &bq.bind_as {
-        Some(name) => {
-            let t = execute_query_bound(env, &query, &[], name)?;
-            let rows = t.len();
-            let t = if commit_time_positions.is_empty() {
-                t
-            } else {
-                add_commit_time_columns(&t, &commit_time_positions, append_ct, commit_us)?
-            };
-            bound.insert(name.to_ascii_lowercase(), t);
-            Ok(rows > 0)
+    let plan_for = |env: &dyn Env| -> strip_sql::Result<Arc<PhysicalPlan>> {
+        match cache {
+            Some((c, key)) => c.get_or_plan(key, env.schema_epoch(), || {
+                plan_query(env, &query).map(PhysicalPlan::Select)
+            }),
+            None => Ok(Arc::new(PhysicalPlan::Select(plan_query(env, &query)?))),
         }
-        None => {
-            let rs = execute_query(env, &query, &[])?;
-            Ok(!rs.is_empty())
+    };
+    let run = |plan: &PhysicalPlan| -> strip_sql::Result<(usize, Option<TempTable>)> {
+        let PhysicalPlan::Select(sp) = plan else {
+            return Err(strip_sql::SqlError::analyze("rule query is not a SELECT"));
+        };
+        match &bq.bind_as {
+            Some(name) => {
+                let t = execute_select_bound(env, sp, &[], name)?;
+                Ok((t.len(), Some(t)))
+            }
+            None => execute_select(env, sp, &[]).map(|rs| (rs.len(), None)),
         }
+    };
+
+    let plan = plan_for(env)?;
+    let (rows, table) = match run(plan.as_ref()) {
+        Err(e) if e.is_stale() && cache.is_some() => {
+            if let Some((c, key)) = cache {
+                c.invalidate(key);
+            }
+            let replanned = plan_for(env)?;
+            run(replanned.as_ref())?
+        }
+        other => other?,
+    };
+
+    if let Some(name) = &bq.bind_as {
+        let t = table.expect("bound execution returns a table");
+        let t = if commit_time_positions.is_empty() {
+            t
+        } else {
+            add_commit_time_columns(&t, &commit_time_positions, append_ct, commit_us)?
+        };
+        bound.insert(name.to_ascii_lowercase(), t);
     }
+    Ok(rows > 0)
 }
 
 /// Strip bare `commit_time` select items; return the rewritten query, the
@@ -347,12 +415,19 @@ fn extract_commit_time(q: &strip_sql::ast::Query) -> (strip_sql::ast::Query, Vec
     for (i, item) in q.items.iter().enumerate() {
         let is_ct = match item {
             SelectItem::Expr {
-                expr: Expr::Column { qualifier: None, name },
+                expr:
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    },
                 ..
             } => name == "commit_time",
             _ => false,
         };
-        if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+        if matches!(
+            item,
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)
+        ) {
             has_wildcard = true;
         }
         if is_ct {
@@ -388,7 +463,10 @@ fn add_commit_time_columns(
             positions.contains(&out_i)
         };
         if is_ct_slot {
-            columns.push(strip_storage::Column::new("commit_time", DataType::Timestamp));
+            columns.push(strip_storage::Column::new(
+                "commit_time",
+                DataType::Timestamp,
+            ));
             sources.push(ColumnSource::Slot(extra_slot));
             extra_slot += 1;
         } else {

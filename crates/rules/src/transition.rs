@@ -12,9 +12,9 @@
 
 use crate::error::Result;
 use std::sync::Arc;
-use strip_storage::{
-    ColumnSource, DataType, Meter, Op, SchemaRef, StaticMap, TempTable, Value,
-};
+use strip_sql::ast::BinOp;
+use strip_sql::expr::{BExpr, Program};
+use strip_storage::{ColumnSource, DataType, Meter, Op, SchemaRef, StaticMap, TempTable, Value};
 use strip_txn::{LogEntry, TxnLog};
 
 /// The four transition tables of one base table for one transaction.
@@ -112,17 +112,43 @@ pub fn any_column_updated(
     base_schema: &SchemaRef,
     columns: &[String],
 ) -> bool {
-    let offsets: Vec<usize> = columns
+    // `when updated` with no column list: any update event matches, no
+    // comparison needed.
+    if columns.is_empty() {
+        return log
+            .entries()
+            .iter()
+            .any(|e| matches!(e, LogEntry::Update { table: t, .. } if t == table));
+    }
+    // Compile `old.c1 <> new.c1 or old.c2 <> new.c2 or ...` once over the
+    // concatenated `[old image, new image]` row, then run it per update
+    // entry — the same Program evaluator rule conditions execute through.
+    let arity = base_schema.arity();
+    let cmp = columns
         .iter()
         .filter_map(|c| base_schema.index_of(c))
-        .collect();
+        .map(|o| BExpr::Binary {
+            op: BinOp::NotEq,
+            left: Box::new(BExpr::Col(o)),
+            right: Box::new(BExpr::Col(arity + o)),
+        })
+        .reduce(|acc, e| BExpr::Binary {
+            op: BinOp::Or,
+            left: Box::new(acc),
+            right: Box::new(e),
+        });
+    let Some(cmp) = cmp else {
+        // None of the listed names resolve to a column, so none changed.
+        return false;
+    };
+    let prog = Program::compile(&cmp);
     log.entries().iter().any(|e| match e {
-        LogEntry::Update { table: t, old, new, .. } if t == table => {
-            if columns.is_empty() {
-                true
-            } else {
-                offsets.iter().any(|&o| old.get(o) != new.get(o))
-            }
+        LogEntry::Update {
+            table: t, old, new, ..
+        } if t == table => {
+            let mut row = old.values().to_vec();
+            row.extend_from_slice(new.values());
+            prog.eval_bool(&row, &[]).unwrap_or(false)
         }
         _ => false,
     })
@@ -191,7 +217,9 @@ mod tests {
         assert_eq!(tt.old.len(), 3);
         // The chain of old prices is 30, 31, 32.
         let price = tt.old.schema().index_of("price").unwrap();
-        let olds: Vec<f64> = (0..3).map(|i| tt.old.value(i, price).as_f64().unwrap()).collect();
+        let olds: Vec<f64> = (0..3)
+            .map(|i| tt.old.value(i, price).as_f64().unwrap())
+            .collect();
         assert_eq!(olds, vec![30.0, 31.0, 32.0]);
     }
 
@@ -205,8 +233,18 @@ mod tests {
         log.log_update("stocks", a, old, new);
         let schema = t.schema().clone();
         assert!(any_column_updated(&log, "stocks", &schema, &[]));
-        assert!(any_column_updated(&log, "stocks", &schema, &["symbol".into()]));
-        assert!(!any_column_updated(&log, "stocks", &schema, &["price".into()]));
+        assert!(any_column_updated(
+            &log,
+            "stocks",
+            &schema,
+            &["symbol".into()]
+        ));
+        assert!(!any_column_updated(
+            &log,
+            "stocks",
+            &schema,
+            &["price".into()]
+        ));
         assert!(!any_column_updated(&log, "other", &schema, &[]));
     }
 

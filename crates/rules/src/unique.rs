@@ -185,9 +185,8 @@ impl UniqueManager {
                         match st.bound.get_mut(&name) {
                             Some(dst) => {
                                 meter.charge(Op::TempTupleBuild, table.len() as u64);
-                                dst.append_from(&table).map_err(|e| {
-                                    RuleError::BoundTableMismatch(e.to_string())
-                                })?;
+                                dst.append_from(&table)
+                                    .map_err(|e| RuleError::BoundTableMismatch(e.to_string()))?;
                             }
                             None => {
                                 return Err(RuleError::BoundTableMismatch(format!(
@@ -278,9 +277,7 @@ pub fn partition_bound_tables_metered(
             }
         }
         locations.push(found.ok_or_else(|| {
-            RuleError::UniqueColumn(format!(
-                "unique column `{uc}` not found in any bound table"
-            ))
+            RuleError::UniqueColumn(format!("unique column `{uc}` not found in any bound table"))
         })?);
     }
 
@@ -301,8 +298,10 @@ pub fn partition_bound_tables_metered(
         let mut order: Groups = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         for i in 0..t.len() {
-            let tuple: Vec<Value> =
-                cols.iter().map(|(_, off)| t.value(i, *off).clone()).collect();
+            let tuple: Vec<Value> = cols
+                .iter()
+                .map(|(_, off)| t.value(i, *off).clone())
+                .collect();
             match index.get(&tuple) {
                 Some(&g) => order[g].1.push(i),
                 None => {
@@ -392,8 +391,7 @@ mod tests {
 
     #[test]
     fn coarse_unique_single_partition() {
-        let parts =
-            partition_bound_tables(&[], bound_with(&[("C1", 1.0), ("C2", 2.0)])).unwrap();
+        let parts = partition_bound_tables(&[], bound_with(&[("C1", 1.0), ("C2", 2.0)])).unwrap();
         assert_eq!(parts.len(), 1);
         assert!(parts[0].0.is_empty());
         assert_eq!(parts[0].1["matches"].len(), 2);
@@ -530,14 +528,17 @@ mod tests {
         ])
         .into_ref();
         let mut t = TempTable::materialized("m", schema);
-        t.push_row(vec!["p".into(), 1i64.into(), 0.1.into()]).unwrap();
-        t.push_row(vec!["p".into(), 2i64.into(), 0.2.into()]).unwrap();
-        t.push_row(vec!["q".into(), 1i64.into(), 0.3.into()]).unwrap();
-        t.push_row(vec!["p".into(), 1i64.into(), 0.4.into()]).unwrap();
+        t.push_row(vec!["p".into(), 1i64.into(), 0.1.into()])
+            .unwrap();
+        t.push_row(vec!["p".into(), 2i64.into(), 0.2.into()])
+            .unwrap();
+        t.push_row(vec!["q".into(), 1i64.into(), 0.3.into()])
+            .unwrap();
+        t.push_row(vec!["p".into(), 1i64.into(), 0.4.into()])
+            .unwrap();
         let mut bound = HashMap::new();
         bound.insert("m".to_string(), t);
-        let parts =
-            partition_bound_tables(&["a".to_string(), "b".to_string()], bound).unwrap();
+        let parts = partition_bound_tables(&["a".to_string(), "b".to_string()], bound).unwrap();
         assert_eq!(parts.len(), 3);
         let p1 = parts
             .iter()

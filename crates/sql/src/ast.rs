@@ -307,7 +307,10 @@ pub enum Expr {
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
     /// Aggregate call; `None` argument means `count(*)`.
-    Aggregate { func: AggFunc, arg: Option<Box<Expr>> },
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
     /// Registered scalar function call, e.g. `f_bs(price, strike, ...)`.
     Call { name: String, args: Vec<Expr> },
 }
@@ -394,7 +397,10 @@ mod tests {
     fn visit_columns_reaches_nested() {
         let e = Expr::Call {
             name: "f".into(),
-            args: vec![Expr::qcol("new", "price"), Expr::Neg(Box::new(Expr::col("w")))],
+            args: vec![
+                Expr::qcol("new", "price"),
+                Expr::Neg(Box::new(Expr::col("w"))),
+            ],
         };
         let mut seen = Vec::new();
         e.visit_columns(&mut |q, n| seen.push((q.clone(), n.to_string())));

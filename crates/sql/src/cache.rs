@@ -1,0 +1,154 @@
+//! Prepared-plan cache.
+//!
+//! Maps a statement key (typically the statement text, optionally prefixed
+//! with a context signature such as the set of bound tables in scope) to a
+//! compiled [`PhysicalPlan`]. Entries are tagged with the schema epoch they
+//! were planned under; a lookup under a newer epoch is a miss and the entry
+//! is replaced. Hit/miss counters feed the simulator's statistics so
+//! experiments can report plan-cache effectiveness.
+
+use crate::error::Result;
+use crate::plan::PhysicalPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct CachedPlan {
+    epoch: u64,
+    plan: Arc<PhysicalPlan>,
+}
+
+/// A concurrent prepared-plan cache keyed by `(statement key, schema epoch)`.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<String, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// New empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Look up `key` at `epoch`; on a miss (absent or planned under an older
+    /// epoch) call `build` and cache its result. The lock is not held while
+    /// planning, so concurrent misses on the same key may plan twice — the
+    /// last one wins, which is harmless (plans are deterministic for a given
+    /// epoch).
+    pub fn get_or_plan(
+        &self,
+        key: &str,
+        epoch: u64,
+        build: impl FnOnce() -> Result<PhysicalPlan>,
+    ) -> Result<Arc<PhysicalPlan>> {
+        if let Some(cached) = self.plans.lock().expect("plan cache lock").get(key) {
+            if cached.epoch == epoch {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(cached.plan.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build()?);
+        self.plans.lock().expect("plan cache lock").insert(
+            key.to_string(),
+            CachedPlan {
+                epoch,
+                plan: plan.clone(),
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Drop one entry (used when a cached plan turned out stale mid-epoch).
+    pub fn invalidate(&self, key: &str) {
+        self.plans.lock().expect("plan cache lock").remove(key);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache lock").clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (including epoch-mismatch replans) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{InsertPlan, InsertSourcePlan};
+
+    fn dummy_plan() -> PhysicalPlan {
+        PhysicalPlan::Insert(InsertPlan {
+            table: "t".into(),
+            positions: vec![0],
+            arity: 1,
+            source: InsertSourcePlan::Values(Vec::new()),
+        })
+    }
+
+    #[test]
+    fn hit_then_epoch_invalidation() {
+        let c = PlanCache::new();
+        c.get_or_plan("k", 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        c.get_or_plan("k", 1, || panic!("must not replan")).unwrap();
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // A newer epoch misses and replaces the entry.
+        c.get_or_plan("k", 2, || Ok(dummy_plan())).unwrap();
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn planning_error_is_not_cached() {
+        let c = PlanCache::new();
+        assert!(c
+            .get_or_plan("bad", 1, || Err(crate::SqlError::analyze("nope")))
+            .is_err());
+        assert!(c.is_empty());
+        assert_eq!(c.misses(), 1);
+        // A later success caches normally.
+        c.get_or_plan("bad", 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let c = PlanCache::new();
+        c.get_or_plan("k", 1, || Ok(dummy_plan())).unwrap();
+        c.invalidate("k");
+        assert!(c.is_empty());
+        c.get_or_plan("k", 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(c.misses(), 2);
+    }
+}

@@ -16,6 +16,9 @@ pub enum SqlError {
     Exec(String),
     /// Error propagated from storage.
     Storage(StorageError),
+    /// A cached physical plan no longer matches the live schema; the caller
+    /// should replan and retry.
+    Stale(String),
 }
 
 impl SqlError {
@@ -37,6 +40,17 @@ impl SqlError {
     pub fn exec(msg: impl Into<String>) -> SqlError {
         SqlError::Exec(msg.into())
     }
+
+    /// Construct a stale-plan error.
+    pub fn stale(msg: impl Into<String>) -> SqlError {
+        SqlError::Stale(msg.into())
+    }
+
+    /// True if this error means "replan and retry" rather than a genuine
+    /// statement failure.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, SqlError::Stale(_))
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -47,6 +61,7 @@ impl fmt::Display for SqlError {
             SqlError::Analyze(m) => write!(f, "semantic error: {m}"),
             SqlError::Exec(m) => write!(f, "execution error: {m}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::Stale(m) => write!(f, "stale plan: {m}"),
         }
     }
 }

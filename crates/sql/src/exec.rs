@@ -1,15 +1,19 @@
-//! Query and DML execution.
+//! Physical-plan execution.
 //!
 //! The executor is a small volcano-style engine specialized for STRIP's
 //! workload: short selections and equi-joins between base tables (indexed)
 //! and tiny transition/bound tables, plus hash aggregation for the paper's
 //! `group by` recompute queries.
 //!
-//! Join planning is greedy: start from the smallest input, then repeatedly
-//! attach the table reachable through an equi-join predicate, preferring one
-//! with a usable index (`comps_list.symbol = new.symbol` probes the
-//! `comps_list` hash index once per `new` row instead of scanning 80 000
-//! rows per stock update — essential for the paper's update rates).
+//! All planning decisions — join order, access paths, filter placement,
+//! expression compilation — are made up front by [`crate::plan`]; this
+//! module interprets the resulting [`PhysicalPlan`]s. A plan is immutable
+//! and shareable, so prepared plans can be cached and re-executed (the
+//! prepared-plan cache in `strip-core` does exactly that). Execution
+//! re-resolves relations by name on every run: locks, transaction overlays,
+//! and view expansion are per-execution concerns, and a relation whose
+//! shape no longer matches the plan raises [`SqlError::Stale`] so callers
+//! can replan.
 //!
 //! ## Provenance and bound tables
 //!
@@ -21,19 +25,24 @@
 //!
 //! ## Metering
 //!
-//! Read-side work is charged here (cursor open/fetch, index probes, temp
-//! tuple reads/builds, expression evaluation, aggregation rows). Write-side
-//! work (locks, tuple writes, index maintenance) is charged by the [`Env`]
-//! implementation, which routes DML through transaction bookkeeping.
+//! Planning charges nothing. Read-side work is charged here (cursor
+//! open/fetch, index probes, temp tuple reads/builds, expression evaluation,
+//! aggregation rows). Write-side work (locks, tuple writes, index
+//! maintenance) is charged by the [`Env`] implementation, which routes DML
+//! through transaction bookkeeping.
 
 use crate::ast::*;
 use crate::error::{Result, SqlError};
-use crate::expr::{bind_expr, BExpr, Layout, LayoutCol, ScalarFn};
+use crate::expr::ScalarFn;
+use crate::plan::{
+    self, Access, AggSpec, BindMode, DeletePlan, GroupedOut, InsertPlan, InsertSourcePlan,
+    JoinStep, OutCol, OutputPlan, PhysicalPlan, PlannedItem, RelMeta, SelectPlan, SortPlan,
+    UpdatePlan,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use strip_storage::{
-    ColumnSource, DataType, Meter, Op, RecordRef, RowId, Schema, SchemaRef, StaticMap, TempTable,
-    Value,
+    ColumnSource, Meter, Op, RecordRef, RowId, SchemaRef, StaticMap, TempTable, Value,
 };
 
 /// A readable relation.
@@ -78,6 +87,17 @@ pub trait Env {
     fn relation(&self, name: &str) -> Option<Rel>;
     /// Resolve a registered scalar function.
     fn scalar_fn(&self, name: &str) -> Option<ScalarFn>;
+    /// Relation metadata for the planner: schema, size estimate, indexes.
+    /// Unlike [`Env::relation`], this must be side-effect free — no locks,
+    /// no meter charges, no view materialization.
+    fn plan_relation(&self, name: &str) -> Option<RelMeta> {
+        self.relation(name).map(|r| RelMeta::of(&r))
+    }
+    /// Current schema epoch (see `strip_storage::Catalog::epoch`). Prepared
+    /// plans are only valid for the epoch they were built under.
+    fn schema_epoch(&self) -> u64 {
+        0
+    }
     /// Called once before reading a standard table (S-lock acquisition).
     fn before_read(&self, _table: &str) -> Result<()> {
         Ok(())
@@ -135,16 +155,12 @@ impl ResultSet {
 }
 
 // ---------------------------------------------------------------------------
-// Planning structures
+// Relation resolution at execution time
 // ---------------------------------------------------------------------------
 
-struct FromItemEx {
-    alias: String,
-    #[allow(dead_code)] // kept for diagnostics
-    name: String,
+/// A FROM item resolved against the live environment for one execution.
+struct ResolvedItem {
     rel: Rel,
-    schema: SchemaRef,
-    est_rows: usize,
     /// For each visible column: offset within the item's single backing
     /// record, when the column can be served by a record pointer.
     prov_offsets: Vec<Option<usize>>,
@@ -152,17 +168,22 @@ struct FromItemEx {
     has_prov: bool,
 }
 
-fn make_item(env: &dyn Env, tref: &crate::ast::TableRef) -> Result<FromItemEx> {
+fn resolve_item(env: &dyn Env, item: &PlannedItem) -> Result<ResolvedItem> {
     let rel = env
-        .relation(&tref.table)
-        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", tref.table)))?;
+        .relation(&item.table)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", item.table)))?;
     if let Rel::Standard(_) = rel {
-        env.before_read(&tref.table)?;
+        env.before_read(&item.table)?;
     }
-    let schema = rel.schema();
-    let est_rows = rel.len();
+    let arity = rel.schema().arity();
+    if arity != item.arity {
+        return Err(SqlError::stale(format!(
+            "table `{}` changed shape since planning",
+            item.table
+        )));
+    }
     let (prov_offsets, has_prov) = match &rel {
-        Rel::Standard(_) => ((0..schema.arity()).map(Some).collect(), true),
+        Rel::Standard(_) => ((0..arity).map(Some).collect(), true),
         Rel::Temp(t) => {
             let map = t.static_map();
             if map.n_ptrs() == 1 {
@@ -179,85 +200,44 @@ fn make_item(env: &dyn Env, tref: &crate::ast::TableRef) -> Result<FromItemEx> {
             } else {
                 // Zero or multiple backing records per tuple: no single
                 // provenance pointer; downstream bound tables materialize.
-                (vec![None; schema.arity()], false)
+                (vec![None; arity], false)
             }
         }
     };
-    Ok(FromItemEx {
-        alias: tref.alias.to_ascii_lowercase(),
-        name: tref.table.to_ascii_lowercase(),
+    Ok(ResolvedItem {
         rel,
-        schema,
-        est_rows,
         prov_offsets,
         has_prov,
     })
 }
 
-/// One row mid-join: concatenated values plus per-item provenance.
-#[derive(Clone)]
-struct JRow {
-    vals: Vec<Value>,
-    provs: Vec<Option<RecordRef>>,
-}
-
-fn build_layout(items: &[FromItemEx]) -> Layout {
-    let mut cols = Vec::new();
-    for (i, item) in items.iter().enumerate() {
-        for (j, c) in item.schema.columns().iter().enumerate() {
-            cols.push(LayoutCol {
-                qualifier: item.alias.clone(),
-                name: c.name.clone(),
-                dtype: c.dtype,
-                item: i,
-                item_offset: j,
-            });
-        }
+/// Resolve all FROM items in declaration order (that is the lock-acquisition
+/// order), then permute into join order.
+fn resolve_items(env: &dyn Env, plan: &SelectPlan) -> Result<Vec<ResolvedItem>> {
+    let mut declared = Vec::with_capacity(plan.items.len());
+    for item in &plan.items {
+        declared.push(Some(resolve_item(env, item)?));
     }
-    Layout { cols }
-}
-
-fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
-    if let Expr::Binary {
-        op: BinOp::And,
-        left,
-        right,
-    } = e
-    {
-        split_conjuncts(left, out);
-        split_conjuncts(right, out);
-    } else {
-        out.push(e.clone());
+    let mut joined = Vec::with_capacity(declared.len());
+    for &d in &plan.join_order {
+        joined.push(declared[d].take().expect("each item moved once"));
     }
-}
-
-fn max_col_of(b: &BExpr) -> Option<usize> {
-    match b {
-        BExpr::Col(i) => Some(*i),
-        BExpr::IsNull { expr, .. } => max_col_of(expr),
-        BExpr::Neg(e) | BExpr::Not(e) => max_col_of(e),
-        BExpr::Binary { left, right, .. } => match (max_col_of(left), max_col_of(right)) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        },
-        BExpr::Call { args, .. } => args.iter().filter_map(max_col_of).max(),
-        _ => None,
-    }
+    Ok(joined)
 }
 
 // ---------------------------------------------------------------------------
 // The join pipeline
 // ---------------------------------------------------------------------------
 
-/// Output of the join phase: the joined rows, the join-order layout, and the
-/// items in join order.
-struct Joined {
-    items: Vec<FromItemEx>,
-    layout: Layout,
-    rows: Vec<JRow>,
+/// One row mid-join: concatenated values plus per-item (join-order)
+/// provenance.
+#[derive(Clone)]
+struct JRow {
+    vals: Vec<Value>,
+    provs: Vec<Option<RecordRef>>,
 }
 
-fn scan_item(env: &dyn Env, item: &FromItemEx) -> Vec<(Vec<Value>, Option<RecordRef>)> {
+fn scan_item(env: &dyn Env, item: &ResolvedItem) -> Vec<(Vec<Value>, Option<RecordRef>)> {
     let m = env.meter();
     m.charge(Op::OpenCursor, 1);
     let out = match &item.rel {
@@ -290,7 +270,7 @@ fn scan_item(env: &dyn Env, item: &FromItemEx) -> Vec<(Vec<Value>, Option<Record
 
 fn probe_item(
     env: &dyn Env,
-    item: &FromItemEx,
+    item: &ResolvedItem,
     column: usize,
     key: &Value,
 ) -> Option<Vec<(Vec<Value>, Option<RecordRef>)>> {
@@ -310,184 +290,76 @@ fn probe_item(
     )
 }
 
-fn item_has_index(item: &FromItemEx, column: usize) -> bool {
-    match &item.rel {
-        Rel::Standard(t) => t.read().index_on(column).is_some(),
-        Rel::Temp(_) => false,
-    }
-}
-
-/// Try to interpret a conjunct as `col = other-side` usable as an index
-/// probe into `target` (an item index in join order) given that all other
-/// referenced columns lie within `prefix_len`.
-struct ProbePlan {
-    /// Column offset within the target item to probe.
-    target_col: usize,
-    /// Key expression over the already-joined prefix row.
-    key: BExpr,
-}
-
-fn join_all(env: &dyn Env, query: &Query, params: &[Value]) -> Result<Joined> {
-    // Resolve FROM items in declaration order first.
-    let mut declared = Vec::with_capacity(query.from.len());
-    for tref in &query.from {
-        declared.push(make_item(env, tref)?);
-    }
-    if declared.is_empty() {
-        return Err(SqlError::analyze("query has no FROM items"));
-    }
-    // Duplicate alias check.
-    for (i, a) in declared.iter().enumerate() {
-        if declared[..i].iter().any(|b| b.alias == a.alias) {
-            return Err(SqlError::analyze(format!(
-                "duplicate table alias `{}`",
-                a.alias
-            )));
-        }
-    }
-
-    // Classify conjuncts using a layout over declaration order (names only;
-    // the BExpr binding happens later against join order).
-    let decl_layout = build_layout(&declared);
-    let mut conjuncts = Vec::new();
-    if let Some(w) = &query.where_clause {
-        split_conjuncts(w, &mut conjuncts);
-    }
-    // Which declared items does each conjunct touch?
-    let mut conj_items: Vec<Vec<usize>> = Vec::with_capacity(conjuncts.len());
-    for c in &conjuncts {
-        let mut items = Vec::new();
-        let mut err = None;
-        c.visit_columns(&mut |q, n| {
-            match decl_layout.resolve(q, n) {
-                Ok(i) => {
-                    let it = decl_layout.cols[i].item;
-                    if !items.contains(&it) {
-                        items.push(it);
-                    }
-                }
-                Err(e) => err = Some(e),
-            };
-        });
-        if let Some(e) = err {
-            return Err(e);
-        }
-        conj_items.push(items);
-    }
-
-    // Greedy join-order selection over declared item indices.
-    let n = declared.len();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut bound = vec![false; n];
-    // Seed: smallest estimated input.
-    let seed = (0..n).min_by_key(|&i| declared[i].est_rows).unwrap();
-    order.push(seed);
-    bound[seed] = true;
-    while order.len() < n {
-        // Candidates joined to the bound set by an equi-join conjunct.
-        let mut best: Option<(usize, bool, usize)> = None; // (item, has_index, rows)
-        for (ci, c) in conjuncts.iter().enumerate() {
-            let items = &conj_items[ci];
-            if items.len() != 2 {
-                continue;
-            }
-            let (a, b) = (items[0], items[1]);
-            let target = match (bound[a], bound[b]) {
-                (true, false) => b,
-                (false, true) => a,
-                _ => continue,
-            };
-            // Does the conjunct give the target an indexable column?
-            let has_index = equi_join_target_col(c, &decl_layout, target)
-                .map(|col| item_has_index(&declared[target], col))
-                .unwrap_or(false);
-            let rows = declared[target].est_rows;
-            let better = match &best {
-                None => true,
-                Some((_, bi, br)) => (has_index, std::cmp::Reverse(rows)) > (*bi, std::cmp::Reverse(*br)),
-            };
-            if better {
-                best = Some((target, has_index, rows));
-            }
-        }
-        let next = match best {
-            Some((t, _, _)) => t,
-            // No join predicate reaches any unbound item: cartesian step
-            // with the smallest remaining input.
-            None => (0..n)
-                .filter(|&i| !bound[i])
-                .min_by_key(|&i| declared[i].est_rows)
-                .unwrap(),
-        };
-        order.push(next);
-        bound[next] = true;
-    }
-
-    // Re-arrange items into join order and build the final layout.
-    let mut items: Vec<FromItemEx> = Vec::with_capacity(n);
-    let mut decl_to_join = vec![0usize; n];
-    for (pos, &d) in order.iter().enumerate() {
-        decl_to_join[d] = pos;
-    }
-    // `order` holds declared indices in join order; move them.
-    let mut opt: Vec<Option<FromItemEx>> = declared.into_iter().map(Some).collect();
-    for &d in &order {
-        items.push(opt[d].take().expect("each item moved once"));
-    }
-    let layout = build_layout(&items);
-    let prefix_len: Vec<usize> = {
-        let mut v = Vec::with_capacity(n + 1);
-        let mut acc = 0;
-        v.push(0);
-        for it in &items {
-            acc += it.schema.arity();
-            v.push(acc);
-        }
-        v
+/// Inclusive ordered-index range scan on the seed item.
+fn range_item(
+    env: &dyn Env,
+    item: &ResolvedItem,
+    column: usize,
+    lo: &Value,
+    hi: &Value,
+) -> Option<Vec<(Vec<Value>, Option<RecordRef>)>> {
+    let Rel::Standard(t) = &item.rel else {
+        return None;
     };
-
-    // Bind all conjuncts against the join-order layout.
-    let fns = |name: &str| env.scalar_fn(name);
-    struct BoundConj {
-        expr: BExpr,
-        max_col: usize,
-        applied: bool,
-        ast: Expr,
-    }
-    let mut bconj = Vec::with_capacity(conjuncts.len());
-    for c in &conjuncts {
-        let b = bind_expr(c, &layout, &fns)?;
-        bconj.push(BoundConj {
-            max_col: max_col_of(&b).unwrap_or(0),
-            expr: b,
-            applied: false,
-            ast: c.clone(),
-        });
-    }
-
-    // Seed access path: prefer an index probe when some conjunct pins an
-    // indexed seed column to a constant (`where symbol = ?` point lookups
-    // must not scan the table).
+    let t = t.read();
+    let ids = t.index_range(column, lo, hi)?;
     let m = env.meter();
-    let mut seed_rows: Option<Vec<(Vec<Value>, Option<RecordRef>)>> = None;
-    for bc in bconj.iter_mut() {
-        if bc.applied {
-            continue;
-        }
-        if let Some(plan) = probe_plan_for(&bc.ast, &layout, 0, 0, &fns)? {
-            if item_has_index(&items[0], plan.target_col) {
-                let key = plan.key.eval(&[], params)?;
-                if let Some(hits) = probe_item(env, &items[0], plan.target_col, &key) {
-                    bc.applied = true;
-                    seed_rows = Some(hits);
-                    break;
-                }
+    m.charge(Op::IndexProbe, 1);
+    m.charge(Op::FetchCursor, ids.len() as u64);
+    Some(
+        ids.into_iter()
+            .filter_map(|id| t.get(id).ok())
+            .map(|rec| (rec.values().to_vec(), Some(rec)))
+            .collect(),
+    )
+}
+
+/// Apply residual filters assigned to one join position, in original
+/// conjunct order (each filter is charged per row it sees).
+fn apply_filters(
+    env: &dyn Env,
+    filters: &[crate::expr::Program],
+    rows: &mut Vec<JRow>,
+    params: &[Value],
+) -> Result<()> {
+    let m = env.meter();
+    for f in filters {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows.drain(..) {
+            m.charge(Op::EvalExpr, 1);
+            if f.eval_bool(&r.vals, params)? {
+                kept.push(r);
             }
         }
+        *rows = kept;
     }
-    let seed_rows = match seed_rows {
-        Some(r) => r,
-        None => scan_item(env, &items[0]),
+    Ok(())
+}
+
+/// Run the access-path + join + filter section of a plan, producing the
+/// joined rows (values in join-order layout, plus per-item provenance).
+fn run_join(
+    env: &dyn Env,
+    plan: &SelectPlan,
+    items: &[ResolvedItem],
+    params: &[Value],
+) -> Result<Vec<JRow>> {
+    let n = items.len();
+    let m = env.meter();
+
+    let seed_rows = match &plan.seed {
+        Access::Scan => scan_item(env, &items[0]),
+        Access::IndexEq { column, key } => {
+            let key = key.eval(&[], params)?;
+            probe_item(env, &items[0], *column, &key)
+                .ok_or_else(|| SqlError::stale("index used by plan no longer exists"))?
+        }
+        Access::IndexRange { column, lo, hi } => {
+            let lo = lo.eval(&[], params)?;
+            let hi = hi.eval(&[], params)?;
+            range_item(env, &items[0], *column, &lo, &hi)
+                .ok_or_else(|| SqlError::stale("ordered index used by plan no longer exists"))?
+        }
     };
     let mut rows: Vec<JRow> = seed_rows
         .into_iter()
@@ -497,56 +369,18 @@ fn join_all(env: &dyn Env, query: &Query, params: &[Value]) -> Result<Joined> {
             JRow { vals, provs }
         })
         .collect();
+    apply_filters(env, &plan.filters[0], &mut rows, params)?;
 
-    // Apply conjuncts that fit the first prefix, then join remaining items.
-    let apply_fitting = |rows: &mut Vec<JRow>,
-                             bconj: &mut Vec<BoundConj>,
-                             upto: usize|
-     -> Result<()> {
-        for bc in bconj.iter_mut() {
-            if !bc.applied && bc.max_col < upto {
-                bc.applied = true;
-                let mut kept = Vec::with_capacity(rows.len());
-                for r in rows.drain(..) {
-                    m.charge(Op::EvalExpr, 1);
-                    if bc.expr.eval_bool(&r.vals, params)? {
-                        kept.push(r);
-                    }
-                }
-                *rows = kept;
-            }
-        }
-        Ok(())
-    };
-    apply_fitting(&mut rows, &mut bconj, prefix_len[1])?;
-
-    for k in 1..n {
+    for (k, step) in plan.steps.iter().enumerate() {
+        let k = k + 1;
         let item = &items[k];
-        // Find an index-probe plan: an unapplied equi-join conjunct whose
-        // target is this item, key side within the prefix, and an index on
-        // the target column.
-        let mut probe: Option<(usize, ProbePlan)> = None;
-        for (ci, bc) in bconj.iter().enumerate() {
-            if bc.applied {
-                continue;
-            }
-            if let Some(plan) = probe_plan_for(&bc.ast, &layout, k, prefix_len[k], &fns)? {
-                if item_has_index(item, plan.target_col) {
-                    probe = Some((ci, plan));
-                    break;
-                }
-            }
-        }
-
-        let item_arity = item.schema.arity();
         let mut next_rows = Vec::new();
-        match probe {
-            Some((ci, plan)) => {
-                bconj[ci].applied = true;
+        match step {
+            JoinStep::IndexProbe { column, key } => {
                 for r in &rows {
                     m.charge(Op::EvalExpr, 1);
-                    let key = plan.key.eval(&r.vals, params)?;
-                    if let Some(matches) = probe_item(env, item, plan.target_col, &key) {
+                    let key = key.eval(&r.vals, params)?;
+                    if let Some(matches) = probe_item(env, item, *column, &key) {
                         for (vals, prov) in matches {
                             let mut nr = r.clone();
                             nr.vals.extend(vals);
@@ -556,7 +390,7 @@ fn join_all(env: &dyn Env, query: &Query, params: &[Value]) -> Result<Joined> {
                     }
                 }
             }
-            None => {
+            JoinStep::NestedLoop => {
                 // Nested-loop join: materialize the inner once.
                 let inner = scan_item(env, item);
                 for r in &rows {
@@ -569,194 +403,38 @@ fn join_all(env: &dyn Env, query: &Query, params: &[Value]) -> Result<Joined> {
                 }
             }
         }
-        let _ = item_arity;
         rows = next_rows;
-        apply_fitting(&mut rows, &mut bconj, prefix_len[k + 1])?;
+        apply_filters(env, &plan.filters[k], &mut rows, params)?;
     }
-
-    // All conjuncts must have been applied by now.
-    debug_assert!(bconj.iter().all(|b| b.applied));
-
-    Ok(Joined {
-        items,
-        layout,
-        rows,
-    })
-}
-
-/// If `e` is `colA = colB` (or `col = const/param expr`) where the column on
-/// one side belongs to item `target` (in join order) and the other side
-/// references only columns below `prefix`, return the probe plan.
-fn probe_plan_for(
-    e: &Expr,
-    layout: &Layout,
-    target: usize,
-    prefix: usize,
-    fns: &dyn Fn(&str) -> Option<ScalarFn>,
-) -> Result<Option<ProbePlan>> {
-    let Expr::Binary {
-        op: BinOp::Eq,
-        left,
-        right,
-    } = e
-    else {
-        return Ok(None);
-    };
-    for (a, b) in [(left, right), (right, left)] {
-        if let Expr::Column { qualifier, name } = a.as_ref() {
-            if let Ok(idx) = layout.resolve(qualifier, name) {
-                let lc = &layout.cols[idx];
-                if lc.item == target {
-                    // The other side must bind within the prefix.
-                    let key = match bind_expr(b, layout, fns) {
-                        Ok(k) => k,
-                        Err(_) => continue,
-                    };
-                    if max_col_of(&key).map(|c| c < prefix).unwrap_or(true) {
-                        return Ok(Some(ProbePlan {
-                            target_col: lc.item_offset,
-                            key,
-                        }));
-                    }
-                }
-            }
-        }
-    }
-    Ok(None)
-}
-
-/// Extract the target-side column offset of an equi-join conjunct, if any.
-fn equi_join_target_col(e: &Expr, layout: &Layout, target: usize) -> Option<usize> {
-    let Expr::Binary {
-        op: BinOp::Eq,
-        left,
-        right,
-    } = e
-    else {
-        return None;
-    };
-    for side in [left, right] {
-        if let Expr::Column { qualifier, name } = side.as_ref() {
-            if let Ok(idx) = layout.resolve(qualifier, name) {
-                if layout.cols[idx].item == target {
-                    return Some(layout.cols[idx].item_offset);
-                }
-            }
-        }
-    }
-    None
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------
-// Projection / aggregation
+// Aggregation
 // ---------------------------------------------------------------------------
-
-/// A select item after binding.
-enum OutCol {
-    /// Direct column passthrough: flat offset. Eligible for pointer-column
-    /// output in bound tables.
-    Passthrough { idx: usize, name: String },
-    /// Computed expression.
-    Computed { expr: BExpr, name: String, dtype: DataType },
-}
-
-fn expand_items(q: &Query, layout: &Layout) -> Result<Vec<(Expr, Option<String>)>> {
-    let mut out = Vec::new();
-    for item in &q.items {
-        match item {
-            SelectItem::Wildcard => {
-                for c in &layout.cols {
-                    out.push((
-                        Expr::Column {
-                            qualifier: Some(c.qualifier.clone()),
-                            name: c.name.clone(),
-                        },
-                        Some(c.name.clone()),
-                    ));
-                }
-            }
-            SelectItem::QualifiedWildcard(q) => {
-                let ql = q.to_ascii_lowercase();
-                let mut any = false;
-                for c in layout.cols.iter().filter(|c| c.qualifier == ql) {
-                    any = true;
-                    out.push((
-                        Expr::Column {
-                            qualifier: Some(c.qualifier.clone()),
-                            name: c.name.clone(),
-                        },
-                        Some(c.name.clone()),
-                    ));
-                }
-                if !any {
-                    return Err(SqlError::analyze(format!("unknown alias `{q}` in `{q}.*`")));
-                }
-            }
-            SelectItem::Expr { expr, alias } => out.push((expr.clone(), alias.clone())),
-        }
-    }
-    Ok(out)
-}
-
-fn default_name(e: &Expr, i: usize) -> String {
-    match e {
-        Expr::Column { name, .. } => name.clone(),
-        Expr::Aggregate { func, .. } => func.name().to_string(),
-        _ => format!("col{i}"),
-    }
-}
-
-fn bind_output(
-    q: &Query,
-    layout: &Layout,
-    fns: &dyn Fn(&str) -> Option<ScalarFn>,
-) -> Result<Vec<OutCol>> {
-    let items = expand_items(q, layout)?;
-    let mut out = Vec::with_capacity(items.len());
-    for (i, (e, alias)) in items.iter().enumerate() {
-        let name = alias.clone().unwrap_or_else(|| default_name(e, i));
-        let b = bind_expr(e, layout, fns)?;
-        match b {
-            BExpr::Col(idx) => out.push(OutCol::Passthrough { idx, name }),
-            other => {
-                let dtype = other.dtype(layout);
-                out.push(OutCol::Computed {
-                    expr: other,
-                    name,
-                    dtype,
-                })
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn output_schema(cols: &[OutCol], layout: &Layout) -> Result<SchemaRef> {
-    let mut sc = Vec::new();
-    for c in cols {
-        match c {
-            OutCol::Passthrough { idx, name } => {
-                sc.push((name.clone(), layout.cols[*idx].dtype));
-            }
-            OutCol::Computed { name, dtype, .. } => sc.push((name.clone(), *dtype)),
-        }
-    }
-    let columns = sc
-        .into_iter()
-        .map(|(n, t)| strip_storage::Column::new(n, t))
-        .collect();
-    Ok(Schema::new(columns).map(Schema::into_ref)?)
-}
 
 /// Aggregate accumulator.
 enum AggState {
-    Sum { acc: f64, any: bool, int: bool, iacc: i64 },
+    Sum {
+        acc: f64,
+        any: bool,
+        int: bool,
+        iacc: i64,
+    },
     Count(i64),
-    Avg { sum: f64, n: i64 },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     /// Welford accumulator for var/stddev (population).
-    Var { n: i64, mean: f64, m2: f64, stddev: bool },
+    Var {
+        n: i64,
+        mean: f64,
+        m2: f64,
+        stddev: bool,
+    },
 }
 
 impl AggState {
@@ -820,9 +498,6 @@ impl AggState {
                                 .as_f64()
                                 .ok_or_else(|| SqlError::exec("sum of non-numeric value"))?;
                         }
-                    }
-                    if !*int {
-                        // Keep the float accumulator in sync after a switch.
                     }
                 }
             }
@@ -913,164 +588,40 @@ impl AggState {
     }
 }
 
-/// A select item in a grouped query, rewritten over the "outer row"
-/// `[group keys..., aggregate results...]`.
-enum GroupedOut {
-    /// Index into the outer row.
-    OuterCol { idx: usize, name: String, dtype: DataType },
-    /// Expression over outer-row offsets.
-    Expr { expr: BExpr, name: String, dtype: DataType },
-}
-
-/// Execute a grouped query over joined rows. Returns (schema, rows).
-#[allow(clippy::type_complexity)]
-fn run_grouped(
+/// Execute the hash-aggregation stage of a plan over joined rows.
+fn run_aggregate(
     env: &dyn Env,
-    q: &Query,
-    joined: &Joined,
+    agg: &plan::AggPlan,
+    rows: &[JRow],
     params: &[Value],
-) -> Result<(SchemaRef, Vec<Vec<Value>>)> {
-    let layout = &joined.layout;
-    let fns = |name: &str| env.scalar_fn(name);
-
-    // Bind the group-key expressions.
-    let mut key_exprs = Vec::with_capacity(q.group_by.len());
-    for g in &q.group_by {
-        key_exprs.push(bind_expr(g, layout, &fns)?);
-    }
-
-    // Collect aggregates and rewrite select items over the outer row.
-    // Outer row layout: [k0..k_{m-1}, a0..a_{p-1}].
-    let m = key_exprs.len();
-    let mut aggs: Vec<(AggFunc, Option<BExpr>, bool)> = Vec::new(); // (func, arg, int_input)
-    let items = expand_items(q, layout)?;
-    let mut outs: Vec<GroupedOut> = Vec::with_capacity(items.len());
-
-    // Rewrites an AST expression into a BExpr over the outer row.
-    fn rewrite(
-        e: &Expr,
-        group_by: &[Expr],
-        layout: &Layout,
-        fns: &dyn Fn(&str) -> Option<ScalarFn>,
-        aggs: &mut Vec<(AggFunc, Option<BExpr>, bool)>,
-        m: usize,
-    ) -> Result<BExpr> {
-        // A subtree that syntactically equals a group-by expression reads
-        // the corresponding key slot.
-        if let Some(k) = group_by.iter().position(|g| g == e) {
-            return Ok(BExpr::Col(k));
-        }
-        match e {
-            Expr::Aggregate { func, arg } => {
-                let (bound, int_input) = match arg {
-                    Some(a) => {
-                        let b = bind_expr(a, layout, fns)?;
-                        let int_input = b.dtype(layout) == DataType::Int;
-                        (Some(b), int_input)
-                    }
-                    None => (None, false),
-                };
-                aggs.push((*func, bound, int_input));
-                Ok(BExpr::Col(m + aggs.len() - 1))
-            }
-            Expr::IntLit(i) => Ok(BExpr::Lit(Value::Int(*i))),
-            Expr::FloatLit(f) => Ok(BExpr::Lit(Value::Float(*f))),
-            Expr::StrLit(s) => Ok(BExpr::Lit(Value::str(s))),
-            Expr::BoolLit(b) => Ok(BExpr::Lit(Value::Bool(*b))),
-            Expr::Param(i) => Ok(BExpr::Param(*i)),
-            Expr::NullLit => Ok(BExpr::Lit(Value::Null)),
-            Expr::IsNull { expr, negated } => Ok(BExpr::IsNull {
-                expr: Box::new(rewrite(expr, group_by, layout, fns, aggs, m)?),
-                negated: *negated,
-            }),
-            Expr::Neg(inner) => Ok(BExpr::Neg(Box::new(rewrite(
-                inner, group_by, layout, fns, aggs, m,
-            )?))),
-            Expr::Not(inner) => Ok(BExpr::Not(Box::new(rewrite(
-                inner, group_by, layout, fns, aggs, m,
-            )?))),
-            Expr::Binary { op, left, right } => Ok(BExpr::Binary {
-                op: *op,
-                left: Box::new(rewrite(left, group_by, layout, fns, aggs, m)?),
-                right: Box::new(rewrite(right, group_by, layout, fns, aggs, m)?),
-            }),
-            Expr::Call { name, args } => {
-                let f = fns(name)
-                    .ok_or_else(|| SqlError::analyze(format!("unknown function `{name}`")))?;
-                Ok(BExpr::Call {
-                    f,
-                    args: args
-                        .iter()
-                        .map(|a| rewrite(a, group_by, layout, fns, aggs, m))
-                        .collect::<Result<_>>()?,
-                })
-            }
-            Expr::Column { qualifier, name } => Err(SqlError::analyze(format!(
-                "column `{}` must appear in GROUP BY or inside an aggregate",
-                match qualifier {
-                    Some(q) => format!("{q}.{name}"),
-                    None => name.clone(),
-                }
-            ))),
-        }
-    }
-
-    for (i, (e, alias)) in items.iter().enumerate() {
-        let name = alias.clone().unwrap_or_else(|| default_name(e, i));
-        let before = aggs.len();
-        let b = rewrite(e, &q.group_by, layout, &fns, &mut aggs, m)?;
-        let dtype = match &b {
-            BExpr::Col(k) if *k < m => key_exprs[*k].dtype(layout),
-            BExpr::Col(k) => {
-                // Pure aggregate reference.
-                let (func, arg, int_input) = &aggs[*k - m];
-                agg_dtype(*func, arg.as_ref().map(|a| a.dtype(layout)), *int_input)
-            }
-            other => {
-                // A computed expression over keys/aggregates; infer
-                // conservatively as float unless clearly bool/int.
-                let _ = before;
-                computed_grouped_dtype(other)
-            }
-        };
-        match b {
-            BExpr::Col(idx) => outs.push(GroupedOut::OuterCol { idx, name, dtype }),
-            expr => outs.push(GroupedOut::Expr { expr, name, dtype }),
-        }
-    }
-
-    // HAVING binds through the same rewrite machinery (it may reference
-    // aggregates, which register additional accumulator slots); it must be
-    // rewritten BEFORE the aggregation pass so its states are computed.
-    let having = match &q.having {
-        Some(h) => Some(rewrite(h, &q.group_by, layout, &fns, &mut aggs, m)?),
-        None => None,
-    };
-
-    // Hash aggregation.
+) -> Result<Vec<Vec<Value>>> {
     let meter = env.meter();
+    let m = agg.keys.len();
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     let mut group_order: Vec<Vec<Value>> = Vec::new();
-    for r in &joined.rows {
+    let new_states = |aggs: &[AggSpec]| -> Vec<AggState> {
+        aggs.iter()
+            .map(|a| AggState::new(a.func, a.int_input))
+            .collect()
+    };
+    for r in rows {
         meter.charge(Op::AggRow, 1);
         let mut key = Vec::with_capacity(m);
-        for ke in &key_exprs {
+        for ke in &agg.keys {
             key.push(ke.eval(&r.vals, params)?);
         }
         let states = match groups.get_mut(&key) {
             Some(s) => s,
             None => {
                 group_order.push(key.clone());
-                groups.entry(key.clone()).or_insert_with(|| {
-                    aggs.iter()
-                        .map(|(f, _, int)| AggState::new(*f, *int))
-                        .collect()
-                });
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| new_states(&agg.aggs));
                 groups.get_mut(&key).expect("just inserted")
             }
         };
-        for (st, (_, arg, _)) in states.iter_mut().zip(&aggs) {
-            let v = match arg {
+        for (st, spec) in states.iter_mut().zip(&agg.aggs) {
+            let v = match &spec.arg {
                 Some(a) => Some(a.eval(&r.vals, params)?),
                 None => None,
             };
@@ -1081,12 +632,7 @@ fn run_grouped(
     // Global aggregate without GROUP BY over empty input still yields one row.
     if m == 0 && group_order.is_empty() {
         group_order.push(Vec::new());
-        groups.insert(
-            Vec::new(),
-            aggs.iter()
-                .map(|(f, _, int)| AggState::new(*f, *int))
-                .collect(),
-        );
+        groups.insert(Vec::new(), new_states(&agg.aggs));
     }
 
     // Emit one output row per group in first-seen order.
@@ -1095,67 +641,26 @@ fn run_grouped(
         let states = groups.remove(&key).expect("group present");
         let mut outer: Vec<Value> = key;
         outer.extend(states.into_iter().map(AggState::finish));
-        if let Some(h) = &having {
+        if let Some(h) = &agg.having {
             meter.charge(Op::EvalExpr, 1);
             if !h.eval_bool(&outer, params)? {
                 continue;
             }
         }
-        let mut row = Vec::with_capacity(outs.len());
-        for o in &outs {
+        let mut row = Vec::with_capacity(agg.outs.len());
+        for o in &agg.outs {
             match o {
-                GroupedOut::OuterCol { idx, .. } => row.push(outer[*idx].clone()),
-                GroupedOut::Expr { expr, .. } => row.push(expr.eval(&outer, params)?),
+                GroupedOut::OuterCol(idx) => row.push(outer[*idx].clone()),
+                GroupedOut::Expr(p) => row.push(p.eval(&outer, params)?),
             }
         }
         out_rows.push(row);
     }
-
-    let columns = outs
-        .iter()
-        .map(|o| match o {
-            GroupedOut::OuterCol { name, dtype, .. } => {
-                strip_storage::Column::new(name.clone(), *dtype)
-            }
-            GroupedOut::Expr { name, dtype, .. } => {
-                strip_storage::Column::new(name.clone(), *dtype)
-            }
-        })
-        .collect();
-    let schema = Schema::new(columns)?.into_ref();
-    Ok((schema, out_rows))
-}
-
-fn agg_dtype(func: AggFunc, arg: Option<DataType>, int_input: bool) -> DataType {
-    match func {
-        AggFunc::Count => DataType::Int,
-        AggFunc::Sum => {
-            if int_input {
-                DataType::Int
-            } else {
-                DataType::Float
-            }
-        }
-        AggFunc::Avg | AggFunc::Var | AggFunc::Stddev => DataType::Float,
-        AggFunc::Min | AggFunc::Max => arg.unwrap_or(DataType::Float),
-    }
-}
-
-fn computed_grouped_dtype(e: &BExpr) -> DataType {
-    match e {
-        BExpr::Lit(v) => v.data_type().unwrap_or(DataType::Float),
-        BExpr::Not(_) => DataType::Bool,
-        BExpr::Binary { op, .. } => match op {
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => DataType::Float,
-            _ => DataType::Bool,
-        },
-        BExpr::Call { f, .. } => f.returns,
-        _ => DataType::Float,
-    }
+    Ok(out_rows)
 }
 
 // ---------------------------------------------------------------------------
-// Public entry points
+// Output helpers
 // ---------------------------------------------------------------------------
 
 /// `SELECT DISTINCT`: deduplicate rows preserving first-occurrence order.
@@ -1170,60 +675,9 @@ fn dedup_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
     out
 }
 
-/// Layout over a flat output schema (no qualifiers). ORDER BY falls back to
-/// this when keys don't resolve against the input layout; qualified names
-/// are matched by ignoring the qualifier.
-fn output_layout(schema: &SchemaRef) -> Layout {
-    Layout {
-        cols: schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| LayoutCol {
-                qualifier: String::new(),
-                name: c.name.clone(),
-                dtype: c.dtype,
-                item: 0,
-                item_offset: i,
-            })
-            .collect(),
-    }
-}
-
-/// Strip qualifiers from column references (used when binding ORDER BY
-/// against the unqualified output schema).
-fn strip_qualifiers(e: &Expr) -> Expr {
-    match e {
-        Expr::Column { name, .. } => Expr::Column {
-            qualifier: None,
-            name: name.clone(),
-        },
-        Expr::Neg(i) => Expr::Neg(Box::new(strip_qualifiers(i))),
-        Expr::Not(i) => Expr::Not(Box::new(strip_qualifiers(i))),
-        Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(strip_qualifiers(expr)),
-            negated: *negated,
-        },
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(strip_qualifiers(left)),
-            right: Box::new(strip_qualifiers(right)),
-        },
-        Expr::Call { name, args } => Expr::Call {
-            name: name.clone(),
-            args: args.iter().map(strip_qualifiers).collect(),
-        },
-        Expr::Aggregate { func, arg } => Expr::Aggregate {
-            func: *func,
-            arg: arg.as_ref().map(|a| Box::new(strip_qualifiers(a))),
-        },
-        other => other.clone(),
-    }
-}
-
-/// Sort rows by bound key expressions.
+/// Sort materialized rows by compiled key programs.
 fn sort_rows(
-    keys: &[(BExpr, bool)],
+    keys: &[(crate::expr::Program, bool)],
     rows: &mut [Vec<Value>],
     params: &[Value],
 ) -> Result<()> {
@@ -1251,128 +705,140 @@ fn sort_rows(
     }
 }
 
-/// Apply ORDER BY / LIMIT to materialized output rows, binding keys against
-/// the output schema (qualifiers ignored).
-fn order_and_limit(
+/// Sort joined rows in place (pre-projection ORDER BY).
+fn sort_jrows(
+    keys: &[(crate::expr::Program, bool)],
+    rows: &mut [JRow],
+    params: &[Value],
+) -> Result<()> {
+    let mut err = None;
+    rows.sort_by(|a, b| {
+        for (k, desc) in keys {
+            let (va, vb) = match (k.eval(&a.vals, params), k.eval(&b.vals, params)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) | (_, Err(e)) => {
+                    err.get_or_insert(e);
+                    return std::cmp::Ordering::Equal;
+                }
+            };
+            let ord = va.cmp(&vb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn project_rows(
     env: &dyn Env,
-    q: &Query,
-    schema: &SchemaRef,
-    mut rows: Vec<Vec<Value>>,
+    outs: &[OutCol],
+    rows: &[JRow],
     params: &[Value],
 ) -> Result<Vec<Vec<Value>>> {
-    if !q.order_by.is_empty() {
-        let layout = output_layout(schema);
-        let fns = |name: &str| env.scalar_fn(name);
-        let mut keys = Vec::new();
-        for (e, desc) in &q.order_by {
-            keys.push((bind_expr(&strip_qualifiers(e), &layout, &fns)?, *desc));
-        }
-        sort_rows(&keys, &mut rows, params)?;
-    }
-    if let Some(l) = q.limit {
-        rows.truncate(l as usize);
-    }
-    Ok(rows)
-}
-
-/// Execute a `SELECT`, returning a materialized result set.
-pub fn execute_query(env: &dyn Env, q: &Query, params: &[Value]) -> Result<ResultSet> {
-    let mut joined = join_all(env, q, params)?;
-    if !q.group_by.is_empty() || q.items.iter().any(|i| match i {
-        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-        _ => false,
-    }) {
-        let (schema, rows) = run_grouped(env, q, &joined, params)?;
-        let rows = if q.distinct { dedup_rows(rows) } else { rows };
-        let rows = order_and_limit(env, q, &schema, rows, params)?;
-        return Ok(ResultSet { schema, rows });
-    }
-    let fns = |name: &str| env.scalar_fn(name);
-
-    // For non-grouped queries, ORDER BY preferentially binds against the
-    // *input* layout (SQL permits ordering by non-projected columns, e.g.
-    // `select new_price from ... order by new.execute_order`); if that
-    // fails, it falls back to the output schema after projection.
-    let mut sorted_pre_projection = false;
-    if !q.order_by.is_empty() {
-        let bound: Result<Vec<(BExpr, bool)>> = q
-            .order_by
-            .iter()
-            .map(|(e, d)| bind_expr(e, &joined.layout, &fns).map(|b| (b, *d)))
-            .collect();
-        if let Ok(keys) = bound {
-            let mut err = None;
-            joined.rows.sort_by(|a, b| {
-                for (k, desc) in &keys {
-                    let (va, vb) = match (k.eval(&a.vals, params), k.eval(&b.vals, params)) {
-                        (Ok(x), Ok(y)) => (x, y),
-                        (Err(e), _) | (_, Err(e)) => {
-                            err.get_or_insert(e);
-                            return std::cmp::Ordering::Equal;
-                        }
-                    };
-                    let ord = va.cmp(&vb);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
-            sorted_pre_projection = true;
-        }
-    }
-
-    let outs = bind_output(q, &joined.layout, &fns)?;
-    let schema = output_schema(&outs, &joined.layout)?;
     let meter = env.meter();
-    let mut rows = Vec::with_capacity(joined.rows.len());
-    for r in &joined.rows {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
         meter.charge(Op::EvalExpr, 1);
         let mut row = Vec::with_capacity(outs.len());
-        for o in &outs {
+        for o in outs {
             match o {
-                OutCol::Passthrough { idx, .. } => row.push(r.vals[*idx].clone()),
-                OutCol::Computed { expr, .. } => row.push(expr.eval(&r.vals, params)?),
+                OutCol::Passthrough { idx } => row.push(r.vals[*idx].clone()),
+                OutCol::Computed(p) => row.push(p.eval(&r.vals, params)?),
             }
         }
-        rows.push(row);
+        out.push(row);
     }
-    let rows = if q.distinct { dedup_rows(rows) } else { rows };
-    let rows = if sorted_pre_projection {
-        if let Some(l) = q.limit {
-            let mut rows = rows;
-            rows.truncate(l as usize);
-            rows
-        } else {
-            rows
-        }
-    } else {
-        order_and_limit(env, q, &schema, rows, params)?
-    };
-    Ok(ResultSet { schema, rows })
+    Ok(out)
 }
 
-/// Execute a `SELECT` and bind its result as a named temporary table using
-/// the §6.1 pointer scheme where possible: passthrough columns backed by a
-/// provenance record become pointer columns; computed columns become slots.
-pub fn execute_query_bound(
+// ---------------------------------------------------------------------------
+// Plan execution entry points
+// ---------------------------------------------------------------------------
+
+/// Execute a compiled `SELECT`, returning a materialized result set.
+pub fn execute_select(env: &dyn Env, plan: &SelectPlan, params: &[Value]) -> Result<ResultSet> {
+    let items = resolve_items(env, plan)?;
+    let mut joined = run_join(env, plan, &items, params)?;
+
+    match &plan.output {
+        OutputPlan::Aggregate(agg) => {
+            let rows = run_aggregate(env, agg, &joined, params)?;
+            let rows = if plan.distinct {
+                dedup_rows(rows)
+            } else {
+                rows
+            };
+            let mut rows = match &plan.sort {
+                SortPlan::Post(keys) => {
+                    let mut rows = rows;
+                    sort_rows(keys, &mut rows, params)?;
+                    rows
+                }
+                _ => rows,
+            };
+            if let Some(l) = plan.limit {
+                rows.truncate(l as usize);
+            }
+            Ok(ResultSet {
+                schema: plan.schema.clone(),
+                rows,
+            })
+        }
+        OutputPlan::Project(outs) => {
+            // ORDER BY preferentially sorts the *input* rows (SQL permits
+            // ordering by non-projected columns, e.g. `select new_price
+            // from ... order by new.execute_order`).
+            let pre_sorted = if let SortPlan::Pre(keys) = &plan.sort {
+                sort_jrows(keys, &mut joined, params)?;
+                true
+            } else {
+                false
+            };
+            let rows = project_rows(env, outs, &joined, params)?;
+            let rows = if plan.distinct {
+                dedup_rows(rows)
+            } else {
+                rows
+            };
+            let mut rows = match (&plan.sort, pre_sorted) {
+                (SortPlan::Post(keys), false) => {
+                    let mut rows = rows;
+                    sort_rows(keys, &mut rows, params)?;
+                    rows
+                }
+                _ => rows,
+            };
+            if let Some(l) = plan.limit {
+                rows.truncate(l as usize);
+            }
+            Ok(ResultSet {
+                schema: plan.schema.clone(),
+                rows,
+            })
+        }
+    }
+}
+
+/// Execute a compiled `SELECT` and bind its result as a named temporary
+/// table using the §6.1 pointer scheme where possible: passthrough columns
+/// backed by a provenance record become pointer columns; computed columns
+/// become slots.
+pub fn execute_select_bound(
     env: &dyn Env,
-    q: &Query,
+    plan: &SelectPlan,
     params: &[Value],
     bind_name: &str,
 ) -> Result<TempTable> {
-    // Grouped/aggregate results are computed values: fully materialized.
-    let grouped = !q.group_by.is_empty()
-        || q.items.iter().any(|i| match i {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-    if grouped || !q.order_by.is_empty() || q.limit.is_some() {
-        let rs = execute_query(env, q, params)?;
+    // Grouped/ordered/limited results are computed values: fully
+    // materialized.
+    if plan.bind_mode == BindMode::Materialize {
+        let rs = execute_select(env, plan, params)?;
         let mut t = TempTable::materialized(bind_name, rs.schema.clone());
         let meter = env.meter();
         for row in rs.rows {
@@ -1382,10 +848,11 @@ pub fn execute_query_bound(
         return Ok(t);
     }
 
-    let joined = join_all(env, q, params)?;
-    let fns = |name: &str| env.scalar_fn(name);
-    let outs = bind_output(q, &joined.layout, &fns)?;
-    let schema = output_schema(&outs, &joined.layout)?;
+    let items = resolve_items(env, plan)?;
+    let rows = run_join(env, plan, &items, params)?;
+    let OutputPlan::Project(outs) = &plan.output else {
+        unreachable!("pointer bind mode implies projection output");
+    };
 
     // Decide per output column: pointer or slot. Pointer columns require the
     // producing FROM item to supply a RecordRef on *every* row (standard
@@ -1396,11 +863,11 @@ pub fn execute_query_bound(
     let mut item_ptr_slot: HashMap<usize, usize> = HashMap::new();
     let mut sources = Vec::with_capacity(outs.len());
     let mut slot_count = 0usize;
-    for o in &outs {
+    for o in outs {
         match o {
-            OutCol::Passthrough { idx, .. } => {
-                let lc = &joined.layout.cols[*idx];
-                let item = &joined.items[lc.item];
+            OutCol::Passthrough { idx } => {
+                let lc = &plan.layout.cols[*idx];
+                let item = &items[lc.item];
                 if item.has_prov {
                     if let Some(offset) = item.prov_offsets[lc.item_offset] {
                         let next = item_ptr_slot.len();
@@ -1412,14 +879,14 @@ pub fn execute_query_bound(
                 sources.push(ColumnSource::Slot(slot_count));
                 slot_count += 1;
             }
-            OutCol::Computed { .. } => {
+            OutCol::Computed(_) => {
                 sources.push(ColumnSource::Slot(slot_count));
                 slot_count += 1;
             }
         }
     }
     let map = StaticMap::new(sources.clone())?;
-    let mut out = TempTable::new(bind_name, schema, map)?;
+    let mut out = TempTable::new(bind_name, plan.schema.clone(), map)?;
 
     // Item -> pointer slot, ordered by slot for row building.
     let mut ptr_items: Vec<usize> = vec![0; item_ptr_slot.len()];
@@ -1428,7 +895,7 @@ pub fn execute_query_bound(
     }
 
     let meter = env.meter();
-    for r in &joined.rows {
+    for r in &rows {
         meter.charge(Op::TempTupleBuild, 1);
         let mut ptrs = Vec::with_capacity(ptr_items.len());
         for &item in &ptr_items {
@@ -1442,8 +909,8 @@ pub fn execute_query_bound(
         for (o, src) in outs.iter().zip(&sources) {
             if let ColumnSource::Slot(_) = src {
                 match o {
-                    OutCol::Passthrough { idx, .. } => slots.push(r.vals[*idx].clone()),
-                    OutCol::Computed { expr, .. } => slots.push(expr.eval(&r.vals, params)?),
+                    OutCol::Passthrough { idx } => slots.push(r.vals[*idx].clone()),
+                    OutCol::Computed(p) => slots.push(p.eval(&r.vals, params)?),
                 }
             }
         }
@@ -1455,69 +922,44 @@ pub fn execute_query_bound(
 /// Rows matched by a single-table predicate: `(RowId, current values)`.
 type MatchedRows = Vec<(RowId, Vec<Value>)>;
 
-/// Uses an index probe when the predicate contains an indexed `col = const`
-/// conjunct; otherwise scans.
+/// Resolve a DML target table and collect the rows its compiled predicate
+/// matches. Uses the planned index probe when present; otherwise scans.
 fn match_rows(
     env: &dyn Env,
-    table_name: &str,
-    where_clause: &Option<Expr>,
+    table: &str,
+    arity: usize,
+    pred: &Option<crate::expr::Program>,
+    probe: &Option<(usize, crate::expr::Program)>,
     params: &[Value],
 ) -> Result<(strip_storage::TableRef, MatchedRows)> {
     let rel = env
-        .relation(table_name)
-        .ok_or_else(|| SqlError::analyze(format!("unknown table `{table_name}`")))?;
+        .relation(table)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{table}`")))?;
     let Rel::Standard(tref) = rel else {
         return Err(SqlError::exec(format!(
-            "`{table_name}` is read-only (temporary/bound table)"
+            "`{table}` is read-only (temporary/bound table)"
         )));
     };
+    if tref.read().schema().arity() != arity {
+        return Err(SqlError::stale(format!(
+            "table `{table}` changed shape since planning"
+        )));
+    }
     // This scan feeds an UPDATE/DELETE: take the exclusive lock up front
     // so concurrent writers don't deadlock on S→X upgrades.
-    env.before_write(table_name)?;
-    let schema = tref.read().schema().clone();
-    let layout = Layout {
-        cols: schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| LayoutCol {
-                qualifier: table_name.to_ascii_lowercase(),
-                name: c.name.clone(),
-                dtype: c.dtype,
-                item: 0,
-                item_offset: i,
-            })
-            .collect(),
-    };
-    let fns = |name: &str| env.scalar_fn(name);
-    let pred = match where_clause {
-        Some(w) => Some(bind_expr(w, &layout, &fns)?),
+    env.before_write(table)?;
+
+    let probe_key = match probe {
+        Some((col, kp)) => Some((*col, kp.eval(&[], params)?)),
         None => None,
     };
-
-    // Index fast path: a conjunct `col = <const expr>` with an index on col.
-    let mut probe: Option<(usize, Value)> = None;
-    if let Some(w) = where_clause {
-        let mut conjs = Vec::new();
-        split_conjuncts(w, &mut conjs);
-        for c in &conjs {
-            if let Some(plan) = probe_plan_for(c, &layout, 0, 0, &fns)? {
-                let t = tref.read();
-                if t.index_on(plan.target_col).is_some() {
-                    let key = plan.key.eval(&[], params)?;
-                    probe = Some((plan.target_col, key));
-                    break;
-                }
-            }
-        }
-    }
 
     let meter = env.meter();
     meter.charge(Op::OpenCursor, 1);
     let mut out = Vec::new();
     {
         let t = tref.read();
-        let candidates: Vec<(RowId, RecordRef)> = match &probe {
+        let candidates: Vec<(RowId, RecordRef)> = match &probe_key {
             Some((col, key)) => {
                 meter.charge(Op::IndexProbe, 1);
                 t.index_lookup(*col, key)
@@ -1531,7 +973,7 @@ fn match_rows(
         meter.charge(Op::FetchCursor, candidates.len() as u64);
         for (id, rec) in candidates {
             let vals = rec.values().to_vec();
-            let keep = match &pred {
+            let keep = match pred {
                 Some(p) => {
                     meter.charge(Op::EvalExpr, 1);
                     p.eval_bool(&vals, params)?
@@ -1547,35 +989,21 @@ fn match_rows(
     Ok((tref, out))
 }
 
-/// Execute an `UPDATE`. Returns the number of rows updated.
-pub fn execute_update(env: &dyn Env, u: &Update, params: &[Value]) -> Result<usize> {
-    let (tref, matched) = match_rows(env, &u.table, &u.where_clause, params)?;
-    let schema = tref.read().schema().clone();
-    let layout = Layout {
-        cols: schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| LayoutCol {
-                qualifier: u.table.to_ascii_lowercase(),
-                name: c.name.clone(),
-                dtype: c.dtype,
-                item: 0,
-                item_offset: i,
-            })
-            .collect(),
-    };
-    let fns = |name: &str| env.scalar_fn(name);
-    let mut bound = Vec::with_capacity(u.assignments.len());
-    for a in &u.assignments {
-        let col = schema.index_of_ok(&a.column)?;
-        bound.push((col, bind_expr(&a.expr, &layout, &fns)?, a.increment));
-    }
+/// Execute a compiled `UPDATE`. Returns the number of rows updated.
+pub fn execute_update_plan(env: &dyn Env, plan: &UpdatePlan, params: &[Value]) -> Result<usize> {
+    let (_tref, matched) = match_rows(
+        env,
+        &plan.table,
+        plan.arity,
+        &plan.pred,
+        &plan.probe,
+        params,
+    )?;
     let count = matched.len();
     for (id, old_vals) in matched {
         let mut new_vals = old_vals.clone();
-        for (col, expr, increment) in &bound {
-            let v = expr.eval(&old_vals, params)?;
+        for (col, prog, increment, dtype) in &plan.assignments {
+            let v = prog.eval(&old_vals, params)?;
             new_vals[*col] = if *increment {
                 // `col += expr` (paper's compute_comps functions).
                 let base = old_vals[*col]
@@ -1584,87 +1012,141 @@ pub fn execute_update(env: &dyn Env, u: &Update, params: &[Value]) -> Result<usi
                 let delta = v
                     .as_f64()
                     .ok_or_else(|| SqlError::exec("+= with non-numeric value"))?;
-                match schema.column(*col).dtype {
-                    DataType::Int => Value::Int((base + delta) as i64),
+                match dtype {
+                    strip_storage::DataType::Int => Value::Int((base + delta) as i64),
                     _ => Value::Float(base + delta),
                 }
             } else {
                 v
             };
         }
-        env.dml_update(&u.table, id, new_vals)?;
+        env.dml_update(&plan.table, id, new_vals)?;
     }
     Ok(count)
 }
 
-/// Execute a `DELETE`. Returns the number of rows deleted.
-pub fn execute_delete(env: &dyn Env, d: &Delete, params: &[Value]) -> Result<usize> {
-    let (_tref, matched) = match_rows(env, &d.table, &d.where_clause, params)?;
+/// Execute a compiled `DELETE`. Returns the number of rows deleted.
+pub fn execute_delete_plan(env: &dyn Env, plan: &DeletePlan, params: &[Value]) -> Result<usize> {
+    let (_tref, matched) = match_rows(
+        env,
+        &plan.table,
+        plan.arity,
+        &plan.pred,
+        &plan.probe,
+        params,
+    )?;
     let count = matched.len();
     for (id, _) in matched {
-        env.dml_delete(&d.table, id)?;
+        env.dml_delete(&plan.table, id)?;
     }
     Ok(count)
 }
 
-/// Execute an `INSERT`. Returns the number of rows inserted.
-pub fn execute_insert(env: &dyn Env, ins: &Insert, params: &[Value]) -> Result<usize> {
+/// Execute a compiled `INSERT`. Returns the number of rows inserted.
+pub fn execute_insert_plan(env: &dyn Env, plan: &InsertPlan, params: &[Value]) -> Result<usize> {
     let rel = env
-        .relation(&ins.table)
-        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", ins.table)))?;
+        .relation(&plan.table)
+        .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", plan.table)))?;
     let Rel::Standard(tref) = rel else {
         return Err(SqlError::exec(format!(
             "`{}` is read-only (temporary/bound table)",
-            ins.table
+            plan.table
         )));
     };
-    let schema = tref.read().schema().clone();
+    if tref.read().schema().arity() != plan.arity {
+        return Err(SqlError::stale(format!(
+            "table `{}` changed shape since planning",
+            plan.table
+        )));
+    }
 
-    // Column mapping: explicit column list or full schema order.
-    let positions: Vec<usize> = if ins.columns.is_empty() {
-        (0..schema.arity()).collect()
-    } else {
-        let mut v = Vec::with_capacity(ins.columns.len());
-        for c in &ins.columns {
-            v.push(schema.index_of_ok(c)?);
-        }
-        v
-    };
-
-    let source_rows: Vec<Vec<Value>> = match &ins.source {
-        InsertSource::Values(rows) => {
-            let fns = |name: &str| env.scalar_fn(name);
-            let empty = Layout::default();
+    let source_rows: Vec<Vec<Value>> = match &plan.source {
+        InsertSourcePlan::Values(rows) => {
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
                 let mut vals = Vec::with_capacity(r.len());
-                for e in r {
-                    vals.push(bind_expr(e, &empty, &fns)?.eval(&[], params)?);
+                for p in r {
+                    vals.push(p.eval(&[], params)?);
                 }
                 out.push(vals);
             }
             out
         }
-        InsertSource::Query(q) => execute_query(env, q, params)?.rows,
+        InsertSourcePlan::Query(q) => execute_select(env, q, params)?.rows,
     };
 
     let count = source_rows.len();
     for vals in source_rows {
-        if vals.len() != positions.len() {
+        if vals.len() != plan.positions.len() {
             return Err(SqlError::exec(format!(
                 "INSERT provides {} values for {} columns",
                 vals.len(),
-                positions.len()
+                plan.positions.len()
             )));
         }
-        let mut row = vec![Value::Null; schema.arity()];
-        for (pos, v) in positions.iter().zip(vals) {
+        let mut row = vec![Value::Null; plan.arity];
+        for (pos, v) in plan.positions.iter().zip(vals) {
             row[*pos] = v;
         }
         // Unmentioned columns are not defaulted: base tables are
         // non-nullable, so storage will reject the Null.
-        env.dml_insert(&ins.table, row)?;
+        env.dml_insert(&plan.table, row)?;
     }
     Ok(count)
 }
 
+/// Execute any compiled statement.
+pub fn execute_plan(env: &dyn Env, plan: &PhysicalPlan, params: &[Value]) -> Result<ResultSet> {
+    match plan {
+        PhysicalPlan::Select(p) => execute_select(env, p, params),
+        PhysicalPlan::Insert(p) => execute_insert_plan(env, p, params).map(dml_result),
+        PhysicalPlan::Update(p) => execute_update_plan(env, p, params).map(dml_result),
+        PhysicalPlan::Delete(p) => execute_delete_plan(env, p, params).map(dml_result),
+    }
+}
+
+fn dml_result(count: usize) -> ResultSet {
+    ResultSet {
+        schema: strip_storage::Schema::of(&[("count", strip_storage::DataType::Int)]).into_ref(),
+        rows: vec![vec![Value::Int(count as i64)]],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-then-execute convenience wrappers (the pre-planner API)
+// ---------------------------------------------------------------------------
+
+/// Execute a `SELECT`, returning a materialized result set.
+pub fn execute_query(env: &dyn Env, q: &Query, params: &[Value]) -> Result<ResultSet> {
+    let plan = plan::plan_query(env, q)?;
+    execute_select(env, &plan, params)
+}
+
+/// Execute a `SELECT` and bind its result as a named temporary table.
+pub fn execute_query_bound(
+    env: &dyn Env,
+    q: &Query,
+    params: &[Value],
+    bind_name: &str,
+) -> Result<TempTable> {
+    let plan = plan::plan_query(env, q)?;
+    execute_select_bound(env, &plan, params, bind_name)
+}
+
+/// Execute an `UPDATE`. Returns the number of rows updated.
+pub fn execute_update(env: &dyn Env, u: &Update, params: &[Value]) -> Result<usize> {
+    let plan = plan::plan_update(env, u)?;
+    execute_update_plan(env, &plan, params)
+}
+
+/// Execute a `DELETE`. Returns the number of rows deleted.
+pub fn execute_delete(env: &dyn Env, d: &Delete, params: &[Value]) -> Result<usize> {
+    let plan = plan::plan_delete(env, d)?;
+    execute_delete_plan(env, &plan, params)
+}
+
+/// Execute an `INSERT`. Returns the number of rows inserted.
+pub fn execute_insert(env: &dyn Env, ins: &Insert, params: &[Value]) -> Result<usize> {
+    let plan = plan::plan_insert(env, ins)?;
+    execute_insert_plan(env, &plan, params)
+}

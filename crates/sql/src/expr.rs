@@ -1,9 +1,18 @@
-//! Name-resolved ("bound") expressions and their evaluation.
+//! Name-resolved ("bound") expressions and the compiled evaluator.
 //!
-//! The parser produces [`crate::ast::Expr`] with textual column references;
-//! before execution these are resolved against the flattened schema of the
-//! current row layout into [`BExpr`], whose column references are plain
-//! offsets. This keeps per-row evaluation allocation-free and O(1) per node.
+//! The parser produces [`crate::ast::Expr`] with textual column references.
+//! Binding resolves those against the flattened schema of the current row
+//! layout into [`BExpr`], whose column references are plain offsets — no
+//! per-row name lookups or string hashing. A bound expression is then
+//! *compiled* into a flat postfix [`Program`] (a `Vec<Instr>` evaluated on a
+//! small value stack, with explicit short-circuit jumps for `AND`/`OR`).
+//!
+//! `Program` is the **single expression evaluator** of the system: query
+//! filters, index-probe keys, projections, aggregate arguments, `HAVING`,
+//! `ORDER BY` keys, DML assignments, rule-condition predicates, and the rule
+//! engine's transition-predicate checks all execute through it. `BExpr::eval`
+//! remains as a tree-walking reference implementation used by binder-level
+//! code and differential tests.
 
 use crate::ast::{BinOp, Expr};
 use crate::error::{Result, SqlError};
@@ -105,7 +114,10 @@ pub enum BExpr {
     Param(usize),
     Neg(Box<BExpr>),
     Not(Box<BExpr>),
-    IsNull { expr: Box<BExpr>, negated: bool },
+    IsNull {
+        expr: Box<BExpr>,
+        negated: bool,
+    },
     Binary {
         op: BinOp,
         left: Box<BExpr>,
@@ -304,8 +316,8 @@ pub fn bind_expr(
             ))
         }
         Expr::Call { name, args } => {
-            let f = fns(name)
-                .ok_or_else(|| SqlError::analyze(format!("unknown function `{name}`")))?;
+            let f =
+                fns(name).ok_or_else(|| SqlError::analyze(format!("unknown function `{name}`")))?;
             BExpr::Call {
                 f,
                 args: args
@@ -315,6 +327,290 @@ pub fn bind_expr(
             }
         }
     })
+}
+
+// ---------------------------------------------------------------------------
+// Compiled programs
+// ---------------------------------------------------------------------------
+
+/// One instruction of a compiled expression program.
+///
+/// Programs are postfix: operands are pushed, operators pop and push. The
+/// only control flow is the pair of short-circuit jumps, which *peek* at the
+/// top of the stack and skip the right operand (leaving the left value as
+/// the result) when it already decides an `AND`/`OR`.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// Push a literal.
+    Lit(Value),
+    /// Push the row value at a flat offset.
+    Col(usize),
+    /// Push the `?` parameter at an index.
+    Param(usize),
+    /// Arithmetic negation of the top value.
+    Neg,
+    /// Boolean negation of the top value.
+    Not,
+    /// Replace the top value with `IS [NOT] NULL`.
+    IsNull {
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// Pop two operands, push the result of a non-logical binary operator.
+    Bin(BinOp),
+    /// `AND` combine: pop right and left, push `left && right` (both must be
+    /// boolean). Only reached when the short-circuit jump fell through.
+    AndFold,
+    /// `OR` combine, symmetric to [`Instr::AndFold`].
+    OrFold,
+    /// If the top of the stack is `false`, jump to the target (keeping the
+    /// value as the expression result); otherwise fall through.
+    JumpIfFalse(usize),
+    /// If the top of the stack is `true`, jump to the target.
+    JumpIfTrue(usize),
+    /// Pop `argc` arguments (pushed left to right) and call a scalar
+    /// function.
+    Call {
+        /// The registered function.
+        f: ScalarFn,
+        /// Argument count.
+        argc: usize,
+    },
+}
+
+/// A compiled expression: a flat instruction sequence over resolved column
+/// offsets, evaluated on a reusable value stack. Cheap to clone into cached
+/// physical plans and free of per-row allocation beyond the stack itself.
+#[derive(Debug, Clone)]
+pub struct Program {
+    code: Vec<Instr>,
+    max_stack: usize,
+}
+
+impl Program {
+    /// Compile a bound expression.
+    pub fn compile(e: &BExpr) -> Program {
+        let mut code = Vec::new();
+        let mut depth = 0isize;
+        let mut max = 0isize;
+        emit(e, &mut code, &mut depth, &mut max);
+        Program {
+            code,
+            max_stack: max.max(1) as usize,
+        }
+    }
+
+    /// The instruction count (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program is empty (never produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Evaluate against a flat row. `params` supplies `?` values.
+    pub fn eval(&self, row: &[Value], params: &[Value]) -> Result<Value> {
+        let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
+        let mut pc = 0usize;
+        while pc < self.code.len() {
+            match &self.code[pc] {
+                Instr::Lit(v) => stack.push(v.clone()),
+                Instr::Col(i) => stack.push(row[*i].clone()),
+                Instr::Param(i) => stack.push(
+                    params
+                        .get(*i)
+                        .cloned()
+                        .ok_or_else(|| SqlError::exec(format!("missing parameter ?{}", i + 1)))?,
+                ),
+                Instr::Neg => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(SqlError::exec(format!(
+                                "cannot negate {}",
+                                other.type_name()
+                            )))
+                        }
+                    });
+                }
+                Instr::Not => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(match v {
+                        Value::Bool(b) => Value::Bool(!b),
+                        other => {
+                            return Err(SqlError::exec(format!(
+                                "NOT applied to {}",
+                                other.type_name()
+                            )))
+                        }
+                    });
+                }
+                Instr::IsNull { negated } => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(Value::Bool(v.is_null() != *negated));
+                }
+                Instr::Bin(op) => {
+                    let r = stack.pop().expect("right operand");
+                    let l = stack.pop().expect("left operand");
+                    stack.push(match op {
+                        BinOp::Add => arith(&l, &r, |a, b| a + b, i64::checked_add)?,
+                        BinOp::Sub => arith(&l, &r, |a, b| a - b, i64::checked_sub)?,
+                        BinOp::Mul => arith(&l, &r, |a, b| a * b, i64::checked_mul)?,
+                        BinOp::Div => {
+                            let (a, b) = both_f64(&l, &r)?;
+                            if b == 0.0 {
+                                return Err(SqlError::exec("division by zero"));
+                            }
+                            Value::Float(a / b)
+                        }
+                        BinOp::Eq => Value::Bool(l == r),
+                        BinOp::NotEq => Value::Bool(l != r),
+                        BinOp::Lt => Value::Bool(l < r),
+                        BinOp::LtEq => Value::Bool(l <= r),
+                        BinOp::Gt => Value::Bool(l > r),
+                        BinOp::GtEq => Value::Bool(l >= r),
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("logical ops compile to jumps + folds")
+                        }
+                    });
+                }
+                Instr::AndFold => {
+                    let r = stack.pop().expect("right operand");
+                    let l = stack.pop().expect("left operand");
+                    stack.push(bool_op(&l, &r, |a, b| a && b)?);
+                }
+                Instr::OrFold => {
+                    let r = stack.pop().expect("right operand");
+                    let l = stack.pop().expect("left operand");
+                    stack.push(bool_op(&l, &r, |a, b| a || b)?);
+                }
+                Instr::JumpIfFalse(target) => {
+                    if stack.last() == Some(&Value::Bool(false)) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::JumpIfTrue(target) => {
+                    if stack.last() == Some(&Value::Bool(true)) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::Call { f, argc } => {
+                    let at = stack.len() - argc;
+                    let args: Vec<Value> = stack.drain(at..).collect();
+                    stack.push((f.f)(&args)?);
+                }
+            }
+            pc += 1;
+        }
+        Ok(stack.pop().expect("program result"))
+    }
+
+    /// Evaluate and require a boolean (for predicates). `NULL` is false.
+    pub fn eval_bool(&self, row: &[Value], params: &[Value]) -> Result<bool> {
+        match self.eval(row, params)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(SqlError::exec(format!(
+                "predicate evaluated to {} instead of bool",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn emit(e: &BExpr, code: &mut Vec<Instr>, depth: &mut isize, max: &mut isize) {
+    let push = |code: &mut Vec<Instr>, i: Instr, depth: &mut isize, max: &mut isize| {
+        let delta: isize = match &i {
+            Instr::Lit(_) | Instr::Col(_) | Instr::Param(_) => 1,
+            Instr::Neg | Instr::Not | Instr::IsNull { .. } => 0,
+            Instr::Bin(_) | Instr::AndFold | Instr::OrFold => -1,
+            Instr::JumpIfFalse(_) | Instr::JumpIfTrue(_) => 0,
+            Instr::Call { argc, .. } => 1 - *argc as isize,
+        };
+        code.push(i);
+        *depth += delta;
+        *max = (*max).max(*depth);
+    };
+    match e {
+        BExpr::Lit(v) => push(code, Instr::Lit(v.clone()), depth, max),
+        BExpr::Col(i) => push(code, Instr::Col(*i), depth, max),
+        BExpr::Param(i) => push(code, Instr::Param(*i), depth, max),
+        BExpr::Neg(x) => {
+            emit(x, code, depth, max);
+            push(code, Instr::Neg, depth, max);
+        }
+        BExpr::Not(x) => {
+            emit(x, code, depth, max);
+            push(code, Instr::Not, depth, max);
+        }
+        BExpr::IsNull { expr, negated } => {
+            emit(expr, code, depth, max);
+            push(code, Instr::IsNull { negated: *negated }, depth, max);
+        }
+        BExpr::Binary { op, left, right } => match op {
+            BinOp::And | BinOp::Or => {
+                emit(left, code, depth, max);
+                let jump_at = code.len();
+                // Placeholder target, patched after the right operand.
+                let jump = if *op == BinOp::And {
+                    Instr::JumpIfFalse(0)
+                } else {
+                    Instr::JumpIfTrue(0)
+                };
+                push(code, jump, depth, max);
+                emit(right, code, depth, max);
+                push(
+                    code,
+                    if *op == BinOp::And {
+                        Instr::AndFold
+                    } else {
+                        Instr::OrFold
+                    },
+                    depth,
+                    max,
+                );
+                let end = code.len();
+                match &mut code[jump_at] {
+                    Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => *t = end,
+                    _ => unreachable!("jump placeholder"),
+                }
+            }
+            _ => {
+                emit(left, code, depth, max);
+                emit(right, code, depth, max);
+                push(code, Instr::Bin(*op), depth, max);
+            }
+        },
+        BExpr::Call { f, args } => {
+            for a in args {
+                emit(a, code, depth, max);
+            }
+            push(
+                code,
+                Instr::Call {
+                    f: f.clone(),
+                    argc: args.len(),
+                },
+                depth,
+                max,
+            );
+        }
+    }
+}
+
+/// Bind and compile in one step — the common path for planners.
+pub fn compile_expr(
+    e: &Expr,
+    layout: &Layout,
+    fns: &dyn Fn(&str) -> Option<ScalarFn>,
+) -> Result<Program> {
+    Ok(Program::compile(&bind_expr(e, layout, fns)?))
 }
 
 #[cfg(test)]
@@ -371,8 +667,12 @@ mod tests {
             .where_clause
             .unwrap();
         let b = bind_expr(&e, &l, &no_fns).unwrap();
-        assert!(b.eval_bool(&[Value::Int(3), Value::Float(0.0), Value::Int(0)], &[]).unwrap());
-        assert!(!b.eval_bool(&[Value::Int(4), Value::Float(0.0), Value::Int(0)], &[]).unwrap());
+        assert!(b
+            .eval_bool(&[Value::Int(3), Value::Float(0.0), Value::Int(0)], &[])
+            .unwrap());
+        assert!(!b
+            .eval_bool(&[Value::Int(4), Value::Float(0.0), Value::Int(0)], &[])
+            .unwrap());
     }
 
     #[test]
@@ -478,5 +778,136 @@ mod tests {
             arg: Some(Box::new(Expr::col("a"))),
         };
         assert!(bind_expr(&e, &layout(), &no_fns).is_err());
+    }
+
+    // -- compiled programs ---------------------------------------------------
+
+    /// Compiled evaluation must agree with the tree-walking reference,
+    /// including the error/ok distinction.
+    fn assert_parity(b: &BExpr, row: &[Value], params: &[Value]) {
+        let p = Program::compile(b);
+        match (b.eval(row, params), p.eval(row, params)) {
+            (Ok(t), Ok(c)) => assert_eq!(t, c, "tree vs compiled value"),
+            (Err(_), Err(_)) => {}
+            (t, c) => panic!("divergence: tree={t:?} compiled={c:?}"),
+        }
+    }
+
+    #[test]
+    fn program_parity_basics() {
+        let l = layout();
+        let row = [Value::Int(3), Value::Float(1.5), Value::Int(7)];
+        for sql in [
+            "select a from t where t.a * 2 + 1 = 7",
+            "select a from t where t.a > 1 and b < 2.0",
+            "select a from t where t.a = 99 or u.a = 7",
+            "select a from t where not (t.a = 3)",
+            "select a from t where b is not null",
+            "select a from t where -t.a < 0",
+            "select a from t where t.a + u.a = ?",
+        ] {
+            let e = crate::parser::parse_query(sql)
+                .unwrap()
+                .where_clause
+                .unwrap();
+            let b = bind_expr(&e, &l, &no_fns).unwrap();
+            assert_parity(&b, &row, &[Value::Int(10)]);
+        }
+    }
+
+    #[test]
+    fn program_short_circuits() {
+        let div0 = BExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(BExpr::Lit(Value::Int(1))),
+            right: Box::new(BExpr::Lit(Value::Int(0))),
+        };
+        let and = BExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BExpr::Lit(Value::Bool(false))),
+            right: Box::new(div0.clone()),
+        };
+        assert_eq!(
+            Program::compile(&and).eval(&[], &[]).unwrap(),
+            Value::Bool(false)
+        );
+        let or = BExpr::Binary {
+            op: BinOp::Or,
+            left: Box::new(BExpr::Lit(Value::Bool(true))),
+            right: Box::new(div0.clone()),
+        };
+        assert_eq!(
+            Program::compile(&or).eval(&[], &[]).unwrap(),
+            Value::Bool(true)
+        );
+        // A non-deciding left side still evaluates (and propagates) the
+        // right side's error — exactly like the reference evaluator.
+        let and_err = BExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BExpr::Lit(Value::Bool(true))),
+            right: Box::new(div0),
+        };
+        assert_parity(&and_err, &[], &[]);
+        assert!(Program::compile(&and_err).eval(&[], &[]).is_err());
+        // NULL on the left does not short-circuit: the right side runs,
+        // then the boolean fold rejects the NULL.
+        let null_and = BExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BExpr::Lit(Value::Null)),
+            right: Box::new(BExpr::Lit(Value::Bool(true))),
+        };
+        assert_parity(&null_and, &[], &[]);
+        assert!(Program::compile(&null_and).eval(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn program_errors_match_reference() {
+        let overflow = BExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(BExpr::Lit(Value::Int(i64::MAX))),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        assert_parity(&overflow, &[], &[]);
+        assert_parity(&BExpr::Param(2), &[], &[Value::Int(1)]);
+        assert_parity(
+            &BExpr::Neg(Box::new(BExpr::Lit(Value::Bool(true)))),
+            &[],
+            &[],
+        );
+        assert_parity(&BExpr::Not(Box::new(BExpr::Lit(Value::Int(1)))), &[], &[]);
+    }
+
+    #[test]
+    fn program_scalar_calls_and_stack_bound() {
+        let f = ScalarFn {
+            name: "add3".into(),
+            returns: DataType::Float,
+            f: Arc::new(|args| {
+                Ok(Value::Float(
+                    args.iter().map(|v| v.as_f64().unwrap()).sum::<f64>(),
+                ))
+            }),
+            model_evals: 0,
+        };
+        let b = BExpr::Call {
+            f,
+            args: vec![
+                BExpr::Lit(Value::Float(1.0)),
+                BExpr::Lit(Value::Float(2.0)),
+                BExpr::Lit(Value::Float(3.0)),
+            ],
+        };
+        let p = Program::compile(&b);
+        assert_eq!(p.eval(&[], &[]).unwrap(), Value::Float(6.0));
+        assert!(p.max_stack >= 3, "three args pushed before the call");
+        assert_parity(&b, &[], &[]);
+    }
+
+    #[test]
+    fn program_eval_bool_null_is_false() {
+        let p = Program::compile(&BExpr::Lit(Value::Null));
+        assert!(!p.eval_bool(&[], &[]).unwrap());
+        let p = Program::compile(&BExpr::Lit(Value::Int(1)));
+        assert!(p.eval_bool(&[], &[]).is_err());
     }
 }

@@ -228,9 +228,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < n
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));

@@ -6,26 +6,36 @@
 //!   `CREATE TABLE/INDEX/VIEW/RULE` (the full Figure-2 rule grammar),
 //!   `SELECT` with joins/`GROUP BY`/aggregates, and `INSERT`/`UPDATE`
 //!   (including the paper's `SET col += expr`)/`DELETE`.
-//! * [`expr`] — name-resolved expressions and scalar-function registry.
-//! * [`exec`] — greedy index-aware join execution, hash aggregation, DML,
+//! * [`expr`] — name-resolved expressions, the compiled [`expr::Program`]
+//!   evaluator, and the scalar-function registry.
+//! * [`plan`] — the planner: AST + catalog metadata → [`plan::PhysicalPlan`]
+//!   (greedy join order, index access-path selection, compiled filters and
+//!   outputs).
+//! * [`exec`] — the plan executor: index-aware joins, hash aggregation, DML,
 //!   and bound-table output using the §6.1 pointer-tuple scheme.
+//! * [`cache`] — the prepared-plan cache keyed by statement text and schema
+//!   epoch, shared by ad-hoc queries, rule conditions, and timers.
 //!
 //! The executor is deliberately independent of transactions: it runs against
 //! an [`exec::Env`] supplied by `strip-core`, which routes reads through
 //! lock acquisition and writes through transaction logging.
 
 pub mod ast;
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 
 pub use ast::Statement;
+pub use cache::PlanCache;
 pub use error::{Result, SqlError};
 pub use exec::{
-    execute_delete, execute_insert, execute_query, execute_query_bound, execute_update, Env, Rel,
-    ResultSet,
+    execute_delete, execute_insert, execute_plan, execute_query, execute_query_bound,
+    execute_select, execute_select_bound, execute_update, Env, Rel, ResultSet,
 };
-pub use expr::{BExpr, Layout, ScalarFn};
+pub use expr::{BExpr, Layout, Program, ScalarFn};
 pub use parser::{parse_query, parse_script, parse_statement};
+pub use plan::{PhysicalPlan, RelMeta};

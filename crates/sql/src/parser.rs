@@ -165,13 +165,19 @@ impl Parser {
         }
         if self.accept_kw("drop") {
             if self.accept_kw("table") {
-                return Ok(Statement::DropTable { name: self.ident()? });
+                return Ok(Statement::DropTable {
+                    name: self.ident()?,
+                });
             }
             if self.accept_kw("rule") {
-                return Ok(Statement::DropRule { name: self.ident()? });
+                return Ok(Statement::DropRule {
+                    name: self.ident()?,
+                });
             }
             if self.accept_kw("timer") {
-                return Ok(Statement::DropTimer { name: self.ident()? });
+                return Ok(Statement::DropTimer {
+                    name: self.ident()?,
+                });
             }
             return Err(self.err("expected TABLE, RULE or TIMER after DROP"));
         }
@@ -1029,8 +1035,7 @@ mod tests {
 
     #[test]
     fn parse_update_with_increment() {
-        let s =
-            parse_statement("update comp_prices set price += 1.5 where comp = 'C1'").unwrap();
+        let s = parse_statement("update comp_prices set price += 1.5 where comp = 'C1'").unwrap();
         let Statement::Update(u) = s else {
             panic!("expected update")
         };
@@ -1136,10 +1141,9 @@ mod tests {
 
     #[test]
     fn parse_script_multiple_statements() {
-        let stmts = parse_script(
-            "create table a (x int); create table b (y float);; select * from a;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("create table a (x int); create table b (y float);; select * from a;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

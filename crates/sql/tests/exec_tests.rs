@@ -207,7 +207,10 @@ fn update_all_rows_and_delete() {
 fn insert_select() {
     let env = figure4_env();
     env.ddl("create table snapshot (symbol str, price float)");
-    assert_eq!(env.dml("insert into snapshot select symbol, price from stocks"), 3);
+    assert_eq!(
+        env.dml("insert into snapshot select symbol, price from stocks"),
+        3
+    );
     let rs = env.run("select count(*) as n from snapshot");
     assert_eq!(rs.single("n").unwrap().as_i64(), Some(3));
 }
@@ -239,9 +242,8 @@ fn aggregate_over_empty_input() {
 fn group_by_expression_over_aggregates() {
     let env = figure4_env();
     // Arithmetic combining aggregates and group keys.
-    let rs = env.run(
-        "select comp, sum(weight) * 100 as pct from comps_list group by comp order by comp",
-    );
+    let rs = env
+        .run("select comp, sum(weight) * 100 as pct from comps_list group by comp order by comp");
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.value(0, "pct").unwrap().as_f64(), Some(100.0));
 }
@@ -277,9 +279,12 @@ fn scalar_function_in_query() {
             name: "double_it".into(),
             returns: DataType::Float,
             f: Arc::new(|args| {
-                Ok(Value::Float(args[0].as_f64().ok_or_else(|| {
-                    SqlError::exec("double_it needs a number")
-                })? * 2.0))
+                Ok(Value::Float(
+                    args[0]
+                        .as_f64()
+                        .ok_or_else(|| SqlError::exec("double_it needs a number"))?
+                        * 2.0,
+                ))
             }),
             model_evals: 0,
         },
@@ -291,10 +296,7 @@ fn scalar_function_in_query() {
 #[test]
 fn bound_result_uses_pointer_columns() {
     let env = figure4_env();
-    let q = parse_query(
-        "select comp, symbol, weight from comps_list where symbol = 'S1'",
-    )
-    .unwrap();
+    let q = parse_query("select comp, symbol, weight from comps_list where symbol = 'S1'").unwrap();
     let bound = execute_query_bound(&env, &q, &[], "matches").unwrap();
     assert_eq!(bound.len(), 2);
     // All three columns come from comps_list records: one pointer, no slots.
@@ -310,10 +312,8 @@ fn bound_result_uses_pointer_columns() {
 #[test]
 fn bound_result_mixes_pointers_and_slots() {
     let env = figure4_env();
-    let q = parse_query(
-        "select comp, weight * 2 as w2 from comps_list where symbol = 'S1'",
-    )
-    .unwrap();
+    let q =
+        parse_query("select comp, weight * 2 as w2 from comps_list where symbol = 'S1'").unwrap();
     let bound = execute_query_bound(&env, &q, &[], "m").unwrap();
     assert_eq!(bound.static_map().n_ptrs(), 1);
     assert_eq!(bound.static_map().n_slots(), 1);
@@ -421,16 +421,27 @@ fn execute_order_style_temp_join() {
     // Mimics the paper's `new.execute_order = old.execute_order` join
     // between two temp tables.
     let mut env = TestEnv::new();
-    let schema =
-        Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float), ("execute_order", DataType::Int)])
-            .into_ref();
+    let schema = Schema::of(&[
+        ("symbol", DataType::Str),
+        ("price", DataType::Float),
+        ("execute_order", DataType::Int),
+    ])
+    .into_ref();
     let mut new_t = TempTable::materialized("new", schema.clone());
     let mut old_t = TempTable::materialized("old", schema);
     // Two updates to the same symbol: order matters.
-    old_t.push_row(vec!["S1".into(), 30.0.into(), 1i64.into()]).unwrap();
-    new_t.push_row(vec!["S1".into(), 31.0.into(), 1i64.into()]).unwrap();
-    old_t.push_row(vec!["S1".into(), 31.0.into(), 2i64.into()]).unwrap();
-    new_t.push_row(vec!["S1".into(), 32.0.into(), 2i64.into()]).unwrap();
+    old_t
+        .push_row(vec!["S1".into(), 30.0.into(), 1i64.into()])
+        .unwrap();
+    new_t
+        .push_row(vec!["S1".into(), 31.0.into(), 1i64.into()])
+        .unwrap();
+    old_t
+        .push_row(vec!["S1".into(), 31.0.into(), 2i64.into()])
+        .unwrap();
+    new_t
+        .push_row(vec!["S1".into(), 32.0.into(), 2i64.into()])
+        .unwrap();
     env.temps.insert("new".into(), Arc::new(new_t));
     env.temps.insert("old".into(), Arc::new(old_t));
     let rs = env.run(
@@ -443,4 +454,63 @@ fn execute_order_style_temp_join() {
     assert_eq!(rs.value(0, "new_price").unwrap().as_f64(), Some(31.0));
     assert_eq!(rs.value(1, "old_price").unwrap().as_f64(), Some(31.0));
     assert_eq!(rs.value(1, "new_price").unwrap().as_f64(), Some(32.0));
+}
+
+#[test]
+fn constant_first_equality_uses_index() {
+    // `5 = id` must pick the index just like `id = 5`: the planner tries
+    // both orientations of an equality when looking for a probe key.
+    let env = figure4_env();
+    env.meter.reset();
+    let rs = env.run("select comp from comps_list where 'S1' = symbol order by comp");
+    assert_eq!(rs.len(), 2);
+    assert_eq!(
+        env.meter.count(Op::IndexProbe),
+        1,
+        "expected one index probe"
+    );
+    assert_eq!(env.meter.count(Op::OpenCursor), 0, "expected no full scan");
+}
+
+#[test]
+fn range_predicate_uses_rbtree_index() {
+    let env = TestEnv::new();
+    env.ddl("create table nums (k int)");
+    env.ddl("create index ix_nums on nums (k) using rbtree");
+    env.dml("insert into nums values (0), (1), (2), (3), (4), (5), (6), (7), (8), (9)");
+    env.meter.reset();
+    let rs = env.run("select k from nums where k > 2 and k <= 6 order by k");
+    let ks: Vec<i64> = (0..rs.len())
+        .map(|i| rs.value(i, "k").unwrap().as_i64().unwrap())
+        .collect();
+    assert_eq!(ks, vec![3, 4, 5, 6]);
+    assert_eq!(
+        env.meter.count(Op::IndexProbe),
+        1,
+        "expected one range probe"
+    );
+    assert_eq!(env.meter.count(Op::OpenCursor), 0, "expected no full scan");
+    // The inclusive [2, 6] index range yields 5 candidates; the strict
+    // lower bound is re-checked as a filter.
+    assert_eq!(env.meter.count(Op::FetchCursor), 5);
+}
+
+#[test]
+fn explain_shows_access_paths() {
+    let env = figure4_env();
+    let q = parse_query("select comp from comps_list where symbol = 'S1'").unwrap();
+    let plan = strip_sql::plan::plan_query(&env, &q).unwrap();
+    let text = plan.explain();
+    assert!(text.contains("IndexEqScan"), "plan was:\n{text}");
+
+    let q = parse_query(
+        "select comp from stocks, comps_list \
+         where stocks.symbol = comps_list.symbol and stocks.symbol = 'S1'",
+    )
+    .unwrap();
+    let plan = strip_sql::plan::plan_query(&env, &q).unwrap();
+    let text = plan.explain();
+    // stocks has no index, so it scans and probes comps_list's index.
+    assert!(text.contains("TableScan"), "plan was:\n{text}");
+    assert!(text.contains("IndexJoin"), "plan was:\n{text}");
 }

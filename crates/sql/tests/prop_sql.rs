@@ -36,7 +36,12 @@ fn print_expr(e: &Expr) -> String {
         Expr::Neg(i) => format!("(- {})", print_expr(i)),
         Expr::Not(i) => format!("(not {})", print_expr(i)),
         Expr::Binary { op, left, right } => {
-            format!("({} {} {})", print_expr(left), op.symbol(), print_expr(right))
+            format!(
+                "({} {} {})",
+                print_expr(left),
+                op.symbol(),
+                print_expr(right)
+            )
         }
         Expr::Aggregate { func, arg } => match arg {
             Some(a) => format!("{}({})", func.name(), print_expr(a)),
@@ -52,9 +57,8 @@ fn print_expr(e: &Expr) -> String {
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         ![
-            "select", "from", "where", "group", "by", "order", "limit", "and", "or", "not",
-            "true", "false", "as", "bind", "sum", "count", "avg", "min", "max", "groupby",
-            "desc", "asc",
+            "select", "from", "where", "group", "by", "order", "limit", "and", "or", "not", "true",
+            "false", "as", "bind", "sum", "count", "avg", "min", "max", "groupby", "desc", "asc",
         ]
         .contains(&s.as_str())
     })
@@ -153,12 +157,7 @@ impl Env for MiniEnv {
     fn dml_insert(&self, _: &str, _: Vec<Value>) -> strip_sql::Result<()> {
         unreachable!()
     }
-    fn dml_update(
-        &self,
-        _: &str,
-        _: strip_storage::RowId,
-        _: Vec<Value>,
-    ) -> strip_sql::Result<()> {
+    fn dml_update(&self, _: &str, _: strip_storage::RowId, _: Vec<Value>) -> strip_sql::Result<()> {
         unreachable!()
     }
     fn dml_delete(&self, _: &str, _: strip_storage::RowId) -> strip_sql::Result<()> {
@@ -251,3 +250,55 @@ proptest! {
 // Silence dead-code warning for Arc import used only in some configurations.
 #[allow(dead_code)]
 fn _unused(_: Arc<()>) {}
+
+// ---------------------------------------------------------------------------
+// Plan-cache parity: a plan fetched from the cache and executed repeatedly
+// must return exactly what a freshly planned execution returns.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cached_plan_matches_fresh_plan(
+        rows in proptest::collection::vec((0..5i64, -50.0..50.0f64), 0..60),
+        threshold in -50.0..50.0f64,
+    ) {
+        use strip_sql::plan::{plan_query, PhysicalPlan};
+        use strip_sql::{execute_select, PlanCache};
+
+        let env = MiniEnv {
+            catalog: Catalog::new(),
+            meter: CountingMeter::new(),
+        };
+        let schema = Schema::of(&[("g", DataType::Int), ("x", DataType::Float)]).into_ref();
+        let t = env.catalog.create_table("t", schema).unwrap();
+        {
+            let mut t = t.write();
+            for (g, x) in &rows {
+                t.insert(vec![(*g).into(), (*x).into()]).unwrap();
+            }
+        }
+
+        let cache = PlanCache::new();
+        let queries = [
+            "select g, x from t where x >= ? order by g, x",
+            "select g, count(*) as n, sum(x) as s from t group by g order by g",
+            "select count(*) as n from t where g = 2 and x < ?",
+        ];
+        let params = [Value::Float(threshold)];
+        for sql in queries {
+            let q = parse_query(sql).unwrap();
+            let fresh = execute_query(&env, &q, &params).unwrap();
+            for _ in 0..2 {
+                let plan = cache
+                    .get_or_plan(sql, 0, || plan_query(&env, &q).map(PhysicalPlan::Select))
+                    .unwrap();
+                let PhysicalPlan::Select(sp) = plan.as_ref() else { unreachable!() };
+                let cached = execute_select(&env, sp, &params).unwrap();
+                prop_assert_eq!(&cached.rows, &fresh.rows, "query: {}", sql);
+            }
+        }
+        // Each query planned exactly once: second executions were hits.
+        prop_assert_eq!(cache.misses(), queries.len() as u64);
+        prop_assert_eq!(cache.hits(), queries.len() as u64);
+    }
+}

@@ -31,12 +31,7 @@ impl Env for TestEnv {
     fn dml_insert(&self, _: &str, _: Vec<Value>) -> strip_sql::Result<()> {
         unreachable!()
     }
-    fn dml_update(
-        &self,
-        _: &str,
-        _: strip_storage::RowId,
-        _: Vec<Value>,
-    ) -> strip_sql::Result<()> {
+    fn dml_update(&self, _: &str, _: strip_storage::RowId, _: Vec<Value>) -> strip_sql::Result<()> {
         unreachable!()
     }
     fn dml_delete(&self, _: &str, _: strip_storage::RowId) -> strip_sql::Result<()> {
@@ -130,11 +125,17 @@ fn in_list_and_not_in() {
 #[test]
 fn between_and_not_between() {
     let e = env();
-    let rs = run(&e, "select amount from orders where amount between 5 and 10 order by amount");
+    let rs = run(
+        &e,
+        "select amount from orders where amount between 5 and 10 order by amount",
+    );
     assert_eq!(rs.len(), 4); // 5, 5, 7, 10
-    let rs = run(&e, "select amount from orders where amount not between 5 and 10");
+    let rs = run(
+        &e,
+        "select amount from orders where amount not between 5 and 10",
+    );
     assert_eq!(rs.len(), 1); // 30
-    // BETWEEN's AND must not swallow a following logical AND.
+                             // BETWEEN's AND must not swallow a following logical AND.
     let rs = run(
         &e,
         "select amount from orders \
@@ -174,7 +175,10 @@ fn null_literal_comparisons() {
     assert_eq!(rs.single("n").unwrap().as_i64(), Some(5));
     let rs = run(&e, "select count(*) as n from orders where amount is null");
     assert_eq!(rs.single("n").unwrap().as_i64(), Some(0));
-    let rs = run(&e, "select count(*) as n from orders where amount is not null");
+    let rs = run(
+        &e,
+        "select count(*) as n from orders where amount is not null",
+    );
     assert_eq!(rs.single("n").unwrap().as_i64(), Some(5));
 }
 
@@ -194,7 +198,10 @@ fn distinct_with_order_and_limit() {
 fn stddev_and_var_aggregates() {
     let e = env();
     // amounts: 10, 5, 30, 7, 5 — mean 11.4, population var 89.84.
-    let rs = run(&e, "select var(amount) as v, stddev(amount) as sd from orders");
+    let rs = run(
+        &e,
+        "select var(amount) as v, stddev(amount) as sd from orders",
+    );
     let v = rs.single("v").unwrap().as_f64().unwrap();
     let sd = rs.single("sd").unwrap().as_f64().unwrap();
     assert!((v - 89.84).abs() < 1e-9, "var = {v}");
@@ -205,7 +212,14 @@ fn stddev_and_var_aggregates() {
         "select customer, stddev(amount) as sd from orders group by customer order by customer",
     );
     assert_eq!(rs.len(), 3);
-    assert_eq!(rs.value(1, "sd").unwrap().as_f64(), Some(0.0), "bob: 5 and 5");
-    let rs = run(&e, "select var(amount) as v from orders where amount > 1000");
+    assert_eq!(
+        rs.value(1, "sd").unwrap().as_f64(),
+        Some(0.0),
+        "bob: 5 and 5"
+    );
+    let rs = run(
+        &e,
+        "select var(amount) as v from orders where amount > 1000",
+    );
     assert!(rs.single("v").unwrap().is_null());
 }

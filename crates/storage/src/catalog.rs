@@ -9,6 +9,7 @@ use crate::schema::SchemaRef;
 use crate::table::StandardTable;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared handle to a standard table.
@@ -32,12 +33,29 @@ pub struct ViewDef {
 pub struct Catalog {
     tables: RwLock<HashMap<String, TableRef>>,
     views: RwLock<HashMap<String, ViewDef>>,
+    /// Schema epoch: bumped by every DDL change (table/view/index create or
+    /// drop). Prepared physical plans are valid only for the epoch they were
+    /// built under; a mismatch forces replanning.
+    epoch: AtomicU64,
 }
 
 impl Catalog {
     /// New empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Current schema epoch. Monotonically increasing; any DDL invalidates
+    /// plans prepared under earlier epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Record a DDL change (also called by layers that mutate table-level
+    /// metadata the catalog cannot see, e.g. `CREATE INDEX`). Returns the
+    /// new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Create a table. Fails if a table or view of that name exists.
@@ -49,6 +67,7 @@ impl Catalog {
         }
         let table = Arc::new(RwLock::new(StandardTable::new(key.clone(), schema)));
         tables.insert(key, table.clone());
+        self.bump_epoch();
         Ok(table)
     }
 
@@ -59,7 +78,9 @@ impl Catalog {
             .write()
             .remove(&key)
             .map(|_| ())
-            .ok_or(StorageError::NoSuchTable(key))
+            .ok_or(StorageError::NoSuchTable(key))?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Look up a table.
@@ -74,9 +95,7 @@ impl Catalog {
 
     /// True if the named table exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables
-            .read()
-            .contains_key(&name.to_ascii_lowercase())
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// All table names, sorted.
@@ -90,18 +109,12 @@ impl Catalog {
     pub fn create_view(&self, def: ViewDef) -> Result<()> {
         let key = def.name.to_ascii_lowercase();
         let mut views = self.views.write();
-        if views.contains_key(&key)
-            || (!def.materialized && self.tables.read().contains_key(&key))
+        if views.contains_key(&key) || (!def.materialized && self.tables.read().contains_key(&key))
         {
             return Err(StorageError::TableExists(key));
         }
-        views.insert(
-            key.clone(),
-            ViewDef {
-                name: key,
-                ..def
-            },
-        );
+        views.insert(key.clone(), ViewDef { name: key, ..def });
+        self.bump_epoch();
         Ok(())
     }
 
@@ -175,10 +188,38 @@ mod tests {
     }
 
     #[test]
+    fn ddl_bumps_schema_epoch() {
+        let c = Catalog::new();
+        let e0 = c.epoch();
+        c.create_table("t", schema()).unwrap();
+        let e1 = c.epoch();
+        assert!(e1 > e0);
+        c.drop_table("t").unwrap();
+        let e2 = c.epoch();
+        assert!(e2 > e1);
+        c.create_view(ViewDef {
+            name: "v".into(),
+            query_text: String::new(),
+            materialized: false,
+        })
+        .unwrap();
+        assert!(c.epoch() > e2);
+        // Failed DDL does not bump.
+        let e3 = c.epoch();
+        assert!(c.drop_table("missing").is_err());
+        assert_eq!(c.epoch(), e3);
+        // Manual bump (used for CREATE INDEX, which mutates table metadata).
+        assert_eq!(c.bump_epoch(), e3 + 1);
+    }
+
+    #[test]
     fn table_names_sorted() {
         let c = Catalog::new();
         c.create_table("zeta", schema()).unwrap();
         c.create_table("alpha", schema()).unwrap();
-        assert_eq!(c.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            c.table_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

@@ -332,7 +332,9 @@ impl<K: Ord, V> RbMap<K, V> {
             self.delete_fixup(x, x_parent);
         }
         // `z` has been transplanted out of the tree; reclaim its arena slot.
-        let node = self.nodes[z as usize].take().expect("removed node was live");
+        let node = self.nodes[z as usize]
+            .take()
+            .expect("removed node was live");
         self.free.push(z);
         Some(node.val)
     }

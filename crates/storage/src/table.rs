@@ -200,7 +200,12 @@ impl StandardTable {
 
     /// Fetch the current version of a row.
     pub fn get(&self, id: RowId) -> Result<RecordRef> {
-        Ok(self.slot_ok(id)?.rec.as_ref().expect("checked live").clone())
+        Ok(self
+            .slot_ok(id)?
+            .rec
+            .as_ref()
+            .expect("checked live")
+            .clone())
     }
 
     /// Update a row to new attribute values. A **new record version** is
@@ -411,7 +416,8 @@ mod tests {
     #[test]
     fn hash_index_maintained_across_dml() {
         let mut t = stocks();
-        t.create_index("ix_symbol", "symbol", IndexKind::Hash).unwrap();
+        t.create_index("ix_symbol", "symbol", IndexKind::Hash)
+            .unwrap();
         let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
         let (b, _) = t.insert(vec!["B".into(), 2.0.into()]).unwrap();
         let col = 0;

@@ -310,7 +310,9 @@ mod tests {
         let t_schema = Schema::of(&[("d", DataType::Int), ("e", DataType::Int)]);
         let mut r = StandardTable::new("r", r_schema.into_ref());
         let mut t = StandardTable::new("t", t_schema.into_ref());
-        let (_, r_rec) = r.insert(vec![1i64.into(), 2i64.into(), 3i64.into()]).unwrap();
+        let (_, r_rec) = r
+            .insert(vec![1i64.into(), 2i64.into(), 3i64.into()])
+            .unwrap();
         let (_, t_rec) = t.insert(vec![4i64.into(), 5i64.into()]).unwrap();
 
         let v_schema = Schema::of(&[
@@ -332,13 +334,16 @@ mod tests {
         assert_eq!(map.n_ptrs(), 2, "no pointer to S is stored");
         let mut v = TempTable::new("v", v_schema.into_ref(), map).unwrap();
         v.push(vec![r_rec, t_rec], vec![]).unwrap();
-        assert_eq!(v.row_values(0), vec![
-            1i64.into(),
-            2i64.into(),
-            3i64.into(),
-            4i64.into(),
-            5i64.into()
-        ]);
+        assert_eq!(
+            v.row_values(0),
+            vec![
+                1i64.into(),
+                2i64.into(),
+                3i64.into(),
+                4i64.into(),
+                5i64.into()
+            ]
+        );
         assert_eq!(v.pinned_versions(), 2);
     }
 
@@ -377,7 +382,10 @@ mod tests {
 
         assert!(weak.upgrade().is_some(), "pinned by bound table");
         drop(bound);
-        assert!(weak.upgrade().is_none(), "freed once last bound table retires");
+        assert!(
+            weak.upgrade().is_none(),
+            "freed once last bound table retires"
+        );
     }
 
     #[test]

@@ -129,8 +129,10 @@ impl Value {
     pub fn conforms_to(&self, ty: DataType) -> bool {
         matches!(
             (self, ty),
-            (Value::Int(_), DataType::Int | DataType::Float | DataType::Timestamp)
-                | (Value::Float(_), DataType::Float)
+            (
+                Value::Int(_),
+                DataType::Int | DataType::Float | DataType::Timestamp
+            ) | (Value::Float(_), DataType::Float)
                 | (Value::Str(_), DataType::Str)
                 | (Value::Bool(_), DataType::Bool)
                 | (Value::Timestamp(_), DataType::Timestamp | DataType::Int)

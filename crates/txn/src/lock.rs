@@ -315,7 +315,10 @@ mod tests {
         lm.lock(TxnId(1), "t", LockMode::Shared).unwrap();
         // Sole shared holder upgrades in place.
         lm.lock(TxnId(1), "t", LockMode::Exclusive).unwrap();
-        assert_eq!(lm.held_by(TxnId(1)), vec![("t".to_string(), LockMode::Exclusive)]);
+        assert_eq!(
+            lm.held_by(TxnId(1)),
+            vec![("t".to_string(), LockMode::Exclusive)]
+        );
         // X implies S.
         lm.lock(TxnId(1), "t", LockMode::Shared).unwrap();
     }

@@ -68,7 +68,8 @@ impl DelayQueue {
     pub fn push(&mut self, task: Task) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((task.release_us, seq, TaskBox(task))));
+        self.heap
+            .push(Reverse((task.release_us, seq, TaskBox(task))));
     }
 
     /// Release time of the earliest task, if any.

@@ -56,6 +56,12 @@ pub struct SimStats {
     pub max_ready_len: usize,
     /// High-watermark of the delay queue length.
     pub max_delay_len: usize,
+    /// Prepared-plan cache hits. The cache lives in the database facade,
+    /// which fills these in when reporting stats; the raw simulator leaves
+    /// them zero.
+    pub plan_cache_hits: u64,
+    /// Prepared-plan cache misses (including epoch-invalidation replans).
+    pub plan_cache_misses: u64,
 }
 
 impl SimStats {
@@ -210,11 +216,7 @@ impl Simulator {
     /// the clock advances by the charged cost and any tasks it spawns are
     /// submitted. This is how the synchronous `Strip` API runs caller
     /// transactions without routing them through the ready queue.
-    pub fn run_inline<R>(
-        &mut self,
-        kind: &str,
-        work: impl FnOnce(&mut TaskCtx<'_>) -> R,
-    ) -> R {
+    pub fn run_inline<R>(&mut self, kind: &str, work: impl FnOnce(&mut TaskCtx<'_>) -> R) -> R {
         let meter = CostMeter::new(self.model.clone());
         let mut ctx = TaskCtx {
             start_us: self.clock_us,
@@ -399,6 +401,9 @@ mod tests {
             );
         }
         sim.run_to_completion();
-        assert_eq!(*order.lock(), vec!["urgent".to_string(), "late".to_string()]);
+        assert_eq!(
+            *order.lock(),
+            vec!["urgent".to_string(), "late".to_string()]
+        );
     }
 }

@@ -29,7 +29,10 @@ fn main() -> strip::core::Result<()> {
             .query("select sum(price) as s from ticks", &[])?
             .single("s")?
             .clone();
-        txn.exec("update index_level set level = ? where name = 'TECH3'", &[level])?;
+        txn.exec(
+            "update index_level set level = ? where name = 'TECH3'",
+            &[level],
+        )?;
         Ok(())
     });
     db.execute(

@@ -60,9 +60,9 @@ fn main() -> strip::core::Result<()> {
     );
 
     // Show a couple of maintained option prices.
-    let sample = pta.db.query(
-        "select option_symbol, price from option_prices order by option_symbol limit 3",
-    )?;
+    let sample = pta
+        .db
+        .query("select option_symbol, price from option_prices order by option_symbol limit 3")?;
     for i in 0..sample.len() {
         println!(
             "theoretical price of {}: ${:.3}",

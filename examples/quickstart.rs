@@ -67,7 +67,11 @@ fn main() -> strip::core::Result<()> {
         "three update transactions committed; pending recompute tasks: {}",
         db.pending_tasks()
     );
-    assert_eq!(db.pending_tasks(), 1, "batched into a single unique transaction");
+    assert_eq!(
+        db.pending_tasks(),
+        1,
+        "batched into a single unique transaction"
+    );
 
     // Let the delay window expire (virtual time).
     db.drain();

@@ -44,7 +44,14 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = StatementBuffer::new();
     loop {
-        print!("{}", if buffer.is_pending() { "   ...> " } else { "strip> " });
+        print!(
+            "{}",
+            if buffer.is_pending() {
+                "   ...> "
+            } else {
+                "strip> "
+            }
+        );
         std::io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {

@@ -6,12 +6,7 @@ use strip_sql::ResultSet;
 
 /// Render a result set as an aligned ASCII table.
 pub fn format_result(rs: &ResultSet) -> String {
-    let headers: Vec<String> = rs
-        .schema
-        .columns()
-        .iter()
-        .map(|c| c.name.clone())
-        .collect();
+    let headers: Vec<String> = rs.schema.columns().iter().map(|c| c.name.clone()).collect();
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     let rendered: Vec<Vec<String>> = rs
         .rows
@@ -173,6 +168,10 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 s.tasks_run,
                 s.busy_us as f64 / 1e6
             );
+            out.push_str(&format!(
+                "plan cache: {} hits / {} misses\n",
+                s.plan_cache_hits, s.plan_cache_misses
+            ));
             let mut kinds: Vec<_> = s.by_kind.iter().collect();
             kinds.sort_by(|a, b| a.0.cmp(b.0));
             for (k, ks) in kinds {

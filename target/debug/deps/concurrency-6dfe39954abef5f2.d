@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-6dfe39954abef5f2.d: crates/core/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-6dfe39954abef5f2: crates/core/tests/concurrency.rs
+
+crates/core/tests/concurrency.rs:

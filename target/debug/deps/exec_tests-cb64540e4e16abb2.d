@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_tests-cb64540e4e16abb2.d: crates/sql/tests/exec_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_tests-cb64540e4e16abb2.rmeta: crates/sql/tests/exec_tests.rs Cargo.toml
+
+crates/sql/tests/exec_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

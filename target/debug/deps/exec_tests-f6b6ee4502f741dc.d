@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_tests-f6b6ee4502f741dc.d: crates/sql/tests/exec_tests.rs
+
+/root/repo/target/debug/deps/exec_tests-f6b6ee4502f741dc: crates/sql/tests/exec_tests.rs
+
+crates/sql/tests/exec_tests.rs:

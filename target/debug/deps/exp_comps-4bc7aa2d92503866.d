@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_comps-4bc7aa2d92503866.d: crates/bench/src/bin/exp_comps.rs
+
+/root/repo/target/debug/deps/exp_comps-4bc7aa2d92503866: crates/bench/src/bin/exp_comps.rs
+
+crates/bench/src/bin/exp_comps.rs:

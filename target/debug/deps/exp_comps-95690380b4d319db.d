@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_comps-95690380b4d319db.d: crates/bench/src/bin/exp_comps.rs
+
+/root/repo/target/debug/deps/exp_comps-95690380b4d319db: crates/bench/src/bin/exp_comps.rs
+
+crates/bench/src/bin/exp_comps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_comps-c99420e7a7a38915.d: crates/bench/src/bin/exp_comps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_comps-c99420e7a7a38915.rmeta: crates/bench/src/bin/exp_comps.rs Cargo.toml
+
+crates/bench/src/bin/exp_comps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_options-2221cd2273ac1349.d: crates/bench/src/bin/exp_options.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_options-2221cd2273ac1349.rmeta: crates/bench/src/bin/exp_options.rs Cargo.toml
+
+crates/bench/src/bin/exp_options.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_options-b5d0e034daf7536c.d: crates/bench/src/bin/exp_options.rs
+
+/root/repo/target/debug/deps/exp_options-b5d0e034daf7536c: crates/bench/src/bin/exp_options.rs
+
+crates/bench/src/bin/exp_options.rs:

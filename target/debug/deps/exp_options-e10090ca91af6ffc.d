@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_options-e10090ca91af6ffc.d: crates/bench/src/bin/exp_options.rs
+
+/root/repo/target/debug/deps/exp_options-e10090ca91af6ffc: crates/bench/src/bin/exp_options.rs
+
+crates/bench/src/bin/exp_options.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sched-18ecce8d14f0ff7e.d: crates/bench/src/bin/exp_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sched-18ecce8d14f0ff7e.rmeta: crates/bench/src/bin/exp_sched.rs Cargo.toml
+
+crates/bench/src/bin/exp_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sched-37754a2b975dbd72.d: crates/bench/src/bin/exp_sched.rs
+
+/root/repo/target/debug/deps/exp_sched-37754a2b975dbd72: crates/bench/src/bin/exp_sched.rs
+
+crates/bench/src/bin/exp_sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sched-9b71b792661c1a1c.d: crates/bench/src/bin/exp_sched.rs
+
+/root/repo/target/debug/deps/exp_sched-9b71b792661c1a1c: crates/bench/src/bin/exp_sched.rs
+
+crates/bench/src/bin/exp_sched.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sched-9bc2d01ccafadf7e.d: crates/bench/src/bin/exp_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sched-9bc2d01ccafadf7e.rmeta: crates/bench/src/bin/exp_sched.rs Cargo.toml
+
+crates/bench/src/bin/exp_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-0f4aa6e12d7c8cc7.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-0f4aa6e12d7c8cc7: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

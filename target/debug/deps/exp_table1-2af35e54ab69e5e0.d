@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-2af35e54ab69e5e0.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-2af35e54ab69e5e0: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

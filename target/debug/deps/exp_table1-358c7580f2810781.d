@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1-358c7580f2810781.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1-358c7580f2810781.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

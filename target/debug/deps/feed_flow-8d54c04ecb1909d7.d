@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feed_flow-8d54c04ecb1909d7.d: crates/core/tests/feed_flow.rs
+
+/root/repo/target/debug/deps/feed_flow-8d54c04ecb1909d7: crates/core/tests/feed_flow.rs
+
+crates/core/tests/feed_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/feed_flow-fa5557837dbdd6b1.d: crates/core/tests/feed_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeed_flow-fa5557837dbdd6b1.rmeta: crates/core/tests/feed_flow.rs Cargo.toml
+
+crates/core/tests/feed_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-d0d735e392c639c5.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-d0d735e392c639c5: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_cache_flow-aa50fa7a7812347d.d: crates/core/tests/plan_cache_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_cache_flow-aa50fa7a7812347d.rmeta: crates/core/tests/plan_cache_flow.rs Cargo.toml
+
+crates/core/tests/plan_cache_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_cache_flow-e9c5105c122947fd.d: crates/core/tests/plan_cache_flow.rs
+
+/root/repo/target/debug/deps/plan_cache_flow-e9c5105c122947fd: crates/core/tests/plan_cache_flow.rs
+
+crates/core/tests/plan_cache_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_finance-0a1cc498b6b520e0.d: crates/finance/tests/prop_finance.rs
+
+/root/repo/target/debug/deps/prop_finance-0a1cc498b6b520e0: crates/finance/tests/prop_finance.rs
+
+crates/finance/tests/prop_finance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_finance-20ad9c0212c4e328.d: crates/finance/tests/prop_finance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_finance-20ad9c0212c4e328.rmeta: crates/finance/tests/prop_finance.rs Cargo.toml
+
+crates/finance/tests/prop_finance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

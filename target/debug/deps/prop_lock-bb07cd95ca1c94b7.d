@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_lock-bb07cd95ca1c94b7.d: crates/txn/tests/prop_lock.rs
+
+/root/repo/target/debug/deps/prop_lock-bb07cd95ca1c94b7: crates/txn/tests/prop_lock.rs
+
+crates/txn/tests/prop_lock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_lock-df02c2ec902ad4d0.d: crates/txn/tests/prop_lock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_lock-df02c2ec902ad4d0.rmeta: crates/txn/tests/prop_lock.rs Cargo.toml
+
+crates/txn/tests/prop_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

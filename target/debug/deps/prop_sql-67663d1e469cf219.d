@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sql-67663d1e469cf219.d: crates/sql/tests/prop_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sql-67663d1e469cf219.rmeta: crates/sql/tests/prop_sql.rs Cargo.toml
+
+crates/sql/tests/prop_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

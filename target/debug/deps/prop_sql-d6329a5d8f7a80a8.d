@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sql-d6329a5d8f7a80a8.d: crates/sql/tests/prop_sql.rs
+
+/root/repo/target/debug/deps/prop_sql-d6329a5d8f7a80a8: crates/sql/tests/prop_sql.rs
+
+crates/sql/tests/prop_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage-88a47d6fbff51b73.d: crates/storage/tests/prop_storage.rs
+
+/root/repo/target/debug/deps/prop_storage-88a47d6fbff51b73: crates/storage/tests/prop_storage.rs
+
+crates/storage/tests/prop_storage.rs:

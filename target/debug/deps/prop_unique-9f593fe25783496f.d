@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_unique-9f593fe25783496f.d: crates/rules/tests/prop_unique.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_unique-9f593fe25783496f.rmeta: crates/rules/tests/prop_unique.rs Cargo.toml
+
+crates/rules/tests/prop_unique.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

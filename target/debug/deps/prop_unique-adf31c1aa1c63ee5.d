@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_unique-adf31c1aa1c63ee5.d: crates/rules/tests/prop_unique.rs
+
+/root/repo/target/debug/deps/prop_unique-adf31c1aa1c63ee5: crates/rules/tests/prop_unique.rs
+
+crates/rules/tests/prop_unique.rs:

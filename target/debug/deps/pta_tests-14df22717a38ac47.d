@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pta_tests-14df22717a38ac47.d: crates/finance/tests/pta_tests.rs
+
+/root/repo/target/debug/deps/pta_tests-14df22717a38ac47: crates/finance/tests/pta_tests.rs
+
+crates/finance/tests/pta_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pta_tests-e4bbf48580c66c5b.d: crates/finance/tests/pta_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpta_tests-e4bbf48580c66c5b.rmeta: crates/finance/tests/pta_tests.rs Cargo.toml
+
+crates/finance/tests/pta_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

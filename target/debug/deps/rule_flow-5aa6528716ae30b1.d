@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_flow-5aa6528716ae30b1.d: crates/core/tests/rule_flow.rs
+
+/root/repo/target/debug/deps/rule_flow-5aa6528716ae30b1: crates/core/tests/rule_flow.rs
+
+crates/core/tests/rule_flow.rs:

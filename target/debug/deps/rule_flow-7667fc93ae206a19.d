@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rule_flow-7667fc93ae206a19.d: crates/core/tests/rule_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/librule_flow-7667fc93ae206a19.rmeta: crates/core/tests/rule_flow.rs Cargo.toml
+
+crates/core/tests/rule_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_features-d8e19c0eda32bcb3.d: crates/sql/tests/sql_features.rs
+
+/root/repo/target/debug/deps/sql_features-d8e19c0eda32bcb3: crates/sql/tests/sql_features.rs
+
+crates/sql/tests/sql_features.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_features-fd1f75960256ccb2.d: crates/sql/tests/sql_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_features-fd1f75960256ccb2.rmeta: crates/sql/tests/sql_features.rs Cargo.toml
+
+crates/sql/tests/sql_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/strip-2dc5d194d1157b41.d: src/lib.rs src/shell.rs
+
+/root/repo/target/debug/deps/strip-2dc5d194d1157b41: src/lib.rs src/shell.rs
+
+src/lib.rs:
+src/shell.rs:

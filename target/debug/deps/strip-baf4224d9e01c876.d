@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/strip-baf4224d9e01c876.d: src/lib.rs src/shell.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip-baf4224d9e01c876.rmeta: src/lib.rs src/shell.rs Cargo.toml
+
+src/lib.rs:
+src/shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/strip-e9ad992e60c82a10.d: src/lib.rs src/shell.rs
+
+/root/repo/target/debug/deps/libstrip-e9ad992e60c82a10.rlib: src/lib.rs src/shell.rs
+
+/root/repo/target/debug/deps/libstrip-e9ad992e60c82a10.rmeta: src/lib.rs src/shell.rs
+
+src/lib.rs:
+src/shell.rs:

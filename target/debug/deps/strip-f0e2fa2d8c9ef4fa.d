@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/strip-f0e2fa2d8c9ef4fa.d: src/lib.rs src/shell.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip-f0e2fa2d8c9ef4fa.rmeta: src/lib.rs src/shell.rs Cargo.toml
+
+src/lib.rs:
+src/shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strip_bench-04ceb446a71dae69.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_bench-04ceb446a71dae69.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_bench-243d66656e569cf9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/strip_bench-243d66656e569cf9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

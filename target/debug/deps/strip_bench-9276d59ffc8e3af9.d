@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/strip_bench-9276d59ffc8e3af9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstrip_bench-9276d59ffc8e3af9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstrip_bench-9276d59ffc8e3af9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

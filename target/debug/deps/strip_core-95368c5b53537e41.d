@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/strip_core-95368c5b53537e41.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_core-95368c5b53537e41.rmeta: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/feed.rs:
+crates/core/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

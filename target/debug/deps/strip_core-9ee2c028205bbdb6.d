@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strip_core-9ee2c028205bbdb6.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+/root/repo/target/debug/deps/strip_core-9ee2c028205bbdb6: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/feed.rs:
+crates/core/src/txn.rs:

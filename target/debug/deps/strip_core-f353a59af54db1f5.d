@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/strip_core-f353a59af54db1f5.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+/root/repo/target/debug/deps/libstrip_core-f353a59af54db1f5.rlib: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+/root/repo/target/debug/deps/libstrip_core-f353a59af54db1f5.rmeta: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/feed.rs:
+crates/core/src/txn.rs:

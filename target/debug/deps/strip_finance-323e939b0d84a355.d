@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/strip_finance-323e939b0d84a355.d: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+/root/repo/target/debug/deps/libstrip_finance-323e939b0d84a355.rlib: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+/root/repo/target/debug/deps/libstrip_finance-323e939b0d84a355.rmeta: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+crates/finance/src/lib.rs:
+crates/finance/src/black_scholes.rs:
+crates/finance/src/pta.rs:
+crates/finance/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/strip_finance-7c5de88e45b3a976.d: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+/root/repo/target/debug/deps/strip_finance-7c5de88e45b3a976: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+crates/finance/src/lib.rs:
+crates/finance/src/black_scholes.rs:
+crates/finance/src/pta.rs:
+crates/finance/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/strip_finance-ae9c69db70a387a6.d: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_finance-ae9c69db70a387a6.rmeta: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs Cargo.toml
+
+crates/finance/src/lib.rs:
+crates/finance/src/black_scholes.rs:
+crates/finance/src/pta.rs:
+crates/finance/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/strip_rules-270d9c2cb3ec754a.d: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+/root/repo/target/debug/deps/strip_rules-270d9c2cb3ec754a: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/def.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/error.rs:
+crates/rules/src/transition.rs:
+crates/rules/src/unique.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/strip_rules-b2e2a3025eef8023.d: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_rules-b2e2a3025eef8023.rmeta: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs Cargo.toml
+
+crates/rules/src/lib.rs:
+crates/rules/src/def.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/error.rs:
+crates/rules/src/transition.rs:
+crates/rules/src/unique.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

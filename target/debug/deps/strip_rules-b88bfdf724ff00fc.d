@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/strip_rules-b88bfdf724ff00fc.d: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+/root/repo/target/debug/deps/libstrip_rules-b88bfdf724ff00fc.rlib: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+/root/repo/target/debug/deps/libstrip_rules-b88bfdf724ff00fc.rmeta: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/def.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/error.rs:
+crates/rules/src/transition.rs:
+crates/rules/src/unique.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strip_shell-3078da058d6191ab.d: src/bin/strip-shell.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_shell-3078da058d6191ab.rmeta: src/bin/strip-shell.rs Cargo.toml
+
+src/bin/strip-shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_shell-6f06a89e17d05d77.d: src/bin/strip-shell.rs
+
+/root/repo/target/debug/deps/strip_shell-6f06a89e17d05d77: src/bin/strip-shell.rs
+
+src/bin/strip-shell.rs:

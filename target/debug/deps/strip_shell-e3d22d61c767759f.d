@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_shell-e3d22d61c767759f.d: src/bin/strip-shell.rs
+
+/root/repo/target/debug/deps/strip_shell-e3d22d61c767759f: src/bin/strip-shell.rs
+
+src/bin/strip-shell.rs:

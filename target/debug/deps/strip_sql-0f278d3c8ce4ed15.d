@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/strip_sql-0f278d3c8ce4ed15.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/libstrip_sql-0f278d3c8ce4ed15.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/libstrip_sql-0f278d3c8ce4ed15.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/cache.rs:
+crates/sql/src/error.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:

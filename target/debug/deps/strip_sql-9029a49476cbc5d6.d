@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/strip_sql-9029a49476cbc5d6.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_sql-9029a49476cbc5d6.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/cache.rs:
+crates/sql/src/error.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

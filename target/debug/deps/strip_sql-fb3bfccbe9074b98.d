@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/strip_sql-fb3bfccbe9074b98.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/strip_sql-fb3bfccbe9074b98: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/cache.rs:
+crates/sql/src/error.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:

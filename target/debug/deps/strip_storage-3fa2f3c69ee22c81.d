@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/strip_storage-3fa2f3c69ee22c81.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_storage-3fa2f3c69ee22c81.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/index.rs:
+crates/storage/src/meter.rs:
+crates/storage/src/rbtree.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/temp.rs:
+crates/storage/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

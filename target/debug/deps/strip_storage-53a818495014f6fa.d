@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/strip_storage-53a818495014f6fa.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/strip_storage-53a818495014f6fa: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/index.rs:
+crates/storage/src/meter.rs:
+crates/storage/src/rbtree.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/temp.rs:
+crates/storage/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_ops-be3ccf7fc2954e69.d: crates/bench/benches/table1_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_ops-be3ccf7fc2954e69.rmeta: crates/bench/benches/table1_ops.rs Cargo.toml
+
+crates/bench/benches/table1_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timer_flow-439470946d945b78.d: crates/core/tests/timer_flow.rs
+
+/root/repo/target/debug/deps/timer_flow-439470946d945b78: crates/core/tests/timer_flow.rs
+
+crates/core/tests/timer_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timer_flow-a16e6736cee0ff82.d: crates/core/tests/timer_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimer_flow-a16e6736cee0ff82.rmeta: crates/core/tests/timer_flow.rs Cargo.toml
+
+crates/core/tests/timer_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

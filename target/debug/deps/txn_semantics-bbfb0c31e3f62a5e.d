@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txn_semantics-bbfb0c31e3f62a5e.d: crates/core/tests/txn_semantics.rs
+
+/root/repo/target/debug/deps/txn_semantics-bbfb0c31e3f62a5e: crates/core/tests/txn_semantics.rs
+
+crates/core/tests/txn_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txn_semantics-f3c68be5167c4f7d.d: crates/core/tests/txn_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxn_semantics-f3c68be5167c4f7d.rmeta: crates/core/tests/txn_semantics.rs Cargo.toml
+
+crates/core/tests/txn_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

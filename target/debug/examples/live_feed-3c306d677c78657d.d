@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_feed-3c306d677c78657d.d: examples/live_feed.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_feed-3c306d677c78657d.rmeta: examples/live_feed.rs Cargo.toml
+
+examples/live_feed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_feed-8d2ba44a0193ac7b.d: examples/live_feed.rs
+
+/root/repo/target/debug/examples/live_feed-8d2ba44a0193ac7b: examples/live_feed.rs
+
+examples/live_feed.rs:

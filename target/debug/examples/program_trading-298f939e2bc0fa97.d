@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_trading-298f939e2bc0fa97.d: examples/program_trading.rs
+
+/root/repo/target/debug/examples/program_trading-298f939e2bc0fa97: examples/program_trading.rs
+
+examples/program_trading.rs:

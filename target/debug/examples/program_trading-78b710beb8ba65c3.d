@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/program_trading-78b710beb8ba65c3.d: examples/program_trading.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogram_trading-78b710beb8ba65c3.rmeta: examples/program_trading.rs Cargo.toml
+
+examples/program_trading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

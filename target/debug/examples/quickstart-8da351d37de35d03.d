@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8da351d37de35d03.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8da351d37de35d03: examples/quickstart.rs
+
+examples/quickstart.rs:

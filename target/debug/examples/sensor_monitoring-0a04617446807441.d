@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_monitoring-0a04617446807441.d: examples/sensor_monitoring.rs
+
+/root/repo/target/debug/examples/sensor_monitoring-0a04617446807441: examples/sensor_monitoring.rs
+
+examples/sensor_monitoring.rs:

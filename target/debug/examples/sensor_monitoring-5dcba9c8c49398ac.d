@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_monitoring-5dcba9c8c49398ac.d: examples/sensor_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_monitoring-5dcba9c8c49398ac.rmeta: examples/sensor_monitoring.rs Cargo.toml
+
+examples/sensor_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

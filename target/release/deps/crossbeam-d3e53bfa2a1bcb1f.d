@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-d3e53bfa2a1bcb1f.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d3e53bfa2a1bcb1f.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d3e53bfa2a1bcb1f.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

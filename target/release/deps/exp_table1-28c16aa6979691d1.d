@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-28c16aa6979691d1.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-28c16aa6979691d1: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-d12f07861e258cf9.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d12f07861e258cf9.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d12f07861e258cf9.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

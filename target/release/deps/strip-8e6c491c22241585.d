@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/strip-8e6c491c22241585.d: src/lib.rs src/shell.rs
+
+/root/repo/target/release/deps/libstrip-8e6c491c22241585.rlib: src/lib.rs src/shell.rs
+
+/root/repo/target/release/deps/libstrip-8e6c491c22241585.rmeta: src/lib.rs src/shell.rs
+
+src/lib.rs:
+src/shell.rs:

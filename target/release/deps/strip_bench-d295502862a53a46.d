@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/strip_bench-d295502862a53a46.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstrip_bench-d295502862a53a46.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstrip_bench-d295502862a53a46.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/strip_core-d797d54cbbb036c3.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+/root/repo/target/release/deps/libstrip_core-d797d54cbbb036c3.rlib: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+/root/repo/target/release/deps/libstrip_core-d797d54cbbb036c3.rmeta: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/feed.rs crates/core/src/txn.rs
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/feed.rs:
+crates/core/src/txn.rs:

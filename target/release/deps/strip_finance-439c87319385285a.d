@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/strip_finance-439c87319385285a.d: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+/root/repo/target/release/deps/libstrip_finance-439c87319385285a.rlib: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+/root/repo/target/release/deps/libstrip_finance-439c87319385285a.rmeta: crates/finance/src/lib.rs crates/finance/src/black_scholes.rs crates/finance/src/pta.rs crates/finance/src/trace.rs
+
+crates/finance/src/lib.rs:
+crates/finance/src/black_scholes.rs:
+crates/finance/src/pta.rs:
+crates/finance/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/strip_rules-411db76e9ad44e07.d: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+/root/repo/target/release/deps/libstrip_rules-411db76e9ad44e07.rlib: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+/root/repo/target/release/deps/libstrip_rules-411db76e9ad44e07.rmeta: crates/rules/src/lib.rs crates/rules/src/def.rs crates/rules/src/engine.rs crates/rules/src/error.rs crates/rules/src/transition.rs crates/rules/src/unique.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/def.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/error.rs:
+crates/rules/src/transition.rs:
+crates/rules/src/unique.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strip_shell-de34f5eb1c45e645.d: src/bin/strip-shell.rs
+
+/root/repo/target/release/deps/strip_shell-de34f5eb1c45e645: src/bin/strip-shell.rs
+
+src/bin/strip-shell.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/strip_sql-c8c0fff49b3c2317.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/release/deps/libstrip_sql-c8c0fff49b3c2317.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/release/deps/libstrip_sql-c8c0fff49b3c2317.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/cache.rs crates/sql/src/error.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/cache.rs:
+crates/sql/src/error.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:

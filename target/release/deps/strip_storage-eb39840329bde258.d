@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/strip_storage-eb39840329bde258.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libstrip_storage-eb39840329bde258.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libstrip_storage-eb39840329bde258.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/meter.rs crates/storage/src/rbtree.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/temp.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/index.rs:
+crates/storage/src/meter.rs:
+crates/storage/src/rbtree.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/temp.rs:
+crates/storage/src/value.rs:

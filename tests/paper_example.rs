@@ -88,7 +88,11 @@ fn figure5a_non_unique_two_transactions_with_expected_matches() {
     db.execute(&format!("create rule r {RULE_BODY} f")).unwrap();
 
     run_t1_t2(&db);
-    assert_eq!(db.pending_tasks(), 2, "Figure 5(a): two queued transactions");
+    assert_eq!(
+        db.pending_tasks(),
+        2,
+        "Figure 5(a): two queued transactions"
+    );
     db.drain();
     assert_eq!(fired.load(Ordering::SeqCst), 2);
 
@@ -118,8 +122,10 @@ fn figure5b_unique_merges_into_one_five_row_table() {
     let observed: Observed = Arc::default();
     let fired = Arc::new(AtomicU64::new(0));
     register_observer(&db, "f", observed.clone(), fired.clone());
-    db.execute(&format!("create rule r {RULE_BODY} f unique after 1.0 seconds"))
-        .unwrap();
+    db.execute(&format!(
+        "create rule r {RULE_BODY} f unique after 1.0 seconds"
+    ))
+    .unwrap();
 
     run_t1_t2(&db);
     assert_eq!(db.pending_tasks(), 1, "Figure 5(b): one queued transaction");
@@ -153,7 +159,11 @@ fn figure5c_unique_on_comp_partitions_per_composite() {
     .unwrap();
 
     run_t1_t2(&db);
-    assert_eq!(db.pending_tasks(), 2, "Figure 5(c): one transaction per composite");
+    assert_eq!(
+        db.pending_tasks(),
+        2,
+        "Figure 5(c): one transaction per composite"
+    );
     db.drain();
     assert_eq!(fired.load(Ordering::SeqCst), 2);
 
@@ -202,7 +212,8 @@ fn all_three_regimes_converge_to_the_same_prices() {
             }
             Ok(())
         });
-        db.execute(&format!("create rule r {RULE_BODY} {rule_tail}")).unwrap();
+        db.execute(&format!("create rule r {RULE_BODY} {rule_tail}"))
+            .unwrap();
         run_t1_t2(&db);
         db.drain();
         assert!(db.take_errors().is_empty());

@@ -1,0 +1,831 @@
+//! Minimal offline property-testing shim with the `proptest` API surface
+//! this workspace uses: the `proptest!` / `prop_oneof!` / `prop_assert*!`
+//! macros, `Strategy` with `prop_map` / `prop_filter` / `prop_recursive`,
+//! `BoxedStrategy`, `any::<T>()`, numeric-range and regex-char-class
+//! string strategies, and `collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate: no shrinking (a failure reports the
+//! case number and seed instead of a minimal input), a fixed deterministic
+//! per-test seed (override case count with `PROPTEST_CASES`), and regex
+//! string strategies support only concatenations of `[class]{m,n}` atoms —
+//! which is exactly what the workspace's tests use.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return x % n;
+                }
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property is violated.
+        Fail(String),
+        /// The input was rejected (e.g. by a filter); not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive a property: run `PROPTEST_CASES` (default 64) seeded cases.
+    pub fn run_cases<F>(name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases: u64 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        let seed = fnv1a(name);
+        let mut rejects = 0u64;
+        let mut passed = 0u64;
+        let mut i = 0u64;
+        while passed < cases {
+            let case_seed = seed ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let mut rng = TestRng::new(case_seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > cases * 16 + 1024 {
+                        panic!(
+                            "{name}: too many rejected inputs ({rejects}) — \
+                             filter is too strict"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "{name}: property failed on case {i} \
+                         (rerun seed {case_seed:#x}): {reason}"
+                    );
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values (no shrinking in this shim).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+
+        /// Build a recursive strategy: at each of `depth` levels, choose
+        /// between the leaf strategy and one recursion step. `_size` and
+        /// `_branch` (expected total size / branch factor) are accepted for
+        /// API compatibility but depth alone bounds this shim's recursion.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            cur
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): rejected 1000 consecutive candidates",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between alternatives (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Values with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Finite floats with a mix of magnitudes (no NaN/inf: the tests
+        /// that use `any::<f64>()` feed arithmetic, and the real crate's
+        /// default also favors finite values).
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = rng.below(61) as i32 - 30;
+            mantissa * 2f64.powi(exp)
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! range_strategy_int {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $ty
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&str` regex-subset strategy: a concatenation of literal characters
+    /// and `[class]` atoms, each optionally repeated `{m,n}` / `{n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = if atom.min == atom.max {
+                    atom.min
+                } else {
+                    atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+                };
+                let total: u32 = atom
+                    .ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                for _ in 0..count {
+                    let mut pick = rng.below(total as u64) as u32;
+                    for &(lo, hi) in &atom.ranges {
+                        let span = hi as u32 - lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    struct PatternAtom {
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = if chars[i] == '[' {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        set.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        set.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // skip ']'
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![(c, c)]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repeat lower bound"),
+                        n.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(PatternAtom { ranges, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds accepted by the collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of values from `element`; sizes below the target are
+    /// possible when the element domain is too small to fill it.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running many seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        let __proptest_result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails the case (not a panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Union;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3..9i64).generate(&mut r);
+            assert!((3..9).contains(&x));
+            let y = (0..=4u8).generate(&mut r);
+            assert!(y <= 4);
+            let f = (-2.0..2.0f64).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let p = "[ -~]{0,60}".generate(&mut r);
+            assert!(p.len() <= 60);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn map_filter_union_compose() {
+        let mut r = rng();
+        let s = prop_oneof![
+            (0..10i64).prop_map(|v| v * 2),
+            (100..110i64).prop_filter("even only", |v| v % 2 == 0),
+        ];
+        let mut saw_small = false;
+        let mut saw_large = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            if v < 20 {
+                assert_eq!(v % 2, 0);
+                saw_small = true;
+            } else {
+                assert!(v % 2 == 0 && (100..110).contains(&v));
+                saw_large = true;
+            }
+        }
+        assert!(saw_small && saw_large);
+        let _: Union<i64> = prop_oneof![0..1i64];
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec((0..5i64, 0.0..1.0f64), 2..7).generate(&mut r);
+            assert!((2..7).contains(&v.len()));
+            let s = crate::collection::btree_set(0..1000i32, 0..10).generate(&mut r);
+            assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0..100i64)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_macro_runs(x in 0..50i64, y in 0..50i64) {
+            prop_assert!(x + y < 100);
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_ne!(x - 1, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases("shim::failing", |rng| {
+            let v = (0..10i64).generate(rng);
+            if v >= 0 {
+                return Err(TestCaseError::fail("always fails"));
+            }
+            Ok(())
+        });
+    }
+}
