@@ -1,0 +1,165 @@
+//! Chaos battery runner for CI and local soak testing.
+//!
+//! ```text
+//! chaos [--fixed N] [--random M] [--seed S] [--interleavings K]
+//! ```
+//!
+//! Runs seeds `1..=N` (the fixed battery), then `M` fresh seeds drawn from
+//! the OS clock, then `K` interleaving-equivalence orders. Any failure
+//! prints the seed, the faults that fired, the minimized plan, and a
+//! one-command repro, then exits non-zero.
+
+use std::process::ExitCode;
+use strip_chaos::{driver, FaultPlan, ScenarioConfig};
+
+struct Args {
+    fixed: u64,
+    random: u64,
+    seed: Option<u64>,
+    interleavings: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fixed: 50,
+        random: 0,
+        seed: None,
+        interleavings: 6,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--fixed" => args.fixed = grab("--fixed")?,
+            "--random" => args.random = grab("--random")?,
+            "--seed" => args.seed = Some(grab("--seed")?),
+            "--interleavings" => args.interleavings = grab("--interleavings")?,
+            "--help" | "-h" => {
+                println!("usage: chaos [--fixed N] [--random M] [--seed S] [--interleavings K]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_one(seed: u64) -> bool {
+    let cfg = ScenarioConfig::for_seed(seed);
+    let out = driver::run_scenario(&cfg);
+    if out.ok() {
+        let kinds: Vec<String> = out.plan.kinds().iter().map(|k| k.to_string()).collect();
+        println!(
+            "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} recomputes={}",
+            kinds.join(","),
+            out.fired.len(),
+            out.crashed,
+            out.recompute_runs,
+        );
+        return true;
+    }
+    let minimized = driver::minimize(&cfg, &out.plan);
+    eprintln!("seed {seed} FAILED");
+    for v in &out.violations {
+        eprintln!("  violation: {v}");
+    }
+    for f in &out.fired {
+        eprintln!("  fired: {f}");
+    }
+    eprintln!("  minimized plan:\n{}", indent(&minimized.describe()));
+    eprintln!("  repro: {}", driver::repro_command(seed));
+    false
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0u64;
+
+    if let Some(seed) = args.seed {
+        // Single-seed repro mode.
+        if !run_one(seed) {
+            failures += 1;
+        }
+        return summary(failures);
+    }
+
+    println!("== fixed battery: seeds 1..={} ==", args.fixed);
+    for seed in 1..=args.fixed {
+        if !run_one(seed) {
+            failures += 1;
+        }
+    }
+
+    if args.random > 0 {
+        // Fresh seeds from the clock: new coverage every CI run. The seed
+        // is always printed, so a failure is still a one-command repro.
+        let base = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xDEAD_BEEF);
+        println!(
+            "== random battery: {} seeds from base {base} ==",
+            args.random
+        );
+        for i in 0..args.random {
+            let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if !run_one(seed) {
+                failures += 1;
+            }
+        }
+    }
+
+    if args.interleavings > 0 {
+        println!(
+            "== interleaving equivalence: {} orders ==",
+            args.interleavings
+        );
+        let violations = driver::explore_interleavings(11, args.interleavings);
+        if violations.is_empty() {
+            println!("all {} orders converged", args.interleavings);
+        } else {
+            failures += 1;
+            for v in &violations {
+                eprintln!("  interleaving violation: {v}");
+            }
+        }
+    }
+
+    // Oracle teeth check: a run with no faults and no mutant must be clean
+    // (guards against the battery passing because the oracles went blind).
+    let clean = driver::run_with_plan(&ScenarioConfig::fault_free(1), &FaultPlan::none());
+    if !clean.ok() {
+        failures += 1;
+        eprintln!("fault-free baseline FAILED: {:?}", clean.violations);
+    }
+
+    summary(failures)
+}
+
+fn summary(failures: u64) -> ExitCode {
+    if failures == 0 {
+        println!("chaos: all scenarios clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos: {failures} scenario(s) failed");
+        ExitCode::FAILURE
+    }
+}

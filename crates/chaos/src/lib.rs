@@ -1,0 +1,43 @@
+//! # strip-chaos
+//!
+//! Deterministic fault-injection harness for the STRIP reproduction.
+//!
+//! A chaos run is fully determined by one `u64` seed:
+//!
+//! 1. [`plan::FaultPlan::generate`] derives 1–3 faults from the seed — where
+//!    (WAL append/commit, transaction commit, lock acquisition, scheduler
+//!    dispatch, feed submission) and what (crash, abort, timeout, delay,
+//!    drop).
+//! 2. [`driver::run_seed`] builds a Figure-4-style market database
+//!    (stocks → weighted composites maintained by a `unique on comp` rule),
+//!    runs a seeded feed workload under the plan, and drives to quiescence.
+//! 3. [`oracle`] checks invariants at every quiescent point, after every
+//!    injected crash, and after WAL recovery: committed-data durability,
+//!    derived price = weighted sum recomputed from scratch, at most one
+//!    pending unique transaction per partition, `execute_order`
+//!    monotonicity inside each firing, and no leaked locks.
+//!
+//! On failure the harness prints the seed, a 1-minimized fault plan
+//! ([`driver::minimize`]), and a one-command repro
+//! ([`driver::repro_command`]).
+//!
+//! ```
+//! use strip_chaos::driver;
+//!
+//! let out = driver::run_seed(7);
+//! assert!(out.ok(), "seed 7 violated: {:?}\nrepro: {}", out.violations, out.repro());
+//! ```
+//!
+//! Deliberate-bug self-tests ([`driver::Mutant`]) prove the oracles have
+//! teeth: skipping unique deduplication or dropping a WAL commit marker is
+//! detected, not silently absorbed.
+
+pub mod driver;
+pub mod oracle;
+pub mod plan;
+
+pub use driver::{
+    explore_interleavings, minimize, repro_command, run_scenario, run_seed, run_with_plan, Mutant,
+    Outcome, ScenarioConfig,
+};
+pub use plan::{FaultKind, FaultPlan, PlanInjector, PlannedFault};

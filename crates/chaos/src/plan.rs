@@ -1,0 +1,412 @@
+//! Fault plans: a small seeded DSL describing *which* fault fires *when*.
+//!
+//! A [`FaultPlan`] is a list of [`PlannedFault`]s, each naming an injection
+//! point, an optional detail filter, a 1-based hit ordinal, and the decision
+//! to return when that hit arrives. [`PlanInjector`] turns the plan into a
+//! [`FaultInjector`] the database consults; everything it does is a pure
+//! function of the plan, so a failing seed replays exactly.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
+
+/// The five fault families the harness can draw from (ISSUE: WAL crash,
+/// forced abort, lock-wait timeout, scheduler deadline miss, feed hiccup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Crash mid-WAL-write (`wal-append` or `wal-commit`).
+    WalCrash,
+    /// Forced abort at the transaction commit point.
+    CommitAbort,
+    /// Lock-wait timeout on acquisition.
+    LockTimeout,
+    /// Dispatch stall long enough to blow deadlines.
+    SchedDelay,
+    /// External submission dropped or delayed (market-feed hiccup).
+    FeedHiccup,
+}
+
+impl FaultKind {
+    /// All five families.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::WalCrash,
+        FaultKind::CommitAbort,
+        FaultKind::LockTimeout,
+        FaultKind::SchedDelay,
+        FaultKind::FeedHiccup,
+    ];
+
+    /// Stable name (used in fired logs and coverage accounting).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::WalCrash => "wal-crash",
+            FaultKind::CommitAbort => "commit-abort",
+            FaultKind::LockTimeout => "lock-timeout",
+            FaultKind::SchedDelay => "sched-delay",
+            FaultKind::FeedHiccup => "feed-hiccup",
+        }
+    }
+
+    /// The family a planned fault belongs to.
+    pub fn of(fault: &PlannedFault) -> FaultKind {
+        match (fault.point, fault.decision) {
+            (FaultPoint::WalAppend | FaultPoint::WalCommit, _) => FaultKind::WalCrash,
+            (FaultPoint::TxnCommit, _) => FaultKind::CommitAbort,
+            (FaultPoint::LockAcquire, _) => FaultKind::LockTimeout,
+            (FaultPoint::SchedDispatch, _) => FaultKind::SchedDelay,
+            (FaultPoint::FeedSubmit, _) => FaultKind::FeedHiccup,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One planned fault: at the `nth` armed hit of `point` whose detail
+/// contains `detail_substr`, return `decision`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFault {
+    /// Injection point to watch.
+    pub point: FaultPoint,
+    /// Substring filter over the point's detail string; empty matches all.
+    pub detail_substr: String,
+    /// 1-based ordinal among matching hits. A plan whose ordinal exceeds
+    /// the run's hit count simply never fires — still a valid plan.
+    pub nth: u64,
+    /// What the injector answers when the ordinal is reached.
+    pub decision: FaultDecision,
+}
+
+impl PlannedFault {
+    /// A fault with no detail filter.
+    pub fn at(point: FaultPoint, nth: u64, decision: FaultDecision) -> PlannedFault {
+        PlannedFault {
+            point,
+            detail_substr: String::new(),
+            nth,
+            decision,
+        }
+    }
+
+    fn describe(&self) -> String {
+        let filter = if self.detail_substr.is_empty() {
+            String::new()
+        } else {
+            format!(" ~\"{}\"", self.detail_substr)
+        };
+        format!(
+            "{}#{}{} -> {:?} [{}]",
+            self.point,
+            self.nth,
+            filter,
+            self.decision,
+            FaultKind::of(self)
+        )
+    }
+}
+
+/// A seeded fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// The planned faults, consulted in order on each hit.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults ever fire.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A single hand-built fault (directed scenarios).
+    pub fn single(fault: PlannedFault) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            faults: vec![fault],
+        }
+    }
+
+    /// Generate 1–3 faults from `seed`, drawing only from `allowed` kinds.
+    /// Same seed and kinds → same plan, always.
+    pub fn generate(seed: u64, allowed: &[FaultKind]) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5749_5052_u64); // "STRP"
+        let mut faults = Vec::new();
+        if allowed.is_empty() {
+            return FaultPlan { seed, faults };
+        }
+        let n = rng.gen_range(1..=3usize);
+        for _ in 0..n {
+            let kind = allowed[rng.gen_range(0..allowed.len())];
+            faults.push(match kind {
+                FaultKind::WalCrash => {
+                    let point = if rng.gen_bool(0.5) {
+                        FaultPoint::WalAppend
+                    } else {
+                        FaultPoint::WalCommit
+                    };
+                    PlannedFault::at(point, rng.gen_range(1..=80u64), FaultDecision::Crash)
+                }
+                FaultKind::CommitAbort => PlannedFault::at(
+                    FaultPoint::TxnCommit,
+                    rng.gen_range(1..=60u64),
+                    FaultDecision::Abort,
+                ),
+                FaultKind::LockTimeout => PlannedFault::at(
+                    FaultPoint::LockAcquire,
+                    rng.gen_range(1..=150u64),
+                    FaultDecision::Timeout,
+                ),
+                FaultKind::SchedDelay => PlannedFault::at(
+                    FaultPoint::SchedDispatch,
+                    rng.gen_range(1..=60u64),
+                    FaultDecision::DelayUs(rng.gen_range(10_000..=600_000u64)),
+                ),
+                FaultKind::FeedHiccup => {
+                    let decision = if rng.gen_bool(0.5) {
+                        FaultDecision::Drop
+                    } else {
+                        FaultDecision::DelayUs(rng.gen_range(50_000..=1_500_000u64))
+                    };
+                    PlannedFault::at(FaultPoint::FeedSubmit, rng.gen_range(1..=40u64), decision)
+                }
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// The plan with fault `idx` removed (minimization step).
+    pub fn without(&self, idx: usize) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults.remove(idx);
+        FaultPlan {
+            seed: self.seed,
+            faults,
+        }
+    }
+
+    /// The fault kinds present in this plan (not necessarily fired).
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        let mut ks: Vec<FaultKind> = self.faults.iter().map(FaultKind::of).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    }
+
+    /// Human-readable one-line-per-fault description, for repro output.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return format!("seed {}: no faults", self.seed);
+        }
+        let lines: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| format!("  {}", f.describe()))
+            .collect();
+        format!("seed {}:\n{}", self.seed, lines.join("\n"))
+    }
+}
+
+struct FaultState {
+    fault: PlannedFault,
+    matches: u64,
+    fired: bool,
+}
+
+struct InjectorState {
+    armed: bool,
+    faults: Vec<FaultState>,
+    hits: BTreeMap<&'static str, u64>,
+    fired_log: Vec<String>,
+}
+
+/// Executes a [`FaultPlan`]: counts armed hits per planned fault and fires
+/// each exactly once at its ordinal. Starts **disarmed** so scenario setup
+/// (schema + seed data) runs fault-free; the driver arms it before the
+/// workload.
+pub struct PlanInjector {
+    state: Mutex<InjectorState>,
+}
+
+impl PlanInjector {
+    /// Build a (disarmed) injector for `plan`.
+    pub fn new(plan: &FaultPlan) -> Arc<PlanInjector> {
+        Arc::new(PlanInjector {
+            state: Mutex::new(InjectorState {
+                armed: false,
+                faults: plan
+                    .faults
+                    .iter()
+                    .map(|f| FaultState {
+                        fault: f.clone(),
+                        matches: 0,
+                        fired: false,
+                    })
+                    .collect(),
+                hits: BTreeMap::new(),
+                fired_log: Vec::new(),
+            }),
+        })
+    }
+
+    /// Start matching planned faults against hits.
+    pub fn arm(&self) {
+        self.state.lock().armed = true;
+    }
+
+    /// Stop firing (repair passes and post-run oracles run clean).
+    pub fn disarm(&self) {
+        self.state.lock().armed = false;
+    }
+
+    /// Log of faults that actually fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.state.lock().fired_log.clone()
+    }
+
+    /// The kinds that actually fired.
+    pub fn fired_kinds(&self) -> Vec<FaultKind> {
+        let st = self.state.lock();
+        let mut ks: Vec<FaultKind> = st
+            .faults
+            .iter()
+            .filter(|f| f.fired)
+            .map(|f| FaultKind::of(&f.fault))
+            .collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    }
+
+    /// Total hits per injection point (armed or not; diagnostics).
+    pub fn hit_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.state.lock().hits.clone()
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn decide(&self, point: FaultPoint, detail: &str) -> FaultDecision {
+        let mut st = self.state.lock();
+        *st.hits.entry(point.name()).or_insert(0) += 1;
+        if !st.armed {
+            return FaultDecision::Continue;
+        }
+        let mut fired_line = None;
+        let mut decision = FaultDecision::Continue;
+        for fs in &mut st.faults {
+            if fs.fault.point != point
+                || !(fs.fault.detail_substr.is_empty() || detail.contains(&fs.fault.detail_substr))
+            {
+                continue;
+            }
+            fs.matches += 1;
+            if !fs.fired && fs.matches == fs.fault.nth {
+                fs.fired = true;
+                fired_line = Some(format!(
+                    "{point}#{} ({detail}) -> {:?}",
+                    fs.fault.nth, fs.fault.decision
+                ));
+                decision = fs.fault.decision;
+                break;
+            }
+        }
+        if let Some(line) = fired_line {
+            st.fired_log.push(line);
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let a = FaultPlan::generate(42, &FaultKind::ALL);
+        let b = FaultPlan::generate(42, &FaultKind::ALL);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty() && a.faults.len() <= 3);
+        // Different seeds give different plans often enough that at least
+        // one of the next few differs.
+        assert!((43..50).any(|s| FaultPlan::generate(s, &FaultKind::ALL) != a));
+    }
+
+    #[test]
+    fn injector_fires_once_at_the_ordinal_when_armed() {
+        let plan = FaultPlan::single(PlannedFault::at(
+            FaultPoint::TxnCommit,
+            3,
+            FaultDecision::Abort,
+        ));
+        let inj = PlanInjector::new(&plan);
+        // Disarmed hits do not advance the match counter.
+        for _ in 0..5 {
+            assert_eq!(
+                inj.decide(FaultPoint::TxnCommit, "txn"),
+                FaultDecision::Continue
+            );
+        }
+        inj.arm();
+        assert_eq!(
+            inj.decide(FaultPoint::TxnCommit, "txn"),
+            FaultDecision::Continue
+        );
+        assert_eq!(
+            inj.decide(FaultPoint::TxnCommit, "txn"),
+            FaultDecision::Continue
+        );
+        assert_eq!(
+            inj.decide(FaultPoint::TxnCommit, "txn"),
+            FaultDecision::Abort
+        );
+        // Exactly once.
+        assert_eq!(
+            inj.decide(FaultPoint::TxnCommit, "txn"),
+            FaultDecision::Continue
+        );
+        assert_eq!(inj.fired().len(), 1);
+        assert_eq!(inj.fired_kinds(), vec![FaultKind::CommitAbort]);
+    }
+
+    #[test]
+    fn detail_filter_restricts_matches() {
+        let plan = FaultPlan::single(PlannedFault {
+            point: FaultPoint::FeedSubmit,
+            detail_substr: "feed:7".into(),
+            nth: 1,
+            decision: FaultDecision::Drop,
+        });
+        let inj = PlanInjector::new(&plan);
+        inj.arm();
+        assert_eq!(
+            inj.decide(FaultPoint::FeedSubmit, "feed:6:S1"),
+            FaultDecision::Continue
+        );
+        assert_eq!(
+            inj.decide(FaultPoint::FeedSubmit, "feed:7:S2"),
+            FaultDecision::Drop
+        );
+    }
+
+    #[test]
+    fn minimization_step_removes_one_fault() {
+        let plan = FaultPlan::generate(9, &FaultKind::ALL);
+        if plan.faults.len() > 1 {
+            let smaller = plan.without(0);
+            assert_eq!(smaller.faults.len(), plan.faults.len() - 1);
+            assert_eq!(smaller.seed, plan.seed);
+        }
+    }
+}

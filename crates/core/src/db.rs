@@ -21,7 +21,10 @@ use strip_sql::exec::ResultSet;
 use strip_sql::expr::ScalarFn;
 use strip_sql::{parse_script, parse_statement, PlanCache, Statement};
 use strip_storage::{Catalog, IndexKind, Meter, Schema, TempTable, Value, ViewDef};
-use strip_txn::{CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, WorkerPool};
+use strip_txn::fault::{decide, FaultDecision, FaultInjector, FaultPoint, InjectorHandle};
+use strip_txn::{
+    CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, Wal, WorkerPool,
+};
 
 /// Outcome of `Strip::execute`.
 #[derive(Debug)]
@@ -50,6 +53,20 @@ impl ExecOutcome {
             _ => None,
         }
     }
+}
+
+/// Outcome of [`Strip::recover_from_wal`].
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Committed transactions redone.
+    pub committed_txns: usize,
+    /// Row images inserted.
+    pub rows_applied: usize,
+    /// True if the WAL ended in a torn/corrupt record.
+    pub torn_tail: bool,
+    /// Transactions whose ops were readable but whose commit marker was
+    /// missing — in flight at the crash, discarded.
+    pub in_flight: Vec<u64>,
 }
 
 /// State of one periodic timer.
@@ -85,6 +102,14 @@ pub struct StripInner {
     pub(crate) scalar_fns: RwLock<HashMap<String, ScalarFn>>,
     pub(crate) exec: ExecutorHandle,
     pub(crate) errors: Mutex<Vec<String>>,
+    /// Redo-only write-ahead log; present only with `StripBuilder::durable`.
+    pub(crate) wal: Option<Mutex<Wal>>,
+    /// Chaos-testing fault injector consulted at the core injection points
+    /// (`TxnCommit`, `LockAcquire`, `FeedSubmit`); `None` in production.
+    pub(crate) injector: InjectorHandle,
+    /// Set when a simulated crash fires; the database refuses further
+    /// commits once dead.
+    pub(crate) crashed: std::sync::atomic::AtomicBool,
     txn_ids: AtomicU64,
 }
 
@@ -99,6 +124,8 @@ pub struct StripBuilder {
     model: CostModel,
     policy: Policy,
     pool_workers: Option<usize>,
+    durable: bool,
+    injector: InjectorHandle,
 }
 
 impl Default for StripBuilder {
@@ -107,6 +134,8 @@ impl Default for StripBuilder {
             model: CostModel::paper_calibrated(),
             policy: Policy::Fifo,
             pool_workers: None,
+            durable: false,
+            injector: None,
         }
     }
 }
@@ -118,7 +147,7 @@ impl StripBuilder {
         self
     }
 
-    /// Use a scheduling policy (FIFO / EDF / value-density).
+    /// Use a scheduling policy (FIFO / EDF / value-density / seeded).
     pub fn policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
         self
@@ -131,30 +160,54 @@ impl StripBuilder {
         self
     }
 
+    /// Keep a write-ahead log of committed changes so the database can be
+    /// rebuilt with [`Strip::recover_from_wal`] after a (simulated) crash.
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+
+    /// Install a fault injector. It is threaded through the WAL, the lock
+    /// manager, the simulator's dispatch loop, and the core commit and
+    /// feed-submission paths.
+    pub fn fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
         let exec = match self.pool_workers {
             Some(n) => ExecutorHandle::Pool(WorkerPool::new(n, self.model.clone(), self.policy)),
-            None => ExecutorHandle::Sim(Box::new(Mutex::new(Simulator::new(
-                self.model.clone(),
-                self.policy,
-            )))),
+            None => {
+                let mut sim = Simulator::new(self.model.clone(), self.policy);
+                sim.set_injector(self.injector.clone());
+                ExecutorHandle::Sim(Box::new(Mutex::new(sim)))
+            }
         };
         let model = self.model;
         let plan_cache = Arc::new(PlanCache::new());
+        let locks = LockManager::new();
+        locks.set_injector(self.injector.clone());
+        let wal = self
+            .durable
+            .then(|| Mutex::new(Wal::with_injector(self.injector.clone())));
         Strip {
             inner: Arc::new(StripInner {
                 catalog: Catalog::new(),
                 model,
                 views: RwLock::new(HashMap::new()),
                 timers: Mutex::new(HashMap::new()),
-                locks: LockManager::new(),
+                locks,
                 engine: RuleEngine::with_plan_cache(plan_cache.clone()),
                 plan_cache,
                 user_fns: RwLock::new(HashMap::new()),
                 scalar_fns: RwLock::new(HashMap::new()),
                 exec,
                 errors: Mutex::new(Vec::new()),
+                wal,
+                injector: self.injector,
+                crashed: std::sync::atomic::AtomicBool::new(false),
                 txn_ids: AtomicU64::new(1),
             }),
         }
@@ -422,12 +475,13 @@ impl Strip {
     /// Like [`Strip::txn`] with a task-kind label for statistics.
     pub fn txn_named<R>(&self, kind: &str, f: impl FnOnce(&mut Txn<'_>) -> Result<R>) -> Result<R> {
         let inner = self.inner.clone();
+        let kind_owned = kind.to_string();
         match &self.inner.exec {
             ExecutorHandle::Sim(s) => {
                 let mut sim = s.lock();
                 sim.run_inline(kind, move |ctx| {
                     ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                    let r = run_txn(&inner, ctx, HashMap::new(), f);
+                    let r = run_txn(&inner, ctx, &kind_owned, HashMap::new(), f);
                     ctx.meter.charge(strip_storage::Op::EndTask, 1);
                     r
                 })
@@ -443,7 +497,7 @@ impl Strip {
                     spawned: Vec::new(),
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                let r = run_txn(&inner, &mut ctx, HashMap::new(), f);
+                let r = run_txn(&inner, &mut ctx, kind, HashMap::new(), f);
                 ctx.meter.charge(strip_storage::Op::EndTask, 1);
                 for t in ctx.spawned {
                     p.submit(t);
@@ -476,6 +530,14 @@ impl Strip {
         value: f64,
         f: impl for<'a> FnOnce(&mut Txn<'a>) -> Result<()> + Send + 'static,
     ) {
+        // Feed-hiccup injection: externally submitted work can be dropped
+        // on the floor or arrive late, like a real market feed.
+        let mut release_us = release_us;
+        match decide(&self.inner.injector, FaultPoint::FeedSubmit, kind) {
+            FaultDecision::Drop => return,
+            FaultDecision::DelayUs(d) => release_us += d,
+            _ => {}
+        }
         let weak = Arc::downgrade(&self.inner);
         let kind_owned = kind.to_string();
         let mut task = Task::at(
@@ -486,7 +548,7 @@ impl Strip {
                     return;
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                if let Err(e) = run_txn(&inner, ctx, HashMap::new(), f) {
+                if let Err(e) = run_txn(&inner, ctx, &kind_owned, HashMap::new(), f) {
                     inner
                         .errors
                         .lock()
@@ -574,7 +636,64 @@ impl Strip {
                 self.inner.locks.blocked_count()
             ));
         }
+        if self.inner.locks.held_count() > 0 {
+            problems.push(format!(
+                "{} lock(s) still held with no transaction running",
+                self.inner.locks.held_count()
+            ));
+        }
         problems
+    }
+
+    // ---- durability & crash recovery -------------------------------------------
+
+    /// True once a simulated crash has fired; a dead database refuses
+    /// further commits.
+    pub fn has_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the write-ahead log bytes (`None` unless built with
+    /// [`StripBuilder::durable`]). After a crash these bytes are everything
+    /// that survives.
+    pub fn wal_bytes(&self) -> Option<Vec<u8>> {
+        self.inner.wal.as_ref().map(|w| w.lock().bytes().to_vec())
+    }
+
+    /// Byte offset just past the last commit marker in the WAL. Torn-tail
+    /// corruption may only be applied beyond this point: bytes before it
+    /// were acknowledged durable.
+    pub fn wal_committed_prefix(&self) -> Option<usize> {
+        self.inner.wal.as_ref().map(|w| w.lock().last_commit_end())
+    }
+
+    /// Total lock holdings right now; zero whenever no transaction is
+    /// running (the "no lock leaked" oracle).
+    pub fn locks_held(&self) -> usize {
+        self.inner.locks.held_count()
+    }
+
+    /// Replay a WAL into this (freshly built, schema-only) database:
+    /// committed transactions are redone table by table, bypassing rules
+    /// and locking — recovery is offline. Partial transactions at the torn
+    /// tail are discarded.
+    pub fn recover_from_wal(&self, bytes: &[u8]) -> Result<RecoveryReport> {
+        let rec = Wal::recover(bytes);
+        let mut rows_applied = 0;
+        for (table, images) in rec.tables() {
+            let t = self.inner.catalog.table(&table)?;
+            let mut t = t.write();
+            for (_row, values) in images {
+                t.insert(values)?;
+                rows_applied += 1;
+            }
+        }
+        Ok(RecoveryReport {
+            committed_txns: rec.txns.len(),
+            rows_applied,
+            torn_tail: rec.torn_tail,
+            in_flight: rec.in_flight,
+        })
     }
 
     // ---- introspection ---------------------------------------------------------
@@ -607,6 +726,18 @@ impl Strip {
         self.inner.engine.unique().pending_count(func)
     }
 
+    /// The `unique on` partition keys with a pending (not yet started)
+    /// transaction for `func`, sorted. Never contains duplicates — the
+    /// "at most one pending transaction per partition" invariant.
+    pub fn pending_unique_partitions(&self, func: &str) -> Vec<Vec<Value>> {
+        self.inner.engine.unique().pending_partitions(func)
+    }
+
+    /// Names of all user functions registered as unique (diagnostics).
+    pub fn unique_functions(&self) -> Vec<String> {
+        self.inner.engine.unique().registered_functions()
+    }
+
     /// Build an action task directly from a payload (used by tests of the
     /// task machinery; normal flow goes through rules).
     #[doc(hidden)]
@@ -635,7 +766,9 @@ impl Strip {
         match &self.inner.exec {
             ExecutorHandle::Sim(s) => {
                 let mut sim = s.lock();
-                sim.run_inline("overlay-txn", move |ctx| run_txn(&inner, ctx, overlay, f))
+                sim.run_inline("overlay-txn", move |ctx| {
+                    run_txn(&inner, ctx, "overlay-txn", overlay, f)
+                })
             }
             ExecutorHandle::Pool(_) => Err(Error::Other(
                 "overlay transactions are only available in sim mode".into(),

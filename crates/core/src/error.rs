@@ -16,6 +16,10 @@ pub enum Error {
     /// The transaction was aborted (deadlock victim or explicit rollback);
     /// all its changes were undone.
     Aborted(String),
+    /// A simulated crash fired while writing the WAL: the database is dead
+    /// and must be rebuilt via [`crate::Strip::recover_from_wal`]. The
+    /// in-flight transaction was not made durable.
+    Crashed,
     /// A named user function is not registered.
     NoSuchFunction(String),
     /// Anything else.
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             Error::Rule(e) => write!(f, "{e}"),
             Error::Lock(e) => write!(f, "{e}"),
             Error::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::Crashed => f.write_str("simulated crash: database halted mid-WAL-write"),
             Error::NoSuchFunction(n) => write!(f, "no user function `{n}` registered"),
             Error::Other(m) => write!(f, "{m}"),
         }

@@ -13,6 +13,7 @@ use crate::db::StripInner;
 use crate::error::{Error, Result};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use strip_rules::SpawnAction;
 use strip_sql::exec::{Env, Rel, ResultSet};
@@ -21,6 +22,7 @@ use strip_sql::plan::{self, PhysicalPlan, RelMeta};
 use strip_sql::{parse_statement, Statement};
 use strip_storage::{Meter, Op, RowId, TempTable, Value};
 use strip_txn::cost::CostMeter;
+use strip_txn::fault::{decide, FaultDecision, FaultPoint};
 use strip_txn::{LockMode, LogEntry, Task, TaskCtx, TxnId, TxnLog};
 
 /// A user-provided action function, run by a rule's action transaction.
@@ -32,6 +34,9 @@ pub struct Txn<'a> {
     meter: &'a CostMeter,
     start_us: u64,
     id: TxnId,
+    /// Task-kind label (`txn`, `feed:…`, `recompute:f`…); fault plans use
+    /// it to target specific traffic.
+    kind: String,
     log: RefCell<TxnLog>,
     overlay: HashMap<String, Arc<TempTable>>,
     locks: RefCell<HashSet<(String, LockMode)>>,
@@ -44,6 +49,7 @@ impl<'a> Txn<'a> {
         meter: &'a CostMeter,
         start_us: u64,
         id: TxnId,
+        kind: String,
         overlay: HashMap<String, Arc<TempTable>>,
     ) -> Txn<'a> {
         Txn {
@@ -51,11 +57,17 @@ impl<'a> Txn<'a> {
             meter,
             start_us,
             id,
+            kind,
             log: RefCell::new(TxnLog::new()),
             overlay,
             locks: RefCell::new(HashSet::new()),
             finished: false,
         }
+    }
+
+    /// Ask the installed fault injector (if any) what happens at `point`.
+    pub(crate) fn fault_decision(&self, point: FaultPoint, detail: &str) -> FaultDecision {
+        decide(&self.inner.injector, point, detail)
     }
 
     /// The transaction id.
@@ -223,6 +235,15 @@ impl<'a> Txn<'a> {
         {
             return Ok(());
         }
+        // Injected lock-wait timeout. The lock manager consults the injector
+        // too, but only on the would-block path — which a single-threaded
+        // simulation never reaches — so the fresh-acquire path asks here.
+        if self.fault_decision(FaultPoint::LockAcquire, &key.0) == FaultDecision::Timeout {
+            return Err(Error::Aborted(format!(
+                "lock wait timeout (injected) on `{}`",
+                key.0
+            )));
+        }
         self.inner
             .locks
             .lock(self.id, &key.0, mode)
@@ -232,9 +253,26 @@ impl<'a> Txn<'a> {
         Ok(())
     }
 
-    /// Commit: run rule processing over the log, release locks, and return
-    /// the action tasks to enqueue.
+    /// Commit: run rule processing over the log, make the changes durable,
+    /// release locks, and return the action tasks to enqueue.
     pub(crate) fn commit(mut self) -> Result<Vec<Task>> {
+        // A crashed database accepts no further commits.
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            self.undo();
+            self.release_locks();
+            self.finished = true;
+            return Err(Error::Crashed);
+        }
+        // Injected forced abort at the commit point.
+        if self.fault_decision(FaultPoint::TxnCommit, &self.kind) == FaultDecision::Abort {
+            self.undo();
+            self.release_locks();
+            self.finished = true;
+            return Err(Error::Aborted(format!(
+                "injected abort at commit of `{}`",
+                self.kind
+            )));
+        }
         self.meter.charge(Op::CommitTxn, 1);
         let commit_us = self.now_us();
         let mut tasks = Vec::new();
@@ -252,6 +290,25 @@ impl<'a> Txn<'a> {
             self.release_locks();
             self.finished = true;
             return Err(Error::Aborted(format!("rule processing failed: {e}")));
+        }
+        // Durability point: the commit record reaches the WAL before locks
+        // drop. An injected crash here kills the database; the in-memory
+        // state is rolled back so the live tables match exactly what
+        // recovery will rebuild from the log.
+        let wal_result = match &self.inner.wal {
+            Some(wal) => {
+                let log = self.log.borrow();
+                wal.lock().append_committed(self.id.0, log.entries())
+            }
+            None => Ok(()),
+        };
+        if wal_result.is_err() {
+            drop(tasks);
+            self.inner.crashed.store(true, Ordering::SeqCst);
+            self.undo();
+            self.release_locks();
+            self.finished = true;
+            return Err(Error::Crashed);
         }
         self.release_locks();
         self.finished = true;
@@ -448,12 +505,20 @@ fn dml_count(rs: &ResultSet) -> usize {
 pub(crate) fn run_txn<R>(
     inner: &Arc<StripInner>,
     ctx: &mut TaskCtx<'_>,
+    kind: &str,
     overlay: HashMap<String, Arc<TempTable>>,
     f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
 ) -> Result<R> {
     ctx.meter.charge(Op::BeginTxn, 1);
     let id = inner.next_txn_id();
-    let mut txn = Txn::new(inner, ctx.meter, ctx.start_us, id, overlay);
+    let mut txn = Txn::new(
+        inner,
+        ctx.meter,
+        ctx.start_us,
+        id,
+        kind.to_string(),
+        overlay,
+    );
     match f(&mut txn) {
         Ok(r) => {
             let tasks = txn.commit()?;
@@ -476,6 +541,7 @@ pub(crate) fn run_txn<R>(
 pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
     let weak = Arc::downgrade(inner);
     let kind = format!("recompute:{}", sa.func);
+    let task_kind = kind.clone();
     let rule = sa.rule;
     let func_name = sa.func;
     let payload = sa.payload;
@@ -492,7 +558,7 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
             let func = inner.user_fns.read().get(&func_name).cloned();
             let outcome = match func {
                 None => Err(Error::NoSuchFunction(func_name.clone())),
-                Some(f) => run_txn(&inner, ctx, bound, |txn| f(txn)),
+                Some(f) => run_txn(&inner, ctx, &task_kind, bound, |txn| f(txn)),
             };
             if let Err(e) = outcome {
                 inner
@@ -511,6 +577,7 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
 pub(crate) fn timer_task(inner: &Arc<StripInner>, name: String, release_us: u64) -> Task {
     let weak = Arc::downgrade(inner);
     let kind = format!("timer:{name}");
+    let task_kind = kind.clone();
     Task::at(
         &kind,
         release_us,
@@ -544,7 +611,7 @@ pub(crate) fn timer_task(inner: &Arc<StripInner>, name: String, release_us: u64)
             let func = inner.user_fns.read().get(&func_name).cloned();
             let outcome = match func {
                 None => Err(Error::NoSuchFunction(func_name.clone())),
-                Some(f) => run_txn(&inner, ctx, HashMap::new(), |txn| f(txn)),
+                Some(f) => run_txn(&inner, ctx, &task_kind, HashMap::new(), |txn| f(txn)),
             };
             if let Err(e) = outcome {
                 inner

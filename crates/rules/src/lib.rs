@@ -22,5 +22,7 @@ pub mod unique;
 pub use def::{CompiledRule, RuleCatalog};
 pub use engine::{OverlayEnv, RuleEngine, SpawnAction};
 pub use error::{Result, RuleError};
-pub use transition::{build_transition_tables, transition_schema, TransitionTables};
+pub use transition::{
+    build_transition_tables, execute_order_column, transition_schema, TransitionTables,
+};
 pub use unique::{ActionPayload, Dispatch, PayloadState, UniqueManager};

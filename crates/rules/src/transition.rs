@@ -40,6 +40,25 @@ impl TransitionTables {
     pub fn is_empty(&self) -> bool {
         self.inserted.is_empty() && self.deleted.is_empty() && self.new.is_empty()
     }
+
+    /// True when every transition table lists its events in strictly
+    /// increasing `execute_order` — log-scan order, the invariant that lets
+    /// conditions join `new.execute_order = old.execute_order` and that the
+    /// chaos harness checks as an oracle.
+    pub fn orders_monotone(&self) -> bool {
+        [&self.inserted, &self.deleted, &self.old, &self.new]
+            .into_iter()
+            .all(|t| execute_order_column(t).is_some_and(|os| os.windows(2).all(|w| w[0] < w[1])))
+    }
+}
+
+/// The `execute_order` values of a transition (or bound) table in row
+/// order, or `None` if the table has no such column. Works on any
+/// `TempTable` that carries the system column — including action-overlay
+/// bound tables that appended further columns (e.g. `commit_time`) after it.
+pub fn execute_order_column(t: &TempTable) -> Option<Vec<i64>> {
+    let off = t.schema().index_of("execute_order")?;
+    (0..t.len()).map(|i| t.value(i, off).as_i64()).collect()
 }
 
 /// Schema of a transition table: the base schema plus `execute_order`.

@@ -142,6 +142,35 @@ impl UniqueManager {
             .unwrap_or(0)
     }
 
+    /// The unique keys of every pending (not yet started) transaction for
+    /// `func`, sorted for deterministic comparison. Invariant-checking
+    /// harnesses use this to assert "at most one pending transaction per
+    /// `unique on` partition": the returned list never contains duplicates,
+    /// and any payload listed here is still accepting merged firings.
+    pub fn pending_partitions(&self, func: &str) -> Vec<Vec<Value>> {
+        let mut keys: Vec<Vec<Value>> = self
+            .tables
+            .lock()
+            .get(&func.to_ascii_lowercase())
+            .map(|t| {
+                t.pending
+                    .values()
+                    .filter(|p| !p.state.lock().fixed)
+                    .map(|p| p.unique_key.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        keys
+    }
+
+    /// Names of all user functions with a unique hash table (diagnostics).
+    pub fn registered_functions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Dispatch a non-unique firing: always a fresh payload, never registered.
     pub fn dispatch_non_unique(
         &self,

@@ -149,6 +149,67 @@ impl Value {
             (v, _) => v,
         }
     }
+
+    /// Append a self-describing binary encoding of this value (one tag byte
+    /// followed by a fixed- or length-prefixed payload). This is the
+    /// serialization used by the write-ahead log.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Value::Null => buf.push(0),
+            Value::Int(i) => {
+                buf.push(1);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                buf.push(2);
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(3);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                buf.push(4);
+                buf.push(*b as u8);
+            }
+            Value::Timestamp(t) => {
+                buf.push(5);
+                buf.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode one value from `buf` starting at `*pos`, advancing `*pos` past
+    /// it. Returns `None` on truncation or an unknown tag (a torn record).
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Value> {
+        fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+            let s = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        }
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        match tag {
+            0 => Some(Value::Null),
+            1 => Some(Value::Int(i64::from_le_bytes(
+                take(buf, pos, 8)?.try_into().ok()?,
+            ))),
+            2 => Some(Value::Float(f64::from_bits(u64::from_le_bytes(
+                take(buf, pos, 8)?.try_into().ok()?,
+            )))),
+            3 => {
+                let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().ok()?) as usize;
+                let bytes = take(buf, pos, len)?;
+                Some(Value::Str(Arc::from(std::str::from_utf8(bytes).ok()?)))
+            }
+            4 => Some(Value::Bool(*take(buf, pos, 1)?.first()? != 0)),
+            5 => Some(Value::Timestamp(u64::from_le_bytes(
+                take(buf, pos, 8)?.try_into().ok()?,
+            ))),
+            _ => None,
+        }
+    }
 }
 
 impl PartialEq for Value {
@@ -326,6 +387,35 @@ mod tests {
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
         assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let values = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::str("IBM"),
+            Value::Bool(true),
+            Value::Timestamp(1_000_000),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            v.encode_into(&mut buf);
+        }
+        let mut pos = 0;
+        for v in &values {
+            assert_eq!(Value::decode_from(&buf, &mut pos).as_ref(), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+        // Truncation is detected, not panicked on.
+        let mut pos = 0;
+        assert!(Value::decode_from(&buf[..buf.len() - 1], &mut pos).is_some());
+        let mut short = buf.clone();
+        short.truncate(3); // mid-Int
+        let mut pos = 0;
+        assert_eq!(Value::decode_from(&short, &mut pos), Some(Value::Null));
+        assert!(Value::decode_from(&short, &mut pos).is_none());
     }
 
     #[test]

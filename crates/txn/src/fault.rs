@@ -1,0 +1,137 @@
+//! Named fault-injection points (chaos-testing hooks).
+//!
+//! Production code threads an optional [`FaultInjector`] through the WAL,
+//! the lock manager, the schedulers, and the core commit path. With no
+//! injector installed every hook is a no-op branch on a `None`; with one
+//! installed (the `strip-chaos` harness), each hook asks the injector what
+//! should happen at that point and honors the decision. Decisions a site
+//! cannot honor (e.g. `Drop` at a WAL point) are treated as [`Continue`],
+//! so a fault plan can never wedge the system in an undefined state.
+//!
+//! [`Continue`]: FaultDecision::Continue
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named point in the execution where a fault may be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Before one operation record is appended to the WAL.
+    WalAppend,
+    /// Before the WAL commit marker is appended — the durability ("fsync")
+    /// point. Crashing here loses the whole transaction on recovery.
+    WalCommit,
+    /// At the top of transaction commit, before rule processing.
+    TxnCommit,
+    /// On each lock acquisition by a transaction.
+    LockAcquire,
+    /// When the scheduler dispatches a ready task.
+    SchedDispatch,
+    /// When a feed task is submitted to the executor, or a change event is
+    /// forwarded to an export subscriber.
+    FeedSubmit,
+}
+
+impl FaultPoint {
+    /// Every defined point, for plan generators.
+    pub const ALL: [FaultPoint; 6] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalCommit,
+        FaultPoint::TxnCommit,
+        FaultPoint::LockAcquire,
+        FaultPoint::SchedDispatch,
+        FaultPoint::FeedSubmit,
+    ];
+
+    /// Stable name used in fault-plan descriptions and repro output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "wal-append",
+            FaultPoint::WalCommit => "wal-commit",
+            FaultPoint::TxnCommit => "txn-commit",
+            FaultPoint::LockAcquire => "lock-acquire",
+            FaultPoint::SchedDispatch => "sched-dispatch",
+            FaultPoint::FeedSubmit => "feed-submit",
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the injector tells the hit site to do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// No fault: proceed normally.
+    Continue,
+    /// Simulated process kill. The WAL stops accepting writes and the
+    /// in-flight transaction is undone in memory so the survivors can be
+    /// compared against recovery.
+    Crash,
+    /// Forced transaction abort (honored at `TxnCommit`).
+    Abort,
+    /// Lock-wait timeout (honored at `LockAcquire`).
+    Timeout,
+    /// Drop the work entirely (honored at `FeedSubmit`).
+    Drop,
+    /// Delay by this many virtual µs (honored at `SchedDispatch` and
+    /// `FeedSubmit`).
+    DelayUs(u64),
+}
+
+/// Decides what happens at each injection point.
+///
+/// `detail` names the resource being touched — a table name at WAL and lock
+/// points, the task kind at scheduler and feed points — so plans can target
+/// specific traffic and failure reports can say what was hit.
+pub trait FaultInjector: Send + Sync {
+    fn decide(&self, point: FaultPoint, detail: &str) -> FaultDecision;
+}
+
+/// Shared injector handle; `None` means no faults anywhere.
+pub type InjectorHandle = Option<Arc<dyn FaultInjector>>;
+
+/// Convenience: consult an optional injector.
+pub fn decide(inj: &InjectorHandle, point: FaultPoint, detail: &str) -> FaultDecision {
+    match inj {
+        Some(i) => i.decide(point, detail),
+        None => FaultDecision::Continue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysCrash;
+    impl FaultInjector for AlwaysCrash {
+        fn decide(&self, _p: FaultPoint, _d: &str) -> FaultDecision {
+            FaultDecision::Crash
+        }
+    }
+
+    #[test]
+    fn none_handle_always_continues() {
+        let h: InjectorHandle = None;
+        for p in FaultPoint::ALL {
+            assert_eq!(decide(&h, p, "x"), FaultDecision::Continue);
+        }
+    }
+
+    #[test]
+    fn installed_injector_is_consulted() {
+        let h: InjectorHandle = Some(Arc::new(AlwaysCrash));
+        assert_eq!(decide(&h, FaultPoint::WalCommit, "t"), FaultDecision::Crash);
+    }
+
+    #[test]
+    fn point_names_are_distinct() {
+        let mut names: Vec<&str> = FaultPoint::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FaultPoint::ALL.len());
+    }
+}

@@ -37,6 +37,9 @@ pub enum LockError {
     Deadlock,
     /// `try_lock` could not grant immediately.
     WouldBlock,
+    /// The wait exceeded its budget (real-time lock-wait timeout; in tests
+    /// the budget is decided by an injected fault). The requester aborts.
+    Timeout,
 }
 
 impl fmt::Display for LockError {
@@ -44,6 +47,7 @@ impl fmt::Display for LockError {
         match self {
             LockError::Deadlock => f.write_str("deadlock detected; transaction chosen as victim"),
             LockError::WouldBlock => f.write_str("lock unavailable"),
+            LockError::Timeout => f.write_str("lock wait timed out"),
         }
     }
 }
@@ -146,10 +150,19 @@ impl LmState {
 /// lm.release_all(TxnId(2));
 /// lm.try_lock(TxnId(3), "stocks", LockMode::Exclusive).unwrap();
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct LockManager {
     state: Mutex<LmState>,
     cv: Condvar,
+    injector: parking_lot::RwLock<crate::fault::InjectorHandle>,
+}
+
+impl fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockManager")
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LockManager {
@@ -158,8 +171,16 @@ impl LockManager {
         LockManager::default()
     }
 
+    /// Install a fault injector consulted at `LockAcquire` whenever a
+    /// request is about to wait: a `Timeout` decision fails the request
+    /// instead of queueing it.
+    pub fn set_injector(&self, injector: crate::fault::InjectorHandle) {
+        *self.injector.write() = injector;
+    }
+
     /// Acquire `mode` on `res` for `txn`, blocking until granted.
-    /// Returns `Err(Deadlock)` if waiting would close a waits-for cycle.
+    /// Returns `Err(Deadlock)` if waiting would close a waits-for cycle, or
+    /// `Err(Timeout)` if an injected lock-wait timeout fires.
     pub fn lock(&self, txn: TxnId, res: &str, mode: LockMode) -> Result<(), LockError> {
         let mut st = self.state.lock();
         loop {
@@ -181,9 +202,18 @@ impl LockManager {
                 }
                 return Ok(());
             }
-            // Must wait: check for deadlock first.
+            // Must wait: check for deadlock first, then give an injected
+            // timeout the chance to fail the wait before it starts.
             if st.would_deadlock(txn, res) {
                 return Err(LockError::Deadlock);
+            }
+            let injected = crate::fault::decide(
+                &self.injector.read(),
+                crate::fault::FaultPoint::LockAcquire,
+                res,
+            );
+            if injected == crate::fault::FaultDecision::Timeout {
+                return Err(LockError::Timeout);
             }
             {
                 let r = st.resources.get_mut(res).expect("created above");
@@ -277,6 +307,18 @@ impl LockManager {
     /// Number of transactions currently blocked.
     pub fn blocked_count(&self) -> usize {
         self.state.lock().waiting_on.len()
+    }
+
+    /// Total (transaction, resource) holdings across the whole manager.
+    /// Zero at any quiescent point — a nonzero value with no transaction
+    /// running means a commit/abort path leaked a lock.
+    pub fn held_count(&self) -> usize {
+        self.state
+            .lock()
+            .resources
+            .values()
+            .map(|r| r.holders.len())
+            .sum()
     }
 }
 

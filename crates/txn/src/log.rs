@@ -12,7 +12,9 @@
 //! versions with `Arc`s: no value copying, and the old version stays alive
 //! for transition/bound tables (§6.1).
 
-use strip_storage::{RecordRef, RowId};
+use crate::fault::{decide, FaultDecision, FaultPoint, InjectorHandle};
+use std::collections::{BTreeMap, HashMap};
+use strip_storage::{RecordRef, RowId, Value};
 
 /// One logged change.
 #[derive(Debug, Clone)]
@@ -134,6 +136,341 @@ impl TxnLog {
     /// True if nothing was logged.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+/// WAL append failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// An injected crash fired at this append: the record (and for a crash
+    /// at the commit point, the commit marker) was NOT written, and the log
+    /// stops accepting writes.
+    Crashed,
+    /// The log already crashed earlier; nothing further is durable.
+    Poisoned,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Crashed => f.write_str("simulated crash during WAL write"),
+            WalError::Poisoned => f.write_str("WAL is dead after a simulated crash"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+// Payload tags. Redo-only WAL: updates carry the full new row image, so
+// recovery never needs before-images.
+const REC_INSERT: u8 = 1;
+const REC_DELETE: u8 = 2;
+const REC_UPDATE: u8 = 3;
+const REC_COMMIT: u8 = 4;
+
+/// FNV-1a 32-bit, the per-record checksum. Any single-byte corruption or
+/// truncation of the tail record is detected and treated as a torn write.
+fn crc32_fnv(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in bytes {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// An append-only redo log. Each record is framed
+/// `[len: u32][crc: u32][payload]`; a transaction's operation records are
+/// followed by a commit marker, and recovery redoes **only** transactions
+/// whose marker survived — partial transactions at the tail are discarded,
+/// giving atomicity and durability across a crash.
+///
+/// The log lives in memory: "crash" means the chaos driver stops using the
+/// database object and rebuilds a fresh one from these bytes, which is
+/// exactly the durability contract a file-backed WAL would have after the
+/// kernel dropped un-fsynced pages.
+#[derive(Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+    /// Byte offset just past the most recent commit marker. Bytes after
+    /// this offset belong to transactions that were never acknowledged, so
+    /// torn-tail corruption may only be applied beyond it.
+    last_commit_end: usize,
+    injector: InjectorHandle,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("len", &self.buf.len())
+            .field("last_commit_end", &self.last_commit_end)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// New empty log with no fault injection.
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// New empty log consulting `injector` at `WalAppend` / `WalCommit`.
+    pub fn with_injector(injector: InjectorHandle) -> Wal {
+        Wal {
+            injector,
+            ..Wal::default()
+        }
+    }
+
+    /// The raw log bytes (what a file would contain).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Offset just past the last commit marker; see field docs.
+    pub fn last_commit_end(&self) -> usize {
+        self.last_commit_end
+    }
+
+    /// True once an injected crash has fired.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn frame(&mut self, payload: &[u8]) {
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&crc32_fnv(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    fn op_payload(
+        tag: u8,
+        txn_id: u64,
+        table: &str,
+        row: RowId,
+        values: Option<&[Value]>,
+    ) -> Vec<u8> {
+        let mut p = vec![tag];
+        p.extend_from_slice(&txn_id.to_le_bytes());
+        p.extend_from_slice(&(table.len() as u16).to_le_bytes());
+        p.extend_from_slice(table.as_bytes());
+        p.extend_from_slice(&row.as_u64().to_le_bytes());
+        if let Some(vals) = values {
+            p.extend_from_slice(&(vals.len() as u16).to_le_bytes());
+            for v in vals {
+                v.encode_into(&mut p);
+            }
+        }
+        p
+    }
+
+    /// Append a whole committed transaction: one record per logged change,
+    /// then the commit marker. On an injected crash the marker is never
+    /// written, so recovery will discard the transaction.
+    pub fn append_committed(&mut self, txn_id: u64, entries: &[LogEntry]) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        for e in entries {
+            if decide(&self.injector, FaultPoint::WalAppend, e.table()) == FaultDecision::Crash {
+                self.poisoned = true;
+                return Err(WalError::Crashed);
+            }
+            let payload = match e {
+                LogEntry::Insert {
+                    table, row, new, ..
+                } => Self::op_payload(REC_INSERT, txn_id, table, *row, Some(new.values())),
+                LogEntry::Delete { table, row, .. } => {
+                    Self::op_payload(REC_DELETE, txn_id, table, *row, None)
+                }
+                LogEntry::Update {
+                    table, row, new, ..
+                } => Self::op_payload(REC_UPDATE, txn_id, table, *row, Some(new.values())),
+            };
+            self.frame(&payload);
+        }
+        // The durability point: losing the marker loses the transaction.
+        let detail = format!("txn:{txn_id}");
+        if decide(&self.injector, FaultPoint::WalCommit, &detail) == FaultDecision::Crash {
+            self.poisoned = true;
+            return Err(WalError::Crashed);
+        }
+        let mut p = vec![REC_COMMIT];
+        p.extend_from_slice(&txn_id.to_le_bytes());
+        self.frame(&p);
+        self.last_commit_end = self.buf.len();
+        Ok(())
+    }
+
+    /// Parse log bytes back into committed transactions. Scanning stops at
+    /// the first torn record (short frame, checksum mismatch, or malformed
+    /// payload) — everything before it is trusted, everything after is the
+    /// crashed tail.
+    pub fn recover(bytes: &[u8]) -> RecoveredState {
+        let mut pending: HashMap<u64, WalTxn> = HashMap::new();
+        let mut committed: Vec<WalTxn> = Vec::new();
+        let mut pos = 0usize;
+        let mut torn = false;
+        while pos < bytes.len() {
+            let Some(rec) = next_record(bytes, &mut pos) else {
+                torn = true;
+                break;
+            };
+            let Some((tag, txn_id, rest)) = rec.split_first().and_then(|(tag, rest)| {
+                let id = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+                Some((*tag, id, &rest[8..]))
+            }) else {
+                torn = true;
+                break;
+            };
+            if tag == REC_COMMIT {
+                // Marker: promote the pending ops (possibly none — an
+                // empty transaction is still a valid commit).
+                let t = pending.remove(&txn_id).unwrap_or(WalTxn {
+                    txn_id,
+                    ops: Vec::new(),
+                });
+                committed.push(t);
+                continue;
+            }
+            let Some(op) = decode_op(tag, rest) else {
+                torn = true;
+                break;
+            };
+            pending
+                .entry(txn_id)
+                .or_insert(WalTxn {
+                    txn_id,
+                    ops: Vec::new(),
+                })
+                .ops
+                .push(op);
+        }
+        let in_flight: Vec<u64> = {
+            let mut v: Vec<u64> = pending.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        RecoveredState {
+            txns: committed,
+            torn_tail: torn,
+            in_flight,
+        }
+    }
+}
+
+/// Pull one framed record out of `bytes`, verifying length and checksum.
+fn next_record<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let hdr = bytes.get(*pos..*pos + 8)?;
+    let len = u32::from_le_bytes(hdr[..4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(hdr[4..8].try_into().ok()?);
+    let payload = bytes.get(*pos + 8..*pos + 8 + len)?;
+    if crc32_fnv(payload) != crc {
+        return None;
+    }
+    *pos += 8 + len;
+    Some(payload)
+}
+
+fn decode_op(tag: u8, rest: &[u8]) -> Option<WalOp> {
+    let tlen = u16::from_le_bytes(rest.get(..2)?.try_into().ok()?) as usize;
+    let table = std::str::from_utf8(rest.get(2..2 + tlen)?)
+        .ok()?
+        .to_string();
+    let mut pos = 2 + tlen;
+    let row = u64::from_le_bytes(rest.get(pos..pos + 8)?.try_into().ok()?);
+    pos += 8;
+    match tag {
+        REC_DELETE => Some(WalOp::Delete { table, row }),
+        REC_INSERT | REC_UPDATE => {
+            let n = u16::from_le_bytes(rest.get(pos..pos + 2)?.try_into().ok()?) as usize;
+            pos += 2;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(Value::decode_from(rest, &mut pos)?);
+            }
+            if tag == REC_INSERT {
+                Some(WalOp::Insert { table, row, values })
+            } else {
+                Some(WalOp::Update { table, row, values })
+            }
+        }
+        _ => None,
+    }
+}
+
+/// One redo operation recovered from the WAL. `row` is the packed
+/// [`RowId`] of the original slot, used only as a replay key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    Insert {
+        table: String,
+        row: u64,
+        values: Vec<Value>,
+    },
+    Update {
+        table: String,
+        row: u64,
+        values: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        row: u64,
+    },
+}
+
+/// One committed transaction recovered from the WAL, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalTxn {
+    pub txn_id: u64,
+    pub ops: Vec<WalOp>,
+}
+
+/// Output of [`Wal::recover`].
+#[derive(Debug, Clone)]
+pub struct RecoveredState {
+    /// Committed transactions in marker (= commit) order.
+    pub txns: Vec<WalTxn>,
+    /// True if scanning stopped at a torn/corrupt record.
+    pub torn_tail: bool,
+    /// Transactions with ops in the readable prefix but no commit marker —
+    /// in flight at the crash; their ops are discarded.
+    pub in_flight: Vec<u64>,
+}
+
+impl RecoveredState {
+    /// Replay all committed transactions into final per-table row images,
+    /// keyed by the original row id (deterministic iteration order).
+    pub fn tables(&self) -> BTreeMap<String, BTreeMap<u64, Vec<Value>>> {
+        let mut out: BTreeMap<String, BTreeMap<u64, Vec<Value>>> = BTreeMap::new();
+        for t in &self.txns {
+            for op in &t.ops {
+                match op {
+                    WalOp::Insert { table, row, values } | WalOp::Update { table, row, values } => {
+                        out.entry(table.clone())
+                            .or_default()
+                            .insert(*row, values.clone());
+                    }
+                    WalOp::Delete { table, row } => {
+                        out.entry(table.clone()).or_default().remove(row);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of committed transactions, in commit order.
+    pub fn committed_ids(&self) -> Vec<u64> {
+        self.txns.iter().map(|t| t.txn_id).collect()
     }
 }
 

@@ -188,6 +188,7 @@ fn worker_loop(inner: Arc<PoolInner>) {
         };
         let kind = task.kind.clone();
         let release_us = task.release_us;
+        let deadline_us = task.deadline_us;
         (task.work)(&mut ctx);
         let spawned = std::mem::take(&mut ctx.spawned);
         let charged = meter.charged_us();
@@ -195,6 +196,9 @@ fn worker_loop(inner: Arc<PoolInner>) {
         {
             let mut stats = inner.stats.lock();
             stats.tasks_run += 1;
+            if deadline_us.is_some_and(|dl| start_us >= dl) {
+                stats.deadline_misses += 1;
+            }
             stats.busy_us += charged;
             let ks = stats.by_kind.entry(kind.to_string()).or_default();
             ks.count += 1;

@@ -14,6 +14,7 @@
 //! actions) are submitted when the task completes.
 
 use crate::cost::{CostMeter, CostModel};
+use crate::fault::{decide, FaultDecision, FaultPoint, InjectorHandle};
 use crate::sched::{DelayQueue, Policy, ReadyQueue};
 use crate::task::{Task, TaskCtx};
 use std::collections::HashMap;
@@ -62,6 +63,9 @@ pub struct SimStats {
     pub plan_cache_hits: u64,
     /// Prepared-plan cache misses (including epoch-invalidation replans).
     pub plan_cache_misses: u64,
+    /// Tasks that started at or after their deadline (the scheduler still
+    /// runs them; real-time experiments count the misses).
+    pub deadline_misses: u64,
 }
 
 impl SimStats {
@@ -109,6 +113,7 @@ pub struct Simulator {
     ready: ReadyQueue,
     model: CostModel,
     stats: SimStats,
+    injector: InjectorHandle,
 }
 
 impl Simulator {
@@ -120,7 +125,15 @@ impl Simulator {
             ready: ReadyQueue::new(policy),
             model,
             stats: SimStats::default(),
+            injector: None,
         }
+    }
+
+    /// Install a fault injector consulted at `SchedDispatch` each time a
+    /// ready task is popped; a `DelayUs` decision stalls the virtual CPU
+    /// before the task runs (deadline-miss injection).
+    pub fn set_injector(&mut self, injector: InjectorHandle) {
+        self.injector = injector;
     }
 
     /// Current virtual time, µs.
@@ -179,6 +192,19 @@ impl Simulator {
         let Some(task) = self.ready.pop() else {
             return false;
         };
+        // Injected dispatch latency: the virtual CPU stalls before the task
+        // starts, which is how the chaos harness forces deadline misses.
+        if let FaultDecision::DelayUs(d) =
+            decide(&self.injector, FaultPoint::SchedDispatch, &task.kind)
+        {
+            self.clock_us += d;
+            self.release_due();
+        }
+        if let Some(dl) = task.deadline_us {
+            if self.clock_us >= dl {
+                self.stats.deadline_misses += 1;
+            }
+        }
         let meter = CostMeter::new(self.model.clone());
         let mut ctx = TaskCtx {
             start_us: self.clock_us,
@@ -386,6 +412,33 @@ mod tests {
         assert_eq!(f1.mean_us(), 20.0);
         assert_eq!(sim.stats().count_with_prefix("recompute:"), 3);
         assert_eq!(sim.stats().busy_us_with_prefix("recompute:"), 60);
+    }
+
+    #[test]
+    fn injected_dispatch_delay_counts_deadline_miss() {
+        use crate::fault::{FaultDecision, FaultInjector, FaultPoint};
+        struct Slow;
+        impl FaultInjector for Slow {
+            fn decide(&self, p: FaultPoint, _d: &str) -> FaultDecision {
+                if p == FaultPoint::SchedDispatch {
+                    FaultDecision::DelayUs(500)
+                } else {
+                    FaultDecision::Continue
+                }
+            }
+        }
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::EarliestDeadline);
+        sim.set_injector(Some(Arc::new(Slow)));
+        sim.submit(charging("u", 0, 1).with_deadline(100));
+        let end = sim.run_to_completion();
+        assert_eq!(end, 510); // 500 µs stall + 10 µs work
+        assert_eq!(sim.stats().deadline_misses, 1);
+
+        // Without the injector the same task makes its deadline.
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::EarliestDeadline);
+        sim.submit(charging("u", 0, 1).with_deadline(100));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().deadline_misses, 0);
     }
 
     #[test]

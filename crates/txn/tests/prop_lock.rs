@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
-use strip_txn::{DelayQueue, LockManager, LockMode, Policy, ReadyQueue, Task, TxnId};
+use std::sync::Arc;
+use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
+use strip_txn::{DelayQueue, LockError, LockManager, LockMode, Policy, ReadyQueue, Task, TxnId};
 
 #[derive(Debug, Clone)]
 enum LockOp {
@@ -89,7 +91,96 @@ proptest! {
     }
 }
 
+/// Injects a lock-wait timeout on every would-block acquisition — the same
+/// `LockAcquire` fault point the chaos harness drives.
+struct AlwaysTimeout;
+
+impl FaultInjector for AlwaysTimeout {
+    fn decide(&self, point: FaultPoint, _detail: &str) -> FaultDecision {
+        if point == FaultPoint::LockAcquire {
+            FaultDecision::Timeout
+        } else {
+            FaultDecision::Continue
+        }
+    }
+}
+
+// Law 1: abort (release_all) must drop *every* lock and queued wait of the
+// aborting transaction and nothing of anyone else's, regardless of the grant
+// history — the "no lock leaked after abort" oracle as a property.
+//
+// Law 2: with timeout injection at the `LockAcquire` fault point, no request
+// ever blocks, so no waits-for cycle can form; timed-out transactions abort
+// cleanly.
 proptest! {
+    #[test]
+    fn abort_releases_all_locks(
+        ops in proptest::collection::vec(lock_op(), 1..200),
+        perm in 0..24usize,
+    ) {
+        // Decode `perm` as a Lehmer index into the 24 orders of [0,1,2,3].
+        let mut pool: Vec<u8> = vec![0, 1, 2, 3];
+        let mut abort_order = Vec::new();
+        let (mut idx, mut base) = (perm, 24);
+        for k in (1..=4).rev() {
+            base /= k;
+            abort_order.push(pool.remove(idx / base));
+            idx %= base;
+        }
+        let lm = LockManager::new();
+        lm.set_injector(Some(Arc::new(AlwaysTimeout)));
+        let mut alive: HashSet<u8> = (0..4).collect();
+        for op in ops {
+            match op {
+                LockOp::TryLock(t, r, exclusive) => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    // Blocking path is safe single-threaded: the injector
+                    // turns every would-block wait into a Timeout error.
+                    let _ = lm.lock(TxnId(t as u64), &format!("r{r}"), mode);
+                }
+                LockOp::Release(t) => lm.release_all(TxnId(t as u64)),
+            }
+        }
+        for t in abort_order {
+            lm.release_all(TxnId(t as u64)); // abort
+            alive.remove(&t);
+            prop_assert!(lm.held_by(TxnId(t as u64)).is_empty(), "txn {} leaked a lock", t);
+            let survivors: usize = alive
+                .iter()
+                .map(|t| lm.held_by(TxnId(*t as u64)).len())
+                .sum();
+            prop_assert_eq!(lm.held_count(), survivors);
+        }
+        prop_assert_eq!(lm.held_count(), 0);
+        prop_assert_eq!(lm.blocked_count(), 0);
+    }
+
+    #[test]
+    fn no_deadlock_under_timeout(ops in proptest::collection::vec(lock_op(), 1..300)) {
+        let lm = LockManager::new();
+        lm.set_injector(Some(Arc::new(AlwaysTimeout)));
+        for op in ops {
+            match op {
+                LockOp::TryLock(t, r, exclusive) => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    match lm.lock(TxnId(t as u64), &format!("r{r}"), mode) {
+                        Ok(()) => {}
+                        Err(LockError::Timeout) => {
+                            // Real-time semantics: a timed-out transaction
+                            // aborts, releasing everything it held.
+                            lm.release_all(TxnId(t as u64));
+                            prop_assert!(lm.held_by(TxnId(t as u64)).is_empty());
+                        }
+                        Err(e) => prop_assert!(false, "unexpected lock error {:?}", e),
+                    }
+                }
+                LockOp::Release(t) => lm.release_all(TxnId(t as u64)),
+            }
+            // Nobody ever waits under timeout injection.
+            prop_assert_eq!(lm.blocked_count(), 0);
+        }
+    }
+
     #[test]
     fn delay_queue_releases_in_nondecreasing_time(
         releases in proptest::collection::vec(0..10_000u64, 1..100),

@@ -1,0 +1,191 @@
+//! Crash-recovery round trips for the write-ahead log in `log.rs`,
+//! independent of the chaos harness: clean shutdown, mid-commit crash, and
+//! torn/truncated final records.
+
+use std::sync::Arc;
+use strip_storage::{DataType, Schema, StandardTable, Value};
+use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
+use strip_txn::{TxnLog, Wal, WalError};
+
+fn stocks_table() -> StandardTable {
+    StandardTable::new(
+        "stocks",
+        Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]).into_ref(),
+    )
+}
+
+/// Run some transactions against a real table, mirroring each change into a
+/// `TxnLog` and appending each commit to the WAL. Returns the WAL and the
+/// final expected row images keyed by packed row id.
+fn committed_workload(wal: &mut Wal) -> Vec<(u64, Vec<Value>)> {
+    let mut t = stocks_table();
+
+    // Txn 1: insert two stocks.
+    let mut log = TxnLog::new();
+    let (ibm, rec) = t.insert(vec![Value::str("IBM"), 100.0.into()]).unwrap();
+    log.log_insert("stocks", ibm, rec);
+    let (hp, rec) = t.insert(vec![Value::str("HP"), 50.0.into()]).unwrap();
+    log.log_insert("stocks", hp, rec);
+    wal.append_committed(1, log.entries()).unwrap();
+
+    // Txn 2: update one, delete the other, insert a third.
+    let mut log = TxnLog::new();
+    let (old, new) = t
+        .update(ibm, vec![Value::str("IBM"), 105.5.into()])
+        .unwrap();
+    log.log_update("stocks", ibm, old, new);
+    let old = t.delete(hp).unwrap();
+    log.log_delete("stocks", hp, old);
+    let (sun, rec) = t.insert(vec![Value::str("SUN"), 20.25.into()]).unwrap();
+    log.log_insert("stocks", sun, rec);
+    wal.append_committed(2, log.entries()).unwrap();
+
+    vec![
+        (ibm.as_u64(), vec![Value::str("IBM"), 105.5.into()]),
+        (sun.as_u64(), vec![Value::str("SUN"), 20.25.into()]),
+    ]
+}
+
+#[test]
+fn clean_shutdown_round_trips_every_commit() {
+    let mut wal = Wal::new();
+    let expected = committed_workload(&mut wal);
+
+    let rec = Wal::recover(wal.bytes());
+    assert!(!rec.torn_tail);
+    assert!(rec.in_flight.is_empty());
+    assert_eq!(rec.committed_ids(), vec![1, 2]);
+
+    let tables = rec.tables();
+    let stocks = &tables["stocks"];
+    assert_eq!(stocks.len(), expected.len());
+    for (row, values) in expected {
+        assert_eq!(stocks[&row], values);
+    }
+}
+
+/// Crashes exactly at the nth hit of one fault point.
+struct CrashAt {
+    point: FaultPoint,
+    nth: std::sync::atomic::AtomicU64,
+}
+
+impl CrashAt {
+    fn new(point: FaultPoint, nth: u64) -> Arc<CrashAt> {
+        Arc::new(CrashAt {
+            point,
+            nth: std::sync::atomic::AtomicU64::new(nth),
+        })
+    }
+}
+
+impl FaultInjector for CrashAt {
+    fn decide(&self, point: FaultPoint, _detail: &str) -> FaultDecision {
+        if point == self.point && self.nth.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+            FaultDecision::Crash
+        } else {
+            FaultDecision::Continue
+        }
+    }
+}
+
+#[test]
+fn crash_before_commit_marker_loses_only_the_in_flight_txn() {
+    let mut wal = Wal::with_injector(Some(CrashAt::new(FaultPoint::WalCommit, 3)));
+    let expected = committed_workload(&mut wal); // commits 1 and 2 survive
+
+    // Txn 3 writes its op records but crashes at the fsync point.
+    let mut t = stocks_table();
+    let mut log = TxnLog::new();
+    let (id, rec) = t.insert(vec![Value::str("DEC"), 9.0.into()]).unwrap();
+    log.log_insert("stocks", id, rec);
+    assert_eq!(
+        wal.append_committed(3, log.entries()),
+        Err(WalError::Crashed)
+    );
+    assert!(wal.poisoned());
+    // A dead log accepts nothing further.
+    assert_eq!(wal.append_committed(4, &[]), Err(WalError::Poisoned));
+
+    let rec = Wal::recover(wal.bytes());
+    assert_eq!(rec.committed_ids(), vec![1, 2]);
+    assert_eq!(rec.in_flight, vec![3]); // ops present, marker missing
+    let tables = rec.tables();
+    assert_eq!(tables["stocks"].len(), expected.len());
+    assert!(tables["stocks"]
+        .values()
+        .all(|v| v[0].as_str() != Some("DEC")));
+}
+
+#[test]
+fn crash_mid_append_discards_partial_txn() {
+    // Crash on the 2nd op record of txn 1: no record of txn 1 is
+    // recoverable (its first op has no commit marker).
+    let mut wal = Wal::with_injector(Some(CrashAt::new(FaultPoint::WalAppend, 2)));
+    let mut t = stocks_table();
+    let mut log = TxnLog::new();
+    let (a, rec) = t.insert(vec![Value::str("A"), 1.0.into()]).unwrap();
+    log.log_insert("stocks", a, rec);
+    let (b, rec) = t.insert(vec![Value::str("B"), 2.0.into()]).unwrap();
+    log.log_insert("stocks", b, rec);
+    assert_eq!(
+        wal.append_committed(1, log.entries()),
+        Err(WalError::Crashed)
+    );
+
+    let rec = Wal::recover(wal.bytes());
+    assert!(rec.txns.is_empty());
+    assert_eq!(rec.in_flight, vec![1]);
+    assert!(rec.tables().get("stocks").is_none_or(|t| t.is_empty()));
+}
+
+#[test]
+fn torn_final_record_is_ignored_at_every_truncation_point() {
+    let mut wal = Wal::new();
+    let expected = committed_workload(&mut wal);
+    let committed_prefix = wal.last_commit_end();
+    assert_eq!(committed_prefix, wal.bytes().len());
+
+    // Append op records for an unacknowledged txn, then cut the tail at
+    // every possible byte boundary: recovery must always return exactly the
+    // two committed transactions, flagging a torn tail whenever the cut
+    // leaves a partial record.
+    let mut t = stocks_table();
+    let mut log = TxnLog::new();
+    let (id, rec) = t.insert(vec![Value::str("TORN"), 7.0.into()]).unwrap();
+    log.log_insert("stocks", id, rec);
+    wal.append_committed(3, log.entries()).unwrap();
+
+    let bytes = wal.bytes();
+    for cut in committed_prefix..bytes.len() {
+        let rec = Wal::recover(&bytes[..cut]);
+        let ids = rec.committed_ids();
+        assert!(
+            ids == vec![1, 2] || (cut == bytes.len() && ids == vec![1, 2, 3]),
+            "cut at {cut} produced commits {ids:?}"
+        );
+        let tables = rec.tables();
+        assert_eq!(tables["stocks"].len(), expected.len(), "cut at {cut}");
+        if cut > committed_prefix {
+            assert!(rec.torn_tail || rec.in_flight == vec![3], "cut at {cut}");
+        }
+    }
+
+    // Flipping any byte of the tail record corrupts its checksum: the
+    // committed prefix still recovers.
+    for flip in committed_prefix..bytes.len() {
+        let mut corrupt = bytes.to_vec();
+        corrupt[flip] ^= 0xff;
+        let rec = Wal::recover(&corrupt);
+        assert_eq!(rec.committed_ids(), vec![1, 2], "flip at {flip}");
+    }
+}
+
+#[test]
+fn empty_and_header_only_logs_recover_to_nothing() {
+    let rec = Wal::recover(&[]);
+    assert!(rec.txns.is_empty() && !rec.torn_tail);
+    // A few garbage bytes: torn, nothing recovered, no panic.
+    let rec = Wal::recover(&[0x13, 0x37, 0xff]);
+    assert!(rec.txns.is_empty() && rec.torn_tail);
+}

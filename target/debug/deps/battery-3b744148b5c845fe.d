@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/battery-3b744148b5c845fe.d: crates/chaos/tests/battery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbattery-3b744148b5c845fe.rmeta: crates/chaos/tests/battery.rs Cargo.toml
+
+crates/chaos/tests/battery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

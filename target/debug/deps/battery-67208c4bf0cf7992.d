@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/battery-67208c4bf0cf7992.d: crates/chaos/tests/battery.rs
+
+/root/repo/target/debug/deps/battery-67208c4bf0cf7992: crates/chaos/tests/battery.rs
+
+crates/chaos/tests/battery.rs:

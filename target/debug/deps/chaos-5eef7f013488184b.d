@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-5eef7f013488184b.d: crates/chaos/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-5eef7f013488184b.rmeta: crates/chaos/src/bin/chaos.rs Cargo.toml
+
+crates/chaos/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

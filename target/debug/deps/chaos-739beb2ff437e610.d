@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-739beb2ff437e610.d: crates/chaos/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-739beb2ff437e610: crates/chaos/src/bin/chaos.rs
+
+crates/chaos/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-bb4b3061690c04b3.d: crates/chaos/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-bb4b3061690c04b3: crates/chaos/src/bin/chaos.rs
+
+crates/chaos/src/bin/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-c53d299fcff88554.d: crates/chaos/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-c53d299fcff88554.rmeta: crates/chaos/src/bin/chaos.rs Cargo.toml
+
+crates/chaos/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

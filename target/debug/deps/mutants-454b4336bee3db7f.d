@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutants-454b4336bee3db7f.d: crates/chaos/tests/mutants.rs
+
+/root/repo/target/debug/deps/mutants-454b4336bee3db7f: crates/chaos/tests/mutants.rs
+
+crates/chaos/tests/mutants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutants-68a39abf4aadf9ec.d: crates/chaos/tests/mutants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutants-68a39abf4aadf9ec.rmeta: crates/chaos/tests/mutants.rs Cargo.toml
+
+crates/chaos/tests/mutants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stale_plan-24b5a78d27371505.d: crates/core/tests/stale_plan.rs
+
+/root/repo/target/debug/deps/stale_plan-24b5a78d27371505: crates/core/tests/stale_plan.rs
+
+crates/core/tests/stale_plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stale_plan-daf12609e67cc15f.d: crates/core/tests/stale_plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstale_plan-daf12609e67cc15f.rmeta: crates/core/tests/stale_plan.rs Cargo.toml
+
+crates/core/tests/stale_plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

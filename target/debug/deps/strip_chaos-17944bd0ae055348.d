@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/strip_chaos-17944bd0ae055348.d: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_chaos-17944bd0ae055348.rmeta: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/driver.rs:
+crates/chaos/src/oracle.rs:
+crates/chaos/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/strip_chaos-faf63a1786d923b1.d: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/libstrip_chaos-faf63a1786d923b1.rlib: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/libstrip_chaos-faf63a1786d923b1.rmeta: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/driver.rs:
+crates/chaos/src/oracle.rs:
+crates/chaos/src/plan.rs:

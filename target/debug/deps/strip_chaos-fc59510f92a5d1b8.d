@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/strip_chaos-fc59510f92a5d1b8.d: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/strip_chaos-fc59510f92a5d1b8: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/driver.rs:
+crates/chaos/src/oracle.rs:
+crates/chaos/src/plan.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/strip_txn-05fe4a3663eef038.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/strip_txn-05fe4a3663eef038.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
 
-/root/repo/target/debug/deps/libstrip_txn-05fe4a3663eef038.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/libstrip_txn-05fe4a3663eef038.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
 
 crates/txn/src/lib.rs:
 crates/txn/src/cost.rs:
+crates/txn/src/fault.rs:
 crates/txn/src/lock.rs:
 crates/txn/src/log.rs:
 crates/txn/src/pool.rs:

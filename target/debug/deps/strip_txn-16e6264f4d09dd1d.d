@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/strip_txn-16e6264f4d09dd1d.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/debug/deps/strip_txn-16e6264f4d09dd1d.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
-/root/repo/target/debug/deps/strip_txn-16e6264f4d09dd1d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/debug/deps/strip_txn-16e6264f4d09dd1d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
 crates/txn/src/lib.rs:
 crates/txn/src/cost.rs:
+crates/txn/src/fault.rs:
 crates/txn/src/lock.rs:
 crates/txn/src/log.rs:
 crates/txn/src/pool.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/strip_txn-54e5816adab011d4.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/strip_txn-54e5816adab011d4.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
 
-/root/repo/target/debug/deps/libstrip_txn-54e5816adab011d4.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/libstrip_txn-54e5816adab011d4.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs Cargo.toml
 
 crates/txn/src/lib.rs:
 crates/txn/src/cost.rs:
+crates/txn/src/fault.rs:
 crates/txn/src/lock.rs:
 crates/txn/src/log.rs:
 crates/txn/src/pool.rs:

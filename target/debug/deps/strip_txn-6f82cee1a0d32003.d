@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/strip_txn-6f82cee1a0d32003.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/debug/deps/strip_txn-6f82cee1a0d32003.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
-/root/repo/target/debug/deps/libstrip_txn-6f82cee1a0d32003.rlib: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/debug/deps/libstrip_txn-6f82cee1a0d32003.rlib: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
-/root/repo/target/debug/deps/libstrip_txn-6f82cee1a0d32003.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/debug/deps/libstrip_txn-6f82cee1a0d32003.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
 crates/txn/src/lib.rs:
 crates/txn/src/cost.rs:
+crates/txn/src/fault.rs:
 crates/txn/src/lock.rs:
 crates/txn/src/log.rs:
 crates/txn/src/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_recovery-7732b0febe20d8dc.d: crates/txn/tests/wal_recovery.rs
+
+/root/repo/target/debug/deps/wal_recovery-7732b0febe20d8dc: crates/txn/tests/wal_recovery.rs
+
+crates/txn/tests/wal_recovery.rs:

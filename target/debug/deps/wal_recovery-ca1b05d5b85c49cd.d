@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_recovery-ca1b05d5b85c49cd.d: crates/txn/tests/wal_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_recovery-ca1b05d5b85c49cd.rmeta: crates/txn/tests/wal_recovery.rs Cargo.toml
+
+crates/txn/tests/wal_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

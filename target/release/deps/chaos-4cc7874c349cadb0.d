@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-4cc7874c349cadb0.d: crates/chaos/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-4cc7874c349cadb0: crates/chaos/src/bin/chaos.rs
+
+crates/chaos/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_comps-78c852f6e30defca.d: crates/bench/src/bin/exp_comps.rs
+
+/root/repo/target/release/deps/exp_comps-78c852f6e30defca: crates/bench/src/bin/exp_comps.rs
+
+crates/bench/src/bin/exp_comps.rs:

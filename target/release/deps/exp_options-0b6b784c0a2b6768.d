@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_options-0b6b784c0a2b6768.d: crates/bench/src/bin/exp_options.rs
+
+/root/repo/target/release/deps/exp_options-0b6b784c0a2b6768: crates/bench/src/bin/exp_options.rs
+
+crates/bench/src/bin/exp_options.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sched-2fd48ae23256df3d.d: crates/bench/src/bin/exp_sched.rs
+
+/root/repo/target/release/deps/exp_sched-2fd48ae23256df3d: crates/bench/src/bin/exp_sched.rs
+
+crates/bench/src/bin/exp_sched.rs:

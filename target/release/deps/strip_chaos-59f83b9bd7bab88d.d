@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/strip_chaos-59f83b9bd7bab88d.d: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+/root/repo/target/release/deps/libstrip_chaos-59f83b9bd7bab88d.rlib: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+/root/repo/target/release/deps/libstrip_chaos-59f83b9bd7bab88d.rmeta: crates/chaos/src/lib.rs crates/chaos/src/driver.rs crates/chaos/src/oracle.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/driver.rs:
+crates/chaos/src/oracle.rs:
+crates/chaos/src/plan.rs:

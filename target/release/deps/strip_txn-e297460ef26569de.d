@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/strip_txn-e297460ef26569de.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/release/deps/strip_txn-e297460ef26569de.d: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
-/root/repo/target/release/deps/libstrip_txn-e297460ef26569de.rlib: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/release/deps/libstrip_txn-e297460ef26569de.rlib: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
-/root/repo/target/release/deps/libstrip_txn-e297460ef26569de.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
+/root/repo/target/release/deps/libstrip_txn-e297460ef26569de.rmeta: crates/txn/src/lib.rs crates/txn/src/cost.rs crates/txn/src/fault.rs crates/txn/src/lock.rs crates/txn/src/log.rs crates/txn/src/pool.rs crates/txn/src/sched.rs crates/txn/src/sim.rs crates/txn/src/task.rs
 
 crates/txn/src/lib.rs:
 crates/txn/src/cost.rs:
+crates/txn/src/fault.rs:
 crates/txn/src/lock.rs:
 crates/txn/src/log.rs:
 crates/txn/src/pool.rs:
