@@ -119,7 +119,7 @@ fn bench_unique_dispatch(c: &mut Criterion) {
     c.bench_function("unique_dispatch_coarse_12rows", |b| {
         let um = UniqueManager::new();
         b.iter(|| {
-            um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter)
+            um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter, 0)
                 .unwrap()
         })
     });
@@ -127,23 +127,23 @@ fn bench_unique_dispatch(c: &mut Criterion) {
         let um = UniqueManager::new();
         let cols = vec!["comp".to_string()];
         b.iter(|| {
-            um.dispatch_unique("f", &cols, matches_bound(12, 12), &NullMeter)
+            um.dispatch_unique("f", &cols, matches_bound(12, 12), &NullMeter, 0)
                 .unwrap()
         })
     });
     c.bench_function("unique_merge_into_pending_12rows", |b| {
         let um = UniqueManager::new();
         // Seed one pending coarse transaction; every iteration merges.
-        um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter)
+        um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter, 0)
             .unwrap();
         b.iter(|| {
-            um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter)
+            um.dispatch_unique("f", &[], matches_bound(12, 12), &NullMeter, 0)
                 .unwrap()
         })
     });
     c.bench_function("non_unique_spawn_12rows", |b| {
         let um = UniqueManager::new();
-        b.iter(|| black_box(um.dispatch_non_unique("f", matches_bound(12, 12))))
+        b.iter(|| black_box(um.dispatch_non_unique("f", matches_bound(12, 12), 0)))
     });
 }
 

@@ -1,0 +1,188 @@
+//! `strip-report`: the observability report over a PTA run.
+//!
+//! Runs the composite-maintenance workload twice — the non-unique baseline
+//! and a `unique on comp after <delay>` variant — and renders what the
+//! telemetry layer saw: per-derived-table staleness (the lag between a base
+//! commit and the derived commit that absorbed it, Figures 9–14's hidden
+//! variable) and per-kind latency histograms. Also writes the machine
+//! artifact `BENCH_obs.json`.
+//!
+//! ```text
+//! strip-report [--paper|--medium|--small] [--delay S] [--json PATH] [--check]
+//! ```
+//!
+//! `--check` validates the emitted JSON and the staleness numbers (CI's
+//! `obs` job runs it at `--small`): the JSON must parse, every staleness
+//! histogram must be non-empty with a finite non-zero mean, and the batched
+//! run must not recompute more often than the baseline.
+
+use std::process::ExitCode;
+use strip_bench::{fresh_pta, Scale};
+use strip_finance::CompVariant;
+use strip_obs::{json, ObsSnapshot};
+
+struct Args {
+    scale: Scale,
+    delay_s: f64,
+    json_path: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Small,
+        delay_s: 2.0,
+        json_path: "BENCH_obs.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if let Some(s) = Scale::from_arg(&flag) {
+            args.scale = s;
+            continue;
+        }
+        match flag.as_str() {
+            "--delay" => {
+                args.delay_s = it
+                    .next()
+                    .ok_or("--delay needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--delay: {e}"))?;
+            }
+            "--json" => args.json_path = it.next().ok_or("--json needs a path")?,
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: strip-report [--paper|--medium|--small] [--delay S] \
+                     [--json PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+struct Run {
+    series: String,
+    delay_s: f64,
+    recompute_count: u64,
+    snapshot: ObsSnapshot,
+}
+
+fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
+    let pta = fresh_pta(scale);
+    pta.install_comp_rule(variant, delay_s)
+        .expect("install rule");
+    let report = pta.run_trace().expect("run trace");
+    assert_eq!(
+        report.errors, 0,
+        "background task errors in {variant:?} run"
+    );
+    Run {
+        series: variant.label().to_string(),
+        delay_s,
+        recompute_count: report.recompute_count,
+        snapshot: pta.db.obs().snapshot(),
+    }
+}
+
+fn runs_json(scale: Scale, runs: &[Run]) -> String {
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\"obs\":{}}}",
+                strip_obs::export::json_escape(&r.series),
+                r.delay_s,
+                r.recompute_count,
+                r.snapshot.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"runs\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
+/// The `--check` assertions; returns every violated expectation.
+fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    if let Err(e) = json::validate(json_doc) {
+        bad.push(format!("BENCH_obs.json does not parse: {e}"));
+    }
+    for r in runs {
+        if r.snapshot.staleness.is_empty() {
+            bad.push(format!("run `{}`: no staleness recorded", r.series));
+        }
+        for (table, h) in &r.snapshot.staleness {
+            if h.count == 0 {
+                bad.push(format!(
+                    "run `{}`: staleness for `{table}` is empty",
+                    r.series
+                ));
+            }
+            if !(h.mean.is_finite() && h.mean > 0.0) {
+                bad.push(format!(
+                    "run `{}`: staleness mean for `{table}` is {} (want finite, non-zero)",
+                    r.series, h.mean
+                ));
+            }
+        }
+    }
+    if runs.len() == 2 && runs[1].recompute_count > runs[0].recompute_count {
+        bad.push(format!(
+            "batched run recomputed more than the baseline ({} > {})",
+            runs[1].recompute_count, runs[0].recompute_count
+        ));
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("strip-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("strip-report: running PTA at {:?} scale", args.scale);
+
+    let runs = vec![
+        run_variant(args.scale, CompVariant::NonUnique, 0.0),
+        run_variant(args.scale, CompVariant::UniqueOnComp, args.delay_s),
+    ];
+
+    for r in &runs {
+        println!("== series `{}` (delay {}s) ==", r.series, r.delay_s);
+        println!("recomputations N_r = {}\n", r.recompute_count);
+        print!("{}", r.snapshot.render_table());
+        println!();
+    }
+    println!(
+        "batching effect: N_r {} (non-unique) -> {} (unique on comp, {}s window)",
+        runs[0].recompute_count, runs[1].recompute_count, args.delay_s
+    );
+
+    let doc = runs_json(args.scale, &runs);
+    if let Err(e) = std::fs::write(&args.json_path, &doc) {
+        eprintln!("strip-report: writing {}: {e}", args.json_path);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.json_path);
+
+    if args.check {
+        let bad = check(&runs, &doc);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("check FAILED: {b}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("checks passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -55,11 +55,14 @@ fn run_one(seed: u64) -> bool {
     if out.ok() {
         let kinds: Vec<String> = out.plan.kinds().iter().map(|k| k.to_string()).collect();
         println!(
-            "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} recomputes={}",
+            "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} recomputes={} \
+             deadline_misses={} max_delay_len={}",
             kinds.join(","),
             out.fired.len(),
             out.crashed,
             out.recompute_runs,
+            out.deadline_misses,
+            out.max_delay_len,
         );
         return true;
     }
@@ -70,6 +73,14 @@ fn run_one(seed: u64) -> bool {
     }
     for f in &out.fired {
         eprintln!("  fired: {f}");
+    }
+    eprintln!(
+        "  stats: deadline_misses={} max_delay_len={}",
+        out.deadline_misses, out.max_delay_len
+    );
+    eprintln!("  trace (last {} events):", out.trace_tail.len());
+    for line in &out.trace_tail {
+        eprintln!("    {line}");
     }
     eprintln!("  minimized plan:\n{}", indent(&minimized.describe()));
     eprintln!("  repro: {}", driver::repro_command(seed));

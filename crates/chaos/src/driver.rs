@@ -96,6 +96,12 @@ pub struct Outcome {
     pub recompute_runs: u64,
     /// Deadline misses recorded by the executor.
     pub deadline_misses: u64,
+    /// High-water mark of the executor's delay queue.
+    pub max_delay_len: usize,
+    /// Last trace events from the observability ring (newest last) —
+    /// attached to every outcome so a failing seed's report shows what the
+    /// system was doing right before the violation.
+    pub trace_tail: Vec<String>,
     /// Canonical final state of the market tables (live database).
     pub digest: BTreeMap<String, Vec<String>>,
 }
@@ -640,6 +646,7 @@ fn finish(
     db: &Strip,
     violations: Vec<String>,
 ) -> Outcome {
+    let stats = db.stats();
     Outcome {
         seed: cfg.seed,
         plan: plan.clone(),
@@ -647,10 +654,20 @@ fn finish(
         violations,
         crashed: db.has_crashed(),
         recompute_runs: 0,
-        deadline_misses: db.stats().deadline_misses,
+        deadline_misses: stats.deadline_misses,
+        max_delay_len: stats.max_delay_len,
+        trace_tail: db
+            .obs()
+            .trace_tail(TRACE_TAIL_EVENTS)
+            .iter()
+            .map(|e| e.to_string())
+            .collect(),
         digest: oracle::state_digest(db, &MARKET_TABLES).unwrap_or_default(),
     }
 }
+
+/// How many trailing trace events a scenario outcome carries.
+const TRACE_TAIL_EVENTS: usize = 40;
 
 /// Shrink a failing plan: repeatedly drop any single fault whose removal
 /// keeps the scenario failing. The result is 1-minimal — removing any one

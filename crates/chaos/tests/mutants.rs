@@ -40,6 +40,30 @@ fn dropped_commit_marker_is_caught() {
     );
 }
 
+/// A failing outcome must carry evidence: the trailing trace events of the
+/// run (what the system did right before the violation) and the executor's
+/// pressure counters, so a failure report is actionable on its own.
+#[test]
+fn failing_outcome_carries_trace_tail() {
+    let cfg = ScenarioConfig {
+        mutant: Mutant::NoUniqueDedup,
+        ..ScenarioConfig::fault_free(31)
+    };
+    let out = driver::run_with_plan(&cfg, &FaultPlan::none());
+    assert!(!out.ok(), "mutant run must fail");
+    assert!(
+        !out.trace_tail.is_empty(),
+        "failing outcome has no trace events"
+    );
+    // The tail is resolved and human-readable: commit spans with txn ids.
+    assert!(
+        out.trace_tail.iter().any(|l| l.contains("txn.commit")),
+        "trace tail shows no commits: {:?}",
+        out.trace_tail
+    );
+    assert!(out.max_delay_len > 0, "delay queue never held a task");
+}
+
 /// The same mutants with the clean flag: the un-mutated runs of the same
 /// seeds pass, so the detections above are caused by the planted bugs.
 #[test]

@@ -16,6 +16,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use strip_obs::ObsSink;
 use strip_rules::{CompiledRule, RuleEngine};
 use strip_sql::exec::ResultSet;
 use strip_sql::expr::ScalarFn;
@@ -110,6 +111,9 @@ pub struct StripInner {
     /// Set when a simulated crash fires; the database refuses further
     /// commits once dead.
     pub(crate) crashed: std::sync::atomic::AtomicBool,
+    /// Observability sink shared by every layer (always present; the
+    /// default is an enabled sink with a 4096-event trace ring).
+    pub(crate) obs: Arc<ObsSink>,
     txn_ids: AtomicU64,
 }
 
@@ -126,6 +130,7 @@ pub struct StripBuilder {
     pool_workers: Option<usize>,
     durable: bool,
     injector: InjectorHandle,
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl Default for StripBuilder {
@@ -136,6 +141,7 @@ impl Default for StripBuilder {
             pool_workers: None,
             durable: false,
             injector: None,
+            obs: None,
         }
     }
 }
@@ -175,18 +181,33 @@ impl StripBuilder {
         self
     }
 
+    /// Use a specific observability sink instead of the default enabled one
+    /// (e.g. `ObsSink::disabled()` to reduce every hook to one atomic load,
+    /// or a sink with a larger trace ring).
+    pub fn observability(mut self, obs: Arc<ObsSink>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
+        let obs = self.obs.unwrap_or_else(|| ObsSink::new(4096));
         let exec = match self.pool_workers {
-            Some(n) => ExecutorHandle::Pool(WorkerPool::new(n, self.model.clone(), self.policy)),
+            Some(n) => ExecutorHandle::Pool(WorkerPool::new_with_obs(
+                n,
+                self.model.clone(),
+                self.policy,
+                Some(obs.clone()),
+            )),
             None => {
                 let mut sim = Simulator::new(self.model.clone(), self.policy);
                 sim.set_injector(self.injector.clone());
+                sim.set_obs(Some(obs.clone()));
                 ExecutorHandle::Sim(Box::new(Mutex::new(sim)))
             }
         };
         let model = self.model;
-        let plan_cache = Arc::new(PlanCache::new());
+        let plan_cache = Arc::new(PlanCache::with_obs(obs.clone()));
         let locks = LockManager::new();
         locks.set_injector(self.injector.clone());
         let wal = self
@@ -199,7 +220,7 @@ impl StripBuilder {
                 views: RwLock::new(HashMap::new()),
                 timers: Mutex::new(HashMap::new()),
                 locks,
-                engine: RuleEngine::with_plan_cache(plan_cache.clone()),
+                engine: RuleEngine::with_plan_cache(plan_cache.clone()).with_obs(obs.clone()),
                 plan_cache,
                 user_fns: RwLock::new(HashMap::new()),
                 scalar_fns: RwLock::new(HashMap::new()),
@@ -208,6 +229,7 @@ impl StripBuilder {
                 wal,
                 injector: self.injector,
                 crashed: std::sync::atomic::AtomicBool::new(false),
+                obs,
                 txn_ids: AtomicU64::new(1),
             }),
         }
@@ -292,6 +314,12 @@ impl Strip {
     /// The shared prepared-plan cache (diagnostics / benchmarks).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.inner.plan_cache
+    }
+
+    /// The observability sink: event trace, latency histograms, and the
+    /// per-derived-table staleness tracker.
+    pub fn obs(&self) -> &Arc<ObsSink> {
+        &self.inner.obs
     }
 
     /// Errors recorded by background action tasks (drained).
@@ -481,7 +509,7 @@ impl Strip {
                 let mut sim = s.lock();
                 sim.run_inline(kind, move |ctx| {
                     ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                    let r = run_txn(&inner, ctx, &kind_owned, HashMap::new(), f);
+                    let r = run_txn(&inner, ctx, &kind_owned, HashMap::new(), None, f);
                     ctx.meter.charge(strip_storage::Op::EndTask, 1);
                     r
                 })
@@ -497,7 +525,7 @@ impl Strip {
                     spawned: Vec::new(),
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                let r = run_txn(&inner, &mut ctx, kind, HashMap::new(), f);
+                let r = run_txn(&inner, &mut ctx, kind, HashMap::new(), None, f);
                 ctx.meter.charge(strip_storage::Op::EndTask, 1);
                 for t in ctx.spawned {
                     p.submit(t);
@@ -548,7 +576,7 @@ impl Strip {
                     return;
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                if let Err(e) = run_txn(&inner, ctx, &kind_owned, HashMap::new(), f) {
+                if let Err(e) = run_txn(&inner, ctx, &kind_owned, HashMap::new(), None, f) {
                     inner
                         .errors
                         .lock()
@@ -767,7 +795,7 @@ impl Strip {
             ExecutorHandle::Sim(s) => {
                 let mut sim = s.lock();
                 sim.run_inline("overlay-txn", move |ctx| {
-                    run_txn(&inner, ctx, "overlay-txn", overlay, f)
+                    run_txn(&inner, ctx, "overlay-txn", overlay, None, f)
                 })
             }
             ExecutorHandle::Pool(_) => Err(Error::Other(

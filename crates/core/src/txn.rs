@@ -15,6 +15,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use strip_obs::EventKind;
 use strip_rules::SpawnAction;
 use strip_sql::exec::{Env, Rel, ResultSet};
 use strip_sql::expr::ScalarFn;
@@ -40,6 +41,10 @@ pub struct Txn<'a> {
     log: RefCell<TxnLog>,
     overlay: HashMap<String, Arc<TempTable>>,
     locks: RefCell<HashSet<(String, LockMode)>>,
+    /// Earliest base-commit virtual time this transaction is absorbing, when
+    /// it is a rule action recomputing derived data. Commit uses it to record
+    /// per-table staleness (base commit → derived commit lag, Figures 9–14).
+    origin_us: Option<u64>,
     finished: bool,
 }
 
@@ -51,6 +56,7 @@ impl<'a> Txn<'a> {
         id: TxnId,
         kind: String,
         overlay: HashMap<String, Arc<TempTable>>,
+        origin_us: Option<u64>,
     ) -> Txn<'a> {
         Txn {
             inner,
@@ -61,6 +67,7 @@ impl<'a> Txn<'a> {
             log: RefCell::new(TxnLog::new()),
             overlay,
             locks: RefCell::new(HashSet::new()),
+            origin_us,
             finished: false,
         }
     }
@@ -244,10 +251,28 @@ impl<'a> Txn<'a> {
                 key.0
             )));
         }
+        // Wall-clock wait measurement: a single-threaded simulation never
+        // blocks here, but pool mode can, and that contention is invisible to
+        // the virtual cost model. Short waits (lock-manager bookkeeping) are
+        // noise; only genuine blocking (≥100µs) is traced.
+        let wait_t0 = self.inner.obs.is_enabled().then(std::time::Instant::now);
         self.inner
             .locks
             .lock(self.id, &key.0, mode)
             .map_err(|e| Error::Aborted(format!("lock on `{}`: {e}", key.0)))?;
+        if let Some(t0) = wait_t0 {
+            let waited_us = t0.elapsed().as_micros() as u64;
+            if waited_us >= 100 {
+                self.inner.obs.record_lock_wait(waited_us);
+                self.inner.obs.event(
+                    self.now_us(),
+                    self.id.0,
+                    EventKind::LockWait,
+                    &key.0,
+                    waited_us,
+                );
+            }
+        }
         self.meter.charge(Op::GetLock, 1);
         self.locks.borrow_mut().insert(key);
         Ok(())
@@ -258,6 +283,7 @@ impl<'a> Txn<'a> {
     pub(crate) fn commit(mut self) -> Result<Vec<Task>> {
         // A crashed database accepts no further commits.
         if self.inner.crashed.load(Ordering::SeqCst) {
+            self.emit_abort("crashed");
             self.undo();
             self.release_locks();
             self.finished = true;
@@ -265,6 +291,7 @@ impl<'a> Txn<'a> {
         }
         // Injected forced abort at the commit point.
         if self.fault_decision(FaultPoint::TxnCommit, &self.kind) == FaultDecision::Abort {
+            self.emit_abort("injected");
             self.undo();
             self.release_locks();
             self.finished = true;
@@ -280,12 +307,13 @@ impl<'a> Txn<'a> {
             let log = self.log.borrow();
             self.inner
                 .engine
-                .process_commit(&self, &log, commit_us, &mut |sa| {
+                .process_commit(&self, &log, commit_us, self.id.0, &mut |sa| {
                     tasks.push(action_task(self.inner, sa));
                 })
         };
         if let Err(e) = result {
             drop(tasks);
+            self.emit_abort("rule-processing");
             self.undo();
             self.release_locks();
             self.finished = true;
@@ -298,17 +326,72 @@ impl<'a> Txn<'a> {
         let wal_result = match &self.inner.wal {
             Some(wal) => {
                 let log = self.log.borrow();
-                wal.lock().append_committed(self.id.0, log.entries())
+                // Durable mode pays for the log writes: one record per change
+                // plus the commit-point force. Non-durable runs skip both, so
+                // the Table-1 simple-update total stays at 172µs.
+                let wal_t0 = self.meter.charged_us();
+                self.meter.charge(Op::WalAppendRecord, log.len() as u64);
+                self.meter.charge(Op::WalFsync, 1);
+                let res = wal.lock().append_committed(self.id.0, log.entries());
+                let wal_us = self.meter.charged_us() - wal_t0;
+                if self.inner.obs.is_enabled() {
+                    self.inner.obs.record_wal(wal_us);
+                    self.inner.obs.event(
+                        self.now_us(),
+                        self.id.0,
+                        EventKind::WalAppend,
+                        &self.kind,
+                        wal_us,
+                    );
+                }
+                res
             }
             None => Ok(()),
         };
         if wal_result.is_err() {
             drop(tasks);
+            self.emit_abort("wal-crash");
             self.inner.crashed.store(true, Ordering::SeqCst);
             self.undo();
             self.release_locks();
             self.finished = true;
             return Err(Error::Crashed);
+        }
+        let end_us = self.now_us();
+        if self.inner.obs.is_enabled() {
+            self.inner.obs.event(
+                end_us,
+                self.id.0,
+                EventKind::TxnCommit,
+                &self.kind,
+                end_us.saturating_sub(self.start_us),
+            );
+            if self.inner.wal.is_some() {
+                self.inner
+                    .obs
+                    .event(end_us, self.id.0, EventKind::WalCommit, &self.kind, 0);
+            }
+            // Staleness: a rule action carrying an origin timestamp has just
+            // re-derived data triggered by a base commit at `origin`. Every
+            // table it wrote absorbed that change with lag `end - origin`.
+            if let Some(origin) = self.origin_us {
+                let log = self.log.borrow();
+                let mut seen: HashSet<&str> = HashSet::new();
+                for e in log.entries() {
+                    let table = match e {
+                        LogEntry::Insert { table, .. }
+                        | LogEntry::Delete { table, .. }
+                        | LogEntry::Update { table, .. } => table.as_str(),
+                    };
+                    if seen.insert(table) {
+                        let lag = end_us.saturating_sub(origin);
+                        self.inner.obs.record_staleness(table, lag);
+                        self.inner
+                            .obs
+                            .event(end_us, self.id.0, EventKind::Staleness, table, lag);
+                    }
+                }
+            }
         }
         self.release_locks();
         self.finished = true;
@@ -317,9 +400,24 @@ impl<'a> Txn<'a> {
 
     /// Abort: undo all logged changes in reverse order, release locks.
     pub(crate) fn rollback(mut self) {
+        self.emit_abort("rollback");
         self.undo();
         self.release_locks();
         self.finished = true;
+    }
+
+    fn emit_abort(&self, why: &str) {
+        if self.inner.obs.is_enabled() {
+            let at = self.now_us();
+            let detail = format!("{} ({why})", self.kind);
+            self.inner.obs.event(
+                at,
+                self.id.0,
+                EventKind::TxnAbort,
+                &detail,
+                at.saturating_sub(self.start_us),
+            );
+        }
     }
 
     fn undo(&self) {
@@ -501,12 +599,15 @@ fn dml_count(rs: &ResultSet) -> usize {
 
 /// Run a transaction inside a task context: begin, run `f`, commit (rule
 /// processing included) or roll back on error. Spawned action tasks go to
-/// the task context.
+/// the task context. `origin_us` is the earliest triggering base-commit
+/// time when this is a rule action (staleness is measured from it); plain
+/// user transactions pass `None`.
 pub(crate) fn run_txn<R>(
     inner: &Arc<StripInner>,
     ctx: &mut TaskCtx<'_>,
     kind: &str,
     overlay: HashMap<String, Arc<TempTable>>,
+    origin_us: Option<u64>,
     f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
 ) -> Result<R> {
     ctx.meter.charge(Op::BeginTxn, 1);
@@ -518,6 +619,7 @@ pub(crate) fn run_txn<R>(
         id,
         kind.to_string(),
         overlay,
+        origin_us,
     );
     match f(&mut txn) {
         Ok(r) => {
@@ -554,11 +656,23 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
             };
             ctx.meter.charge(Op::BeginTask, 1);
             inner.engine.begin_action(&payload, ctx.meter);
+            let origin_us = payload.origin_us();
+            if inner.obs.is_enabled() {
+                inner.obs.event(
+                    ctx.now_us(),
+                    0,
+                    EventKind::ActionStart,
+                    &task_kind,
+                    ctx.now_us().saturating_sub(origin_us),
+                );
+            }
             let bound = payload.snapshot_bound();
             let func = inner.user_fns.read().get(&func_name).cloned();
             let outcome = match func {
                 None => Err(Error::NoSuchFunction(func_name.clone())),
-                Some(f) => run_txn(&inner, ctx, &task_kind, bound, |txn| f(txn)),
+                Some(f) => run_txn(&inner, ctx, &task_kind, bound, Some(origin_us), |txn| {
+                    f(txn)
+                }),
             };
             if let Err(e) = outcome {
                 inner
@@ -611,7 +725,7 @@ pub(crate) fn timer_task(inner: &Arc<StripInner>, name: String, release_us: u64)
             let func = inner.user_fns.read().get(&func_name).cloned();
             let outcome = match func {
                 None => Err(Error::NoSuchFunction(func_name.clone())),
-                Some(f) => run_txn(&inner, ctx, &task_kind, HashMap::new(), |txn| f(txn)),
+                Some(f) => run_txn(&inner, ctx, &task_kind, HashMap::new(), None, |txn| f(txn)),
             };
             if let Err(e) = outcome {
                 inner

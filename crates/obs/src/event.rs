@@ -1,0 +1,233 @@
+//! Typed trace events and the string interner that keeps them `Copy`.
+//!
+//! A [`TraceEvent`] is 32 bytes and contains no heap pointers: the variable
+//! part (rule name, task kind, table name, …) is interned into a [`Sym`]
+//! through the sink's shared [`Interner`]. This keeps the ring-buffer write
+//! path free of allocation and makes slots trivially overwritable.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What happened. The discriminants are stable so exporters can use them as
+/// compact codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A task/txn entered the scheduler (possibly into the delay queue).
+    TxnSubmit = 0,
+    /// A delayed task's release window elapsed; it moved to the ready queue.
+    TxnRelease = 1,
+    /// The scheduler dispatched the task; `dur_us` is its queue time.
+    TxnStart = 2,
+    /// A transaction committed; `dur_us` is commit − start.
+    TxnCommit = 3,
+    /// A transaction aborted or rolled back.
+    TxnAbort = 4,
+    /// A rule's condition held at commit time; `detail` is the rule name.
+    RuleFire = 5,
+    /// A firing merged into a pending unique action instead of spawning.
+    UniqueCoalesce = 6,
+    /// A rule action was dispatched as a new task; `detail` is the function.
+    ActionDispatch = 7,
+    /// A rule action began executing.
+    ActionStart = 8,
+    /// A lock acquisition blocked; `dur_us` is the wall-clock wait in µs.
+    LockWait = 9,
+    /// A commit record was appended to the WAL; `dur_us` is the charged cost.
+    WalAppend = 10,
+    /// The WAL record was made durable (fsync'd).
+    WalCommit = 11,
+    /// A SQL plan was compiled (cache miss); `dur_us` is wall-clock µs.
+    PlanCompile = 12,
+    /// A cached physical plan was executed; `dur_us` is the metered cost.
+    PlanExecute = 13,
+    /// A derived-table commit absorbed base data; `dur_us` is the staleness
+    /// lag in virtual µs, `detail` the derived table.
+    Staleness = 14,
+}
+
+impl EventKind {
+    /// Short stable label used by exporters and the trace-tail renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::TxnSubmit => "txn.submit",
+            EventKind::TxnRelease => "txn.release",
+            EventKind::TxnStart => "txn.start",
+            EventKind::TxnCommit => "txn.commit",
+            EventKind::TxnAbort => "txn.abort",
+            EventKind::RuleFire => "rule.fire",
+            EventKind::UniqueCoalesce => "rule.coalesce",
+            EventKind::ActionDispatch => "action.dispatch",
+            EventKind::ActionStart => "action.start",
+            EventKind::LockWait => "lock.wait",
+            EventKind::WalAppend => "wal.append",
+            EventKind::WalCommit => "wal.commit",
+            EventKind::PlanCompile => "plan.compile",
+            EventKind::PlanExecute => "plan.execute",
+            EventKind::Staleness => "staleness",
+        }
+    }
+}
+
+/// Interned string handle. `Sym(0)` is always the empty string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    pub const EMPTY: Sym = Sym(0);
+}
+
+/// A single trace record. `Copy` so ring slots can be overwritten in place.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Virtual-clock timestamp in µs (except where documented wall-clock).
+    pub at_us: u64,
+    /// Transaction / task id, 0 when not applicable.
+    pub txn: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Interned detail string (rule name, task kind, table, …).
+    pub detail: Sym,
+    /// Kind-specific duration / lag in µs (see [`EventKind`] docs).
+    pub dur_us: u64,
+}
+
+impl TraceEvent {
+    pub fn new(at_us: u64, txn: u64, kind: EventKind, detail: Sym, dur_us: u64) -> Self {
+        TraceEvent {
+            at_us,
+            txn,
+            kind,
+            detail,
+            dur_us,
+        }
+    }
+}
+
+/// Two-way string interner. Writes take the `RwLock` exclusively but the
+/// fast path (string already interned) is a read-lock + hash probe.
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+struct InternerInner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        let mut map = HashMap::new();
+        map.insert(String::new(), 0);
+        Interner {
+            inner: RwLock::new(InternerInner {
+                map,
+                strings: vec![String::new()],
+            }),
+        }
+    }
+
+    /// Intern `s`, returning its stable handle.
+    pub fn intern(&self, s: &str) -> Sym {
+        if s.is_empty() {
+            return Sym::EMPTY;
+        }
+        if let Some(&id) = self.inner.read().map.get(s) {
+            return Sym(id);
+        }
+        let mut w = self.inner.write();
+        if let Some(&id) = w.map.get(s) {
+            return Sym(id);
+        }
+        let id = w.strings.len() as u32;
+        w.strings.push(s.to_string());
+        w.map.insert(s.to_string(), id);
+        Sym(id)
+    }
+
+    /// Resolve a handle back to its string (owned, to avoid holding the lock).
+    pub fn resolve(&self, sym: Sym) -> String {
+        let r = self.inner.read();
+        r.strings.get(sym.0 as usize).cloned().unwrap_or_default()
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A trace event with its detail string resolved, ready for display.
+#[derive(Debug, Clone)]
+pub struct ResolvedEvent {
+    pub at_us: u64,
+    pub txn: u64,
+    pub kind: EventKind,
+    pub detail: String,
+    pub dur_us: u64,
+}
+
+impl fmt::Display for ResolvedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}us] {:<14}", self.at_us, self.kind.label())?;
+        if self.txn != 0 {
+            write!(f, " txn={}", self.txn)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " {}", self.detail)?;
+        }
+        if self.dur_us != 0 {
+            write!(f, " ({}us)", self.dur_us)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_two_way() {
+        let i = Interner::new();
+        let a = i.intern("update");
+        let b = i.intern("recompute:f");
+        let a2 = i.intern("update");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "update");
+        assert_eq!(i.resolve(b), "recompute:f");
+        assert_eq!(i.intern(""), Sym::EMPTY);
+        assert_eq!(i.resolve(Sym::EMPTY), "");
+    }
+
+    #[test]
+    fn resolve_unknown_sym_is_empty() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Sym(999)), "");
+    }
+
+    #[test]
+    fn display_includes_fields() {
+        let e = ResolvedEvent {
+            at_us: 1_000,
+            txn: 7,
+            kind: EventKind::RuleFire,
+            detail: "comp_rule".into(),
+            dur_us: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rule.fire"), "{s}");
+        assert!(s.contains("txn=7"), "{s}");
+        assert!(s.contains("comp_rule"), "{s}");
+    }
+
+    #[test]
+    fn event_is_small_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TraceEvent>();
+        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+    }
+}

@@ -1,0 +1,286 @@
+//! Exporters: hand-rolled JSON snapshot and Prometheus text format.
+//!
+//! The workspace has a no-serde policy (vendored deps only), so the JSON
+//! emitter is written by hand. The schema is flat and stable:
+//!
+//! ```json
+//! {
+//!   "enabled": true,
+//!   "events_traced": 123,
+//!   "ring_capacity": 4096,
+//!   "histograms": {
+//!     "queue_us": {"count":..,"sum":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+//!                   "buckets":[[upper_edge_us,count],...]},
+//!     ...
+//!   },
+//!   "exec_us": {"<kind>": {..hist..}, ...},
+//!   "staleness_us": {"<derived table>": {..hist..}, ...}
+//! }
+//! ```
+
+use crate::hist::HistSummary;
+use crate::sink::ObsSnapshot;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable but compact; the consumer only needs ~µs precision.
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn hist_json(h: &HistSummary) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|(e, n)| format!("[{e},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        json_f64(h.mean),
+        h.p50,
+        h.p90,
+        h.p99,
+        buckets.join(",")
+    )
+}
+
+fn named_hists_json(items: &[(String, HistSummary)]) -> String {
+    let fields: Vec<String> = items
+        .iter()
+        .map(|(k, h)| format!("\"{}\":{}", json_escape(k), hist_json(h)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+impl ObsSnapshot {
+    /// Serialise the snapshot as a JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let core = [
+            ("queue_us", &self.queue_us),
+            ("lock_wait_us", &self.lock_wait_us),
+            ("wal_us", &self.wal_us),
+            ("plan_compile_us", &self.plan_compile_us),
+        ];
+        let hists: Vec<String> = core
+            .iter()
+            .map(|(k, h)| format!("\"{k}\":{}", hist_json(h)))
+            .collect();
+        format!(
+            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{}}}",
+            self.enabled,
+            self.events_traced,
+            self.ring_capacity,
+            hists.join(","),
+            named_hists_json(&self.exec_us),
+            named_hists_json(&self.staleness),
+        )
+    }
+
+    /// Serialise as Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE strip_events_traced_total counter");
+        let _ = writeln!(out, "strip_events_traced_total {}", self.events_traced);
+
+        let mut emit = |name: &str, labels: &str, h: &HistSummary| {
+            let sep = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}_count{sep} {}", h.count);
+            let _ = writeln!(out, "{name}_sum{sep} {}", h.sum);
+            let _ = writeln!(out, "{name}_max{sep} {}", h.max);
+            let q = if labels.is_empty() {
+                String::new()
+            } else {
+                format!(",{labels}")
+            };
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"{q}}} {}", h.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.9\"{q}}} {}", h.p90);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"{q}}} {}", h.p99);
+        };
+
+        emit("strip_queue_us", "", &self.queue_us);
+        emit("strip_lock_wait_us", "", &self.lock_wait_us);
+        emit("strip_wal_us", "", &self.wal_us);
+        emit("strip_plan_compile_us", "", &self.plan_compile_us);
+        for (kind, h) in &self.exec_us {
+            emit(
+                "strip_exec_us",
+                &format!("kind=\"{}\"", json_escape(kind)),
+                h,
+            );
+        }
+        for (table, h) in &self.staleness {
+            emit(
+                "strip_staleness_us",
+                &format!("table=\"{}\"", json_escape(table)),
+                h,
+            );
+        }
+        out
+    }
+
+    /// Render a human-readable report table (used by `strip-report` and the
+    /// shell's `.obs` command).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "events traced: {} (ring capacity {})",
+            self.events_traced, self.ring_capacity
+        );
+
+        if !self.staleness.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nstaleness (base commit -> derived commit absorbing it):"
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+                "derived table", "n", "mean", "p99", "max"
+            );
+            for (table, h) in &self.staleness {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+                    table,
+                    h.count,
+                    fmt_us(h.mean as u64),
+                    fmt_us(h.p99),
+                    fmt_us(h.max)
+                );
+            }
+        }
+
+        let _ = writeln!(out, "\nlatency histograms:");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+            "metric", "n", "mean", "p99", "max"
+        );
+        for (name, h) in [
+            ("queue_us", &self.queue_us),
+            ("lock_wait_us", &self.lock_wait_us),
+            ("wal_us", &self.wal_us),
+            ("plan_compile_us", &self.plan_compile_us),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                fmt_us(h.mean as u64),
+                fmt_us(h.p99),
+                fmt_us(h.max)
+            );
+        }
+        for (kind, h) in &self.exec_us {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                format!("exec[{kind}]"),
+                h.count,
+                fmt_us(h.mean as u64),
+                fmt_us(h.p99),
+                fmt_us(h.max)
+            );
+        }
+        out
+    }
+}
+
+/// Format a µs quantity with a readable unit.
+pub fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ObsSink;
+    use crate::EventKind;
+
+    fn sample() -> ObsSnapshot {
+        let s = ObsSink::new(16);
+        s.event(1, 2, EventKind::TxnCommit, "a\"b", 3);
+        s.record_queue(100);
+        s.record_exec("update", 172);
+        s.record_staleness("comp_prices", 1_500_000);
+        s.snapshot()
+    }
+
+    #[test]
+    fn json_is_valid_and_contains_tables() {
+        let j = sample().to_json();
+        crate::json::validate(&j).unwrap();
+        assert!(j.contains("\"comp_prices\""), "{j}");
+        assert!(j.contains("\"queue_us\""), "{j}");
+        assert!(j.contains("\"update\""), "{j}");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prometheus_has_expected_series() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("strip_queue_us_count 1"), "{p}");
+        assert!(
+            p.contains("strip_staleness_us_count{table=\"comp_prices\"} 1"),
+            "{p}"
+        );
+        assert!(p.contains("strip_exec_us_count{kind=\"update\"} 1"), "{p}");
+    }
+
+    #[test]
+    fn table_renders_staleness_rows() {
+        let t = sample().render_table();
+        assert!(t.contains("comp_prices"), "{t}");
+        assert!(t.contains("exec[update]"), "{t}");
+    }
+
+    #[test]
+    fn fmt_us_units() {
+        assert_eq!(fmt_us(999), "999us");
+        assert_eq!(fmt_us(20_000), "20.0ms");
+        assert_eq!(fmt_us(12_000_000), "12.0s");
+    }
+}

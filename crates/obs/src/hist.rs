@@ -1,0 +1,205 @@
+//! Log-bucketed latency histograms.
+//!
+//! Bucket `k` covers `[2^(k-1), 2^k)` µs (bucket 0 holds exact zeros), i.e.
+//! index = bit-length of the value. 65 buckets cover the full `u64` range.
+//! All counters are relaxed atomics so recording is wait-free; quantiles are
+//! approximate at power-of-two resolution — a bucket's upper edge `2^k − 1`
+//! is reported — which is plenty for the paper's µs-to-minutes staleness
+//! spans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    (64 - us.leading_zeros()) as usize
+}
+
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile: the upper edge of the bucket holding the q-th
+    /// observation (`q` in `[0, 1]`). Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper edge of bucket k: 2^k − 1 (bucket 0 is exactly 0),
+                // clipped to the observed max so p100 is exact.
+                let edge = if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 };
+                return edge.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Immutable summary for exporters.
+    pub fn summary(&self) -> HistSummary {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    let edge = if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 };
+                    Some((edge, n))
+                }
+            })
+            .collect();
+        HistSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`]. `buckets` lists
+/// `(upper_edge_us, count)` for non-empty buckets, ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn count_sum_max_mean() {
+        let h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_hits_bucket_edge() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, edge 127
+        }
+        h.record(10_000); // bucket 14, edge 16383
+        assert_eq!(h.percentile(0.50), 127);
+        // The 100th observation is the outlier; p100 clips to observed max.
+        assert_eq!(h.percentile(1.0), 10_000);
+        assert_eq!(h.percentile(0.99), 127);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.summary().buckets.is_empty());
+    }
+
+    #[test]
+    fn summary_buckets_are_sparse_and_sorted() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(300);
+        let s = h.summary();
+        assert_eq!(s.buckets, vec![(0, 1), (7, 2), (511, 1)]);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn zero_only_histogram() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # strip-obs
+//!
+//! The observability backbone of the STRIP reproduction. The paper's entire
+//! evaluation is observational — temporal *staleness* of derived data and
+//! transaction response/queue times under load (Figures 9–14) — so every
+//! layer of the system reports into a shared [`ObsSink`]:
+//!
+//! * a lock-free, bounded, overwriting ring buffer of typed [`TraceEvent`]s
+//!   covering the transaction lifecycle (submit → release → start →
+//!   commit/abort), rule firing → unique-batch coalescing → action
+//!   execution, lock waits, WAL append/commit, and plan compile/execute;
+//! * log-bucketed (power-of-two µs) [`Histogram`]s for queue time, lock
+//!   wait, WAL latency, plan-compile time, and per-kind execution time;
+//! * a [`StalenessTracker`] recording, per derived table, the lag between a
+//!   base-data commit and the derived commit that absorbs it (max/mean/p99
+//!   — the paper's staleness metric);
+//! * exporters: a JSON snapshot, a Prometheus-text dump, and a rendered
+//!   per-run table (consumed by the `strip-report` binary in `strip-bench`).
+//!
+//! Observability is **always on** by default; the disabled sink
+//! ([`ObsSink::disabled`]) reduces every hook to one relaxed atomic load so
+//! the instrumented hot path stays within noise of an uninstrumented build
+//! (guarded by `crates/txn/tests/obs_overhead.rs`).
+//!
+//! This crate sits below `strip-txn` in the dependency order and depends
+//! only on `parking_lot`, so every other crate can report into it.
+
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod ring;
+pub mod sink;
+pub mod stale;
+
+pub use event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
+pub use hist::{HistSummary, Histogram};
+pub use ring::TraceRing;
+pub use sink::{ObsSink, ObsSnapshot};
+pub use stale::StalenessTracker;

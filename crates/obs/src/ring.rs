@@ -1,0 +1,187 @@
+//! Lock-free bounded overwriting trace ring.
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and publish
+//! with a per-slot sequence word (seqlock style): while a write is in flight
+//! the slot's `seq` holds the odd value `2*i + 1`; once the payload is
+//! stored it becomes the even value `2*i + 2`. Readers snapshot the last
+//! `capacity` slots and keep only those whose sequence was even and
+//! unchanged across the payload read — a slot being overwritten concurrently
+//! is simply dropped from the snapshot. Old events are overwritten, never
+//! blocked on: tracing must never stall the system it observes.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct TraceRing {
+    mask: u64,
+    head: AtomicU64,
+    seq: Vec<AtomicU64>,
+    slots: Vec<UnsafeCell<TraceEvent>>,
+}
+
+// Safety: slots are only written by the thread that claimed the matching
+// head index, and readers validate the seqlock word around every payload
+// read, discarding torn slots.
+unsafe impl Sync for TraceRing {}
+unsafe impl Send for TraceRing {}
+
+impl TraceRing {
+    /// Create a ring with `capacity` slots, rounded up to a power of two.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let zero = TraceEvent::new(
+            0,
+            0,
+            crate::event::EventKind::TxnSubmit,
+            crate::event::Sym::EMPTY,
+            0,
+        );
+        TraceRing {
+            mask: (cap as u64) - 1,
+            head: AtomicU64::new(0),
+            seq: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..cap).map(|_| UnsafeCell::new(zero)).collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of events ever pushed (monotonic; may exceed capacity).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Append an event, overwriting the oldest slot when full.
+    pub fn push(&self, ev: TraceEvent) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (i & self.mask) as usize;
+        // Mark in-flight (odd), store, publish (even). Release on publish
+        // pairs with the reader's Acquire loads.
+        self.seq[slot].store(i * 2 + 1, Ordering::Release);
+        unsafe { *self.slots[slot].get() = ev };
+        self.seq[slot].store(i * 2 + 2, Ordering::Release);
+    }
+
+    /// Snapshot the most recent events, oldest first. Slots being written
+    /// concurrently are skipped.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = (i & self.mask) as usize;
+            let s1 = self.seq[slot].load(Ordering::Acquire);
+            if s1 != i * 2 + 2 {
+                continue; // torn, overwritten, or never completed
+            }
+            let ev = unsafe { *self.slots[slot].get() };
+            let s2 = self.seq[slot].load(Ordering::Acquire);
+            if s2 == s1 {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut snap = self.snapshot();
+        if snap.len() > n {
+            snap.drain(..snap.len() - n);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Sym};
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent::new(at, at, EventKind::TxnStart, Sym::EMPTY, 0)
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(TraceRing::new(100).capacity(), 128);
+        assert_eq!(TraceRing::new(4096).capacity(), 4096);
+        assert_eq!(TraceRing::new(0).capacity(), 2);
+    }
+
+    #[test]
+    fn snapshot_returns_in_order() {
+        let r = TraceRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(
+            snap.iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(r.pushed(), 10);
+    }
+
+    #[test]
+    fn tail_limits_count() {
+        let r = TraceRing::new(16);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let t = r.tail(3);
+        assert_eq!(t.iter().map(|e| e.at_us).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(r.tail(100).len(), 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        use std::sync::Arc;
+        let r = Arc::new(TraceRing::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    // Encode writer id in both fields so tearing is detectable.
+                    let v = t * 1_000_000 + i;
+                    r.push(TraceEvent::new(v, v, EventKind::TxnStart, Sym::EMPTY, v));
+                }
+            }));
+        }
+        let reader = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for e in r.snapshot() {
+                        assert_eq!(e.at_us, e.txn, "torn event");
+                        assert_eq!(e.at_us, e.dur_us, "torn event");
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(r.pushed(), 40_000);
+    }
+}

@@ -1,0 +1,269 @@
+//! The shared observability sink.
+//!
+//! One `Arc<ObsSink>` is created per `Strip` instance (or standalone for a
+//! bare `Simulator`) and handed to every layer. Each recording hook first
+//! does a single relaxed load of `enabled`; the disabled sink therefore
+//! costs one predictable branch on the hot path, which the overhead-guard
+//! test (`crates/txn/tests/obs_overhead.rs`) pins within noise.
+
+use crate::event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
+use crate::hist::{HistSummary, Histogram};
+use crate::ring::TraceRing;
+use crate::stale::StalenessTracker;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub struct ObsSink {
+    enabled: AtomicBool,
+    interner: Interner,
+    ring: TraceRing,
+    /// Scheduler queue time: task start − release (virtual µs).
+    queue_us: Histogram,
+    /// Lock-acquisition wait (wall-clock µs; ~0 in single-threaded sim mode).
+    lock_wait_us: Histogram,
+    /// Charged WAL append+fsync cost per durable commit (virtual µs).
+    wal_us: Histogram,
+    /// SQL plan compilation on cache miss (wall-clock µs).
+    plan_compile_us: Histogram,
+    /// Per-task-kind charged execution time (virtual µs).
+    exec_us: RwLock<HashMap<String, Arc<Histogram>>>,
+    staleness: StalenessTracker,
+}
+
+impl ObsSink {
+    /// An enabled sink whose trace ring holds `ring_capacity` events
+    /// (rounded up to a power of two).
+    pub fn new(ring_capacity: usize) -> Arc<ObsSink> {
+        Arc::new(ObsSink {
+            enabled: AtomicBool::new(true),
+            interner: Interner::new(),
+            ring: TraceRing::new(ring_capacity),
+            queue_us: Histogram::new(),
+            lock_wait_us: Histogram::new(),
+            wal_us: Histogram::new(),
+            plan_compile_us: Histogram::new(),
+            exec_us: RwLock::new(HashMap::new()),
+            staleness: StalenessTracker::new(),
+        })
+    }
+
+    /// A no-op sink: every hook returns after one relaxed atomic load.
+    pub fn disabled() -> Arc<ObsSink> {
+        let s = ObsSink::new(2);
+        s.enabled.store(false, Ordering::Relaxed);
+        s
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Intern a detail string for reuse across many events.
+    pub fn intern(&self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    // ---- event recording ------------------------------------------------
+
+    /// Append a raw event with a pre-interned detail symbol.
+    #[inline]
+    pub fn event_sym(&self, at_us: u64, txn: u64, kind: EventKind, detail: Sym, dur_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.ring
+            .push(TraceEvent::new(at_us, txn, kind, detail, dur_us));
+    }
+
+    /// Append an event, interning `detail`.
+    #[inline]
+    pub fn event(&self, at_us: u64, txn: u64, kind: EventKind, detail: &str, dur_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let sym = self.interner.intern(detail);
+        self.ring
+            .push(TraceEvent::new(at_us, txn, kind, sym, dur_us));
+    }
+
+    // ---- histogram recording --------------------------------------------
+
+    #[inline]
+    pub fn record_queue(&self, us: u64) {
+        if self.is_enabled() {
+            self.queue_us.record(us);
+        }
+    }
+
+    #[inline]
+    pub fn record_lock_wait(&self, us: u64) {
+        if self.is_enabled() {
+            self.lock_wait_us.record(us);
+        }
+    }
+
+    #[inline]
+    pub fn record_wal(&self, us: u64) {
+        if self.is_enabled() {
+            self.wal_us.record(us);
+        }
+    }
+
+    #[inline]
+    pub fn record_plan_compile(&self, us: u64) {
+        if self.is_enabled() {
+            self.plan_compile_us.record(us);
+        }
+    }
+
+    /// Record charged execution time under the task's kind.
+    pub fn record_exec(&self, kind: &str, us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(h) = self.exec_us.read().get(kind) {
+            h.record(us);
+            return;
+        }
+        let mut w = self.exec_us.write();
+        w.entry(kind.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .record(us);
+    }
+
+    /// Record derived-table staleness (also traced as a `Staleness` event by
+    /// the caller, which knows the txn id).
+    #[inline]
+    pub fn record_staleness(&self, table: &str, lag_us: u64) {
+        if self.is_enabled() {
+            self.staleness.record(table, lag_us);
+        }
+    }
+
+    // ---- reading --------------------------------------------------------
+
+    /// The last `n` trace events with details resolved, oldest first.
+    pub fn trace_tail(&self, n: usize) -> Vec<ResolvedEvent> {
+        self.ring
+            .tail(n)
+            .into_iter()
+            .map(|e| ResolvedEvent {
+                at_us: e.at_us,
+                txn: e.txn,
+                kind: e.kind,
+                detail: self.interner.resolve(e.detail),
+                dur_us: e.dur_us,
+            })
+            .collect()
+    }
+
+    /// Total events ever traced (monotonic; ring may have dropped old ones).
+    pub fn events_traced(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Point-in-time summary of every histogram and the staleness tracker.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut exec: Vec<(String, HistSummary)> = self
+            .exec_us
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+        exec.sort_by(|a, b| a.0.cmp(&b.0));
+        ObsSnapshot {
+            enabled: self.is_enabled(),
+            events_traced: self.ring.pushed(),
+            ring_capacity: self.ring.capacity() as u64,
+            queue_us: self.queue_us.summary(),
+            lock_wait_us: self.lock_wait_us.summary(),
+            wal_us: self.wal_us.summary(),
+            plan_compile_us: self.plan_compile_us.summary(),
+            exec_us: exec,
+            staleness: self.staleness.summaries(),
+        }
+    }
+}
+
+/// Everything an exporter needs, detached from the live sink.
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    pub enabled: bool,
+    pub events_traced: u64,
+    pub ring_capacity: u64,
+    pub queue_us: HistSummary,
+    pub lock_wait_us: HistSummary,
+    pub wal_us: HistSummary,
+    pub plan_compile_us: HistSummary,
+    /// Per task kind, sorted by kind.
+    pub exec_us: Vec<(String, HistSummary)>,
+    /// Per derived table, sorted by table.
+    pub staleness: Vec<(String, HistSummary)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = ObsSink::disabled();
+        s.event(1, 1, EventKind::TxnStart, "x", 0);
+        s.record_queue(10);
+        s.record_exec("update", 172);
+        s.record_staleness("comp_prices", 5);
+        let snap = s.snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.events_traced, 0);
+        assert_eq!(snap.queue_us.count, 0);
+        assert!(snap.exec_us.is_empty());
+        assert!(snap.staleness.is_empty());
+        assert!(s.trace_tail(10).is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_accumulates() {
+        let s = ObsSink::new(64);
+        s.event(100, 7, EventKind::RuleFire, "comp_rule", 0);
+        s.event(200, 7, EventKind::TxnCommit, "", 150);
+        s.record_queue(50);
+        s.record_queue(70);
+        s.record_exec("update", 172);
+        s.record_exec("update", 172);
+        s.record_exec("recompute:f", 9_000);
+        s.record_staleness("comp_prices", 2_000_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.events_traced, 2);
+        assert_eq!(snap.queue_us.count, 2);
+        assert_eq!(snap.queue_us.sum, 120);
+        assert_eq!(snap.exec_us.len(), 2);
+        assert_eq!(snap.exec_us[0].0, "recompute:f");
+        assert_eq!(snap.exec_us[1].0, "update");
+        assert_eq!(snap.exec_us[1].1.count, 2);
+        assert_eq!(snap.staleness.len(), 1);
+        assert_eq!(snap.staleness[0].1.max, 2_000_000);
+
+        let tail = s.trace_tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].detail, "comp_rule");
+        assert_eq!(tail[1].kind, EventKind::TxnCommit);
+    }
+
+    #[test]
+    fn toggle_enabled_at_runtime() {
+        let s = ObsSink::new(8);
+        s.record_queue(1);
+        s.set_enabled(false);
+        s.record_queue(1);
+        s.set_enabled(true);
+        s.record_queue(1);
+        assert_eq!(s.snapshot().queue_us.count, 2);
+    }
+}

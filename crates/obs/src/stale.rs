@@ -1,0 +1,87 @@
+//! Per-derived-table staleness tracking.
+//!
+//! Staleness — the paper's central evaluation metric (Figures 9, 11, 14) —
+//! is the lag between a *base-data* commit and the *derived* commit that
+//! absorbs it. With unique rules and `after` batching windows a single
+//! derived commit may absorb many base commits; we measure from the
+//! **earliest** merged origin, so the recorded lag is the worst staleness
+//! any absorbed update experienced.
+
+use crate::hist::{HistSummary, Histogram};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub struct StalenessTracker {
+    tables: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl StalenessTracker {
+    pub fn new() -> Self {
+        StalenessTracker {
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Record that a commit to derived `table` absorbed base data whose
+    /// earliest origin committed `lag_us` virtual µs earlier.
+    pub fn record(&self, table: &str, lag_us: u64) {
+        if let Some(h) = self.tables.read().get(table) {
+            h.record(lag_us);
+            return;
+        }
+        let mut w = self.tables.write();
+        w.entry(table.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .record(lag_us);
+    }
+
+    /// Per-table summaries, sorted by table name.
+    pub fn summaries(&self) -> Vec<(String, HistSummary)> {
+        let mut out: Vec<(String, HistSummary)> = self
+            .tables
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+impl Default for StalenessTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_table() {
+        let t = StalenessTracker::new();
+        t.record("comp_prices", 1_000_000);
+        t.record("comp_prices", 3_000_000);
+        t.record("option_prices", 500);
+        let s = t.summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, "comp_prices");
+        assert_eq!(s[0].1.count, 2);
+        assert_eq!(s[0].1.max, 3_000_000);
+        assert_eq!(s[1].0, "option_prices");
+        assert_eq!(s[1].1.count, 1);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = StalenessTracker::new();
+        assert!(t.is_empty());
+        assert!(t.summaries().is_empty());
+    }
+}

@@ -20,6 +20,7 @@ use crate::unique::{ActionPayload, Dispatch, UniqueManager};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use strip_obs::{EventKind, ObsSink};
 use strip_sql::ast::BindableQuery;
 use strip_sql::exec::{execute_select, execute_select_bound, Env, Rel};
 use strip_sql::expr::ScalarFn;
@@ -112,6 +113,8 @@ pub struct RuleEngine {
     /// plans every invocation (standalone use); `strip-core` installs the
     /// database-wide cache so rules reuse plans across transactions.
     plan_cache: Option<Arc<PlanCache>>,
+    /// Observability sink for rule-firing / coalescing / dispatch spans.
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl RuleEngine {
@@ -126,6 +129,12 @@ impl RuleEngine {
             plan_cache: Some(cache),
             ..RuleEngine::default()
         }
+    }
+
+    /// Attach an observability sink (chainable at construction).
+    pub fn with_obs(mut self, obs: Arc<ObsSink>) -> RuleEngine {
+        self.obs = Some(obs);
+        self
     }
 
     /// Define a rule (already compiled).
@@ -181,12 +190,14 @@ impl RuleEngine {
     /// enqueue (merged firings don't spawn).
     ///
     /// `env` must resolve the base tables; transition tables are overlaid
-    /// internally. `commit_us` is the triggering transaction's commit time.
+    /// internally. `commit_us` is the triggering transaction's commit time
+    /// and `txn_id` its id (0 when unknown) — both flow into the trace.
     pub fn process_commit(
         &self,
         env: &dyn Env,
         log: &TxnLog,
         commit_us: u64,
+        txn_id: u64,
         spawn: &mut dyn FnMut(SpawnAction),
     ) -> Result<()> {
         if log.is_empty() {
@@ -255,10 +266,24 @@ impl RuleEngine {
                     run_bindable(&rule_env, bq, commit_us, &mut bound, c)?;
                 }
 
+                if let Some(obs) = &self.obs {
+                    obs.event(commit_us, txn_id, EventKind::RuleFire, &rule.name, 0);
+                }
                 let release_us = commit_us + rule.after_us;
                 match &rule.unique {
                     None => {
-                        let payload = self.unique.dispatch_non_unique(&rule.execute, bound);
+                        let payload =
+                            self.unique
+                                .dispatch_non_unique(&rule.execute, bound, commit_us);
+                        if let Some(obs) = &self.obs {
+                            obs.event(
+                                commit_us,
+                                txn_id,
+                                EventKind::ActionDispatch,
+                                &rule.execute,
+                                rule.after_us,
+                            );
+                        }
                         spawn(SpawnAction {
                             rule: rule.name.clone(),
                             func: rule.execute.clone(),
@@ -267,17 +292,42 @@ impl RuleEngine {
                         });
                     }
                     Some(cols) => {
-                        for d in self
-                            .unique
-                            .dispatch_unique(&rule.execute, cols, bound, meter)?
-                        {
-                            if let Dispatch::New(payload) = d {
-                                spawn(SpawnAction {
-                                    rule: rule.name.clone(),
-                                    func: rule.execute.clone(),
-                                    payload,
-                                    release_us,
-                                });
+                        for d in self.unique.dispatch_unique(
+                            &rule.execute,
+                            cols,
+                            bound,
+                            meter,
+                            commit_us,
+                        )? {
+                            match d {
+                                Dispatch::New(payload) => {
+                                    if let Some(obs) = &self.obs {
+                                        obs.event(
+                                            commit_us,
+                                            txn_id,
+                                            EventKind::ActionDispatch,
+                                            &rule.execute,
+                                            rule.after_us,
+                                        );
+                                    }
+                                    spawn(SpawnAction {
+                                        rule: rule.name.clone(),
+                                        func: rule.execute.clone(),
+                                        payload,
+                                        release_us,
+                                    });
+                                }
+                                Dispatch::Merged => {
+                                    if let Some(obs) = &self.obs {
+                                        obs.event(
+                                            commit_us,
+                                            txn_id,
+                                            EventKind::UniqueCoalesce,
+                                            &rule.execute,
+                                            0,
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
@@ -360,7 +410,7 @@ fn run_bindable(
 
     let plan_for = |env: &dyn Env| -> strip_sql::Result<Arc<PhysicalPlan>> {
         match cache {
-            Some((c, key)) => c.get_or_plan(key, env.schema_epoch(), || {
+            Some((c, key)) => c.get_or_plan_at(key, env.schema_epoch(), commit_us, || {
                 plan_query(env, &query).map(PhysicalPlan::Select)
             }),
             None => Ok(Arc::new(PhysicalPlan::Select(plan_query(env, &query)?))),

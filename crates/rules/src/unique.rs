@@ -36,6 +36,11 @@ pub struct PayloadState {
     pub fixed: bool,
     /// Number of rule firings merged into this payload (diagnostics).
     pub merged_firings: u64,
+    /// Commit time (virtual µs) of the *earliest* triggering base-data
+    /// transaction merged into this payload. The staleness of the derived
+    /// data this action maintains is measured from here: when firings are
+    /// coalesced, the oldest absorbed update has waited the longest.
+    pub origin_us: u64,
 }
 
 /// The control-block payload shared between the task queued in the executor
@@ -53,7 +58,12 @@ pub struct ActionPayload {
 }
 
 impl ActionPayload {
-    fn new(func: &str, unique_key: Vec<Value>, bound: HashMap<String, TempTable>) -> ActionPayload {
+    fn new(
+        func: &str,
+        unique_key: Vec<Value>,
+        bound: HashMap<String, TempTable>,
+        origin_us: u64,
+    ) -> ActionPayload {
         ActionPayload {
             func: func.to_string(),
             unique_key,
@@ -61,8 +71,15 @@ impl ActionPayload {
                 bound,
                 fixed: false,
                 merged_firings: 1,
+                origin_us,
             }),
         }
+    }
+
+    /// Commit time of the earliest base transaction this payload absorbs
+    /// (see [`PayloadState::origin_us`]).
+    pub fn origin_us(&self) -> u64 {
+        self.state.lock().origin_us
     }
 
     /// Snapshot the bound tables for execution (called by the action task
@@ -106,10 +123,10 @@ struct FnTable {
 ///     HashMap::from([("matches".to_string(), t)])
 /// };
 /// // First firing creates a pending transaction per composite...
-/// let d1 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 1.0)]), &NullMeter).unwrap();
+/// let d1 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 1.0)]), &NullMeter, 100).unwrap();
 /// assert!(matches!(d1[0], Dispatch::New(_)));
 /// // ...a second firing for the same composite merges instead.
-/// let d2 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 2.0)]), &NullMeter).unwrap();
+/// let d2 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 2.0)]), &NullMeter, 200).unwrap();
 /// assert!(matches!(d2[0], Dispatch::Merged));
 /// assert_eq!(um.pending_count("f"), 1);
 /// ```
@@ -171,24 +188,29 @@ impl UniqueManager {
         names
     }
 
-    /// Dispatch a non-unique firing: always a fresh payload, never registered.
+    /// Dispatch a non-unique firing: always a fresh payload, never
+    /// registered. `commit_us` is the triggering transaction's commit time
+    /// (the staleness origin).
     pub fn dispatch_non_unique(
         &self,
         func: &str,
         bound: HashMap<String, TempTable>,
+        commit_us: u64,
     ) -> Arc<ActionPayload> {
-        Arc::new(ActionPayload::new(func, Vec::new(), bound))
+        Arc::new(ActionPayload::new(func, Vec::new(), bound, commit_us))
     }
 
     /// Dispatch a unique firing. `unique_cols` is the rule's `unique on`
     /// list (empty = coarse batching). `bound` holds the firing's bound
-    /// tables. Returns one [`Dispatch`] per partition.
+    /// tables; `commit_us` is the triggering transaction's commit time.
+    /// Returns one [`Dispatch`] per partition.
     pub fn dispatch_unique(
         &self,
         func: &str,
         unique_cols: &[String],
         bound: HashMap<String, TempTable>,
         meter: &dyn Meter,
+        commit_us: u64,
     ) -> Result<Vec<Dispatch>> {
         let func = func.to_ascii_lowercase();
         let partitions = partition_bound_tables_metered(unique_cols, bound, meter)?;
@@ -204,7 +226,8 @@ impl UniqueManager {
                         // The queued task started running between our lookup
                         // and now (possible in pool mode): start a fresh one.
                         drop(st);
-                        let payload = Arc::new(ActionPayload::new(&func, key.clone(), part));
+                        let payload =
+                            Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us));
                         fn_table.pending.insert(key, payload.clone());
                         out.push(Dispatch::New(payload));
                         continue;
@@ -226,10 +249,11 @@ impl UniqueManager {
                         }
                     }
                     st.merged_firings += 1;
+                    st.origin_us = st.origin_us.min(commit_us);
                     out.push(Dispatch::Merged);
                 }
                 None => {
-                    let payload = Arc::new(ActionPayload::new(&func, key.clone(), part));
+                    let payload = Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us));
                     fn_table.pending.insert(key, payload.clone());
                     out.push(Dispatch::New(payload));
                 }
@@ -477,6 +501,7 @@ mod tests {
                 &["comp".to_string()],
                 bound_with(&[("C1", 1.0), ("C2", 2.0)]),
                 &NullMeter,
+                1_000,
             )
             .unwrap();
         assert_eq!(d1.len(), 2);
@@ -490,6 +515,7 @@ mod tests {
                 &["comp".to_string()],
                 bound_with(&[("C1", 5.0), ("C3", 9.0)]),
                 &NullMeter,
+                2_500,
             )
             .unwrap();
         assert_eq!(d2.len(), 2);
@@ -510,13 +536,32 @@ mod tests {
         assert_eq!(st.bound["matches"].value(0, 1).as_f64(), Some(1.0));
         assert_eq!(st.bound["matches"].value(1, 1).as_f64(), Some(5.0));
         assert_eq!(st.merged_firings, 2);
+        // The staleness origin stays at the earliest merged commit.
+        assert_eq!(st.origin_us, 1_000);
+    }
+
+    #[test]
+    fn merge_keeps_earliest_origin() {
+        let um = UniqueManager::new();
+        let d1 = um
+            .dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter, 5_000)
+            .unwrap();
+        let Dispatch::New(p) = &d1[0] else { panic!() };
+        // Merging an *earlier* commit (possible with pool-mode reordering)
+        // moves the origin back; a later one leaves it alone.
+        um.dispatch_unique("f", &[], bound_with(&[("C2", 2.0)]), &NullMeter, 3_000)
+            .unwrap();
+        assert_eq!(p.origin_us(), 3_000);
+        um.dispatch_unique("f", &[], bound_with(&[("C3", 3.0)]), &NullMeter, 9_000)
+            .unwrap();
+        assert_eq!(p.origin_us(), 3_000);
     }
 
     #[test]
     fn begin_action_fixes_and_unregisters() {
         let um = UniqueManager::new();
         let d = um
-            .dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter)
+            .dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter, 0)
             .unwrap();
         let Dispatch::New(p) = &d[0] else { panic!() };
         assert_eq!(um.pending_count("f"), 1);
@@ -526,7 +571,7 @@ mod tests {
 
         // After fixing, a new firing starts a NEW transaction (§2).
         let d2 = um
-            .dispatch_unique("f", &[], bound_with(&[("C2", 2.0)]), &NullMeter)
+            .dispatch_unique("f", &[], bound_with(&[("C2", 2.0)]), &NullMeter, 0)
             .unwrap();
         assert!(matches!(d2[0], Dispatch::New(_)));
         // And the old payload was not touched.
@@ -536,7 +581,7 @@ mod tests {
     #[test]
     fn merge_with_mismatched_schema_is_error() {
         let um = UniqueManager::new();
-        um.dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter)
+        um.dispatch_unique("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter, 0)
             .unwrap();
         // A firing with a differently-defined `matches`.
         let other_schema = Schema::of(&[("comp", DataType::Str)]).into_ref();
@@ -544,7 +589,7 @@ mod tests {
         let mut t = TempTable::materialized("matches", other_schema);
         t.push_row(vec!["C1".into()]).unwrap();
         bad.insert("matches".to_string(), t);
-        let e = um.dispatch_unique("f", &[], bad, &NullMeter);
+        let e = um.dispatch_unique("f", &[], bad, &NullMeter, 0);
         assert!(matches!(e, Err(RuleError::BoundTableMismatch(_))));
     }
 

@@ -119,7 +119,7 @@ proptest! {
         let mut new_payloads = Vec::new();
         for rows in &firings {
             for d in um
-                .dispatch_unique("f", &["a".to_string()], bound_from(rows), &NullMeter)
+                .dispatch_unique("f", &["a".to_string()], bound_from(rows), &NullMeter, 0)
                 .unwrap()
             {
                 if let Dispatch::New(p) = d {

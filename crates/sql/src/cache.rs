@@ -12,6 +12,7 @@ use crate::plan::PhysicalPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use strip_obs::{EventKind, ObsSink};
 
 struct CachedPlan {
     epoch: u64,
@@ -24,12 +25,21 @@ pub struct PlanCache {
     plans: Mutex<HashMap<String, CachedPlan>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl PlanCache {
     /// New empty cache.
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// New empty cache that traces compile spans into `obs`.
+    pub fn with_obs(obs: Arc<ObsSink>) -> PlanCache {
+        PlanCache {
+            obs: Some(obs),
+            ..PlanCache::default()
+        }
     }
 
     /// Look up `key` at `epoch`; on a miss (absent or planned under an older
@@ -43,6 +53,20 @@ impl PlanCache {
         epoch: u64,
         build: impl FnOnce() -> Result<PhysicalPlan>,
     ) -> Result<Arc<PhysicalPlan>> {
+        self.get_or_plan_at(key, epoch, 0, build)
+    }
+
+    /// [`PlanCache::get_or_plan`] with a virtual-clock timestamp for the
+    /// traced `plan.compile` span. The span's *timestamp* is virtual time;
+    /// its *duration* is real wall-clock µs, because planning is host work
+    /// the Table-1 cost model does not price.
+    pub fn get_or_plan_at(
+        &self,
+        key: &str,
+        epoch: u64,
+        at_us: u64,
+        build: impl FnOnce() -> Result<PhysicalPlan>,
+    ) -> Result<Arc<PhysicalPlan>> {
         if let Some(cached) = self.plans.lock().expect("plan cache lock").get(key) {
             if cached.epoch == epoch {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -50,7 +74,13 @@ impl PlanCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
         let plan = Arc::new(build()?);
+        if let Some(obs) = &self.obs {
+            let compile_us = t0.elapsed().as_micros() as u64;
+            obs.event(at_us, 0, EventKind::PlanCompile, key, compile_us);
+            obs.record_plan_compile(compile_us);
+        }
         self.plans.lock().expect("plan cache lock").insert(
             key.to_string(),
             CachedPlan {
@@ -140,6 +170,22 @@ mod tests {
         // A later success caches normally.
         c.get_or_plan("bad", 1, || Ok(dummy_plan())).unwrap();
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn obs_traces_compiles_but_not_hits() {
+        let obs = ObsSink::new(16);
+        let c = PlanCache::with_obs(obs.clone());
+        c.get_or_plan_at("k", 1, 500, || Ok(dummy_plan())).unwrap();
+        c.get_or_plan_at("k", 1, 600, || panic!("must not replan"))
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.plan_compile_us.count, 1);
+        let tail = obs.trace_tail(10);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, EventKind::PlanCompile);
+        assert_eq!(tail[0].at_us, 500);
+        assert_eq!(tail[0].detail, "k");
     }
 
     #[test]

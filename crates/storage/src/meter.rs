@@ -68,6 +68,10 @@ pub enum Op {
     RuleCheck,
     /// One log record scanned during commit-time event detection.
     LogScanRecord,
+    /// Append one commit record to the write-ahead log (durable mode only).
+    WalAppendRecord,
+    /// Force the write-ahead log to stable storage (one fsync per commit).
+    WalFsync,
 }
 
 /// All `Op` variants, for iteration in reports.
@@ -95,6 +99,8 @@ pub const ALL_OPS: &[Op] = &[
     Op::UniqueHashOp,
     Op::RuleCheck,
     Op::LogScanRecord,
+    Op::WalAppendRecord,
+    Op::WalFsync,
 ];
 
 /// Sink for operation accounting. Implementations must be cheap: `charge`

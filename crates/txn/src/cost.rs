@@ -22,7 +22,7 @@ pub struct CostModel {
     costs: [u64; COST_SLOTS],
 }
 
-const COST_SLOTS: usize = 23;
+const COST_SLOTS: usize = 25;
 
 fn slot(op: Op) -> usize {
     match op {
@@ -49,6 +49,8 @@ fn slot(op: Op) -> usize {
         Op::UniqueHashOp => 20,
         Op::RuleCheck => 21,
         Op::LogScanRecord => 22,
+        Op::WalAppendRecord => 23,
+        Op::WalFsync => 24,
     }
 }
 
@@ -91,6 +93,12 @@ impl CostModel {
         m.set(Op::UniqueHashOp, 5);
         m.set(Op::RuleCheck, 10);
         m.set(Op::LogScanRecord, 2);
+        // Durable-mode WAL costs (charged only when a WAL is attached; the
+        // paper's 172 µs simple update is non-durable and unaffected). The
+        // fsync figure models a battery-backed log device, not a full disk
+        // rotation.
+        m.set(Op::WalAppendRecord, 3);
+        m.set(Op::WalFsync, 40);
         m
     }
 

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use strip_obs::{EventKind, ObsSink};
 
 struct PoolState {
     delay: DelayQueue,
@@ -35,6 +36,7 @@ struct PoolInner {
     epoch: Instant,
     stats: Mutex<SimStats>,
     active: AtomicUsize,
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl PoolInner {
@@ -52,6 +54,18 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Start `workers` threads with the given cost model and policy.
     pub fn new(workers: usize, model: CostModel, policy: Policy) -> WorkerPool {
+        WorkerPool::new_with_obs(workers, model, policy, None)
+    }
+
+    /// Like [`WorkerPool::new`] but with an observability sink. The sink
+    /// must be supplied at construction because worker threads start
+    /// immediately.
+    pub fn new_with_obs(
+        workers: usize,
+        model: CostModel,
+        policy: Policy,
+        obs: Option<Arc<ObsSink>>,
+    ) -> WorkerPool {
         let inner = Arc::new(PoolInner {
             state: Mutex::new(PoolState {
                 delay: DelayQueue::new(),
@@ -64,6 +78,7 @@ impl WorkerPool {
             epoch: Instant::now(),
             stats: Mutex::new(SimStats::default()),
             active: AtomicUsize::new(0),
+            obs,
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -82,6 +97,15 @@ impl WorkerPool {
 
     /// Submit a task. `task.release_us` is interpreted on the pool's clock.
     pub fn submit(&self, task: Task) {
+        if let Some(obs) = &self.inner.obs {
+            obs.event(
+                self.inner.now_us(),
+                task.id.0,
+                EventKind::TxnSubmit,
+                &task.kind,
+                0,
+            );
+        }
         let mut st = self.inner.state.lock();
         if task.release_us > self.inner.now_us() {
             st.delay.push(task);
@@ -180,6 +204,17 @@ fn worker_loop(inner: Arc<PoolInner>) {
         inner.active.fetch_add(1, Ordering::SeqCst);
         let meter = CostMeter::new(inner.model.clone());
         let start_us = inner.now_us();
+        let pool_queue_us = start_us.saturating_sub(task.release_us);
+        if let Some(obs) = &inner.obs {
+            obs.event(
+                start_us,
+                task.id.0,
+                EventKind::TxnStart,
+                &task.kind,
+                pool_queue_us,
+            );
+            obs.record_queue(pool_queue_us);
+        }
         let mut ctx = TaskCtx {
             start_us,
             task_id: task.id,
@@ -205,6 +240,9 @@ fn worker_loop(inner: Arc<PoolInner>) {
             ks.total_us += charged;
             ks.max_us = ks.max_us.max(charged);
             ks.queue_us += start_us.saturating_sub(release_us);
+        }
+        if let Some(obs) = &inner.obs {
+            obs.record_exec(&kind, charged);
         }
         if !spawned.is_empty() {
             let mut st = inner.state.lock();

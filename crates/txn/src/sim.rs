@@ -18,6 +18,8 @@ use crate::fault::{decide, FaultDecision, FaultPoint, InjectorHandle};
 use crate::sched::{DelayQueue, Policy, ReadyQueue};
 use crate::task::{Task, TaskCtx};
 use std::collections::HashMap;
+use std::sync::Arc;
+use strip_obs::{EventKind, ObsSink};
 
 /// Aggregate statistics for one task kind.
 #[derive(Debug, Clone, Default)]
@@ -114,6 +116,7 @@ pub struct Simulator {
     model: CostModel,
     stats: SimStats,
     injector: InjectorHandle,
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl Simulator {
@@ -126,7 +129,15 @@ impl Simulator {
             model,
             stats: SimStats::default(),
             injector: None,
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink: the scheduler then traces the task
+    /// lifecycle (submit → release → start) and feeds the queue-time and
+    /// per-kind execution histograms.
+    pub fn set_obs(&mut self, obs: Option<Arc<ObsSink>>) {
+        self.obs = obs;
     }
 
     /// Install a fault injector consulted at `SchedDispatch` each time a
@@ -159,6 +170,15 @@ impl Simulator {
     /// Submit a task: future releases go to the delay queue, due tasks to
     /// the ready queue.
     pub fn submit(&mut self, task: Task) {
+        if let Some(obs) = &self.obs {
+            obs.event(
+                self.clock_us,
+                task.id.0,
+                EventKind::TxnSubmit,
+                &task.kind,
+                0,
+            );
+        }
         if task.release_us > self.clock_us {
             self.delay.push(task);
             self.stats.max_delay_len = self.stats.max_delay_len.max(self.delay.len());
@@ -170,6 +190,9 @@ impl Simulator {
 
     fn release_due(&mut self) {
         for t in self.delay.pop_released(self.clock_us) {
+            if let Some(obs) = &self.obs {
+                obs.event(self.clock_us, t.id.0, EventKind::TxnRelease, &t.kind, 0);
+            }
             self.ready.push(t);
         }
         self.stats.max_ready_len = self.stats.max_ready_len.max(self.ready.len());
@@ -214,12 +237,22 @@ impl Simulator {
         };
         let kind = task.kind.clone();
         let release_us = task.release_us;
+        let queue_us = self.clock_us.saturating_sub(release_us);
+        if let Some(obs) = &self.obs {
+            obs.event(
+                self.clock_us,
+                task.id.0,
+                EventKind::TxnStart,
+                &kind,
+                queue_us,
+            );
+            obs.record_queue(queue_us);
+        }
         (task.work)(&mut ctx);
         let spawned = std::mem::take(&mut ctx.spawned);
         let charged = meter.charged_us();
 
         // Account.
-        let queue_us = self.clock_us.saturating_sub(release_us);
         self.clock_us += charged;
         self.stats.busy_us += charged;
         self.stats.tasks_run += 1;
@@ -228,6 +261,9 @@ impl Simulator {
         ks.total_us += charged;
         ks.max_us = ks.max_us.max(charged);
         ks.queue_us += queue_us;
+        if let Some(obs) = &self.obs {
+            obs.record_exec(&kind, charged);
+        }
 
         // Tasks created during execution are submitted afterwards — a rule
         // action is "released as soon as the triggering transaction commits
@@ -260,6 +296,9 @@ impl Simulator {
         ks.count += 1;
         ks.total_us += charged;
         ks.max_us = ks.max_us.max(charged);
+        if let Some(obs) = &self.obs {
+            obs.record_exec(kind, charged);
+        }
         for t in spawned {
             self.submit(t);
         }
@@ -439,6 +478,81 @@ mod tests {
         sim.submit(charging("u", 0, 1).with_deadline(100));
         sim.run_to_completion();
         assert_eq!(sim.stats().deadline_misses, 0);
+    }
+
+    #[test]
+    fn queue_us_is_start_minus_release() {
+        // A 100 µs task at t=0 delays three later tasks; each task's queue
+        // time must be exactly its start time minus its release time.
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+        sim.submit(charging("blocker", 0, 10)); // runs [0, 100)
+        sim.submit(charging("u", 40, 10)); // starts 100, queued 60
+        sim.submit(charging("u", 90, 10)); // starts 200, queued 110
+        sim.submit(charging("u", 300, 10)); // idle jump: starts 300, queued 0
+        sim.run_to_completion();
+        assert_eq!(sim.stats().kind("blocker").queue_us, 0);
+        // 60 + 110 + 0 (the idle-jump task queues for nothing).
+        assert_eq!(sim.stats().kind("u").queue_us, 170);
+    }
+
+    #[test]
+    fn deadline_miss_boundary_is_start_at_or_after_deadline() {
+        // First task runs [0, 100); the contested task releases at 0 with
+        // deadline exactly 100 — starting *at* the deadline counts as a miss.
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+        sim.submit(charging("blocker", 0, 10));
+        sim.submit(charging("exact", 0, 1).with_deadline(100));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().deadline_misses, 1);
+
+        // One µs of slack and the same shape makes its deadline.
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+        sim.submit(charging("blocker", 0, 10));
+        sim.submit(charging("exact", 0, 1).with_deadline(101));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().deadline_misses, 0);
+    }
+
+    #[test]
+    fn busy_us_with_prefix_sums_only_matching_kinds() {
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+        sim.submit(charging("recompute:a", 0, 1)); // 10 µs
+        sim.submit(charging("recompute:b", 0, 2)); // 20 µs
+        sim.submit(charging("recompute", 0, 4)); // 40 µs — prefix matches itself
+        sim.submit(charging("update", 0, 8)); // 80 µs — excluded
+        sim.run_to_completion();
+        assert_eq!(sim.stats().busy_us_with_prefix("recompute"), 70);
+        assert_eq!(sim.stats().busy_us_with_prefix("recompute:"), 30);
+        assert_eq!(sim.stats().busy_us_with_prefix("nope"), 0);
+        assert_eq!(
+            sim.stats().busy_us_with_prefix(""),
+            sim.stats().busy_us,
+            "empty prefix matches every kind"
+        );
+    }
+
+    #[test]
+    fn obs_sink_traces_lifecycle_and_histograms() {
+        use strip_obs::ObsSink;
+        let obs = ObsSink::new(64);
+        let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+        sim.set_obs(Some(obs.clone()));
+        sim.submit(charging("blocker", 0, 10)); // runs [0, 100)
+        sim.submit(charging("u", 40, 10)); // delayed, released at 40, starts 100
+        sim.run_to_completion();
+
+        let kinds: Vec<EventKind> = obs.trace_tail(100).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::TxnSubmit));
+        assert!(kinds.contains(&EventKind::TxnRelease), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::TxnStart));
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.queue_us.count, 2);
+        assert_eq!(snap.queue_us.sum, 60); // blocker 0 + u 60
+        assert_eq!(snap.exec_us.len(), 2);
+        let u = snap.exec_us.iter().find(|(k, _)| k == "u").unwrap();
+        assert_eq!(u.1.count, 1);
+        assert_eq!(u.1.sum, 100);
     }
 
     #[test]

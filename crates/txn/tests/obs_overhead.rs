@@ -1,0 +1,94 @@
+//! Guard: observability must be effectively free when the sink is disabled.
+//!
+//! The ISSUE's acceptance bar is that the instrumented simulator stays
+//! within 5% of an uninstrumented run on a bench-like workload when the
+//! no-op sink is installed. Wall-clock microbenchmarks are noisy, so the
+//! test (a) interleaves the two configurations, (b) takes the minimum of
+//! several repetitions (minimum is the standard noise-robust statistic for
+//! "how fast can this go"), and (c) allows a small absolute epsilon so a
+//! sub-millisecond baseline can't fail on scheduler jitter alone. Run in
+//! release mode (CI `obs` job); under `debug_assertions` it is ignored.
+
+use std::time::{Duration, Instant};
+use strip_obs::ObsSink;
+use strip_storage::{Meter, Op};
+use strip_txn::{CostModel, Policy, Simulator, Task};
+
+const TASKS: usize = 4_000;
+const REPS: usize = 7;
+
+/// A bench-like mix: short updates plus occasional spawning triggers, with
+/// staggered releases so the delay queue and queue-time accounting are
+/// exercised.
+fn run_workload(with_obs: bool) -> Duration {
+    let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
+    if with_obs {
+        sim.set_obs(Some(ObsSink::disabled()));
+    }
+    let t0 = Instant::now();
+    for i in 0..TASKS {
+        let release = (i as u64) * 40;
+        if i % 16 == 0 {
+            sim.submit(Task::at(
+                "trigger",
+                release,
+                Box::new(|ctx| {
+                    ctx.meter.charge(Op::CommitTxn, 1);
+                    let at = ctx.now_us() + 500;
+                    ctx.spawn(Task::at(
+                        "recompute:f",
+                        at,
+                        Box::new(|ctx| ctx.meter.charge(Op::ModelEval, 2)),
+                    ));
+                }),
+            ));
+        } else {
+            sim.submit(Task::at(
+                "update",
+                release,
+                Box::new(|ctx| ctx.meter.charge(Op::UpdateCursor, 3)),
+            ));
+        }
+        // Keep the queues bounded the way the bench driver does.
+        if i % 64 == 0 {
+            sim.run_until(release);
+        }
+    }
+    sim.run_to_completion();
+    let dt = t0.elapsed();
+    assert!(
+        sim.stats().tasks_run as usize > TASKS,
+        "workload must spawn"
+    );
+    dt
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock guard is only meaningful in release mode (CI obs job runs it with --release)"
+)]
+fn disabled_sink_overhead_within_noise() {
+    // Warm-up to populate allocator caches and fault in code pages.
+    run_workload(false);
+    run_workload(true);
+
+    let mut base = Duration::MAX;
+    let mut inst = Duration::MAX;
+    for _ in 0..REPS {
+        base = base.min(run_workload(false));
+        inst = inst.min(run_workload(true));
+    }
+
+    let base_s = base.as_secs_f64();
+    let inst_s = inst.as_secs_f64();
+    // 5% relative budget plus 2ms absolute slack for timer/scheduler noise.
+    let budget = base_s * 1.05 + 0.002;
+    assert!(
+        inst_s <= budget,
+        "instrumented (no-op sink) min {:?} exceeds baseline min {:?} + 5% (budget {:.6}s)",
+        inst,
+        base,
+        budget
+    );
+}

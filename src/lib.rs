@@ -4,6 +4,7 @@ pub mod shell;
 
 pub use strip_core as core;
 pub use strip_finance as finance;
+pub use strip_obs as obs;
 pub use strip_rules as rules;
 pub use strip_sql as sql;
 pub use strip_storage as storage;

@@ -172,6 +172,10 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 "plan cache: {} hits / {} misses\n",
                 s.plan_cache_hits, s.plan_cache_misses
             ));
+            out.push_str(&format!(
+                "deadline misses: {}   max delay-queue length: {}\n",
+                s.deadline_misses, s.max_delay_len
+            ));
             let mut kinds: Vec<_> = s.by_kind.iter().collect();
             kinds.sort_by(|a, b| a.0.cmp(b.0));
             for (k, ks) in kinds {
@@ -192,6 +196,22 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 errs.join("\n") + "\n"
             }
         }
+        Some("obs") => match parts.next() {
+            None => db.obs().snapshot().render_table(),
+            Some("json") => db.obs().snapshot().to_json() + "\n",
+            Some("prom") => db.obs().snapshot().to_prometheus(),
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) => {
+                    let tail = db.obs().trace_tail(n);
+                    if tail.is_empty() {
+                        "trace is empty\n".to_string()
+                    } else {
+                        tail.iter().map(|e| format!("{e}\n")).collect()
+                    }
+                }
+                Err(_) => "usage: .obs [json|prom|<n last trace events>]\n".to_string(),
+            },
+        },
         Some("help") | None => "\
 meta commands:
   .tables            list tables
@@ -201,6 +221,7 @@ meta commands:
   .drain             run all pending tasks (virtual time)
   .advance <secs>    advance virtual time
   .stats             executor statistics
+  .obs [json|prom|N] observability report (or JSON/Prometheus dump, or last N trace events)
   .errors            drain background task errors
   .help              this help
   .quit              exit
@@ -256,5 +277,28 @@ mod tests {
         assert!(run_shell_input(&db, ".help").contains(".drain"));
         assert!(run_shell_input(&db, ".bogus").contains("unknown meta"));
         assert!(run_shell_input(&db, ".pending").contains("0 task"));
+    }
+
+    #[test]
+    fn stats_and_obs_report_telemetry() {
+        let db = Strip::new();
+        run_shell_input(&db, "create table t (x int)");
+        run_shell_input(&db, "insert into t values (1)");
+        let stats = run_shell_input(&db, ".stats");
+        assert!(stats.contains("deadline misses: 0"), "{stats}");
+        assert!(stats.contains("max delay-queue length:"), "{stats}");
+        let obs = run_shell_input(&db, ".obs");
+        assert!(obs.contains("events traced:"), "{obs}");
+        assert!(obs.contains("latency histograms:"), "{obs}");
+        let json = run_shell_input(&db, ".obs json");
+        assert!(
+            json.starts_with('{') && json.contains("\"exec_us\""),
+            "{json}"
+        );
+        let prom = run_shell_input(&db, ".obs prom");
+        assert!(prom.contains("strip_events_traced_total"), "{prom}");
+        let tail = run_shell_input(&db, ".obs 5");
+        assert!(tail.contains("txn.commit"), "{tail}");
+        assert!(run_shell_input(&db, ".obs wat").starts_with("usage:"));
     }
 }
