@@ -4,28 +4,43 @@
 //! and a `unique on comp after <delay>` variant — and renders what the
 //! telemetry layer saw: per-derived-table staleness (the lag between a base
 //! commit and the derived commit that absorbed it, Figures 9–14's hidden
-//! variable) and per-kind latency histograms. Also writes the machine
+//! variable), its causal attribution (which pipeline phase the lag was
+//! spent in), and per-kind latency histograms. Also writes the machine
 //! artifact `BENCH_obs.json`.
 //!
 //! ```text
-//! strip-report [--paper|--medium|--small] [--delay S] [--json PATH] [--check]
+//! strip-report [--paper|--medium|--small] [--delay S] [--json PATH]
+//!              [--check] [--baseline PATH] [--write-baseline PATH]
+//!              [--tolerance PCT]
 //! ```
 //!
 //! `--check` validates the emitted JSON and the staleness numbers (CI's
 //! `obs` job runs it at `--small`): the JSON must parse, every staleness
-//! histogram must be non-empty with a finite non-zero mean, and the batched
-//! run must not recompute more often than the baseline.
+//! histogram must be non-empty with a finite non-zero mean, every staleness
+//! sample's phase decomposition must sum exactly to its lag, and the
+//! batched run must not recompute more often than the baseline.
+//!
+//! `--baseline PATH` diffs the run's attribution against a committed
+//! baseline (CI's `obs-regression` gate): counts must match exactly,
+//! virtual-time sums within `--tolerance` percent (default 10). Only
+//! virtual-clock metrics are gated — wall-clock carve-outs (lock wait, plan
+//! compile) vary per host and are reported but not compared. Refresh the
+//! baseline with `--write-baseline` (see README).
 
 use std::process::ExitCode;
-use strip_bench::{fresh_pta, Scale};
+use strip_bench::{fresh_pta_traced, Scale};
 use strip_finance::CompVariant;
-use strip_obs::{json, ObsSnapshot};
+use strip_obs::json::{self, Json};
+use strip_obs::{render_attribution, AttributionSummary, ObsSnapshot};
 
 struct Args {
     scale: Scale,
     delay_s: f64,
     json_path: String,
     check: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    tolerance_pct: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +49,9 @@ fn parse_args() -> Result<Args, String> {
         delay_s: 2.0,
         json_path: "BENCH_obs.json".to_string(),
         check: false,
+        baseline: None,
+        write_baseline: None,
+        tolerance_pct: 10.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,10 +69,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json_path = it.next().ok_or("--json needs a path")?,
             "--check" => args.check = true,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--write-baseline" => {
+                args.write_baseline = Some(it.next().ok_or("--write-baseline needs a path")?);
+            }
+            "--tolerance" => {
+                args.tolerance_pct = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: strip-report [--paper|--medium|--small] [--delay S] \
-                     [--json PATH] [--check]"
+                     [--json PATH] [--check] [--baseline PATH] \
+                     [--write-baseline PATH] [--tolerance PCT]"
                 );
                 std::process::exit(0);
             }
@@ -69,10 +99,16 @@ struct Run {
     delay_s: f64,
     recompute_count: u64,
     snapshot: ObsSnapshot,
+    attribution: Vec<AttributionSummary>,
+    /// Staleness samples whose phase decomposition failed to sum to the lag
+    /// (must be zero; the decomposition is exact by construction).
+    sum_violations: u64,
+    /// The trace ring wrapped: attribution only covers the surviving tail.
+    ring_truncated: bool,
 }
 
 fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
-    let pta = fresh_pta(scale);
+    let pta = fresh_pta_traced(scale);
     pta.install_comp_rule(variant, delay_s)
         .expect("install rule");
     let report = pta.run_trace().expect("run trace");
@@ -80,24 +116,81 @@ fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
         report.errors, 0,
         "background task errors in {variant:?} run"
     );
+    let lin = pta.db.obs().lineage();
+    let sum_violations = lin
+        .breakdowns()
+        .iter()
+        .filter(|b| b.phase_sum() != b.lag_us)
+        .count() as u64;
     Run {
         series: variant.label().to_string(),
         delay_s,
         recompute_count: report.recompute_count,
         snapshot: pta.db.obs().snapshot(),
+        attribution: lin.attribution(),
+        sum_violations,
+        ring_truncated: lin.ring_truncated(),
     }
 }
 
+/// The virtual-clock (host-independent) attribution metrics of one table.
+/// `exec_total_us` folds the execution-side phases (lock + wal + plan +
+/// exec) into one deterministic number; its wall-clock split is reported in
+/// the human table but never gated.
+fn attribution_json(a: &AttributionSummary) -> String {
+    let [coalesce, delay, queue, _lock, wal, _plan, _exec] = a.phase_sums_us;
+    let exec_total = a.lag_sum_us.saturating_sub(coalesce + delay + queue);
+    format!(
+        "{{\"table\":\"{}\",\"samples\":{},\"truncated\":{},\"lag_sum_us\":{},\
+         \"lag_max_us\":{},\"coalesce_us\":{coalesce},\"delay_us\":{delay},\
+         \"queue_us\":{queue},\"wal_us\":{wal},\"exec_total_us\":{exec_total},\
+         \"merged_firings\":{},\"deadline_misses\":{}}}",
+        strip_obs::export::json_escape(&a.table),
+        a.samples,
+        a.truncated,
+        a.lag_sum_us,
+        a.lag_max_us,
+        a.merged_firings,
+        a.deadline_misses,
+    )
+}
+
+fn run_json(r: &Run) -> String {
+    let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
+    format!(
+        "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
+         \"sum_violations\":{},\"ring_truncated\":{},\"attribution\":[{}],\"obs\":{}}}",
+        strip_obs::export::json_escape(&r.series),
+        r.delay_s,
+        r.recompute_count,
+        r.sum_violations,
+        r.ring_truncated,
+        attr.join(","),
+        r.snapshot.to_json()
+    )
+}
+
 fn runs_json(scale: Scale, runs: &[Run]) -> String {
+    let entries: Vec<String> = runs.iter().map(run_json).collect();
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"runs\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
+/// The committed-baseline document: the gated subset only.
+fn baseline_json(scale: Scale, runs: &[Run]) -> String {
     let entries: Vec<String> = runs
         .iter()
         .map(|r| {
+            let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
             format!(
-                "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\"obs\":{}}}",
+                "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
+                 \"attribution\":[{}]}}",
                 strip_obs::export::json_escape(&r.series),
                 r.delay_s,
                 r.recompute_count,
-                r.snapshot.to_json()
+                attr.join(",")
             )
         })
         .collect();
@@ -131,12 +224,116 @@ fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
                 ));
             }
         }
+        if r.sum_violations > 0 {
+            bad.push(format!(
+                "run `{}`: {} staleness sample(s) whose phases do not sum to the lag",
+                r.series, r.sum_violations
+            ));
+        }
+        if r.attribution.is_empty() {
+            bad.push(format!("run `{}`: no lineage attribution", r.series));
+        }
+        for a in &r.attribution {
+            if a.samples != a.truncated && a.lag_sum_us > 0 {
+                let [c, d, q, ..] = a.phase_sums_us;
+                let covered: u64 = a.phase_sums_us.iter().sum();
+                if covered != a.lag_sum_us {
+                    bad.push(format!(
+                        "run `{}` table `{}`: phase sums {covered} != lag sum {} \
+                         (coalesce {c} delay {d} queue {q})",
+                        r.series, a.table, a.lag_sum_us
+                    ));
+                }
+            }
+        }
     }
     if runs.len() == 2 && runs[1].recompute_count > runs[0].recompute_count {
         bad.push(format!(
             "batched run recomputed more than the baseline ({} > {})",
             runs[1].recompute_count, runs[0].recompute_count
         ));
+    }
+    bad
+}
+
+/// Compare `got` vs baseline `want`: exact on counts, `tol_pct` relative on
+/// virtual-time sums. Collects human-readable mismatches.
+fn diff_baseline(runs: &[Run], doc: &Json, tol_pct: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Some(want_runs) = doc.get("runs").and_then(Json::as_arr) else {
+        return vec!["baseline: missing `runs` array".to_string()];
+    };
+    let within = |got: f64, want: f64| -> bool {
+        if want == 0.0 {
+            got == 0.0
+        } else {
+            ((got - want) / want).abs() * 100.0 <= tol_pct
+        }
+    };
+    for want in want_runs {
+        let series = want.get("series").and_then(Json::as_str).unwrap_or("?");
+        let Some(got) = runs.iter().find(|r| r.series == series) else {
+            bad.push(format!("baseline series `{series}` missing from this run"));
+            continue;
+        };
+        let want_nr = want.get("recompute_count").and_then(Json::as_u64);
+        if want_nr != Some(got.recompute_count) {
+            bad.push(format!(
+                "series `{series}`: recompute_count {} != baseline {:?}",
+                got.recompute_count, want_nr
+            ));
+        }
+        let Some(want_attr) = want.get("attribution").and_then(Json::as_arr) else {
+            bad.push(format!("baseline series `{series}`: missing attribution"));
+            continue;
+        };
+        for wa in want_attr {
+            let table = wa.get("table").and_then(Json::as_str).unwrap_or("?");
+            let Some(ga) = got.attribution.iter().find(|a| a.table == table) else {
+                bad.push(format!(
+                    "series `{series}`: table `{table}` missing from attribution"
+                ));
+                continue;
+            };
+            let [coalesce, delay, queue, _lock, wal, _plan, _exec] = ga.phase_sums_us;
+            let exec_total = ga.lag_sum_us.saturating_sub(coalesce + delay + queue);
+            let exact: [(&str, u64); 3] = [
+                ("samples", ga.samples),
+                ("merged_firings", ga.merged_firings),
+                ("deadline_misses", ga.deadline_misses),
+            ];
+            for (key, got_v) in exact {
+                let want_v = wa.get(key).and_then(Json::as_u64);
+                if want_v != Some(got_v) {
+                    bad.push(format!(
+                        "series `{series}` table `{table}`: {key} {got_v} != baseline {want_v:?}"
+                    ));
+                }
+            }
+            let approx: [(&str, u64); 6] = [
+                ("lag_sum_us", ga.lag_sum_us),
+                ("lag_max_us", ga.lag_max_us),
+                ("coalesce_us", coalesce),
+                ("delay_us", delay),
+                ("queue_us", queue),
+                ("exec_total_us", exec_total),
+            ];
+            let _ = wal; // reported, not gated (folded into exec_total_us)
+            for (key, got_v) in approx {
+                let Some(want_v) = wa.get(key).and_then(Json::as_f64) else {
+                    bad.push(format!(
+                        "series `{series}` table `{table}`: baseline missing `{key}`"
+                    ));
+                    continue;
+                };
+                if !within(got_v as f64, want_v) {
+                    bad.push(format!(
+                        "series `{series}` table `{table}`: {key} {got_v} \
+                         drifted >{tol_pct}% from baseline {want_v}"
+                    ));
+                }
+            }
+        }
     }
     bad
 }
@@ -161,6 +358,12 @@ fn main() -> ExitCode {
         println!("recomputations N_r = {}\n", r.recompute_count);
         print!("{}", r.snapshot.render_table());
         println!();
+        println!("staleness attribution (critical-path phases):");
+        print!("{}", render_attribution(&r.attribution));
+        if r.ring_truncated {
+            println!("  (trace ring wrapped: attribution covers the surviving tail)");
+        }
+        println!();
     }
     println!(
         "batching effect: N_r {} (non-unique) -> {} (unique on comp, {}s window)",
@@ -174,15 +377,49 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote {}", args.json_path);
 
+    if let Some(path) = &args.write_baseline {
+        let bdoc = baseline_json(args.scale, &runs);
+        if let Err(e) = std::fs::write(path, &bdoc) {
+            eprintln!("strip-report: writing baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote baseline {path}");
+    }
+
+    let mut failed = false;
     if args.check {
         let bad = check(&runs, &doc);
-        if !bad.is_empty() {
+        if bad.is_empty() {
+            println!("checks passed");
+        } else {
             for b in &bad {
                 eprintln!("check FAILED: {b}");
             }
-            return ExitCode::FAILURE;
+            failed = true;
         }
-        println!("checks passed");
+    }
+    if let Some(path) = &args.baseline {
+        let bad = match std::fs::read_to_string(path) {
+            Err(e) => vec![format!("cannot read baseline {path}: {e}")],
+            Ok(text) => match json::parse(&text) {
+                Err(e) => vec![format!("baseline {path} does not parse: {e}")],
+                Ok(doc) => diff_baseline(&runs, &doc, args.tolerance_pct),
+            },
+        };
+        if bad.is_empty() {
+            println!(
+                "baseline gate passed ({path}, tolerance {}%)",
+                args.tolerance_pct
+            );
+        } else {
+            for b in &bad {
+                eprintln!("baseline gate FAILED: {b}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

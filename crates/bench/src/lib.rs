@@ -79,6 +79,26 @@ pub fn fresh_pta(scale: Scale) -> Pta {
     Pta::build(scale.config(), Strip::new()).expect("PTA build")
 }
 
+/// Trace-ring capacity per scale: big enough that lineage reconstruction
+/// sees the whole run (the default 4096-slot ring wraps long before a run's
+/// tens of thousands of events). Paper scale is capped — its tail still
+/// wraps, which the lineage layer reports as truncation rather than error.
+pub fn ring_capacity(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 1 << 17,
+        Scale::Medium => 1 << 19,
+        Scale::Paper => 1 << 20,
+    }
+}
+
+/// Like [`fresh_pta`] but with a trace ring sized by [`ring_capacity`], for
+/// causal-lineage analysis (`strip-trace`, `strip-report` attribution).
+pub fn fresh_pta_traced(scale: Scale) -> Pta {
+    let obs = strip_obs::ObsSink::new(ring_capacity(scale));
+    let db = Strip::builder().observability(obs).build();
+    Pta::build(scale.config(), db).expect("PTA build")
+}
+
 /// Run the composite-maintenance experiment: the non-unique baseline plus
 /// the three unique variants swept over `delays`. Regenerates the series of
 /// Figures 9, 10, and 11.

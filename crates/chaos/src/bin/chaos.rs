@@ -82,6 +82,12 @@ fn run_one(seed: u64) -> bool {
     for line in &out.trace_tail {
         eprintln!("    {line}");
     }
+    if !out.causal_trace.is_empty() {
+        eprintln!("  causal trace of implicated transaction(s):");
+        for line in &out.causal_trace {
+            eprintln!("    {line}");
+        }
+    }
     eprintln!("  minimized plan:\n{}", indent(&minimized.describe()));
     eprintln!("  repro: {}", driver::repro_command(seed));
     false

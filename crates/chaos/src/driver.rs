@@ -102,6 +102,11 @@ pub struct Outcome {
     /// attached to every outcome so a failing seed's report shows what the
     /// system was doing right before the violation.
     pub trace_tail: Vec<String>,
+    /// For failing runs: the full causal span tree(s) of the transactions
+    /// implicated by the violations (feed transactions named in the
+    /// messages, else the worst staleness path) — the *why*, where
+    /// `trace_tail` is only the *when*. Empty on passing runs.
+    pub causal_trace: Vec<String>,
     /// Canonical final state of the market tables (live database).
     pub digest: BTreeMap<String, Vec<String>>,
 }
@@ -647,6 +652,11 @@ fn finish(
     violations: Vec<String>,
 ) -> Outcome {
     let stats = db.stats();
+    let causal_trace = if violations.is_empty() {
+        Vec::new()
+    } else {
+        causal_traces(db, &violations)
+    };
     Outcome {
         seed: cfg.seed,
         plan: plan.clone(),
@@ -662,12 +672,74 @@ fn finish(
             .iter()
             .map(|e| e.to_string())
             .collect(),
+        causal_trace,
         digest: oracle::state_digest(db, &MARKET_TABLES).unwrap_or_default(),
     }
 }
 
 /// How many trailing trace events a scenario outcome carries.
 const TRACE_TAIL_EVENTS: usize = 40;
+
+/// How many distinct causal span trees a failing outcome renders.
+const CAUSAL_TRACE_CAP: usize = 3;
+
+/// Reconstruct the causal lineage of the transactions the violations
+/// implicate. Feed transactions are named `feed:<idx>:<sym>` in both task
+/// kinds and violation messages, so their submit events identify the trace;
+/// when no violation names one, fall back to the worst staleness path of
+/// the run (the slowest base-commit → derived-commit chain).
+fn causal_traces(db: &Strip, violations: &[String]) -> Vec<String> {
+    let lin = db.obs().lineage();
+    let events = db.obs().resolved_events();
+    let mut traces: Vec<u64> = Vec::new();
+    for v in violations {
+        for idx in feed_indices(v) {
+            let prefix = format!("feed:{idx}:");
+            for e in &events {
+                if e.kind == strip_obs::EventKind::TxnSubmit
+                    && e.detail.starts_with(&prefix)
+                    && e.trace != 0
+                    && !traces.contains(&e.trace)
+                {
+                    traces.push(e.trace);
+                }
+            }
+        }
+    }
+    if traces.is_empty() {
+        traces.extend(lin.worst(1).iter().map(|bd| bd.trace));
+    }
+    let mut out = Vec::new();
+    for t in traces.iter().take(CAUSAL_TRACE_CAP) {
+        out.extend(lin.render_trace(*t).lines().map(str::to_string));
+    }
+    if traces.len() > CAUSAL_TRACE_CAP {
+        out.push(format!(
+            "({} more implicated trace(s) not shown)",
+            traces.len() - CAUSAL_TRACE_CAP
+        ));
+    }
+    if lin.ring_truncated() {
+        out.push("(trace ring wrapped: older causal events evicted)".to_string());
+    }
+    out
+}
+
+/// Every `feed:<idx>` index mentioned in a violation message.
+fn feed_indices(violation: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut rest = violation;
+    while let Some(pos) = rest.find("feed:") {
+        rest = &rest[pos + 5..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(idx) = digits.parse() {
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+        }
+    }
+    out
+}
 
 /// Shrink a failing plan: repeatedly drop any single fault whose removal
 /// keeps the scenario failing. The result is 1-minimal — removing any one

@@ -11,11 +11,12 @@ use strip_txn::fault::{FaultDecision, FaultPoint};
 fn assert_clean(out: &driver::Outcome) {
     assert!(
         out.ok(),
-        "seed {} violated invariants:\n  {}\nfired:\n  {}\nplan:\n{}\nrepro: {}",
+        "seed {} violated invariants:\n  {}\nfired:\n  {}\nplan:\n{}\ncausal trace:\n  {}\nrepro: {}",
         out.seed,
         out.violations.join("\n  "),
         out.fired.join("\n  "),
         out.plan.describe(),
+        out.causal_trace.join("\n  "),
         out.repro(),
     );
 }

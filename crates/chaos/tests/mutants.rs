@@ -62,6 +62,27 @@ fn failing_outcome_carries_trace_tail() {
         out.trace_tail
     );
     assert!(out.max_delay_len > 0, "delay queue never held a task");
+    // Beyond the tail, the report reconstructs the *causal* lineage of an
+    // implicated transaction: a full span tree from base commit through
+    // rule firing to the derived commit, not just the last ring events.
+    assert!(
+        !out.causal_trace.is_empty(),
+        "failing outcome carries no causal trace"
+    );
+    let joined = out.causal_trace.join("\n");
+    assert!(joined.contains("rule.fire"), "no firing edge: {joined}");
+    assert!(
+        joined.contains("action.dispatch"),
+        "no dispatch edge: {joined}"
+    );
+}
+
+/// Passing runs skip lineage reconstruction entirely.
+#[test]
+fn passing_outcome_has_no_causal_trace() {
+    let out = driver::run_with_plan(&ScenarioConfig::fault_free(31), &FaultPlan::none());
+    assert!(out.ok());
+    assert!(out.causal_trace.is_empty());
 }
 
 /// The same mutants with the clean flag: the un-mutated runs of the same

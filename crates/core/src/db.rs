@@ -523,6 +523,7 @@ impl Strip {
                     task_id: strip_txn::TaskId::fresh(),
                     meter: &meter,
                     spawned: Vec::new(),
+                    trace: strip_obs::TraceCtx::NONE,
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
                 let r = run_txn(&inner, &mut ctx, kind, HashMap::new(), None, f);
@@ -588,6 +589,12 @@ impl Strip {
         .with_value(value);
         if let Some(d) = deadline_us {
             task = task.with_deadline(d);
+        }
+        // Mint the causal root at submit so the base transaction's queue
+        // wait and any deadline miss are traced too; `Txn::new` inherits
+        // this instead of minting its own.
+        if self.inner.obs.is_enabled() {
+            task = task.with_trace(strip_obs::TraceCtx::root());
         }
         match &self.inner.exec {
             ExecutorHandle::Sim(s) => s.lock().submit(task),

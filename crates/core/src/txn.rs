@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use strip_obs::EventKind;
+use strip_obs::{EventKind, TraceCtx};
 use strip_rules::SpawnAction;
 use strip_sql::exec::{Env, Rel, ResultSet};
 use strip_sql::expr::ScalarFn;
@@ -45,10 +45,15 @@ pub struct Txn<'a> {
     /// it is a rule action recomputing derived data. Commit uses it to record
     /// per-table staleness (base commit → derived commit lag, Figures 9–14).
     origin_us: Option<u64>,
+    /// Causal identity: rule actions inherit their action span from the
+    /// task; plain transactions mint a fresh root trace when observability
+    /// is on, so every event they emit joins one lineage DAG.
+    trace: TraceCtx,
     finished: bool,
 }
 
 impl<'a> Txn<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         inner: &'a Arc<StripInner>,
         meter: &'a CostMeter,
@@ -57,7 +62,15 @@ impl<'a> Txn<'a> {
         kind: String,
         overlay: HashMap<String, Arc<TempTable>>,
         origin_us: Option<u64>,
+        trace: TraceCtx,
     ) -> Txn<'a> {
+        // Mint the root of a new trace for transactions that arrive without
+        // one (feeds, ad-hoc statements). Action tasks carry their span in.
+        let trace = if trace.is_none() && inner.obs.is_enabled() {
+            TraceCtx::root()
+        } else {
+            trace
+        };
         Txn {
             inner,
             meter,
@@ -68,8 +81,15 @@ impl<'a> Txn<'a> {
             overlay,
             locks: RefCell::new(HashSet::new()),
             origin_us,
+            trace,
             finished: false,
         }
+    }
+
+    /// The transaction's causal identity (root span for plain transactions,
+    /// the action span for rule actions; NONE when observability is off).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace
     }
 
     /// Ask the installed fault injector (if any) what happens at `point`.
@@ -186,11 +206,12 @@ impl<'a> Txn<'a> {
         let cache = &self.inner.plan_cache;
         let key = self.plan_key(text);
         let epoch = self.inner.catalog.epoch();
-        let plan = cache.get_or_plan(&key, epoch, &plan_fn)?;
+        let plan = cache.get_or_plan_ctx(&key, epoch, self.now_us(), self.trace, &plan_fn)?;
         match strip_sql::execute_plan(self, &plan, params) {
             Err(e) if e.is_stale() => {
                 cache.invalidate(&key);
-                let plan = cache.get_or_plan(&key, epoch, &plan_fn)?;
+                let plan =
+                    cache.get_or_plan_ctx(&key, epoch, self.now_us(), self.trace, &plan_fn)?;
                 Ok(strip_sql::execute_plan(self, &plan, params)?)
             }
             other => Ok(other?),
@@ -264,12 +285,14 @@ impl<'a> Txn<'a> {
             let waited_us = t0.elapsed().as_micros() as u64;
             if waited_us >= 100 {
                 self.inner.obs.record_lock_wait(waited_us);
-                self.inner.obs.event(
+                self.inner.obs.event_ctx(
                     self.now_us(),
                     self.id.0,
                     EventKind::LockWait,
                     &key.0,
                     waited_us,
+                    self.trace,
+                    0,
                 );
             }
         }
@@ -305,11 +328,16 @@ impl<'a> Txn<'a> {
         let mut tasks = Vec::new();
         let result = {
             let log = self.log.borrow();
-            self.inner
-                .engine
-                .process_commit(&self, &log, commit_us, self.id.0, &mut |sa| {
+            self.inner.engine.process_commit_ctx(
+                &self,
+                &log,
+                commit_us,
+                self.id.0,
+                self.trace,
+                &mut |sa| {
                     tasks.push(action_task(self.inner, sa));
-                })
+                },
+            )
         };
         if let Err(e) = result {
             drop(tasks);
@@ -336,12 +364,14 @@ impl<'a> Txn<'a> {
                 let wal_us = self.meter.charged_us() - wal_t0;
                 if self.inner.obs.is_enabled() {
                     self.inner.obs.record_wal(wal_us);
-                    self.inner.obs.event(
+                    self.inner.obs.event_ctx(
                         self.now_us(),
                         self.id.0,
                         EventKind::WalAppend,
                         &self.kind,
                         wal_us,
+                        self.trace,
+                        0,
                     );
                 }
                 res
@@ -359,17 +389,25 @@ impl<'a> Txn<'a> {
         }
         let end_us = self.now_us();
         if self.inner.obs.is_enabled() {
-            self.inner.obs.event(
+            self.inner.obs.event_ctx(
                 end_us,
                 self.id.0,
                 EventKind::TxnCommit,
                 &self.kind,
                 end_us.saturating_sub(self.start_us),
+                self.trace,
+                0,
             );
             if self.inner.wal.is_some() {
-                self.inner
-                    .obs
-                    .event(end_us, self.id.0, EventKind::WalCommit, &self.kind, 0);
+                self.inner.obs.event_ctx(
+                    end_us,
+                    self.id.0,
+                    EventKind::WalCommit,
+                    &self.kind,
+                    0,
+                    self.trace,
+                    0,
+                );
             }
             // Staleness: a rule action carrying an origin timestamp has just
             // re-derived data triggered by a base commit at `origin`. Every
@@ -386,9 +424,15 @@ impl<'a> Txn<'a> {
                     if seen.insert(table) {
                         let lag = end_us.saturating_sub(origin);
                         self.inner.obs.record_staleness(table, lag);
-                        self.inner
-                            .obs
-                            .event(end_us, self.id.0, EventKind::Staleness, table, lag);
+                        self.inner.obs.event_ctx(
+                            end_us,
+                            self.id.0,
+                            EventKind::Staleness,
+                            table,
+                            lag,
+                            self.trace,
+                            0,
+                        );
                     }
                 }
             }
@@ -410,12 +454,14 @@ impl<'a> Txn<'a> {
         if self.inner.obs.is_enabled() {
             let at = self.now_us();
             let detail = format!("{} ({why})", self.kind);
-            self.inner.obs.event(
+            self.inner.obs.event_ctx(
                 at,
                 self.id.0,
                 EventKind::TxnAbort,
                 &detail,
                 at.saturating_sub(self.start_us),
+                self.trace,
+                0,
             );
         }
     }
@@ -620,6 +666,7 @@ pub(crate) fn run_txn<R>(
         kind.to_string(),
         overlay,
         origin_us,
+        ctx.trace,
     );
     match f(&mut txn) {
         Ok(r) => {
@@ -647,6 +694,7 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
     let rule = sa.rule;
     let func_name = sa.func;
     let payload = sa.payload;
+    let action_ctx = payload.trace_ctx();
     Task::at(
         &kind,
         sa.release_us,
@@ -658,12 +706,14 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
             inner.engine.begin_action(&payload, ctx.meter);
             let origin_us = payload.origin_us();
             if inner.obs.is_enabled() {
-                inner.obs.event(
+                inner.obs.event_ctx(
                     ctx.now_us(),
                     0,
                     EventKind::ActionStart,
                     &task_kind,
                     ctx.now_us().saturating_sub(origin_us),
+                    ctx.trace,
+                    0,
                 );
             }
             let bound = payload.snapshot_bound();
@@ -683,6 +733,7 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
             ctx.meter.charge(Op::EndTask, 1);
         }),
     )
+    .with_trace(action_ctx)
 }
 
 /// Build the self-rescheduling task for a periodic timer. Each firing runs

@@ -1,0 +1,300 @@
+//! End-to-end causal lineage tests: the trace identity minted at a base
+//! transaction's commit must survive rule firing, unique coalescing, the
+//! scheduler, and the derived commit — and every staleness sample the run
+//! records must decompose into phases that sum exactly to its lag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_core::Strip;
+
+fn figure4_db() -> Strip {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_stocks_symbol on stocks (symbol); \
+         create table comps_list (comp str, symbol str, weight float); \
+         create index ix_cl_symbol on comps_list (symbol); \
+         create table comp_prices (comp str, price float); \
+         create index ix_cp_comp on comp_prices (comp); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50); \
+         insert into comps_list values \
+           ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7); \
+         insert into comp_prices values ('C1', 40.0), ('C2', 37.0);",
+    )
+    .unwrap();
+    db
+}
+
+const MATCHES_CONDITION: &str = "if \
+    select comp, comps_list.symbol as symbol, weight, \
+           old.price as old_price, new.price as new_price \
+    from comps_list, new, old \
+    where comps_list.symbol = new.symbol \
+      and new.execute_order = old.execute_order \
+    bind as matches ";
+
+fn register_compute_comps(db: &Strip, name: &str) -> Arc<AtomicU64> {
+    let calls = Arc::new(AtomicU64::new(0));
+    let c = calls.clone();
+    db.register_function(name, move |txn| {
+        c.fetch_add(1, Ordering::SeqCst);
+        let diffs = txn.query(
+            "select comp, sum((new_price - old_price) * weight) as diff \
+             from matches group by comp",
+            &[],
+        )?;
+        for i in 0..diffs.len() {
+            txn.charge_user_work(1);
+            let comp = diffs.value(i, "comp")?.clone();
+            let diff = diffs.value(i, "diff")?.clone();
+            txn.exec(
+                "update comp_prices set price += ? where comp = ?",
+                &[diff, comp],
+            )?;
+        }
+        Ok(())
+    });
+    calls
+}
+
+fn run_t1_t2(db: &Strip) {
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        t.exec("update stocks set price = 39 where symbol = 'S2'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 38 where symbol = 'S2'", &[])?;
+        t.exec("update stocks set price = 51 where symbol = 'S3'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn coalesced_action_span_has_one_parent_per_merged_firing() {
+    let db = figure4_db();
+    register_compute_comps(&db, "compute_comps2");
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 1.0 seconds"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    db.drain();
+
+    let lin = db.obs().lineage();
+    assert!(!lin.ring_truncated(), "small workload must fit the ring");
+
+    // One derived commit wrote comp_prices: exactly one staleness sample.
+    let bds = lin.breakdowns();
+    assert_eq!(bds.len(), 1, "one coalesced derived commit");
+    let bd = &bds[0];
+    assert_eq!(bd.table, "comp_prices");
+    assert!(!bd.truncated);
+    assert_eq!(bd.merged_firings, 2, "T1's and T2's firings coalesced");
+    assert_eq!(bd.phase_sum(), bd.lag_us, "phases must sum to the lag");
+    assert!(
+        bd.delay_us > 0,
+        "the 1 s `after` window must show up as delay wait"
+    );
+    // The creating firing (T1) is also the earliest origin here, so the
+    // coalesce phase is zero: all pre-release waiting is window delay.
+    assert_eq!(bd.coalesce_us, 0);
+
+    // The action span is a DAG node with one parent per merged firing,
+    // and those parents belong to two *different* traces.
+    let node = lin.span(bd.span).expect("action span recorded");
+    assert_eq!(
+        node.parents.len(),
+        2,
+        "dispatch edge + coalesce edge = two parents"
+    );
+    let parent_traces: Vec<u64> = node
+        .parents
+        .iter()
+        .filter_map(|p| lin.span(*p).map(|n| n.events[0].trace))
+        .collect();
+    assert_eq!(parent_traces.len(), 2);
+    assert_ne!(
+        parent_traces[0], parent_traces[1],
+        "the two firing spans come from two distinct base transactions"
+    );
+
+    // The shared action span shows up in BOTH traces' DAGs.
+    for t in &parent_traces {
+        let dag = lin.trace_dag(*t).expect("trace reconstructs");
+        assert!(
+            dag.spans.iter().any(|s| s.span == bd.span),
+            "trace {t} must reach the shared action span"
+        );
+        assert!(!dag.truncated);
+    }
+}
+
+#[test]
+fn non_unique_actions_trace_one_parent_and_sum_exactly() {
+    let db = figure4_db();
+    register_compute_comps(&db, "compute_comps1");
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+
+    run_t1_t2(&db);
+    db.drain();
+
+    let lin = db.obs().lineage();
+    let bds = lin.breakdowns();
+    assert_eq!(bds.len(), 2, "two firings, two derived commits");
+    for bd in bds {
+        assert!(!bd.truncated);
+        assert_eq!(bd.merged_firings, 1);
+        assert_eq!(bd.phase_sum(), bd.lag_us);
+        assert_eq!(bd.delay_us, 0, "no `after` window, no delay phase");
+        let node = lin.span(bd.span).expect("action span recorded");
+        assert_eq!(node.parents.len(), 1, "dispatch edge only");
+    }
+
+    // Attribution groups the two samples under the derived table.
+    let attr = lin.attribution();
+    assert_eq!(attr.len(), 1);
+    assert_eq!(attr[0].table, "comp_prices");
+    assert_eq!(attr[0].samples, 2);
+    let total: u64 = attr[0].phase_sums_us.iter().sum();
+    assert_eq!(total, attr[0].lag_sum_us, "attribution preserves the sum");
+}
+
+#[test]
+fn traces_found_by_txn_id_and_rendered() {
+    let db = figure4_db();
+    register_compute_comps(&db, "compute_comps1");
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+    run_t1_t2(&db);
+    db.drain();
+
+    let lin = db.obs().lineage();
+    // Find any TxnCommit event's txn id and resolve its trace.
+    let ev = db
+        .obs()
+        .resolved_events()
+        .into_iter()
+        .find(|e| e.kind == strip_obs::EventKind::TxnCommit && e.detail == "txn")
+        .expect("base txn commit traced");
+    let traces = lin.traces_for_txn(ev.txn);
+    assert!(!traces.is_empty(), "txn id resolves to its trace");
+    let rendered = lin.render_trace(traces[0]);
+    assert!(rendered.contains("txn.commit"), "render shows the root");
+    assert!(
+        rendered.contains("rule.fire"),
+        "render shows the firing: {rendered}"
+    );
+    assert!(
+        rendered.contains("action.dispatch"),
+        "render shows the dispatch: {rendered}"
+    );
+}
+
+#[test]
+fn ring_overwrite_degrades_to_partial_trace_with_truncation_marker() {
+    // A deliberately tiny ring: the workload's events overwrite it, so the
+    // lineage layer must degrade to a partial trace — flagged, never
+    // panicking, never silently misattributing.
+    let db = Strip::builder()
+        .observability(strip_obs::ObsSink::new(16))
+        .build();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_stocks_symbol on stocks (symbol); \
+         create table comps_list (comp str, symbol str, weight float); \
+         create index ix_cl_symbol on comps_list (symbol); \
+         create table comp_prices (comp str, price float); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50); \
+         insert into comps_list values \
+           ('C1','S1',0.5), ('C1','S3',0.5), ('C2','S1',0.3), ('C2','S2',0.7); \
+         insert into comp_prices values ('C1', 40.0), ('C2', 37.0);",
+    )
+    .unwrap();
+    register_compute_comps(&db, "compute_comps1");
+    db.execute(&format!(
+        "create rule do_comps1 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps1"
+    ))
+    .unwrap();
+    for i in 0..20 {
+        db.txn(|t| {
+            t.exec(
+                &format!("update stocks set price = {} where symbol = 'S1'", 31 + i),
+                &[],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    db.drain();
+
+    let lin = db.obs().lineage();
+    assert!(
+        lin.ring_truncated(),
+        "a 16-slot ring must wrap under 20 updates"
+    );
+    // Whatever survived still decomposes exactly; early samples whose
+    // anchors were evicted carry the explicit marker.
+    for bd in lin.breakdowns() {
+        assert_eq!(
+            bd.phase_sum(),
+            bd.lag_us,
+            "sum invariant survives overwrite"
+        );
+    }
+    // Reconstructing any surviving trace must not panic and must admit the
+    // truncation in the rendering.
+    for t in lin.trace_ids() {
+        let dag = lin.trace_dag(*t).expect("listed trace reconstructs");
+        assert!(dag.truncated, "every DAG from a wrapped ring is partial");
+        let rendered = lin.render_trace(*t);
+        assert!(rendered.contains("(truncated)"), "{rendered}");
+    }
+    // Attribution survives and counts what it could not anchor.
+    let attr = lin.attribution();
+    for a in &attr {
+        let covered: u64 = a.phase_sums_us.iter().sum();
+        assert_eq!(covered, a.lag_sum_us);
+    }
+}
+
+#[test]
+fn delay_window_dominates_attribution_for_batched_rule() {
+    let db = figure4_db();
+    register_compute_comps(&db, "compute_comps2");
+    db.execute(&format!(
+        "create rule do_comps2 on stocks when updated price {MATCHES_CONDITION} \
+         then execute compute_comps2 unique after 2.0 seconds"
+    ))
+    .unwrap();
+    db.txn(|t| {
+        t.exec("update stocks set price = 31 where symbol = 'S1'", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.drain();
+
+    let lin = db.obs().lineage();
+    let bds = lin.breakdowns();
+    assert_eq!(bds.len(), 1);
+    let bd = &bds[0];
+    assert_eq!(bd.phase_sum(), bd.lag_us);
+    assert_eq!(
+        bd.dominant_phase(),
+        "delay",
+        "a 2 s window on a cheap action must be delay-dominated: {bd:?}"
+    );
+    assert!(bd.delay_us >= 1_900_000, "close to the full window");
+}

@@ -45,6 +45,8 @@ pub enum EventKind {
     /// A derived-table commit absorbed base data; `dur_us` is the staleness
     /// lag in virtual µs, `detail` the derived table.
     Staleness = 14,
+    /// A task started at or past its deadline; `dur_us` is the tardiness.
+    DeadlineMiss = 15,
 }
 
 impl EventKind {
@@ -66,6 +68,7 @@ impl EventKind {
             EventKind::PlanCompile => "plan.compile",
             EventKind::PlanExecute => "plan.execute",
             EventKind::Staleness => "staleness",
+            EventKind::DeadlineMiss => "deadline.miss",
         }
     }
 }
@@ -79,12 +82,25 @@ impl Sym {
 }
 
 /// A single trace record. `Copy` so ring slots can be overwritten in place.
+///
+/// The three causal fields tie events into per-trace DAGs (see the
+/// `lineage` module): `trace` names the causal chain rooted at a triggering
+/// transaction's commit, `span` names the node the event belongs to, and a
+/// non-zero `parent` records an edge `parent → span`. A span may receive
+/// edges from several parents (one per coalesced firing) — the lineage is
+/// a DAG, not a tree. All three are 0 for untraced events.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceEvent {
     /// Virtual-clock timestamp in µs (except where documented wall-clock).
     pub at_us: u64,
     /// Transaction / task id, 0 when not applicable.
     pub txn: u64,
+    /// Trace id (= root span id), 0 when untraced.
+    pub trace: u64,
+    /// Span this event belongs to, 0 when untraced.
+    pub span: u64,
+    /// Parent span establishing a DAG edge, 0 when none.
+    pub parent: u64,
     /// Event kind.
     pub kind: EventKind,
     /// Interned detail string (rule name, task kind, table, …).
@@ -98,10 +114,21 @@ impl TraceEvent {
         TraceEvent {
             at_us,
             txn,
+            trace: 0,
+            span: 0,
+            parent: 0,
             kind,
             detail,
             dur_us,
         }
+    }
+
+    /// Attach causal identity (builder style).
+    pub fn with_ctx(mut self, trace: u64, span: u64, parent: u64) -> Self {
+        self.trace = trace;
+        self.span = span;
+        self.parent = parent;
+        self
     }
 }
 
@@ -164,6 +191,9 @@ impl Default for Interner {
 pub struct ResolvedEvent {
     pub at_us: u64,
     pub txn: u64,
+    pub trace: u64,
+    pub span: u64,
+    pub parent: u64,
     pub kind: EventKind,
     pub detail: String,
     pub dur_us: u64,
@@ -180,6 +210,12 @@ impl fmt::Display for ResolvedEvent {
         }
         if self.dur_us != 0 {
             write!(f, " ({}us)", self.dur_us)?;
+        }
+        if self.trace != 0 {
+            write!(f, " trace={} span={}", self.trace, self.span)?;
+            if self.parent != 0 {
+                write!(f, " parent={}", self.parent)?;
+            }
         }
         Ok(())
     }
@@ -214,6 +250,9 @@ mod tests {
         let e = ResolvedEvent {
             at_us: 1_000,
             txn: 7,
+            trace: 42,
+            span: 43,
+            parent: 42,
             kind: EventKind::RuleFire,
             detail: "comp_rule".into(),
             dur_us: 0,
@@ -222,12 +261,15 @@ mod tests {
         assert!(s.contains("rule.fire"), "{s}");
         assert!(s.contains("txn=7"), "{s}");
         assert!(s.contains("comp_rule"), "{s}");
+        assert!(s.contains("trace=42"), "{s}");
+        assert!(s.contains("parent=42"), "{s}");
     }
 
     #[test]
     fn event_is_small_and_copy() {
         fn assert_copy<T: Copy>() {}
         assert_copy::<TraceEvent>();
-        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+        // 5×u64 + kind + sym pad to 56; keep slots cache-friendly.
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
     }
 }

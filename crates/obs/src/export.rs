@@ -41,6 +41,34 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Escape a string for a Prometheus label *value*. The exposition format
+/// defines exactly three escapes — `\\`, `\"` and `\n` — so reusing the
+/// JSON escaper (which emits `\t`, `\r` and `\uXXXX`) would produce
+/// malformed series. Anything the format cannot represent at all must be
+/// rejected with [`prom_label_valid`] before escaping.
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// True when `s` can be carried as a Prometheus label value: no control
+/// characters other than `\n` (which is escapable) and no U+FFFD
+/// replacement character (the footprint of a non-UTF8 table name that was
+/// lossily converted upstream). Invalid values are skipped with a comment
+/// rather than emitted as a malformed exposition line.
+pub fn prom_label_valid(s: &str) -> bool {
+    s.chars()
+        .all(|c| (!c.is_control() || c == '\n') && c != '\u{fffd}')
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // Round-trippable but compact; the consumer only needs ~µs precision.
@@ -131,18 +159,34 @@ impl ObsSnapshot {
         emit("strip_lock_wait_us", "", &self.lock_wait_us);
         emit("strip_wal_us", "", &self.wal_us);
         emit("strip_plan_compile_us", "", &self.plan_compile_us);
+        let mut skipped: Vec<String> = Vec::new();
         for (kind, h) in &self.exec_us {
+            if !prom_label_valid(kind) {
+                skipped.push(kind.clone());
+                continue;
+            }
             emit(
                 "strip_exec_us",
-                &format!("kind=\"{}\"", json_escape(kind)),
+                &format!("kind=\"{}\"", prom_escape(kind)),
                 h,
             );
         }
         for (table, h) in &self.staleness {
+            if !prom_label_valid(table) {
+                skipped.push(table.clone());
+                continue;
+            }
             emit(
                 "strip_staleness_us",
-                &format!("table=\"{}\"", json_escape(table)),
+                &format!("table=\"{}\"", prom_escape(table)),
                 h,
+            );
+        }
+        if !skipped.is_empty() {
+            let _ = writeln!(
+                out,
+                "# {} series skipped: label value not representable in the exposition format",
+                skipped.len()
             );
         }
         out
@@ -268,6 +312,47 @@ mod tests {
             "{p}"
         );
         assert!(p.contains("strip_exec_us_count{kind=\"update\"} 1"), "{p}");
+    }
+
+    #[test]
+    fn prom_escape_covers_exactly_the_format_escapes() {
+        assert_eq!(prom_escape(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(prom_escape("a\nb"), "a\\nb");
+        // Tabs and carriage returns are NOT escaped by the format; they are
+        // rejected by validation instead of being JSON-escaped.
+        assert_eq!(prom_escape("a\tb"), "a\tb");
+        assert!(!prom_label_valid("a\tb"));
+        assert!(!prom_label_valid("a\rb"));
+        assert!(!prom_label_valid("bad\u{fffd}utf8"));
+        assert!(prom_label_valid("ok\nmultiline"));
+        assert!(prom_label_valid("comp_prices"));
+    }
+
+    #[test]
+    fn prometheus_escapes_and_skips_hostile_labels() {
+        let s = ObsSink::new(16);
+        s.record_staleness("quo\"te\\slash", 10);
+        s.record_staleness("evil\ttab", 10);
+        s.record_staleness("bad\u{fffd}utf8", 10);
+        s.record_exec("multi\nline", 5);
+        let p = s.snapshot().to_prometheus();
+        assert!(
+            p.contains("strip_staleness_us_count{table=\"quo\\\"te\\\\slash\"} 1"),
+            "{p}"
+        );
+        assert!(p.contains("kind=\"multi\\nline\""), "{p}");
+        // Unrepresentable labels produce no series line, only a comment.
+        assert!(!p.contains("evil\ttab"), "{p}");
+        assert!(!p.contains("bad\u{fffd}utf8"), "{p}");
+        assert!(p.contains("# 2 series skipped"), "{p}");
+        // Every non-comment line is still well-formed: name then value.
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,20 +1,85 @@
-//! Minimal JSON validator (recursive descent, no values materialised).
+//! Minimal JSON parser (recursive descent, no-serde policy).
 //!
-//! Used by `strip-report --check` and CI to assert the exported snapshot is
-//! well-formed without pulling in a JSON library (no-serde policy).
+//! Used by `strip-report --check` to assert the exported snapshot is
+//! well-formed, and by the CI regression gate to read the committed
+//! attribution baseline back in (`parse` materialises values).
 
-/// Validate that `s` is a single well-formed JSON value with no trailing
-/// garbage. Returns the byte offset and a message on failure.
-pub fn validate(s: &str) -> Result<(), String> {
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as f64; exports stay within 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as a key/value list in document order (duplicate keys kept).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `s` into a [`Json`] value. Rejects trailing garbage.
+pub fn parse(s: &str) -> Result<Json, String> {
     let b = s.as_bytes();
     let mut p = Parser { b, i: 0 };
     p.ws();
-    p.value()?;
+    let v = p.value()?;
     p.ws();
     if p.i != b.len() {
         return Err(format!("trailing garbage at byte {}", p.i));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Validate that `s` is a single well-formed JSON value with no trailing
+/// garbage. Returns the byte offset and a message on failure.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -37,14 +102,14 @@ impl<'a> Parser<'a> {
         format!("{msg} at byte {}", self.i)
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
@@ -60,92 +125,152 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Json, String> {
         self.i += 1; // '{'
         self.ws();
+        let mut kv = Vec::new();
         if self.peek() == Some(b'}') {
             self.i += 1;
-            return Ok(());
+            return Ok(Json::Obj(kv));
         }
         loop {
             self.ws();
             if self.peek() != Some(b'"') {
                 return Err(self.err("expected object key"));
             }
-            self.string()?;
+            let key = self.string()?;
             self.ws();
             if self.peek() != Some(b':') {
                 return Err(self.err("expected ':'"));
             }
             self.i += 1;
             self.ws();
-            self.value()?;
+            let v = self.value()?;
+            kv.push((key, v));
             self.ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Json::Obj(kv));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Json, String> {
         self.i += 1; // '['
         self.ws();
+        let mut v = Vec::new();
         if self.peek() == Some(b']') {
             self.i += 1;
-            return Ok(());
+            return Ok(Json::Arr(v));
         }
         loop {
             self.ws();
-            self.value()?;
+            v.push(self.value()?);
             self.ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(Json::Arr(v));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.i += 1; // '"'
-        while let Some(c) = self.peek() {
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
             match c {
                 b'"' => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 b'\\' => {
                     self.i += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            self.i += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
-                                    _ => return Err(self.err("bad \\u escape")),
+                            let cp = self.hex4()?;
+                            // Surrogate pair: combine when a low surrogate
+                            // follows; lone surrogates become U+FFFD.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.b[self.i..].starts_with(b"\\u") {
+                                    self.i += 1; // past '\\'; hex4 eats 'u'
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(c).unwrap_or('\u{fffd}')
+                                    } else {
+                                        '\u{fffd}'
+                                    }
+                                } else {
+                                    '\u{fffd}'
                                 }
-                            }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(ch);
+                            continue; // hex4 already advanced past the digits
                         }
                         _ => return Err(self.err("bad escape")),
                     }
+                    self.i += 1;
                 }
                 0x00..=0x1f => return Err(self.err("raw control char in string")),
-                _ => self.i += 1,
+                _ => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let s = &self.b[self.i..];
+                    let len = match s[0] {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&s[..len]).map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                    self.i += len;
+                }
             }
         }
-        Err(self.err("unterminated string"))
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    /// Consume `u` plus four hex digits; returns the code unit. `self.i`
+    /// points at `u` on entry and past the digits on exit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        self.i += 1; // 'u'
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(h) if h.is_ascii_hexdigit() => {
+                    cp = cp * 16 + (h as char).to_digit(16).unwrap();
+                    self.i += 1;
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
         if self.peek() == Some(b'-') {
             self.i += 1;
         }
@@ -182,7 +307,10 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
     }
 }
 
@@ -223,5 +351,32 @@ mod tests {
         ] {
             assert!(validate(s).is_err(), "should reject: {s}");
         }
+    }
+
+    #[test]
+    fn parse_materialises_values() {
+        let v = parse(r#"{"name":"a\tb","n":-2.5,"list":[1,true,null],"u":"é"}"#).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\tb"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-2.5));
+        let list = v.get("list").unwrap().as_arr().unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[0].as_u64(), Some(1));
+        assert_eq!(list[1], Json::Bool(true));
+        assert_eq!(list[2], Json::Null);
+        assert_eq!(v.get("u").unwrap().as_str(), Some("é"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs_and_lone_surrogates() {
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".to_string())
+        );
+        assert_eq!(
+            parse(r#""\ud83dx""#).unwrap(),
+            Json::Str("\u{fffd}x".to_string())
+        );
     }
 }

@@ -29,12 +29,16 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod lineage;
 pub mod ring;
 pub mod sink;
 pub mod stale;
+pub mod trace;
 
 pub use event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 pub use hist::{HistSummary, Histogram};
+pub use lineage::{render_attribution, AttributionSummary, Lineage, PhaseBreakdown, TraceDag};
 pub use ring::TraceRing;
 pub use sink::{ObsSink, ObsSnapshot};
 pub use stale::StalenessTracker;
+pub use trace::TraceCtx;

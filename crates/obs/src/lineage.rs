@@ -1,0 +1,671 @@
+//! Lineage reconstruction and critical-path attribution.
+//!
+//! Replays the surviving trace ring into per-trace DAGs and decomposes
+//! every staleness sample into additive phases. The DAG shape comes from
+//! unique batching: when several firings coalesce into one pending action,
+//! each firing records a `rule.coalesce` event whose `span` is the shared
+//! action span and whose `parent` is the firing — so the action node ends
+//! up with one parent edge per merged firing, across traces.
+//!
+//! ## Phase model
+//!
+//! A staleness sample is the lag between the origin commit (the earliest
+//! base-data commit absorbed by the derived write, i.e. the min-merged
+//! origin under `unique`) and the derived commit. The analyzer cuts that
+//! interval at the action's dispatch, release, and start anchors:
+//!
+//! ```text
+//! origin ──coalesce──▶ dispatch ──delay──▶ release ──queue──▶ start ──▶ end
+//!                                                             └ lock/wal/plan
+//!                                                               carved out of
+//!                                                               execution
+//! ```
+//!
+//! Phases are computed from clamped cut points and the execution phase is
+//! the remainder, so **the seven phases always sum exactly to the recorded
+//! lag** — the invariant `--check` and the proptests assert. Lock-wait and
+//! plan-compile durations are wall-clock µs carved (saturating) out of the
+//! virtual execution interval; they can never push the sum off the lag.
+//!
+//! If the ring overwrote a sample's anchor events the decomposition still
+//! holds (missing segments collapse into their neighbours) but the sample
+//! is flagged `truncated` instead of being silently mis-attributed.
+
+use crate::event::{EventKind, ResolvedEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One span (node) of a trace DAG: its events in ring order and the
+/// distinct parent spans referenced by them.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    pub span: u64,
+    pub parents: Vec<u64>,
+    pub events: Vec<ResolvedEvent>,
+}
+
+impl SpanNode {
+    fn first(&self, kind: EventKind) -> Option<&ResolvedEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    fn dur_sum(&self, kind: EventKind) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.dur_us)
+            .sum()
+    }
+
+    fn count(&self, kind: EventKind) -> u64 {
+        self.events.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// A short label for display: the detail of the most descriptive event.
+    fn label(&self) -> String {
+        for kind in [
+            EventKind::ActionDispatch,
+            EventKind::RuleFire,
+            EventKind::TxnCommit,
+            EventKind::TxnSubmit,
+        ] {
+            if let Some(e) = self.first(kind) {
+                if !e.detail.is_empty() {
+                    return format!("{} {}", kind.label(), e.detail);
+                }
+                return kind.label().to_string();
+            }
+        }
+        self.events
+            .first()
+            .map(|e| e.kind.label().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// One staleness sample decomposed into additive phases.
+///
+/// Invariant: [`PhaseBreakdown::phase_sum`] `== lag_us`, always — the
+/// execution phase absorbs whatever the anchors cannot account for.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// Derived table the staleness was recorded against.
+    pub table: String,
+    /// Trace of the derived commit (0 if the commit was untraced).
+    pub trace: u64,
+    /// Action span the sample belongs to.
+    pub span: u64,
+    /// Transaction id of the derived commit.
+    pub txn: u64,
+    /// Virtual time of the derived commit.
+    pub end_us: u64,
+    /// Recorded staleness lag (derived commit − min-merged origin).
+    pub lag_us: u64,
+    /// Origin commit → first dispatch: time spent waiting for the firing
+    /// that opened the batch (non-zero only when this sample's origin was
+    /// an earlier merged firing).
+    pub coalesce_us: u64,
+    /// Dispatch → release: the rule's `after` delay window.
+    pub delay_us: u64,
+    /// Release → start: scheduler queue wait.
+    pub queue_us: u64,
+    /// Lock-acquisition waits carved out of execution (wall-clock µs).
+    pub lock_us: u64,
+    /// WAL append cost carved out of execution (charged virtual µs).
+    pub wal_us: u64,
+    /// Plan compiles carved out of execution (wall-clock µs).
+    pub plan_us: u64,
+    /// Remaining execution time (start → commit minus carve-outs).
+    pub exec_us: u64,
+    /// Number of rule firings folded into this action (1 = no batching).
+    pub merged_firings: u64,
+    /// The action started at or past its deadline.
+    pub deadline_missed: bool,
+    /// Anchor events were missing (ring overwrite or untraced commit); the
+    /// missing segments were collapsed into their neighbours.
+    pub truncated: bool,
+}
+
+/// The seven phase labels, in pipeline order.
+pub const PHASES: [&str; 7] = ["coalesce", "delay", "queue", "lock", "wal", "plan", "exec"];
+
+impl PhaseBreakdown {
+    /// Phase values in [`PHASES`] order.
+    pub fn phases(&self) -> [u64; 7] {
+        [
+            self.coalesce_us,
+            self.delay_us,
+            self.queue_us,
+            self.lock_us,
+            self.wal_us,
+            self.plan_us,
+            self.exec_us,
+        ]
+    }
+
+    /// Sum of all seven phases; equals `lag_us` by construction.
+    pub fn phase_sum(&self) -> u64 {
+        self.phases().iter().sum()
+    }
+
+    /// The phase holding the largest share of the lag.
+    pub fn dominant_phase(&self) -> &'static str {
+        let p = self.phases();
+        let mut best = 0;
+        for (i, v) in p.iter().enumerate() {
+            if *v > p[best] {
+                best = i;
+            }
+        }
+        PHASES[best]
+    }
+}
+
+/// Per-table aggregate of phase breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionSummary {
+    pub table: String,
+    pub samples: u64,
+    pub truncated: u64,
+    pub lag_sum_us: u64,
+    pub lag_max_us: u64,
+    /// Phase sums in [`PHASES`] order.
+    pub phase_sums_us: [u64; 7],
+    pub merged_firings: u64,
+    pub deadline_misses: u64,
+}
+
+impl AttributionSummary {
+    /// Mean staleness lag across samples.
+    pub fn lag_mean_us(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.lag_sum_us as f64 / self.samples as f64
+        }
+    }
+
+    /// Share of total lag attributed to phase `i` (of [`PHASES`]).
+    pub fn phase_pct(&self, i: usize) -> f64 {
+        if self.lag_sum_us == 0 {
+            0.0
+        } else {
+            100.0 * self.phase_sums_us[i] as f64 / self.lag_sum_us as f64
+        }
+    }
+}
+
+/// A single reconstructed trace, rooted at a triggering commit.
+#[derive(Debug, Clone)]
+pub struct TraceDag {
+    pub trace: u64,
+    /// Nodes touching this trace, in order of first appearance.
+    pub spans: Vec<SpanNode>,
+    /// Some referenced parent spans were not found in the ring.
+    pub truncated: bool,
+}
+
+/// Lineage index over a ring snapshot: global span nodes, per-trace
+/// membership, and the phase decomposition of every staleness sample.
+pub struct Lineage {
+    nodes: Vec<SpanNode>,
+    by_span: HashMap<u64, usize>,
+    /// trace id → node indices, in order of first appearance.
+    by_trace: HashMap<u64, Vec<usize>>,
+    trace_order: Vec<u64>,
+    breakdowns: Vec<PhaseBreakdown>,
+    ring_truncated: bool,
+}
+
+impl Lineage {
+    /// Build the index from resolved ring events (oldest first).
+    /// `ring_truncated` marks that the ring has dropped events, so absent
+    /// anchors mean eviction rather than "never happened".
+    pub fn from_events(events: Vec<ResolvedEvent>, ring_truncated: bool) -> Lineage {
+        let mut nodes: Vec<SpanNode> = Vec::new();
+        let mut by_span: HashMap<u64, usize> = HashMap::new();
+        let mut by_trace: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut trace_order: Vec<u64> = Vec::new();
+        for e in &events {
+            if e.span == 0 {
+                continue;
+            }
+            let idx = *by_span.entry(e.span).or_insert_with(|| {
+                nodes.push(SpanNode {
+                    span: e.span,
+                    parents: Vec::new(),
+                    events: Vec::new(),
+                });
+                nodes.len() - 1
+            });
+            if e.parent != 0 && !nodes[idx].parents.contains(&e.parent) {
+                nodes[idx].parents.push(e.parent);
+            }
+            nodes[idx].events.push(e.clone());
+            if e.trace != 0 {
+                let members = by_trace.entry(e.trace).or_insert_with(|| {
+                    trace_order.push(e.trace);
+                    Vec::new()
+                });
+                if !members.contains(&idx) {
+                    members.push(idx);
+                }
+            }
+        }
+
+        let mut lin = Lineage {
+            nodes,
+            by_span,
+            by_trace,
+            trace_order,
+            breakdowns: Vec::new(),
+            ring_truncated,
+        };
+        lin.breakdowns = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Staleness)
+            .map(|e| lin.decompose(e))
+            .collect();
+        lin
+    }
+
+    /// Decompose one staleness event against its span's anchors. The
+    /// execution phase is the remainder, so the phases sum to the lag no
+    /// matter which anchors survived in the ring.
+    fn decompose(&self, e: &ResolvedEvent) -> PhaseBreakdown {
+        let end = e.at_us;
+        let lag = e.dur_us;
+        let origin = end.saturating_sub(lag);
+        let node = self.by_span.get(&e.span).map(|&i| &self.nodes[i]);
+
+        let clamp = |v: u64, lo: u64| v.clamp(lo, end);
+        let dispatch = node.and_then(|n| n.first(EventKind::ActionDispatch));
+        let release = node.and_then(|n| n.first(EventKind::TxnRelease));
+        let start = node.and_then(|n| n.first(EventKind::TxnStart));
+
+        let d = dispatch.map_or(origin, |ev| clamp(ev.at_us, origin));
+        // No release event is normal for an undelayed action (it skips the
+        // delay queue); the delay phase is then zero by construction.
+        let r = release.map_or(d, |ev| clamp(ev.at_us, d));
+        let st = start.map_or(r, |ev| clamp(ev.at_us, r));
+
+        let coalesce_us = d - origin;
+        let delay_us = r - d;
+        let queue_us = st - r;
+        let exec_total = lag - (coalesce_us + delay_us + queue_us);
+        let wal_us = node.map_or(0, |n| n.dur_sum(EventKind::WalAppend).min(exec_total));
+        let lock_us = node.map_or(0, |n| {
+            n.dur_sum(EventKind::LockWait).min(exec_total - wal_us)
+        });
+        let plan_us = node.map_or(0, |n| {
+            n.dur_sum(EventKind::PlanCompile)
+                .min(exec_total - wal_us - lock_us)
+        });
+        let exec_us = exec_total - wal_us - lock_us - plan_us;
+
+        PhaseBreakdown {
+            table: e.detail.clone(),
+            trace: e.trace,
+            span: e.span,
+            txn: e.txn,
+            end_us: end,
+            lag_us: lag,
+            coalesce_us,
+            delay_us,
+            queue_us,
+            lock_us,
+            wal_us,
+            plan_us,
+            exec_us,
+            merged_firings: node.map_or(1, |n| n.count(EventKind::UniqueCoalesce) + 1),
+            deadline_missed: node.is_some_and(|n| n.count(EventKind::DeadlineMiss) > 0),
+            truncated: e.span == 0 || dispatch.is_none() || start.is_none(),
+        }
+    }
+
+    /// Every staleness sample's phase decomposition, in ring order.
+    pub fn breakdowns(&self) -> &[PhaseBreakdown] {
+        &self.breakdowns
+    }
+
+    /// True when the underlying ring dropped events.
+    pub fn ring_truncated(&self) -> bool {
+        self.ring_truncated
+    }
+
+    /// Trace ids in order of first appearance.
+    pub fn trace_ids(&self) -> &[u64] {
+        &self.trace_order
+    }
+
+    /// Node for a span, if it survived in the ring.
+    pub fn span(&self, span: u64) -> Option<&SpanNode> {
+        self.by_span.get(&span).map(|&i| &self.nodes[i])
+    }
+
+    /// Reconstruct one trace's DAG. `truncated` is set when the root or a
+    /// referenced parent span is missing from the ring.
+    pub fn trace_dag(&self, trace: u64) -> Option<TraceDag> {
+        let members = self.by_trace.get(&trace)?;
+        let spans: Vec<SpanNode> = members.iter().map(|&i| self.nodes[i].clone()).collect();
+        let have_root = self.by_span.contains_key(&trace);
+        let missing_parent = spans
+            .iter()
+            .flat_map(|n| n.parents.iter())
+            .any(|p| !self.by_span.contains_key(p));
+        Some(TraceDag {
+            trace,
+            spans,
+            truncated: !have_root || missing_parent || self.ring_truncated,
+        })
+    }
+
+    /// Distinct traces whose events mention transaction `txn`.
+    pub fn traces_for_txn(&self, txn: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for t in &self.trace_order {
+            let members = &self.by_trace[t];
+            if members
+                .iter()
+                .any(|&i| self.nodes[i].events.iter().any(|e| e.txn == txn))
+                && !out.contains(t)
+            {
+                out.push(*t);
+            }
+        }
+        out
+    }
+
+    /// Per-table attribution aggregate, sorted by table name.
+    pub fn attribution(&self) -> Vec<AttributionSummary> {
+        let mut map: HashMap<&str, AttributionSummary> = HashMap::new();
+        for b in &self.breakdowns {
+            let a = map.entry(&b.table).or_insert_with(|| AttributionSummary {
+                table: b.table.clone(),
+                ..AttributionSummary::default()
+            });
+            a.samples += 1;
+            a.truncated += b.truncated as u64;
+            a.lag_sum_us += b.lag_us;
+            a.lag_max_us = a.lag_max_us.max(b.lag_us);
+            for (s, p) in a.phase_sums_us.iter_mut().zip(b.phases()) {
+                *s += p;
+            }
+            a.merged_firings += b.merged_firings;
+            a.deadline_misses += b.deadline_missed as u64;
+        }
+        let mut out: Vec<AttributionSummary> = map.into_values().collect();
+        out.sort_by(|a, b| a.table.cmp(&b.table));
+        out
+    }
+
+    /// The `n` samples with the largest lag, descending.
+    pub fn worst(&self, n: usize) -> Vec<&PhaseBreakdown> {
+        let mut v: Vec<&PhaseBreakdown> = self.breakdowns.iter().collect();
+        v.sort_by(|a, b| b.lag_us.cmp(&a.lag_us).then(a.end_us.cmp(&b.end_us)));
+        v.truncate(n);
+        v
+    }
+
+    /// Render one trace's DAG as an indented span tree. Nodes with several
+    /// parents (coalesced actions) are printed once and referenced from
+    /// later parents; missing spans are marked truncated.
+    pub fn render_trace(&self, trace: u64) -> String {
+        let Some(dag) = self.trace_dag(trace) else {
+            return format!("trace {trace}: not found in ring\n");
+        };
+        // child edges among this trace's members (plus shared action spans).
+        let mut children: HashMap<u64, Vec<u64>> = HashMap::new();
+        for n in &dag.spans {
+            for p in &n.parents {
+                children.entry(*p).or_default().push(n.span);
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {trace}{}",
+            if dag.truncated { " (truncated)" } else { "" }
+        );
+        let mut printed: Vec<u64> = Vec::new();
+        // Roots: the trace's root span plus any member whose parents are all
+        // outside the ring (orphaned by overwrite).
+        let mut roots: Vec<u64> = Vec::new();
+        for n in &dag.spans {
+            let orphan = n.span == trace
+                || n.parents.is_empty()
+                || n.parents.iter().all(|p| self.span(*p).is_none());
+            if orphan {
+                roots.push(n.span);
+            }
+        }
+        for root in roots {
+            self.render_span(root, 1, &children, &mut printed, &mut out);
+        }
+        out
+    }
+
+    fn render_span(
+        &self,
+        span: u64,
+        depth: usize,
+        children: &HashMap<u64, Vec<u64>>,
+        printed: &mut Vec<u64>,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        if printed.contains(&span) {
+            let _ = writeln!(out, "{pad}└ span {span} (shared, shown above)");
+            return;
+        }
+        printed.push(span);
+        match self.span(span) {
+            None => {
+                let _ = writeln!(out, "{pad}└ span {span} (evicted from ring)");
+            }
+            Some(n) => {
+                let parents = if n.parents.len() > 1 {
+                    format!(" [{} parents]", n.parents.len())
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "{pad}└ span {span}: {}{parents}", n.label());
+                for e in &n.events {
+                    let _ = writeln!(out, "{pad}    {e}");
+                }
+            }
+        }
+        if let Some(kids) = children.get(&span) {
+            for k in kids {
+                self.render_span(*k, depth + 1, children, printed, out);
+            }
+        }
+    }
+}
+
+/// Render per-table attribution as an aligned text table (shares of total
+/// lag per phase, plus batching and truncation counts).
+pub fn render_attribution(rows: &[AttributionSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>11} {:>8} | {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>8} | {:>6} {:>5}",
+        "table",
+        "samples",
+        "lag mean",
+        "firings",
+        "coalesce",
+        "delay",
+        "queue",
+        "lock",
+        "wal",
+        "plan",
+        "exec",
+        "trunc",
+        "dmiss",
+    );
+    for a in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>11} {:>8.2} | {:>7.1}% {:>7.1}% {:>7.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7.1}% | {:>6} {:>5}",
+            a.table,
+            a.samples,
+            crate::export::fmt_us(a.lag_mean_us() as u64),
+            if a.samples == 0 {
+                0.0
+            } else {
+                a.merged_firings as f64 / a.samples as f64
+            },
+            a.phase_pct(0),
+            a.phase_pct(1),
+            a.phase_pct(2),
+            a.phase_pct(3),
+            a.phase_pct(4),
+            a.phase_pct(5),
+            a.phase_pct(6),
+            a.truncated,
+            a.deadline_misses,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind as K;
+
+    fn ev(
+        at: u64,
+        kind: K,
+        detail: &str,
+        dur: u64,
+        trace: u64,
+        span: u64,
+        parent: u64,
+    ) -> ResolvedEvent {
+        ResolvedEvent {
+            at_us: at,
+            txn: 9,
+            trace,
+            span,
+            parent,
+            kind,
+            detail: detail.to_string(),
+            dur_us: dur,
+        }
+    }
+
+    /// One triggering commit → firing → delayed action → derived commit.
+    fn simple_chain() -> Vec<ResolvedEvent> {
+        vec![
+            ev(1_000, K::TxnCommit, "update", 100, 10, 10, 0),
+            ev(1_000, K::RuleFire, "do_comps", 0, 10, 11, 10),
+            ev(1_000, K::ActionDispatch, "f", 2_000, 10, 12, 11),
+            ev(3_000, K::TxnRelease, "recompute:f", 0, 10, 12, 0),
+            ev(3_400, K::TxnStart, "recompute:f", 400, 10, 12, 0),
+            ev(3_900, K::WalAppend, "", 120, 10, 12, 0),
+            ev(4_000, K::TxnCommit, "recompute:f", 600, 10, 12, 0),
+            ev(4_000, K::Staleness, "comp_prices", 3_000, 10, 12, 0),
+        ]
+    }
+
+    #[test]
+    fn phases_sum_to_lag_and_attribute_correctly() {
+        let lin = Lineage::from_events(simple_chain(), false);
+        assert_eq!(lin.breakdowns().len(), 1);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.lag_us, 3_000);
+        assert_eq!(b.phase_sum(), b.lag_us);
+        assert!(!b.truncated);
+        assert_eq!(b.coalesce_us, 0);
+        assert_eq!(b.delay_us, 2_000);
+        assert_eq!(b.queue_us, 400);
+        assert_eq!(b.wal_us, 120);
+        assert_eq!(b.exec_us, 480);
+        assert_eq!(b.dominant_phase(), "delay");
+        assert_eq!(b.merged_firings, 1);
+    }
+
+    #[test]
+    fn coalesced_action_has_multiple_parents_across_traces() {
+        let mut events = simple_chain();
+        // A second triggering commit in its own trace merges into span 12.
+        events.insert(3, ev(1_500, K::TxnCommit, "update", 80, 20, 20, 0));
+        events.insert(4, ev(1_500, K::RuleFire, "do_comps", 0, 20, 21, 20));
+        events.insert(5, ev(1_500, K::UniqueCoalesce, "f", 0, 20, 12, 21));
+        let lin = Lineage::from_events(events, false);
+        let node = lin.span(12).unwrap();
+        assert_eq!(node.parents, vec![11, 21], "DAG node keeps both parents");
+        // Span 12 is a member of both traces.
+        let d10 = lin.trace_dag(10).unwrap();
+        let d20 = lin.trace_dag(20).unwrap();
+        assert!(d10.spans.iter().any(|n| n.span == 12));
+        assert!(d20.spans.iter().any(|n| n.span == 12));
+        assert!(!d10.truncated && !d20.truncated);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.merged_firings, 2);
+        assert_eq!(b.phase_sum(), b.lag_us);
+        // Rendering shows the shared span under both traces.
+        let r = lin.render_trace(20);
+        assert!(r.contains("span 12"), "{r}");
+    }
+
+    #[test]
+    fn min_merged_origin_shows_up_as_coalesce_wait() {
+        // Origin (min merged commit) is 500 although dispatch happened at
+        // 1000: the first firing's batch absorbed an older commit.
+        let mut events = simple_chain();
+        if let Some(st) = events.iter_mut().find(|e| e.kind == K::Staleness) {
+            st.dur_us = 3_500; // end 4000 − origin 500
+        }
+        let lin = Lineage::from_events(events, false);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.coalesce_us, 500);
+        assert_eq!(b.phase_sum(), b.lag_us);
+    }
+
+    #[test]
+    fn missing_anchors_truncate_but_still_sum() {
+        // Only the staleness event survived the ring.
+        let events = vec![ev(4_000, K::Staleness, "comp_prices", 3_000, 10, 12, 0)];
+        let lin = Lineage::from_events(events, true);
+        let b = &lin.breakdowns()[0];
+        assert!(b.truncated);
+        assert_eq!(b.phase_sum(), b.lag_us);
+        assert_eq!(b.exec_us, 3_000, "unattributable time folds into exec");
+        assert!(lin.ring_truncated());
+    }
+
+    #[test]
+    fn attribution_groups_by_table() {
+        let mut events = simple_chain();
+        events.push(ev(4_000, K::Staleness, "option_prices", 3_000, 10, 12, 0));
+        let lin = Lineage::from_events(events, false);
+        let att = lin.attribution();
+        assert_eq!(att.len(), 2);
+        assert_eq!(att[0].table, "comp_prices");
+        assert_eq!(att[1].table, "option_prices");
+        assert_eq!(att[0].samples, 1);
+        assert_eq!(att[0].lag_sum_us, att[0].phase_sums_us.iter().sum::<u64>());
+        let table = render_attribution(&att);
+        assert!(table.contains("comp_prices"), "{table}");
+    }
+
+    #[test]
+    fn worst_sorts_by_lag() {
+        let mut events = simple_chain();
+        events.push(ev(9_000, K::Staleness, "comp_prices", 8_000, 10, 12, 0));
+        let lin = Lineage::from_events(events, false);
+        let w = lin.worst(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].lag_us, 8_000);
+    }
+
+    #[test]
+    fn traces_for_txn_finds_the_trace() {
+        let lin = Lineage::from_events(simple_chain(), false);
+        assert_eq!(lin.traces_for_txn(9), vec![10]);
+        assert!(lin.traces_for_txn(12345).is_empty());
+    }
+}

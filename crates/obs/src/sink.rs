@@ -10,6 +10,7 @@ use crate::event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 use crate::hist::{HistSummary, Histogram};
 use crate::ring::TraceRing;
 use crate::stale::StalenessTracker;
+use crate::trace::TraceCtx;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +94,30 @@ impl ObsSink {
             .push(TraceEvent::new(at_us, txn, kind, sym, dur_us));
     }
 
+    /// Append an event carrying causal identity: the event joins span
+    /// `ctx.span` of trace `ctx.trace`, and a non-zero `parent` records a
+    /// DAG edge `parent → ctx.span`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn event_ctx(
+        &self,
+        at_us: u64,
+        txn: u64,
+        kind: EventKind,
+        detail: &str,
+        dur_us: u64,
+        ctx: TraceCtx,
+        parent: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let sym = self.interner.intern(detail);
+        self.ring.push(
+            TraceEvent::new(at_us, txn, kind, sym, dur_us).with_ctx(ctx.trace, ctx.span, parent),
+        );
+    }
+
     // ---- histogram recording --------------------------------------------
 
     #[inline]
@@ -149,19 +174,48 @@ impl ObsSink {
 
     // ---- reading --------------------------------------------------------
 
+    fn resolve(&self, e: TraceEvent) -> ResolvedEvent {
+        ResolvedEvent {
+            at_us: e.at_us,
+            txn: e.txn,
+            trace: e.trace,
+            span: e.span,
+            parent: e.parent,
+            kind: e.kind,
+            detail: self.interner.resolve(e.detail),
+            dur_us: e.dur_us,
+        }
+    }
+
     /// The last `n` trace events with details resolved, oldest first.
     pub fn trace_tail(&self, n: usize) -> Vec<ResolvedEvent> {
         self.ring
             .tail(n)
             .into_iter()
-            .map(|e| ResolvedEvent {
-                at_us: e.at_us,
-                txn: e.txn,
-                kind: e.kind,
-                detail: self.interner.resolve(e.detail),
-                dur_us: e.dur_us,
-            })
+            .map(|e| self.resolve(e))
             .collect()
+    }
+
+    /// Every surviving ring event with details resolved, oldest first.
+    /// Events evicted by ring overwrite are gone; compare
+    /// [`ObsSink::events_traced`] with the ring capacity to detect loss.
+    pub fn resolved_events(&self) -> Vec<ResolvedEvent> {
+        self.ring
+            .snapshot()
+            .into_iter()
+            .map(|e| self.resolve(e))
+            .collect()
+    }
+
+    /// True when the ring has dropped events (the trace is incomplete).
+    pub fn ring_truncated(&self) -> bool {
+        self.ring.pushed() > self.ring.capacity() as u64
+    }
+
+    /// Replay the surviving ring into a lineage index (per-trace DAGs plus
+    /// a phase decomposition of every staleness sample).
+    pub fn lineage(&self) -> crate::lineage::Lineage {
+        crate::lineage::Lineage::from_events(self.resolved_events(), self.ring_truncated())
     }
 
     /// Total events ever traced (monotonic; ring may have dropped old ones).

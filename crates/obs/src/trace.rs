@@ -1,0 +1,79 @@
+//! Causal trace identity.
+//!
+//! A [`TraceCtx`] names a position in a causal chain: `trace` is the chain
+//! (minted when a triggering transaction commits — the trace id *is* the
+//! root span id) and `span` is the node within it that new child events
+//! should hang off. The context is `Copy` and two words, so it threads
+//! through task structs, action payloads, and commit paths for free.
+//!
+//! Span ids come from a single process-wide counter so a span is unique
+//! across every sink and trace; the reconstructor (see the `lineage`
+//! module) can therefore treat "same span seen in two traces" as a shared
+//! DAG node — exactly what happens when several firings coalesce into one
+//! unique action.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// A causal position: the trace a piece of work belongs to and the span
+/// its child events should attach under. The zero value means "untraced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceCtx {
+    /// Trace id, equal to the id of the trace's root span. 0 = untraced.
+    pub trace: u64,
+    /// Current span within the trace. 0 = untraced.
+    pub span: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context.
+    pub const NONE: TraceCtx = TraceCtx { trace: 0, span: 0 };
+
+    /// True when this context carries no trace identity.
+    pub fn is_none(&self) -> bool {
+        self.trace == 0
+    }
+
+    /// Mint a fresh root context: a new trace whose id is its root span.
+    pub fn root() -> TraceCtx {
+        let id = next_span();
+        TraceCtx {
+            trace: id,
+            span: id,
+        }
+    }
+
+    /// A child context within the same trace under a freshly minted span.
+    /// Returns the new context; the caller records an event carrying
+    /// `parent = self.span` to materialise the edge.
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace: self.trace,
+            span: next_span(),
+        }
+    }
+}
+
+/// Allocate a globally unique span id.
+pub fn next_span() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_and_children_are_unique() {
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        assert_ne!(a.trace, b.trace);
+        assert_eq!(a.trace, a.span);
+        let c = a.child();
+        assert_eq!(c.trace, a.trace);
+        assert_ne!(c.span, a.span);
+        assert!(!a.is_none());
+        assert!(TraceCtx::NONE.is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the lineage phase decomposition: arbitrary
+//! interleavings of coalesced firings, delay windows, queue waits, and
+//! execution carve-outs must always decompose into phases that sum
+//! *exactly* to the recorded staleness lag, with the min-merged origin
+//! honored as coalesce wait — the invariant `strip-report --check` gates.
+
+use proptest::prelude::*;
+use strip_obs::{EventKind, Lineage, ResolvedEvent};
+
+fn ev(
+    at: u64,
+    kind: EventKind,
+    detail: &str,
+    dur: u64,
+    trace: u64,
+    span: u64,
+    parent: u64,
+) -> ResolvedEvent {
+    ResolvedEvent {
+        at_us: at,
+        txn: 1,
+        trace,
+        span,
+        parent,
+        kind,
+        detail: detail.to_string(),
+        dur_us: dur,
+    }
+}
+
+/// One synthetic coalesced-action run, mirroring the event protocol the
+/// system emits: a creating firing dispatches the action span, later
+/// firings (their own traces) coalesce into it, then release → start →
+/// carve-outs → derived commit + staleness sample.
+#[allow(clippy::too_many_arguments)]
+fn synth_run(
+    t0: u64,
+    pre_origin: u64,
+    window: u64,
+    merge_offsets: &[u64],
+    queue: u64,
+    exec: u64,
+    wal: u64,
+    lock: u64,
+    plan: u64,
+) -> (Vec<ResolvedEvent>, u64, u64) {
+    const ACTION: u64 = 1000;
+    let mut events = Vec::new();
+    // Creating firing: base commit → fire → dispatch (span tree rooted at
+    // the base transaction's trace).
+    events.push(ev(t0, EventKind::TxnCommit, "update", 0, 10, 10, 0));
+    events.push(ev(t0, EventKind::RuleFire, "r", 0, 10, 11, 10));
+    events.push(ev(
+        t0,
+        EventKind::ActionDispatch,
+        "f",
+        window,
+        10,
+        ACTION,
+        11,
+    ));
+    // Merged firings: one trace each, a coalesce edge onto the action span.
+    for (i, off) in merge_offsets.iter().enumerate() {
+        let trace = 20 + 10 * i as u64;
+        let at = t0 + off.min(&window.saturating_sub(1)).max(&0);
+        events.push(ev(at, EventKind::TxnCommit, "update", 0, trace, trace, 0));
+        events.push(ev(at, EventKind::RuleFire, "r", 0, trace, trace + 1, trace));
+        events.push(ev(
+            at,
+            EventKind::UniqueCoalesce,
+            "f",
+            0,
+            trace,
+            ACTION,
+            trace + 1,
+        ));
+    }
+    let release = t0 + window;
+    let start = release + queue;
+    let end = start + exec;
+    events.push(ev(
+        release,
+        EventKind::TxnRelease,
+        "recompute:f",
+        0,
+        10,
+        ACTION,
+        0,
+    ));
+    events.push(ev(
+        start,
+        EventKind::TxnStart,
+        "recompute:f",
+        queue,
+        10,
+        ACTION,
+        0,
+    ));
+    events.push(ev(start, EventKind::WalAppend, "", wal, 10, ACTION, 0));
+    events.push(ev(start, EventKind::LockWait, "", lock, 10, ACTION, 0));
+    events.push(ev(start, EventKind::PlanCompile, "", plan, 10, ACTION, 0));
+    events.push(ev(
+        end,
+        EventKind::TxnCommit,
+        "recompute:f",
+        exec,
+        10,
+        ACTION,
+        0,
+    ));
+    // The tracker records lag against the min-merged origin, which may
+    // precede the creating firing (a surviving batch absorbed older work).
+    let origin = t0 - pre_origin;
+    events.push(ev(
+        end,
+        EventKind::Staleness,
+        "comp_prices",
+        end - origin,
+        10,
+        ACTION,
+        0,
+    ));
+    (events, ACTION, end - origin)
+}
+
+proptest! {
+    // Full event set: every phase lands on its anchor exactly and the
+    // seven phases always sum to the lag. Carve-out durations larger than
+    // the execution interval saturate instead of breaking the sum.
+    #[test]
+    fn phases_sum_exactly_for_arbitrary_interleavings(
+        t0 in 1_000..1_000_000u64,
+        pre_origin in 0..500_000u64,
+        window in 1..3_000_000u64,
+        merge_offsets in proptest::collection::vec(0..3_000_000u64, 0..6),
+        queue in 0..200_000u64,
+        exec in 1..100_000u64,
+        wal in 0..200_000u64,
+        lock in 0..200_000u64,
+        plan in 0..200_000u64,
+    ) {
+        // The origin can never postdate the creating commit.
+        let pre_origin = pre_origin.min(t0);
+        let (events, action_span, lag) =
+            synth_run(t0, pre_origin, window, &merge_offsets, queue, exec, wal, lock, plan);
+        let lin = Lineage::from_events(events, false);
+
+        prop_assert_eq!(lin.breakdowns().len(), 1);
+        let b = &lin.breakdowns()[0];
+        prop_assert_eq!(b.lag_us, lag);
+        prop_assert_eq!(b.phase_sum(), b.lag_us);
+        prop_assert!(!b.truncated);
+        prop_assert_eq!(b.merged_firings, 1 + merge_offsets.len() as u64);
+
+        // Anchored phases are exact: the min-merged origin shows up as
+        // coalesce wait, the window as delay, the scheduler gap as queue.
+        prop_assert_eq!(b.coalesce_us, pre_origin);
+        prop_assert_eq!(b.delay_us, window);
+        prop_assert_eq!(b.queue_us, queue);
+        // Carve-outs saturate against the execution interval.
+        let exec_total = lag - pre_origin - window - queue;
+        prop_assert_eq!(b.wal_us, wal.min(exec_total));
+        prop_assert_eq!(b.lock_us, lock.min(exec_total - b.wal_us));
+        prop_assert_eq!(b.plan_us, plan.min(exec_total - b.wal_us - b.lock_us));
+        prop_assert_eq!(b.exec_us, exec_total - b.wal_us - b.lock_us - b.plan_us);
+
+        // DAG shape: the action span has one parent per firing.
+        let node = lin.span(action_span).unwrap();
+        prop_assert_eq!(node.parents.len(), 1 + merge_offsets.len());
+    }
+
+    // Ring overwrite: drop an arbitrary prefix of the event stream. The
+    // decomposition must never panic, must still sum exactly to the lag,
+    // and must flag the sample truncated whenever an anchor (dispatch or
+    // start) was lost — no silent misattribution.
+    #[test]
+    fn truncated_prefix_still_sums_and_is_flagged(
+        t0 in 1_000..100_000u64,
+        window in 1..1_000_000u64,
+        merge_offsets in proptest::collection::vec(0..1_000_000u64, 0..4),
+        queue in 0..100_000u64,
+        exec in 1..50_000u64,
+        drop_frac in 0..100usize,
+    ) {
+        let (events, _, lag) =
+            synth_run(t0, 0, window, &merge_offsets, queue, exec, 10, 10, 10);
+        let cut = events.len() * drop_frac / 100;
+        let survived: Vec<ResolvedEvent> = events[cut..].to_vec();
+        let lin = Lineage::from_events(survived.clone(), cut > 0);
+
+        let staleness_survived = survived
+            .iter()
+            .any(|e| e.kind == EventKind::Staleness);
+        prop_assert_eq!(lin.breakdowns().len(), usize::from(staleness_survived));
+        if let Some(b) = lin.breakdowns().first() {
+            prop_assert_eq!(b.lag_us, lag);
+            prop_assert_eq!(b.phase_sum(), b.lag_us);
+            let have_dispatch = survived
+                .iter()
+                .any(|e| e.kind == EventKind::ActionDispatch);
+            let have_start = survived.iter().any(|e| e.kind == EventKind::TxnStart);
+            prop_assert_eq!(b.truncated, !(have_dispatch && have_start));
+        }
+        prop_assert_eq!(lin.ring_truncated(), cut > 0);
+    }
+}

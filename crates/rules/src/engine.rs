@@ -20,7 +20,7 @@ use crate::unique::{ActionPayload, Dispatch, UniqueManager};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use strip_obs::{EventKind, ObsSink};
+use strip_obs::{EventKind, ObsSink, TraceCtx};
 use strip_sql::ast::BindableQuery;
 use strip_sql::exec::{execute_select, execute_select_bound, Env, Rel};
 use strip_sql::expr::ScalarFn;
@@ -200,6 +200,23 @@ impl RuleEngine {
         txn_id: u64,
         spawn: &mut dyn FnMut(SpawnAction),
     ) -> Result<()> {
+        self.process_commit_ctx(env, log, commit_us, txn_id, TraceCtx::NONE, spawn)
+    }
+
+    /// [`RuleEngine::process_commit`] with causal identity. `ctx` is the
+    /// committing transaction's root span; every rule firing becomes a child
+    /// span, every dispatched action a grandchild, and a coalesced firing
+    /// attaches its trace as an extra parent of the existing action span —
+    /// the lineage DAG the `strip-obs` reconstructor replays.
+    pub fn process_commit_ctx(
+        &self,
+        env: &dyn Env,
+        log: &TxnLog,
+        commit_us: u64,
+        txn_id: u64,
+        ctx: TraceCtx,
+        spawn: &mut dyn FnMut(SpawnAction),
+    ) -> Result<()> {
         if log.is_empty() {
             return Ok(());
         }
@@ -251,7 +268,7 @@ impl RuleEngine {
                 for (i, bq) in rule.condition.iter().enumerate() {
                     let key = format!("rule:{}:cond:{i}", rule.name);
                     let c = cache.map(|c| (c, key.as_str()));
-                    if !run_bindable(&rule_env, bq, commit_us, &mut bound, c)? {
+                    if !run_bindable(&rule_env, bq, commit_us, &mut bound, c, ctx)? {
                         condition_holds = false;
                         break;
                     }
@@ -263,25 +280,44 @@ impl RuleEngine {
                 for (i, bq) in rule.evaluate.iter().enumerate() {
                     let key = format!("rule:{}:eval:{i}", rule.name);
                     let c = cache.map(|c| (c, key.as_str()));
-                    run_bindable(&rule_env, bq, commit_us, &mut bound, c)?;
+                    run_bindable(&rule_env, bq, commit_us, &mut bound, c, ctx)?;
                 }
 
+                // One firing span per (rule, commit), child of the root.
+                let fire = if ctx.is_none() {
+                    TraceCtx::NONE
+                } else {
+                    ctx.child()
+                };
                 if let Some(obs) = &self.obs {
-                    obs.event(commit_us, txn_id, EventKind::RuleFire, &rule.name, 0);
+                    obs.event_ctx(
+                        commit_us,
+                        txn_id,
+                        EventKind::RuleFire,
+                        &rule.name,
+                        0,
+                        fire,
+                        ctx.span,
+                    );
                 }
                 let release_us = commit_us + rule.after_us;
                 match &rule.unique {
                     None => {
-                        let payload =
-                            self.unique
-                                .dispatch_non_unique(&rule.execute, bound, commit_us);
+                        let payload = self.unique.dispatch_non_unique_ctx(
+                            &rule.execute,
+                            bound,
+                            commit_us,
+                            fire,
+                        );
                         if let Some(obs) = &self.obs {
-                            obs.event(
+                            obs.event_ctx(
                                 commit_us,
                                 txn_id,
                                 EventKind::ActionDispatch,
                                 &rule.execute,
                                 rule.after_us,
+                                payload.trace_ctx(),
+                                fire.span,
                             );
                         }
                         spawn(SpawnAction {
@@ -292,22 +328,25 @@ impl RuleEngine {
                         });
                     }
                     Some(cols) => {
-                        for d in self.unique.dispatch_unique(
+                        for d in self.unique.dispatch_unique_ctx(
                             &rule.execute,
                             cols,
                             bound,
                             meter,
                             commit_us,
+                            fire,
                         )? {
                             match d {
                                 Dispatch::New(payload) => {
                                     if let Some(obs) = &self.obs {
-                                        obs.event(
+                                        obs.event_ctx(
                                             commit_us,
                                             txn_id,
                                             EventKind::ActionDispatch,
                                             &rule.execute,
                                             rule.after_us,
+                                            payload.trace_ctx(),
+                                            fire.span,
                                         );
                                     }
                                     spawn(SpawnAction {
@@ -317,14 +356,23 @@ impl RuleEngine {
                                         release_us,
                                     });
                                 }
-                                Dispatch::Merged => {
+                                Dispatch::Merged(payload) => {
                                     if let Some(obs) = &self.obs {
-                                        obs.event(
+                                        // The merging firing's trace adopts
+                                        // the existing action span: this
+                                        // edge is what gives the span a
+                                        // second (third, ...) parent.
+                                        obs.event_ctx(
                                             commit_us,
                                             txn_id,
                                             EventKind::UniqueCoalesce,
                                             &rule.execute,
                                             0,
+                                            TraceCtx {
+                                                trace: fire.trace,
+                                                span: payload.span,
+                                            },
+                                            fire.span,
                                         );
                                     }
                                 }
@@ -402,6 +450,7 @@ fn run_bindable(
     commit_us: u64,
     bound: &mut HashMap<String, TempTable>,
     cache: Option<(&PlanCache, &str)>,
+    ctx: TraceCtx,
 ) -> Result<bool> {
     // `commit_time` handling (§2): a select item that is the bare column
     // `commit_time` is stripped before execution and instantiated at
@@ -410,7 +459,7 @@ fn run_bindable(
 
     let plan_for = |env: &dyn Env| -> strip_sql::Result<Arc<PhysicalPlan>> {
         match cache {
-            Some((c, key)) => c.get_or_plan_at(key, env.schema_epoch(), commit_us, || {
+            Some((c, key)) => c.get_or_plan_ctx(key, env.schema_epoch(), commit_us, ctx, || {
                 plan_query(env, &query).map(PhysicalPlan::Select)
             }),
             None => Ok(Arc::new(PhysicalPlan::Select(plan_query(env, &query)?))),

@@ -24,6 +24,7 @@ use crate::error::{Result, RuleError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use strip_obs::TraceCtx;
 use strip_storage::{Meter, Op, TempTable, Value};
 
 /// The mutable state of a pending (or running) action transaction.
@@ -53,6 +54,13 @@ pub struct ActionPayload {
     /// The unique-column values identifying this partition (empty for
     /// coarse unique and for non-unique actions).
     pub unique_key: Vec<Value>,
+    /// Trace id of the firing that *created* this payload (0 = untraced).
+    /// Firings merged later attach their own traces as extra DAG parents
+    /// via `unique.coalesce` events; the payload itself keeps one identity.
+    pub trace: u64,
+    /// The action span: minted once at creation, shared by every trace that
+    /// coalesces into this payload (this is what makes lineage a DAG).
+    pub span: u64,
     /// Shared mutable state.
     pub state: Mutex<PayloadState>,
 }
@@ -63,16 +71,32 @@ impl ActionPayload {
         unique_key: Vec<Value>,
         bound: HashMap<String, TempTable>,
         origin_us: u64,
+        ctx: TraceCtx,
     ) -> ActionPayload {
+        let action = if ctx.is_none() {
+            TraceCtx::NONE
+        } else {
+            ctx.child()
+        };
         ActionPayload {
             func: func.to_string(),
             unique_key,
+            trace: action.trace,
+            span: action.span,
             state: Mutex::new(PayloadState {
                 bound,
                 fixed: false,
                 merged_firings: 1,
                 origin_us,
             }),
+        }
+    }
+
+    /// The action's causal identity ([`TraceCtx::NONE`] when untraced).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace: self.trace,
+            span: self.span,
         }
     }
 
@@ -97,8 +121,10 @@ impl ActionPayload {
 pub enum Dispatch {
     /// A new action transaction must be enqueued with this payload.
     New(Arc<ActionPayload>),
-    /// The rows were appended to an already-queued transaction.
-    Merged,
+    /// The rows were appended to this already-queued transaction's payload.
+    /// Carrying the payload lets the caller record a coalesce edge from the
+    /// merging firing's trace to the payload's action span.
+    Merged(Arc<ActionPayload>),
 }
 
 #[derive(Debug, Default)]
@@ -127,7 +153,7 @@ struct FnTable {
 /// assert!(matches!(d1[0], Dispatch::New(_)));
 /// // ...a second firing for the same composite merges instead.
 /// let d2 = um.dispatch_unique("f", &["comp".into()], mk(&[("C1", 2.0)]), &NullMeter, 200).unwrap();
-/// assert!(matches!(d2[0], Dispatch::Merged));
+/// assert!(matches!(d2[0], Dispatch::Merged(_)));
 /// assert_eq!(um.pending_count("f"), 1);
 /// ```
 #[derive(Debug, Default)]
@@ -197,7 +223,19 @@ impl UniqueManager {
         bound: HashMap<String, TempTable>,
         commit_us: u64,
     ) -> Arc<ActionPayload> {
-        Arc::new(ActionPayload::new(func, Vec::new(), bound, commit_us))
+        self.dispatch_non_unique_ctx(func, bound, commit_us, TraceCtx::NONE)
+    }
+
+    /// [`UniqueManager::dispatch_non_unique`] with causal identity: the
+    /// payload's action span is minted as a child of the firing's `ctx`.
+    pub fn dispatch_non_unique_ctx(
+        &self,
+        func: &str,
+        bound: HashMap<String, TempTable>,
+        commit_us: u64,
+        ctx: TraceCtx,
+    ) -> Arc<ActionPayload> {
+        Arc::new(ActionPayload::new(func, Vec::new(), bound, commit_us, ctx))
     }
 
     /// Dispatch a unique firing. `unique_cols` is the rule's `unique on`
@@ -211,6 +249,22 @@ impl UniqueManager {
         bound: HashMap<String, TempTable>,
         meter: &dyn Meter,
         commit_us: u64,
+    ) -> Result<Vec<Dispatch>> {
+        self.dispatch_unique_ctx(func, unique_cols, bound, meter, commit_us, TraceCtx::NONE)
+    }
+
+    /// [`UniqueManager::dispatch_unique`] with causal identity: payloads
+    /// created here mint their action span as a child of `ctx`; merged
+    /// partitions return the existing payload so the caller can record the
+    /// extra DAG parent.
+    pub fn dispatch_unique_ctx(
+        &self,
+        func: &str,
+        unique_cols: &[String],
+        bound: HashMap<String, TempTable>,
+        meter: &dyn Meter,
+        commit_us: u64,
+        ctx: TraceCtx,
     ) -> Result<Vec<Dispatch>> {
         let func = func.to_ascii_lowercase();
         let partitions = partition_bound_tables_metered(unique_cols, bound, meter)?;
@@ -227,7 +281,7 @@ impl UniqueManager {
                         // and now (possible in pool mode): start a fresh one.
                         drop(st);
                         let payload =
-                            Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us));
+                            Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us, ctx));
                         fn_table.pending.insert(key, payload.clone());
                         out.push(Dispatch::New(payload));
                         continue;
@@ -250,10 +304,12 @@ impl UniqueManager {
                     }
                     st.merged_firings += 1;
                     st.origin_us = st.origin_us.min(commit_us);
-                    out.push(Dispatch::Merged);
+                    drop(st);
+                    out.push(Dispatch::Merged(existing.clone()));
                 }
                 None => {
-                    let payload = Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us));
+                    let payload =
+                        Arc::new(ActionPayload::new(&func, key.clone(), part, commit_us, ctx));
                     fn_table.pending.insert(key, payload.clone());
                     out.push(Dispatch::New(payload));
                 }
@@ -519,7 +575,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(d2.len(), 2);
-        let merged = d2.iter().filter(|d| matches!(d, Dispatch::Merged)).count();
+        let merged = d2
+            .iter()
+            .filter(|d| matches!(d, Dispatch::Merged(_)))
+            .count();
         assert_eq!(merged, 1);
         assert_eq!(um.pending_count("f"), 3);
 
@@ -555,6 +614,32 @@ mod tests {
         um.dispatch_unique("f", &[], bound_with(&[("C3", 3.0)]), &NullMeter, 9_000)
             .unwrap();
         assert_eq!(p.origin_us(), 3_000);
+    }
+
+    #[test]
+    fn ctx_dispatch_mints_action_span_shared_across_merges() {
+        let um = UniqueManager::new();
+        let ctx1 = TraceCtx::root();
+        let d1 = um
+            .dispatch_unique_ctx("f", &[], bound_with(&[("C1", 1.0)]), &NullMeter, 0, ctx1)
+            .unwrap();
+        let Dispatch::New(p) = &d1[0] else { panic!() };
+        assert_eq!(p.trace, ctx1.trace);
+        assert_ne!(p.span, 0);
+        // A firing from a *different* trace merges into the SAME action
+        // span: that span now has two trace parents (the lineage DAG).
+        let ctx2 = TraceCtx::root();
+        let d2 = um
+            .dispatch_unique_ctx("f", &[], bound_with(&[("C2", 2.0)]), &NullMeter, 0, ctx2)
+            .unwrap();
+        let Dispatch::Merged(m) = &d2[0] else {
+            panic!()
+        };
+        assert_eq!(m.span, p.span);
+        assert_eq!(m.trace, ctx1.trace, "payload keeps its creating trace");
+        // Untraced dispatch leaves the identity at zero.
+        let q = um.dispatch_non_unique("g", bound_with(&[("C1", 1.0)]), 0);
+        assert_eq!((q.trace, q.span), (0, 0));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::plan::PhysicalPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use strip_obs::{EventKind, ObsSink};
+use strip_obs::{EventKind, ObsSink, TraceCtx};
 
 struct CachedPlan {
     epoch: u64,
@@ -67,6 +67,20 @@ impl PlanCache {
         at_us: u64,
         build: impl FnOnce() -> Result<PhysicalPlan>,
     ) -> Result<Arc<PhysicalPlan>> {
+        self.get_or_plan_ctx(key, epoch, at_us, TraceCtx::NONE, build)
+    }
+
+    /// [`PlanCache::get_or_plan_at`] with causal identity: a compile span
+    /// recorded on a miss joins the calling transaction's trace, so the
+    /// lineage analyzer can carve plan-compile time out of execution.
+    pub fn get_or_plan_ctx(
+        &self,
+        key: &str,
+        epoch: u64,
+        at_us: u64,
+        ctx: TraceCtx,
+        build: impl FnOnce() -> Result<PhysicalPlan>,
+    ) -> Result<Arc<PhysicalPlan>> {
         if let Some(cached) = self.plans.lock().expect("plan cache lock").get(key) {
             if cached.epoch == epoch {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -78,7 +92,7 @@ impl PlanCache {
         let plan = Arc::new(build()?);
         if let Some(obs) = &self.obs {
             let compile_us = t0.elapsed().as_micros() as u64;
-            obs.event(at_us, 0, EventKind::PlanCompile, key, compile_us);
+            obs.event_ctx(at_us, 0, EventKind::PlanCompile, key, compile_us, ctx, 0);
             obs.record_plan_compile(compile_us);
         }
         self.plans.lock().expect("plan cache lock").insert(
@@ -186,6 +200,19 @@ mod tests {
         assert_eq!(tail[0].kind, EventKind::PlanCompile);
         assert_eq!(tail[0].at_us, 500);
         assert_eq!(tail[0].detail, "k");
+    }
+
+    #[test]
+    fn ctx_compiles_carry_trace_identity() {
+        let obs = ObsSink::new(16);
+        let c = PlanCache::with_obs(obs.clone());
+        let ctx = TraceCtx { trace: 7, span: 9 };
+        c.get_or_plan_ctx("k", 1, 500, ctx, || Ok(dummy_plan()))
+            .unwrap();
+        let tail = obs.trace_tail(10);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].trace, 7);
+        assert_eq!(tail[0].span, 9);
     }
 
     #[test]

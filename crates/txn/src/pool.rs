@@ -98,11 +98,13 @@ impl WorkerPool {
     /// Submit a task. `task.release_us` is interpreted on the pool's clock.
     pub fn submit(&self, task: Task) {
         if let Some(obs) = &self.inner.obs {
-            obs.event(
+            obs.event_ctx(
                 self.inner.now_us(),
                 task.id.0,
                 EventKind::TxnSubmit,
                 &task.kind,
+                0,
+                task.trace,
                 0,
             );
         }
@@ -206,20 +208,36 @@ fn worker_loop(inner: Arc<PoolInner>) {
         let start_us = inner.now_us();
         let pool_queue_us = start_us.saturating_sub(task.release_us);
         if let Some(obs) = &inner.obs {
-            obs.event(
+            obs.event_ctx(
                 start_us,
                 task.id.0,
                 EventKind::TxnStart,
                 &task.kind,
                 pool_queue_us,
+                task.trace,
+                0,
             );
             obs.record_queue(pool_queue_us);
+            if let Some(dl) = task.deadline_us {
+                if start_us >= dl {
+                    obs.event_ctx(
+                        start_us,
+                        task.id.0,
+                        EventKind::DeadlineMiss,
+                        &task.kind,
+                        start_us - dl,
+                        task.trace,
+                        0,
+                    );
+                }
+            }
         }
         let mut ctx = TaskCtx {
             start_us,
             task_id: task.id,
             meter: &meter,
             spawned: Vec::new(),
+            trace: task.trace,
         };
         let kind = task.kind.clone();
         let release_us = task.release_us;

@@ -171,11 +171,13 @@ impl Simulator {
     /// the ready queue.
     pub fn submit(&mut self, task: Task) {
         if let Some(obs) = &self.obs {
-            obs.event(
+            obs.event_ctx(
                 self.clock_us,
                 task.id.0,
                 EventKind::TxnSubmit,
                 &task.kind,
+                0,
+                task.trace,
                 0,
             );
         }
@@ -191,7 +193,15 @@ impl Simulator {
     fn release_due(&mut self) {
         for t in self.delay.pop_released(self.clock_us) {
             if let Some(obs) = &self.obs {
-                obs.event(self.clock_us, t.id.0, EventKind::TxnRelease, &t.kind, 0);
+                obs.event_ctx(
+                    self.clock_us,
+                    t.id.0,
+                    EventKind::TxnRelease,
+                    &t.kind,
+                    0,
+                    t.trace,
+                    0,
+                );
             }
             self.ready.push(t);
         }
@@ -226,6 +236,17 @@ impl Simulator {
         if let Some(dl) = task.deadline_us {
             if self.clock_us >= dl {
                 self.stats.deadline_misses += 1;
+                if let Some(obs) = &self.obs {
+                    obs.event_ctx(
+                        self.clock_us,
+                        task.id.0,
+                        EventKind::DeadlineMiss,
+                        &task.kind,
+                        self.clock_us - dl,
+                        task.trace,
+                        0,
+                    );
+                }
             }
         }
         let meter = CostMeter::new(self.model.clone());
@@ -234,17 +255,20 @@ impl Simulator {
             task_id: task.id,
             meter: &meter,
             spawned: Vec::new(),
+            trace: task.trace,
         };
         let kind = task.kind.clone();
         let release_us = task.release_us;
         let queue_us = self.clock_us.saturating_sub(release_us);
         if let Some(obs) = &self.obs {
-            obs.event(
+            obs.event_ctx(
                 self.clock_us,
                 task.id.0,
                 EventKind::TxnStart,
                 &kind,
                 queue_us,
+                task.trace,
+                0,
             );
             obs.record_queue(queue_us);
         }
@@ -285,6 +309,7 @@ impl Simulator {
             task_id: crate::task::TaskId::fresh(),
             meter: &meter,
             spawned: Vec::new(),
+            trace: strip_obs::TraceCtx::NONE,
         };
         let out = work(&mut ctx);
         let spawned = std::mem::take(&mut ctx.spawned);

@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use strip_obs::TraceCtx;
 
 /// Task identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,6 +34,9 @@ pub struct TaskCtx<'a> {
     /// Tasks created while running (rule actions); drained by the executor
     /// after the work closure returns.
     pub spawned: Vec<Task>,
+    /// Causal identity inherited from the task (untraced for plain feeds;
+    /// the action span for rule actions).
+    pub trace: TraceCtx,
 }
 
 impl TaskCtx<'_> {
@@ -67,6 +71,9 @@ pub struct Task {
     /// Label used for statistics grouping (e.g. `"update"` or
     /// `"recompute:compute_comps3"`).
     pub kind: Arc<str>,
+    /// Causal identity: rule actions carry the action span minted at
+    /// dispatch so their scheduler lifecycle events join the trace DAG.
+    pub trace: TraceCtx,
     /// The work closure.
     pub work: TaskWork,
 }
@@ -91,6 +98,7 @@ impl Task {
             deadline_us: None,
             value: 1.0,
             kind: Arc::from(kind),
+            trace: TraceCtx::NONE,
             work,
         }
     }
@@ -112,6 +120,12 @@ impl Task {
     /// Set a value (builder style).
     pub fn with_value(mut self, value: f64) -> Task {
         self.value = value;
+        self
+    }
+
+    /// Attach causal identity (builder style).
+    pub fn with_trace(mut self, trace: TraceCtx) -> Task {
+        self.trace = trace;
         self
     }
 }
@@ -137,6 +151,7 @@ mod tests {
             task_id: TaskId::fresh(),
             meter: &meter,
             spawned: Vec::new(),
+            trace: TraceCtx::NONE,
         };
         assert_eq!(ctx.now_us(), 1000);
         meter.charge(strip_storage::Op::GetLock, 1); // 14 µs

@@ -212,6 +212,38 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 Err(_) => "usage: .obs [json|prom|<n last trace events>]\n".to_string(),
             },
         },
+        Some("trace") => {
+            let lin = db.obs().lineage();
+            match parts.next() {
+                // Bare `.trace`: the per-table staleness attribution.
+                None => {
+                    let attr = lin.attribution();
+                    if attr.is_empty() {
+                        "no staleness samples traced yet\n".to_string()
+                    } else {
+                        let mut out = strip_obs::render_attribution(&attr);
+                        if lin.ring_truncated() {
+                            out.push_str(
+                                "(trace ring wrapped: attribution covers the surviving tail)\n",
+                            );
+                        }
+                        out
+                    }
+                }
+                // `.trace <txn>`: that transaction's causal span tree(s).
+                Some(arg) => match arg.parse::<u64>() {
+                    Ok(txn) => {
+                        let traces = lin.traces_for_txn(txn);
+                        if traces.is_empty() {
+                            format!("no trace recorded for txn {txn} (evicted or untraced)\n")
+                        } else {
+                            traces.iter().map(|t| lin.render_trace(*t)).collect()
+                        }
+                    }
+                    Err(_) => "usage: .trace [<txn id>]\n".to_string(),
+                },
+            }
+        }
         Some("help") | None => "\
 meta commands:
   .tables            list tables
@@ -222,6 +254,7 @@ meta commands:
   .advance <secs>    advance virtual time
   .stats             executor statistics
   .obs [json|prom|N] observability report (or JSON/Prometheus dump, or last N trace events)
+  .trace [<txn id>]  staleness attribution, or a txn's causal span tree
   .errors            drain background task errors
   .help              this help
   .quit              exit
@@ -300,5 +333,44 @@ mod tests {
         let tail = run_shell_input(&db, ".obs 5");
         assert!(tail.contains("txn.commit"), "{tail}");
         assert!(run_shell_input(&db, ".obs wat").starts_with("usage:"));
+    }
+
+    #[test]
+    fn trace_command_renders_attribution_and_span_trees() {
+        let db = Strip::new();
+        db.execute_script(
+            "create table stocks (symbol str, price float); \
+             create table log (symbol str, price float); \
+             insert into stocks values ('S1', 30);",
+        )
+        .unwrap();
+        db.register_function("log_price", |txn| {
+            txn.exec("insert into log values ('S1', 1.0)", &[])?;
+            Ok(())
+        });
+        assert!(run_shell_input(&db, ".trace").contains("no staleness samples"));
+        db.execute(
+            "create rule watch on stocks when updated price \
+             then execute log_price",
+        )
+        .unwrap();
+        run_shell_input(&db, "update stocks set price = 31 where symbol = 'S1'");
+        db.drain();
+
+        let attr = run_shell_input(&db, ".trace");
+        assert!(attr.contains("log"), "{attr}");
+
+        // Find the base txn id from the trace tail and render its tree.
+        let ev = db
+            .obs()
+            .resolved_events()
+            .into_iter()
+            .find(|e| e.kind == strip_obs::EventKind::RuleFire)
+            .expect("rule fired");
+        let tree = run_shell_input(&db, &format!(".trace {}", ev.txn));
+        assert!(tree.contains("rule.fire"), "{tree}");
+        assert!(tree.contains("action.dispatch"), "{tree}");
+        assert!(run_shell_input(&db, ".trace 999999").contains("no trace recorded"));
+        assert!(run_shell_input(&db, ".trace wat").starts_with("usage:"));
     }
 }
