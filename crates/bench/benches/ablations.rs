@@ -20,7 +20,7 @@ use strip_txn::{Policy, ReadyQueue, Task};
 /// Build a base table with `n` rows of (symbol, price).
 fn base_table(n: usize) -> StandardTable {
     let schema = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
-    let mut t = StandardTable::new("stocks", schema.into_ref());
+    let t = StandardTable::new("stocks", schema.into_ref());
     for i in 0..n {
         t.insert(vec![format!("S{i:05}").into(), (i as f64).into()])
             .unwrap();
@@ -30,7 +30,7 @@ fn base_table(n: usize) -> StandardTable {
 
 fn bench_tuple_layout(c: &mut Criterion) {
     let base = base_table(1000);
-    let recs: Vec<_> = base.scan().map(|(_, r)| r.clone()).collect();
+    let recs: Vec<_> = base.scan().into_iter().map(|(_, r)| r.clone()).collect();
     let schema = base.schema().clone();
 
     c.bench_function("bound_table_build_pointer_1k", |b| {
@@ -91,7 +91,7 @@ fn bench_tuple_layout(c: &mut Criterion) {
 
 fn bench_index_structures(c: &mut Criterion) {
     for (label, kind) in [("hash", IndexKind::Hash), ("rbtree", IndexKind::RbTree)] {
-        let mut t = base_table(10_000);
+        let t = base_table(10_000);
         t.create_index("ix", "symbol", kind).unwrap();
         let mut i = 0usize;
         c.bench_function(&format!("index_probe_{label}_10k"), |b| {

@@ -1,0 +1,270 @@
+//! `exp_parallel`: multi-worker throughput scaling of PTA quote traffic
+//! under hierarchical key-granular locking, with the table-granular
+//! ablation. Writes `BENCH_parallel.json`.
+//!
+//! Wall-clock scaling cannot be measured honestly on an arbitrary CI
+//! host (this container may well have a single core), so the benchmark
+//! measures what the lock protocol *admits*: every quote transaction is
+//! executed once on the deterministic simulator to capture its charged
+//! virtual cost (the Table-1-calibrated µs) and its full lock footprint
+//! (`Txn::lock_footprint()`, table intents plus key locks). A greedy
+//! conflict-aware list scheduler then assigns the transaction stream to
+//! 1/2/4/8 virtual workers: a transaction may not start before every
+//! earlier transaction holding an incompatible lock on a shared resource
+//! has finished — exactly the ordering strict 2PL enforces. The makespan
+//! ratio is the scaling the lock manager permits, independent of host
+//! core count.
+//!
+//! Scenarios: `disjoint` (quotes round-robin the whole symbol universe,
+//! so concurrent transactions touch distinct keys) and `hot` (all quotes
+//! hammer four symbols), each under `key` and `table` granularity.
+//! Key-granular disjoint traffic must scale ≥ 3× at 4 workers — the
+//! acceptance bar this binary enforces (exit 1 otherwise). Table
+//! granularity serializes everything (speedup ≈ 1) regardless of
+//! workload: that gap is the point of the hierarchical lock manager.
+//!
+//! ```text
+//! exp_parallel [--txns N] [--json PATH]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use strip_core::{LockGranularity, Strip};
+use strip_finance::{Pta, PtaConfig};
+use strip_obs::json;
+use strip_storage::Value;
+use strip_txn::LockMode;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const HOT_SYMBOLS: usize = 4;
+const REQUIRED_SPEEDUP_AT_4: f64 = 3.0;
+
+/// One profiled quote transaction: its charged virtual cost and the locks
+/// it held at commit.
+struct TxnProfile {
+    cost_us: u64,
+    footprint: Vec<(String, LockMode)>,
+}
+
+/// Execute `n_txns` quote updates on a fresh simulator-mode PTA and record
+/// each transaction's cost and footprint. `hot` narrows the symbol choice
+/// to the first `h` symbols (the contended workload); otherwise quotes
+/// round-robin the whole universe.
+fn profile(granularity: LockGranularity, hot: Option<usize>, n_txns: usize) -> Vec<TxnProfile> {
+    let db = Strip::builder().lock_granularity(granularity).build();
+    let pta = Pta::build(PtaConfig::small(), db).expect("PTA build");
+    let n_symbols = pta.symbols.len();
+    let upd = std::sync::Arc::new(
+        strip_sql::parse_statement("update stocks set price = ? where symbol = ?")
+            .expect("prepared update"),
+    );
+    let mut out = Vec::with_capacity(n_txns);
+    for (i, q) in pta.trace.quotes.iter().cycle().take(n_txns).enumerate() {
+        let sym_id = match hot {
+            Some(h) => i % h,
+            None => i % n_symbols,
+        };
+        let sym = pta.symbols[sym_id].clone();
+        let price = q.price;
+        let upd = upd.clone();
+        let t0 = pta.db.now_us();
+        let footprint = pta
+            .db
+            .txn(move |t| {
+                t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
+                Ok(t.lock_footprint())
+            })
+            .expect("quote txn");
+        let cost_us = (pta.db.now_us() - t0).max(1);
+        out.push(TxnProfile { cost_us, footprint });
+    }
+    pta.db.drain();
+    out
+}
+
+/// Greedy conflict-aware list schedule: transactions are placed in stream
+/// order on the earliest-free worker, but may not start before the finish
+/// time of any earlier transaction whose footprint conflicts (shares a
+/// resource in incompatible modes). Returns the makespan in virtual µs.
+fn makespan(profiles: &[TxnProfile], workers: usize) -> u64 {
+    let mut free = vec![0u64; workers];
+    // Per resource, the latest finish time seen for each held mode.
+    let mut last: HashMap<&str, Vec<(LockMode, u64)>> = HashMap::new();
+    for p in profiles {
+        let mut ready = 0u64;
+        for (res, mode) in &p.footprint {
+            if let Some(held) = last.get(res.as_str()) {
+                for (hm, end) in held {
+                    if !mode.compatible_with(*hm) {
+                        ready = ready.max(*end);
+                    }
+                }
+            }
+        }
+        let wi = (0..workers).min_by_key(|&i| free[i]).unwrap();
+        let start = free[wi].max(ready);
+        let end = start + p.cost_us;
+        free[wi] = end;
+        for (res, mode) in &p.footprint {
+            let held = last.entry(res.as_str()).or_default();
+            match held.iter_mut().find(|(hm, _)| hm == mode) {
+                Some(e) => e.1 = e.1.max(end),
+                None => held.push((*mode, end)),
+            }
+        }
+    }
+    free.into_iter().max().unwrap_or(0)
+}
+
+struct Point {
+    workers: usize,
+    makespan_us: u64,
+    speedup: f64,
+    throughput_ktxn_s: f64,
+}
+
+fn sweep(profiles: &[TxnProfile]) -> Vec<Point> {
+    let serial = makespan(profiles, 1);
+    WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let m = makespan(profiles, w);
+            Point {
+                workers: w,
+                makespan_us: m,
+                speedup: serial as f64 / m as f64,
+                throughput_ktxn_s: profiles.len() as f64 * 1e3 / m as f64,
+            }
+        })
+        .collect()
+}
+
+struct Scenario {
+    workload: &'static str,
+    granularity: &'static str,
+    points: Vec<Point>,
+}
+
+fn run_all(n_txns: usize) -> Vec<Scenario> {
+    let cases: [(&str, Option<usize>, &str, LockGranularity); 4] = [
+        ("disjoint", None, "key", LockGranularity::Key),
+        ("disjoint", None, "table", LockGranularity::Table),
+        ("hot", Some(HOT_SYMBOLS), "key", LockGranularity::Key),
+        ("hot", Some(HOT_SYMBOLS), "table", LockGranularity::Table),
+    ];
+    cases
+        .iter()
+        .map(|&(workload, hot, gname, g)| {
+            eprintln!("profiling {n_txns} quote txns: workload={workload} granularity={gname}");
+            let profiles = profile(g, hot, n_txns);
+            Scenario {
+                workload,
+                granularity: gname,
+                points: sweep(&profiles),
+            }
+        })
+        .collect()
+}
+
+fn render_json(n_txns: usize, scenarios: &[Scenario], speedup_at_4: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"parallel_scaling\",\n");
+    s.push_str("  \"scale\": \"small\",\n");
+    s.push_str(&format!("  \"txns\": {n_txns},\n"));
+    s.push_str("  \"worker_counts\": [1, 2, 4, 8],\n");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"granularity\": \"{}\", \"results\": [",
+            sc.workload, sc.granularity
+        ));
+        for (j, p) in sc.points.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"workers\": {}, \"makespan_us\": {}, \"speedup\": {:.3}, \
+                 \"throughput_ktxn_s\": {:.3}}}",
+                if j == 0 { "" } else { ", " },
+                p.workers,
+                p.makespan_us,
+                p.speedup,
+                p.throughput_ktxn_s
+            ));
+        }
+        s.push_str(if i + 1 == scenarios.len() {
+            "]}\n"
+        } else {
+            "]},\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"check\": {{\"disjoint_key_speedup_at_4\": {:.3}, \"required_min\": {:.1}, \
+         \"pass\": {}}}\n",
+        speedup_at_4,
+        REQUIRED_SPEEDUP_AT_4,
+        speedup_at_4 >= REQUIRED_SPEEDUP_AT_4
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let mut n_txns = 400usize;
+    let mut json_path = "BENCH_parallel.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--txns" => {
+                n_txns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--txns needs a number");
+            }
+            "--json" => json_path = it.next().expect("--json needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scenarios = run_all(n_txns);
+
+    println!("workload  granularity  workers  makespan_us  speedup  ktxn/s");
+    for sc in &scenarios {
+        for p in &sc.points {
+            println!(
+                "{:<9} {:<12} {:>7} {:>12} {:>8.2} {:>7.1}",
+                sc.workload,
+                sc.granularity,
+                p.workers,
+                p.makespan_us,
+                p.speedup,
+                p.throughput_ktxn_s
+            );
+        }
+    }
+
+    let speedup_at_4 = scenarios
+        .iter()
+        .find(|s| s.workload == "disjoint" && s.granularity == "key")
+        .and_then(|s| s.points.iter().find(|p| p.workers == 4))
+        .map(|p| p.speedup)
+        .unwrap_or(0.0);
+
+    let rendered = render_json(n_txns, &scenarios, speedup_at_4);
+    json::validate(&rendered).expect("BENCH_parallel.json must be valid JSON");
+    std::fs::write(&json_path, &rendered).expect("write json");
+    eprintln!("wrote {json_path}");
+
+    if speedup_at_4 < REQUIRED_SPEEDUP_AT_4 {
+        eprintln!(
+            "FAIL: disjoint-key speedup at 4 workers is {speedup_at_4:.2}, \
+             required >= {REQUIRED_SPEEDUP_AT_4}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "check: disjoint-key speedup at 4 workers = {speedup_at_4:.2} (>= {REQUIRED_SPEEDUP_AT_4}) ok"
+    );
+    ExitCode::SUCCESS
+}

@@ -52,6 +52,11 @@ pub struct ScenarioConfig {
     /// `Some(k)` runs the executor under `Policy::Seeded(k)` (interleaving
     /// exploration); `None` uses FIFO.
     pub policy_seed: Option<u64>,
+    /// Executor width: `1` (default) runs the deterministic virtual-time
+    /// simulator; `> 1` runs the wall-clock worker pool with that many
+    /// threads, so feed transactions and rule actions genuinely race and
+    /// key-granular locking is exercised under faults.
+    pub workers: usize,
 }
 
 impl ScenarioConfig {
@@ -67,6 +72,16 @@ impl ScenarioConfig {
             allowed: FaultKind::ALL.to_vec(),
             mutant: Mutant::None,
             policy_seed: None,
+            workers: 1,
+        }
+    }
+
+    /// The battery scenario on the wall-clock pool: real threads, real
+    /// lock contention, compressed feed timings (wall time is precious).
+    pub fn parallel(seed: u64, workers: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            workers,
+            ..ScenarioConfig::for_seed(seed)
         }
     }
 
@@ -307,11 +322,14 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
         Some(k) => Policy::Seeded(k),
         None => Policy::Fifo,
     };
-    let db = Strip::builder()
+    let mut builder = Strip::builder()
         .durable()
         .policy(policy)
-        .fault_injector(injector.clone())
-        .build();
+        .fault_injector(injector.clone());
+    if cfg.workers > 1 {
+        builder = builder.pool(cfg.workers);
+    }
+    let db = builder.build();
 
     let mut violations: Vec<String> = Vec::new();
     if let Err(e) = setup_database(&db, &market) {
@@ -389,7 +407,11 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     for idx in 0..cfg.updates {
         let symbol = format!("S{}", rng.gen_range(0..cfg.stocks));
         let delta = rng.gen_range(-16i64..=16) as f64 * 0.25;
-        let release_us = rng.gen_range(1..=12u64) * 200_000;
+        // Pool runs pay wall clock for every µs of feed timeline, so
+        // compress it 20× there (same rng draws, so the fault plan and
+        // deltas are identical across executor widths for a given seed).
+        let step_us = if cfg.workers > 1 { 10_000 } else { 200_000 };
+        let release_us = rng.gen_range(1..=12u64) * step_us;
         let deadline = rng
             .gen_bool(0.3)
             .then(|| release_us + rng.gen_range(50_000..=400_000u64));
@@ -483,8 +505,10 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     // Unique-batching oracle: per composite, action executions may not
     // exceed the batching model's group count (computed with a *halved*
     // window so commit-time skew can only make the bound looser), plus
-    // slack for fired dispatch delays.
-    {
+    // slack for fired dispatch delays. Only meaningful on the deterministic
+    // simulator: pool commit times carry wall-clock jitter the release-time
+    // model cannot bound, so parallel runs rely on the safety oracles.
+    if cfg.workers == 1 {
         let window_us = (cfg.batch_window_s * 1_000_000.0 / 2.0) as u64;
         let execs = execs.lock();
         for (comp, members) in &market.composites {

@@ -211,6 +211,64 @@ fn fault_free_baseline_is_clean() {
     assert_eq!(again.digest, out.digest);
 }
 
+/// The Figure-4 scenario on the wall-clock pool: feed transactions and
+/// rule actions race across real worker threads under key-granular
+/// locking, with generated fault plans still firing underneath. Wall-clock
+/// jitter makes run details nondeterministic, so only the order-independent
+/// safety oracles apply — shadow-model stock prices, derived prices after
+/// repair, no leaked locks, engine consistency, WAL/live durability — and
+/// they must hold on every seed.
+///
+/// `STRIP_STRESS_THREADS` widens the pool and `CHAOS_PAR_SEEDS` lengthens
+/// the sweep (the CI stress job raises both); `CHAOS_SEED=<n>` reproduces
+/// one seed's plan exactly.
+#[test]
+fn parallel_battery_upholds_safety_oracles() {
+    let workers: usize = std::env::var("STRIP_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => {
+            let n: u64 = std::env::var("CHAOS_PAR_SEEDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(6);
+            (201..201 + n).collect()
+        }
+    };
+    for &seed in &seeds {
+        let out = driver::run_scenario(&ScenarioConfig::parallel(seed, workers.max(2)));
+        assert_clean(&out);
+    }
+}
+
+/// Fault-free parallel run vs the fault-free simulator run of the same
+/// seed: every feed update commits in both, the deltas are dyadic (exact),
+/// and the repair pass recomputes derived prices from final state — so the
+/// final market digest must be identical even though the pool's
+/// interleaving is not.
+#[test]
+fn parallel_fault_free_matches_simulator_digest() {
+    let sim = driver::run_with_plan(&ScenarioConfig::fault_free(31), &FaultPlan::none());
+    assert_clean(&sim);
+    let par = driver::run_with_plan(
+        &ScenarioConfig {
+            workers: 4,
+            ..ScenarioConfig::fault_free(31)
+        },
+        &FaultPlan::none(),
+    );
+    assert_clean(&par);
+    assert!(!par.crashed);
+    assert!(par.recompute_runs > 0, "rules must fire on the pool too");
+    assert_eq!(
+        par.digest, sim.digest,
+        "executor width must not change state"
+    );
+}
+
 /// The minimizer returns a plan that still fails... trivially checked on a
 /// passing plan: minimizing a passing scenario leaves it passing (fixpoint).
 #[test]

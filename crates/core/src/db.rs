@@ -27,6 +27,23 @@ use strip_txn::{
     CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, Wal, WorkerPool,
 };
 
+/// Granularity of logical locking for transactional access.
+///
+/// `Key` (the default) is hierarchical: index-probe reads take IS on the
+/// table plus S on the probed key resource (`table#column=key`), and writes
+/// take IX plus X on the key resources of every indexed column of the rows
+/// they touch — so transactions over disjoint keys never conflict. Scans
+/// and DDL still lock whole tables, which the intention modes make safe.
+/// `Table` restores the pre-hierarchical behavior (whole-table S/X only),
+/// kept as an ablation baseline for the parallel-scaling benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockGranularity {
+    /// Whole-table S/X locks only.
+    Table,
+    /// Hierarchical IS/IX table intents + per-key S/X locks.
+    Key,
+}
+
 /// Outcome of `Strip::execute`.
 #[derive(Debug)]
 pub enum ExecOutcome {
@@ -114,6 +131,8 @@ pub struct StripInner {
     /// Observability sink shared by every layer (always present; the
     /// default is an enabled sink with a 4096-event trace ring).
     pub(crate) obs: Arc<ObsSink>,
+    /// Logical-lock granularity (see [`LockGranularity`]).
+    pub(crate) granularity: LockGranularity,
     txn_ids: AtomicU64,
 }
 
@@ -131,6 +150,7 @@ pub struct StripBuilder {
     durable: bool,
     injector: InjectorHandle,
     obs: Option<Arc<ObsSink>>,
+    granularity: LockGranularity,
 }
 
 impl Default for StripBuilder {
@@ -142,6 +162,7 @@ impl Default for StripBuilder {
             durable: false,
             injector: None,
             obs: None,
+            granularity: LockGranularity::Key,
         }
     }
 }
@@ -189,6 +210,14 @@ impl StripBuilder {
         self
     }
 
+    /// Choose the logical-lock granularity. The default is
+    /// [`LockGranularity::Key`]; [`LockGranularity::Table`] restores
+    /// whole-table locking (the parallel benchmark's ablation baseline).
+    pub fn lock_granularity(mut self, granularity: LockGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
         let obs = self.obs.unwrap_or_else(|| ObsSink::new(4096));
@@ -230,6 +259,7 @@ impl StripBuilder {
                 injector: self.injector,
                 crashed: std::sync::atomic::AtomicBool::new(false),
                 obs,
+                granularity: self.granularity,
                 txn_ids: AtomicU64::new(1),
             }),
         }
@@ -406,7 +436,10 @@ impl Strip {
                 } else {
                     IndexKind::Hash
                 };
-                t.write().create_index(&ci.name, &ci.column, kind)?;
+                // DDL is table-granular: an X lock on the table name blocks
+                // every concurrent reader/writer, key-granular ones included
+                // (their IS/IX intents conflict with X).
+                self.with_table_x(t.name(), || Ok(t.create_index(&ci.name, &ci.column, kind)?))?;
                 // A new index changes the best access path, so cached plans
                 // must be replanned: bump the schema epoch.
                 self.inner.catalog.bump_epoch();
@@ -432,12 +465,12 @@ impl Strip {
                         .inner
                         .catalog
                         .create_table(&cv.name, rows.schema.clone())?;
-                    {
-                        let mut t = table.write();
+                    self.with_table_x(table.name(), || {
                         for row in rows.rows {
-                            t.insert(row)?;
+                            table.insert(row)?;
                         }
-                    }
+                        Ok(())
+                    })?;
                 }
                 self.inner.catalog.create_view(ViewDef {
                     name: cv.name.clone(),
@@ -460,7 +493,7 @@ impl Strip {
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable { name } => {
-                self.inner.catalog.drop_table(name)?;
+                self.with_table_x(name, || Ok(self.inner.catalog.drop_table(name)?))?;
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropRule { name } => {
@@ -482,6 +515,24 @@ impl Strip {
                 Ok(ExecOutcome::Count(n))
             }
         }
+    }
+
+    /// Run `f` under a whole-table X lock held by a fresh lock owner. DDL
+    /// never runs inside a [`Txn`], so it claims its own owner id; table X
+    /// conflicts with every granted mode, key-granular intents included.
+    fn with_table_x<R>(&self, table: &str, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let owner = self.inner.next_txn_id();
+        self.inner
+            .locks
+            .lock(
+                owner,
+                &table.to_ascii_lowercase(),
+                strip_txn::LockMode::Exclusive,
+            )
+            .map_err(|e| Error::Other(format!("ddl lock on `{table}`: {e}")))?;
+        let r = f();
+        self.inner.locks.release_all(owner);
+        r
     }
 
     /// Shorthand: run a query and return its rows.
@@ -660,7 +711,7 @@ impl Strip {
         let mut problems = Vec::new();
         for name in self.inner.catalog.table_names() {
             if let Ok(t) = self.inner.catalog.table(&name) {
-                if let Err(e) = t.read().check_index_integrity() {
+                if let Err(e) = t.check_index_integrity() {
                     problems.push(format!("table `{name}`: {e}"));
                 }
             }
@@ -717,7 +768,6 @@ impl Strip {
         let mut rows_applied = 0;
         for (table, images) in rec.tables() {
             let t = self.inner.catalog.table(&table)?;
-            let mut t = t.write();
             for (_row, values) in images {
                 t.insert(values)?;
                 rows_applied += 1;
@@ -784,8 +834,10 @@ impl Strip {
     /// (test helper).
     pub fn table_rows(&self, name: &str) -> Result<Vec<Vec<Value>>> {
         let t = self.inner.catalog.table(name)?;
-        let t = t.read();
-        Ok(t.scan().map(|(_, r)| r.values().to_vec()).collect())
+        Ok(t.scan()
+            .into_iter()
+            .map(|(_, r)| r.values().to_vec())
+            .collect())
     }
 
     /// Make a temp table visible is not supported on `Strip` — bound tables

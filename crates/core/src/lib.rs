@@ -21,7 +21,7 @@ pub mod error;
 pub mod feed;
 pub mod txn;
 
-pub use db::{ExecOutcome, RecoveryReport, Strip, StripBuilder};
+pub use db::{ExecOutcome, LockGranularity, RecoveryReport, Strip, StripBuilder};
 pub use error::{Error, Result};
 pub use feed::{ChangeEvent, ChangeKind, Subscription};
 pub use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};

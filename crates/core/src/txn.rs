@@ -9,7 +9,7 @@
 //! function, `select ... from matches` resolves `matches` to the bound
 //! table carried in the action's control block (§2).
 
-use crate::db::StripInner;
+use crate::db::{LockGranularity, StripInner};
 use crate::error::{Error, Result};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -24,7 +24,7 @@ use strip_sql::{parse_statement, Statement};
 use strip_storage::{Meter, Op, RowId, TempTable, Value};
 use strip_txn::cost::CostMeter;
 use strip_txn::fault::{decide, FaultDecision, FaultPoint};
-use strip_txn::{LockMode, LogEntry, Task, TaskCtx, TxnId, TxnLog};
+use strip_txn::{key_resource, LockMode, LogEntry, Task, TaskCtx, TxnId, TxnLog};
 
 /// A user-provided action function, run by a rule's action transaction.
 pub type UserFn = Arc<dyn for<'a> Fn(&mut Txn<'a>) -> Result<()> + Send + Sync>;
@@ -40,7 +40,17 @@ pub struct Txn<'a> {
     kind: String,
     log: RefCell<TxnLog>,
     overlay: HashMap<String, Arc<TempTable>>,
-    locks: RefCell<HashSet<(String, LockMode)>>,
+    /// Table-granular (S/X) cost bookkeeping. Lock acquisition is charged
+    /// as if locking were whole-table — one `GetLock` per `(table, mode)`
+    /// pair, one `ReleaseLock` per entry at commit — so the Table-1 virtual
+    /// cost of a simple update is unchanged by key-granular locking. The
+    /// locks *actually* held live in `footprint`.
+    charged: RefCell<HashSet<(String, LockMode)>>,
+    /// Every lock-manager resource this transaction holds, with the
+    /// strongest mode requested so far. Tables carry S/X (scans, DDL-ish
+    /// statements) or IS/IX intents (keyed access); key resources
+    /// (`table#column=key`) carry S/X.
+    footprint: RefCell<HashMap<String, LockMode>>,
     /// Earliest base-commit virtual time this transaction is absorbing, when
     /// it is a rule action recomputing derived data. Commit uses it to record
     /// per-table staleness (base commit → derived commit lag, Figures 9–14).
@@ -79,7 +89,8 @@ impl<'a> Txn<'a> {
             kind,
             log: RefCell::new(TxnLog::new()),
             overlay,
-            locks: RefCell::new(HashSet::new()),
+            charged: RefCell::new(HashSet::new()),
+            footprint: RefCell::new(HashMap::new()),
             origin_us,
             trace,
             finished: false,
@@ -249,56 +260,178 @@ impl<'a> Txn<'a> {
         self.log.borrow().len()
     }
 
-    fn acquire(&self, table: &str, mode: LockMode) -> Result<()> {
-        let key = (table.to_ascii_lowercase(), mode);
-        if self.locks.borrow().contains(&key) {
-            return Ok(());
+    /// Charge one `GetLock` the first time a `(table, S|X)` pair is seen —
+    /// exactly what whole-table locking would have charged — so the virtual
+    /// cost model is independent of lock granularity.
+    fn charge_get_lock(&self, table: &str, mode: LockMode) {
+        let key = (table.to_string(), mode);
+        if self.charged.borrow().contains(&key) {
+            return;
         }
-        // An exclusive lock already covers shared access.
+        // An exclusive charge already covers shared access.
         if mode == LockMode::Shared
             && self
-                .locks
+                .charged
                 .borrow()
                 .contains(&(key.0.clone(), LockMode::Exclusive))
         {
-            return Ok(());
+            return;
         }
-        // Injected lock-wait timeout. The lock manager consults the injector
-        // too, but only on the would-block path — which a single-threaded
-        // simulation never reaches — so the fresh-acquire path asks here.
-        if self.fault_decision(FaultPoint::LockAcquire, &key.0) == FaultDecision::Timeout {
-            return Err(Error::Aborted(format!(
-                "lock wait timeout (injected) on `{}`",
-                key.0
-            )));
+        self.meter.charge(Op::GetLock, 1);
+        self.charged.borrow_mut().insert(key);
+    }
+
+    /// Record a resource in the footprint at the least upper bound of its
+    /// current and newly requested modes (mirrors the lock manager's grant).
+    fn note_held(&self, resource: &str, mode: LockMode) {
+        let mut fp = self.footprint.borrow_mut();
+        match fp.get_mut(resource) {
+            Some(m) => *m = m.lub(mode),
+            None => {
+                fp.insert(resource.to_string(), mode);
+            }
         }
-        // Wall-clock wait measurement: a single-threaded simulation never
-        // blocks here, but pool mode can, and that contention is invisible to
-        // the virtual cost model. Short waits (lock-manager bookkeeping) are
-        // noise; only genuine blocking (≥100µs) is traced.
-        let wait_t0 = self.inner.obs.is_enabled().then(std::time::Instant::now);
-        self.inner
-            .locks
-            .lock(self.id, &key.0, mode)
-            .map_err(|e| Error::Aborted(format!("lock on `{}`: {e}", key.0)))?;
+    }
+
+    /// Trace a genuine lock-manager wait (pool mode only; the simulator is
+    /// single-threaded and never blocks). Short waits are lock-manager
+    /// bookkeeping noise; only blocking ≥100µs is recorded, labeled by the
+    /// granularity of the contended resource.
+    fn note_wait(&self, wait_t0: Option<std::time::Instant>, resource: &str, key_granular: bool) {
         if let Some(t0) = wait_t0 {
             let waited_us = t0.elapsed().as_micros() as u64;
             if waited_us >= 100 {
-                self.inner.obs.record_lock_wait(waited_us);
+                self.inner
+                    .obs
+                    .record_lock_wait_labeled(key_granular, waited_us);
                 self.inner.obs.event_ctx(
                     self.now_us(),
                     self.id.0,
                     EventKind::LockWait,
-                    &key.0,
+                    resource,
                     waited_us,
                     self.trace,
                     0,
                 );
             }
         }
-        self.meter.charge(Op::GetLock, 1);
-        self.locks.borrow_mut().insert(key);
+    }
+
+    fn acquire(&self, table: &str, mode: LockMode) -> Result<()> {
+        let table = table.to_ascii_lowercase();
+        if self
+            .footprint
+            .borrow()
+            .get(&table)
+            .is_some_and(|m| m.covers(mode))
+        {
+            return Ok(());
+        }
+        // Injected lock-wait timeout. The lock manager consults the injector
+        // too, but only on the would-block path — which a single-threaded
+        // simulation never reaches — so the fresh-acquire path asks here.
+        if self.fault_decision(FaultPoint::LockAcquire, &table) == FaultDecision::Timeout {
+            return Err(Error::Aborted(format!(
+                "lock wait timeout (injected) on `{table}`"
+            )));
+        }
+        let wait_t0 = self.inner.obs.is_enabled().then(std::time::Instant::now);
+        self.inner
+            .locks
+            .lock(self.id, &table, mode)
+            .map_err(|e| Error::Aborted(format!("lock on `{table}`: {e}")))?;
+        self.note_wait(wait_t0, &table, false);
+        self.charge_get_lock(&table, mode);
+        self.note_held(&table, mode);
         Ok(())
+    }
+
+    /// Hierarchical acquire: the matching intent on the table, then `mode`
+    /// on the key resource `table#column=key`. Skipped entirely when a
+    /// table-granular lock already covers the request.
+    fn acquire_key(&self, table: &str, column: &str, key: &Value, mode: LockMode) -> Result<()> {
+        let table = table.to_ascii_lowercase();
+        if self
+            .footprint
+            .borrow()
+            .get(&table)
+            .is_some_and(|m| m.covers(mode))
+        {
+            return Ok(());
+        }
+        let key_text = key.to_string();
+        let res = key_resource(&table, column, &key_text);
+        if self
+            .footprint
+            .borrow()
+            .get(&res)
+            .is_some_and(|m| m.covers(mode))
+        {
+            return Ok(());
+        }
+        // The injector keeps seeing the table name, so existing fault plans
+        // target keyed acquires exactly as they targeted table ones.
+        if self.fault_decision(FaultPoint::LockAcquire, &table) == FaultDecision::Timeout {
+            return Err(Error::Aborted(format!(
+                "lock wait timeout (injected) on `{table}`"
+            )));
+        }
+        let wait_t0 = self.inner.obs.is_enabled().then(std::time::Instant::now);
+        self.inner
+            .locks
+            .lock_key(self.id, &table, column, &key_text, mode)
+            .map_err(|e| Error::Aborted(format!("lock on `{res}`: {e}")))?;
+        self.note_wait(wait_t0, &res, true);
+        self.charge_get_lock(&table, mode);
+        self.note_held(&table, mode.intention());
+        self.note_held(&res, mode);
+        Ok(())
+    }
+
+    /// X-lock what a write to `table` needs. Key granularity locks the key
+    /// resource of every indexed column of every affected row image (old
+    /// *and* new, so index maintenance conflicts with readers probing either
+    /// value); a table without indexes has no key resources — its readers
+    /// can only scan (table S) — so its writers fall back to table X.
+    fn acquire_for_write(&self, t: &strip_storage::TableRef, images: &[&[Value]]) -> Result<()> {
+        if self.inner.granularity == LockGranularity::Table {
+            return self.acquire(t.name(), LockMode::Exclusive);
+        }
+        if self
+            .footprint
+            .borrow()
+            .get(t.name())
+            .is_some_and(|m| m.covers(LockMode::Exclusive))
+        {
+            return Ok(());
+        }
+        let indexes = t.indexes();
+        if indexes.is_empty() {
+            return self.acquire(t.name(), LockMode::Exclusive);
+        }
+        let schema = t.schema();
+        for ix in &indexes {
+            let col = ix.column();
+            let cname = &schema.column(col).name;
+            for img in images {
+                self.acquire_key(t.name(), cname, &img[col], LockMode::Exclusive)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The lock-manager resources this transaction holds right now, sorted:
+    /// `(resource, strongest requested mode)`. Key resources contain `#`.
+    /// Benchmarks use this to build conflict graphs from real footprints.
+    pub fn lock_footprint(&self) -> Vec<(String, LockMode)> {
+        let mut v: Vec<(String, LockMode)> = self
+            .footprint
+            .borrow()
+            .iter()
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        v.sort();
+        v
     }
 
     /// Commit: run rule processing over the log, make the changes durable,
@@ -474,19 +607,19 @@ impl<'a> Txn<'a> {
             match e {
                 LogEntry::Insert { table, row, .. } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.write().delete(row);
+                        let _ = t.delete(row);
                     }
                 }
                 LogEntry::Delete { table, old, .. } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.write().reinsert(&old);
+                        let _ = t.reinsert(&old);
                     }
                 }
                 LogEntry::Update {
                     table, row, old, ..
                 } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.write().update(row, old.values().to_vec());
+                        let _ = t.update(row, old.values().to_vec());
                     }
                 }
             }
@@ -494,12 +627,13 @@ impl<'a> Txn<'a> {
     }
 
     fn release_locks(&self) {
-        let n = self.locks.borrow().len() as u64;
+        let n = self.charged.borrow().len() as u64;
         if n > 0 {
             self.meter.charge(Op::ReleaseLock, n);
         }
         self.inner.locks.release_all(self.id);
-        self.locks.borrow_mut().clear();
+        self.charged.borrow_mut().clear();
+        self.footprint.borrow_mut().clear();
     }
 }
 
@@ -584,25 +718,43 @@ impl Env for Txn<'_> {
             .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
     }
 
+    fn before_read_keyed(&self, table: &str, column: &str, key: &Value) -> strip_sql::Result<()> {
+        if self.inner.granularity == LockGranularity::Table {
+            return self.before_read(table);
+        }
+        self.acquire_key(table, column, key, LockMode::Shared)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
+    }
+
+    fn before_write_keyed(&self, table: &str, column: &str, key: &Value) -> strip_sql::Result<()> {
+        if self.inner.granularity == LockGranularity::Table {
+            return self.before_write(table);
+        }
+        self.acquire_key(table, column, key, LockMode::Exclusive)
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
+    }
+
     fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
-        self.acquire(table, LockMode::Exclusive)
-            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         let t = self.inner.catalog.table(table)?;
-        let mut t = t.write();
+        // X the new row's key resources before it becomes visible: this is
+        // what phantom-protects concurrent `column = key` probe readers.
+        self.acquire_for_write(&t, &[&row])
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         let (id, rec) = t.insert(row)?;
         self.meter.charge(Op::InsertTuple, 1);
         self.meter
             .charge(Op::IndexMaintain, t.indexes().len() as u64);
-        let name = t.name().to_string();
-        self.log.borrow_mut().log_insert(&name, id, rec);
+        self.log.borrow_mut().log_insert(t.name(), id, rec);
         Ok(())
     }
 
     fn dml_update(&self, table: &str, id: RowId, new: Vec<Value>) -> strip_sql::Result<()> {
-        self.acquire(table, LockMode::Exclusive)
-            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         let t = self.inner.catalog.table(table)?;
-        let mut t = t.write();
+        // Lock the old *and* new images' key resources before mutating, so
+        // readers probing either value of any indexed column are excluded.
+        let old_vals = t.get(id)?.values().to_vec();
+        self.acquire_for_write(&t, &[&old_vals, &new])
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         // Count indexes whose key actually changes (real maintenance work).
         let (old, newr) = t.update(id, new)?;
         let changed_keys = t
@@ -614,22 +766,20 @@ impl Env for Txn<'_> {
         if changed_keys > 0 {
             self.meter.charge(Op::IndexMaintain, changed_keys);
         }
-        let name = t.name().to_string();
-        self.log.borrow_mut().log_update(&name, id, old, newr);
+        self.log.borrow_mut().log_update(t.name(), id, old, newr);
         Ok(())
     }
 
     fn dml_delete(&self, table: &str, id: RowId) -> strip_sql::Result<()> {
-        self.acquire(table, LockMode::Exclusive)
-            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         let t = self.inner.catalog.table(table)?;
-        let mut t = t.write();
+        let old_vals = t.get(id)?.values().to_vec();
+        self.acquire_for_write(&t, &[&old_vals])
+            .map_err(|e| strip_sql::SqlError::exec(e.to_string()))?;
         let old = t.delete(id)?;
         self.meter.charge(Op::DeleteTuple, 1);
         self.meter
             .charge(Op::IndexMaintain, t.indexes().len() as u64);
-        let name = t.name().to_string();
-        self.log.borrow_mut().log_delete(&name, id, old);
+        self.log.borrow_mut().log_delete(t.name(), id, old);
         Ok(())
     }
 }

@@ -1,0 +1,350 @@
+//! Conflict-serializability stress battery for key-granular locking.
+//!
+//! N writer threads hammer an indexed `quotes` table through real
+//! read-modify-write transactions on the wall-clock pool executor. Every
+//! committed transaction records `(ticket, symbol, observed_old, new)`
+//! where the ticket is drawn from a global counter *while the write locks
+//! are still held* — under strict 2PL that makes ticket order a valid
+//! serialization order for conflicting transactions. The oracle then
+//! replays the committed log serially against a model table: every
+//! observed read must match the model state at that point (no lost or
+//! phantom update), and the final model must equal the real table.
+//!
+//! Thread/op counts scale via `STRIP_STRESS_THREADS` / `STRIP_STRESS_OPS`
+//! (the CI stress job raises them); the workload is derived from a fixed
+//! seed (`STRIP_STRESS_SEED`) that every failure message echoes so a CI
+//! failure reproduces locally.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_core::{LockGranularity, Strip};
+
+fn envn(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn threads() -> usize {
+    envn("STRIP_STRESS_THREADS", 4) as usize
+}
+
+fn ops() -> usize {
+    envn("STRIP_STRESS_OPS", 40) as usize
+}
+
+fn seed() -> u64 {
+    envn("STRIP_STRESS_SEED", 0xC0FFEE)
+}
+
+/// Tiny deterministic PRNG (xorshift64*) so the schedule shape is
+/// reproducible from the seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const START_PRICE: i64 = 100;
+
+/// One committed read-modify-write, in global ticket order.
+#[derive(Debug)]
+struct Committed {
+    ticket: u64,
+    symbol: String,
+    old: i64,
+    new: i64,
+}
+
+fn setup(granularity: LockGranularity, symbols: &[String]) -> Strip {
+    let db = Strip::builder()
+        .pool(threads())
+        .lock_granularity(granularity)
+        .build();
+    db.execute("create table quotes (symbol str, price int)")
+        .unwrap();
+    db.execute("create index q_sym on quotes (symbol)").unwrap();
+    for s in symbols {
+        db.execute_with(
+            "insert into quotes values (?, ?)",
+            &[s.as_str().into(), START_PRICE.into()],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Run `threads()` writers, each performing `ops()` RMW transactions over
+/// its own symbol slice of `sets`. Returns the merged committed log and
+/// the total abort (retry) count.
+fn run_writers(db: &Strip, sets: &[Vec<String>]) -> (Vec<Committed>, u64) {
+    let ticket = Arc::new(AtomicU64::new(0));
+    let aborts = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = sets
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(w, set)| {
+            let db = db.clone();
+            let ticket = Arc::clone(&ticket);
+            let aborts = Arc::clone(&aborts);
+            std::thread::spawn(move || {
+                let mut rng = Rng(seed() ^ (w as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut log = Vec::new();
+                for _ in 0..ops() {
+                    let sym = set[rng.below(set.len() as u64) as usize].clone();
+                    let delta = rng.below(7) as i64 + 1;
+                    let mut tries = 0;
+                    loop {
+                        let sym = sym.clone();
+                        let ticket = Arc::clone(&ticket);
+                        let r = db.txn(move |t| {
+                            let old = t
+                                .query(
+                                    "select price from quotes where symbol = ?",
+                                    &[sym.as_str().into()],
+                                )?
+                                .single("price")?
+                                .as_i64()
+                                .unwrap();
+                            t.exec(
+                                "update quotes set price = ? where symbol = ?",
+                                &[(old + delta).into(), sym.as_str().into()],
+                            )?;
+                            // Linearization ticket, drawn while the key's X
+                            // lock is still held (strict 2PL releases at
+                            // commit, after this closure returns).
+                            let tk = ticket.fetch_add(1, Ordering::SeqCst);
+                            Ok(Committed {
+                                ticket: tk,
+                                symbol: sym,
+                                old,
+                                new: old + delta,
+                            })
+                        });
+                        match r {
+                            Ok(c) => {
+                                log.push(c);
+                                break;
+                            }
+                            Err(_) => {
+                                // Deadlock victim: strict 2PL rolled us
+                                // back; retry the whole transaction.
+                                aborts.fetch_add(1, Ordering::SeqCst);
+                                tries += 1;
+                                assert!(
+                                    tries < 1000,
+                                    "writer {w} livelocked on {} (seed={:#x})",
+                                    set.join(","),
+                                    seed()
+                                );
+                            }
+                        }
+                    }
+                }
+                log
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    db.drain();
+    (all, aborts.load(Ordering::SeqCst))
+}
+
+/// The oracle: replay the committed log serially in ticket order against a
+/// model and require (a) every transaction's observed read to match the
+/// model, (b) the final model to equal the real table.
+fn assert_serial_replay_matches(db: &Strip, symbols: &[String], mut log: Vec<Committed>) {
+    log.sort_by_key(|c| c.ticket);
+    let mut model: HashMap<String, i64> =
+        symbols.iter().map(|s| (s.clone(), START_PRICE)).collect();
+    for c in &log {
+        let m = model.get_mut(&c.symbol).unwrap();
+        assert_eq!(
+            *m,
+            c.old,
+            "txn at ticket {} read a price no serial order explains (seed={:#x})",
+            c.ticket,
+            seed()
+        );
+        *m = c.new;
+    }
+    for row in db.table_rows("quotes").unwrap() {
+        let sym = row[0].as_str().unwrap();
+        let price = row[1].as_i64().unwrap();
+        assert_eq!(
+            price,
+            model[sym],
+            "final price of {sym} diverges from serial replay (seed={:#x})",
+            seed()
+        );
+    }
+    assert_eq!(db.locks_held(), 0, "lock leaked after quiescence");
+    let problems = db.check_consistency();
+    assert!(problems.is_empty(), "consistency: {problems:?}");
+}
+
+#[test]
+fn disjoint_key_writers_commit_without_conflict() {
+    // Each writer owns its own symbols: with key-granular locking these
+    // transactions share only IS/IX table intents, so none may ever abort.
+    let sets: Vec<Vec<String>> = (0..threads())
+        .map(|w| (0..4).map(|i| format!("W{w}S{i}")).collect())
+        .collect();
+    let symbols: Vec<String> = sets.iter().flatten().cloned().collect();
+    let db = setup(LockGranularity::Key, &symbols);
+    let (log, aborts) = run_writers(&db, &sets);
+    assert_eq!(
+        aborts,
+        0,
+        "disjoint-symbol writers must never conflict under key granularity (seed={:#x})",
+        seed()
+    );
+    assert_eq!(log.len(), threads() * ops());
+    assert_serial_replay_matches(&db, &symbols, log);
+}
+
+#[test]
+fn overlapping_key_writers_are_conflict_serializable() {
+    // Every writer hammers the same four hot symbols: S→X upgrades on a
+    // shared key deadlock routinely, victims retry, and the committed log
+    // must still replay serially.
+    let hot: Vec<String> = (0..4).map(|i| format!("HOT{i}")).collect();
+    let sets: Vec<Vec<String>> = (0..threads()).map(|_| hot.clone()).collect();
+    let db = setup(LockGranularity::Key, &hot);
+    let (log, _aborts) = run_writers(&db, &sets);
+    assert_eq!(log.len(), threads() * ops());
+    assert_serial_replay_matches(&db, &hot, log);
+}
+
+#[test]
+fn table_granular_writers_are_conflict_serializable() {
+    // The ablation baseline: whole-table locks trivially serialize the
+    // same overlapping workload (at the cost of all parallelism).
+    let hot: Vec<String> = (0..4).map(|i| format!("HOT{i}")).collect();
+    let sets: Vec<Vec<String>> = (0..threads()).map(|_| hot.clone()).collect();
+    let db = setup(LockGranularity::Table, &hot);
+    let (log, _aborts) = run_writers(&db, &sets);
+    assert_eq!(log.len(), threads() * ops());
+    assert_serial_replay_matches(&db, &hot, log);
+}
+
+#[test]
+fn scan_readers_observe_atomic_transfers() {
+    // Writers move value between two symbols inside one transaction (the
+    // global sum is invariant); readers full-scan the table, which takes a
+    // table S lock conflicting with the writers' IX intents. Any torn or
+    // non-serializable interleaving shows up as a sum off the invariant.
+    let symbols: Vec<String> = (0..6).map(|i| format!("T{i}")).collect();
+    let db = setup(LockGranularity::Key, &symbols);
+    let invariant = START_PRICE * symbols.len() as i64;
+    let stop = Arc::new(AtomicU64::new(0));
+    let writer_handles: Vec<_> = (0..threads().max(2) - 1)
+        .map(|w| {
+            let db = db.clone();
+            let symbols = symbols.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng(seed() ^ (w as u64 + 41).wrapping_mul(0x9E3779B97F4A7C15));
+                for _ in 0..ops() {
+                    let a = symbols[rng.below(symbols.len() as u64) as usize].clone();
+                    let mut b = symbols[rng.below(symbols.len() as u64) as usize].clone();
+                    if a == b {
+                        b = symbols
+                            [(symbols.iter().position(|s| *s == a).unwrap() + 1) % symbols.len()]
+                        .clone();
+                    }
+                    let amount = rng.below(5) as i64 + 1;
+                    let mut tries = 0;
+                    loop {
+                        let (a, b) = (a.clone(), b.clone());
+                        let r = db.txn(move |t| {
+                            let pa = t
+                                .query(
+                                    "select price from quotes where symbol = ?",
+                                    &[a.as_str().into()],
+                                )?
+                                .single("price")?
+                                .as_i64()
+                                .unwrap();
+                            let pb = t
+                                .query(
+                                    "select price from quotes where symbol = ?",
+                                    &[b.as_str().into()],
+                                )?
+                                .single("price")?
+                                .as_i64()
+                                .unwrap();
+                            t.exec(
+                                "update quotes set price = ? where symbol = ?",
+                                &[(pa - amount).into(), a.as_str().into()],
+                            )?;
+                            t.exec(
+                                "update quotes set price = ? where symbol = ?",
+                                &[(pb + amount).into(), b.as_str().into()],
+                            )?;
+                            Ok(())
+                        });
+                        if r.is_ok() {
+                            break;
+                        }
+                        tries += 1;
+                        assert!(tries < 1000, "transfer livelock (seed={:#x})", seed());
+                    }
+                }
+            })
+        })
+        .collect();
+    let reader_stop = Arc::clone(&stop);
+    let reader_db = db.clone();
+    let reader = std::thread::spawn(move || {
+        let mut scans = 0u64;
+        while reader_stop.load(Ordering::SeqCst) == 0 || scans == 0 {
+            let total: i64 = reader_db
+                .query("select price from quotes")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .sum();
+            assert_eq!(
+                total,
+                invariant,
+                "scan saw a torn transfer (seed={:#x})",
+                seed()
+            );
+            scans += 1;
+        }
+        scans
+    });
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    stop.store(1, Ordering::SeqCst);
+    assert!(reader.join().unwrap() > 0);
+    db.drain();
+    let final_total: i64 = db
+        .table_rows("quotes")
+        .unwrap()
+        .iter()
+        .map(|r| r[1].as_i64().unwrap())
+        .sum();
+    assert_eq!(final_total, invariant);
+    assert_eq!(db.locks_held(), 0);
+    assert!(db.check_consistency().is_empty());
+}

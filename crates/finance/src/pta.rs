@@ -220,9 +220,7 @@ impl Pta {
         let stdevs: Vec<f64> = (0..n).map(|_| 0.15 + rng.gen::<f64>() * 0.45).collect();
         {
             let stocks = db.catalog().table("stocks")?;
-            let mut stocks = stocks.write();
             let sd = db.catalog().table("stock_stdev")?;
-            let mut sd = sd.write();
             for i in 0..n {
                 stocks.insert(vec![
                     Value::Str(symbols[i].clone()),
@@ -237,9 +235,7 @@ impl Pta {
         let cum = cumulative(&trace.activity);
         {
             let cl = db.catalog().table("comps_list")?;
-            let mut cl = cl.write();
             let cp = db.catalog().table("comp_prices")?;
-            let mut cp = cp.write();
             let k = cfg.stocks_per_composite.min(n);
             for c in 0..cfg.n_composites {
                 let comp: Arc<str> = Arc::from(format!("C{c:04}"));
@@ -266,9 +262,7 @@ impl Pta {
         // reasonable range of values").
         {
             let ol = db.catalog().table("options_list")?;
-            let mut ol = ol.write();
             let op = db.catalog().table("option_prices")?;
-            let mut op = op.write();
             for o in 0..cfg.n_options {
                 let sym_idx = sample_weighted(&cum, &mut rng);
                 let osym: Arc<str> = Arc::from(format!("O{o:06}"));

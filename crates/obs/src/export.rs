@@ -111,6 +111,8 @@ impl ObsSnapshot {
         let core = [
             ("queue_us", &self.queue_us),
             ("lock_wait_us", &self.lock_wait_us),
+            ("lock_wait_table_us", &self.lock_wait_table_us),
+            ("lock_wait_key_us", &self.lock_wait_key_us),
             ("wal_us", &self.wal_us),
             ("plan_compile_us", &self.plan_compile_us),
         ];
@@ -157,6 +159,16 @@ impl ObsSnapshot {
 
         emit("strip_queue_us", "", &self.queue_us);
         emit("strip_lock_wait_us", "", &self.lock_wait_us);
+        emit(
+            "strip_lock_wait_us_by",
+            "granularity=\"table\"",
+            &self.lock_wait_table_us,
+        );
+        emit(
+            "strip_lock_wait_us_by",
+            "granularity=\"key\"",
+            &self.lock_wait_key_us,
+        );
         emit("strip_wal_us", "", &self.wal_us);
         emit("strip_plan_compile_us", "", &self.plan_compile_us);
         let mut skipped: Vec<String> = Vec::new();
@@ -234,6 +246,8 @@ impl ObsSnapshot {
         for (name, h) in [
             ("queue_us", &self.queue_us),
             ("lock_wait_us", &self.lock_wait_us),
+            ("lock_wait_us[table]", &self.lock_wait_table_us),
+            ("lock_wait_us[key]", &self.lock_wait_key_us),
             ("wal_us", &self.wal_us),
             ("plan_compile_us", &self.plan_compile_us),
         ] {

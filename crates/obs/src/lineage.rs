@@ -111,6 +111,12 @@ pub struct PhaseBreakdown {
     pub queue_us: u64,
     /// Lock-acquisition waits carved out of execution (wall-clock µs).
     pub lock_us: u64,
+    /// Slice of `lock_us` spent waiting on whole-table locks (the `LockWait`
+    /// event detail names the resource; no `#` means table granularity).
+    /// `lock_table_us + lock_key_us == lock_us`, always.
+    pub lock_table_us: u64,
+    /// Slice of `lock_us` spent waiting on key resources (`table#col=key`).
+    pub lock_key_us: u64,
     /// WAL append cost carved out of execution (charged virtual µs).
     pub wal_us: u64,
     /// Plan compiles carved out of execution (wall-clock µs).
@@ -297,6 +303,18 @@ impl Lineage {
         let lock_us = node.map_or(0, |n| {
             n.dur_sum(EventKind::LockWait).min(exec_total - wal_us)
         });
+        // Sub-attribute the lock phase by granularity: a key resource's name
+        // contains `#`. The key slice is clamped to the (possibly clamped)
+        // lock phase so the pair always partitions it exactly.
+        let lock_key_us = node.map_or(0, |n| {
+            n.events
+                .iter()
+                .filter(|ev| ev.kind == EventKind::LockWait && ev.detail.contains('#'))
+                .map(|ev| ev.dur_us)
+                .sum::<u64>()
+                .min(lock_us)
+        });
+        let lock_table_us = lock_us - lock_key_us;
         let plan_us = node.map_or(0, |n| {
             n.dur_sum(EventKind::PlanCompile)
                 .min(exec_total - wal_us - lock_us)
@@ -314,6 +332,8 @@ impl Lineage {
             delay_us,
             queue_us,
             lock_us,
+            lock_table_us,
+            lock_key_us,
             wal_us,
             plan_us,
             exec_us,
@@ -585,6 +605,43 @@ mod tests {
         assert_eq!(b.exec_us, 480);
         assert_eq!(b.dominant_phase(), "delay");
         assert_eq!(b.merged_firings, 1);
+    }
+
+    #[test]
+    fn lock_phase_splits_by_granularity_and_still_sums() {
+        // One table-granular wait (detail names the table) and one
+        // key-granular wait (detail contains `#`) inside the action span.
+        let mut events = simple_chain();
+        events.insert(5, ev(3_500, K::LockWait, "quotes", 150, 10, 12, 0));
+        events.insert(
+            6,
+            ev(3_600, K::LockWait, "quotes#symbol=HOT0", 200, 10, 12, 0),
+        );
+        let lin = Lineage::from_events(events, false);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.lock_us, 350);
+        assert_eq!(b.lock_table_us, 150);
+        assert_eq!(b.lock_key_us, 200);
+        assert_eq!(b.lock_table_us + b.lock_key_us, b.lock_us);
+        assert_eq!(b.phase_sum(), b.lag_us, "granularity split keeps the sum");
+    }
+
+    #[test]
+    fn clamped_lock_phase_still_partitions_by_granularity() {
+        // The raw key wait (600µs) exceeds the exec budget left after WAL
+        // (480µs), so the lock phase clamps; the key slice clamps with it
+        // and the table slice absorbs the remainder (zero here).
+        let mut events = simple_chain();
+        events.insert(
+            5,
+            ev(3_500, K::LockWait, "quotes#symbol=HOT0", 600, 10, 12, 0),
+        );
+        let lin = Lineage::from_events(events, false);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.lock_us, 480);
+        assert_eq!(b.lock_key_us, 480);
+        assert_eq!(b.lock_table_us, 0);
+        assert_eq!(b.phase_sum(), b.lag_us);
     }
 
     #[test]

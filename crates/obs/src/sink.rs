@@ -24,6 +24,10 @@ pub struct ObsSink {
     queue_us: Histogram,
     /// Lock-acquisition wait (wall-clock µs; ~0 in single-threaded sim mode).
     lock_wait_us: Histogram,
+    /// The slice of `lock_wait_us` spent on whole-table (S/X) locks.
+    lock_wait_table_us: Histogram,
+    /// The slice of `lock_wait_us` spent on key resources (`table#col=key`).
+    lock_wait_key_us: Histogram,
     /// Charged WAL append+fsync cost per durable commit (virtual µs).
     wal_us: Histogram,
     /// SQL plan compilation on cache miss (wall-clock µs).
@@ -43,6 +47,8 @@ impl ObsSink {
             ring: TraceRing::new(ring_capacity),
             queue_us: Histogram::new(),
             lock_wait_us: Histogram::new(),
+            lock_wait_table_us: Histogram::new(),
+            lock_wait_key_us: Histogram::new(),
             wal_us: Histogram::new(),
             plan_compile_us: Histogram::new(),
             exec_us: RwLock::new(HashMap::new()),
@@ -131,6 +137,22 @@ impl ObsSink {
     pub fn record_lock_wait(&self, us: u64) {
         if self.is_enabled() {
             self.lock_wait_us.record(us);
+        }
+    }
+
+    /// Record a lock wait labeled by the granularity of the contended
+    /// resource (`key_granular` = key resource vs whole table). The total
+    /// `lock_wait_us` histogram is recorded too, so the labeled pair always
+    /// partitions it exactly.
+    #[inline]
+    pub fn record_lock_wait_labeled(&self, key_granular: bool, us: u64) {
+        if self.is_enabled() {
+            self.lock_wait_us.record(us);
+            if key_granular {
+                self.lock_wait_key_us.record(us);
+            } else {
+                self.lock_wait_table_us.record(us);
+            }
         }
     }
 
@@ -238,6 +260,8 @@ impl ObsSink {
             ring_capacity: self.ring.capacity() as u64,
             queue_us: self.queue_us.summary(),
             lock_wait_us: self.lock_wait_us.summary(),
+            lock_wait_table_us: self.lock_wait_table_us.summary(),
+            lock_wait_key_us: self.lock_wait_key_us.summary(),
             wal_us: self.wal_us.summary(),
             plan_compile_us: self.plan_compile_us.summary(),
             exec_us: exec,
@@ -254,6 +278,8 @@ pub struct ObsSnapshot {
     pub ring_capacity: u64,
     pub queue_us: HistSummary,
     pub lock_wait_us: HistSummary,
+    pub lock_wait_table_us: HistSummary,
+    pub lock_wait_key_us: HistSummary,
     pub wal_us: HistSummary,
     pub plan_compile_us: HistSummary,
     /// Per task kind, sorted by kind.

@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn builds_all_four_tables() {
-        let (mut t, mut log) = setup();
+        let (t, mut log) = setup();
         let (a, ra) = t.insert(vec!["S1".into(), 30.0.into()]).unwrap();
         log.log_insert("stocks", a, ra);
         let (old, new) = t.update(a, vec!["S1".into(), 31.0.into()]).unwrap();
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn filters_by_table() {
-        let (mut t, mut log) = setup();
+        let (t, mut log) = setup();
         let (a, ra) = t.insert(vec!["S1".into(), 1.0.into()]).unwrap();
         log.log_insert("other_table", a, ra.clone());
         log.log_insert("stocks", a, ra);
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn multiple_updates_of_same_row_all_appear() {
         // No net-effect reduction (§2).
-        let (mut t, mut log) = setup();
+        let (t, mut log) = setup();
         let (a, ra) = t.insert(vec!["S1".into(), 30.0.into()]).unwrap();
         log.log_insert("stocks", a, ra);
         for p in [31.0, 32.0, 33.0] {
@@ -244,7 +244,7 @@ mod tests {
 
     #[test]
     fn updated_column_filter() {
-        let (mut t, mut log) = setup();
+        let (t, mut log) = setup();
         let (a, ra) = t.insert(vec!["S1".into(), 30.0.into()]).unwrap();
         log.log_insert("stocks", a, ra);
         // Update that only rewrites the same price: price did not change.
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn meter_charges_scan_and_build() {
-        let (mut t, mut log) = setup();
+        let (t, mut log) = setup();
         let (a, ra) = t.insert(vec!["S1".into(), 1.0.into()]).unwrap();
         log.log_insert("stocks", a, ra);
         let (old, new) = t.update(a, vec!["S1".into(), 2.0.into()]).unwrap();

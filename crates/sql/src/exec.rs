@@ -45,6 +45,10 @@ use strip_storage::{
     ColumnSource, Meter, Op, RecordRef, RowId, SchemaRef, StaticMap, TempTable, Value,
 };
 
+/// Rows produced by an index probe or range scan: the materialized values
+/// plus, for standard tables, the live record handle for in-place updates.
+type IndexedRows = Vec<(Vec<Value>, Option<RecordRef>)>;
+
 /// A readable relation.
 #[derive(Clone)]
 pub enum Rel {
@@ -58,7 +62,7 @@ impl Rel {
     /// The relation's schema.
     pub fn schema(&self) -> SchemaRef {
         match self {
-            Rel::Standard(t) => t.read().schema().clone(),
+            Rel::Standard(t) => t.schema().clone(),
             Rel::Temp(t) => t.schema().clone(),
         }
     }
@@ -66,7 +70,7 @@ impl Rel {
     /// Estimated (here: exact) row count.
     pub fn len(&self) -> usize {
         match self {
-            Rel::Standard(t) => t.read().len(),
+            Rel::Standard(t) => t.len(),
             Rel::Temp(t) => t.len(),
         }
     }
@@ -107,6 +111,21 @@ pub trait Env {
     /// between concurrent single-statement updates).
     fn before_write(&self, _table: &str) -> Result<()> {
         Ok(())
+    }
+    /// Called before an index probe reads only the rows of `table` whose
+    /// `column` equals `key` — a key-granular read. Implementations take
+    /// IS on the table plus S on the key resource; the default keeps
+    /// table-granular behavior.
+    fn before_read_keyed(&self, table: &str, _column: &str, _key: &Value) -> Result<()> {
+        self.before_read(table)
+    }
+    /// Keyed counterpart of [`Env::before_write`]: the statement will write
+    /// only rows of `table` whose `column` equals `key` (planned index
+    /// probe). Implementations take IX on the table plus X on the key
+    /// resource, which also phantom-protects the probe predicate against
+    /// concurrent inserts of that key.
+    fn before_write_keyed(&self, table: &str, _column: &str, _key: &Value) -> Result<()> {
+        self.before_write(table)
     }
     /// Insert a row (write-side charging + logging inside).
     fn dml_insert(&self, table: &str, row: Vec<Value>) -> Result<()>;
@@ -168,12 +187,18 @@ struct ResolvedItem {
     has_prov: bool,
 }
 
-fn resolve_item(env: &dyn Env, item: &PlannedItem) -> Result<ResolvedItem> {
+/// `keyed` marks an item the plan reads only through equality index probes
+/// (seed `IndexEq` or a join `IndexProbe`): its lock acquisition is deferred
+/// to the probe sites ([`Env::before_read_keyed`] per probed key) instead of
+/// taking a whole-table S lock here.
+fn resolve_item(env: &dyn Env, item: &PlannedItem, keyed: bool) -> Result<ResolvedItem> {
     let rel = env
         .relation(&item.table)
         .ok_or_else(|| SqlError::analyze(format!("unknown table `{}`", item.table)))?;
     if let Rel::Standard(_) = rel {
-        env.before_read(&item.table)?;
+        if !keyed {
+            env.before_read(&item.table)?;
+        }
     }
     let arity = rel.schema().arity();
     if arity != item.arity {
@@ -214,9 +239,21 @@ fn resolve_item(env: &dyn Env, item: &PlannedItem) -> Result<ResolvedItem> {
 /// Resolve all FROM items in declaration order (that is the lock-acquisition
 /// order), then permute into join order.
 fn resolve_items(env: &dyn Env, plan: &SelectPlan) -> Result<Vec<ResolvedItem>> {
+    // Items the plan reads only through equality probes (seed `IndexEq`,
+    // join `IndexProbe`) lock key-granularly at the probe sites instead of
+    // taking a table S lock up front.
+    let mut keyed = vec![false; plan.items.len()];
+    if matches!(plan.seed, Access::IndexEq { .. }) {
+        keyed[plan.join_order[0]] = true;
+    }
+    for (k, step) in plan.steps.iter().enumerate() {
+        if matches!(step, JoinStep::IndexProbe { .. }) {
+            keyed[plan.join_order[k + 1]] = true;
+        }
+    }
     let mut declared = Vec::with_capacity(plan.items.len());
-    for item in &plan.items {
-        declared.push(Some(resolve_item(env, item)?));
+    for (d, item) in plan.items.iter().enumerate() {
+        declared.push(Some(resolve_item(env, item, keyed[d])?));
     }
     let mut joined = Vec::with_capacity(declared.len());
     for &d in &plan.join_order {
@@ -242,10 +279,9 @@ fn scan_item(env: &dyn Env, item: &ResolvedItem) -> Vec<(Vec<Value>, Option<Reco
     m.charge(Op::OpenCursor, 1);
     let out = match &item.rel {
         Rel::Standard(t) => {
-            let t = t.read();
-            let mut v = Vec::with_capacity(t.len());
+            let mut v = Vec::new();
             for (_, rec) in t.scan() {
-                v.push((rec.values().to_vec(), Some(rec.clone())));
+                v.push((rec.values().to_vec(), Some(rec)));
             }
             m.charge(Op::FetchCursor, v.len() as u64);
             v
@@ -273,21 +309,28 @@ fn probe_item(
     item: &ResolvedItem,
     column: usize,
     key: &Value,
-) -> Option<Vec<(Vec<Value>, Option<RecordRef>)>> {
+) -> Result<Option<IndexedRows>> {
     let Rel::Standard(t) = &item.rel else {
-        return None;
+        return Ok(None);
     };
-    let t = t.read();
-    let ids = t.index_lookup(column, key)?;
+    if t.index_on(column).is_none() {
+        return Ok(None);
+    }
+    // Key-granular read lock: IS on the table, S on `table#column=key`.
+    // Taken before the index lookup so the probe sees a stable key range.
+    env.before_read_keyed(t.name(), &t.schema().column(column).name, key)?;
+    let Some(ids) = t.index_lookup(column, key) else {
+        return Ok(None);
+    };
     let m = env.meter();
     m.charge(Op::IndexProbe, 1);
     m.charge(Op::FetchCursor, ids.len() as u64);
-    Some(
+    Ok(Some(
         ids.into_iter()
             .filter_map(|id| t.get(id).ok())
             .map(|rec| (rec.values().to_vec(), Some(rec)))
             .collect(),
-    )
+    ))
 }
 
 /// Inclusive ordered-index range scan on the seed item.
@@ -297,11 +340,10 @@ fn range_item(
     column: usize,
     lo: &Value,
     hi: &Value,
-) -> Option<Vec<(Vec<Value>, Option<RecordRef>)>> {
+) -> Option<IndexedRows> {
     let Rel::Standard(t) = &item.rel else {
         return None;
     };
-    let t = t.read();
     let ids = t.index_range(column, lo, hi)?;
     let m = env.meter();
     m.charge(Op::IndexProbe, 1);
@@ -351,7 +393,7 @@ fn run_join(
         Access::Scan => scan_item(env, &items[0]),
         Access::IndexEq { column, key } => {
             let key = key.eval(&[], params)?;
-            probe_item(env, &items[0], *column, &key)
+            probe_item(env, &items[0], *column, &key)?
                 .ok_or_else(|| SqlError::stale("index used by plan no longer exists"))?
         }
         Access::IndexRange { column, lo, hi } => {
@@ -380,7 +422,7 @@ fn run_join(
                 for r in &rows {
                     m.charge(Op::EvalExpr, 1);
                     let key = key.eval(&r.vals, params)?;
-                    if let Some(matches) = probe_item(env, item, *column, &key) {
+                    if let Some(matches) = probe_item(env, item, *column, &key)? {
                         for (vals, prov) in matches {
                             let mut nr = r.clone();
                             nr.vals.extend(vals);
@@ -940,35 +982,38 @@ fn match_rows(
             "`{table}` is read-only (temporary/bound table)"
         )));
     };
-    if tref.read().schema().arity() != arity {
+    if tref.schema().arity() != arity {
         return Err(SqlError::stale(format!(
             "table `{table}` changed shape since planning"
         )));
     }
-    // This scan feeds an UPDATE/DELETE: take the exclusive lock up front
-    // so concurrent writers don't deadlock on S→X upgrades.
-    env.before_write(table)?;
-
     let probe_key = match probe {
-        Some((col, kp)) => Some((*col, kp.eval(&[], params)?)),
-        None => None,
+        Some((col, kp)) if tref.index_on(*col).is_some() => Some((*col, kp.eval(&[], params)?)),
+        _ => None,
     };
+    // This scan feeds an UPDATE/DELETE: take the exclusive lock up front so
+    // concurrent writers don't deadlock on S→X upgrades. With a planned
+    // index probe the lock is key-granular (IX on the table, X on the key);
+    // a full-predicate scan still X-locks the whole table.
+    match &probe_key {
+        Some((col, key)) => env.before_write_keyed(table, &tref.schema().column(*col).name, key)?,
+        None => env.before_write(table)?,
+    }
 
     let meter = env.meter();
     meter.charge(Op::OpenCursor, 1);
     let mut out = Vec::new();
     {
-        let t = tref.read();
         let candidates: Vec<(RowId, RecordRef)> = match &probe_key {
             Some((col, key)) => {
                 meter.charge(Op::IndexProbe, 1);
-                t.index_lookup(*col, key)
+                tref.index_lookup(*col, key)
                     .unwrap_or_default()
                     .into_iter()
-                    .filter_map(|id| t.get(id).ok().map(|r| (id, r)))
+                    .filter_map(|id| tref.get(id).ok().map(|r| (id, r)))
                     .collect()
             }
-            None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
+            None => tref.scan(),
         };
         meter.charge(Op::FetchCursor, candidates.len() as u64);
         for (id, rec) in candidates {
@@ -1053,7 +1098,7 @@ pub fn execute_insert_plan(env: &dyn Env, plan: &InsertPlan, params: &[Value]) -
             plan.table
         )));
     };
-    if tref.read().schema().arity() != plan.arity {
+    if tref.schema().arity() != plan.arity {
         return Err(SqlError::stale(format!(
             "table `{}` changed shape since planning",
             plan.table

@@ -58,19 +58,16 @@ impl RelMeta {
     /// [`Env::plan_relation`] path).
     pub fn of(rel: &Rel) -> RelMeta {
         match rel {
-            Rel::Standard(t) => {
-                let t = t.read();
-                RelMeta {
-                    schema: t.schema().clone(),
-                    est_rows: t.len(),
-                    indexes: t
-                        .indexes()
-                        .iter()
-                        .map(|ix| (ix.column(), ix.kind()))
-                        .collect(),
-                    standard: true,
-                }
-            }
+            Rel::Standard(t) => RelMeta {
+                schema: t.schema().clone(),
+                est_rows: t.len(),
+                indexes: t
+                    .indexes()
+                    .iter()
+                    .map(|ix| (ix.column(), ix.kind()))
+                    .collect(),
+                standard: true,
+            },
             Rel::Temp(t) => RelMeta {
                 schema: t.schema().clone(),
                 est_rows: t.len(),

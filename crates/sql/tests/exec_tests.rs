@@ -50,7 +50,7 @@ impl TestEnv {
                 } else {
                     IndexKind::Hash
                 };
-                t.write().create_index(ci.name, &ci.column, kind).unwrap();
+                t.create_index(ci.name, &ci.column, kind).unwrap();
             }
             other => panic!("not DDL: {other:?}"),
         }
@@ -90,7 +90,7 @@ impl Env for TestEnv {
 
     fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
         let t = self.catalog.table(table)?;
-        t.write().insert(row)?;
+        t.insert(row)?;
         Ok(())
     }
 
@@ -101,13 +101,13 @@ impl Env for TestEnv {
         new: Vec<Value>,
     ) -> strip_sql::Result<()> {
         let t = self.catalog.table(table)?;
-        t.write().update(id, new)?;
+        t.update(id, new)?;
         Ok(())
     }
 
     fn dml_delete(&self, table: &str, id: strip_storage::RowId) -> strip_sql::Result<()> {
         let t = self.catalog.table(table)?;
-        t.write().delete(id)?;
+        t.delete(id)?;
         Ok(())
     }
 }

@@ -182,11 +182,8 @@ proptest! {
         };
         let schema = Schema::of(&[("g", DataType::Int), ("x", DataType::Float)]).into_ref();
         let t = env.catalog.create_table("t", schema).unwrap();
-        {
-            let mut t = t.write();
-            for (g, x) in &rows {
-                t.insert(vec![(*g).into(), (*x).into()]).unwrap();
-            }
+        for (g, x) in &rows {
+            t.insert(vec![(*g).into(), (*x).into()]).unwrap();
         }
         let rs = execute_query(&env, &grouped_query(), &[]).unwrap();
 
@@ -225,17 +222,13 @@ proptest! {
         let schema = Schema::of(&[("k", DataType::Int)]).into_ref();
         let a = env.catalog.create_table("a", schema.clone()).unwrap();
         let b = env.catalog.create_table("b", schema).unwrap();
-        {
-            let mut a = a.write();
-            for k in &left {
-                a.insert(vec![(*k).into()]).unwrap();
-            }
-            let mut bw = b.write();
-            // Give one side an index so the probe path is exercised.
-            bw.create_index("ix", "k", strip_storage::IndexKind::Hash).unwrap();
-            for k in &right {
-                bw.insert(vec![(*k).into()]).unwrap();
-            }
+        for k in &left {
+            a.insert(vec![(*k).into()]).unwrap();
+        }
+        // Give one side an index so the probe path is exercised.
+        b.create_index("ix", "k", strip_storage::IndexKind::Hash).unwrap();
+        for k in &right {
+            b.insert(vec![(*k).into()]).unwrap();
         }
         let q = parse_query("select count(*) as n from a, b where a.k = b.k").unwrap();
         let rs = execute_query(&env, &q, &[]).unwrap();
@@ -271,11 +264,8 @@ proptest! {
         };
         let schema = Schema::of(&[("g", DataType::Int), ("x", DataType::Float)]).into_ref();
         let t = env.catalog.create_table("t", schema).unwrap();
-        {
-            let mut t = t.write();
-            for (g, x) in &rows {
-                t.insert(vec![(*g).into(), (*x).into()]).unwrap();
-            }
+        for (g, x) in &rows {
+            t.insert(vec![(*g).into(), (*x).into()]).unwrap();
         }
 
         let cache = PlanCache::new();

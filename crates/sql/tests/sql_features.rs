@@ -48,17 +48,14 @@ fn env() -> TestEnv {
     };
     let schema = Schema::of(&[("customer", DataType::Str), ("amount", DataType::Float)]);
     let t = e.catalog.create_table("orders", schema.into_ref()).unwrap();
-    {
-        let mut t = t.write();
-        for (c, a) in [
-            ("alice", 10.0),
-            ("bob", 5.0),
-            ("alice", 30.0),
-            ("carol", 7.0),
-            ("bob", 5.0),
-        ] {
-            t.insert(vec![c.into(), a.into()]).unwrap();
-        }
+    for (c, a) in [
+        ("alice", 10.0),
+        ("bob", 5.0),
+        ("alice", 30.0),
+        ("carol", 7.0),
+        ("bob", 5.0),
+    ] {
+        t.insert(vec![c.into(), a.into()]).unwrap();
     }
     e
 }

@@ -1,8 +1,8 @@
 //! The catalog: named standard tables (plus registered view definitions).
 //!
-//! Tables are shared as `Arc<RwLock<StandardTable>>`: the lock is a short
-//! physical latch for structural safety; *logical* isolation is provided by
-//! the strict-2PL lock manager in `strip-txn`.
+//! Tables are shared as plain `Arc<StandardTable>`: physical safety comes
+//! from the table's own sharded row latches and per-index latches; *logical*
+//! isolation is provided by the strict-2PL lock manager in `strip-txn`.
 
 use crate::error::{Result, StorageError};
 use crate::schema::SchemaRef;
@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared handle to a standard table.
-pub type TableRef = Arc<RwLock<StandardTable>>;
+pub type TableRef = Arc<StandardTable>;
 
 /// A stored view definition. The catalog treats the definition text as
 /// opaque; the SQL layer parses it. Materialized views are backed by a
@@ -65,7 +65,7 @@ impl Catalog {
         if tables.contains_key(&key) || self.views.read().contains_key(&key) {
             return Err(StorageError::TableExists(key));
         }
-        let table = Arc::new(RwLock::new(StandardTable::new(key.clone(), schema)));
+        let table = Arc::new(StandardTable::new(key.clone(), schema));
         tables.insert(key, table.clone());
         self.bump_epoch();
         Ok(table)
@@ -148,7 +148,7 @@ mod tests {
         assert!(c.has_table("t1"));
         assert!(c.has_table("T1"));
         let t = c.table("t1").unwrap();
-        assert_eq!(t.read().name(), "t1");
+        assert_eq!(t.name(), "t1");
         c.drop_table("T1").unwrap();
         assert!(!c.has_table("t1"));
         assert!(matches!(c.table("t1"), Err(StorageError::NoSuchTable(_))));

@@ -112,7 +112,7 @@ mod tests {
         use crate::schema::Schema;
         use crate::table::StandardTable;
         use crate::value::DataType;
-        let mut t = StandardTable::new("t", Schema::of(&[("x", DataType::Int)]).into_ref());
+        let t = StandardTable::new("t", Schema::of(&[("x", DataType::Int)]).into_ref());
         (0..n)
             .map(|i| t.insert(vec![(i as i64).into()]).unwrap().0)
             .collect()

@@ -1,4 +1,4 @@
-//! Standard tables: versioned, in-memory record stores.
+//! Standard tables: versioned, in-memory record stores with sharded latches.
 //!
 //! Paper §6.1: "standard table records are not changed in place — a new
 //! record is created and linked into the relation. The old record is removed
@@ -12,18 +12,38 @@
 //! paper's create-new/unlink-old step, and the old version is freed when the
 //! last bound table holding it is dropped — no explicit retirement pass
 //! needed.
+//!
+//! # Sharding
+//!
+//! Row storage is split into [`SHARD_COUNT`] independently-latched buckets
+//! so writers on different rows never contend on the same `RwLock` (the
+//! PTA's thousands of distinct-symbol quote transactions are the motivating
+//! workload). A [`RowId`]'s slot word packs the shard into its low
+//! [`SHARD_BITS`] bits, so locating a row never consults shared state.
+//! Secondary indexes carry their own latches. The latch discipline is
+//! two-phase: no code path holds a shard latch while taking an index latch
+//! (or vice versa), so physical latching cannot deadlock; *logical*
+//! consistency between a row and its index entries is the lock manager's
+//! job (strict 2PL over key resources), and probe paths revalidate every
+//! `RowId` against the slot generation anyway.
 
 use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
 use crate::schema::SchemaRef;
 use crate::value::Value;
+use parking_lot::RwLock;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Monotonic version-id source, global across tables so tests can track
 /// version identity.
 static VERSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Number of independently-latched row buckets per table (power of two).
+pub const SHARD_COUNT: usize = 16;
+/// Bits of a `RowId` slot word that select the shard.
+pub const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
 
 /// One immutable version of a record. Attribute values are stored inline
 /// (paper §6.1: standard tuples store values, not pointers).
@@ -63,7 +83,8 @@ pub type RecordRef = Arc<RecordData>;
 
 /// Identifies a row slot within one table. Carries a generation counter so a
 /// stale `RowId` for a deleted-then-reused slot is detected instead of
-/// silently reading an unrelated row.
+/// silently reading an unrelated row. The slot word packs the owning shard
+/// into its low [`SHARD_BITS`] bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RowId {
     slot: u32,
@@ -71,6 +92,21 @@ pub struct RowId {
 }
 
 impl RowId {
+    fn pack(shard: usize, local: u32, generation: u32) -> RowId {
+        RowId {
+            slot: (local << SHARD_BITS) | shard as u32,
+            generation,
+        }
+    }
+
+    fn shard(self) -> usize {
+        (self.slot as usize) & (SHARD_COUNT - 1)
+    }
+
+    fn local(self) -> u32 {
+        self.slot >> SHARD_BITS
+    }
+
     /// Packed representation for error messages.
     pub fn as_u64(self) -> u64 {
         ((self.slot as u64) << 32) | self.generation as u64
@@ -89,23 +125,39 @@ struct Slot {
     rec: Option<RecordRef>,
 }
 
-/// A standard (user-visible, SQL-created) table.
+/// One independently-latched bucket of row slots.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: Vec<Slot>,
+    /// Local indices of dead slots available for reuse.
+    free: Vec<u32>,
+}
+
+/// A standard (user-visible, SQL-created) table. All methods take `&self`:
+/// row storage is sharded behind per-bucket latches and indexes carry their
+/// own, so catalog handles are plain `Arc<StandardTable>`.
 #[derive(Debug)]
 pub struct StandardTable {
     name: String,
     schema: SchemaRef,
-    slots: Vec<Slot>,
-    free: Vec<u32>,
-    live: usize,
-    indexes: Vec<TableIndex>,
+    shards: Vec<RwLock<Shard>>,
+    /// Round-robin cursor for spreading fresh inserts across shards.
+    next_shard: AtomicUsize,
+    /// Total dead slots awaiting reuse, across all shards.
+    free_count: AtomicUsize,
+    live: AtomicUsize,
+    indexes: RwLock<Vec<Arc<TableIndex>>>,
 }
 
-/// A secondary index over one column of a standard table.
+/// A secondary index over one column of a standard table, with its own
+/// latch. Handles are shared (`Arc`) so probes never hold the table's
+/// index-list latch.
 #[derive(Debug)]
 pub struct TableIndex {
     name: String,
     column: usize,
-    index: Index,
+    kind: IndexKind,
+    index: RwLock<Index>,
 }
 
 impl TableIndex {
@@ -121,7 +173,22 @@ impl TableIndex {
 
     /// Implementation kind.
     pub fn kind(&self) -> IndexKind {
-        self.index.kind()
+        self.kind
+    }
+
+    /// Point probe: row ids whose indexed column equals `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        self.index.read().lookup(key)
+    }
+
+    /// Range probe (ordered indexes only): `lo <= key <= hi`.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        self.index.read().range(lo, hi)
+    }
+
+    /// Number of (key, row) entries.
+    pub fn entry_count(&self) -> usize {
+        self.index.read().entry_count()
     }
 }
 
@@ -131,10 +198,13 @@ impl StandardTable {
         StandardTable {
             name: name.into(),
             schema,
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-            indexes: Vec::new(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+            free_count: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            indexes: RwLock::new(Vec::new()),
         }
     }
 
@@ -150,79 +220,86 @@ impl StandardTable {
 
     /// Number of live rows.
     pub fn len(&self) -> usize {
-        self.live
+        self.live.load(Ordering::Acquire)
     }
 
     /// True if no live rows.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
-    /// Insert a row. Returns its `RowId`.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<(RowId, RecordRef)> {
+    /// Insert a row. Returns its `RowId`. Dead slots are reused before new
+    /// ones are allocated; fresh allocations round-robin across shards.
+    pub fn insert(&self, row: Vec<Value>) -> Result<(RowId, RecordRef)> {
         let row = self.schema.check_row(row)?;
         let rec = RecordData::new(row);
-        let id = if let Some(slot) = self.free.pop() {
-            let s = &mut self.slots[slot as usize];
-            s.rec = Some(rec.clone());
-            RowId {
-                slot,
-                generation: s.generation,
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        let id = 'placed: {
+            if self.free_count.load(Ordering::Acquire) > 0 {
+                for i in 0..SHARD_COUNT {
+                    let shard = (start + i) % SHARD_COUNT;
+                    let mut s = self.shards[shard].write();
+                    if let Some(local) = s.free.pop() {
+                        self.free_count.fetch_sub(1, Ordering::AcqRel);
+                        let slot = &mut s.slots[local as usize];
+                        slot.rec = Some(rec.clone());
+                        break 'placed RowId::pack(shard, local, slot.generation);
+                    }
+                }
             }
-        } else {
-            let slot = self.slots.len() as u32;
-            self.slots.push(Slot {
+            let shard = start % SHARD_COUNT;
+            let mut s = self.shards[shard].write();
+            let local = s.slots.len() as u32;
+            s.slots.push(Slot {
                 generation: 0,
                 rec: Some(rec.clone()),
             });
-            RowId {
-                slot,
-                generation: 0,
-            }
+            RowId::pack(shard, local, 0)
         };
-        self.live += 1;
-        for ix in &mut self.indexes {
-            ix.index.insert(rec.get(ix.column).clone(), id);
+        self.live.fetch_add(1, Ordering::AcqRel);
+        for ix in self.indexes() {
+            ix.index.write().insert(rec.get(ix.column).clone(), id);
         }
         Ok((id, rec))
     }
 
-    fn slot_ok(&self, id: RowId) -> Result<&Slot> {
-        let s = self
-            .slots
-            .get(id.slot as usize)
-            .ok_or(StorageError::DeadRow(id.as_u64()))?;
-        if s.generation != id.generation || s.rec.is_none() {
-            return Err(StorageError::DeadRow(id.as_u64()));
-        }
-        Ok(s)
-    }
-
     /// Fetch the current version of a row.
     pub fn get(&self, id: RowId) -> Result<RecordRef> {
-        Ok(self
-            .slot_ok(id)?
-            .rec
-            .as_ref()
-            .expect("checked live")
-            .clone())
+        let s = self.shards[id.shard()].read();
+        let slot = s
+            .slots
+            .get(id.local() as usize)
+            .ok_or(StorageError::DeadRow(id.as_u64()))?;
+        if slot.generation != id.generation {
+            return Err(StorageError::DeadRow(id.as_u64()));
+        }
+        slot.rec.clone().ok_or(StorageError::DeadRow(id.as_u64()))
     }
 
     /// Update a row to new attribute values. A **new record version** is
     /// created (paper §6.1); the old version is returned so callers
     /// (transition-table builders) may pin it.
-    pub fn update(&mut self, id: RowId, row: Vec<Value>) -> Result<(RecordRef, RecordRef)> {
+    pub fn update(&self, id: RowId, row: Vec<Value>) -> Result<(RecordRef, RecordRef)> {
         let row = self.schema.check_row(row)?;
-        self.slot_ok(id)?;
         let new_rec = RecordData::new(row);
-        let s = &mut self.slots[id.slot as usize];
-        let old_rec = s.rec.replace(new_rec.clone()).expect("checked live");
-        for ix in &mut self.indexes {
+        let old_rec = {
+            let mut s = self.shards[id.shard()].write();
+            let slot = s
+                .slots
+                .get_mut(id.local() as usize)
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            if slot.generation != id.generation || slot.rec.is_none() {
+                return Err(StorageError::DeadRow(id.as_u64()));
+            }
+            slot.rec.replace(new_rec.clone()).expect("checked live")
+        };
+        for ix in self.indexes() {
             let old_key = old_rec.get(ix.column);
             let new_key = new_rec.get(ix.column);
             if old_key != new_key {
-                ix.index.remove(old_key, id);
-                ix.index.insert(new_key.clone(), id);
+                let mut w = ix.index.write();
+                w.remove(old_key, id);
+                w.insert(new_key.clone(), id);
             } else {
                 // RowId is stable across updates, so an unchanged key needs
                 // no index maintenance at all.
@@ -233,107 +310,111 @@ impl StandardTable {
 
     /// Delete a row. Returns the final version so callers may pin it in a
     /// `deleted` transition table.
-    pub fn delete(&mut self, id: RowId) -> Result<RecordRef> {
-        self.slot_ok(id)?;
-        let s = &mut self.slots[id.slot as usize];
-        let old = s.rec.take().expect("checked live");
-        s.generation = s.generation.wrapping_add(1);
-        self.free.push(id.slot);
-        self.live -= 1;
-        for ix in &mut self.indexes {
-            ix.index.remove(old.get(ix.column), id);
+    pub fn delete(&self, id: RowId) -> Result<RecordRef> {
+        let old = {
+            let mut s = self.shards[id.shard()].write();
+            let slot = s
+                .slots
+                .get_mut(id.local() as usize)
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            if slot.generation != id.generation || slot.rec.is_none() {
+                return Err(StorageError::DeadRow(id.as_u64()));
+            }
+            let old = slot.rec.take().expect("checked live");
+            slot.generation = slot.generation.wrapping_add(1);
+            let local = id.local();
+            s.free.push(local);
+            old
+        };
+        self.free_count.fetch_add(1, Ordering::AcqRel);
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        for ix in self.indexes() {
+            ix.index.write().remove(old.get(ix.column), id);
         }
         Ok(old)
     }
 
-    /// Re-insert a specific version at a dead row id's slot. Used by
-    /// transaction rollback to undo a delete; the row gets a fresh `RowId`.
-    pub fn reinsert(&mut self, rec: &RecordRef) -> Result<RowId> {
+    /// Re-insert a specific version at a fresh row id. Used by transaction
+    /// rollback to undo a delete.
+    pub fn reinsert(&self, rec: &RecordRef) -> Result<RowId> {
         let (id, _) = self.insert(rec.values().to_vec())?;
         Ok(id)
     }
 
-    /// Iterate over live rows.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &RecordRef)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| {
-            s.rec.as_ref().map(|r| {
-                (
-                    RowId {
-                        slot: i as u32,
-                        generation: s.generation,
-                    },
-                    r,
-                )
-            })
-        })
+    /// Snapshot of the live rows, shard by shard. Each shard latch is held
+    /// only while that shard is copied.
+    pub fn scan(&self) -> Vec<(RowId, RecordRef)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let s = lock.read();
+            for (local, slot) in s.slots.iter().enumerate() {
+                if let Some(r) = &slot.rec {
+                    out.push((RowId::pack(shard, local as u32, slot.generation), r.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Create a secondary index over `column_name`.
     pub fn create_index(
-        &mut self,
+        &self,
         index_name: impl Into<String>,
         column_name: &str,
         kind: IndexKind,
     ) -> Result<()> {
         let index_name = index_name.into();
-        if self.indexes.iter().any(|ix| ix.name == index_name) {
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|ix| ix.name == index_name) {
             return Err(StorageError::IndexExists(index_name));
         }
         let column = self.schema.index_of_ok(column_name)?;
         let mut index = Index::new(kind);
-        for (id, rec) in self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.rec.as_ref().map(|r| (i, r)))
-            .map(|(i, r)| {
-                (
-                    RowId {
-                        slot: i as u32,
-                        generation: self.slots[i].generation,
-                    },
-                    r,
-                )
-            })
-        {
+        for (id, rec) in self.scan() {
             index.insert(rec.get(column).clone(), id);
         }
-        self.indexes.push(TableIndex {
+        indexes.push(Arc::new(TableIndex {
             name: index_name,
             column,
-            index,
-        });
+            kind,
+            index: RwLock::new(index),
+        }));
         Ok(())
     }
 
     /// The index over `column` (by offset) if one exists.
-    pub fn index_on(&self, column: usize) -> Option<&TableIndex> {
-        self.indexes.iter().find(|ix| ix.column == column)
+    pub fn index_on(&self, column: usize) -> Option<Arc<TableIndex>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|ix| ix.column == column)
+            .cloned()
     }
 
-    /// All indexes.
-    pub fn indexes(&self) -> &[TableIndex] {
-        &self.indexes
+    /// Handles to all indexes.
+    pub fn indexes(&self) -> Vec<Arc<TableIndex>> {
+        self.indexes.read().clone()
     }
 
     /// Probe the index on `column` for `key`. Returns matching row ids.
     /// Returns `None` if no index exists on that column.
     pub fn index_lookup(&self, column: usize, key: &Value) -> Option<Vec<RowId>> {
-        self.index_on(column).map(|ix| ix.index.lookup(key))
+        self.index_on(column).map(|ix| ix.lookup(key))
     }
 
     /// Range probe (ordered indexes only): rows with `lo <= key <= hi`.
     pub fn index_range(&self, column: usize, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
-        self.index_on(column).and_then(|ix| ix.index.range(lo, hi))
+        self.index_on(column).and_then(|ix| ix.range(lo, hi))
     }
 
     /// Debug/test helper: verify that every index exactly covers the live
-    /// rows.
+    /// rows. Only meaningful at logically quiescent points (no in-flight
+    /// writers), like all cross-cutting consistency checks.
     pub fn check_index_integrity(&self) -> Result<()> {
-        for ix in &self.indexes {
+        for ix in self.indexes() {
             let mut indexed = 0usize;
             for (id, rec) in self.scan() {
-                let hits = ix.index.lookup(rec.get(ix.column));
+                let hits = ix.lookup(rec.get(ix.column));
                 if !hits.contains(&id) {
                     return Err(StorageError::Invariant(format!(
                         "index `{}` missing entry for row {id}",
@@ -342,11 +423,11 @@ impl StandardTable {
                 }
                 indexed += 1;
             }
-            if ix.index.entry_count() != indexed {
+            if ix.entry_count() != indexed {
                 return Err(StorageError::Invariant(format!(
                     "index `{}` has {} entries but table has {} live rows",
                     ix.name,
-                    ix.index.entry_count(),
+                    ix.entry_count(),
                     indexed
                 )));
             }
@@ -368,7 +449,7 @@ mod tests {
 
     #[test]
     fn insert_get() {
-        let mut t = stocks();
+        let t = stocks();
         let (id, _) = t.insert(vec!["IBM".into(), 101.5.into()]).unwrap();
         let rec = t.get(id).unwrap();
         assert_eq!(rec.get(0).as_str(), Some("IBM"));
@@ -378,7 +459,7 @@ mod tests {
 
     #[test]
     fn update_creates_new_version_and_old_stays_alive() {
-        let mut t = stocks();
+        let t = stocks();
         let (id, v0) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
         let (old, new) = t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
         assert_eq!(old.version_id(), v0.version_id());
@@ -392,21 +473,35 @@ mod tests {
 
     #[test]
     fn delete_then_stale_rowid_is_detected() {
-        let mut t = stocks();
+        let t = stocks();
         let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
         t.delete(id).unwrap();
         assert!(matches!(t.get(id), Err(StorageError::DeadRow(_))));
-        // Slot reuse gets a new generation; the stale id still fails.
+        // Dead slots are reused (possibly in another shard thanks to the
+        // round-robin cursor) with a new generation; the stale id still
+        // fails.
         let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
-        assert_eq!(id2.slot, id.slot);
-        assert_ne!(id2.generation, id.generation);
+        assert_ne!(id2, id);
         assert!(t.get(id).is_err());
         assert!(t.get(id2).is_ok());
+        // The freed slot really was reused: no net slot growth.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn freed_slot_is_reused_not_leaked() {
+        let t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.delete(id).unwrap();
+        let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
+        // Same packed slot word, bumped generation.
+        assert_eq!(id2.slot, id.slot);
+        assert_ne!(id2.generation, id.generation);
     }
 
     #[test]
     fn schema_enforced_on_insert_and_update() {
-        let mut t = stocks();
+        let t = stocks();
         assert!(t.insert(vec![1i64.into()]).is_err());
         assert!(t.insert(vec![1i64.into(), "x".into()]).is_err());
         let (id, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
@@ -415,7 +510,7 @@ mod tests {
 
     #[test]
     fn hash_index_maintained_across_dml() {
-        let mut t = stocks();
+        let t = stocks();
         t.create_index("ix_symbol", "symbol", IndexKind::Hash)
             .unwrap();
         let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
@@ -433,7 +528,7 @@ mod tests {
     #[test]
     fn rbtree_index_supports_range() {
         let schema = Schema::of(&[("k", DataType::Int)]);
-        let mut t = StandardTable::new("t", schema.into_ref());
+        let t = StandardTable::new("t", schema.into_ref());
         t.create_index("ix_k", "k", IndexKind::RbTree).unwrap();
         let mut ids = Vec::new();
         for i in 0..10i64 {
@@ -445,7 +540,7 @@ mod tests {
 
     #[test]
     fn index_on_unchanged_key_keeps_rowid() {
-        let mut t = stocks();
+        let t = stocks();
         t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
         let (id, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
         // Price-only update: the symbol key is unchanged, RowId stays valid.
@@ -456,7 +551,7 @@ mod tests {
 
     #[test]
     fn duplicate_index_name_rejected() {
-        let mut t = stocks();
+        let t = stocks();
         t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
         assert!(matches!(
             t.create_index("ix", "price", IndexKind::Hash),
@@ -466,14 +561,62 @@ mod tests {
 
     #[test]
     fn scan_skips_dead_rows() {
-        let mut t = stocks();
+        let t = stocks();
         let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
         let (_b, _) = t.insert(vec!["B".into(), 2.0.into()]).unwrap();
         t.delete(a).unwrap();
         let names: Vec<String> = t
             .scan()
+            .into_iter()
             .map(|(_, r)| r.get(0).as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["B"]);
+    }
+
+    #[test]
+    fn inserts_spread_across_shards() {
+        let t = stocks();
+        let mut shards = std::collections::HashSet::new();
+        for i in 0..SHARD_COUNT {
+            let (id, _) = t.insert(vec![format!("S{i}").into(), 1.0.into()]).unwrap();
+            shards.insert(id.shard());
+        }
+        assert_eq!(shards.len(), SHARD_COUNT, "round-robin covers all shards");
+        assert_eq!(t.scan().len(), SHARD_COUNT);
+    }
+
+    #[test]
+    fn parallel_writers_on_distinct_rows_keep_table_consistent() {
+        let t = Arc::new(stocks());
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            ids.push(
+                t.insert(vec![format!("S{i}").into(), 0.0.into()])
+                    .unwrap()
+                    .0,
+            );
+        }
+        let threads: Vec<_> = ids
+            .chunks(16)
+            .map(|chunk| {
+                let t = t.clone();
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for (n, id) in chunk.iter().enumerate() {
+                        let sym = t.get(*id).unwrap().get(0).clone();
+                        for step in 0..50 {
+                            t.update(*id, vec![sym.clone(), ((n * step) as f64).into()])
+                                .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 64);
+        t.check_index_integrity().unwrap();
     }
 }

@@ -308,8 +308,8 @@ mod tests {
             ("c", DataType::Int),
         ]);
         let t_schema = Schema::of(&[("d", DataType::Int), ("e", DataType::Int)]);
-        let mut r = StandardTable::new("r", r_schema.into_ref());
-        let mut t = StandardTable::new("t", t_schema.into_ref());
+        let r = StandardTable::new("r", r_schema.into_ref());
+        let t = StandardTable::new("t", t_schema.into_ref());
         let (_, r_rec) = r
             .insert(vec![1i64.into(), 2i64.into(), 3i64.into()])
             .unwrap();
@@ -350,7 +350,7 @@ mod tests {
     #[test]
     fn pinned_version_survives_table_update() {
         let schema = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
-        let mut stocks = StandardTable::new("stocks", schema.clone().into_ref());
+        let stocks = StandardTable::new("stocks", schema.clone().into_ref());
         let (id, rec) = stocks.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
 
         let map = StaticMap::new(vec![
@@ -371,7 +371,7 @@ mod tests {
     #[test]
     fn old_version_freed_when_bound_table_retires() {
         let schema = Schema::of(&[("x", DataType::Int)]);
-        let mut t = StandardTable::new("t", schema.clone().into_ref());
+        let t = StandardTable::new("t", schema.clone().into_ref());
         let (id, old_rec) = t.insert(vec![1i64.into()]).unwrap();
         let weak = Arc::downgrade(&old_rec);
 
@@ -392,7 +392,7 @@ mod tests {
     fn mixed_pointer_and_slot_columns() {
         let schema = Schema::of(&[("x", DataType::Int), ("sum", DataType::Float)]);
         let base = Schema::of(&[("x", DataType::Int)]);
-        let mut t = StandardTable::new("t", base.into_ref());
+        let t = StandardTable::new("t", base.into_ref());
         let (_, rec) = t.insert(vec![7i64.into()]).unwrap();
         let map = StaticMap::new(vec![
             ColumnSource::Pointer { ptr: 0, offset: 0 },

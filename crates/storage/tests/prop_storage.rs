@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn table_and_index_stay_coherent(ops in proptest::collection::vec(table_op(), 1..150)) {
         let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]);
-        let mut t = StandardTable::new("t", schema.into_ref());
+        let t = StandardTable::new("t", schema.into_ref());
         t.create_index("ix_k", "k", IndexKind::Hash).unwrap();
         t.create_index("ix_v", "v", IndexKind::RbTree).unwrap();
         let mut live = Vec::new(); // model: Vec<(RowId, k, v)>
@@ -139,7 +139,7 @@ proptest! {
         // rest; the pinned snapshot must still read its value, and must be
         // freed when the pin is dropped.
         let schema = Schema::of(&[("v", DataType::Float)]);
-        let mut t = StandardTable::new("t", schema.clone().into_ref());
+        let t = StandardTable::new("t", schema.clone().into_ref());
         let (id, _) = t.insert(vec![0.0.into()]).unwrap();
 
         let pin_at = pin_at % updates.len();

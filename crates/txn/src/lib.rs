@@ -28,7 +28,9 @@ pub mod task;
 
 pub use cost::{CostMeter, CostModel};
 pub use fault::{FaultDecision, FaultInjector, FaultPoint, InjectorHandle};
-pub use lock::{LockError, LockManager, LockMode, TxnId};
+pub use lock::{
+    is_key_resource, key_resource, resource_table, LockError, LockManager, LockMode, TxnId,
+};
 pub use log::{LogEntry, RecoveredState, TxnLog, Wal, WalError, WalOp, WalTxn};
 pub use pool::WorkerPool;
 pub use sched::{DelayQueue, Policy, ReadyQueue};

@@ -1,12 +1,19 @@
-//! Strict two-phase-locking lock manager with deadlock detection.
+//! Strict two-phase-locking lock manager with deadlock detection and
+//! hierarchical (multi-granularity) modes.
 //!
 //! STRIP transactions hold locks until commit (§6.1: "locks are not held
 //! across transactions" — i.e. exactly transaction-scoped). Resources are
-//! named (the core layer uses table names; row-granularity keys are
-//! supported by encoding `table#row`). Shared/exclusive modes with S→X
-//! upgrade; waits-for-graph cycle detection aborts the *requesting*
-//! transaction (the paper's real-time flavor prefers restarting the newcomer
-//! over disturbing queued work).
+//! named: the core layer uses table names for table-granular locks and
+//! `table#column=key` (see [`key_resource`]) for key-granular locks under
+//! them. The classic five-mode hierarchy applies — a transaction takes
+//! IS/IX on the table before S/X on a key resource ([`LockManager::lock_key`]
+//! enforces the order), so a full-scan `S` or DDL `X` on the table conflicts
+//! exactly with the writers/readers it must conflict with, while writers on
+//! *different* keys (IX + disjoint X's) run in parallel. Upgrades follow the
+//! mode lattice (`lub(S, IX) = SIX`); waits-for-graph cycle detection spans
+//! both granularities and aborts the *requesting* transaction (the paper's
+//! real-time flavor prefers restarting the newcomer over disturbing queued
+//! work).
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -22,11 +29,117 @@ impl fmt::Display for TxnId {
     }
 }
 
-/// Lock mode.
+/// Lock mode. The intention modes (`IntentShared`, `IntentExclusive`,
+/// `SharedIntentExclusive`) are taken on a *table* to announce S/X locks on
+/// key resources below it; plain `Shared`/`Exclusive` work on any resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockMode {
+    /// IS — intends to read individual keys under this table.
+    IntentShared,
+    /// IX — intends to write individual keys under this table.
+    IntentExclusive,
+    /// S — reads the whole resource (full scan when taken on a table).
     Shared,
+    /// SIX — S + IX: reads the whole table while writing individual keys.
+    SharedIntentExclusive,
+    /// X — exclusive access to the whole resource.
     Exclusive,
+}
+
+impl LockMode {
+    /// Classic multi-granularity compatibility matrix.
+    ///
+    /// |     | IS | IX | S  | SIX | X |
+    /// |-----|----|----|----|-----|---|
+    /// | IS  | ✓  | ✓  | ✓  | ✓   | ✗ |
+    /// | IX  | ✓  | ✓  | ✗  | ✗   | ✗ |
+    /// | S   | ✓  | ✗  | ✓  | ✗   | ✗ |
+    /// | SIX | ✓  | ✗  | ✗  | ✗   | ✗ |
+    /// | X   | ✗  | ✗  | ✗  | ✗   | ✗ |
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IntentShared, Exclusive) | (Exclusive, IntentShared) => false,
+            (IntentShared, _) | (_, IntentShared) => true,
+            (IntentExclusive, IntentExclusive) => true,
+            (Shared, Shared) => true,
+            _ => false,
+        }
+    }
+
+    /// Does holding `self` satisfy a request for `other`? (Lattice ≥.)
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (Exclusive, _)
+                | (
+                    SharedIntentExclusive,
+                    IntentShared | IntentExclusive | Shared | SharedIntentExclusive
+                )
+                | (Shared, IntentShared | Shared)
+                | (IntentExclusive, IntentShared | IntentExclusive)
+                | (IntentShared, IntentShared)
+        )
+    }
+
+    /// Least upper bound in the mode lattice — the mode a holder of `self`
+    /// must hold after also being granted `other`. The only incomparable
+    /// pair is `{S, IX}`, whose join is `SIX`.
+    pub fn lub(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(other) {
+            self
+        } else if other.covers(self) {
+            other
+        } else {
+            debug_assert!(matches!(
+                (self, other),
+                (Shared, IntentExclusive) | (IntentExclusive, Shared)
+            ));
+            SharedIntentExclusive
+        }
+    }
+
+    /// The table-level intention mode announcing a key-level `self`.
+    pub fn intention(self) -> LockMode {
+        use LockMode::*;
+        match self {
+            IntentShared | Shared => IntentShared,
+            IntentExclusive | SharedIntentExclusive | Exclusive => IntentExclusive,
+        }
+    }
+
+    /// Short diagnostic label (IS/IX/S/SIX/X).
+    pub fn label(self) -> &'static str {
+        use LockMode::*;
+        match self {
+            IntentShared => "IS",
+            IntentExclusive => "IX",
+            Shared => "S",
+            SharedIntentExclusive => "SIX",
+            Exclusive => "X",
+        }
+    }
+}
+
+/// Separator between a table name and its key-granular sub-resources.
+pub const KEY_SEP: char = '#';
+
+/// Encode the key-granular resource name for value `key` of `column` under
+/// `table`: `table#column=key`.
+pub fn key_resource(table: &str, column: &str, key: &str) -> String {
+    format!("{table}{KEY_SEP}{column}={key}")
+}
+
+/// True when `res` names a key-granular resource (vs a whole table).
+pub fn is_key_resource(res: &str) -> bool {
+    res.contains(KEY_SEP)
+}
+
+/// The table component of a resource name (identity for table resources).
+pub fn resource_table(res: &str) -> &str {
+    res.split(KEY_SEP).next().unwrap_or(res)
 }
 
 /// Lock-acquisition failure.
@@ -63,13 +176,18 @@ struct ResourceState {
 }
 
 impl ResourceState {
+    /// Is `mode` compatible with every holder other than `txn` itself?
     fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
-        match mode {
-            LockMode::Shared => self
-                .holders
-                .iter()
-                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
-            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+        self.holders
+            .iter()
+            .all(|(t, m)| *t == txn || m.compatible_with(mode))
+    }
+
+    /// The mode `txn` would hold after being granted `mode` (upgrade join).
+    fn grant_target(&self, txn: TxnId, mode: LockMode) -> LockMode {
+        match self.holders.get(&txn) {
+            Some(held) => held.lub(mode),
+            None => mode,
         }
     }
 }
@@ -120,12 +238,10 @@ impl LmState {
         };
         let mut promoted = Vec::new();
         while let Some(&(txn, mode)) = r.waiters.front() {
-            if r.compatible(txn, mode) {
+            let target = r.grant_target(txn, mode);
+            if r.compatible(txn, target) {
                 r.waiters.pop_front();
-                let e = r.holders.entry(txn).or_insert(mode);
-                if mode == LockMode::Exclusive {
-                    *e = LockMode::Exclusive;
-                }
+                r.holders.insert(txn, target);
                 promoted.push(txn);
             } else {
                 break;
@@ -187,19 +303,18 @@ impl LockManager {
             let r = st.resources.entry(res.to_string()).or_default();
             // Re-entrant / already-held-in-sufficient-mode?
             if let Some(held) = r.holders.get(&txn) {
-                if *held == LockMode::Exclusive || mode == LockMode::Shared {
+                if held.covers(mode) {
                     return Ok(());
                 }
             }
-            // Grant immediately if compatible AND no earlier waiter would be
-            // starved (FIFO fairness: only bypass the queue if it is empty
-            // or we are upgrading).
+            // Grant immediately if the post-grant mode (the lattice join for
+            // upgrades) is compatible AND no earlier waiter would be starved
+            // (FIFO fairness: only bypass the queue if it is empty or we are
+            // upgrading).
             let upgrading = r.holders.contains_key(&txn);
-            if r.compatible(txn, mode) && (r.waiters.is_empty() || upgrading) {
-                let e = r.holders.entry(txn).or_insert(mode);
-                if mode == LockMode::Exclusive {
-                    *e = LockMode::Exclusive;
-                }
+            let target = r.grant_target(txn, mode);
+            if r.compatible(txn, target) && (r.waiters.is_empty() || upgrading) {
+                r.holders.insert(txn, target);
                 return Ok(());
             }
             // Must wait: check for deadlock first, then give an injected
@@ -232,8 +347,7 @@ impl LockManager {
                 let r = st.resources.get(res).expect("resource exists");
                 if r.holders.contains_key(&txn) {
                     // Promoted with at least the requested strength?
-                    let held = r.holders[&txn];
-                    if held == LockMode::Exclusive || mode == LockMode::Shared {
+                    if r.holders[&txn].covers(mode) {
                         return Ok(());
                     }
                 }
@@ -253,20 +367,50 @@ impl LockManager {
         let mut st = self.state.lock();
         let r = st.resources.entry(res.to_string()).or_default();
         if let Some(held) = r.holders.get(&txn) {
-            if *held == LockMode::Exclusive || mode == LockMode::Shared {
+            if held.covers(mode) {
                 return Ok(());
             }
         }
         let upgrading = r.holders.contains_key(&txn);
-        if r.compatible(txn, mode) && (r.waiters.is_empty() || upgrading) {
-            let e = r.holders.entry(txn).or_insert(mode);
-            if mode == LockMode::Exclusive {
-                *e = LockMode::Exclusive;
-            }
+        let target = r.grant_target(txn, mode);
+        if r.compatible(txn, target) && (r.waiters.is_empty() || upgrading) {
+            r.holders.insert(txn, target);
             Ok(())
         } else {
             Err(LockError::WouldBlock)
         }
+    }
+
+    /// Hierarchical acquire: take the matching intention mode on `table`,
+    /// then `mode` on the key resource `table#column=key`. Blocking, with
+    /// the same deadlock/timeout semantics as [`LockManager::lock`]. The
+    /// intention-before-key order is what keeps a concurrent table-granular
+    /// S/X (full scan, DDL) correctly serialized against key-granular work.
+    pub fn lock_key(
+        &self,
+        txn: TxnId,
+        table: &str,
+        column: &str,
+        key: &str,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        self.lock(txn, table, mode.intention())?;
+        self.lock(txn, &key_resource(table, column, key), mode)
+    }
+
+    /// Non-blocking [`LockManager::lock_key`]. A `WouldBlock` on the key
+    /// leaves the (harmless, compatible-with-everything-but-X) intention
+    /// mode held; callers abort via [`LockManager::release_all`] anyway.
+    pub fn try_lock_key(
+        &self,
+        txn: TxnId,
+        table: &str,
+        column: &str,
+        key: &str,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        self.try_lock(txn, table, mode.intention())?;
+        self.try_lock(txn, &key_resource(table, column, key), mode)
     }
 
     /// Release every lock held (and any pending waits) by `txn` — the
@@ -424,6 +568,176 @@ mod tests {
         );
         lm.release_all(TxnId(1));
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn compatibility_matrix_is_the_textbook_one() {
+        use LockMode::*;
+        let modes = [
+            IntentShared,
+            IntentExclusive,
+            Shared,
+            SharedIntentExclusive,
+            Exclusive,
+        ];
+        // Row-major over (IS, IX, S, SIX, X) × (IS, IX, S, SIX, X).
+        let expect = [
+            [true, true, true, true, false],
+            [true, true, false, false, false],
+            [true, false, true, false, false],
+            [true, false, false, false, false],
+            [false, false, false, false, false],
+        ];
+        for (i, a) in modes.iter().enumerate() {
+            for (j, b) in modes.iter().enumerate() {
+                assert_eq!(
+                    a.compatible_with(*b),
+                    expect[i][j],
+                    "compat({}, {})",
+                    a.label(),
+                    b.label()
+                );
+                // Symmetry.
+                assert_eq!(a.compatible_with(*b), b.compatible_with(*a));
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        use LockMode::*;
+        let modes = [
+            IntentShared,
+            IntentExclusive,
+            Shared,
+            SharedIntentExclusive,
+            Exclusive,
+        ];
+        for a in modes {
+            assert!(a.covers(a), "{} covers itself", a.label());
+            for b in modes {
+                let j = a.lub(b);
+                assert_eq!(j, b.lub(a), "lub commutative");
+                assert!(j.covers(a) && j.covers(b), "lub is an upper bound");
+                // Anything the join grants that `a` alone would not must be
+                // attributable to `b` (no spurious strengthening beyond X).
+                if a.covers(b) {
+                    assert_eq!(j, a);
+                }
+            }
+        }
+        assert_eq!(Shared.lub(IntentExclusive), SharedIntentExclusive);
+        assert_eq!(Shared.intention(), IntentShared);
+        assert_eq!(Exclusive.intention(), IntentExclusive);
+    }
+
+    #[test]
+    fn key_writers_on_distinct_keys_coexist() {
+        let lm = LockManager::new();
+        lm.lock_key(TxnId(1), "stocks", "symbol", "IBM", LockMode::Exclusive)
+            .unwrap();
+        lm.lock_key(TxnId(2), "stocks", "symbol", "HWP", LockMode::Exclusive)
+            .unwrap();
+        // Same key conflicts.
+        assert_eq!(
+            lm.try_lock_key(TxnId(3), "stocks", "symbol", "IBM", LockMode::Exclusive),
+            Err(LockError::WouldBlock)
+        );
+        // A table-granular scan (S) conflicts with the IX holders.
+        assert_eq!(
+            lm.try_lock(TxnId(3), "stocks", LockMode::Shared),
+            Err(LockError::WouldBlock)
+        );
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        lm.release_all(TxnId(3));
+        assert_eq!(lm.held_count(), 0);
+    }
+
+    #[test]
+    fn lock_key_holds_intention_on_the_table_first() {
+        let lm = LockManager::new();
+        lm.lock_key(TxnId(1), "stocks", "symbol", "IBM", LockMode::Shared)
+            .unwrap();
+        let held = lm.held_by(TxnId(1));
+        assert_eq!(
+            held,
+            vec![
+                ("stocks".to_string(), LockMode::IntentShared),
+                (key_resource("stocks", "symbol", "IBM"), LockMode::Shared),
+            ]
+        );
+        // Writing another key joins the table mode to IX.
+        lm.lock_key(TxnId(1), "stocks", "symbol", "HWP", LockMode::Exclusive)
+            .unwrap();
+        assert!(lm
+            .held_by(TxnId(1))
+            .contains(&("stocks".to_string(), LockMode::IntentExclusive)));
+    }
+
+    #[test]
+    fn scan_then_keyed_write_upgrades_table_to_six() {
+        let lm = LockManager::new();
+        lm.lock(TxnId(1), "stocks", LockMode::Shared).unwrap();
+        lm.lock_key(TxnId(1), "stocks", "symbol", "IBM", LockMode::Exclusive)
+            .unwrap();
+        assert!(lm
+            .held_by(TxnId(1))
+            .contains(&("stocks".to_string(), LockMode::SharedIntentExclusive)));
+        // SIX keeps readers of individual keys out of S? No: SIX admits IS.
+        lm.lock_key(TxnId(2), "stocks", "symbol", "HWP", LockMode::Shared)
+            .unwrap();
+        // ...but a second table-granular reader is refused (SIX vs S).
+        assert_eq!(
+            lm.try_lock(TxnId(3), "stocks", LockMode::Shared),
+            Err(LockError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn cross_granularity_deadlock_detected() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock_key(TxnId(1), "stocks", "symbol", "IBM", LockMode::Exclusive)
+            .unwrap();
+        lm.lock_key(TxnId(2), "stocks", "symbol", "HWP", LockMode::Exclusive)
+            .unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            let r = lm2.lock_key(TxnId(1), "stocks", "symbol", "HWP", LockMode::Exclusive);
+            if r.is_ok() {
+                lm2.release_all(TxnId(1));
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(50));
+        // T2 requesting T1's key closes an IBM↔HWP cycle across key
+        // resources; the requester is the victim.
+        let r2 = lm.lock_key(TxnId(2), "stocks", "symbol", "IBM", LockMode::Exclusive);
+        assert_eq!(r2, Err(LockError::Deadlock));
+        lm.release_all(TxnId(2));
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn table_x_waits_for_all_key_writers() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock_key(TxnId(1), "stocks", "symbol", "IBM", LockMode::Exclusive)
+            .unwrap();
+        let lm2 = lm.clone();
+        let ddl = thread::spawn(move || {
+            lm2.lock(TxnId(9), "stocks", LockMode::Exclusive).unwrap();
+            lm2.release_all(TxnId(9));
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(lm.blocked_count(), 1);
+        // FIFO: a fresh key writer must not overtake the queued table X.
+        assert_eq!(
+            lm.try_lock(TxnId(3), "stocks", LockMode::IntentExclusive),
+            Err(LockError::WouldBlock)
+        );
+        lm.release_all(TxnId(1));
+        ddl.join().unwrap();
+        assert_eq!(lm.held_count(), 0);
     }
 
     #[test]

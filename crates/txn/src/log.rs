@@ -481,7 +481,7 @@ mod tests {
 
     #[test]
     fn execute_order_is_sequential_and_shared_per_update() {
-        let mut t = StandardTable::new(
+        let t = StandardTable::new(
             "t",
             Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
         );
@@ -503,7 +503,7 @@ mod tests {
     fn no_net_effect_reduction() {
         // Insert-then-delete of the same row keeps BOTH entries (paper §2:
         // "STRIP does not reduce the transition tables to net effect").
-        let mut t = StandardTable::new(
+        let t = StandardTable::new(
             "t",
             Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
         );
@@ -517,7 +517,7 @@ mod tests {
 
     #[test]
     fn undo_order_is_reversed() {
-        let mut t = StandardTable::new(
+        let t = StandardTable::new(
             "t",
             Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
         );
@@ -535,7 +535,7 @@ mod tests {
 
     #[test]
     fn update_pins_old_version() {
-        let mut t = StandardTable::new(
+        let t = StandardTable::new(
             "t",
             Schema::of(&[("x", strip_storage::DataType::Int)]).into_ref(),
         );

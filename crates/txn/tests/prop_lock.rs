@@ -1,61 +1,103 @@
-//! Property-based tests for the lock manager: a single-threaded model check
-//! over random `try_lock`/`release_all` sequences asserting that no two
-//! transactions ever hold conflicting locks, plus delay/ready queue laws.
+//! Property-based tests for the hierarchical lock manager: a model check
+//! over random acquire/upgrade/release sequences mixing table-level modes
+//! (IS/IX/S/SIX/X) with key-granular resources, asserting that no two
+//! transactions ever hold incompatible locks, that the intention protocol
+//! is respected (a key-mode grant implies the covering intention mode on
+//! its table), that deadlocks are reported exactly when a waits-for cycle
+//! exists, plus delay/ready queue laws.
 
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
-use strip_txn::{DelayQueue, LockError, LockManager, LockMode, Policy, ReadyQueue, Task, TxnId};
+use strip_txn::{
+    key_resource, resource_table, DelayQueue, LockError, LockManager, LockMode, Policy, ReadyQueue,
+    Task, TxnId,
+};
+
+const MODES: [LockMode; 5] = [
+    LockMode::IntentShared,
+    LockMode::IntentExclusive,
+    LockMode::Shared,
+    LockMode::SharedIntentExclusive,
+    LockMode::Exclusive,
+];
 
 #[derive(Debug, Clone)]
 enum LockOp {
-    TryLock(u8, u8, bool), // (txn, resource, exclusive)
+    /// Table-granular acquire: (txn, table, mode).
+    TryLock(u8, u8, LockMode),
+    /// Hierarchical acquire: (txn, table, key, exclusive) — takes the
+    /// intention mode on the table, then S/X on `table#c=k<key>`.
+    TryLockKey(u8, u8, u8, bool),
     Release(u8),
 }
 
 fn lock_op() -> impl Strategy<Value = LockOp> {
     prop_oneof![
-        (0..4u8, 0..3u8, any::<bool>()).prop_map(|(t, r, x)| LockOp::TryLock(t, r, x)),
+        (0..4u8, 0..3u8, 0..5usize).prop_map(|(t, r, m)| LockOp::TryLock(t, r, MODES[m])),
+        (0..4u8, 0..3u8, 0..2u8, any::<bool>())
+            .prop_map(|(t, r, k, x)| LockOp::TryLockKey(t, r, k, x)),
         (0..4u8).prop_map(LockOp::Release),
     ]
 }
 
+/// Reference model of a single `try_lock`: re-entrant covers check, then
+/// upgrade-join compatibility against every other holder. (With try-only
+/// traffic the manager never has waiters, so FIFO fairness never bites and
+/// grant ⇔ model-compatible.)
+fn model_try(
+    held: &mut HashMap<String, HashMap<u8, LockMode>>,
+    t: u8,
+    res: &str,
+    mode: LockMode,
+) -> bool {
+    let holders = held.entry(res.to_string()).or_default();
+    if let Some(h) = holders.get(&t) {
+        if h.covers(mode) {
+            return true;
+        }
+    }
+    let target = holders.get(&t).map_or(mode, |h| h.lub(mode));
+    let ok = holders
+        .iter()
+        .all(|(h, m)| *h == t || m.compatible_with(target));
+    if ok {
+        holders.insert(t, target);
+    }
+    ok
+}
+
 proptest! {
     #[test]
-    fn no_conflicting_grants_ever(ops in proptest::collection::vec(lock_op(), 1..200)) {
+    fn no_conflicting_grants_ever(ops in proptest::collection::vec(lock_op(), 1..250)) {
         let lm = LockManager::new();
-        // Model: resource -> (txn -> mode).
-        let mut held: HashMap<u8, HashMap<u8, LockMode>> = HashMap::new();
+        // Model: resource name -> (txn -> strongest granted mode).
+        let mut held: HashMap<String, HashMap<u8, LockMode>> = HashMap::new();
         for op in ops {
             match op {
-                LockOp::TryLock(t, r, exclusive) => {
-                    let mode = if exclusive {
-                        LockMode::Exclusive
-                    } else {
-                        LockMode::Shared
-                    };
+                LockOp::TryLock(t, r, mode) => {
                     let res = format!("r{r}");
                     let granted = lm.try_lock(TxnId(t as u64), &res, mode).is_ok();
-                    let holders = held.entry(r).or_default();
-                    // The model's compatibility rule.
-                    let compatible = match mode {
-                        LockMode::Shared => holders
-                            .iter()
-                            .all(|(h, m)| *h == t || *m == LockMode::Shared),
-                        LockMode::Exclusive => holders.keys().all(|h| *h == t),
-                    };
-                    // try_lock may be *more* conservative than the model
-                    // (FIFO fairness can refuse a compatible request while
-                    // waiters queue — but with try_lock-only traffic there
-                    // are never waiters, so grant ⇔ compatible).
-                    prop_assert_eq!(granted, compatible, "txn {} mode {:?} on {}", t, mode, r);
-                    if granted {
-                        let e = holders.entry(t).or_insert(mode);
-                        if mode == LockMode::Exclusive {
-                            *e = LockMode::Exclusive;
-                        }
-                    }
+                    let expect = model_try(&mut held, t, &res, mode);
+                    prop_assert_eq!(granted, expect, "txn {} mode {:?} on {}", t, mode, res);
+                }
+                LockOp::TryLockKey(t, r, k, exclusive) => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let table = format!("r{r}");
+                    let key = format!("k{k}");
+                    let granted = lm
+                        .try_lock_key(TxnId(t as u64), &table, "c", &key, mode)
+                        .is_ok();
+                    // Model mirrors the two-step protocol: intention on the
+                    // table first; the key mode is attempted only if the
+                    // intention was granted.
+                    let expect = model_try(&mut held, t, &table, mode.intention())
+                        && model_try(&mut held, t, &key_resource(&table, "c", &key), mode);
+                    prop_assert_eq!(
+                        granted, expect,
+                        "txn {} key-mode {:?} on {}#c={}", t, mode, table, key
+                    );
                 }
                 LockOp::Release(t) => {
                     lm.release_all(TxnId(t as u64));
@@ -64,29 +106,42 @@ proptest! {
                     }
                 }
             }
-            // Invariant: at most one writer per resource, and never a
-            // writer alongside another holder.
-            for (r, holders) in &held {
-                let writers = holders.values().filter(|m| **m == LockMode::Exclusive).count();
-                prop_assert!(writers <= 1, "two writers on r{}", r);
-                if writers == 1 {
-                    prop_assert_eq!(holders.len(), 1, "writer + reader on r{}", r);
+            for (res, holders) in &held {
+                // Invariant 1: all grants on a resource are pairwise
+                // compatible (the multi-granularity matrix, including
+                // IS/IX/SIX coexistence and X's total exclusivity).
+                let hs: Vec<(&u8, &LockMode)> = holders.iter().collect();
+                for (i, (t1, m1)) in hs.iter().enumerate() {
+                    for (t2, m2) in &hs[i + 1..] {
+                        prop_assert!(
+                            m1.compatible_with(**m2),
+                            "txn {} ({:?}) vs txn {} ({:?}) on {}", t1, m1, t2, m2, res
+                        );
+                    }
+                }
+                // Invariant 2 (hierarchy): a key-mode grant implies its
+                // covering intention mode held on the parent table.
+                if res.contains('#') {
+                    let table = resource_table(res);
+                    for (t, m) in holders {
+                        let parent = held.get(table).and_then(|h| h.get(t));
+                        prop_assert!(
+                            parent.is_some_and(|p| p.covers(m.intention())),
+                            "txn {} holds {:?} on {} without {:?} on {}",
+                            t, m, res, m.intention(), table
+                        );
+                    }
                 }
             }
         }
-        // Cross-check the manager's view of held locks.
+        // Cross-check the manager's view of held locks and modes.
         for t in 0..4u8 {
-            let expect: HashSet<String> = held
+            let mut expect: Vec<(String, LockMode)> = held
                 .iter()
-                .filter(|(_, hs)| hs.contains_key(&t))
-                .map(|(r, _)| format!("r{r}"))
+                .filter_map(|(res, hs)| hs.get(&t).map(|m| (res.clone(), *m)))
                 .collect();
-            let got: HashSet<String> = lm
-                .held_by(TxnId(t as u64))
-                .into_iter()
-                .map(|(r, _)| r)
-                .collect();
-            prop_assert_eq!(got, expect);
+            expect.sort();
+            prop_assert_eq!(lm.held_by(TxnId(t as u64)), expect);
         }
     }
 }
@@ -110,8 +165,9 @@ impl FaultInjector for AlwaysTimeout {
 // history — the "no lock leaked after abort" oracle as a property.
 //
 // Law 2: with timeout injection at the `LockAcquire` fault point, no request
-// ever blocks, so no waits-for cycle can form; timed-out transactions abort
-// cleanly.
+// ever blocks, so no waits-for edge exists; the manager must then never
+// report `Deadlock` (deadlock ⇒ a real waits-for cycle), and timed-out
+// transactions abort cleanly.
 proptest! {
     #[test]
     fn abort_releases_all_locks(
@@ -131,12 +187,17 @@ proptest! {
         lm.set_injector(Some(Arc::new(AlwaysTimeout)));
         let mut alive: HashSet<u8> = (0..4).collect();
         for op in ops {
+            // Blocking path is safe single-threaded: the injector turns
+            // every would-block wait into a Timeout error.
             match op {
-                LockOp::TryLock(t, r, exclusive) => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
-                    // Blocking path is safe single-threaded: the injector
-                    // turns every would-block wait into a Timeout error.
+                LockOp::TryLock(t, r, mode) => {
                     let _ = lm.lock(TxnId(t as u64), &format!("r{r}"), mode);
+                }
+                LockOp::TryLockKey(t, r, k, exclusive) => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let _ = lm.lock_key(
+                        TxnId(t as u64), &format!("r{r}"), "c", &format!("k{k}"), mode,
+                    );
                 }
                 LockOp::Release(t) => lm.release_all(TxnId(t as u64)),
             }
@@ -156,23 +217,39 @@ proptest! {
     }
 
     #[test]
-    fn no_deadlock_under_timeout(ops in proptest::collection::vec(lock_op(), 1..300)) {
+    fn no_deadlock_without_waiters(ops in proptest::collection::vec(lock_op(), 1..300)) {
         let lm = LockManager::new();
         lm.set_injector(Some(Arc::new(AlwaysTimeout)));
+        let check = |lm: &LockManager, result: Result<(), LockError>, t: u8|
+            -> Result<(), TestCaseError>
+        {
+            match result {
+                Ok(()) => {}
+                Err(LockError::Timeout) => {
+                    // Real-time semantics: a timed-out transaction aborts,
+                    // releasing everything it held.
+                    lm.release_all(TxnId(t as u64));
+                    prop_assert!(lm.held_by(TxnId(t as u64)).is_empty());
+                }
+                // Deadlock requires a waits-for cycle; with timeout
+                // injection nobody ever waits, so a `Deadlock` here would
+                // be a false positive from the cycle detector.
+                Err(e) => prop_assert!(false, "unexpected lock error {:?}", e),
+            }
+            Ok(())
+        };
         for op in ops {
             match op {
-                LockOp::TryLock(t, r, exclusive) => {
+                LockOp::TryLock(t, r, mode) => {
+                    check(&lm, lm.lock(TxnId(t as u64), &format!("r{r}"), mode), t)?;
+                }
+                LockOp::TryLockKey(t, r, k, exclusive) => {
                     let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
-                    match lm.lock(TxnId(t as u64), &format!("r{r}"), mode) {
-                        Ok(()) => {}
-                        Err(LockError::Timeout) => {
-                            // Real-time semantics: a timed-out transaction
-                            // aborts, releasing everything it held.
-                            lm.release_all(TxnId(t as u64));
-                            prop_assert!(lm.held_by(TxnId(t as u64)).is_empty());
-                        }
-                        Err(e) => prop_assert!(false, "unexpected lock error {:?}", e),
-                    }
+                    check(
+                        &lm,
+                        lm.lock_key(TxnId(t as u64), &format!("r{r}"), "c", &format!("k{k}"), mode),
+                        t,
+                    )?;
                 }
                 LockOp::Release(t) => lm.release_all(TxnId(t as u64)),
             }
@@ -228,5 +305,103 @@ proptest! {
         for i in 0..n {
             prop_assert_eq!(&*q.pop().unwrap().kind, format!("t{i}"));
         }
+    }
+}
+
+// Deadlock ⇐ real waits-for cycle: a forced two-transaction cycle (X on a,
+// X on b, then each requesting the other) must surface `Deadlock` to at
+// least one side, and the survivor must then complete. Run across table-only,
+// key-only, and mixed table/key cycles so the detector is exercised over
+// both granularities.
+proptest! {
+    #[test]
+    fn real_cycles_are_detected(shape in 0..3usize) {
+        use std::sync::Barrier;
+        let lm = Arc::new(LockManager::new());
+        let barrier = Arc::new(Barrier::new(2));
+        fn grab(lm: &LockManager, t: u64, which: usize, shape: usize) -> Result<(), LockError> {
+            match (shape, which) {
+                (0, w) => lm.lock(TxnId(t), if w == 0 { "a" } else { "b" }, LockMode::Exclusive),
+                (1, w) => lm.lock_key(
+                    TxnId(t), "a", "c", if w == 0 { "k0" } else { "k1" }, LockMode::Exclusive,
+                ),
+                (_, 0) => lm.lock(TxnId(t), "a", LockMode::Exclusive),
+                (_, _) => lm.lock_key(TxnId(t), "b", "c", "k0", LockMode::Exclusive),
+            }
+        }
+        let mut handles = Vec::new();
+        for id in 0..2u64 {
+            let lm = Arc::clone(&lm);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mine = id as usize;
+                let theirs = 1 - mine;
+                grab(&lm, id + 1, mine, shape).expect("first lock is uncontended");
+                barrier.wait();
+                // Both now request the other's resource: a 2-cycle. The
+                // requester whose wait would close the cycle gets `Deadlock`
+                // and aborts; the other blocks until the victim's abort
+                // frees its resource, then commits.
+                let deadlocked = match grab(&lm, id + 1, theirs, shape) {
+                    Ok(()) => false,
+                    Err(LockError::Deadlock) => {
+                        lm.release_all(TxnId(id + 1)); // victim aborts
+                        true
+                    }
+                    Err(e) => panic!("unexpected lock error {e:?}"),
+                };
+                if !deadlocked {
+                    lm.release_all(TxnId(id + 1));
+                }
+                deadlocked
+            }));
+        }
+        let victims: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        prop_assert!(
+            victims.iter().any(|v| *v),
+            "cycle closed but no Deadlock reported (shape {})", shape
+        );
+        prop_assert_eq!(lm.held_count(), 0);
+        prop_assert_eq!(lm.blocked_count(), 0);
+    }
+
+    // Random concurrent strict-2PL traffic over a small hot resource set:
+    // every thread acquires blocking table and key locks and aborts on
+    // Deadlock/Timeout. The property is liveness — with cycle detection
+    // picking victims, all threads terminate — and cleanliness: no lock or
+    // waiter survives the storm.
+    #[test]
+    fn concurrent_2pl_storm_terminates_cleanly(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec((0..2u8, 0..2u8, any::<bool>()), 1..12),
+            3,
+        ),
+    ) {
+        let lm = Arc::new(LockManager::new());
+        let mut handles = Vec::new();
+        for (i, seq) in seqs.into_iter().enumerate() {
+            let lm = Arc::clone(&lm);
+            handles.push(std::thread::spawn(move || {
+                let txn = TxnId(i as u64 + 1);
+                for (r, k, exclusive) in seq {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let res = if k == 0 {
+                        lm.lock(txn, &format!("r{r}"), mode)
+                    } else {
+                        lm.lock_key(txn, &format!("r{r}"), "c", "k", mode)
+                    };
+                    if res.is_err() {
+                        lm.release_all(txn); // abort; strict 2PL drops everything
+                        return;
+                    }
+                }
+                lm.release_all(txn); // commit
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(lm.held_count(), 0);
+        prop_assert_eq!(lm.blocked_count(), 0);
     }
 }

@@ -18,7 +18,7 @@ fn stocks_table() -> StandardTable {
 /// `TxnLog` and appending each commit to the WAL. Returns the WAL and the
 /// final expected row images keyed by packed row id.
 fn committed_workload(wal: &mut Wal) -> Vec<(u64, Vec<Value>)> {
-    let mut t = stocks_table();
+    let t = stocks_table();
 
     // Txn 1: insert two stocks.
     let mut log = TxnLog::new();
@@ -95,7 +95,7 @@ fn crash_before_commit_marker_loses_only_the_in_flight_txn() {
     let expected = committed_workload(&mut wal); // commits 1 and 2 survive
 
     // Txn 3 writes its op records but crashes at the fsync point.
-    let mut t = stocks_table();
+    let t = stocks_table();
     let mut log = TxnLog::new();
     let (id, rec) = t.insert(vec![Value::str("DEC"), 9.0.into()]).unwrap();
     log.log_insert("stocks", id, rec);
@@ -122,7 +122,7 @@ fn crash_mid_append_discards_partial_txn() {
     // Crash on the 2nd op record of txn 1: no record of txn 1 is
     // recoverable (its first op has no commit marker).
     let mut wal = Wal::with_injector(Some(CrashAt::new(FaultPoint::WalAppend, 2)));
-    let mut t = stocks_table();
+    let t = stocks_table();
     let mut log = TxnLog::new();
     let (a, rec) = t.insert(vec![Value::str("A"), 1.0.into()]).unwrap();
     log.log_insert("stocks", a, rec);
@@ -150,7 +150,7 @@ fn torn_final_record_is_ignored_at_every_truncation_point() {
     // every possible byte boundary: recovery must always return exactly the
     // two committed transactions, flagging a torn tail whenever the cut
     // leaves a partial record.
-    let mut t = stocks_table();
+    let t = stocks_table();
     let mut log = TxnLog::new();
     let (id, rec) = t.insert(vec![Value::str("TORN"), 7.0.into()]).unwrap();
     log.log_insert("stocks", id, rec);
