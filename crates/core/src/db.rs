@@ -133,6 +133,10 @@ pub struct StripInner {
     pub(crate) obs: Arc<ObsSink>,
     /// Logical-lock granularity (see [`LockGranularity`]).
     pub(crate) granularity: LockGranularity,
+    /// Physical-plan chooser (see [`strip_sql::PlannerMode`]): cost-based
+    /// by default, with the pre-Volcano syntactic chooser retained as an
+    /// ablation baseline for the plan-quality benchmark.
+    pub(crate) planner: strip_sql::PlannerMode,
     txn_ids: AtomicU64,
 }
 
@@ -151,6 +155,7 @@ pub struct StripBuilder {
     injector: InjectorHandle,
     obs: Option<Arc<ObsSink>>,
     granularity: LockGranularity,
+    planner: strip_sql::PlannerMode,
 }
 
 impl Default for StripBuilder {
@@ -163,6 +168,7 @@ impl Default for StripBuilder {
             injector: None,
             obs: None,
             granularity: LockGranularity::Key,
+            planner: strip_sql::PlannerMode::CostBased,
         }
     }
 }
@@ -218,6 +224,17 @@ impl StripBuilder {
         self
     }
 
+    /// Choose the physical-plan chooser. The default is
+    /// [`strip_sql::PlannerMode::CostBased`];
+    /// [`strip_sql::PlannerMode::Syntactic`] restores the pre-Volcano
+    /// index-if-available chooser (the plan-quality benchmark's ablation
+    /// baseline). Join order, locking, and result digests are identical
+    /// across modes — only operator selection differs.
+    pub fn planner_mode(mut self, mode: strip_sql::PlannerMode) -> Self {
+        self.planner = mode;
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
         let obs = self.obs.unwrap_or_else(|| ObsSink::new(4096));
@@ -260,6 +277,7 @@ impl StripBuilder {
                 crashed: std::sync::atomic::AtomicBool::new(false),
                 obs,
                 granularity: self.granularity,
+                planner: self.planner,
                 txn_ids: AtomicU64::new(1),
             }),
         }
@@ -338,6 +356,10 @@ impl Strip {
         };
         s.plan_cache_hits = self.inner.plan_cache.hits();
         s.plan_cache_misses = self.inner.plan_cache.misses();
+        let snap = self.inner.obs.snapshot();
+        s.plan_choices = snap.plan_choices;
+        s.card_est_sum = snap.card_est_sum;
+        s.card_actual_sum = snap.card_actual_sum;
         s
     }
 
@@ -541,6 +563,16 @@ impl Strip {
             ExecOutcome::Rows(r) => Ok(r),
             _ => Err(Error::Other(format!("not a query: `{sql}`"))),
         }
+    }
+
+    /// Plan a query under this database's planner mode and render the
+    /// operator tree (no execution; benchmarks and diagnostics).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let q = strip_sql::parse_query(sql)?;
+        self.txn(|t| {
+            let sp = strip_sql::plan::plan_query(t, &q)?;
+            Ok(sp.explain())
+        })
     }
 
     // ---- transactions --------------------------------------------------------

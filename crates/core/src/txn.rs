@@ -216,7 +216,7 @@ impl<'a> Txn<'a> {
     ) -> Result<ResultSet> {
         let cache = &self.inner.plan_cache;
         let key = self.plan_key(text);
-        let epoch = self.inner.catalog.epoch();
+        let epoch = strip_sql::Env::plan_epoch(self);
         let plan = cache.get_or_plan_ctx(&key, epoch, self.now_us(), self.trace, &plan_fn)?;
         match strip_sql::execute_plan(self, &plan, params) {
             Err(e) if e.is_stale() => {
@@ -698,6 +698,37 @@ impl Env for Txn<'_> {
 
     fn schema_epoch(&self) -> u64 {
         self.inner.catalog.epoch()
+    }
+
+    fn plan_epoch(&self) -> u64 {
+        // Fold the statistics epoch into the schema epoch so cached plans
+        // are invalidated when table cardinalities cross a size class (a
+        // stats change large enough to flip a cost-based plan choice). The
+        // plan cache compares epochs by equality only, so mixing the two
+        // counters into one word is sound; the multiplier just keeps
+        // schema bumps from colliding with stats bumps.
+        self.inner
+            .catalog
+            .epoch()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.inner.catalog.stats_epoch()
+    }
+
+    fn planner_mode(&self) -> strip_sql::PlannerMode {
+        self.inner.planner
+    }
+
+    fn plan_feedback(&self, choice: &str, est_rows: u64, actual_rows: u64) {
+        if self.inner.obs.is_enabled() {
+            self.inner.obs.record_plan_choice(
+                self.now_us(),
+                self.id.0,
+                choice,
+                est_rows,
+                actual_rows,
+                self.trace,
+            );
+        }
     }
 
     fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {

@@ -608,3 +608,49 @@ fn rules_sharing_function_with_mismatched_bound_tables_error() {
     db.drain();
     assert!(db.take_errors().is_empty());
 }
+
+#[test]
+fn firing_makes_one_batched_plan_invocation_per_transition_table() {
+    // The batch executor evaluates a rule condition in ONE vectorized plan
+    // invocation over the whole transition table, however many rows the
+    // triggering transaction touched. The sink's `plan_choices` counter
+    // increments once per join-pipeline invocation, so a 20-row insert must
+    // move it exactly as far as a 1-row insert.
+    let db = Strip::new();
+    db.execute("create table t (x int, y int)").unwrap();
+    let rows_seen = Arc::new(AtomicU64::new(0));
+    let seen = rows_seen.clone();
+    db.register_function("f", move |txn| {
+        let m = txn.bound("m").expect("condition binds m");
+        seen.fetch_add(m.len() as u64, Ordering::SeqCst);
+        Ok(())
+    });
+    db.execute(
+        "create rule r_batch on t when inserted \
+         if select * from inserted bind as m then execute f",
+    )
+    .unwrap();
+
+    let invocations_for = |n: usize| -> u64 {
+        let values: Vec<String> = (0..n).map(|i| format!("({i}, {})", i * 2)).collect();
+        let before = db.obs().snapshot().plan_choices;
+        db.execute(&format!("insert into t values {}", values.join(", ")))
+            .unwrap();
+        db.drain();
+        db.obs().snapshot().plan_choices - before
+    };
+
+    let single = invocations_for(1);
+    let batch = invocations_for(20);
+    assert!(
+        single >= 1,
+        "condition evaluation must run the join pipeline"
+    );
+    assert_eq!(
+        batch, single,
+        "a 20-row transition table must cost the same number of plan \
+         invocations as a 1-row one (one vectorized pass, not per-row)"
+    );
+    assert!(db.take_errors().is_empty());
+    assert_eq!(rows_seen.load(Ordering::SeqCst), 21, "all rows bound");
+}

@@ -24,6 +24,19 @@ fn probe_db() -> (Strip, Captured) {
          create table narrow (x int, f float);",
     )
     .unwrap();
+    // Pre-warm `narrow` to 4 rows (before any rules exist, so nothing
+    // fires). The plan epoch folds in the statistics epoch, which bumps
+    // when a table's row count crosses a power-of-two size class — at 4
+    // rows the single-row inserts below (4→5, 5→6) stay inside one class,
+    // so the cached condition plan is *served* and must fail Stale, which
+    // is the path this test exists to cover.
+    for i in 0..4 {
+        db.execute_with(
+            "insert into narrow values (?, ?)",
+            &[Value::Int(i), Value::Float(0.0)],
+        )
+        .unwrap();
+    }
     let captured: Captured = Arc::new(Mutex::new(Vec::new()));
     let sink = captured.clone();
     db.register_function("probe", move |txn| {

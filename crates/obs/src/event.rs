@@ -47,6 +47,11 @@ pub enum EventKind {
     Staleness = 14,
     /// A task started at or past its deadline; `dur_us` is the tardiness.
     DeadlineMiss = 15,
+    /// The cost-based planner's chosen operator pipeline was executed;
+    /// `detail` is the bounded plan-shape label (e.g.
+    /// `probe(stocks)>hash(feed)` — never per-execution-varying text),
+    /// `dur_us` carries the *actual* joined cardinality.
+    PlanChoice = 16,
 }
 
 impl EventKind {
@@ -69,6 +74,7 @@ impl EventKind {
             EventKind::PlanExecute => "plan.execute",
             EventKind::Staleness => "staleness",
             EventKind::DeadlineMiss => "deadline.miss",
+            EventKind::PlanChoice => "plan.choice",
         }
     }
 }

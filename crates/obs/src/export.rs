@@ -120,14 +120,31 @@ impl ObsSnapshot {
             .iter()
             .map(|(k, h)| format!("\"{k}\":{}", hist_json(h)))
             .collect();
+        let misses: Vec<String> = self
+            .plan_misestimates
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"choice\":\"{}\",\"est_rows\":{},\"actual_rows\":{},\"factor\":{}}}",
+                    json_escape(&m.choice),
+                    m.est_rows,
+                    m.actual_rows,
+                    m.factor()
+                )
+            })
+            .collect();
         format!(
-            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{}}}",
+            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{},\"plan_choices\":{},\"card_est_sum\":{},\"card_actual_sum\":{},\"plan_misestimates\":[{}]}}",
             self.enabled,
             self.events_traced,
             self.ring_capacity,
             hists.join(","),
             named_hists_json(&self.exec_us),
             named_hists_json(&self.staleness),
+            self.plan_choices,
+            self.card_est_sum,
+            self.card_actual_sum,
+            misses.join(","),
         )
     }
 
@@ -192,6 +209,29 @@ impl ObsSnapshot {
                 "strip_staleness_us",
                 &format!("table=\"{}\"", prom_escape(table)),
                 h,
+            );
+        }
+        let _ = writeln!(out, "# TYPE strip_plan_choices_total counter");
+        let _ = writeln!(out, "strip_plan_choices_total {}", self.plan_choices);
+        let _ = writeln!(out, "# TYPE strip_plan_card_est_rows_total counter");
+        let _ = writeln!(out, "strip_plan_card_est_rows_total {}", self.card_est_sum);
+        let _ = writeln!(out, "# TYPE strip_plan_card_actual_rows_total counter");
+        let _ = writeln!(
+            out,
+            "strip_plan_card_actual_rows_total {}",
+            self.card_actual_sum
+        );
+        let _ = writeln!(out, "# TYPE strip_plan_misestimate_factor gauge");
+        for m in &self.plan_misestimates {
+            if !prom_label_valid(&m.choice) {
+                skipped.push(m.choice.clone());
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "strip_plan_misestimate_factor{{choice=\"{}\"}} {}",
+                prom_escape(&m.choice),
+                m.factor()
             );
         }
         if !skipped.is_empty() {
@@ -271,6 +311,32 @@ impl ObsSnapshot {
                 fmt_us(h.p99),
                 fmt_us(h.max)
             );
+        }
+
+        if self.plan_choices > 0 {
+            let _ = writeln!(
+                out,
+                "\nplanner: {} plan executions, est rows {} vs actual {}",
+                self.plan_choices, self.card_est_sum, self.card_actual_sum
+            );
+            if !self.plan_misestimates.is_empty() {
+                let _ = writeln!(out, "worst cardinality misestimates (per plan shape):");
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>10} {:>10} {:>8}",
+                    "plan", "est", "actual", "factor"
+                );
+                for m in self.plan_misestimates.iter().take(8) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<40} {:>10} {:>10} {:>7}x",
+                        m.choice,
+                        m.est_rows,
+                        m.actual_rows,
+                        m.factor()
+                    );
+                }
+            }
         }
         out
     }

@@ -39,6 +39,6 @@ pub use event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 pub use hist::{HistSummary, Histogram};
 pub use lineage::{render_attribution, AttributionSummary, Lineage, PhaseBreakdown, TraceDag};
 pub use ring::TraceRing;
-pub use sink::{ObsSink, ObsSnapshot};
+pub use sink::{ObsSink, ObsSnapshot, PlanMisestimate};
 pub use stale::StalenessTracker;
 pub use trace::TraceCtx;

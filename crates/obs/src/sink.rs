@@ -13,7 +13,7 @@ use crate::stale::StalenessTracker;
 use crate::trace::TraceCtx;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub struct ObsSink {
@@ -35,6 +35,16 @@ pub struct ObsSink {
     /// Per-task-kind charged execution time (virtual µs).
     exec_us: RwLock<HashMap<String, Arc<Histogram>>>,
     staleness: StalenessTracker,
+    /// Cost-based plan executions observed (one per join-pipeline run).
+    plan_choices: AtomicU64,
+    /// Sum of planner-estimated joined cardinalities.
+    card_est: AtomicU64,
+    /// Sum of actual joined cardinalities.
+    card_actual: AtomicU64,
+    /// Worst estimated-vs-actual discrepancy seen per plan-shape label.
+    /// Labels are bounded (one per distinct physical plan shape), so this
+    /// map cannot grow per-execution.
+    misestimates: RwLock<HashMap<String, (u64, u64)>>,
 }
 
 impl ObsSink {
@@ -53,6 +63,10 @@ impl ObsSink {
             plan_compile_us: Histogram::new(),
             exec_us: RwLock::new(HashMap::new()),
             staleness: StalenessTracker::new(),
+            plan_choices: AtomicU64::new(0),
+            card_est: AtomicU64::new(0),
+            card_actual: AtomicU64::new(0),
+            misestimates: RwLock::new(HashMap::new()),
         })
     }
 
@@ -194,6 +208,48 @@ impl ObsSink {
         }
     }
 
+    /// Record one executed plan choice: bump the cardinality-feedback
+    /// counters, remember the worst estimated-vs-actual discrepancy per
+    /// plan shape, and trace a [`EventKind::PlanChoice`] event (`detail` =
+    /// the bounded plan-shape label, `dur_us` = the actual cardinality, so
+    /// lineage phase sums stay exact — `PlanChoice` is never carved out of
+    /// a span's charged time).
+    pub fn record_plan_choice(
+        &self,
+        at_us: u64,
+        txn: u64,
+        choice: &str,
+        est_rows: u64,
+        actual_rows: u64,
+        ctx: TraceCtx,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.plan_choices.fetch_add(1, Ordering::Relaxed);
+        self.card_est.fetch_add(est_rows, Ordering::Relaxed);
+        self.card_actual.fetch_add(actual_rows, Ordering::Relaxed);
+        let factor = misestimate_factor(est_rows, actual_rows);
+        {
+            let mut w = self.misestimates.write();
+            let slot = w
+                .entry(choice.to_string())
+                .or_insert((est_rows, actual_rows));
+            if factor > misestimate_factor(slot.0, slot.1) {
+                *slot = (est_rows, actual_rows);
+            }
+        }
+        self.event_ctx(
+            at_us,
+            txn,
+            EventKind::PlanChoice,
+            choice,
+            actual_rows,
+            ctx,
+            0,
+        );
+    }
+
     // ---- reading --------------------------------------------------------
 
     fn resolve(&self, e: TraceEvent) -> ResolvedEvent {
@@ -266,7 +322,59 @@ impl ObsSink {
             plan_compile_us: self.plan_compile_us.summary(),
             exec_us: exec,
             staleness: self.staleness.summaries(),
+            plan_choices: self.plan_choices.load(Ordering::Relaxed),
+            card_est_sum: self.card_est.load(Ordering::Relaxed),
+            card_actual_sum: self.card_actual.load(Ordering::Relaxed),
+            plan_misestimates: {
+                let mut v: Vec<PlanMisestimate> = self
+                    .misestimates
+                    .read()
+                    .iter()
+                    .map(|(choice, &(est, actual))| PlanMisestimate {
+                        choice: choice.clone(),
+                        est_rows: est,
+                        actual_rows: actual,
+                    })
+                    .collect();
+                v.sort_by(|a, b| {
+                    misestimate_factor(b.est_rows, b.actual_rows)
+                        .cmp(&misestimate_factor(a.est_rows, a.actual_rows))
+                        .then_with(|| a.choice.cmp(&b.choice))
+                });
+                v
+            },
         }
+    }
+}
+
+/// How far off an estimate was, as an integer over/under-shoot factor
+/// (`max / min`, inputs clamped to ≥ 1 so exact zero-row plans rank as
+/// perfect rather than dividing by zero). Symmetric: 10× over and 10×
+/// under rank equally badly.
+fn misestimate_factor(est: u64, actual: u64) -> u64 {
+    let (hi, lo) = if est >= actual {
+        (est, actual)
+    } else {
+        (actual, est)
+    };
+    hi.max(1) / lo.max(1)
+}
+
+/// One worst-case planner misestimate for a plan shape.
+#[derive(Debug, Clone)]
+pub struct PlanMisestimate {
+    /// Bounded plan-shape label (e.g. `probe(stocks)>hash(feed)`).
+    pub choice: String,
+    /// Planner's estimated joined cardinality at that execution.
+    pub est_rows: u64,
+    /// Observed joined cardinality at that execution.
+    pub actual_rows: u64,
+}
+
+impl PlanMisestimate {
+    /// The over/under-shoot factor used to rank misestimates.
+    pub fn factor(&self) -> u64 {
+        misestimate_factor(self.est_rows, self.actual_rows)
     }
 }
 
@@ -286,6 +394,14 @@ pub struct ObsSnapshot {
     pub exec_us: Vec<(String, HistSummary)>,
     /// Per derived table, sorted by table.
     pub staleness: Vec<(String, HistSummary)>,
+    /// Join-pipeline executions with cardinality feedback.
+    pub plan_choices: u64,
+    /// Sum of planner-estimated joined cardinalities.
+    pub card_est_sum: u64,
+    /// Sum of observed joined cardinalities.
+    pub card_actual_sum: u64,
+    /// Worst estimated-vs-actual discrepancy per plan shape, worst first.
+    pub plan_misestimates: Vec<PlanMisestimate>,
 }
 
 #[cfg(test)]

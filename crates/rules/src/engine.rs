@@ -83,6 +83,18 @@ impl Env for OverlayEnv<'_> {
         self.base.schema_epoch()
     }
 
+    fn plan_epoch(&self) -> u64 {
+        self.base.plan_epoch()
+    }
+
+    fn planner_mode(&self) -> strip_sql::PlannerMode {
+        self.base.planner_mode()
+    }
+
+    fn plan_feedback(&self, choice: &str, est_rows: u64, actual_rows: u64) {
+        self.base.plan_feedback(choice, est_rows, actual_rows)
+    }
+
     fn scalar_fn(&self, name: &str) -> Option<ScalarFn> {
         self.base.scalar_fn(name)
     }
@@ -459,7 +471,7 @@ fn run_bindable(
 
     let plan_for = |env: &dyn Env| -> strip_sql::Result<Arc<PhysicalPlan>> {
         match cache {
-            Some((c, key)) => c.get_or_plan_ctx(key, env.schema_epoch(), commit_us, ctx, || {
+            Some((c, key)) => c.get_or_plan_ctx(key, env.plan_epoch(), commit_us, ctx, || {
                 plan_query(env, &query).map(PhysicalPlan::Select)
             }),
             None => Ok(Arc::new(PhysicalPlan::Select(plan_query(env, &query)?))),

@@ -32,6 +32,7 @@
 //! through transaction bookkeeping.
 
 use crate::ast::*;
+use crate::cost::PlannerMode;
 use crate::error::{Result, SqlError};
 use crate::expr::ScalarFn;
 use crate::plan::{
@@ -47,7 +48,7 @@ use strip_storage::{
 
 /// Rows produced by an index probe or range scan: the materialized values
 /// plus, for standard tables, the live record handle for in-place updates.
-type IndexedRows = Vec<(Vec<Value>, Option<RecordRef>)>;
+pub(crate) type IndexedRows = Vec<(Vec<Value>, Option<RecordRef>)>;
 
 /// A readable relation.
 #[derive(Clone)]
@@ -102,6 +103,23 @@ pub trait Env {
     fn schema_epoch(&self) -> u64 {
         0
     }
+    /// The epoch prepared plans are cached under. Defaults to the schema
+    /// epoch; transaction environments additionally fold in the catalog's
+    /// statistics epoch so a stats-driven plan flip (a table crossing a
+    /// cardinality size class) invalidates cached physical plans rather
+    /// than serving a stale operator choice.
+    fn plan_epoch(&self) -> u64 {
+        self.schema_epoch()
+    }
+    /// Which physical-plan chooser [`crate::plan::plan_query`] runs.
+    fn planner_mode(&self) -> PlannerMode {
+        PlannerMode::CostBased
+    }
+    /// Plan-quality feedback, invoked once per join-pipeline invocation
+    /// with the plan's bounded shape label and its estimated vs actual
+    /// joined-row cardinality. Transaction environments forward this to the
+    /// observability sink; the default discards it.
+    fn plan_feedback(&self, _choice: &str, _est_rows: u64, _actual_rows: u64) {}
     /// Called once before reading a standard table (S-lock acquisition).
     fn before_read(&self, _table: &str) -> Result<()> {
         Ok(())
@@ -178,13 +196,13 @@ impl ResultSet {
 // ---------------------------------------------------------------------------
 
 /// A FROM item resolved against the live environment for one execution.
-struct ResolvedItem {
-    rel: Rel,
+pub(crate) struct ResolvedItem {
+    pub(crate) rel: Rel,
     /// For each visible column: offset within the item's single backing
     /// record, when the column can be served by a record pointer.
-    prov_offsets: Vec<Option<usize>>,
+    pub(crate) prov_offsets: Vec<Option<usize>>,
     /// Whether the item can yield a `RecordRef` per row at all.
-    has_prov: bool,
+    pub(crate) has_prov: bool,
 }
 
 /// `keyed` marks an item the plan reads only through equality index probes
@@ -238,7 +256,7 @@ fn resolve_item(env: &dyn Env, item: &PlannedItem, keyed: bool) -> Result<Resolv
 
 /// Resolve all FROM items in declaration order (that is the lock-acquisition
 /// order), then permute into join order.
-fn resolve_items(env: &dyn Env, plan: &SelectPlan) -> Result<Vec<ResolvedItem>> {
+pub(crate) fn resolve_items(env: &dyn Env, plan: &SelectPlan) -> Result<Vec<ResolvedItem>> {
     // Items the plan reads only through equality probes (seed `IndexEq`,
     // join `IndexProbe`) lock key-granularly at the probe sites instead of
     // taking a table S lock up front.
@@ -274,7 +292,10 @@ struct JRow {
     provs: Vec<Option<RecordRef>>,
 }
 
-fn scan_item(env: &dyn Env, item: &ResolvedItem) -> Vec<(Vec<Value>, Option<RecordRef>)> {
+pub(crate) fn scan_item(
+    env: &dyn Env,
+    item: &ResolvedItem,
+) -> Vec<(Vec<Value>, Option<RecordRef>)> {
     let m = env.meter();
     m.charge(Op::OpenCursor, 1);
     let out = match &item.rel {
@@ -304,7 +325,7 @@ fn scan_item(env: &dyn Env, item: &ResolvedItem) -> Vec<(Vec<Value>, Option<Reco
     out
 }
 
-fn probe_item(
+pub(crate) fn probe_item(
     env: &dyn Env,
     item: &ResolvedItem,
     column: usize,
@@ -334,7 +355,7 @@ fn probe_item(
 }
 
 /// Inclusive ordered-index range scan on the seed item.
-fn range_item(
+pub(crate) fn range_item(
     env: &dyn Env,
     item: &ResolvedItem,
     column: usize,
@@ -432,6 +453,32 @@ fn run_join(
                     }
                 }
             }
+            JoinStep::HashJoin { column, key } => {
+                // Hash join: materialize and hash the inner once, then one
+                // key evaluation and one hash probe per prefix row; every
+                // emitted match reads one built tuple.
+                let inner = scan_item(env, item);
+                m.charge(Op::UniqueHashOp, inner.len() as u64);
+                let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (i, (vals, _)) in inner.iter().enumerate() {
+                    table.entry(vals[*column].clone()).or_default().push(i);
+                }
+                for r in &rows {
+                    m.charge(Op::EvalExpr, 1);
+                    let key = key.eval(&r.vals, params)?;
+                    m.charge(Op::UniqueHashOp, 1);
+                    if let Some(idxs) = table.get(&key) {
+                        m.charge(Op::TempTupleRead, idxs.len() as u64);
+                        for &i in idxs {
+                            let (vals, prov) = &inner[i];
+                            let mut nr = r.clone();
+                            nr.vals.extend(vals.iter().cloned());
+                            nr.provs[k] = prov.clone();
+                            next_rows.push(nr);
+                        }
+                    }
+                }
+            }
             JoinStep::NestedLoop => {
                 // Nested-loop join: materialize the inner once.
                 let inner = scan_item(env, item);
@@ -456,7 +503,7 @@ fn run_join(
 // ---------------------------------------------------------------------------
 
 /// Aggregate accumulator.
-enum AggState {
+pub(crate) enum AggState {
     Sum {
         acc: f64,
         any: bool,
@@ -480,7 +527,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc, int_input: bool) -> AggState {
+    pub(crate) fn new(func: AggFunc, int_input: bool) -> AggState {
         match func {
             AggFunc::Sum => AggState::Sum {
                 acc: 0.0,
@@ -507,7 +554,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, v: Option<&Value>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 // count(*) gets None and counts every row; count(expr)
@@ -593,7 +640,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Sum {
                 acc,
@@ -706,7 +753,7 @@ fn run_aggregate(
 // ---------------------------------------------------------------------------
 
 /// `SELECT DISTINCT`: deduplicate rows preserving first-occurrence order.
-fn dedup_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+pub(crate) fn dedup_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
     let mut seen = std::collections::HashSet::with_capacity(rows.len());
     let mut out = Vec::with_capacity(rows.len());
     for r in rows {
@@ -718,7 +765,7 @@ fn dedup_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 }
 
 /// Sort materialized rows by compiled key programs.
-fn sort_rows(
+pub(crate) fn sort_rows(
     keys: &[(crate::expr::Program, bool)],
     rows: &mut [Vec<Value>],
     params: &[Value],
@@ -804,7 +851,82 @@ fn project_rows(
 // ---------------------------------------------------------------------------
 
 /// Execute a compiled `SELECT`, returning a materialized result set.
+///
+/// This is the vectorized path: the join pipeline and the
+/// filter/project/aggregate operators run batch-at-a-time over a columnar
+/// [`crate::batch::RowBatch`] — one operator invocation per plan execution,
+/// not per row. The row-at-a-time interpreter survives as
+/// [`execute_select_rowwise`], the parity oracle every physical plan is
+/// equivalence-checked against.
 pub fn execute_select(env: &dyn Env, plan: &SelectPlan, params: &[Value]) -> Result<ResultSet> {
+    let items = resolve_items(env, plan)?;
+    let mut batch = crate::batch::run_join_batch(env, plan, &items, params)?;
+
+    match &plan.output {
+        OutputPlan::Aggregate(agg) => {
+            let rows = crate::batch::aggregate_batch(env, agg, &batch, params)?;
+            let rows = if plan.distinct {
+                dedup_rows(rows)
+            } else {
+                rows
+            };
+            let mut rows = match &plan.sort {
+                SortPlan::Post(keys) => {
+                    let mut rows = rows;
+                    sort_rows(keys, &mut rows, params)?;
+                    rows
+                }
+                _ => rows,
+            };
+            if let Some(l) = plan.limit {
+                rows.truncate(l as usize);
+            }
+            Ok(ResultSet {
+                schema: plan.schema.clone(),
+                rows,
+            })
+        }
+        OutputPlan::Project(outs) => {
+            let pre_sorted = if let SortPlan::Pre(keys) = &plan.sort {
+                crate::batch::sort_batch(keys, &mut batch, params)?;
+                true
+            } else {
+                false
+            };
+            let rows = crate::batch::project_batch(env, outs, &batch, params)?;
+            let rows = if plan.distinct {
+                dedup_rows(rows)
+            } else {
+                rows
+            };
+            let mut rows = match (&plan.sort, pre_sorted) {
+                (SortPlan::Post(keys), false) => {
+                    let mut rows = rows;
+                    sort_rows(keys, &mut rows, params)?;
+                    rows
+                }
+                _ => rows,
+            };
+            if let Some(l) = plan.limit {
+                rows.truncate(l as usize);
+            }
+            Ok(ResultSet {
+                schema: plan.schema.clone(),
+                rows,
+            })
+        }
+    }
+}
+
+/// The row-at-a-time reference interpreter: identical semantics and meter
+/// charges to [`execute_select`], one row flowing through the operators at
+/// a time. Kept as the parity oracle for the batch executor (the
+/// cached-vs-fresh proptests run every plan through both).
+pub fn execute_select_rowwise(
+    env: &dyn Env,
+    plan: &SelectPlan,
+    params: &[Value],
+) -> Result<ResultSet> {
     let items = resolve_items(env, plan)?;
     let mut joined = run_join(env, plan, &items, params)?;
 
@@ -891,7 +1013,7 @@ pub fn execute_select_bound(
     }
 
     let items = resolve_items(env, plan)?;
-    let rows = run_join(env, plan, &items, params)?;
+    let batch = crate::batch::run_join_batch(env, plan, &items, params)?;
     let OutputPlan::Project(outs) = &plan.output else {
         unreachable!("pointer bind mode implies projection output");
     };
@@ -937,12 +1059,12 @@ pub fn execute_select_bound(
     }
 
     let meter = env.meter();
-    for r in &rows {
+    for r in 0..batch.len() {
         meter.charge(Op::TempTupleBuild, 1);
         let mut ptrs = Vec::with_capacity(ptr_items.len());
         for &item in &ptr_items {
             ptrs.push(
-                r.provs[item]
+                batch.provs[item][r]
                     .clone()
                     .ok_or_else(|| SqlError::exec("missing provenance record"))?,
             );
@@ -951,8 +1073,10 @@ pub fn execute_select_bound(
         for (o, src) in outs.iter().zip(&sources) {
             if let ColumnSource::Slot(_) = src {
                 match o {
-                    OutCol::Passthrough { idx } => slots.push(r.vals[*idx].clone()),
-                    OutCol::Computed(p) => slots.push(p.eval(&r.vals, params)?),
+                    OutCol::Passthrough { idx } => slots.push(batch.cols[*idx][r].clone()),
+                    OutCol::Computed(p) => {
+                        slots.push(p.eval_with(&|i| batch.cols[i][r].clone(), params)?)
+                    }
                 }
             }
         }

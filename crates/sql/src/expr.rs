@@ -412,12 +412,20 @@ impl Program {
 
     /// Evaluate against a flat row. `params` supplies `?` values.
     pub fn eval(&self, row: &[Value], params: &[Value]) -> Result<Value> {
+        self.eval_with(&|i| row[i].clone(), params)
+    }
+
+    /// Evaluate with a column accessor instead of a materialized row. The
+    /// batch executor stores data column-major; `col(i)` fetches the value
+    /// at flat offset `i` for the row under evaluation, so no per-row
+    /// gather into a contiguous slice is needed.
+    pub fn eval_with(&self, col: &dyn Fn(usize) -> Value, params: &[Value]) -> Result<Value> {
         let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
         let mut pc = 0usize;
         while pc < self.code.len() {
             match &self.code[pc] {
                 Instr::Lit(v) => stack.push(v.clone()),
-                Instr::Col(i) => stack.push(row[*i].clone()),
+                Instr::Col(i) => stack.push(col(*i)),
                 Instr::Param(i) => stack.push(
                     params
                         .get(*i)
@@ -513,7 +521,13 @@ impl Program {
 
     /// Evaluate and require a boolean (for predicates). `NULL` is false.
     pub fn eval_bool(&self, row: &[Value], params: &[Value]) -> Result<bool> {
-        match self.eval(row, params)? {
+        self.eval_bool_with(&|i| row[i].clone(), params)
+    }
+
+    /// [`Program::eval_bool`] with a column accessor (see
+    /// [`Program::eval_with`]).
+    pub fn eval_bool_with(&self, col: &dyn Fn(usize) -> Value, params: &[Value]) -> Result<bool> {
+        match self.eval_with(col, params)? {
             Value::Bool(b) => Ok(b),
             Value::Null => Ok(false),
             other => Err(SqlError::exec(format!(

@@ -1,0 +1,209 @@
+//! The logical planner: FROM-item resolution, predicate analysis, and
+//! greedy join ordering.
+//!
+//! This is the half of planning that is independent of physical operator
+//! choice. [`analyze`] resolves every FROM item to its [`RelMeta`]
+//! (schema, cardinality estimate, index metadata), rejects duplicate
+//! aliases, and classifies WHERE conjuncts by the set of items they touch.
+//! [`choose_join_order`] then fixes the join order greedily: seed with the
+//! smallest estimated input and repeatedly attach a table reachable through
+//! a two-item equi-join conjunct, preferring indexed targets and larger
+//! row counts (which shrink fastest under an equi-join), falling back to a
+//! cartesian step with the smallest remaining input.
+//!
+//! The join *order* is decided here, identically for both planner modes —
+//! only access-path and join-operator selection is cost-based (see
+//! [`crate::cost`]). Keeping the order mode-independent keeps FROM-item
+//! lock-acquisition behavior and result digests directly comparable across
+//! modes.
+
+use crate::ast::{BinOp, Expr, Query};
+use crate::error::{Result, SqlError};
+use crate::exec::Env;
+use crate::expr::{Layout, LayoutCol};
+use crate::plan::{rel_meta, PlannedItem, RelMeta};
+
+/// A `SELECT` after logical analysis, before physical operator choice.
+pub(crate) struct LogicalQuery {
+    /// FROM items in declaration order.
+    pub items: Vec<PlannedItem>,
+    /// Relation metadata, parallel to `items`.
+    pub metas: Vec<RelMeta>,
+    /// Layout over declaration order (conjunct classification only; the
+    /// physical plan re-derives a join-order layout).
+    pub decl_layout: Layout,
+    /// WHERE split into conjuncts, original order.
+    pub conjuncts: Vec<Expr>,
+    /// For each conjunct, the declared items it references.
+    pub conj_items: Vec<Vec<usize>>,
+}
+
+/// Resolve and analyze a query into its logical form.
+pub(crate) fn analyze(env: &dyn Env, q: &Query) -> Result<LogicalQuery> {
+    let mut metas = Vec::with_capacity(q.from.len());
+    let mut items = Vec::with_capacity(q.from.len());
+    for tref in &q.from {
+        let meta = rel_meta(env, &tref.table)?;
+        items.push(PlannedItem {
+            alias: tref.alias.to_ascii_lowercase(),
+            table: tref.table.clone(),
+            arity: meta.schema.arity(),
+        });
+        metas.push(meta);
+    }
+    if items.is_empty() {
+        return Err(SqlError::analyze("query has no FROM items"));
+    }
+    for (i, a) in items.iter().enumerate() {
+        if items[..i].iter().any(|b| b.alias == a.alias) {
+            return Err(SqlError::analyze(format!(
+                "duplicate table alias `{}`",
+                a.alias
+            )));
+        }
+    }
+
+    // Classify conjuncts over the declaration-order layout (names only).
+    let decl_layout = layout_of(&items, &metas, |i| i);
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &q.where_clause {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    let mut conj_items: Vec<Vec<usize>> = Vec::with_capacity(conjuncts.len());
+    for c in &conjuncts {
+        let mut touched = Vec::new();
+        let mut err = None;
+        c.visit_columns(&mut |qual, n| {
+            match decl_layout.resolve(qual, n) {
+                Ok(i) => {
+                    let it = decl_layout.cols[i].item;
+                    if !touched.contains(&it) {
+                        touched.push(it);
+                    }
+                }
+                Err(e) => err = Some(e),
+            };
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        conj_items.push(touched);
+    }
+
+    Ok(LogicalQuery {
+        items,
+        metas,
+        decl_layout,
+        conjuncts,
+        conj_items,
+    })
+}
+
+/// Greedy join-order selection over declared item indices.
+pub(crate) fn choose_join_order(lq: &LogicalQuery) -> Vec<usize> {
+    let n = lq.items.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bound = vec![false; n];
+    let seed = (0..n).min_by_key(|&i| lq.metas[i].est_rows).unwrap();
+    order.push(seed);
+    bound[seed] = true;
+    while order.len() < n {
+        let mut best: Option<(usize, bool, usize)> = None; // (item, has_index, rows)
+        for (ci, c) in lq.conjuncts.iter().enumerate() {
+            let touched = &lq.conj_items[ci];
+            if touched.len() != 2 {
+                continue;
+            }
+            let (a, b) = (touched[0], touched[1]);
+            let target = match (bound[a], bound[b]) {
+                (true, false) => b,
+                (false, true) => a,
+                _ => continue,
+            };
+            let has_index = equi_join_target_col(c, &lq.decl_layout, target)
+                .map(|col| lq.metas[target].has_index_on(col))
+                .unwrap_or(false);
+            let rows = lq.metas[target].est_rows;
+            let better = match &best {
+                None => true,
+                Some((_, bi, br)) => {
+                    (has_index, std::cmp::Reverse(rows)) > (*bi, std::cmp::Reverse(*br))
+                }
+            };
+            if better {
+                best = Some((target, has_index, rows));
+            }
+        }
+        let next = match best {
+            Some((t, _, _)) => t,
+            // No join predicate reaches any unbound item: cartesian step
+            // with the smallest remaining input.
+            None => (0..n)
+                .filter(|&i| !bound[i])
+                .min_by_key(|&i| lq.metas[i].est_rows)
+                .unwrap(),
+        };
+        order.push(next);
+        bound[next] = true;
+    }
+    order
+}
+
+/// Build a layout over items, visiting them through `pick` (identity for
+/// declaration order, the join permutation otherwise).
+pub(crate) fn layout_of(
+    items: &[PlannedItem],
+    metas: &[RelMeta],
+    pick: impl Fn(usize) -> usize,
+) -> Layout {
+    let mut cols = Vec::new();
+    for pos in 0..items.len() {
+        let d = pick(pos);
+        for (j, c) in metas[d].schema.columns().iter().enumerate() {
+            cols.push(LayoutCol {
+                qualifier: items[d].alias.clone(),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                item: pos,
+                item_offset: j,
+            });
+        }
+    }
+    Layout { cols }
+}
+
+pub(crate) fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Extract the target-side column offset of an equi-join conjunct, if any.
+pub(crate) fn equi_join_target_col(e: &Expr, layout: &Layout, target: usize) -> Option<usize> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
+    for side in [left, right] {
+        if let Expr::Column { qualifier, name } = side.as_ref() {
+            if let Ok(idx) = layout.resolve(qualifier, name) {
+                if layout.cols[idx].item == target {
+                    return Some(layout.cols[idx].item_offset);
+                }
+            }
+        }
+    }
+    None
+}

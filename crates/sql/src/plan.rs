@@ -29,14 +29,28 @@
 //! no per-row name lookups) at plan time.
 
 use crate::ast::*;
+use crate::cost::{self, PlannerMode};
 use crate::error::{Result, SqlError};
 use crate::exec::{Env, Rel};
 use crate::expr::{bind_expr, BExpr, Layout, LayoutCol, Program, ScalarFn};
+use crate::logical::{self, layout_of, split_conjuncts};
 use strip_storage::{DataType, IndexKind, Schema, SchemaRef};
 
 // ---------------------------------------------------------------------------
 // Catalog metadata used by the planner
 // ---------------------------------------------------------------------------
+
+/// Planner-visible metadata for one secondary index.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexMeta {
+    /// Indexed column offset.
+    pub column: usize,
+    /// Index structure.
+    pub kind: IndexKind,
+    /// Distinct-key estimate at plan time (join selectivity: expected rows
+    /// per probe ≈ `est_rows / distinct_keys`).
+    pub distinct_keys: usize,
+}
 
 /// What the planner needs to know about a relation — schema, size estimate,
 /// and index metadata — without reading data or taking locks.
@@ -44,10 +58,10 @@ use strip_storage::{DataType, IndexKind, Schema, SchemaRef};
 pub struct RelMeta {
     /// The relation's schema.
     pub schema: SchemaRef,
-    /// Estimated row count (drives greedy join ordering).
+    /// Estimated row count (drives greedy join ordering and operator costs).
     pub est_rows: usize,
-    /// `(column offset, index kind)` for each secondary index.
-    pub indexes: Vec<(usize, IndexKind)>,
+    /// Metadata for each secondary index.
+    pub indexes: Vec<IndexMeta>,
     /// True for standard (catalog) tables; temporary/bound tables and views
     /// are not standard and cannot be probed or written.
     pub standard: bool,
@@ -64,7 +78,11 @@ impl RelMeta {
                 indexes: t
                     .indexes()
                     .iter()
-                    .map(|ix| (ix.column(), ix.kind()))
+                    .map(|ix| IndexMeta {
+                        column: ix.column(),
+                        kind: ix.kind(),
+                        distinct_keys: ix.distinct_keys(),
+                    })
                     .collect(),
                 standard: true,
             },
@@ -77,15 +95,23 @@ impl RelMeta {
         }
     }
 
-    fn index_kind_on(&self, column: usize) -> Option<IndexKind> {
+    pub(crate) fn index_kind_on(&self, column: usize) -> Option<IndexKind> {
         self.indexes
             .iter()
-            .find(|(c, _)| *c == column)
-            .map(|(_, k)| *k)
+            .find(|m| m.column == column)
+            .map(|m| m.kind)
     }
 
-    fn has_index_on(&self, column: usize) -> bool {
+    pub(crate) fn has_index_on(&self, column: usize) -> bool {
         self.standard && self.index_kind_on(column).is_some()
+    }
+
+    /// Distinct-key estimate of the index on `column`, if one exists.
+    pub(crate) fn distinct_on(&self, column: usize) -> Option<usize> {
+        self.indexes
+            .iter()
+            .find(|m| m.column == column)
+            .map(|m| m.distinct_keys)
     }
 }
 
@@ -94,6 +120,7 @@ impl RelMeta {
 // ---------------------------------------------------------------------------
 
 /// A compiled statement, ready for (repeated) execution.
+#[allow(clippy::large_enum_variant)] // always behind the plan cache's Arc
 pub enum PhysicalPlan {
     /// `SELECT`.
     Select(SelectPlan),
@@ -148,6 +175,17 @@ pub enum JoinStep {
     /// item's index on `column`.
     IndexProbe {
         /// Column offset within the joined item.
+        column: usize,
+        /// Key over the joined prefix row.
+        key: Program,
+    },
+    /// Hash join: materialize the inner once and hash it on `column`;
+    /// evaluate `key` over the prefix row and probe the hash table. Chosen
+    /// by the cost-based planner when the equi-join column has no usable
+    /// index (or the build amortizes better than repeated probes); never
+    /// chosen syntactically.
+    HashJoin {
+        /// Column offset within the joined item (hash-build key).
         column: usize,
         /// Key over the joined prefix row.
         key: Program,
@@ -258,6 +296,14 @@ pub struct SelectPlan {
     pub limit: Option<u64>,
     /// Bound-result strategy.
     pub bind_mode: BindMode,
+    /// Estimated joined-row cardinality (before the output stage). Compared
+    /// against the actual count at execution time for plan-quality
+    /// telemetry.
+    pub est_rows: u64,
+    /// Bounded plan-shape label, e.g. `probe(stocks)>hash(feed)` — one
+    /// token per join position. Safe to intern: the set of labels is
+    /// bounded by the set of cached plans, not by executions.
+    pub choice: String,
 }
 
 /// A compiled `UPDATE`.
@@ -322,7 +368,7 @@ pub fn plan_statement(env: &dyn Env, stmt: &Statement) -> Result<PhysicalPlan> {
     }
 }
 
-fn rel_meta(env: &dyn Env, table: &str) -> Result<RelMeta> {
+pub(crate) fn rel_meta(env: &dyn Env, table: &str) -> Result<RelMeta> {
     env.plan_relation(table)
         .ok_or_else(|| SqlError::analyze(format!("unknown table `{table}`")))
 }
@@ -343,107 +389,28 @@ struct BoundConj {
     ast: Expr,
 }
 
-/// Plan a `SELECT`.
+/// Plan a `SELECT` with the environment's configured planner mode.
 pub fn plan_query(env: &dyn Env, q: &Query) -> Result<SelectPlan> {
+    plan_query_with(env, q, env.planner_mode())
+}
+
+/// Plan a `SELECT` under an explicit [`PlannerMode`]. Logical analysis and
+/// join ordering are mode-independent ([`crate::logical`]); only
+/// access-path and join-operator selection differ ([`crate::cost`]).
+pub fn plan_query_with(env: &dyn Env, q: &Query, mode: PlannerMode) -> Result<SelectPlan> {
     let fns = |name: &str| env.scalar_fn(name);
 
-    // Resolve FROM-item metadata in declaration order.
-    let mut metas = Vec::with_capacity(q.from.len());
-    let mut items = Vec::with_capacity(q.from.len());
-    for tref in &q.from {
-        let meta = rel_meta(env, &tref.table)?;
-        items.push(PlannedItem {
-            alias: tref.alias.to_ascii_lowercase(),
-            table: tref.table.clone(),
-            arity: meta.schema.arity(),
-        });
-        metas.push(meta);
-    }
-    if items.is_empty() {
-        return Err(SqlError::analyze("query has no FROM items"));
-    }
-    for (i, a) in items.iter().enumerate() {
-        if items[..i].iter().any(|b| b.alias == a.alias) {
-            return Err(SqlError::analyze(format!(
-                "duplicate table alias `{}`",
-                a.alias
-            )));
-        }
-    }
-
-    // Classify conjuncts over the declaration-order layout (names only).
-    let decl_layout = layout_of(&items, &metas, |i| i);
-    let mut conjuncts = Vec::new();
-    if let Some(w) = &q.where_clause {
-        split_conjuncts(w, &mut conjuncts);
-    }
-    let mut conj_items: Vec<Vec<usize>> = Vec::with_capacity(conjuncts.len());
-    for c in &conjuncts {
-        let mut touched = Vec::new();
-        let mut err = None;
-        c.visit_columns(&mut |qual, n| {
-            match decl_layout.resolve(qual, n) {
-                Ok(i) => {
-                    let it = decl_layout.cols[i].item;
-                    if !touched.contains(&it) {
-                        touched.push(it);
-                    }
-                }
-                Err(e) => err = Some(e),
-            };
-        });
-        if let Some(e) = err {
-            return Err(e);
-        }
-        conj_items.push(touched);
-    }
-
-    // Greedy join-order selection over declared item indices.
+    // Logical planning: resolve FROM items, classify conjuncts, and fix
+    // the (mode-independent) greedy join order.
+    let lq = logical::analyze(env, q)?;
+    let order = logical::choose_join_order(&lq);
+    let logical::LogicalQuery {
+        items,
+        metas,
+        conjuncts,
+        ..
+    } = lq;
     let n = items.len();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut bound = vec![false; n];
-    let seed = (0..n).min_by_key(|&i| metas[i].est_rows).unwrap();
-    order.push(seed);
-    bound[seed] = true;
-    while order.len() < n {
-        let mut best: Option<(usize, bool, usize)> = None; // (item, has_index, rows)
-        for (ci, c) in conjuncts.iter().enumerate() {
-            let touched = &conj_items[ci];
-            if touched.len() != 2 {
-                continue;
-            }
-            let (a, b) = (touched[0], touched[1]);
-            let target = match (bound[a], bound[b]) {
-                (true, false) => b,
-                (false, true) => a,
-                _ => continue,
-            };
-            let has_index = equi_join_target_col(c, &decl_layout, target)
-                .map(|col| metas[target].has_index_on(col))
-                .unwrap_or(false);
-            let rows = metas[target].est_rows;
-            let better = match &best {
-                None => true,
-                Some((_, bi, br)) => {
-                    (has_index, std::cmp::Reverse(rows)) > (*bi, std::cmp::Reverse(*br))
-                }
-            };
-            if better {
-                best = Some((target, has_index, rows));
-            }
-        }
-        let next = match best {
-            Some((t, _, _)) => t,
-            // No join predicate reaches any unbound item: cartesian step
-            // with the smallest remaining input.
-            None => (0..n)
-                .filter(|&i| !bound[i])
-                .min_by_key(|&i| metas[i].est_rows)
-                .unwrap(),
-        };
-        order.push(next);
-        bound[next] = true;
-    }
 
     // Join-order layout and prefix arities.
     let layout = layout_of(&items, &metas, |pos| order[pos]);
@@ -473,46 +440,30 @@ pub fn plan_query(env: &dyn Env, q: &Query) -> Result<SelectPlan> {
     // Seed access path. Equality probes are preferred (`where symbol = ?`
     // point lookups must not scan the table); both `col = const` and the
     // commuted `const = col` forms are recognized. Failing that, a pair of
-    // bounds on an rbtree-indexed column becomes a range scan.
+    // bounds on an rbtree-indexed column becomes a range scan. Cost-based
+    // planning additionally requires the probe to beat the scan — with the
+    // calibrated constants it always does (one probe is cheaper than a
+    // cursor open/close), so both modes agree on seeds; the comparison
+    // documents the invariant and guards future recalibration.
     let seed_meta = &metas[order[0]];
+    let seed_rows = seed_meta.est_rows as u64;
+    let mut est: u64 = seed_rows;
     let mut access = Access::Scan;
     for bc in bconj.iter_mut() {
         if let Some((column, key)) = probe_plan_for(&bc.ast, &layout, 0, 0, &fns) {
             if seed_meta.has_index_on(column) {
-                bc.applied = true;
-                access = Access::IndexEq {
-                    column,
-                    key: Program::compile(&key),
+                let distinct = seed_meta.distinct_on(column).unwrap_or(1) as u64;
+                let take = match mode {
+                    PlannerMode::Syntactic => true,
+                    PlannerMode::CostBased => {
+                        cost::seed_probe_cost(seed_rows, distinct)
+                            <= cost::seed_scan_cost(seed_rows, seed_meta.standard)
+                    }
                 };
-                break;
-            }
-        }
-    }
-    if matches!(access, Access::Scan) {
-        if let Some((column, lo, hi)) = range_plan_for(&bconj, &layout, seed_meta, &fns) {
-            access = Access::IndexRange {
-                column,
-                lo: Program::compile(&lo),
-                hi: Program::compile(&hi),
-            };
-        }
-    }
-
-    // Join steps for positions 1..n, consuming probe conjuncts, and filter
-    // placement after each position.
-    let mut steps = Vec::with_capacity(n.saturating_sub(1));
-    let mut filters: Vec<Vec<Program>> = vec![Vec::new(); n];
-    place_filters(&mut bconj, &mut filters[0], prefix_len[1]);
-    for k in 1..n {
-        let mut step = JoinStep::NestedLoop;
-        for bc in bconj.iter_mut() {
-            if bc.applied {
-                continue;
-            }
-            if let Some((column, key)) = probe_plan_for(&bc.ast, &layout, k, prefix_len[k], &fns) {
-                if metas[order[k]].has_index_on(column) {
+                if take {
                     bc.applied = true;
-                    step = JoinStep::IndexProbe {
+                    est = cost::rows_per_key(seed_rows, distinct);
+                    access = Access::IndexEq {
                         column,
                         key: Program::compile(&key),
                     };
@@ -520,6 +471,139 @@ pub fn plan_query(env: &dyn Env, q: &Query) -> Result<SelectPlan> {
                 }
             }
         }
+    }
+    if matches!(access, Access::Scan) {
+        if let Some((column, lo, hi)) = range_plan_for(&bconj, &layout, seed_meta, &fns) {
+            est = (seed_rows / 2).max(1);
+            access = Access::IndexRange {
+                column,
+                lo: Program::compile(&lo),
+                hi: Program::compile(&hi),
+            };
+        }
+    }
+    let mut choice = format!(
+        "{}({})",
+        match &access {
+            Access::Scan => "scan",
+            Access::IndexEq { .. } => "probe",
+            Access::IndexRange { .. } => "range",
+        },
+        items[order[0]].alias
+    );
+
+    // Join steps for positions 1..n, consuming probe/hash conjuncts, and
+    // filter placement after each position.
+    let mut steps = Vec::with_capacity(n.saturating_sub(1));
+    let mut filters: Vec<Vec<Program>> = vec![Vec::new(); n];
+    place_filters(&mut bconj, &mut filters[0], prefix_len[1]);
+    for k in 1..n {
+        let inner = &metas[order[k]];
+        let inner_rows = inner.est_rows as u64;
+
+        // Candidate conjuncts: the first probe-able one with a usable
+        // index (index nested-loop), and the first probe-able one at all
+        // (hash join — the build side needs no index).
+        let mut probe_cand: Option<(usize, usize, BExpr)> = None;
+        let mut equi_cand: Option<(usize, usize, BExpr)> = None;
+        for (ci, bc) in bconj.iter().enumerate() {
+            if bc.applied {
+                continue;
+            }
+            if let Some((column, key)) = probe_plan_for(&bc.ast, &layout, k, prefix_len[k], &fns) {
+                if equi_cand.is_none() {
+                    equi_cand = Some((ci, column, key.clone()));
+                }
+                if inner.has_index_on(column) {
+                    probe_cand = Some((ci, column, key));
+                    break;
+                }
+            }
+        }
+
+        // (step, consumed conjunct, output-cardinality estimate, label)
+        let (step, consumed, next_est, tag) = match mode {
+            PlannerMode::Syntactic => match probe_cand {
+                Some((ci, column, key)) => {
+                    let d = inner.distinct_on(column).unwrap_or(1) as u64;
+                    (
+                        JoinStep::IndexProbe {
+                            column,
+                            key: Program::compile(&key),
+                        },
+                        Some(ci),
+                        est.saturating_mul(cost::rows_per_key(inner_rows, d)),
+                        "ixjoin",
+                    )
+                }
+                None => (
+                    JoinStep::NestedLoop,
+                    None,
+                    est.saturating_mul(inner_rows),
+                    "nl",
+                ),
+            },
+            PlannerMode::CostBased => {
+                let nl_cost = cost::step_nl_cost(est, inner_rows, inner.standard);
+                let probe_c = probe_cand.as_ref().map(|(_, column, _)| {
+                    let d = inner.distinct_on(*column).unwrap_or(1) as u64;
+                    (cost::step_probe_cost(est, inner_rows, d), d)
+                });
+                let hash_c = equi_cand.as_ref().map(|(_, column, _)| {
+                    // Expected matches per probe: exact when an index
+                    // tracks the column's distinct keys, assumed unique
+                    // otherwise.
+                    let per_key = inner
+                        .distinct_on(*column)
+                        .map(|d| cost::rows_per_key(inner_rows, d as u64))
+                        .unwrap_or(1);
+                    (
+                        cost::step_hash_cost(est, inner_rows, inner.standard, per_key),
+                        per_key,
+                    )
+                });
+                // Cheapest wins; ties break probe > hash > nested-loop.
+                let best_probe = probe_c.map(|(c, _)| c).unwrap_or(u64::MAX);
+                let best_hash = hash_c.map(|(c, _)| c).unwrap_or(u64::MAX);
+                if best_probe <= best_hash && best_probe <= nl_cost {
+                    let (ci, column, key) = probe_cand.expect("probe candidate");
+                    let (_, d) = probe_c.expect("probe cost");
+                    (
+                        JoinStep::IndexProbe {
+                            column,
+                            key: Program::compile(&key),
+                        },
+                        Some(ci),
+                        est.saturating_mul(cost::rows_per_key(inner_rows, d)),
+                        "ixjoin",
+                    )
+                } else if best_hash <= nl_cost {
+                    let (ci, column, key) = equi_cand.expect("hash candidate");
+                    let (_, per_key) = hash_c.expect("hash cost");
+                    (
+                        JoinStep::HashJoin {
+                            column,
+                            key: Program::compile(&key),
+                        },
+                        Some(ci),
+                        est.saturating_mul(per_key),
+                        "hash",
+                    )
+                } else {
+                    (
+                        JoinStep::NestedLoop,
+                        None,
+                        est.saturating_mul(inner_rows),
+                        "nl",
+                    )
+                }
+            }
+        };
+        if let Some(ci) = consumed {
+            bconj[ci].applied = true;
+        }
+        est = next_est;
+        choice.push_str(&format!(">{tag}({})", items[order[k]].alias));
         steps.push(step);
         place_filters(&mut bconj, &mut filters[k], prefix_len[k + 1]);
     }
@@ -578,6 +662,8 @@ pub fn plan_query(env: &dyn Env, q: &Query) -> Result<SelectPlan> {
         distinct: q.distinct,
         limit: q.limit,
         bind_mode,
+        est_rows: est,
+        choice,
     })
 }
 
@@ -589,39 +675,6 @@ fn place_filters(bconj: &mut [BoundConj], slot: &mut Vec<Program>, upto: usize) 
             bc.applied = true;
             slot.push(Program::compile(&bc.expr));
         }
-    }
-}
-
-/// Build a layout over items, visiting them through `pick` (identity for
-/// declaration order, the join permutation otherwise).
-fn layout_of(items: &[PlannedItem], metas: &[RelMeta], pick: impl Fn(usize) -> usize) -> Layout {
-    let mut cols = Vec::new();
-    for pos in 0..items.len() {
-        let d = pick(pos);
-        for (j, c) in metas[d].schema.columns().iter().enumerate() {
-            cols.push(LayoutCol {
-                qualifier: items[d].alias.clone(),
-                name: c.name.clone(),
-                dtype: c.dtype,
-                item: pos,
-                item_offset: j,
-            });
-        }
-    }
-    Layout { cols }
-}
-
-pub(crate) fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
-    if let Expr::Binary {
-        op: BinOp::And,
-        left,
-        right,
-    } = e
-    {
-        split_conjuncts(left, out);
-        split_conjuncts(right, out);
-    } else {
-        out.push(e.clone());
     }
 }
 
@@ -748,28 +801,6 @@ fn commute(op: BinOp) -> BinOp {
         BinOp::GtEq => BinOp::LtEq,
         other => other,
     }
-}
-
-/// Extract the target-side column offset of an equi-join conjunct, if any.
-fn equi_join_target_col(e: &Expr, layout: &Layout, target: usize) -> Option<usize> {
-    let Expr::Binary {
-        op: BinOp::Eq,
-        left,
-        right,
-    } = e
-    else {
-        return None;
-    };
-    for side in [left, right] {
-        if let Expr::Column { qualifier, name } = side.as_ref() {
-            if let Ok(idx) = layout.resolve(qualifier, name) {
-                if layout.cols[idx].item == target {
-                    return Some(layout.cols[idx].item_offset);
-                }
-            }
-        }
-    }
-    None
 }
 
 // ---------------------------------------------------------------------------
@@ -1254,6 +1285,9 @@ impl SelectPlan {
             match step {
                 JoinStep::IndexProbe { column, .. } => {
                     s.push_str(&format!("IndexJoin {} col={column}\n", item.alias))
+                }
+                JoinStep::HashJoin { column, .. } => {
+                    s.push_str(&format!("HashJoin {} col={column}\n", item.alias))
                 }
                 JoinStep::NestedLoop => s.push_str(&format!("NestedLoopJoin {}\n", item.alias)),
             }

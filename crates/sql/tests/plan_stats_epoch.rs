@@ -1,0 +1,128 @@
+//! Regression test: the plan cache must not serve a plan whose cost-based
+//! operator choice has been invalidated by table growth.
+//!
+//! The cache compares an epoch tag by equality. Keying on the schema epoch
+//! alone is not enough once operator selection depends on cardinality
+//! statistics: a join planned over two 1-row tables nested-loops, but after
+//! both sides grow the cost model wants a hash join — with no schema change
+//! in between. The environment therefore keys plans on a *plan epoch* that
+//! folds the catalog's statistics epoch (bumped on power-of-two size-class
+//! crossings) into the schema epoch, so a stats change big enough to flip a
+//! plan choice also flips the cache key.
+
+use strip_sql::exec::{Env, Rel};
+use strip_sql::expr::ScalarFn;
+use strip_sql::plan::{plan_query_with, PhysicalPlan};
+use strip_sql::{parse_query, PlanCache, PlannerMode};
+use strip_storage::{Catalog, CountingMeter, DataType, Meter, Schema, Value};
+
+struct StatsEnv {
+    catalog: Catalog,
+    meter: CountingMeter,
+}
+
+impl Env for StatsEnv {
+    fn meter(&self) -> &dyn Meter {
+        &self.meter
+    }
+    fn relation(&self, name: &str) -> Option<Rel> {
+        self.catalog.table(name).ok().map(Rel::Standard)
+    }
+    fn plan_epoch(&self) -> u64 {
+        // Schema epoch folded with the stats epoch, as strip-core does.
+        self.catalog.epoch().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.catalog.stats_epoch()
+    }
+    fn scalar_fn(&self, _name: &str) -> Option<ScalarFn> {
+        None
+    }
+    fn dml_insert(&self, _: &str, _: Vec<Value>) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+    fn dml_update(&self, _: &str, _: strip_storage::RowId, _: Vec<Value>) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+    fn dml_delete(&self, _: &str, _: strip_storage::RowId) -> strip_sql::Result<()> {
+        unreachable!()
+    }
+}
+
+fn setup() -> StatsEnv {
+    let env = StatsEnv {
+        catalog: Catalog::new(),
+        meter: CountingMeter::new(),
+    };
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]).into_ref();
+    let a = env.catalog.create_table("a", schema.clone()).unwrap();
+    let b = env.catalog.create_table("b", schema).unwrap();
+    a.insert(vec![Value::Int(0), Value::Int(0)]).unwrap();
+    b.insert(vec![Value::Int(0), Value::Int(0)]).unwrap();
+    env
+}
+
+fn grow(env: &StatsEnv, rows: i64) {
+    let a = env.catalog.table("a").unwrap();
+    let b = env.catalog.table("b").unwrap();
+    for i in 1..rows {
+        a.insert(vec![Value::Int(i % 6), Value::Int(i)]).unwrap();
+        b.insert(vec![Value::Int(i % 6), Value::Int(-i)]).unwrap();
+    }
+}
+
+const SQL: &str = "select count(*) as n from a, b where a.k = b.k";
+
+fn cached_plan(env: &StatsEnv, cache: &PlanCache, epoch: u64) -> String {
+    let q = parse_query(SQL).unwrap();
+    let plan = cache
+        .get_or_plan(SQL, epoch, || {
+            plan_query_with(env, &q, PlannerMode::CostBased).map(PhysicalPlan::Select)
+        })
+        .unwrap();
+    let PhysicalPlan::Select(sp) = plan.as_ref() else {
+        unreachable!()
+    };
+    sp.explain()
+}
+
+#[test]
+fn stats_epoch_change_invalidates_flipped_plan() {
+    let env = setup();
+    let cache = PlanCache::new();
+
+    // 1-row tables: the cost model nested-loops (a hash build cannot pay
+    // for itself), and the plan is cached under the current plan epoch.
+    let before = cached_plan(&env, &cache, env.plan_epoch());
+    assert!(
+        before.contains("NestedLoop"),
+        "tiny join must nested-loop:\n{before}"
+    );
+    assert_eq!(cache.misses(), 1);
+
+    // Growing both sides to 32 rows crosses size classes, so the plan
+    // epoch moves...
+    let epoch_small = env.plan_epoch();
+    grow(&env, 32);
+    assert_ne!(
+        env.plan_epoch(),
+        epoch_small,
+        "size-class growth must move the plan epoch"
+    );
+
+    // Negative control — the failure mode this test pins down: presenting
+    // the *old* epoch tag (exactly what schema-only keying would do, since
+    // no DDL ran) serves the stale nested-loop plan from the cache.
+    let stale = cached_plan(&env, &cache, epoch_small);
+    assert_eq!(cache.hits(), 1, "old epoch tag must hit the stale entry");
+    assert!(
+        stale.contains("NestedLoop"),
+        "schema-only keying would serve the stale plan:\n{stale}"
+    );
+
+    // With the folded epoch the same cache key replans: the unindexed
+    // equi-join flips to a hash join at this cardinality.
+    let after = cached_plan(&env, &cache, env.plan_epoch());
+    assert!(
+        after.contains("HashJoin"),
+        "grown join must flip to hash:\n{after}"
+    );
+    assert_eq!(cache.misses(), 2, "stats-epoch change must force a replan");
+}

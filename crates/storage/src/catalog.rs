@@ -58,6 +58,19 @@ impl Catalog {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
+    /// Combined statistics epoch: the wrapping sum of every table's
+    /// [`StandardTable::stats_epoch`]. Changes whenever any table's
+    /// cardinality crosses a power-of-two size class, which is the signal
+    /// the plan cache uses (together with the schema epoch) to invalidate
+    /// physical plans whose cost-based choices may have flipped. Only
+    /// equality of epochs is ever compared, so a wrapping sum is safe.
+    pub fn stats_epoch(&self) -> u64 {
+        self.tables
+            .read()
+            .values()
+            .fold(0u64, |acc, t| acc.wrapping_add(t.stats_epoch()))
+    }
+
     /// Create a table. Fails if a table or view of that name exists.
     pub fn create_table(&self, name: &str, schema: SchemaRef) -> Result<TableRef> {
         let key = name.to_ascii_lowercase();
@@ -210,6 +223,19 @@ mod tests {
         assert_eq!(c.epoch(), e3);
         // Manual bump (used for CREATE INDEX, which mutates table metadata).
         assert_eq!(c.bump_epoch(), e3 + 1);
+    }
+
+    #[test]
+    fn catalog_stats_epoch_follows_table_growth() {
+        let c = Catalog::new();
+        let t = c.create_table("t", schema()).unwrap();
+        let u = c.create_table("u", schema()).unwrap();
+        let e0 = c.stats_epoch();
+        t.insert(vec![1i64.into()]).unwrap(); // 0 -> 1 crosses a class
+        let e1 = c.stats_epoch();
+        assert_ne!(e1, e0);
+        u.insert(vec![1i64.into()]).unwrap(); // other table crosses too
+        assert_ne!(c.stats_epoch(), e1);
     }
 
     #[test]

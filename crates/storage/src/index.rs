@@ -101,6 +101,18 @@ impl Index {
             Index::RbTree(m) => m.iter().map(|(_, v)| v.len()).sum(),
         }
     }
+
+    /// Number of distinct keys currently present. Drives the cost-based
+    /// planner's join-selectivity estimates (rows per probe ≈
+    /// `entry_count / distinct_keys`). Keys whose posting lists have been
+    /// emptied by removals still count until compaction, which only makes
+    /// the estimate conservative.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.len(),
+            Index::RbTree(m) => m.iter().count(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -146,7 +146,25 @@ pub struct StandardTable {
     /// Total dead slots awaiting reuse, across all shards.
     free_count: AtomicUsize,
     live: AtomicUsize,
+    /// Statistics epoch: bumped whenever the live-row count crosses a
+    /// power-of-two size class, i.e. whenever the table's cardinality has
+    /// changed by enough to plausibly flip a cost-based plan choice. Cached
+    /// physical plans key on this (combined with the schema epoch) so a
+    /// table growing from 10 to 10 000 rows invalidates plans that chose a
+    /// nested-loop join when it was small. Row-level churn inside one size
+    /// class does not bump it, so steady-state workloads keep their plans.
+    stats_epoch: AtomicU64,
     indexes: RwLock<Vec<Arc<TableIndex>>>,
+}
+
+/// Power-of-two size class of a row count: 0, 1, 2–3, 4–7, 8–15, … each
+/// form one class. Crossing a class boundary signals a cardinality change
+/// worth replanning for.
+fn size_class(n: usize) -> u32 {
+    match n {
+        0 => 0,
+        _ => n.ilog2() + 1,
+    }
 }
 
 /// A secondary index over one column of a standard table, with its own
@@ -190,6 +208,11 @@ impl TableIndex {
     pub fn entry_count(&self) -> usize {
         self.index.read().entry_count()
     }
+
+    /// Number of distinct keys, for planner selectivity estimates.
+    pub fn distinct_keys(&self) -> usize {
+        self.index.read().distinct_keys()
+    }
 }
 
 impl StandardTable {
@@ -204,6 +227,7 @@ impl StandardTable {
             next_shard: AtomicUsize::new(0),
             free_count: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
+            stats_epoch: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
         }
     }
@@ -226,6 +250,19 @@ impl StandardTable {
     /// True if no live rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current statistics epoch (see the field docs: bumped when the live
+    /// row count crosses a power-of-two size class).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the stats epoch iff the live count moved between size classes.
+    fn note_cardinality_change(&self, before: usize, after: usize) {
+        if size_class(before) != size_class(after) {
+            self.stats_epoch.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Insert a row. Returns its `RowId`. Dead slots are reused before new
@@ -256,7 +293,8 @@ impl StandardTable {
             });
             RowId::pack(shard, local, 0)
         };
-        self.live.fetch_add(1, Ordering::AcqRel);
+        let before = self.live.fetch_add(1, Ordering::AcqRel);
+        self.note_cardinality_change(before, before + 1);
         for ix in self.indexes() {
             ix.index.write().insert(rec.get(ix.column).clone(), id);
         }
@@ -327,7 +365,8 @@ impl StandardTable {
             old
         };
         self.free_count.fetch_add(1, Ordering::AcqRel);
-        self.live.fetch_sub(1, Ordering::AcqRel);
+        let before = self.live.fetch_sub(1, Ordering::AcqRel);
+        self.note_cardinality_change(before, before - 1);
         for ix in self.indexes() {
             ix.index.write().remove(old.get(ix.column), id);
         }
@@ -571,6 +610,42 @@ mod tests {
             .map(|(_, r)| r.get(0).as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["B"]);
+    }
+
+    #[test]
+    fn stats_epoch_bumps_on_size_class_crossings_only() {
+        let t = stocks();
+        assert_eq!(t.stats_epoch(), 0);
+        // 0 -> 1 crosses a class boundary.
+        let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        let e1 = t.stats_epoch();
+        assert!(e1 > 0);
+        // 1 -> 2 crosses; 2 -> 3 stays inside the 2–3 class.
+        let (b, _) = t.insert(vec!["B".into(), 1.0.into()]).unwrap();
+        let e2 = t.stats_epoch();
+        assert!(e2 > e1);
+        t.insert(vec!["C".into(), 1.0.into()]).unwrap();
+        assert_eq!(t.stats_epoch(), e2);
+        // Updates never change cardinality, so never bump.
+        t.update(a, vec!["A".into(), 9.0.into()]).unwrap();
+        assert_eq!(t.stats_epoch(), e2);
+        // 3 -> 2 stays in class; 2 -> 1 crosses.
+        t.delete(b).unwrap();
+        assert_eq!(t.stats_epoch(), e2);
+        t.delete(a).unwrap();
+        assert!(t.stats_epoch() > e2);
+    }
+
+    #[test]
+    fn index_distinct_keys_tracks_live_keys() {
+        let t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        t.insert(vec!["A".into(), 2.0.into()]).unwrap();
+        t.insert(vec!["B".into(), 3.0.into()]).unwrap();
+        let ix = t.index_on(0).unwrap();
+        assert_eq!(ix.entry_count(), 3);
+        assert_eq!(ix.distinct_keys(), 2);
     }
 
     #[test]

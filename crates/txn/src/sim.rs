@@ -68,6 +68,14 @@ pub struct SimStats {
     /// Tasks that started at or after their deadline (the scheduler still
     /// runs them; real-time experiments count the misses).
     pub deadline_misses: u64,
+    /// Join-pipeline plan executions with cardinality feedback. Like the
+    /// plan-cache counters these live in the observability sink; the
+    /// database facade fills them in and the raw simulator leaves zeroes.
+    pub plan_choices: u64,
+    /// Sum of planner-estimated joined cardinalities over those executions.
+    pub card_est_sum: u64,
+    /// Sum of observed joined cardinalities over those executions.
+    pub card_actual_sum: u64,
 }
 
 impl SimStats {
