@@ -1,0 +1,254 @@
+//! `exp_delta`: delta maintenance vs full recompute on the Figure-4 feed
+//! workload. Writes `BENCH_delta.json`.
+//!
+//! One rule (`compute_comps_full`, coarse `unique` coalescing) maintains
+//! `comp_prices`; only the database's maintenance mode varies. Under
+//! `MaintenanceMode::Recompute` every firing re-aggregates each affected
+//! composite over its full membership (the "recompute completely"
+//! alternative of §1, O(members) per composite); under
+//! `MaintenanceMode::Delta` the same firings apply `Δ = Σ w·(new − old)` in
+//! place (O(changed) per composite) with periodic rebase checkpoints
+//! bounding float drift.
+//!
+//! Both runs drive the identical seeded quote trace in virtual time, so the
+//! comparison is deterministic and host-independent.
+//!
+//! Gates (exit 1 otherwise):
+//! * the delta run actually takes the delta path (`delta:*` tasks, zero
+//!   `recompute:*` tasks, spec firing counters advanced);
+//! * maintenance CPU ratio recompute/delta ≥ 3×;
+//! * both modes' materialized `comp_prices` agree with an independent
+//!   from-scratch re-aggregation within `TOLERANCE`;
+//! * the two modes' tables are digest-equal after quantizing prices to
+//!   `QUANTUM` (coarser than the accumulated float drift the rebase
+//!   checkpoints permit, so bit-level association differences between the
+//!   `+=` and re-aggregation paths cannot split the digest).
+//!
+//! ```text
+//! exp_delta [--paper|--medium|--small] [--delay S] [--json PATH]
+//! ```
+
+use std::process::ExitCode;
+use strip_bench::Scale;
+use strip_core::{MaintenanceMode, Strip};
+use strip_finance::{Pta, RunReport};
+use strip_obs::json;
+use strip_sql::digest_rows;
+use strip_storage::Value;
+
+const REQUIRED_SPEEDUP: f64 = 3.0;
+/// Price quantum for the cross-mode digest (1e-3: three decimal places).
+const QUANTUM: f64 = 1e-3;
+/// Max tolerated |materialized − from-scratch| per composite.
+const TOLERANCE: f64 = 1e-3;
+
+struct ModeRun {
+    report: RunReport,
+    /// Digest of `(comp, round(price / QUANTUM))` rows, sorted by comp.
+    digest: u64,
+    /// Largest |materialized − from-scratch| over all composites.
+    max_drift: f64,
+    delta_stats: Option<strip_core::DeltaStats>,
+}
+
+fn run_mode(scale: Scale, mode: MaintenanceMode, delay_s: f64) -> ModeRun {
+    let db = Strip::builder().maintenance_mode(mode).build();
+    let pta = Pta::build(scale.config(), db).expect("PTA build");
+    pta.install_comp_rule_full(delay_s).expect("install rule");
+    let report = pta.run_trace().expect("run trace");
+
+    let materialized = pta.comp_prices_materialized().expect("materialized");
+    let scratch = pta.comp_prices_from_scratch().expect("from scratch");
+    assert_eq!(materialized.len(), scratch.len());
+    let max_drift = materialized
+        .iter()
+        .zip(&scratch)
+        .map(|((mc, mp), (sc, sp))| {
+            assert_eq!(mc, sc);
+            (mp - sp).abs()
+        })
+        .fold(0.0, f64::max);
+
+    let quantized: Vec<Vec<Value>> = materialized
+        .iter()
+        .map(|(c, p)| {
+            vec![
+                Value::Str(c.as_str().into()),
+                Value::Int((p / QUANTUM).round() as i64),
+            ]
+        })
+        .collect();
+    ModeRun {
+        report,
+        digest: digest_rows(quantized.iter()),
+        max_drift,
+        delta_stats: pta.db.delta_stats("compute_comps_full"),
+    }
+}
+
+fn render_json(
+    scale: Scale,
+    delay_s: f64,
+    rec: &ModeRun,
+    del: &ModeRun,
+    speedup: f64,
+    pass: bool,
+) -> String {
+    let mode_json = |m: &ModeRun| {
+        let r = &m.report;
+        let ds = m.delta_stats.unwrap_or_default();
+        format!(
+            "{{\"maintenance_count\": {}, \"maintenance_busy_us\": {}, \
+              \"recompute_count\": {}, \"delta_count\": {}, \
+              \"maintenance_queue_us\": {}, \"update_busy_us\": {}, \
+              \"duration_us\": {}, \"errors\": {}, \
+              \"digest\": \"{:016x}\", \"max_drift_vs_scratch\": {:.9}, \
+              \"delta_stats\": {{\"fired\": {}, \"keys_applied\": {}, \
+              \"checkpoints\": {}, \"rebases\": {}}}}}",
+            r.maintenance_count(),
+            r.maintenance_busy_us(),
+            r.recompute_count,
+            r.delta_count,
+            r.recompute_queue_us + r.delta_queue_us,
+            r.update_busy_us,
+            r.duration_us,
+            r.errors,
+            m.digest,
+            m.max_drift,
+            ds.fired,
+            ds.keys_applied,
+            ds.checkpoints,
+            ds.rebases,
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"delta_maintenance\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"delay_s\": {delay_s},\n  \
+         \"recompute\": {},\n  \"delta\": {},\n  \
+         \"check\": {{\"speedup\": {speedup:.3}, \"required_min\": {REQUIRED_SPEEDUP:.1}, \
+         \"digests_match\": {}, \"quantum\": {QUANTUM}, \"tolerance\": {TOLERANCE}, \
+         \"pass\": {pass}}}\n}}\n",
+        mode_json(rec),
+        mode_json(del),
+        rec.digest == del.digest,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut delay_s = 1.0f64;
+    let mut json_path = "BENCH_delta.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--delay" => {
+                delay_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--delay needs seconds");
+            }
+            "--json" => json_path = it.next().expect("--json needs a path"),
+            other => match Scale::from_arg(other) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("unknown flag {other}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+
+    eprintln!("running delta-vs-recompute at {scale:?} scale, delay {delay_s}s");
+    let rec = run_mode(scale, MaintenanceMode::Recompute, delay_s);
+    eprintln!(
+        "  recompute: {} maintenance txns, {:.3}s maintenance CPU",
+        rec.report.maintenance_count(),
+        rec.report.maintenance_busy_us() as f64 / 1e6
+    );
+    let del = run_mode(scale, MaintenanceMode::Delta, delay_s);
+    eprintln!(
+        "  delta:     {} maintenance txns, {:.3}s maintenance CPU",
+        del.report.maintenance_count(),
+        del.report.maintenance_busy_us() as f64 / 1e6
+    );
+
+    let speedup =
+        rec.report.maintenance_busy_us() as f64 / del.report.maintenance_busy_us().max(1) as f64;
+
+    println!("mode       maint_txns  maint_busy_us  max_drift      digest");
+    for (name, m) in [("recompute", &rec), ("delta", &del)] {
+        println!(
+            "{:<10} {:>10} {:>14} {:>10.2e}  {:016x}",
+            name,
+            m.report.maintenance_count(),
+            m.report.maintenance_busy_us(),
+            m.max_drift,
+            m.digest
+        );
+    }
+    if let Some(ds) = &del.delta_stats {
+        println!(
+            "delta stats: fired {} keys {} checkpoints {} rebases {}",
+            ds.fired, ds.keys_applied, ds.checkpoints, ds.rebases
+        );
+    }
+    println!("maintenance CPU speedup: {speedup:.2}x (required >= {REQUIRED_SPEEDUP})");
+
+    let mut failures = Vec::new();
+    if rec.report.errors + del.report.errors > 0 {
+        failures.push(format!(
+            "task errors: {} recompute-mode, {} delta-mode",
+            rec.report.errors, del.report.errors
+        ));
+    }
+    if rec.report.delta_count > 0 {
+        failures.push(format!(
+            "recompute mode ran {} delta tasks",
+            rec.report.delta_count
+        ));
+    }
+    if del.report.delta_count == 0 || del.report.recompute_count > 0 {
+        failures.push(format!(
+            "delta mode did not take the delta path ({} delta, {} recompute tasks)",
+            del.report.delta_count, del.report.recompute_count
+        ));
+    }
+    if del.delta_stats.is_none_or(|s| s.fired == 0) {
+        failures.push("delta spec never fired".to_string());
+    }
+    for (name, m) in [("recompute", &rec), ("delta", &del)] {
+        if m.max_drift > TOLERANCE {
+            failures.push(format!(
+                "{name} mode drifted {:.3e} from the from-scratch re-aggregation \
+                 (tolerance {TOLERANCE:.0e})",
+                m.max_drift
+            ));
+        }
+    }
+    if rec.digest != del.digest {
+        failures.push("delta and recompute comp_prices digests diverge".to_string());
+    }
+    if speedup < REQUIRED_SPEEDUP {
+        failures.push(format!(
+            "maintenance speedup {speedup:.2} < required {REQUIRED_SPEEDUP}"
+        ));
+    }
+    let pass = failures.is_empty();
+
+    let rendered = render_json(scale, delay_s, &rec, &del, speedup, pass);
+    json::validate(&rendered).expect("BENCH_delta.json must be valid JSON");
+    std::fs::write(&json_path, &rendered).expect("write json");
+    eprintln!("wrote {json_path}");
+
+    if !pass {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "check: delta path taken, speedup {speedup:.2}x (>= {REQUIRED_SPEEDUP}), \
+         digests equal, drift within {TOLERANCE:.0e} ok"
+    );
+    ExitCode::SUCCESS
+}

@@ -1,11 +1,13 @@
 //! Chaos battery runner for CI and local soak testing.
 //!
 //! ```text
-//! chaos [--fixed N] [--random M] [--seed S] [--interleavings K]
+//! chaos [--fixed N] [--random M] [--delta D] [--seed S] [--interleavings K]
 //! ```
 //!
 //! Runs seeds `1..=N` (the fixed battery), then `M` fresh seeds drawn from
-//! the OS clock, then `K` interleaving-equivalence orders. Any failure
+//! the OS clock, then `D` seeds of the same battery under
+//! `MaintenanceMode::Delta` (in-place delta maintenance with checkpoint
+//! rebases), then `K` interleaving-equivalence orders. Any failure
 //! prints the seed, the faults that fired, the minimized plan, and a
 //! one-command repro, then exits non-zero.
 
@@ -15,6 +17,7 @@ use strip_chaos::{driver, FaultPlan, ScenarioConfig};
 struct Args {
     fixed: u64,
     random: u64,
+    delta: u64,
     seed: Option<u64>,
     interleavings: u64,
 }
@@ -23,6 +26,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         fixed: 50,
         random: 0,
+        delta: 20,
         seed: None,
         interleavings: 6,
     };
@@ -37,10 +41,14 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--fixed" => args.fixed = grab("--fixed")?,
             "--random" => args.random = grab("--random")?,
+            "--delta" => args.delta = grab("--delta")?,
             "--seed" => args.seed = Some(grab("--seed")?),
             "--interleavings" => args.interleavings = grab("--interleavings")?,
             "--help" | "-h" => {
-                println!("usage: chaos [--fixed N] [--random M] [--seed S] [--interleavings K]");
+                println!(
+                    "usage: chaos [--fixed N] [--random M] [--delta D] [--seed S] \
+                     [--interleavings K]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -50,12 +58,16 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run_one(seed: u64) -> bool {
-    let cfg = ScenarioConfig::for_seed(seed);
-    let out = driver::run_scenario(&cfg);
+    run_cfg(&ScenarioConfig::for_seed(seed))
+}
+
+fn run_cfg(cfg: &ScenarioConfig) -> bool {
+    let seed = cfg.seed;
+    let out = driver::run_scenario(cfg);
     if out.ok() {
         let kinds: Vec<String> = out.plan.kinds().iter().map(|k| k.to_string()).collect();
         println!(
-            "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} recomputes={} \
+            "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} maintenance={} \
              deadline_misses={} max_delay_len={}",
             kinds.join(","),
             out.fired.len(),
@@ -66,7 +78,7 @@ fn run_one(seed: u64) -> bool {
         );
         return true;
     }
-    let minimized = driver::minimize(&cfg, &out.plan);
+    let minimized = driver::minimize(cfg, &out.plan);
     eprintln!("seed {seed} FAILED");
     for v in &out.violations {
         eprintln!("  violation: {v}");
@@ -122,6 +134,18 @@ fn main() -> ExitCode {
     for seed in 1..=args.fixed {
         if !run_one(seed) {
             failures += 1;
+        }
+    }
+
+    if args.delta > 0 {
+        // The same battery under delta maintenance: faults land inside
+        // in-place delta applies and checkpoint rebases instead of
+        // from-scratch recomputes.
+        println!("== delta battery: seeds 1..={} ==", args.delta);
+        for seed in 1..=args.delta {
+            if !run_cfg(&ScenarioConfig::delta(seed)) {
+                failures += 1;
+            }
         }
     }
 

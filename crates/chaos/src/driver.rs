@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use strip_core::{Strip, Txn};
+use strip_core::{DeltaSpec, MaintenanceMode, Strip, Txn};
 use strip_storage::Value;
 use strip_txn::Policy;
 
@@ -30,6 +30,11 @@ pub enum Mutant {
     /// The WAL "loses" the final commit record before recovery — the moral
     /// equivalent of acknowledging a commit without fsyncing it.
     DropCommitMarker,
+    /// The delta apply "forgets" the `old` subtraction (`Σ w·new` instead of
+    /// `Σ w·(new − old)`), the classic incremental-maintenance bug. Only
+    /// meaningful under [`MaintenanceMode::Delta`]; the independent
+    /// from-scratch derived-prices oracle must flag the corrupted sums.
+    DeltaDropOldSubtraction,
 }
 
 /// Everything that parameterizes one scenario run.
@@ -57,6 +62,12 @@ pub struct ScenarioConfig {
     /// threads, so feed transactions and rule actions genuinely race and
     /// key-granular locking is exercised under faults.
     pub workers: usize,
+    /// How the maintenance rule keeps `comp_prices` fresh: `Recompute`
+    /// (default, from-scratch per firing) or `Delta` (in-place
+    /// `Δ = Σ w·(new − old)` applies with rebase checkpoints). The market's
+    /// dyadic grid makes either path float-exact, so every oracle applies
+    /// unchanged to both.
+    pub maintenance: MaintenanceMode,
 }
 
 impl ScenarioConfig {
@@ -73,6 +84,19 @@ impl ScenarioConfig {
             mutant: Mutant::None,
             policy_seed: None,
             workers: 1,
+            maintenance: MaintenanceMode::Recompute,
+        }
+    }
+
+    /// The battery scenario under delta maintenance: the same market,
+    /// workload, and fault plan as [`ScenarioConfig::for_seed`], but the
+    /// `unique on comp` rule applies weighted deltas in place (with a tight
+    /// checkpoint interval so rebases also run under faults) instead of
+    /// recomputing composites from scratch.
+    pub fn delta(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            maintenance: MaintenanceMode::Delta,
+            ..ScenarioConfig::for_seed(seed)
         }
     }
 
@@ -242,6 +266,35 @@ fn setup_database(db: &Strip, market: &Market) -> Result<(), String> {
     Ok(())
 }
 
+/// The delta spec mirroring `recompute_comp`: `comp_prices.price` is the
+/// weighted sum of `stocks.price` over `comps_list`, so each bound `matches`
+/// row contributes `weight · (new_price − old_price)`. The checkpoint
+/// cadence is deliberately tight (every 4 firings) so rebase recomputes —
+/// extra reads of `stocks`/`comps_list` inside the action transaction — run
+/// under the fault battery too, widening the lock-timeout and crash surface.
+fn chaos_delta_spec(cfg: &ScenarioConfig) -> DeltaSpec {
+    let spec = DeltaSpec::weighted_sum(
+        "comp_prices",
+        "comp",
+        "price",
+        "matches",
+        "comp",
+        Some("weight"),
+        "old_price",
+        "new_price",
+        "select sum(weight * price) as price from comps_list, stocks \
+         where comps_list.symbol = stocks.symbol and comp = ?",
+    )
+    .expect("chaos delta spec")
+    .with_checkpoint_every(4);
+    match cfg.mutant {
+        Mutant::DeltaDropOldSubtraction => {
+            spec.with_mutant(strip_core::DeltaMutant::DropOldSubtraction)
+        }
+        _ => spec,
+    }
+}
+
 /// From-scratch recompute of one composite's price inside a transaction —
 /// idempotent, so it both implements the rule action and repairs after
 /// aborted actions.
@@ -325,6 +378,7 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     let mut builder = Strip::builder()
         .durable()
         .policy(policy)
+        .maintenance_mode(cfg.maintenance)
         .fault_injector(injector.clone());
     if cfg.workers > 1 {
         builder = builder.pool(cfg.workers);
@@ -341,11 +395,11 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     let fn_violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let execs: Arc<Mutex<BTreeMap<String, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
     let runs = Arc::new(std::sync::atomic::AtomicU64::new(0));
-    {
+    let chaos_fn = {
         let fn_violations = fn_violations.clone();
         let execs = execs.clone();
         let runs = runs.clone();
-        db.register_function("chaos_recompute", move |txn| {
+        move |txn: &mut Txn<'_>| -> strip_core::Result<()> {
             runs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             if let Some(changes) = txn.bound("changes") {
                 let (Some(eo), Some(ct)) = (
@@ -378,19 +432,43 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
                 recompute_comp(txn, &comp)?;
             }
             Ok(())
-        });
+        }
+    };
+    match cfg.maintenance {
+        MaintenanceMode::Delta => {
+            db.register_function_with_delta("chaos_recompute", chaos_fn, chaos_delta_spec(cfg))
+        }
+        MaintenanceMode::Recompute => db.register_function("chaos_recompute", chaos_fn),
     }
     let unique_clause = match cfg.mutant {
         Mutant::NoUniqueDedup => String::new(),
         _ => format!("unique on comp after {} seconds", cfg.batch_window_s),
     };
-    if let Err(e) = db.execute(&format!(
-        "create rule chaos_comps on stocks when updated price then evaluate \
-         select comp, commit_time from comps_list, new \
-           where comps_list.symbol = new.symbol bind as matches, \
-         select *, commit_time from new bind as changes \
-         execute chaos_recompute {unique_clause}"
-    )) {
+    // The recompute rule is the paper's coarse form (the action re-reads the
+    // database, so the condition only needs `new`, plus the `changes` bind
+    // feeding the execute_order oracle). The delta rule must be classified
+    // linear: it pairs `new`/`old` images on `execute_order` and carries the
+    // weight and both price images per change row, and binds nothing else.
+    let rule_sql = match cfg.maintenance {
+        MaintenanceMode::Delta => format!(
+            "create rule chaos_comps on stocks when updated price if \
+             select comp, comps_list.symbol as symbol, weight, \
+                    old.price as old_price, new.price as new_price \
+             from comps_list, new, old \
+             where comps_list.symbol = new.symbol \
+               and new.execute_order = old.execute_order \
+             bind as matches \
+             then execute chaos_recompute {unique_clause}"
+        ),
+        MaintenanceMode::Recompute => format!(
+            "create rule chaos_comps on stocks when updated price then evaluate \
+             select comp, commit_time from comps_list, new \
+               where comps_list.symbol = new.symbol bind as matches, \
+             select *, commit_time from new bind as changes \
+             execute chaos_recompute {unique_clause}"
+        ),
+    };
+    if let Err(e) = db.execute(&rule_sql) {
         return finish(cfg, plan, &injector, &db, vec![format!("rule setup: {e}")]);
     }
     // Exercise the export path too: a zero-window subscription on the
@@ -495,6 +573,23 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     violations.extend(oracle::check_engine_consistency(&db));
     violations.extend(std::mem::take(&mut *fn_violations.lock()));
 
+    // Maintenance-path oracle: the configured mode must be the path that
+    // actually ran. The executor kinds actions `delta:f` / `recompute:f`,
+    // so a silent fallback (delta mode quietly reverting to full recompute,
+    // or vice versa) is a violation, not a performance footnote.
+    let exec_stats = db.stats();
+    let delta_actions = exec_stats.count_with_prefix("delta:chaos_recompute");
+    let recompute_actions = exec_stats.count_with_prefix("recompute:chaos_recompute");
+    match cfg.maintenance {
+        MaintenanceMode::Delta if recompute_actions > 0 => violations.push(format!(
+            "maintenance: delta mode fell back to {recompute_actions} full-recompute action(s)"
+        )),
+        MaintenanceMode::Recompute if delta_actions > 0 => violations.push(format!(
+            "maintenance: recompute mode ran {delta_actions} delta action(s)"
+        )),
+        _ => {}
+    }
+
     // Export-path sanity: every delivered event is a comp_prices change.
     for ev in subscription.events.try_iter() {
         if ev.table != "comp_prices" {
@@ -511,6 +606,7 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     if cfg.workers == 1 {
         let window_us = (cfg.batch_window_s * 1_000_000.0 / 2.0) as u64;
         let execs = execs.lock();
+        let mut total_allowed = 0u64;
         for (comp, members) in &market.composites {
             let touched: Vec<u64> = updates
                 .iter()
@@ -520,12 +616,22 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
                 .map(|u| u.release_us + feed_delay.get(&u.idx).copied().unwrap_or(0))
                 .collect();
             let allowed = window_groups(touched, window_us.max(1)) + 2 * sched_delays + 1;
+            total_allowed += allowed;
             let got = execs.get(comp).copied().unwrap_or(0);
             if got > allowed {
                 violations.push(format!(
                     "unique: `{comp}` recomputed {got} times, batching allows at most {allowed}"
                 ));
             }
+        }
+        // Delta actions bypass the user function (so the per-comp `execs`
+        // counts stay zero), but each delta action still serves exactly one
+        // `unique on comp` partition — the executor's delta action count is
+        // bounded by the batching model summed over composites.
+        if cfg.maintenance == MaintenanceMode::Delta && delta_actions > total_allowed {
+            violations.push(format!(
+                "unique: {delta_actions} delta action(s), batching allows at most {total_allowed}"
+            ));
         }
     }
 
@@ -556,7 +662,11 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
 
     let mut out = finish(cfg, plan, &injector, &db, violations);
     out.crashed = crashed;
-    out.recompute_runs = runs.load(std::sync::atomic::Ordering::SeqCst);
+    // Delta actions bypass the user function, so count maintenance runs
+    // from the spec's firing counter there; the function's own counter
+    // covers the recompute path (and any hypothetical fallback).
+    out.recompute_runs = runs.load(std::sync::atomic::Ordering::SeqCst)
+        + db.delta_stats("chaos_recompute").map_or(0, |s| s.fired);
     out
 }
 

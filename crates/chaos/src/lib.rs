@@ -28,9 +28,19 @@
 //! assert!(out.ok(), "seed 7 violated: {:?}\nrepro: {}", out.violations, out.repro());
 //! ```
 //!
+//! Every scenario also runs under [`strip_core::MaintenanceMode::Delta`]
+//! ([`ScenarioConfig::delta`]): the maintenance rule applies
+//! `Δ = Σ w·(new − old)` in place (with checkpoint rebases) instead of
+//! recomputing composites, and the same fault plans then land inside delta
+//! applies and rebase reads. The dyadic price grid keeps delta accumulation
+//! float-exact, so the independent from-scratch derived-prices oracle
+//! verifies the delta-maintained table directly, and a maintenance-path
+//! oracle rejects silent fallbacks between the two modes.
+//!
 //! Deliberate-bug self-tests ([`driver::Mutant`]) prove the oracles have
-//! teeth: skipping unique deduplication or dropping a WAL commit marker is
-//! detected, not silently absorbed.
+//! teeth: skipping unique deduplication, dropping a WAL commit marker, or
+//! dropping the delta apply's `old` subtraction is detected, not silently
+//! absorbed.
 
 pub mod driver;
 pub mod oracle;

@@ -95,17 +95,30 @@ pub fn check_derived_prices(db: &Strip) -> Vec<String> {
             )),
         }
     }
+    let mut seen: BTreeMap<String, u64> = BTreeMap::new();
     for r in &comp_prices {
         let (Some(comp), Some(got)) = (r[0].as_str(), r[1].as_f64()) else {
             problems.push(format!("derived: malformed comp_prices row {r:?}"));
             continue;
         };
+        *seen.entry(comp.to_string()).or_insert(0) += 1;
         match expected.get(comp) {
             Some(want) if (want - got).abs() <= PRICE_EPS => {}
             Some(want) => problems.push(format!(
                 "derived: `{comp}` price {got} != weighted sum {want}"
             )),
             None => problems.push(format!("derived: `{comp}` has no comps_list entries")),
+        }
+    }
+    // Row-level completeness: every composite must be materialized exactly
+    // once. This matters for in-place (delta) maintenance, where an `update`
+    // against a vanished row silently applies to nothing — a value-only
+    // check would never notice the key is missing.
+    for comp in expected.keys() {
+        match seen.get(comp).copied().unwrap_or(0) {
+            0 => problems.push(format!("derived: `{comp}` missing from comp_prices")),
+            1 => {}
+            n => problems.push(format!("derived: `{comp}` materialized {n} times")),
         }
     }
     problems

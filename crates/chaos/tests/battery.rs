@@ -6,6 +6,7 @@
 
 use strip_chaos::plan::{FaultKind, FaultPlan, PlannedFault};
 use strip_chaos::{driver, Mutant, ScenarioConfig};
+use strip_core::MaintenanceMode;
 use strip_txn::fault::{FaultDecision, FaultPoint};
 
 fn assert_clean(out: &driver::Outcome) {
@@ -155,6 +156,83 @@ fn seeded_battery() {
             "sweep must include at least one crash-recovery"
         );
     }
+}
+
+/// The Figure-4 scenario under `MaintenanceMode::Delta`: the same seeded
+/// workloads and generated fault plans as `seeded_battery`, but the
+/// `unique on comp` rule applies `Δ = Σ w·(new − old)` in place (with
+/// checkpoint rebases every 4 firings) instead of recomputing composites.
+/// Every oracle applies unchanged — the dyadic price grid keeps delta
+/// accumulation float-exact, so the independent Rust recompute inside
+/// `check_derived_prices` verifies the delta-maintained table directly —
+/// plus the maintenance-path oracle (no silent fallback to recompute) and
+/// the delta-action batching bound. Faults land *inside* delta applies and
+/// checkpoint rebases: crashes mid-apply, lock timeouts on the rebase's
+/// base-table reads, aborted delta commits.
+///
+/// `CHAOS_SEED=<n>` narrows to one seed (the repro command's filter
+/// `seeded_battery` matches this test too, so a repro replays the seed
+/// under both maintenance modes).
+#[test]
+fn delta_seeded_battery() {
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => (1..=20).collect(),
+    };
+    let mut delta_ran = 0u64;
+    let mut crashes = 0usize;
+    for &seed in &seeds {
+        let out = driver::run_scenario(&ScenarioConfig::delta(seed));
+        assert_clean(&out);
+        delta_ran += out.recompute_runs;
+        if out.crashed {
+            crashes += 1;
+        }
+    }
+    if seeds.len() > 1 {
+        assert!(delta_ran > 0, "the delta path never fired across the sweep");
+        assert!(crashes > 0, "sweep must crash at least one delta apply");
+    }
+}
+
+/// Fault-free delta baseline: clean run, no crash, and the delta path
+/// genuinely engaged (`recompute_runs` counts spec firings in delta mode;
+/// the maintenance-path oracle inside the run asserts zero recompute
+/// actions).
+#[test]
+fn delta_fault_free_baseline_is_clean() {
+    let out = driver::run_with_plan(
+        &ScenarioConfig {
+            maintenance: MaintenanceMode::Delta,
+            ..ScenarioConfig::fault_free(1)
+        },
+        &FaultPlan::none(),
+    );
+    assert_clean(&out);
+    assert!(!out.crashed);
+    assert!(out.recompute_runs > 0, "the delta path must actually fire");
+}
+
+/// Same seed, both maintenance modes, no faults: every feed update commits
+/// in both runs and the dyadic deltas are exact, so the final market state
+/// must be bit-identical whether `comp_prices` was maintained by in-place
+/// deltas or from-scratch recomputes.
+#[test]
+fn delta_fault_free_matches_recompute_digest() {
+    let rec = driver::run_with_plan(&ScenarioConfig::fault_free(31), &FaultPlan::none());
+    assert_clean(&rec);
+    let del = driver::run_with_plan(
+        &ScenarioConfig {
+            maintenance: MaintenanceMode::Delta,
+            ..ScenarioConfig::fault_free(31)
+        },
+        &FaultPlan::none(),
+    );
+    assert_clean(&del);
+    assert_eq!(
+        del.digest, rec.digest,
+        "maintenance mode must not change state"
+    );
 }
 
 fn point_prefix(k: FaultKind) -> &'static str {

@@ -4,6 +4,7 @@
 
 use strip_chaos::plan::FaultPlan;
 use strip_chaos::{driver, Mutant, ScenarioConfig};
+use strip_core::MaintenanceMode;
 
 /// Dropping the `unique on comp after W` clause makes every firing execute
 /// separately; the batching oracle's per-composite execution bound must
@@ -37,6 +38,46 @@ fn dropped_commit_marker_is_caught() {
         out.violations.iter().any(|v| v.starts_with("durability:")),
         "lost commit was not flagged; violations: {:?}",
         out.violations,
+    );
+}
+
+/// Forgetting the `old` subtraction in the delta apply (`Σ w·new` instead
+/// of `Σ w·(new − old)`) — the classic incremental-maintenance bug —
+/// corrupts the accumulated sums. The derived-prices oracle recomputes
+/// every composite from scratch in Rust, independent of the engine, so it
+/// must flag the drifted table even though every transaction committed
+/// cleanly. (Checkpoint rebases repair the keys they touch, so the oracle
+/// is catching the corruption the rebase cadence leaves behind — exactly
+/// the window a real bug would exploit.)
+#[test]
+fn delta_dropped_old_subtraction_is_caught() {
+    let cfg = ScenarioConfig {
+        mutant: Mutant::DeltaDropOldSubtraction,
+        maintenance: MaintenanceMode::Delta,
+        ..ScenarioConfig::fault_free(31)
+    };
+    let out = driver::run_with_plan(&cfg, &FaultPlan::none());
+    assert!(
+        out.violations.iter().any(|v| v.starts_with("derived:")),
+        "corrupted delta sums were not flagged; violations: {:?}",
+        out.violations,
+    );
+}
+
+/// The delta mutant is inert under full recompute (the spec never runs), so
+/// the detection above is specifically the delta path's digest-vs-recompute
+/// oracle, not a side effect of planting the flag.
+#[test]
+fn delta_mutant_is_inert_under_recompute() {
+    let cfg = ScenarioConfig {
+        mutant: Mutant::DeltaDropOldSubtraction,
+        ..ScenarioConfig::fault_free(31)
+    };
+    let out = driver::run_with_plan(&cfg, &FaultPlan::none());
+    assert!(
+        out.ok(),
+        "recompute mode should ignore the delta mutant: {:?}",
+        out.violations
     );
 }
 
@@ -86,7 +127,8 @@ fn passing_outcome_has_no_causal_trace() {
 }
 
 /// The same mutants with the clean flag: the un-mutated runs of the same
-/// seeds pass, so the detections above are caused by the planted bugs.
+/// seeds pass (under both maintenance modes), so the detections above are
+/// caused by the planted bugs.
 #[test]
 fn mutant_seeds_pass_without_the_mutation() {
     for seed in [31, 32] {
@@ -95,6 +137,18 @@ fn mutant_seeds_pass_without_the_mutation() {
             out.ok(),
             "seed {seed} should be clean without a mutant: {:?}",
             out.violations
+        );
+        let delta = driver::run_with_plan(
+            &ScenarioConfig {
+                maintenance: MaintenanceMode::Delta,
+                ..ScenarioConfig::fault_free(seed)
+            },
+            &FaultPlan::none(),
+        );
+        assert!(
+            delta.ok(),
+            "seed {seed} should be clean under delta without a mutant: {:?}",
+            delta.violations
         );
     }
 }

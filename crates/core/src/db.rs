@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use strip_obs::ObsSink;
-use strip_rules::{CompiledRule, RuleEngine};
+use strip_rules::{CompiledRule, MaintenanceMode, RuleEngine};
 use strip_sql::exec::ResultSet;
 use strip_sql::expr::ScalarFn;
 use strip_sql::{parse_script, parse_statement, PlanCache, Statement};
@@ -137,6 +137,9 @@ pub struct StripInner {
     /// by default, with the pre-Volcano syntactic chooser retained as an
     /// ablation baseline for the plan-quality benchmark.
     pub(crate) planner: strip_sql::PlannerMode,
+    /// Derived-data maintenance mode (see [`MaintenanceMode`]): delta by
+    /// default, full recompute as the ablation/oracle baseline.
+    pub(crate) maintenance: MaintenanceMode,
     txn_ids: AtomicU64,
 }
 
@@ -156,6 +159,7 @@ pub struct StripBuilder {
     obs: Option<Arc<ObsSink>>,
     granularity: LockGranularity,
     planner: strip_sql::PlannerMode,
+    maintenance: MaintenanceMode,
 }
 
 impl Default for StripBuilder {
@@ -169,6 +173,7 @@ impl Default for StripBuilder {
             obs: None,
             granularity: LockGranularity::Key,
             planner: strip_sql::PlannerMode::CostBased,
+            maintenance: MaintenanceMode::Delta,
         }
     }
 }
@@ -235,6 +240,17 @@ impl StripBuilder {
         self
     }
 
+    /// Choose how derived data is maintained. The default is
+    /// [`MaintenanceMode::Delta`] — rules classified delta-capable whose
+    /// function has a registered [`strip_sql::DeltaSpec`] apply
+    /// `Δ = Σ w·(new − old)` in place; [`MaintenanceMode::Recompute`]
+    /// forces every action through its user function (the equivalence
+    /// oracle and the staleness benchmark's ablation baseline).
+    pub fn maintenance_mode(mut self, mode: MaintenanceMode) -> Self {
+        self.maintenance = mode;
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
         let obs = self.obs.unwrap_or_else(|| ObsSink::new(4096));
@@ -266,7 +282,9 @@ impl StripBuilder {
                 views: RwLock::new(HashMap::new()),
                 timers: Mutex::new(HashMap::new()),
                 locks,
-                engine: RuleEngine::with_plan_cache(plan_cache.clone()).with_obs(obs.clone()),
+                engine: RuleEngine::with_plan_cache(plan_cache.clone())
+                    .with_obs(obs.clone())
+                    .with_maintenance(self.maintenance),
                 plan_cache,
                 user_fns: RwLock::new(HashMap::new()),
                 scalar_fns: RwLock::new(HashMap::new()),
@@ -278,6 +296,7 @@ impl StripBuilder {
                 obs,
                 granularity: self.granularity,
                 planner: self.planner,
+                maintenance: self.maintenance,
                 txn_ids: AtomicU64::new(1),
             }),
         }
@@ -392,6 +411,32 @@ impl Strip {
             .user_fns
             .write()
             .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Register a rule-action user function **with** a delta spec: in
+    /// [`MaintenanceMode::Delta`], firings of delta-capable rules apply the
+    /// spec in place (`Δ = Σ w·(new − old)` per derived key) instead of
+    /// calling `f`; `f` remains the full-recompute fallback for non-linear
+    /// rules and the [`MaintenanceMode::Recompute`] ablation.
+    pub fn register_function_with_delta(
+        &self,
+        name: &str,
+        f: impl for<'a> Fn(&mut Txn<'a>) -> Result<()> + Send + Sync + 'static,
+        spec: strip_sql::DeltaSpec,
+    ) {
+        self.register_function(name, f);
+        self.inner.engine.register_delta(name, spec);
+    }
+
+    /// This database's derived-data maintenance mode.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.inner.maintenance
+    }
+
+    /// Lifetime delta counters for a user function's registered spec
+    /// (`None` when no spec is registered).
+    pub fn delta_stats(&self, func: &str) -> Option<strip_sql::DeltaStats> {
+        self.inner.engine.delta_spec(func).map(|s| s.stats())
     }
 
     /// Register a scalar function usable in SQL expressions (e.g. `f_bs`).

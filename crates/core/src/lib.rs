@@ -24,6 +24,8 @@ pub mod txn;
 pub use db::{ExecOutcome, LockGranularity, RecoveryReport, Strip, StripBuilder};
 pub use error::{Error, Result};
 pub use feed::{ChangeEvent, ChangeKind, Subscription};
+pub use strip_rules::MaintenanceMode;
 pub use strip_sql::PlannerMode;
+pub use strip_sql::{digest_result, digest_rows, DeltaMutant, DeltaSpec, DeltaStats};
 pub use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
 pub use txn::{Txn, UserFn};

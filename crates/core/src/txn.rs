@@ -691,6 +691,7 @@ impl Env for Txn<'_> {
                 est_rows: 0,
                 indexes: Vec::new(),
                 standard: false,
+                col_distincts: Vec::new(),
             });
         }
         None
@@ -867,14 +868,25 @@ pub(crate) fn run_txn<R>(
 /// Wrap a rule's action (a [`SpawnAction`]) into an executor task. The task:
 /// 1. fixes the payload's bound tables and removes the unique-hash entry,
 /// 2. snapshots the bound tables into the transaction's overlay,
-/// 3. runs the registered user function in a fresh transaction.
+/// 3. runs the registered user function in a fresh transaction — or, when
+///    the engine attached a delta spec (linear rule under
+///    `MaintenanceMode::Delta`), applies `Δ = Σ w·(new−old)` in place
+///    instead of calling the user function at all.
+///
+/// The task kind is `delta:f` on the delta path and `recompute:f` on the
+/// full-recompute path, so the scheduler's per-kind exec histograms and
+/// fault plans distinguish the two maintenance modes.
 pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
     let weak = Arc::downgrade(inner);
-    let kind = format!("recompute:{}", sa.func);
+    let kind = match &sa.delta {
+        Some(_) => format!("delta:{}", sa.func),
+        None => format!("recompute:{}", sa.func),
+    };
     let task_kind = kind.clone();
     let rule = sa.rule;
     let func_name = sa.func;
     let payload = sa.payload;
+    let delta = sa.delta;
     let action_ctx = payload.trace_ctx();
     Task::at(
         &kind,
@@ -897,13 +909,44 @@ pub(crate) fn action_task(inner: &Arc<StripInner>, sa: SpawnAction) -> Task {
                     0,
                 );
             }
+            let merges = payload.state.lock().merged_firings;
             let bound = payload.snapshot_bound();
-            let func = inner.user_fns.read().get(&func_name).cloned();
-            let outcome = match func {
-                None => Err(Error::NoSuchFunction(func_name.clone())),
-                Some(f) => run_txn(&inner, ctx, &task_kind, bound, Some(origin_us), |txn| {
-                    f(txn)
+            let outcome = match &delta {
+                Some(spec) => run_txn(&inner, ctx, &task_kind, bound, Some(origin_us), |txn| {
+                    let bt = txn.bound(&spec.bound_table).ok_or_else(|| {
+                        Error::Other(format!(
+                            "delta spec for `{func_name}` expects bound table `{}`",
+                            spec.bound_table
+                        ))
+                    })?;
+                    let out = strip_sql::delta_apply(txn, spec, &bt, merges)?;
+                    if inner.obs.is_enabled() {
+                        // Like PlanChoice, dur_us is a count (derived keys
+                        // touched), never time — lineage keeps the whole
+                        // action inside the exec phase.
+                        inner.obs.event_ctx(
+                            txn.now_us(),
+                            txn.id().0,
+                            EventKind::DeltaApply,
+                            &task_kind,
+                            out.keys as u64,
+                            txn.trace_ctx(),
+                            0,
+                        );
+                    }
+                    Ok(())
                 }),
+                None => {
+                    let func = inner.user_fns.read().get(&func_name).cloned();
+                    match func {
+                        None => Err(Error::NoSuchFunction(func_name.clone())),
+                        Some(f) => {
+                            run_txn(&inner, ctx, &task_kind, bound, Some(origin_us), |txn| {
+                                f(txn)
+                            })
+                        }
+                    }
+                }
             };
             if let Err(e) = outcome {
                 inner

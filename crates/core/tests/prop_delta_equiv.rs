@@ -1,0 +1,334 @@
+//! Dual-mode maintenance equivalence: an arbitrary feed of inserts,
+//! updates, and deletes (zero-weight memberships, multi-group keys, key
+//! churn through rows born and deleted mid-run) is driven through two
+//! databases that differ only in maintenance mode. After **every** firing
+//! the derived table must be digest-equal row-for-row — not just at the
+//! end of the run.
+//!
+//! Bit-exactness holds because the recompute fallback registered here is
+//! the arithmetic mirror of the delta executor (fold `Σ w·(new − old)` per
+//! key in bound-row order, apply in sorted key order), so any divergence is
+//! a real maintenance bug, not float association noise.
+//!
+//! The mutant self-tests at the bottom prove the digest oracle has teeth:
+//! planting either documented delta bug (dropped `old` subtraction,
+//! double-applied merged firing) must break digest equality.
+
+use proptest::prelude::*;
+use strip_core::{digest_result, DeltaMutant, DeltaSpec, MaintenanceMode, Result, Strip};
+use strip_storage::Value;
+
+const SYMS: [&str; 8] = ["S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7"];
+
+/// `(sym, grp, weight)` memberships: multi-group keys (S0, S3), zero-weight
+/// memberships (S1, S4), a key in no group at all (S5), and keys whose feed
+/// rows only appear mid-run (S6, S7).
+const WTAB: [(&str, &str, f64); 9] = [
+    ("S0", "G0", 0.5),
+    ("S0", "G1", 0.25),
+    ("S1", "G0", 0.0),
+    ("S2", "G1", 1.0),
+    ("S3", "G2", 0.75),
+    ("S3", "G0", 0.1),
+    ("S4", "G2", 0.0),
+    ("S6", "G1", 0.3),
+    ("S7", "G2", 2.0),
+];
+
+const CONDITION: &str = "if \
+    select grp, w, old.val as old_val, new.val as new_val \
+    from wtab, new, old \
+    where wtab.sym = new.sym \
+      and new.execute_order = old.execute_order \
+    bind as matches ";
+
+fn agg_spec() -> DeltaSpec {
+    DeltaSpec::weighted_sum(
+        "agg",
+        "grp",
+        "total",
+        "matches",
+        "grp",
+        Some("w"),
+        "old_val",
+        "new_val",
+        "select sum(val * w) as total from feed, wtab \
+         where feed.sym = wtab.sym and grp = ?",
+    )
+    .unwrap()
+    // No checkpoints: a rebase would replace the accumulated value with the
+    // re-aggregated one, breaking the bit-exact mirror this test relies on.
+    .with_checkpoint_every(0)
+}
+
+/// Build one database: `feed(sym, val)` → rule → `agg(grp, total)` with
+/// `total = Σ w·val`. The fallback user function mirrors `delta_apply`'s
+/// arithmetic exactly (same fold order, same sorted apply order, same
+/// increment statement), so Delta and Recompute modes agree bitwise.
+fn build_db(mode: MaintenanceMode, mutant: DeltaMutant, delay_s: f64) -> Strip {
+    let db = Strip::builder().maintenance_mode(mode).build();
+    db.execute_script(
+        "create table feed (sym str, val float); \
+         create index ix_feed_sym on feed (sym); \
+         create table wtab (sym str, grp str, w float); \
+         create index ix_wtab_sym on wtab (sym); \
+         create table agg (grp str, total float); \
+         create index ix_agg_grp on agg (grp);",
+    )
+    .unwrap();
+    for (sym, grp, w) in WTAB {
+        db.execute(&format!("insert into wtab values ('{sym}', '{grp}', {w})"))
+            .unwrap();
+    }
+    // Initial feed rows for S0..S5 (S6/S7 are born mid-run), and the
+    // matching initial aggregates, computed with the same fold the
+    // maintenance paths use so both modes start from identical bits.
+    let init: [(&str, f64); 6] = [
+        ("S0", 10.0),
+        ("S1", 20.0),
+        ("S2", 30.0),
+        ("S3", 40.0),
+        ("S4", 50.0),
+        ("S5", 60.0),
+    ];
+    for (sym, val) in init {
+        db.execute(&format!("insert into feed values ('{sym}', {val})"))
+            .unwrap();
+    }
+    for grp in ["G0", "G1", "G2"] {
+        let mut total = 0.0;
+        for (sym, g, w) in WTAB {
+            if g == grp {
+                if let Some((_, val)) = init.iter().find(|(s, _)| *s == sym) {
+                    total += w * val;
+                }
+            }
+        }
+        db.execute(&format!("insert into agg values ('{grp}', {total})"))
+            .unwrap();
+    }
+
+    db.register_function_with_delta(
+        "apply_agg",
+        |txn| {
+            let m = txn.bound("matches").expect("matches bound");
+            let s = m.schema();
+            let (gi, wi, oi, ni) = (
+                s.index_of("grp").unwrap(),
+                s.index_of("w").unwrap(),
+                s.index_of("old_val").unwrap(),
+                s.index_of("new_val").unwrap(),
+            );
+            let mut acc: Vec<(Value, f64)> = Vec::new();
+            for r in 0..m.len() {
+                txn.charge_user_work(1);
+                let d = m.value(r, wi).as_f64().unwrap_or(0.0)
+                    * (m.value(r, ni).as_f64().unwrap_or(0.0)
+                        - m.value(r, oi).as_f64().unwrap_or(0.0));
+                let key = m.value(r, gi).clone();
+                match acc.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, sum)) => *sum += d,
+                    None => acc.push((key, d)),
+                }
+            }
+            acc.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, d) in acc {
+                txn.exec(
+                    "update agg set total += ? where grp = ?",
+                    &[Value::Float(d), key],
+                )?;
+            }
+            Ok(())
+        },
+        agg_spec().with_mutant(mutant),
+    );
+    db.execute(&format!(
+        "create rule maintain_agg on feed when updated val {CONDITION} \
+         then execute apply_agg unique after {delay_s} seconds"
+    ))
+    .unwrap();
+    db
+}
+
+/// One step of the generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FeedOp {
+    /// `update feed set val = v where sym = s` (no-op if `s` has no row;
+    /// multi-row if `s` was inserted twice).
+    Update(usize, f64),
+    /// `insert into feed values (s, v)` — key churn; can duplicate a sym.
+    Insert(usize, f64),
+    /// `delete from feed where sym = s`.
+    Delete(usize),
+    /// `update feed set val += v` — one firing covering every feed row.
+    BumpAll(f64),
+}
+
+fn apply(db: &Strip, op: FeedOp) -> Result<()> {
+    db.txn(|t| match op {
+        FeedOp::Update(s, v) => {
+            t.exec(
+                "update feed set val = ? where sym = ?",
+                &[Value::Float(v), Value::from(SYMS[s])],
+            )?;
+            Ok(())
+        }
+        FeedOp::Insert(s, v) => {
+            t.exec(
+                "insert into feed values (?, ?)",
+                &[Value::from(SYMS[s]), Value::Float(v)],
+            )?;
+            Ok(())
+        }
+        FeedOp::Delete(s) => {
+            t.exec("delete from feed where sym = ?", &[Value::from(SYMS[s])])?;
+            Ok(())
+        }
+        FeedOp::BumpAll(v) => {
+            t.exec("update feed set val += ?", &[Value::Float(v)])?;
+            Ok(())
+        }
+    })?;
+    db.drain();
+    Ok(())
+}
+
+fn agg_digest(db: &Strip) -> u64 {
+    digest_result(&db.query("select grp, total from agg order by grp").unwrap())
+}
+
+fn feed_digest(db: &Strip) -> u64 {
+    digest_result(
+        &db.query("select sym, val from feed order by sym, val")
+            .unwrap(),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = FeedOp> {
+    let val = || (-200..2000i32).prop_map(|v| v as f64 / 8.0);
+    prop_oneof![
+        (0..SYMS.len(), val()).prop_map(|(s, v)| FeedOp::Update(s, v)),
+        (0..SYMS.len(), val()).prop_map(|(s, v)| FeedOp::Insert(s, v)),
+        (0..SYMS.len()).prop_map(FeedOp::Delete),
+        val().prop_map(FeedOp::BumpAll),
+    ]
+}
+
+// Row-level digest equality between Delta and Recompute after every firing
+// of an arbitrary feed history.
+proptest! {
+    #[test]
+    fn delta_matches_recompute_after_every_firing(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let delta = build_db(MaintenanceMode::Delta, DeltaMutant::None, 0.2);
+        let recompute = build_db(MaintenanceMode::Recompute, DeltaMutant::None, 0.2);
+        prop_assert_eq!(agg_digest(&delta), agg_digest(&recompute));
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&delta, op).unwrap();
+            apply(&recompute, op).unwrap();
+            prop_assert!(delta.take_errors().is_empty());
+            prop_assert!(recompute.take_errors().is_empty());
+            prop_assert_eq!(
+                feed_digest(&delta), feed_digest(&recompute),
+                "feed diverged after op {} = {:?}", i, op
+            );
+            prop_assert_eq!(
+                agg_digest(&delta), agg_digest(&recompute),
+                "agg diverged after op {} = {:?}", i, op
+            );
+        }
+        // Mode sanity: every firing in the delta database took the delta
+        // path, and none did in the recompute database.
+        prop_assert_eq!(delta.stats().count_with_prefix("recompute:"), 0);
+        prop_assert_eq!(recompute.stats().count_with_prefix("delta:"), 0);
+    }
+}
+
+/// The delta path actually engages: a plain update fires a `delta:*` task
+/// and advances the spec's counters.
+#[test]
+fn delta_path_engages_and_matches() {
+    let delta = build_db(MaintenanceMode::Delta, DeltaMutant::None, 0.2);
+    let recompute = build_db(MaintenanceMode::Recompute, DeltaMutant::None, 0.2);
+    for db in [&delta, &recompute] {
+        apply(db, FeedOp::Update(0, 11.5)).unwrap();
+        apply(db, FeedOp::Update(3, -2.25)).unwrap();
+        assert!(db.take_errors().is_empty());
+    }
+    assert_eq!(agg_digest(&delta), agg_digest(&recompute));
+    assert_eq!(delta.stats().count_with_prefix("delta:"), 2);
+    assert_eq!(delta.stats().count_with_prefix("recompute:"), 0);
+    assert_eq!(recompute.stats().count_with_prefix("recompute:"), 2);
+    let ds = delta.delta_stats("apply_agg").unwrap();
+    assert_eq!(ds.fired, 2);
+    assert!(ds.keys_applied >= 3, "S0 touches G0+G1, S3 touches G0+G2");
+}
+
+/// Drive the same coalesced history through a correct database and one with
+/// a planted mutant; return the two agg digests.
+fn run_mutant_pair(mutant: DeltaMutant) -> (u64, u64) {
+    let good = build_db(MaintenanceMode::Delta, DeltaMutant::None, 0.5);
+    let bad = build_db(MaintenanceMode::Delta, mutant, 0.5);
+    for db in [&good, &bad] {
+        // Three updates inside one coalescing window (0.5 s), two touching
+        // the same sym: the merged firing telescopes S0's two transitions.
+        db.txn(|t| {
+            t.exec(
+                "update feed set val = ? where sym = 'S0'",
+                &[Value::Float(12.0)],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        db.txn(|t| {
+            t.exec(
+                "update feed set val = ? where sym = 'S0'",
+                &[Value::Float(14.0)],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        db.txn(|t| {
+            t.exec(
+                "update feed set val = ? where sym = 'S2'",
+                &[Value::Float(33.0)],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        db.drain();
+        assert!(db.take_errors().is_empty());
+        assert!(
+            db.stats().count_with_prefix("delta:") >= 1,
+            "history must exercise the delta path"
+        );
+    }
+    (agg_digest(&good), agg_digest(&bad))
+}
+
+/// Sanity: with no mutant planted, the coalesced history is digest-stable
+/// (so the two failing tests below fail because of the planted bug, not the
+/// harness).
+#[test]
+fn mutant_harness_is_digest_stable() {
+    let (good, bad) = run_mutant_pair(DeltaMutant::None);
+    assert_eq!(good, bad);
+}
+
+/// Oracle self-test: dropping the `old` subtraction (applying `Σ w·new`)
+/// must break digest equality.
+#[test]
+fn digest_oracle_catches_dropped_old_subtraction() {
+    let (good, bad) = run_mutant_pair(DeltaMutant::DropOldSubtraction);
+    assert_ne!(good, bad, "digest oracle missed the dropped-old mutant");
+}
+
+/// Oracle self-test: double-applying a merged (coalesced) firing must break
+/// digest equality. The mutant only misbehaves when `merged_firings > 1`,
+/// which the 0.5 s unique window above guarantees.
+#[test]
+fn digest_oracle_catches_double_applied_merge() {
+    let (good, bad) = run_mutant_pair(DeltaMutant::DoubleApply);
+    assert_ne!(good, bad, "digest oracle missed the double-apply mutant");
+}

@@ -25,10 +25,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use strip_core::{Result, Strip};
+use strip_core::{DeltaSpec, Result, Strip};
 use strip_sql::parse_statement;
 use strip_sql::Statement;
 use strip_storage::{Op, Value};
+
+/// The composite-maintenance CONDITION (Figures 3/6/7): join the changed
+/// stocks against `comps_list`, pairing each update's transition images on
+/// `execute_order`.
+const COMP_CONDITION: &str = "if \
+    select comp, comps_list.symbol as symbol, weight, \
+           old.price as old_price, new.price as new_price \
+    from comps_list, new, old \
+    where comps_list.symbol = new.symbol \
+      and new.execute_order = old.execute_order \
+    bind as matches ";
+
+/// Recompute one composite's price from scratch — the "recompute
+/// completely" alternative of §1, also the delta path's rebase-checkpoint
+/// query.
+const COMP_RECOMPUTE_SQL: &str = "select sum(price * weight) as price \
+    from stocks, comps_list \
+    where stocks.symbol = comps_list.symbol and comp = ?";
 
 /// Which composite-maintenance rule to install (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +178,14 @@ pub struct RunReport {
     pub update_queue_us: u64,
     /// Total time recompute transactions spent queued, µs.
     pub recompute_queue_us: u64,
+    /// Number of delta-maintenance transactions run (task kind `delta:*`;
+    /// 0 unless the database runs in `MaintenanceMode::Delta` with a
+    /// registered spec).
+    pub delta_count: u64,
+    /// Virtual CPU spent in delta-maintenance transactions, µs.
+    pub delta_busy_us: u64,
+    /// Total time delta-maintenance transactions spent queued, µs.
+    pub delta_queue_us: u64,
     /// Background task errors observed (must be 0 in a healthy run).
     pub errors: usize,
 }
@@ -174,6 +200,17 @@ impl RunReport {
     /// Fraction of CPU spent on everything (updates + recomputation).
     pub fn total_utilization(&self) -> f64 {
         self.total_busy_us as f64 / self.duration_us as f64
+    }
+
+    /// Derived-data maintenance transactions run, whatever the maintenance
+    /// mode (recompute + delta).
+    pub fn maintenance_count(&self) -> u64 {
+        self.recompute_count + self.delta_count
+    }
+
+    /// Virtual CPU spent maintaining derived data, whatever the mode, µs.
+    pub fn maintenance_busy_us(&self) -> u64 {
+        self.recompute_busy_us + self.delta_busy_us
     }
 }
 
@@ -243,6 +280,11 @@ impl Pta {
                 while members.len() < k {
                     members.insert(sample_weighted(&cum, &mut rng));
                 }
+                // Iterate in sorted order: HashSet order varies per
+                // instance, and the per-member weight draw below must land
+                // on the same member across two builds of the same seed.
+                let mut members: Vec<usize> = members.into_iter().collect();
+                members.sort_unstable();
                 let mut price = 0.0;
                 for &m in &members {
                     let w = 0.1 + rng.gen::<f64>() * 0.9;
@@ -377,6 +419,56 @@ impl Pta {
             });
         }
 
+        // The "recompute completely" baseline of §1: re-aggregate every
+        // affected composite over its full membership. Registered WITH a
+        // delta spec, so under [`strip_core::MaintenanceMode::Delta`] the
+        // rule engine replaces this function with the in-place
+        // `Δ = Σ w·(new − old)` apply; under `Recompute` this full
+        // re-aggregation runs as the ablation/oracle baseline.
+        {
+            let set = prepared("update comp_prices set price = ? where comp = ?")?;
+            let fresh_q = match parse_statement(COMP_RECOMPUTE_SQL)? {
+                Statement::Select(q) => Arc::new(q),
+                _ => unreachable!(),
+            };
+            let spec = DeltaSpec::weighted_sum(
+                "comp_prices",
+                "comp",
+                "price",
+                "matches",
+                "comp",
+                Some("weight"),
+                "old_price",
+                "new_price",
+                COMP_RECOMPUTE_SQL,
+            )?;
+            db.register_function_with_delta(
+                "compute_comps_full",
+                move |txn| {
+                    let m = txn.bound("matches").expect("matches bound");
+                    let s = m.schema();
+                    let ci = s.index_of("comp").unwrap();
+                    let mut comps: Vec<Value> = Vec::new();
+                    for r in 0..m.len() {
+                        txn.charge_user_work(1);
+                        let c = m.value(r, ci).clone();
+                        if !comps.contains(&c) {
+                            comps.push(c);
+                        }
+                    }
+                    comps.sort();
+                    for c in comps {
+                        let fresh = txn.query_ast(&fresh_q, std::slice::from_ref(&c))?;
+                        if let Some(v) = fresh.single("price")?.as_f64() {
+                            txn.exec_ast(&set, &[v.into(), c])?;
+                        }
+                    }
+                    Ok(())
+                },
+                spec,
+            );
+        }
+
         // -- options -----------------------------------------------------------
         let upd_opt = prepared("update option_prices set price = ? where option_symbol = ?")?;
         let sel_sd = match parse_statement("select stdev from stock_stdev where symbol = ?")? {
@@ -465,13 +557,6 @@ impl Pta {
     /// Install the composite-maintenance rule for a variant (Figures 3/6/7).
     /// `delay_s` is the `after` window (ignored for [`CompVariant::NonUnique`]).
     pub fn install_comp_rule(&self, variant: CompVariant, delay_s: f64) -> Result<()> {
-        const CONDITION: &str = "if \
-            select comp, comps_list.symbol as symbol, weight, \
-                   old.price as old_price, new.price as new_price \
-            from comps_list, new, old \
-            where comps_list.symbol = new.symbol \
-              and new.execute_order = old.execute_order \
-            bind as matches ";
         let tail = match variant {
             CompVariant::NonUnique => "execute compute_comps1".to_string(),
             CompVariant::Unique => {
@@ -485,7 +570,22 @@ impl Pta {
             }
         };
         self.db.execute(&format!(
-            "create rule do_comps on stocks when updated price {CONDITION} then {tail}"
+            "create rule do_comps on stocks when updated price {COMP_CONDITION} then {tail}"
+        ))?;
+        Ok(())
+    }
+
+    /// Install the composite rule with the full-recompute baseline function
+    /// (`compute_comps_full`, coarse `unique` coalescing). Because the
+    /// function carries a [`DeltaSpec`], the same rule maintains
+    /// `comp_prices` incrementally under `MaintenanceMode::Delta` and by
+    /// full per-composite re-aggregation under `MaintenanceMode::Recompute`
+    /// — the delta-vs-recompute experiment installs this one rule and
+    /// varies only the database's maintenance mode.
+    pub fn install_comp_rule_full(&self, delay_s: f64) -> Result<()> {
+        self.db.execute(&format!(
+            "create rule do_comps on stocks when updated price {COMP_CONDITION} \
+             then execute compute_comps_full unique after {delay_s} seconds"
         ))?;
         Ok(())
     }
@@ -562,6 +662,14 @@ impl Pta {
             .filter(|(k, _)| k.starts_with("recompute:"))
             .map(|(_, s)| s.queue_us)
             .sum();
+        let delta_count = stats.count_with_prefix("delta:");
+        let delta_busy_us = stats.busy_us_with_prefix("delta:");
+        let delta_queue_us = stats
+            .by_kind
+            .iter()
+            .filter(|(k, _)| k.starts_with("delta:"))
+            .map(|(_, s)| s.queue_us)
+            .sum();
         let errors = self.db.take_errors();
         for e in errors.iter().take(3) {
             eprintln!("task error: {e}");
@@ -580,6 +688,9 @@ impl Pta {
             recompute_max_us,
             update_queue_us: upd_stats.queue_us,
             recompute_queue_us,
+            delta_count,
+            delta_busy_us,
+            delta_queue_us,
             total_busy_us: stats.busy_us,
             errors: errors.len(),
         })

@@ -52,6 +52,12 @@ pub enum EventKind {
     /// `probe(stocks)>hash(feed)` — never per-execution-varying text),
     /// `dur_us` carries the *actual* joined cardinality.
     PlanChoice = 16,
+    /// A delta-capable rule action applied `Δ = Σ w·(new−old)` in place
+    /// instead of recomputing; `detail` is the task kind (`delta:f`),
+    /// `dur_us` carries the number of derived keys touched (like
+    /// [`EventKind::PlanChoice`], never a duration — lineage must not
+    /// carve it out of the exec phase).
+    DeltaApply = 17,
 }
 
 impl EventKind {
@@ -75,6 +81,7 @@ impl EventKind {
             EventKind::Staleness => "staleness",
             EventKind::DeadlineMiss => "deadline.miss",
             EventKind::PlanChoice => "plan.choice",
+            EventKind::DeltaApply => "delta.apply",
         }
     }
 }

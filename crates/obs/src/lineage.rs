@@ -123,6 +123,16 @@ pub struct PhaseBreakdown {
     pub plan_us: u64,
     /// Remaining execution time (start → commit minus carve-outs).
     pub exec_us: u64,
+    /// Slice of `exec_us` spent on the delta-apply maintenance path (the
+    /// action span carries a `delta.apply` event). An action either applies
+    /// deltas or recomputes, so the split is all-or-nothing per sample, and
+    /// `exec_delta_us + exec_recompute_us == exec_us`, always.
+    pub exec_delta_us: u64,
+    /// Slice of `exec_us` spent recomputing derived data from scratch.
+    pub exec_recompute_us: u64,
+    /// Derived keys touched by delta application (sum of `delta.apply`
+    /// event counts; 0 on the recompute path).
+    pub delta_keys: u64,
     /// Number of rule firings folded into this action (1 = no batching).
     pub merged_firings: u64,
     /// The action started at or past its deadline.
@@ -177,6 +187,14 @@ pub struct AttributionSummary {
     pub lag_max_us: u64,
     /// Phase sums in [`PHASES`] order.
     pub phase_sums_us: [u64; 7],
+    /// Exec-phase slice spent applying deltas in place. Together with
+    /// [`AttributionSummary::exec_recompute_sum_us`] it partitions
+    /// `phase_sums_us[6]` exactly.
+    pub exec_delta_sum_us: u64,
+    /// Exec-phase slice spent recomputing from scratch.
+    pub exec_recompute_sum_us: u64,
+    /// Samples maintained by delta application (of `samples`).
+    pub delta_samples: u64,
     pub merged_firings: u64,
     pub deadline_misses: u64,
 }
@@ -320,6 +338,13 @@ impl Lineage {
                 .min(exec_total - wal_us - lock_us)
         });
         let exec_us = exec_total - wal_us - lock_us - plan_us;
+        // Partition exec by maintenance mode: a `delta.apply` event in the
+        // action span means the derived write was an in-place delta, not a
+        // recompute. Its dur_us is a key count (like PlanChoice), so nothing
+        // is carved out of exec — the split is all-or-nothing.
+        let delta_keys = node.map_or(0, |n| n.dur_sum(EventKind::DeltaApply));
+        let is_delta = node.is_some_and(|n| n.count(EventKind::DeltaApply) > 0);
+        let (exec_delta_us, exec_recompute_us) = if is_delta { (exec_us, 0) } else { (0, exec_us) };
 
         PhaseBreakdown {
             table: e.detail.clone(),
@@ -337,6 +362,9 @@ impl Lineage {
             wal_us,
             plan_us,
             exec_us,
+            exec_delta_us,
+            exec_recompute_us,
+            delta_keys,
             merged_firings: node.map_or(1, |n| n.count(EventKind::UniqueCoalesce) + 1),
             deadline_missed: node.is_some_and(|n| n.count(EventKind::DeadlineMiss) > 0),
             truncated: e.span == 0 || dispatch.is_none() || start.is_none(),
@@ -411,6 +439,9 @@ impl Lineage {
             for (s, p) in a.phase_sums_us.iter_mut().zip(b.phases()) {
                 *s += p;
             }
+            a.exec_delta_sum_us += b.exec_delta_us;
+            a.exec_recompute_sum_us += b.exec_recompute_us;
+            a.delta_samples += (b.exec_delta_us > 0 || b.delta_keys > 0) as u64;
             a.merged_firings += b.merged_firings;
             a.deadline_misses += b.deadline_missed as u64;
         }
@@ -642,6 +673,51 @@ mod tests {
         assert_eq!(b.lock_key_us, 480);
         assert_eq!(b.lock_table_us, 0);
         assert_eq!(b.phase_sum(), b.lag_us);
+    }
+
+    #[test]
+    fn exec_phase_partitions_by_maintenance_mode() {
+        // Without a delta.apply event the whole exec phase is recompute.
+        let lin = Lineage::from_events(simple_chain(), false);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.exec_recompute_us, b.exec_us);
+        assert_eq!(b.exec_delta_us, 0);
+        assert_eq!(b.delta_keys, 0);
+        assert_eq!(b.exec_delta_us + b.exec_recompute_us, b.exec_us);
+
+        // With one, the whole exec phase is delta — and since dur_us is a
+        // key count (not time), nothing is carved out of exec.
+        let mut events = simple_chain();
+        events.insert(5, ev(3_600, K::DeltaApply, "delta:f", 7, 10, 12, 0));
+        let lin = Lineage::from_events(events, false);
+        let b = &lin.breakdowns()[0];
+        assert_eq!(b.exec_us, 480, "delta.apply is never carved from exec");
+        assert_eq!(b.exec_delta_us, b.exec_us);
+        assert_eq!(b.exec_recompute_us, 0);
+        assert_eq!(b.delta_keys, 7);
+        assert_eq!(b.exec_delta_us + b.exec_recompute_us, b.exec_us);
+        assert_eq!(b.phase_sum(), b.lag_us, "mode split keeps the sum");
+    }
+
+    #[test]
+    fn attribution_sums_exec_split_exactly() {
+        let mut events = simple_chain();
+        events.insert(5, ev(3_600, K::DeltaApply, "delta:f", 3, 10, 12, 0));
+        // A second, recompute-maintained sample in another span.
+        events.push(ev(8_000, K::ActionDispatch, "g", 0, 30, 32, 0));
+        events.push(ev(8_100, K::TxnStart, "recompute:g", 0, 30, 32, 0));
+        events.push(ev(9_000, K::Staleness, "comp_prices", 1_000, 30, 32, 0));
+        let lin = Lineage::from_events(events, false);
+        let att = lin.attribution();
+        let a = att.iter().find(|a| a.table == "comp_prices").unwrap();
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.delta_samples, 1);
+        assert_eq!(
+            a.exec_delta_sum_us + a.exec_recompute_sum_us,
+            a.phase_sums_us[6],
+            "mode slices partition the exec phase sum"
+        );
+        assert!(a.exec_delta_sum_us > 0 && a.exec_recompute_sum_us > 0);
     }
 
     #[test]

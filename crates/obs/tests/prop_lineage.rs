@@ -138,11 +138,18 @@ proptest! {
         wal in 0..200_000u64,
         lock in 0..200_000u64,
         plan in 0..200_000u64,
+        delta_keys in 0..10_000u64,
     ) {
         // The origin can never postdate the creating commit.
         let pre_origin = pre_origin.min(t0);
-        let (events, action_span, lag) =
+        let (mut events, action_span, lag) =
             synth_run(t0, pre_origin, window, &merge_offsets, queue, exec, wal, lock, plan);
+        // delta_keys > 0 makes this a delta-maintained action: the event's
+        // dur is a key count, never time, so it must not change any phase.
+        if delta_keys > 0 {
+            let at = t0 + window + queue;
+            events.push(ev(at, EventKind::DeltaApply, "delta:f", delta_keys, 10, action_span, 0));
+        }
         let lin = Lineage::from_events(events, false);
 
         prop_assert_eq!(lin.breakdowns().len(), 1);
@@ -163,6 +170,16 @@ proptest! {
         prop_assert_eq!(b.lock_us, lock.min(exec_total - b.wal_us));
         prop_assert_eq!(b.plan_us, plan.min(exec_total - b.wal_us - b.lock_us));
         prop_assert_eq!(b.exec_us, exec_total - b.wal_us - b.lock_us - b.plan_us);
+        // Maintenance-mode split partitions the exec phase exactly, and the
+        // delta.apply key count never perturbs the phases.
+        prop_assert_eq!(b.exec_delta_us + b.exec_recompute_us, b.exec_us);
+        if delta_keys > 0 {
+            prop_assert_eq!(b.exec_delta_us, b.exec_us);
+            prop_assert_eq!(b.delta_keys, delta_keys);
+        } else {
+            prop_assert_eq!(b.exec_recompute_us, b.exec_us);
+            prop_assert_eq!(b.delta_keys, 0);
+        }
 
         // DAG shape: the action span has one parent per firing.
         let node = lin.span(action_span).unwrap();

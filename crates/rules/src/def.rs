@@ -3,7 +3,7 @@
 use crate::error::{Result, RuleError};
 use std::collections::HashMap;
 use std::sync::Arc;
-use strip_sql::ast::{BindableQuery, CreateRule, Event};
+use strip_sql::ast::{BinOp, BindableQuery, CreateRule, Event, Expr, Query, SelectItem};
 
 /// A rule after validation, ready for commit-time processing.
 #[derive(Debug, Clone)]
@@ -27,6 +27,155 @@ pub struct CompiledRule {
     pub unique: Option<Vec<String>>,
     /// Release delay in microseconds.
     pub after_us: u64,
+    /// Whether the rule's bound queries are delta-capable (see
+    /// [`DeltaClass`]); computed once at compile time.
+    pub delta: DeltaClass,
+}
+
+/// Whether a rule's bound tables are a *linear* view of the transaction's
+/// changes — each base change contributing exactly one row — so a
+/// weighted-sum derived table can be maintained incrementally from them
+/// (`Δ = Σ w·(new − old)`) instead of recomputed from scratch.
+///
+/// A bound query qualifies when it joins `new` with `old` paired 1:1 on
+/// `execute_order` (update images of one change share it), or reads only
+/// `inserted` / only `deleted`, and nothing collapses or expands the
+/// per-change rows: no `distinct`, no `group by`/aggregates/`having`, no
+/// `limit`. Anything else falls back to full recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Every bound query yields raw per-change rows; the rule's action may
+    /// run as an in-place delta apply when a [`strip_sql::DeltaSpec`] is
+    /// registered for its function.
+    Linear,
+    /// Not incrementally maintainable; the reason names the disqualifier.
+    NonLinear(&'static str),
+}
+
+impl DeltaClass {
+    /// Is the rule delta-capable?
+    pub fn is_linear(&self) -> bool {
+        matches!(self, DeltaClass::Linear)
+    }
+}
+
+/// Classify all bound queries of a rule (condition + evaluate clauses).
+fn classify_rule(condition: &[BindableQuery], evaluate: &[BindableQuery]) -> DeltaClass {
+    let mut any = false;
+    for bq in condition.iter().chain(evaluate) {
+        if bq.bind_as.is_none() {
+            continue;
+        }
+        any = true;
+        if let DeltaClass::NonLinear(why) = classify_query(&bq.query) {
+            return DeltaClass::NonLinear(why);
+        }
+    }
+    if any {
+        DeltaClass::Linear
+    } else {
+        DeltaClass::NonLinear("rule binds no tables")
+    }
+}
+
+/// Classify one bound query (see [`DeltaClass`]).
+fn classify_query(q: &Query) -> DeltaClass {
+    if q.distinct {
+        return DeltaClass::NonLinear("distinct collapses duplicate change rows");
+    }
+    if !q.group_by.is_empty() || q.having.is_some() {
+        return DeltaClass::NonLinear("grouped query is not a per-change view");
+    }
+    if q.limit.is_some() {
+        return DeltaClass::NonLinear("limit truncates the change rows");
+    }
+    let aggregated = q.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    });
+    if aggregated {
+        return DeltaClass::NonLinear("aggregate in select list");
+    }
+
+    // Which transition tables does the FROM clause read, and through which
+    // aliases?
+    let mut trans: Vec<(String, String)> = Vec::new(); // (table, alias)
+    for t in &q.from {
+        let name = t.table.to_ascii_lowercase();
+        if matches!(name.as_str(), "inserted" | "deleted" | "old" | "new") {
+            trans.push((name, t.alias.to_ascii_lowercase()));
+        }
+    }
+    let mut tables: Vec<&str> = trans.iter().map(|(t, _)| t.as_str()).collect();
+    tables.sort_unstable();
+    if tables.windows(2).any(|w| w[0] == w[1]) {
+        return DeltaClass::NonLinear("transition table joined more than once");
+    }
+    match tables.as_slice() {
+        [] => DeltaClass::NonLinear("query reads no transition table"),
+        ["inserted"] | ["deleted"] => DeltaClass::Linear,
+        ["new", "old"] => {
+            let alias_of = |name: &str| -> &str {
+                trans
+                    .iter()
+                    .find(|(t, _)| t == name)
+                    .map(|(_, a)| a.as_str())
+                    .expect("present per match")
+            };
+            if paired_on_execute_order(q.where_clause.as_ref(), alias_of("new"), alias_of("old")) {
+                DeltaClass::Linear
+            } else {
+                DeltaClass::NonLinear("new/old not paired on execute_order")
+            }
+        }
+        _ => DeltaClass::NonLinear("unsupported transition-table combination"),
+    }
+}
+
+/// Does some top-level conjunct equate `new.execute_order` with
+/// `old.execute_order` (either orientation)?
+fn paired_on_execute_order(pred: Option<&Expr>, new_alias: &str, old_alias: &str) -> bool {
+    fn conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                conjuncts(left, out);
+                conjuncts(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let Some(pred) = pred else { return false };
+    let mut cs = Vec::new();
+    conjuncts(pred, &mut cs);
+    let eo_col = |e: &Expr| -> Option<String> {
+        match e {
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } if name.eq_ignore_ascii_case("execute_order") => Some(q.to_ascii_lowercase()),
+            _ => None,
+        }
+    };
+    cs.iter().any(|c| {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            return false;
+        };
+        match (eo_col(left), eo_col(right)) {
+            (Some(a), Some(b)) => {
+                (a == new_alias && b == old_alias) || (a == old_alias && b == new_alias)
+            }
+            _ => false,
+        }
+    })
 }
 
 impl CompiledRule {
@@ -79,6 +228,7 @@ impl CompiledRule {
             execute: ast.execute.to_ascii_lowercase(),
             unique: ast.unique.clone(),
             after_us: ast.after_us,
+            delta: classify_rule(&ast.condition, &ast.evaluate),
         })
     }
 
@@ -286,6 +436,81 @@ mod tests {
         assert!(cat
             .add(compile("create rule r on u when deleted then execute g").unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn paper_update_rule_is_delta_capable() {
+        // The canonical PTA shape: new joined to old on execute_order, raw
+        // per-change rows out.
+        let r = compile(
+            "create rule pta on stocks when updated price \
+             if select comp, comps_list.symbol as symbol, weight, \
+                old.price as old_price, new.price as new_price \
+             from comps_list, new, old \
+             where comps_list.symbol = new.symbol \
+               and new.execute_order = old.execute_order \
+             bind as matches \
+             then execute compute_comps unique on comp after 1.0 seconds",
+        )
+        .unwrap();
+        assert_eq!(r.delta, DeltaClass::Linear);
+        assert!(r.delta.is_linear());
+    }
+
+    #[test]
+    fn insert_only_rule_is_delta_capable() {
+        let r = compile(
+            "create rule ins on stocks when inserted \
+             if select symbol, price from inserted bind as added \
+             then execute f",
+        )
+        .unwrap();
+        assert_eq!(r.delta, DeltaClass::Linear);
+    }
+
+    #[test]
+    fn unpaired_new_old_is_not_delta_capable() {
+        let r = compile(
+            "create rule unp on stocks when updated price \
+             if select new.price as p from new, old \
+             where new.symbol = old.symbol bind as m \
+             then execute f",
+        )
+        .unwrap();
+        assert_eq!(
+            r.delta,
+            DeltaClass::NonLinear("new/old not paired on execute_order")
+        );
+    }
+
+    #[test]
+    fn aggregates_and_distinct_disqualify_delta() {
+        let agg = compile(
+            "create rule agg on stocks when updated \
+             if select sum(price) as s from new bind as m then execute f",
+        )
+        .unwrap();
+        assert!(!agg.delta.is_linear());
+        let dst = compile(
+            "create rule dst on stocks when updated \
+             if select distinct symbol from new bind as m then execute f",
+        )
+        .unwrap();
+        assert_eq!(
+            dst.delta,
+            DeltaClass::NonLinear("distinct collapses duplicate change rows")
+        );
+        let unbound = compile("create rule ub on stocks when updated then execute f").unwrap();
+        assert_eq!(unbound.delta, DeltaClass::NonLinear("rule binds no tables"));
+        let nontrans = compile(
+            "create rule nt on stocks when updated \
+             if select symbol from stocks bind as m then execute f",
+        )
+        .unwrap();
+        assert_eq!(
+            nontrans.delta,
+            DeltaClass::NonLinear("query reads no transition table")
+        );
     }
 
     #[test]

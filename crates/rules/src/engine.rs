@@ -25,11 +25,39 @@ use strip_sql::ast::BindableQuery;
 use strip_sql::exec::{execute_select, execute_select_bound, Env, Rel};
 use strip_sql::expr::ScalarFn;
 use strip_sql::plan::{plan_query, PhysicalPlan, RelMeta};
+use strip_sql::DeltaSpec;
 use strip_sql::PlanCache;
 use strip_storage::{
     ColumnSource, DataType, Meter, Op, RowId, Schema, SchemaRef, StaticMap, TempTable, Value,
 };
 use strip_txn::TxnLog;
+
+/// How derived data is maintained when a rule action runs.
+///
+/// Threaded through `StripBuilder` like `LockGranularity` and
+/// `PlannerMode`; `Recompute` is the ablation that forces every action
+/// through its user function even when a delta path exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Delta-capable rules ([`crate::def::DeltaClass::Linear`]) with a
+    /// registered [`DeltaSpec`] apply `Δ = Σ w·(new − old)` in place; all
+    /// other rules fall back to their user function.
+    #[default]
+    Delta,
+    /// Every action runs its user function (full recompute) — the oracle
+    /// and ablation baseline.
+    Recompute,
+}
+
+impl MaintenanceMode {
+    /// Stable lower-case label (benchmarks, JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaintenanceMode::Delta => "delta",
+            MaintenanceMode::Recompute => "recompute",
+        }
+    }
+}
 
 /// An action transaction to enqueue, reported by
 /// [`RuleEngine::process_commit`].
@@ -42,6 +70,10 @@ pub struct SpawnAction {
     pub payload: Arc<ActionPayload>,
     /// Absolute release time in µs (commit time + `after` delay).
     pub release_us: u64,
+    /// When set, the action applies this delta spec to the bound table
+    /// instead of calling the user function (rule classified linear, spec
+    /// registered, engine in [`MaintenanceMode::Delta`]).
+    pub delta: Option<Arc<DeltaSpec>>,
 }
 
 /// An [`Env`] overlay that resolves transition/bound tables before falling
@@ -127,6 +159,11 @@ pub struct RuleEngine {
     plan_cache: Option<Arc<PlanCache>>,
     /// Observability sink for rule-firing / coalescing / dispatch spans.
     obs: Option<Arc<ObsSink>>,
+    /// Maintenance mode for rule actions (delta vs full recompute).
+    maintenance: MaintenanceMode,
+    /// Per-user-function delta specs; a function without one always runs
+    /// as a recompute regardless of mode.
+    delta_specs: RwLock<HashMap<String, Arc<DeltaSpec>>>,
 }
 
 impl RuleEngine {
@@ -147,6 +184,53 @@ impl RuleEngine {
     pub fn with_obs(mut self, obs: Arc<ObsSink>) -> RuleEngine {
         self.obs = Some(obs);
         self
+    }
+
+    /// Set the maintenance mode (chainable at construction).
+    pub fn with_maintenance(mut self, mode: MaintenanceMode) -> RuleEngine {
+        self.maintenance = mode;
+        self
+    }
+
+    /// The engine's maintenance mode.
+    pub fn maintenance(&self) -> MaintenanceMode {
+        self.maintenance
+    }
+
+    /// Register the delta spec for a user function. The function's rules
+    /// run as in-place delta applies when they are classified
+    /// [`crate::def::DeltaClass::Linear`] and the engine is in
+    /// [`MaintenanceMode::Delta`]; otherwise the spec is inert.
+    pub fn register_delta(&self, func: &str, spec: DeltaSpec) {
+        self.delta_specs
+            .write()
+            .insert(func.to_ascii_lowercase(), Arc::new(spec));
+    }
+
+    /// The delta spec registered for `func`, if any.
+    pub fn delta_spec(&self, func: &str) -> Option<Arc<DeltaSpec>> {
+        self.delta_specs
+            .read()
+            .get(&func.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// The spec a firing of `rule` should apply, or `None` for the
+    /// recompute path. Requires delta mode, a linear classification, a
+    /// registered spec, and that the rule actually binds the spec's bound
+    /// table.
+    fn delta_for(&self, rule: &CompiledRule) -> Option<Arc<DeltaSpec>> {
+        if self.maintenance != MaintenanceMode::Delta || !rule.delta.is_linear() {
+            return None;
+        }
+        let spec = self.delta_spec(&rule.execute)?;
+        let binds_it = rule
+            .condition
+            .iter()
+            .chain(&rule.evaluate)
+            .filter_map(|q| q.bind_as.as_deref())
+            .any(|b| b.eq_ignore_ascii_case(&spec.bound_table));
+        binds_it.then_some(spec)
     }
 
     /// Define a rule (already compiled).
@@ -313,6 +397,7 @@ impl RuleEngine {
                     );
                 }
                 let release_us = commit_us + rule.after_us;
+                let delta = self.delta_for(rule);
                 match &rule.unique {
                     None => {
                         let payload = self.unique.dispatch_non_unique_ctx(
@@ -337,6 +422,7 @@ impl RuleEngine {
                             func: rule.execute.clone(),
                             payload,
                             release_us,
+                            delta,
                         });
                     }
                     Some(cols) => {
@@ -366,6 +452,7 @@ impl RuleEngine {
                                         func: rule.execute.clone(),
                                         payload,
                                         release_us,
+                                        delta: delta.clone(),
                                     });
                                 }
                                 Dispatch::Merged(payload) => {

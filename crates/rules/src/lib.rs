@@ -19,8 +19,8 @@ pub mod error;
 pub mod transition;
 pub mod unique;
 
-pub use def::{CompiledRule, RuleCatalog};
-pub use engine::{OverlayEnv, RuleEngine, SpawnAction};
+pub use def::{CompiledRule, DeltaClass, RuleCatalog};
+pub use engine::{MaintenanceMode, OverlayEnv, RuleEngine, SpawnAction};
 pub use error::{Result, RuleError};
 pub use transition::{
     build_transition_tables, execute_order_column, transition_schema, TransitionTables,

@@ -1,0 +1,473 @@
+//! Incremental delta maintenance of derived tables.
+//!
+//! A derived table of the shape `D(key, value)` with `value = Σ w·x` over
+//! base rows is *incrementally maintainable*: when a rule firing delivers
+//! the old and new images of the changed base rows, the new derived value
+//! is the old one plus `Δ = Σ w·(new − old)` — no re-aggregation over the
+//! unchanged base rows. A [`DeltaSpec`] describes one such derived table
+//! (which bound-table columns carry the key, weight, and old/new values,
+//! and how to recompute a single key from scratch); [`delta_apply`] sweeps
+//! the bound table column-at-a-time, folds the per-key deltas, and applies
+//! them with one `update D set value += ? where key = ?` per affected key.
+//!
+//! Correctness leans on two facts:
+//!
+//! * each base change appears **exactly once** in the bound rows — old/new
+//!   transition images of one update share an `execute_order`, so the
+//!   rule's `new.execute_order = old.execute_order` join pairs them 1:1;
+//! * coalesced firings append their rows to the pending bound table, so a
+//!   merged action's sum telescopes (`w(n₁−o₁) + w(n₂−n₁) = w(n₂−o₁)`).
+//!
+//! Floating-point drift is bounded by *rebase checkpoints*: every
+//! `checkpoint_every` firings the affected keys are recomputed from
+//! scratch ([`DeltaSpec::recompute_sql`]) and the stored value is replaced
+//! whenever it strays beyond `epsilon`. The FNV digests below give callers
+//! a cheap row-level equivalence oracle between a delta-maintained table
+//! and an independent recompute.
+
+use crate::ast::{Query, Statement, Update};
+use crate::error::{Result, SqlError};
+use crate::exec::{execute_query, execute_update, Env};
+use crate::parser::parse_statement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use strip_storage::{TempTable, Value};
+
+/// Planted delta-application bugs for oracle self-tests (hidden; the chaos
+/// and mutant suites prove the digest oracle catches each one).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaMutant {
+    /// Correct behavior.
+    #[default]
+    None,
+    /// Forget the `old` subtraction: apply `Σ w·new` instead of
+    /// `Σ w·(new − old)`.
+    DropOldSubtraction,
+    /// Double-apply the deltas of a merged (coalesced) firing, as if the
+    /// appended rows had been processed once per contributing firing.
+    DoubleApply,
+}
+
+/// Running counters of one spec's delta activity (all lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Delta firings applied.
+    pub fired: u64,
+    /// Derived keys updated in place across all firings.
+    pub keys_applied: u64,
+    /// Checkpoint passes run.
+    pub checkpoints: u64,
+    /// Stored values replaced by a checkpoint recompute (drift > epsilon).
+    pub rebases: u64,
+}
+
+/// How one user function incrementally maintains its derived table.
+///
+/// Registered alongside the function (the function itself stays as the
+/// recompute fallback); the rule engine attaches the spec to an action only
+/// when the rule's evaluate query is classified delta-capable and the
+/// engine runs in delta maintenance mode.
+pub struct DeltaSpec {
+    /// Derived table being maintained.
+    pub derived_table: String,
+    /// Its key column.
+    pub derived_key: String,
+    /// Its maintained (summed) value column.
+    pub derived_value: String,
+    /// Bound table the rule passes to the action.
+    pub bound_table: String,
+    /// Bound-table column holding the derived key of each row.
+    pub key: String,
+    /// Bound-table weight column; `None` = weight 1.
+    pub weight: Option<String>,
+    /// Bound-table column with the pre-change value.
+    pub old: String,
+    /// Bound-table column with the post-change value.
+    pub new: String,
+    /// One-parameter query recomputing a single key from scratch; must
+    /// return the fresh value in a column named like `derived_value` (zero
+    /// rows mean the key has no base rows and is skipped).
+    pub recompute_sql: String,
+    /// Run a rebase checkpoint every N delta firings (0 = never).
+    pub checkpoint_every: u64,
+    /// Maximum tolerated |stored − recomputed| before a rebase.
+    pub epsilon: f64,
+
+    apply_stmt: Update,
+    set_stmt: Update,
+    lookup: Query,
+    recompute: Query,
+    fired: AtomicU64,
+    keys_applied: AtomicU64,
+    checkpoints: AtomicU64,
+    rebases: AtomicU64,
+    mutant: DeltaMutant,
+}
+
+impl std::fmt::Debug for DeltaSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaSpec")
+            .field("derived_table", &self.derived_table)
+            .field("bound_table", &self.bound_table)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish()
+    }
+}
+
+fn parse_update(sql: &str) -> Result<Update> {
+    match parse_statement(sql)? {
+        Statement::Update(u) => Ok(u),
+        _ => Err(SqlError::analyze("expected an UPDATE statement")),
+    }
+}
+
+fn parse_select(sql: &str) -> Result<Query> {
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(q),
+        _ => Err(SqlError::analyze("expected a SELECT statement")),
+    }
+}
+
+impl DeltaSpec {
+    /// Describe a weighted-sum derived table. `weight` of `None` maintains
+    /// a plain sum. `recompute_sql` takes the derived key as its single `?`
+    /// parameter and must yield the fresh value under the
+    /// `derived_value` column name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn weighted_sum(
+        derived_table: &str,
+        derived_key: &str,
+        derived_value: &str,
+        bound_table: &str,
+        key: &str,
+        weight: Option<&str>,
+        old: &str,
+        new: &str,
+        recompute_sql: &str,
+    ) -> Result<DeltaSpec> {
+        let apply_stmt = parse_update(&format!(
+            "update {derived_table} set {derived_value} += ? where {derived_key} = ?"
+        ))?;
+        let set_stmt = parse_update(&format!(
+            "update {derived_table} set {derived_value} = ? where {derived_key} = ?"
+        ))?;
+        let lookup = parse_select(&format!(
+            "select {derived_value} from {derived_table} where {derived_key} = ?"
+        ))?;
+        let recompute = parse_select(recompute_sql)?;
+        Ok(DeltaSpec {
+            derived_table: derived_table.to_string(),
+            derived_key: derived_key.to_string(),
+            derived_value: derived_value.to_string(),
+            bound_table: bound_table.to_string(),
+            key: key.to_string(),
+            weight: weight.map(str::to_string),
+            old: old.to_string(),
+            new: new.to_string(),
+            recompute_sql: recompute_sql.to_string(),
+            checkpoint_every: 64,
+            epsilon: 1e-6,
+            apply_stmt,
+            set_stmt,
+            lookup,
+            recompute,
+            fired: AtomicU64::new(0),
+            keys_applied: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            rebases: AtomicU64::new(0),
+            mutant: DeltaMutant::None,
+        })
+    }
+
+    /// Override the checkpoint cadence (0 disables checkpoints).
+    pub fn with_checkpoint_every(mut self, every: u64) -> DeltaSpec {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Override the rebase tolerance.
+    pub fn with_epsilon(mut self, epsilon: f64) -> DeltaSpec {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Plant a delta bug for oracle self-tests.
+    #[doc(hidden)]
+    pub fn with_mutant(mut self, mutant: DeltaMutant) -> DeltaSpec {
+        self.mutant = mutant;
+        self
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeltaStats {
+        DeltaStats {
+            fired: self.fired.load(Ordering::Relaxed),
+            keys_applied: self.keys_applied.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            rebases: self.rebases.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome of one delta firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Bound rows folded.
+    pub rows: usize,
+    /// Distinct derived keys updated in place.
+    pub keys: usize,
+    /// Keys rebased by the checkpoint this firing triggered (0 when no
+    /// checkpoint ran).
+    pub rebased: usize,
+}
+
+/// Fold the bound table into per-key deltas and apply them in place:
+/// `Δ(key) = Σ w·(new − old)`, one increment update per affected key in
+/// sorted key order (deterministic lock order). `merges` is the number of
+/// firings coalesced into this action's bound table (≥ 1).
+///
+/// Runs the spec's rebase checkpoint over the affected keys every
+/// `checkpoint_every` firings.
+pub fn delta_apply(
+    env: &dyn Env,
+    spec: &DeltaSpec,
+    bound: &TempTable,
+    merges: u64,
+) -> Result<DeltaOutcome> {
+    let schema = bound.schema();
+    let k = schema.index_of_ok(&spec.key)?;
+    let w = match &spec.weight {
+        Some(c) => Some(schema.index_of_ok(c)?),
+        None => None,
+    };
+    let o = schema.index_of_ok(&spec.old)?;
+    let n = schema.index_of_ok(&spec.new)?;
+
+    // One columnar sweep over the bound table, folding into per-key sums
+    // (first-seen order retained, then sorted for a deterministic apply).
+    let mut index: HashMap<Value, usize> = HashMap::new();
+    let mut acc: Vec<(Value, f64)> = Vec::new();
+    let numeric = |v: &Value, what: &str| -> Result<f64> {
+        v.as_f64()
+            .ok_or_else(|| SqlError::exec(format!("delta {what} column is not numeric")))
+    };
+    for r in 0..bound.len() {
+        let row = bound.row_values(r);
+        let weight = match w {
+            Some(c) => numeric(&row[c], "weight")?,
+            None => 1.0,
+        };
+        let old = numeric(&row[o], "old")?;
+        let new = numeric(&row[n], "new")?;
+        let d = match spec.mutant {
+            DeltaMutant::DropOldSubtraction => weight * new,
+            _ => weight * (new - old),
+        };
+        let key = row[k].clone();
+        match index.get(&key) {
+            Some(&i) => acc[i].1 += d,
+            None => {
+                index.insert(key.clone(), acc.len());
+                acc.push((key, d));
+            }
+        }
+    }
+    acc.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let applications = match spec.mutant {
+        DeltaMutant::DoubleApply if merges > 1 => 2,
+        _ => 1,
+    };
+    for (key, d) in &acc {
+        for _ in 0..applications {
+            execute_update(env, &spec.apply_stmt, &[Value::Float(*d), key.clone()])?;
+        }
+    }
+
+    spec.keys_applied
+        .fetch_add(acc.len() as u64, Ordering::Relaxed);
+    let fired = spec.fired.fetch_add(1, Ordering::Relaxed) + 1;
+    let rebased = if spec.checkpoint_every > 0 && fired.is_multiple_of(spec.checkpoint_every) {
+        let keys: Vec<Value> = acc.iter().map(|(k, _)| k.clone()).collect();
+        checkpoint(env, spec, &keys)?
+    } else {
+        0
+    };
+
+    Ok(DeltaOutcome {
+        rows: bound.len(),
+        keys: acc.len(),
+        rebased,
+    })
+}
+
+/// Recompute each key from scratch and replace the stored value wherever
+/// accumulated float error exceeds the spec's epsilon. Returns the number
+/// of keys rebased.
+pub fn checkpoint(env: &dyn Env, spec: &DeltaSpec, keys: &[Value]) -> Result<usize> {
+    spec.checkpoints.fetch_add(1, Ordering::Relaxed);
+    let mut rebased = 0;
+    for key in keys {
+        let fresh = execute_query(env, &spec.recompute, std::slice::from_ref(key))?;
+        if fresh.is_empty() {
+            // No base rows for this key anymore; nothing to rebase against.
+            continue;
+        }
+        let Some(fresh) = fresh.single(&spec.derived_value)?.as_f64() else {
+            continue;
+        };
+        let stored = execute_query(env, &spec.lookup, std::slice::from_ref(key))?;
+        let Some(stored) = stored
+            .rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(Value::as_f64)
+        else {
+            continue;
+        };
+        if (stored - fresh).abs() > spec.epsilon {
+            execute_update(env, &spec.set_stmt, &[Value::Float(fresh), key.clone()])?;
+            rebased += 1;
+        }
+    }
+    spec.rebases.fetch_add(rebased as u64, Ordering::Relaxed);
+    Ok(rebased)
+}
+
+// ---------------------------------------------------------------------------
+// Row digests (FNV-1a): the delta-vs-recompute equivalence oracle
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_value(mut h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Null => fnv_bytes(h, &[0]),
+        Value::Int(i) => {
+            h = fnv_bytes(h, &[1]);
+            fnv_bytes(h, &i.to_le_bytes())
+        }
+        Value::Float(f) => {
+            h = fnv_bytes(h, &[2]);
+            // Bit-exact: a delta path that lands on a different float than
+            // the recompute path must produce a different digest.
+            fnv_bytes(h, &f.to_bits().to_le_bytes())
+        }
+        Value::Str(s) => {
+            h = fnv_bytes(h, &[3]);
+            h = fnv_bytes(h, &(s.len() as u64).to_le_bytes());
+            fnv_bytes(h, s.as_bytes())
+        }
+        Value::Bool(b) => fnv_bytes(h, &[4, *b as u8]),
+        Value::Timestamp(t) => {
+            h = fnv_bytes(h, &[5]);
+            fnv_bytes(h, &t.to_le_bytes())
+        }
+    }
+}
+
+/// FNV-1a digest over rows in the given order (callers wanting an
+/// order-insensitive digest sort first, e.g. via `order by` in the query).
+pub fn digest_rows<'a>(rows: impl IntoIterator<Item = &'a Vec<Value>>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for row in rows {
+        h = fnv_bytes(h, &(row.len() as u64).to_le_bytes());
+        for v in row {
+            h = fnv_value(h, v);
+        }
+    }
+    h
+}
+
+/// Digest a materialized result set row-by-row.
+pub fn digest_result(rs: &crate::exec::ResultSet) -> u64 {
+    digest_rows(rs.rows.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeltaSpec {
+        DeltaSpec::weighted_sum(
+            "comp_prices",
+            "comp",
+            "price",
+            "matches",
+            "comp",
+            Some("weight"),
+            "old_price",
+            "new_price",
+            "select sum(price * weight) as price from stocks, comps_list \
+             where stocks.symbol = comps_list.symbol and comp = ?",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_parses_statements() {
+        let s = spec();
+        assert_eq!(s.apply_stmt.table, "comp_prices");
+        assert!(s.apply_stmt.assignments[0].increment);
+        assert!(!s.set_stmt.assignments[0].increment);
+        assert_eq!(s.checkpoint_every, 64);
+    }
+
+    #[test]
+    fn bad_recompute_sql_rejected() {
+        let e = DeltaSpec::weighted_sum(
+            "d",
+            "k",
+            "v",
+            "b",
+            "k",
+            None,
+            "o",
+            "n",
+            "update d set v = 1",
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn digest_is_order_and_value_sensitive() {
+        let a = [vec![Value::from("x"), Value::Float(1.0)]];
+        let b = [vec![Value::from("x"), Value::Float(1.0 + 1e-12)]];
+        let c = vec![
+            vec![Value::from("x"), Value::Float(1.0)],
+            vec![Value::from("y"), Value::Float(2.0)],
+        ];
+        let mut d = c.clone();
+        d.reverse();
+        assert_eq!(digest_rows(a.iter()), digest_rows(a.iter()));
+        assert_ne!(digest_rows(a.iter()), digest_rows(b.iter()));
+        assert_ne!(digest_rows(c.iter()), digest_rows(d.iter()));
+        // Row-boundary sensitivity: [x,1],[y] ≠ [x],[1,y].
+        let e = [
+            vec![Value::from("x"), Value::Int(1)],
+            vec![Value::from("y")],
+        ];
+        let f = [
+            vec![Value::from("x")],
+            vec![Value::Int(1), Value::from("y")],
+        ];
+        assert_ne!(digest_rows(e.iter()), digest_rows(f.iter()));
+    }
+
+    #[test]
+    fn digest_distinguishes_int_and_float() {
+        let a = [vec![Value::Int(1)]];
+        let b = [vec![Value::Float(1.0)]];
+        assert_ne!(digest_rows(a.iter()), digest_rows(b.iter()));
+    }
+}

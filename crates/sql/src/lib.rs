@@ -33,6 +33,7 @@ pub mod ast;
 pub mod batch;
 pub mod cache;
 pub mod cost;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -45,6 +46,10 @@ pub use ast::Statement;
 pub use batch::{invocations as batch_invocations, RowBatch};
 pub use cache::PlanCache;
 pub use cost::PlannerMode;
+pub use delta::{
+    checkpoint, delta_apply, digest_result, digest_rows, DeltaMutant, DeltaOutcome, DeltaSpec,
+    DeltaStats,
+};
 pub use error::{Result, SqlError};
 pub use exec::{
     execute_delete, execute_insert, execute_plan, execute_query, execute_query_bound,

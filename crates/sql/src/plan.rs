@@ -53,7 +53,9 @@ pub struct IndexMeta {
 }
 
 /// What the planner needs to know about a relation — schema, size estimate,
-/// and index metadata — without reading data or taking locks.
+/// index metadata, and per-column distinct counts — without taking any
+/// lock-manager locks (unindexed-column statistics come from a bounded,
+/// cached sample behind short-lived storage latches).
 #[derive(Debug, Clone)]
 pub struct RelMeta {
     /// The relation's schema.
@@ -65,6 +67,12 @@ pub struct RelMeta {
     /// True for standard (catalog) tables; temporary/bound tables and views
     /// are not standard and cannot be probed or written.
     pub standard: bool,
+    /// Distinct-count estimate per column offset: exact index key counts
+    /// where an index exists, sampled estimates for unindexed standard
+    /// columns, exact counts for (small) temporary tables. Empty when the
+    /// relation's data is unavailable at plan time (e.g. unexpanded views);
+    /// a `0` entry likewise means "unknown".
+    pub col_distincts: Vec<usize>,
 }
 
 impl RelMeta {
@@ -85,12 +93,16 @@ impl RelMeta {
                     })
                     .collect(),
                 standard: true,
+                col_distincts: (0..t.schema().columns().len())
+                    .map(|c| t.distinct_estimate(c))
+                    .collect(),
             },
             Rel::Temp(t) => RelMeta {
                 schema: t.schema().clone(),
                 est_rows: t.len(),
                 indexes: Vec::new(),
                 standard: false,
+                col_distincts: temp_distincts(t),
             },
         }
     }
@@ -106,13 +118,35 @@ impl RelMeta {
         self.standard && self.index_kind_on(column).is_some()
     }
 
-    /// Distinct-key estimate of the index on `column`, if one exists.
+    /// Distinct-value estimate for `column`: the index's exact key count
+    /// when one exists, otherwise the sampled/scanned column statistic.
+    /// `None` only when the column's data was unavailable at plan time.
     pub(crate) fn distinct_on(&self, column: usize) -> Option<usize> {
         self.indexes
             .iter()
             .find(|m| m.column == column)
             .map(|m| m.distinct_keys)
+            .or_else(|| self.col_distincts.get(column).copied().filter(|&d| d > 0))
     }
+}
+
+/// Exact per-column distinct counts of a temporary table, capped: transition
+/// and bound tables are per-commit small, but a runaway temp table falls
+/// back to a scaled estimate over the first rows rather than a full scan.
+fn temp_distincts(t: &strip_storage::TempTable) -> Vec<usize> {
+    const SAMPLE_ROWS: usize = 2048;
+    let rows = t.len();
+    let sampled = rows.min(SAMPLE_ROWS);
+    let ncols = t.schema().columns().len();
+    (0..ncols)
+        .map(|c| {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..sampled {
+                seen.insert(t.value(i, c).clone());
+            }
+            strip_storage::estimate_distinct(seen.len(), sampled, rows)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -521,6 +555,24 @@ pub fn plan_query_with(env: &dyn Env, q: &Query, mode: PlannerMode) -> Result<Se
             }
         }
 
+        // Output estimate of a nested-loop step: an unconsumed equality
+        // conjunct still filters the cross product down to the equi-join's
+        // cardinality, so the estimate applies its selectivity instead of
+        // multiplying by the full inner size (the old behaviour, kept only
+        // for a genuine cross join). This is what keeps the estimate of
+        // plan shapes like `scan(new)>ixjoin(comps_list)>nl(old)` honest:
+        // `old` pairs 1:1 on `execute_order`, not |old|:1.
+        let nl_est = |est: u64| match &equi_cand {
+            Some((_, column, _)) => {
+                let per_key = inner
+                    .distinct_on(*column)
+                    .map(|d| cost::rows_per_key(inner_rows, d as u64))
+                    .unwrap_or(1);
+                est.saturating_mul(per_key)
+            }
+            None => est.saturating_mul(inner_rows),
+        };
+
         // (step, consumed conjunct, output-cardinality estimate, label)
         let (step, consumed, next_est, tag) = match mode {
             PlannerMode::Syntactic => match probe_cand {
@@ -536,12 +588,7 @@ pub fn plan_query_with(env: &dyn Env, q: &Query, mode: PlannerMode) -> Result<Se
                         "ixjoin",
                     )
                 }
-                None => (
-                    JoinStep::NestedLoop,
-                    None,
-                    est.saturating_mul(inner_rows),
-                    "nl",
-                ),
+                None => (JoinStep::NestedLoop, None, nl_est(est), "nl"),
             },
             PlannerMode::CostBased => {
                 let nl_cost = cost::step_nl_cost(est, inner_rows, inner.standard);
@@ -551,8 +598,9 @@ pub fn plan_query_with(env: &dyn Env, q: &Query, mode: PlannerMode) -> Result<Se
                 });
                 let hash_c = equi_cand.as_ref().map(|(_, column, _)| {
                     // Expected matches per probe: exact when an index
-                    // tracks the column's distinct keys, assumed unique
-                    // otherwise.
+                    // tracks the column's distinct keys, a sampled
+                    // per-column statistic otherwise (unknown columns —
+                    // e.g. unexpanded views — assume unique keys).
                     let per_key = inner
                         .distinct_on(*column)
                         .map(|d| cost::rows_per_key(inner_rows, d as u64))
@@ -590,12 +638,7 @@ pub fn plan_query_with(env: &dyn Env, q: &Query, mode: PlannerMode) -> Result<Se
                         "hash",
                     )
                 } else {
-                    (
-                        JoinStep::NestedLoop,
-                        None,
-                        est.saturating_mul(inner_rows),
-                        "nl",
-                    )
+                    (JoinStep::NestedLoop, None, nl_est(est), "nl")
                 }
             }
         };

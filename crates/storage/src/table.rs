@@ -155,6 +155,11 @@ pub struct StandardTable {
     /// class does not bump it, so steady-state workloads keep their plans.
     stats_epoch: AtomicU64,
     indexes: RwLock<Vec<Arc<TableIndex>>>,
+    /// Per-column distinct-count estimates for *unindexed* columns, computed
+    /// on demand from a bounded sample and cached as `(stats_epoch, value)`.
+    /// The cache invalidates on the same size-class signal as cached plans,
+    /// so a plan and the statistics it priced stay in step.
+    distinct_cache: RwLock<Vec<Option<(u64, usize)>>>,
 }
 
 /// Power-of-two size class of a row count: 0, 1, 2–3, 4–7, 8–15, … each
@@ -164,6 +169,26 @@ fn size_class(n: usize) -> u32 {
     match n {
         0 => 0,
         _ => n.ilog2() + 1,
+    }
+}
+
+/// Scale a sample's distinct count to the full table. Exact when the whole
+/// table was sampled. A duplicate-free sample means the column is key-like
+/// (distinct ≈ rows); otherwise the sample's distinct ratio is scaled
+/// linearly, which is exact for uniformly repeated keys and a conservative
+/// over-count under skew (an over-count shrinks the rows-per-key estimate,
+/// never inflating join-output estimates).
+pub fn estimate_distinct(d_sample: usize, sampled: usize, rows: usize) -> usize {
+    if sampled == 0 {
+        return 0;
+    }
+    if sampled >= rows {
+        return d_sample;
+    }
+    if d_sample == sampled {
+        rows
+    } else {
+        (d_sample * rows / sampled).clamp(d_sample, rows)
     }
 }
 
@@ -229,6 +254,7 @@ impl StandardTable {
             live: AtomicUsize::new(0),
             stats_epoch: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
+            distinct_cache: RwLock::new(Vec::new()),
         }
     }
 
@@ -378,6 +404,48 @@ impl StandardTable {
     pub fn reinsert(&self, rec: &RecordRef) -> Result<RowId> {
         let (id, _) = self.insert(rec.values().to_vec())?;
         Ok(id)
+    }
+
+    /// Estimated number of distinct values in `column`, for planner
+    /// selectivity on columns without an index (indexed columns answer
+    /// exactly from the index's key count). Unindexed columns are estimated
+    /// from a bounded sample of live rows; the result is cached until the
+    /// statistics epoch moves, which is the same size-class signal that
+    /// invalidates cached plans — so a cached plan and the statistic it was
+    /// priced with stay consistent.
+    pub fn distinct_estimate(&self, column: usize) -> usize {
+        if let Some(ix) = self.index_on(column) {
+            return ix.distinct_keys();
+        }
+        let epoch = self.stats_epoch();
+        if let Some(Some((e, d))) = self.distinct_cache.read().get(column) {
+            if *e == epoch {
+                return *d;
+            }
+        }
+        const SAMPLE_ROWS: usize = 1024;
+        let rows = self.len();
+        let mut seen = std::collections::HashSet::new();
+        let mut sampled = 0usize;
+        'shards: for lock in &self.shards {
+            let s = lock.read();
+            for slot in &s.slots {
+                if let Some(r) = &slot.rec {
+                    seen.insert(r.get(column).clone());
+                    sampled += 1;
+                    if sampled >= SAMPLE_ROWS {
+                        break 'shards;
+                    }
+                }
+            }
+        }
+        let d = estimate_distinct(seen.len(), sampled, rows);
+        let mut cache = self.distinct_cache.write();
+        if cache.len() <= column {
+            cache.resize(column + 1, None);
+        }
+        cache[column] = Some((epoch, d));
+        d
     }
 
     /// Snapshot of the live rows, shard by shard. Each shard latch is held
