@@ -2,18 +2,12 @@
 //! under hierarchical key-granular locking, with the table-granular
 //! ablation. Writes `BENCH_parallel.json`.
 //!
-//! Wall-clock scaling cannot be measured honestly on an arbitrary CI
-//! host (this container may well have a single core), so the benchmark
-//! measures what the lock protocol *admits*: every quote transaction is
-//! executed once on the deterministic simulator to capture its charged
-//! virtual cost (the Table-1-calibrated µs) and its full lock footprint
-//! (`Txn::lock_footprint()`, table intents plus key locks). A greedy
-//! conflict-aware list scheduler then assigns the transaction stream to
-//! 1/2/4/8 virtual workers: a transaction may not start before every
-//! earlier transaction holding an incompatible lock on a shared resource
-//! has finished — exactly the ordering strict 2PL enforces. The makespan
-//! ratio is the scaling the lock manager permits, independent of host
-//! core count.
+//! The profiling/scheduling model lives in [`strip_bench::parallel`]: each
+//! quote transaction is executed once on the deterministic simulator to
+//! capture its charged virtual cost and lock footprint, then a greedy
+//! conflict-aware list scheduler assigns the stream to 1/2/4/8 virtual
+//! workers. The makespan ratio is the scaling the lock manager permits,
+//! independent of host core count.
 //!
 //! Scenarios: `disjoint` (quotes round-robin the whole symbol universe,
 //! so concurrent transactions touch distinct keys) and `hot` (all quotes
@@ -23,150 +17,69 @@
 //! granularity serializes everything (speedup ≈ 1) regardless of
 //! workload: that gap is the point of the hierarchical lock manager.
 //!
+//! The hot/key scenario is additionally re-scheduled with a contention
+//! observer: the resources that serialized the schedule rank in a
+//! SpaceSaving hot-key map, emitted as the `contention` JSON section and
+//! printed as a table — the planted hot symbols must top it.
+//!
 //! ```text
 //! exp_parallel [--txns N] [--json PATH]
 //! ```
 
-use std::collections::HashMap;
 use std::process::ExitCode;
-use strip_core::{LockGranularity, Strip};
-use strip_finance::{Pta, PtaConfig};
-use strip_obs::json;
-use strip_storage::Value;
-use strip_txn::LockMode;
+use strip_bench::parallel::{makespan_observed, profile, sweep, ScalePoint, HOT_SYMBOLS};
+use strip_core::LockGranularity;
+use strip_obs::export::{hot_json, render_hot};
+use strip_obs::{json, HotEntry, ObsSink};
 
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const HOT_SYMBOLS: usize = 4;
 const REQUIRED_SPEEDUP_AT_4: f64 = 3.0;
-
-/// One profiled quote transaction: its charged virtual cost and the locks
-/// it held at commit.
-struct TxnProfile {
-    cost_us: u64,
-    footprint: Vec<(String, LockMode)>,
-}
-
-/// Execute `n_txns` quote updates on a fresh simulator-mode PTA and record
-/// each transaction's cost and footprint. `hot` narrows the symbol choice
-/// to the first `h` symbols (the contended workload); otherwise quotes
-/// round-robin the whole universe.
-fn profile(granularity: LockGranularity, hot: Option<usize>, n_txns: usize) -> Vec<TxnProfile> {
-    let db = Strip::builder().lock_granularity(granularity).build();
-    let pta = Pta::build(PtaConfig::small(), db).expect("PTA build");
-    let n_symbols = pta.symbols.len();
-    let upd = std::sync::Arc::new(
-        strip_sql::parse_statement("update stocks set price = ? where symbol = ?")
-            .expect("prepared update"),
-    );
-    let mut out = Vec::with_capacity(n_txns);
-    for (i, q) in pta.trace.quotes.iter().cycle().take(n_txns).enumerate() {
-        let sym_id = match hot {
-            Some(h) => i % h,
-            None => i % n_symbols,
-        };
-        let sym = pta.symbols[sym_id].clone();
-        let price = q.price;
-        let upd = upd.clone();
-        let t0 = pta.db.now_us();
-        let footprint = pta
-            .db
-            .txn(move |t| {
-                t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
-                Ok(t.lock_footprint())
-            })
-            .expect("quote txn");
-        let cost_us = (pta.db.now_us() - t0).max(1);
-        out.push(TxnProfile { cost_us, footprint });
-    }
-    pta.db.drain();
-    out
-}
-
-/// Greedy conflict-aware list schedule: transactions are placed in stream
-/// order on the earliest-free worker, but may not start before the finish
-/// time of any earlier transaction whose footprint conflicts (shares a
-/// resource in incompatible modes). Returns the makespan in virtual µs.
-fn makespan(profiles: &[TxnProfile], workers: usize) -> u64 {
-    let mut free = vec![0u64; workers];
-    // Per resource, the latest finish time seen for each held mode.
-    let mut last: HashMap<&str, Vec<(LockMode, u64)>> = HashMap::new();
-    for p in profiles {
-        let mut ready = 0u64;
-        for (res, mode) in &p.footprint {
-            if let Some(held) = last.get(res.as_str()) {
-                for (hm, end) in held {
-                    if !mode.compatible_with(*hm) {
-                        ready = ready.max(*end);
-                    }
-                }
-            }
-        }
-        let wi = (0..workers).min_by_key(|&i| free[i]).unwrap();
-        let start = free[wi].max(ready);
-        let end = start + p.cost_us;
-        free[wi] = end;
-        for (res, mode) in &p.footprint {
-            let held = last.entry(res.as_str()).or_default();
-            match held.iter_mut().find(|(hm, _)| hm == mode) {
-                Some(e) => e.1 = e.1.max(end),
-                None => held.push((*mode, end)),
-            }
-        }
-    }
-    free.into_iter().max().unwrap_or(0)
-}
-
-struct Point {
-    workers: usize,
-    makespan_us: u64,
-    speedup: f64,
-    throughput_ktxn_s: f64,
-}
-
-fn sweep(profiles: &[TxnProfile]) -> Vec<Point> {
-    let serial = makespan(profiles, 1);
-    WORKER_COUNTS
-        .iter()
-        .map(|&w| {
-            let m = makespan(profiles, w);
-            Point {
-                workers: w,
-                makespan_us: m,
-                speedup: serial as f64 / m as f64,
-                throughput_ktxn_s: profiles.len() as f64 * 1e3 / m as f64,
-            }
-        })
-        .collect()
-}
+const HOT_TOP_K: usize = 8;
 
 struct Scenario {
     workload: &'static str,
     granularity: &'static str,
-    points: Vec<Point>,
+    points: Vec<ScalePoint>,
 }
 
-fn run_all(n_txns: usize) -> Vec<Scenario> {
+fn run_all(n_txns: usize) -> (Vec<Scenario>, Vec<HotEntry>) {
     let cases: [(&str, Option<usize>, &str, LockGranularity); 4] = [
         ("disjoint", None, "key", LockGranularity::Key),
         ("disjoint", None, "table", LockGranularity::Table),
         ("hot", Some(HOT_SYMBOLS), "key", LockGranularity::Key),
         ("hot", Some(HOT_SYMBOLS), "table", LockGranularity::Table),
     ];
-    cases
+    let mut hot_map = Vec::new();
+    let scenarios = cases
         .iter()
         .map(|&(workload, hot, gname, g)| {
             eprintln!("profiling {n_txns} quote txns: workload={workload} granularity={gname}");
             let profiles = profile(g, hot, n_txns);
+            if workload == "hot" && gname == "key" {
+                // Re-schedule with the contention observer to rank the
+                // resources that serialize the hot workload. Run at 8
+                // workers — parallelism beyond the 4 hot keys — so worker
+                // availability outpaces key availability and every
+                // conflict-induced stall is visible as wait time.
+                let obs = ObsSink::new(16);
+                makespan_observed(&profiles, 8, Some(&obs));
+                hot_map = obs.hot_run(HOT_TOP_K);
+            }
             Scenario {
                 workload,
                 granularity: gname,
                 points: sweep(&profiles),
             }
         })
-        .collect()
+        .collect();
+    (scenarios, hot_map)
 }
 
-fn render_json(n_txns: usize, scenarios: &[Scenario], speedup_at_4: f64) -> String {
+fn render_json(
+    n_txns: usize,
+    scenarios: &[Scenario],
+    hot_map: &[HotEntry],
+    speedup_at_4: f64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"parallel_scaling\",\n");
     s.push_str("  \"scale\": \"small\",\n");
@@ -197,6 +110,11 @@ fn render_json(n_txns: usize, scenarios: &[Scenario], speedup_at_4: f64) -> Stri
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
+        "  \"contention\": {{\"workload\": \"hot\", \"granularity\": \"key\", \
+         \"workers\": 8, \"top\": {}}},\n",
+        hot_json(hot_map)
+    ));
+    s.push_str(&format!(
         "  \"check\": {{\"disjoint_key_speedup_at_4\": {:.3}, \"required_min\": {:.1}, \
          \"pass\": {}}}\n",
         speedup_at_4,
@@ -226,8 +144,7 @@ fn main() -> ExitCode {
             }
         }
     }
-
-    let scenarios = run_all(n_txns);
+    let (scenarios, hot_map) = run_all(n_txns);
 
     println!("workload  granularity  workers  makespan_us  speedup  ktxn/s");
     for sc in &scenarios {
@@ -243,6 +160,8 @@ fn main() -> ExitCode {
             );
         }
     }
+    println!();
+    print!("{}", render_hot("hot/key contention (8 workers)", &hot_map));
 
     let speedup_at_4 = scenarios
         .iter()
@@ -251,7 +170,7 @@ fn main() -> ExitCode {
         .map(|p| p.speedup)
         .unwrap_or(0.0);
 
-    let rendered = render_json(n_txns, &scenarios, speedup_at_4);
+    let rendered = render_json(n_txns, &scenarios, &hot_map, speedup_at_4);
     json::validate(&rendered).expect("BENCH_parallel.json must be valid JSON");
     std::fs::write(&json_path, &rendered).expect("write json");
     eprintln!("wrote {json_path}");

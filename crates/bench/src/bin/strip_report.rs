@@ -8,10 +8,17 @@
 //! spent in), and per-kind latency histograms. Also writes the machine
 //! artifact `BENCH_obs.json`.
 //!
+//! Telemetry is collected in 1-second windows of virtual time; a staleness
+//! SLO of `p99 ≤ 1s` is declared on `comp_prices`, so the non-unique
+//! baseline meets it while the 2-second batching window of the `unique on
+//! comp` run misses it — the report renders per-table verdicts and both are
+//! carried in the JSON (`windows` and `slo` sections). `--series` prints
+//! the per-window staleness series as a table.
+//!
 //! ```text
 //! strip-report [--paper|--medium|--small] [--delay S] [--json PATH]
-//!              [--check] [--baseline PATH] [--write-baseline PATH]
-//!              [--tolerance PCT]
+//!              [--series] [--check] [--baseline PATH]
+//!              [--write-baseline PATH] [--tolerance PCT]
 //! ```
 //!
 //! `--check` validates the emitted JSON and the staleness numbers (CI's
@@ -28,15 +35,23 @@
 //! baseline with `--write-baseline` (see README).
 
 use std::process::ExitCode;
-use strip_bench::{fresh_pta_traced, Scale};
+use strip_bench::{fresh_pta_windowed, Scale};
 use strip_finance::CompVariant;
 use strip_obs::json::{self, Json};
-use strip_obs::{render_attribution, AttributionSummary, ObsSnapshot};
+use strip_obs::{render_attribution, AttributionSummary, ObsSnapshot, SloReport, WindowsSnapshot};
+
+/// Telemetry window width (1s of virtual time) and ring capacity.
+const WINDOW_US: u64 = 1_000_000;
+const WINDOW_CAP: usize = 4096;
+/// The staleness SLO declared on the maintained composite table.
+const SLO_TABLE: &str = "comp_prices";
+const SLO_BOUND_US: u64 = 1_000_000;
 
 struct Args {
     scale: Scale,
     delay_s: f64,
     json_path: String,
+    series: bool,
     check: bool,
     baseline: Option<String>,
     write_baseline: Option<String>,
@@ -48,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Small,
         delay_s: 2.0,
         json_path: "BENCH_obs.json".to_string(),
+        series: false,
         check: false,
         baseline: None,
         write_baseline: None,
@@ -68,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--delay: {e}"))?;
             }
             "--json" => args.json_path = it.next().ok_or("--json needs a path")?,
+            "--series" => args.series = true,
             "--check" => args.check = true,
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--write-baseline" => {
@@ -83,7 +100,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: strip-report [--paper|--medium|--small] [--delay S] \
-                     [--json PATH] [--check] [--baseline PATH] \
+                     [--json PATH] [--series] [--check] [--baseline PATH] \
                      [--write-baseline PATH] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -105,10 +122,14 @@ struct Run {
     sum_violations: u64,
     /// The trace ring wrapped: attribution only covers the surviving tail.
     ring_truncated: bool,
+    /// Per-window telemetry frames (sealed ring + open tail).
+    windows: WindowsSnapshot,
+    /// Staleness-SLO compliance over those windows.
+    slo: SloReport,
 }
 
 fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
-    let pta = fresh_pta_traced(scale);
+    let pta = fresh_pta_windowed(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)]);
     pta.install_comp_rule(variant, delay_s)
         .expect("install rule");
     let report = pta.run_trace().expect("run trace");
@@ -130,7 +151,56 @@ fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
         attribution: lin.attribution(),
         sum_violations,
         ring_truncated: lin.ring_truncated(),
+        windows: pta.db.obs().windows_snapshot(),
+        slo: pta.db.obs().slo_report(),
     }
+}
+
+/// Human-readable per-window staleness series (`--series`).
+fn render_series(r: &Run) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "per-window staleness series ({}us windows):",
+        r.windows.window_us
+    );
+    let _ = writeln!(
+        s,
+        "  {:>6} {:>9}  {:<16} {:>7} {:>10} {:>10}  slo",
+        "window", "start_s", "table", "n", "p99_us", "max_us"
+    );
+    for f in &r.windows.frames {
+        for (table, h) in &f.staleness {
+            let verdict = f
+                .slo
+                .iter()
+                .find(|e| &e.table == table)
+                .map(|e| if e.ok { "ok" } else { "VIOLATED" })
+                .unwrap_or("-");
+            let _ = writeln!(
+                s,
+                "  {:>6} {:>9.1}  {:<16} {:>7} {:>10} {:>10}  {}{}",
+                f.index,
+                f.start_us as f64 / 1e6,
+                table,
+                h.count,
+                h.percentile(0.99),
+                h.max,
+                verdict,
+                if f.open { " (open)" } else { "" }
+            );
+        }
+    }
+    if r.windows.truncated {
+        let _ = writeln!(
+            s,
+            "  (ring truncated: {} windows sealed, {} retained)",
+            r.windows.sealed,
+            r.windows.frames.len()
+        );
+    }
+    s
 }
 
 /// The virtual-clock (host-independent) attribution metrics of one table.
@@ -159,14 +229,17 @@ fn run_json(r: &Run) -> String {
     let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
     format!(
         "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
-         \"sum_violations\":{},\"ring_truncated\":{},\"attribution\":[{}],\"obs\":{}}}",
+         \"sum_violations\":{},\"ring_truncated\":{},\"attribution\":[{}],\"obs\":{},\
+         \"windows\":{},\"slo\":{}}}",
         strip_obs::export::json_escape(&r.series),
         r.delay_s,
         r.recompute_count,
         r.sum_violations,
         r.ring_truncated,
         attr.join(","),
-        r.snapshot.to_json()
+        r.snapshot.to_json(),
+        r.windows.to_json(true),
+        r.slo.to_json()
     )
 }
 
@@ -178,6 +251,28 @@ fn runs_json(scale: Scale, runs: &[Run]) -> String {
     )
 }
 
+/// The gated SLO-verdict subset of one run: every quantity derives from
+/// virtual-clock staleness, so same-seed runs reproduce it bit-for-bit.
+fn slo_baseline_json(r: &Run) -> String {
+    let tables: Vec<String> = r
+        .slo
+        .tables
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"table\":\"{}\",\"windows_evaluated\":{},\"windows_violated\":{},\
+                 \"worst_p99_us\":{},\"met\":{}}}",
+                strip_obs::export::json_escape(&t.table),
+                t.windows_evaluated,
+                t.windows_violated,
+                t.worst_p99_us,
+                t.met
+            )
+        })
+        .collect();
+    format!("[{}]", tables.join(","))
+}
+
 /// The committed-baseline document: the gated subset only.
 fn baseline_json(scale: Scale, runs: &[Run]) -> String {
     let entries: Vec<String> = runs
@@ -186,11 +281,12 @@ fn baseline_json(scale: Scale, runs: &[Run]) -> String {
             let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
             format!(
                 "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
-                 \"attribution\":[{}]}}",
+                 \"attribution\":[{}],\"slo\":{}}}",
                 strip_obs::export::json_escape(&r.series),
                 r.delay_s,
                 r.recompute_count,
-                attr.join(",")
+                attr.join(","),
+                slo_baseline_json(r)
             )
         })
         .collect();
@@ -245,6 +341,67 @@ fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
                     ));
                 }
             }
+        }
+    }
+    for r in runs {
+        // Windowed telemetry: the series must exist, and unless the ring
+        // wrapped, the per-window staleness frames must partition the run
+        // aggregate exactly (the proptest-pinned merge invariant, spot
+        // checked here on the real workload).
+        if r.windows.frames.is_empty() {
+            bad.push(format!("run `{}`: no telemetry windows", r.series));
+        }
+        if !r.windows.truncated {
+            for (table, agg) in &r.snapshot.staleness {
+                let merged: u64 = r
+                    .windows
+                    .frames
+                    .iter()
+                    .flat_map(|f| f.staleness.iter())
+                    .filter(|(t, _)| t == table)
+                    .map(|(_, h)| h.count)
+                    .sum();
+                if merged != agg.count {
+                    bad.push(format!(
+                        "run `{}`: windowed staleness for `{table}` sums to {merged}, \
+                         aggregate has {}",
+                        r.series, agg.count
+                    ));
+                }
+            }
+        }
+        // Every derived table with staleness samples must carry an SLO
+        // verdict.
+        for (table, _) in &r.snapshot.staleness {
+            if !r.slo.tables.iter().any(|t| &t.table == table) {
+                bad.push(format!(
+                    "run `{}`: derived table `{table}` has no SLO verdict",
+                    r.series
+                ));
+            }
+        }
+    }
+    // The declared bound separates the two runs: the un-batched baseline
+    // must meet it, the 2s-batched run must miss it.
+    if let [base, batched] = runs {
+        let met = |r: &Run| {
+            r.slo
+                .tables
+                .iter()
+                .find(|t| t.table == SLO_TABLE)
+                .map(|t| t.met)
+        };
+        if met(base) != Some(true) {
+            bad.push(format!(
+                "non-unique run should meet the {SLO_BOUND_US}us SLO: {:?}",
+                base.slo
+            ));
+        }
+        if met(batched) != Some(false) {
+            bad.push(format!(
+                "batched run should miss the {SLO_BOUND_US}us SLO: {:?}",
+                batched.slo
+            ));
         }
     }
     if runs.len() == 2 && runs[1].recompute_count > runs[0].recompute_count {
@@ -334,6 +491,52 @@ fn diff_baseline(runs: &[Run], doc: &Json, tol_pct: f64) -> Vec<String> {
                 }
             }
         }
+        // SLO verdicts are bit-deterministic virtual-clock quantities:
+        // gate them exactly (worst p99 within tolerance, like other sums).
+        let Some(want_slo) = want.get("slo").and_then(Json::as_arr) else {
+            bad.push(format!("baseline series `{series}`: missing slo"));
+            continue;
+        };
+        for ws in want_slo {
+            let table = ws.get("table").and_then(Json::as_str).unwrap_or("?");
+            let Some(gs) = got.slo.tables.iter().find(|t| t.table == table) else {
+                bad.push(format!(
+                    "series `{series}`: table `{table}` missing from SLO report"
+                ));
+                continue;
+            };
+            let exact: [(&str, u64); 2] = [
+                ("windows_evaluated", gs.windows_evaluated),
+                ("windows_violated", gs.windows_violated),
+            ];
+            for (key, got_v) in exact {
+                let want_v = ws.get(key).and_then(Json::as_u64);
+                if want_v != Some(got_v) {
+                    bad.push(format!(
+                        "series `{series}` slo `{table}`: {key} {got_v} != baseline {want_v:?}"
+                    ));
+                }
+            }
+            if ws.get("met").and_then(Json::as_bool) != Some(gs.met) {
+                bad.push(format!(
+                    "series `{series}` slo `{table}`: met {} != baseline",
+                    gs.met
+                ));
+            }
+            if let Some(want_p99) = ws.get("worst_p99_us").and_then(Json::as_f64) {
+                if !within(gs.worst_p99_us as f64, want_p99) {
+                    bad.push(format!(
+                        "series `{series}` slo `{table}`: worst_p99_us {} \
+                         drifted >{tol_pct}% from baseline {want_p99}",
+                        gs.worst_p99_us
+                    ));
+                }
+            } else {
+                bad.push(format!(
+                    "series `{series}` slo `{table}`: baseline missing worst_p99_us"
+                ));
+            }
+        }
     }
     bad
 }
@@ -362,6 +565,12 @@ fn main() -> ExitCode {
         print!("{}", render_attribution(&r.attribution));
         if r.ring_truncated {
             println!("  (trace ring wrapped: attribution covers the surviving tail)");
+        }
+        println!();
+        print!("{}", r.slo.render_table());
+        if args.series {
+            println!();
+            print!("{}", render_series(r));
         }
         println!();
     }

@@ -14,6 +14,8 @@
 //! calls out (pointer-tuple layout, index structures, scheduling policies,
 //! unique-dispatch overhead).
 
+pub mod parallel;
+
 use std::fmt::Write as _;
 use strip_core::Strip;
 use strip_finance::{CompVariant, OptionVariant, Pta, PtaConfig, RunReport};
@@ -95,6 +97,23 @@ pub fn ring_capacity(scale: Scale) -> usize {
 /// causal-lineage analysis (`strip-trace`, `strip-report` attribution).
 pub fn fresh_pta_traced(scale: Scale) -> Pta {
     let obs = strip_obs::ObsSink::new(ring_capacity(scale));
+    let db = Strip::builder().observability(obs).build();
+    Pta::build(scale.config(), db).expect("PTA build")
+}
+
+/// Like [`fresh_pta_traced`] but with windowed telemetry — `window_us`-wide
+/// frames of virtual time in a ring of `capacity` — and the given staleness
+/// SLOs (`(derived table, p99 bound µs)`) declared up front.
+pub fn fresh_pta_windowed(
+    scale: Scale,
+    window_us: u64,
+    capacity: usize,
+    slos: &[(&str, u64)],
+) -> Pta {
+    let obs = strip_obs::ObsSink::with_windows(ring_capacity(scale), window_us, capacity);
+    for (table, bound_us) in slos {
+        obs.declare_slo(table, *bound_us);
+    }
     let db = Strip::builder().observability(obs).build();
     Pta::build(scale.config(), db).expect("PTA build")
 }

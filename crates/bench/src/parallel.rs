@@ -1,0 +1,147 @@
+//! Conflict-aware parallel-scaling model shared by `exp_parallel` and the
+//! contention-map tests.
+//!
+//! Wall-clock scaling cannot be measured honestly on an arbitrary CI host,
+//! so the model measures what the lock protocol *admits*: every transaction
+//! is executed once on the deterministic simulator to capture its charged
+//! virtual cost and full lock footprint, then a greedy conflict-aware list
+//! scheduler assigns the stream to N virtual workers — a transaction may
+//! not start before every earlier transaction holding an incompatible lock
+//! on a shared resource has finished, exactly the ordering strict 2PL
+//! enforces.
+//!
+//! The scheduler also knows *why* each transaction waited: the resource
+//! whose conflicting holder finished last is the binding constraint. Those
+//! waits feed [`ObsSink::record_contention`], so the hot-key map ranks the
+//! resources that actually serialized the schedule.
+
+use std::collections::HashMap;
+use strip_core::{LockGranularity, Strip};
+use strip_finance::{Pta, PtaConfig};
+use strip_obs::ObsSink;
+use strip_storage::Value;
+use strip_txn::LockMode;
+
+/// Worker counts the scaling sweep evaluates.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Number of symbols the `hot` workload hammers.
+pub const HOT_SYMBOLS: usize = 4;
+
+/// One profiled quote transaction: its charged virtual cost and the locks
+/// it held at commit.
+pub struct TxnProfile {
+    pub cost_us: u64,
+    pub footprint: Vec<(String, LockMode)>,
+}
+
+/// Execute `n_txns` quote updates on a fresh simulator-mode PTA and record
+/// each transaction's cost and footprint. `hot` narrows the symbol choice
+/// to the first `h` symbols (the contended workload); otherwise quotes
+/// round-robin the whole universe.
+pub fn profile(granularity: LockGranularity, hot: Option<usize>, n_txns: usize) -> Vec<TxnProfile> {
+    let db = Strip::builder().lock_granularity(granularity).build();
+    let pta = Pta::build(PtaConfig::small(), db).expect("PTA build");
+    let n_symbols = pta.symbols.len();
+    let upd = std::sync::Arc::new(
+        strip_sql::parse_statement("update stocks set price = ? where symbol = ?")
+            .expect("prepared update"),
+    );
+    let mut out = Vec::with_capacity(n_txns);
+    for (i, q) in pta.trace.quotes.iter().cycle().take(n_txns).enumerate() {
+        let sym_id = match hot {
+            Some(h) => i % h,
+            None => i % n_symbols,
+        };
+        let sym = pta.symbols[sym_id].clone();
+        let price = q.price;
+        let upd = upd.clone();
+        let t0 = pta.db.now_us();
+        let footprint = pta
+            .db
+            .txn(move |t| {
+                t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
+                Ok(t.lock_footprint())
+            })
+            .expect("quote txn");
+        let cost_us = (pta.db.now_us() - t0).max(1);
+        out.push(TxnProfile { cost_us, footprint });
+    }
+    pta.db.drain();
+    out
+}
+
+/// Greedy conflict-aware list schedule: transactions are placed in stream
+/// order on the earliest-free worker, but may not start before the finish
+/// time of any earlier transaction whose footprint conflicts (shares a
+/// resource in incompatible modes). Returns the makespan in virtual µs.
+pub fn makespan(profiles: &[TxnProfile], workers: usize) -> u64 {
+    makespan_observed(profiles, workers, None)
+}
+
+/// [`makespan`], additionally reporting each conflict-induced wait to the
+/// sink's contention map. A transaction's wait is the gap between its
+/// worker becoming free and its conflict-ready time; it is attributed to
+/// the *binding* resource — the one whose conflicting holder finished last.
+pub fn makespan_observed(profiles: &[TxnProfile], workers: usize, obs: Option<&ObsSink>) -> u64 {
+    let mut free = vec![0u64; workers];
+    // Per resource, the latest finish time seen for each held mode.
+    let mut last: HashMap<&str, Vec<(LockMode, u64)>> = HashMap::new();
+    for p in profiles {
+        let mut ready = 0u64;
+        let mut binding: Option<&str> = None;
+        for (res, mode) in &p.footprint {
+            if let Some(held) = last.get(res.as_str()) {
+                for (hm, end) in held {
+                    if !mode.compatible_with(*hm) && *end > ready {
+                        ready = *end;
+                        binding = Some(res);
+                    }
+                }
+            }
+        }
+        let wi = (0..workers).min_by_key(|&i| free[i]).unwrap();
+        let start = free[wi].max(ready);
+        if let (Some(obs), Some(res)) = (obs, binding) {
+            let wait = ready.saturating_sub(free[wi]);
+            if wait > 0 {
+                obs.record_contention(res, wait);
+            }
+        }
+        let end = start + p.cost_us;
+        free[wi] = end;
+        for (res, mode) in &p.footprint {
+            let held = last.entry(res.as_str()).or_default();
+            match held.iter_mut().find(|(hm, _)| hm == mode) {
+                Some(e) => e.1 = e.1.max(end),
+                None => held.push((*mode, end)),
+            }
+        }
+    }
+    free.into_iter().max().unwrap_or(0)
+}
+
+/// One point of the worker-count sweep.
+pub struct ScalePoint {
+    pub workers: usize,
+    pub makespan_us: u64,
+    pub speedup: f64,
+    pub throughput_ktxn_s: f64,
+}
+
+/// Sweep [`WORKER_COUNTS`] and report speedup relative to one worker.
+pub fn sweep(profiles: &[TxnProfile]) -> Vec<ScalePoint> {
+    let serial = makespan(profiles, 1);
+    WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let m = makespan(profiles, w);
+            ScalePoint {
+                workers: w,
+                makespan_us: m,
+                speedup: serial as f64 / m as f64,
+                throughput_ktxn_s: profiles.len() as f64 * 1e3 / m as f64,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,42 @@
+//! Acceptance: the contention map must identify the planted hot keys of
+//! the parallel benchmark's hot-key workload. `profile` narrows all quote
+//! updates to the first [`HOT_SYMBOLS`] symbols; scheduled at 8 workers —
+//! more parallelism than independent keys — every stall binds on a hot
+//! key, and the top-K hot map must contain the key resource of every
+//! planted symbol, ranked above any other resource.
+
+use strip_bench::parallel::{makespan, makespan_observed, profile, HOT_SYMBOLS};
+use strip_core::LockGranularity;
+use strip_obs::ObsSink;
+
+#[test]
+fn hot_key_workload_tops_contention_map() {
+    let profiles = profile(LockGranularity::Key, Some(HOT_SYMBOLS), 160);
+    let obs = ObsSink::new(16);
+    makespan_observed(&profiles, 8, Some(&obs));
+
+    let top = obs.hot_run(HOT_SYMBOLS);
+    let expected: Vec<String> = (0..HOT_SYMBOLS)
+        .map(|i| format!("stocks#symbol=S{i:05}"))
+        .collect();
+    for want in &expected {
+        assert!(
+            top.iter().any(|h| &h.resource == want),
+            "planted hot key {want} missing from top-{HOT_SYMBOLS}: {top:?}"
+        );
+    }
+    // Every retained entry carries wait mass, and the map is ranked.
+    for w in top.windows(2) {
+        assert!(
+            w[0].wait_us >= w[1].wait_us,
+            "hot map must be sorted: {top:?}"
+        );
+    }
+    assert!(top.iter().all(|h| h.wait_us > 0 && h.hits > 0), "{top:?}");
+
+    // The observer must not perturb the schedule itself.
+    assert_eq!(
+        makespan(&profiles, 8),
+        makespan_observed(&profiles, 8, Some(&obs))
+    );
+}

@@ -157,6 +157,8 @@ pub struct StripBuilder {
     durable: bool,
     injector: InjectorHandle,
     obs: Option<Arc<ObsSink>>,
+    telemetry: Option<(u64, usize)>,
+    slos: Vec<(String, u64)>,
     granularity: LockGranularity,
     planner: strip_sql::PlannerMode,
     maintenance: MaintenanceMode,
@@ -171,6 +173,8 @@ impl Default for StripBuilder {
             durable: false,
             injector: None,
             obs: None,
+            telemetry: None,
+            slos: Vec::new(),
             granularity: LockGranularity::Key,
             planner: strip_sql::PlannerMode::CostBased,
             maintenance: MaintenanceMode::Delta,
@@ -221,6 +225,26 @@ impl StripBuilder {
         self
     }
 
+    /// Configure the windowed telemetry collector of the *default* sink:
+    /// window width in µs of virtual time and the ring capacity (how many
+    /// sealed windows are retained). Ignored when an explicit sink is
+    /// installed with [`StripBuilder::observability`] — window geometry is
+    /// part of the sink (`ObsSink::with_windows`).
+    pub fn telemetry_windows(mut self, window_us: u64, capacity: usize) -> Self {
+        self.telemetry = Some((window_us, capacity));
+        self
+    }
+
+    /// Declare a staleness SLO for a derived table: its per-window p99
+    /// staleness must stay at or under `p99_bound_us`. Equivalent to the
+    /// `slo` clause of `CREATE RULE`, for rules installed through the API
+    /// rather than SQL. May be called once per table.
+    pub fn staleness_slo(mut self, table: impl Into<String>, p99_bound_us: u64) -> Self {
+        self.slos
+            .push((table.into().to_ascii_lowercase(), p99_bound_us));
+        self
+    }
+
     /// Choose the logical-lock granularity. The default is
     /// [`LockGranularity::Key`]; [`LockGranularity::Table`] restores
     /// whole-table locking (the parallel benchmark's ablation baseline).
@@ -253,7 +277,13 @@ impl StripBuilder {
 
     /// Build the database.
     pub fn build(self) -> Strip {
-        let obs = self.obs.unwrap_or_else(|| ObsSink::new(4096));
+        let obs = self.obs.unwrap_or_else(|| match self.telemetry {
+            Some((window_us, cap)) => ObsSink::with_windows(4096, window_us, cap),
+            None => ObsSink::new(4096),
+        });
+        for (table, bound_us) in &self.slos {
+            obs.declare_slo(table, *bound_us);
+        }
         let exec = match self.pool_workers {
             Some(n) => ExecutorHandle::Pool(WorkerPool::new_with_obs(
                 n,
@@ -275,9 +305,16 @@ impl StripBuilder {
         let wal = self
             .durable
             .then(|| Mutex::new(Wal::with_injector(self.injector.clone())));
+        // Shard-latch contention feeds the same hot-resource map as logical
+        // lock waits; storage stays obs-agnostic via the callback.
+        let catalog = Catalog::new();
+        let latch_obs = obs.clone();
+        catalog.set_latch_observer(Some(Arc::new(move |resource: &str, wait_us: u64| {
+            latch_obs.record_contention(resource, wait_us);
+        })));
         Strip {
             inner: Arc::new(StripInner {
-                catalog: Catalog::new(),
+                catalog,
                 model,
                 views: RwLock::new(HashMap::new()),
                 timers: Mutex::new(HashMap::new()),
@@ -548,6 +585,9 @@ impl Strip {
             }
             Statement::CreateRule(cr) => {
                 let rule = CompiledRule::compile(cr)?;
+                if let Some((table, bound_us)) = &rule.slo {
+                    self.inner.obs.declare_slo(table, *bound_us);
+                }
                 self.inner.engine.add_rule(rule)?;
                 Ok(ExecOutcome::Ddl)
             }

@@ -304,6 +304,9 @@ impl<'a> Txn<'a> {
                 self.inner
                     .obs
                     .record_lock_wait_labeled(key_granular, waited_us);
+                // Feed the hot-key contention map: waits rank the resources
+                // (keys or tables) transactions actually queue on.
+                self.inner.obs.record_contention(resource, waited_us);
                 self.inner.obs.event_ctx(
                     self.now_us(),
                     self.id.0,

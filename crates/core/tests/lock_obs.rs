@@ -115,4 +115,13 @@ fn lock_wait_histograms_label_by_granularity() {
         snap.lock_wait_us.count,
         "every histogram entry has a matching trace event"
     );
+
+    // The same waits feed the run-level hot-resource contention map, so the
+    // contended key ranks among the hot entries with its wait mass.
+    let hot = db.obs().hot_run(8);
+    assert!(
+        hot.iter()
+            .any(|h| h.resource == "quotes#symbol=HOT" && h.wait_us >= 1_000),
+        "contended key must appear in the hot map: {hot:?}"
+    );
 }

@@ -18,8 +18,9 @@
 //! }
 //! ```
 
-use crate::hist::HistSummary;
+use crate::hist::{bucket_hi, HistSummary};
 use crate::sink::ObsSnapshot;
+use crate::window::{HistFrame, HotEntry, SloReport, WindowFrame, WindowsSnapshot};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -342,6 +343,276 @@ impl ObsSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Windowed telemetry exporters
+// ---------------------------------------------------------------------------
+
+fn frame_hist_json(f: &HistFrame) -> String {
+    let buckets: Vec<String> = f
+        .buckets
+        .iter()
+        .map(|&(k, n)| format!("[{},{n}]", bucket_hi(k)))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[{}]}}",
+        f.count,
+        f.sum,
+        f.max,
+        json_f64(f.mean()),
+        f.percentile(0.50),
+        f.percentile(0.99),
+        buckets.join(",")
+    )
+}
+
+fn named_frames_json(items: &[(String, HistFrame)]) -> String {
+    let fields: Vec<String> = items
+        .iter()
+        .map(|(k, f)| format!("\"{}\":{}", json_escape(k), frame_hist_json(f)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Serialise a hot-entry list as a JSON array.
+pub fn hot_json(entries: &[HotEntry]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"resource\":\"{}\",\"wait_us\":{},\"err_us\":{},\"hits\":{}}}",
+                json_escape(&e.resource),
+                e.wait_us,
+                e.err_us,
+                e.hits
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+impl WindowFrame {
+    pub fn to_json(&self) -> String {
+        let slo: Vec<String> = self
+            .slo
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"table\":\"{}\",\"samples\":{},\"p99_us\":{},\"bound_us\":{},\"ok\":{}}}",
+                    json_escape(&e.table),
+                    e.samples,
+                    e.p99_us,
+                    e.bound_us,
+                    e.ok
+                )
+            })
+            .collect();
+        format!(
+            "{{\"index\":{},\"start_us\":{},\"end_us\":{},\"open\":{},\"tasks_run\":{},\"busy_us\":{},\"events_traced\":{},\"plan_choices\":{},\"queue_us\":{},\"lock_wait_us\":{},\"wal_us\":{},\"plan_compile_us\":{},\"exec_us\":{},\"staleness_us\":{},\"slo\":[{}],\"hot\":{}}}",
+            self.index,
+            self.start_us,
+            self.end_us,
+            self.open,
+            self.tasks_run,
+            self.busy_us,
+            self.events_traced,
+            self.plan_choices,
+            frame_hist_json(&self.queue),
+            frame_hist_json(&self.lock_wait),
+            frame_hist_json(&self.wal),
+            frame_hist_json(&self.plan_compile),
+            named_frames_json(&self.exec),
+            named_frames_json(&self.staleness),
+            slo.join(","),
+            hot_json(&self.hot),
+        )
+    }
+}
+
+impl WindowsSnapshot {
+    /// Serialise the whole ring. When `series_only`, empty frames are
+    /// dropped (gap windows carry no information but their absence is
+    /// recoverable from `index`).
+    pub fn to_json(&self, series_only: bool) -> String {
+        let frames: Vec<String> = self
+            .frames
+            .iter()
+            .filter(|f| !series_only || !f.is_empty())
+            .map(|f| f.to_json())
+            .collect();
+        format!(
+            "{{\"window_us\":{},\"capacity\":{},\"sealed\":{},\"truncated\":{},\"frames\":[{}]}}",
+            self.window_us,
+            self.capacity,
+            self.sealed,
+            self.truncated,
+            frames.join(",")
+        )
+    }
+
+    /// Prometheus gauges for the most recent sealed window (the open window
+    /// is excluded: it is still accumulating).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE strip_windows_sealed_total counter");
+        let _ = writeln!(out, "strip_windows_sealed_total {}", self.sealed);
+        let last = self.frames.iter().rev().find(|f| !f.open);
+        if let Some(f) = last {
+            let _ = writeln!(out, "# TYPE strip_window_tasks_run gauge");
+            let _ = writeln!(out, "strip_window_tasks_run {}", f.tasks_run);
+            let _ = writeln!(out, "# TYPE strip_window_busy_us gauge");
+            let _ = writeln!(out, "strip_window_busy_us {}", f.busy_us);
+            let _ = writeln!(out, "# TYPE strip_window_staleness_p99_us gauge");
+            for (table, sf) in &f.staleness {
+                if !prom_label_valid(table) {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "strip_window_staleness_p99_us{{table=\"{}\"}} {}",
+                    prom_escape(table),
+                    sf.percentile(0.99)
+                );
+            }
+            let _ = writeln!(out, "# TYPE strip_window_hot_wait_us gauge");
+            for e in &f.hot {
+                if !prom_label_valid(&e.resource) {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "strip_window_hot_wait_us{{resource=\"{}\"}} {}",
+                    prom_escape(&e.resource),
+                    e.wait_us
+                );
+            }
+        }
+        out
+    }
+}
+
+impl SloReport {
+    pub fn to_json(&self) -> String {
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"table\":\"{}\",\"bound_us\":{},\"budget_pct\":{},\"windows_evaluated\":{},\"windows_violated\":{},\"worst_p99_us\":{},\"compliance_pct\":{},\"burn_short\":{},\"burn_long\":{},\"alert\":\"{}\",\"met\":{}}}",
+                    json_escape(&t.table),
+                    t.bound_us,
+                    json_f64(t.budget_pct),
+                    t.windows_evaluated,
+                    t.windows_violated,
+                    t.worst_p99_us,
+                    json_f64(t.compliance_pct),
+                    json_f64(t.burn_short),
+                    json_f64(t.burn_long),
+                    t.alert.as_str(),
+                    t.met
+                )
+            })
+            .collect();
+        format!("{{\"tables\":[{}]}}", tables.join(","))
+    }
+
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE strip_slo_compliance_pct gauge");
+        let _ = writeln!(out, "# TYPE strip_slo_burn_short gauge");
+        let _ = writeln!(out, "# TYPE strip_slo_met gauge");
+        for t in &self.tables {
+            if !prom_label_valid(&t.table) {
+                continue;
+            }
+            let l = format!("table=\"{}\"", prom_escape(&t.table));
+            let _ = writeln!(
+                out,
+                "strip_slo_compliance_pct{{{l}}} {}",
+                json_f64(t.compliance_pct)
+            );
+            let _ = writeln!(
+                out,
+                "strip_slo_burn_short{{{l}}} {}",
+                json_f64(t.burn_short)
+            );
+            let _ = writeln!(out, "strip_slo_met{{{l}}} {}", u8::from(t.met));
+        }
+        out
+    }
+
+    /// Human-readable compliance table (shell `.slo`, strip-top, strip-report).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.tables.is_empty() {
+            let _ = writeln!(out, "no staleness SLOs declared");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>10} {:>8} {:>8} {:>12} {:>10} {:>10} {:>10} {:>8}",
+            "derived table",
+            "bound",
+            "eval",
+            "viol",
+            "worst p99",
+            "compl%",
+            "burn6",
+            "burn24",
+            "verdict"
+        );
+        for t in &self.tables {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>10} {:>8} {:>8} {:>12} {:>9.2}% {:>10.2} {:>10.2} {:>8}",
+                t.table,
+                fmt_us(t.bound_us),
+                t.windows_evaluated,
+                t.windows_violated,
+                fmt_us(t.worst_p99_us),
+                t.compliance_pct,
+                t.burn_short,
+                t.burn_long,
+                if t.met { "MET" } else { "MISSED" },
+            );
+            if t.alert != crate::window::SloAlert::Ok {
+                let _ = writeln!(
+                    out,
+                    "    alert: {} burn-rate on {}",
+                    t.alert.as_str(),
+                    t.table
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Human-readable top-K contention table (shell `.hot`, strip-top).
+pub fn render_hot(title: &str, entries: &[HotEntry]) -> String {
+    let mut out = String::new();
+    if entries.is_empty() {
+        let _ = writeln!(out, "{title}: no contention observed");
+        return out;
+    }
+    let _ = writeln!(out, "{title}:");
+    let _ = writeln!(
+        out,
+        "  {:<40} {:>12} {:>10} {:>8}",
+        "resource", "wait", "±err", "hits"
+    );
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>12} {:>10} {:>8}",
+            e.resource,
+            fmt_us(e.wait_us),
+            fmt_us(e.err_us),
+            e.hits
+        );
+    }
+    out
+}
+
 /// Format a µs quantity with a readable unit.
 pub fn fmt_us(us: u64) -> String {
     if us >= 10_000_000 {
@@ -440,6 +711,38 @@ mod tests {
         let t = sample().render_table();
         assert!(t.contains("comp_prices"), "{t}");
         assert!(t.contains("exec[update]"), "{t}");
+    }
+
+    #[test]
+    fn windows_slo_hot_exports_validate() {
+        let s = ObsSink::with_windows(16, 1000, 8);
+        s.declare_slo("comp_prices", 150);
+        s.record_staleness("comp_prices", 100);
+        s.record_contention("stocks#symbol=S00001", 500);
+        s.window_tick(1500, 3, 30);
+        s.record_staleness("comp_prices", 90_000);
+        s.window_tick(2500, 4, 40);
+
+        let w = s.windows_snapshot();
+        crate::json::validate(&w.to_json(false)).unwrap();
+        let series = w.to_json(true);
+        crate::json::validate(&series).unwrap();
+        assert!(
+            series.contains("\"staleness_us\":{\"comp_prices\""),
+            "{series}"
+        );
+        assert!(series.contains("stocks#symbol=S00001"), "{series}");
+
+        let r = s.slo_report();
+        crate::json::validate(&r.to_json()).unwrap();
+        let table = r.render_table();
+        assert!(table.contains("MISSED"), "{table}"); // 1 of 2 windows violated >> 1% budget
+        let p = format!("{}{}", w.to_prometheus(), r.to_prometheus());
+        assert!(p.contains("strip_windows_sealed_total 2"), "{p}");
+        assert!(p.contains("strip_slo_met{table=\"comp_prices\"} 0"), "{p}");
+
+        let hot = render_hot("hot resources (run)", &s.hot_run(4));
+        assert!(hot.contains("stocks#symbol=S00001"), "{hot}");
     }
 
     #[test]

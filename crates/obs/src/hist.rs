@@ -2,10 +2,11 @@
 //!
 //! Bucket `k` covers `[2^(k-1), 2^k)` µs (bucket 0 holds exact zeros), i.e.
 //! index = bit-length of the value. 65 buckets cover the full `u64` range.
-//! All counters are relaxed atomics so recording is wait-free; quantiles are
-//! approximate at power-of-two resolution — a bucket's upper edge `2^k − 1`
-//! is reported — which is plenty for the paper's µs-to-minutes staleness
-//! spans.
+//! All counters are relaxed atomics so recording is wait-free. Quantiles
+//! linearly interpolate within the holding bucket under a midpoint
+//! convention (observations spread evenly across the bucket span), so a
+//! reported pXX no longer snaps to the bucket's power-of-two upper edge;
+//! the residual error is bounded by the bucket width.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,6 +15,65 @@ pub const BUCKETS: usize = 65;
 #[inline]
 fn bucket_of(us: u64) -> usize {
     (64 - us.leading_zeros()) as usize
+}
+
+/// Lower bound of bucket `k` (inclusive).
+#[inline]
+pub fn bucket_lo(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+/// Upper bound of bucket `k` (inclusive).
+#[inline]
+pub fn bucket_hi(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Interpolated quantile over sparse log2-bucket counts.
+///
+/// `nonempty` yields `(bucket_index, count)` pairs ascending by index with
+/// count > 0; `count` is the total observation count and `max` the observed
+/// maximum. The q-th rank is located in its bucket and interpolated under a
+/// midpoint convention: the `c` observations of bucket `k` sit at fractions
+/// `(2·pos − 1) / (2·c)` of the span `[lo, hi]`. The top rank returns `max`
+/// exactly, and every result is clamped to `max`.
+pub fn percentile_over(
+    nonempty: impl Iterator<Item = (usize, u64)>,
+    count: u64,
+    max: u64,
+    q: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    if rank == count {
+        return max;
+    }
+    let mut seen = 0u64;
+    for (k, c) in nonempty {
+        if seen + c >= rank {
+            let pos = rank - seen; // 1..=c
+            let lo = bucket_lo(k);
+            let hi = bucket_hi(k);
+            let span = hi - lo;
+            // u128 intermediates: span can be ~2^63 and pos up to 2^64.
+            let interp = (span as u128 * (2 * pos as u128 - 1) / (2 * c as u128)) as u64;
+            return (lo + interp).min(max);
+        }
+        seen += c;
+    }
+    max
 }
 
 pub struct Histogram {
@@ -62,25 +122,24 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile: the upper edge of the bucket holding the q-th
-    /// observation (`q` in `[0, 1]`). Returns 0 for an empty histogram.
+    /// Raw per-bucket counts (relaxed loads), for delta snapshotting.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated within
+    /// the holding bucket. Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (k, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Upper edge of bucket k: 2^k − 1 (bucket 0 is exactly 0),
-                // clipped to the observed max so p100 is exact.
-                let edge = if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 };
-                return edge.min(self.max());
-            }
-        }
-        self.max()
+        percentile_over(
+            self.buckets
+                .iter()
+                .enumerate()
+                .map(|(k, b)| (k, b.load(Ordering::Relaxed)))
+                .filter(|&(_, c)| c > 0),
+            self.count(),
+            self.max(),
+            q,
+        )
     }
 
     /// Immutable summary for exporters.
@@ -161,16 +220,37 @@ mod tests {
     }
 
     #[test]
-    fn percentile_hits_bucket_edge() {
+    fn percentile_interpolates_within_bucket() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(100); // bucket 7, edge 127
+            h.record(100); // bucket 7, span [64, 127]
         }
-        h.record(10_000); // bucket 14, edge 16383
-        assert_eq!(h.percentile(0.50), 127);
-        // The 100th observation is the outlier; p100 clips to observed max.
+        h.record(10_000); // bucket 14
+                          // p50 is rank 50 of 99 observations inside [64, 127]:
+                          // 64 + 63·(2·50−1)/(2·99) = 64 + 31 = 95 — near the true 100, not
+                          // the old snapped edge 127.
+        assert_eq!(h.percentile(0.50), 95);
+        // p99 is rank 99, the last in-bucket position: 64 + 63·197/198 = 126.
+        assert_eq!(h.percentile(0.99), 126);
+        // The top rank is exact: p100 is the observed max.
         assert_eq!(h.percentile(1.0), 10_000);
-        assert_eq!(h.percentile(0.99), 127);
+    }
+
+    #[test]
+    fn percentile_tracks_uniform_distribution() {
+        // 1..=1000 once each: interpolation should land near the true
+        // quantiles despite power-of-two buckets.
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // rank 500 falls in bucket 9 ([256, 511], 256 obs, 244 seen after
+        // position 245): 256 + 255·489/512 = 499 ≈ true 500.
+        assert_eq!(h.percentile(0.50), 499);
+        // rank 900 falls in bucket 10 ([512, 1023], 489 obs present):
+        // 512 + 511·777/978 = 917 — bounded by the bucket span vs true 900.
+        assert_eq!(h.percentile(0.90), 917);
+        assert_eq!(h.percentile(1.0), 1000);
     }
 
     #[test]

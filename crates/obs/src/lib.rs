@@ -14,6 +14,10 @@
 //! * a [`StalenessTracker`] recording, per derived table, the lag between a
 //!   base-data commit and the derived commit that absorbs it (max/mean/p99
 //!   — the paper's staleness metric);
+//! * a windowed time-series collector ([`WindowCollector`]) slicing every
+//!   histogram and counter into fixed-width virtual-time [`WindowFrame`]s,
+//!   a per-derived-table staleness-SLO engine with burn-rate alerting, and
+//!   a SpaceSaving hot-key/shard contention map;
 //! * exporters: a JSON snapshot, a Prometheus-text dump, and a rendered
 //!   per-run table (consumed by the `strip-report` binary in `strip-bench`).
 //!
@@ -34,6 +38,7 @@ pub mod ring;
 pub mod sink;
 pub mod stale;
 pub mod trace;
+pub mod window;
 
 pub use event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 pub use hist::{HistSummary, Histogram};
@@ -42,3 +47,7 @@ pub use ring::TraceRing;
 pub use sink::{ObsSink, ObsSnapshot, PlanMisestimate};
 pub use stale::StalenessTracker;
 pub use trace::TraceCtx;
+pub use window::{
+    CumHist, CumSnapshot, HistFrame, HotEntry, SloAlert, SloReport, SloSpec, SloTableReport,
+    SloWindowEval, SpaceSaving, WindowCollector, WindowFrame, WindowsSnapshot,
+};

@@ -11,6 +11,10 @@ use crate::hist::{HistSummary, Histogram};
 use crate::ring::TraceRing;
 use crate::stale::StalenessTracker;
 use crate::trace::TraceCtx;
+use crate::window::{
+    CumHist, CumSnapshot, HotEntry, SloReport, SloSpec, WindowCollector, WindowsSnapshot,
+    DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_US,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,12 +49,21 @@ pub struct ObsSink {
     /// Labels are bounded (one per distinct physical plan shape), so this
     /// map cannot grow per-execution.
     misestimates: RwLock<HashMap<String, (u64, u64)>>,
+    /// Windowed time-series collector, SLO engine, and contention map.
+    windows: WindowCollector,
 }
 
 impl ObsSink {
     /// An enabled sink whose trace ring holds `ring_capacity` events
-    /// (rounded up to a power of two).
+    /// (rounded up to a power of two), with the default 1-second telemetry
+    /// windows.
     pub fn new(ring_capacity: usize) -> Arc<ObsSink> {
+        ObsSink::with_windows(ring_capacity, DEFAULT_WINDOW_US, DEFAULT_WINDOW_CAP)
+    }
+
+    /// An enabled sink with an explicit telemetry window width (virtual µs)
+    /// and ring capacity (sealed frames retained).
+    pub fn with_windows(ring_capacity: usize, window_us: u64, window_cap: usize) -> Arc<ObsSink> {
         Arc::new(ObsSink {
             enabled: AtomicBool::new(true),
             interner: Interner::new(),
@@ -67,6 +80,7 @@ impl ObsSink {
             card_est: AtomicU64::new(0),
             card_actual: AtomicU64::new(0),
             misestimates: RwLock::new(HashMap::new()),
+            windows: WindowCollector::new(window_us, window_cap),
         })
     }
 
@@ -248,6 +262,108 @@ impl ObsSink {
             ctx,
             0,
         );
+    }
+
+    // ---- windowed telemetry ---------------------------------------------
+
+    /// Executor hook, called after each completed task with the current
+    /// clock (virtual µs in sim mode, wall µs in pool mode) and the
+    /// executor's cumulative task/busy counters. Inside the open window
+    /// this costs the enabled check, two relaxed stores and one relaxed
+    /// load; a cumulative snapshot is only taken when a window boundary is
+    /// crossed.
+    #[inline]
+    pub fn window_tick(&self, now_us: u64, tasks_run: u64, busy_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.windows
+            .tick(now_us, tasks_run, busy_us, || self.cum_snapshot());
+    }
+
+    /// Cumulative snapshot of every windowed metric (counters and raw
+    /// bucket arrays, not summaries).
+    fn cum_snapshot(&self) -> CumSnapshot {
+        let mut exec: Vec<(String, CumHist)> = self
+            .exec_us
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), CumHist::capture(h)))
+            .collect();
+        exec.sort_by(|a, b| a.0.cmp(&b.0));
+        let staleness: Vec<(String, CumHist)> = self
+            .staleness
+            .histograms()
+            .into_iter()
+            .map(|(k, h)| (k, CumHist::capture(&h)))
+            .collect();
+        CumSnapshot {
+            queue: CumHist::capture(&self.queue_us),
+            lock_wait: CumHist::capture(&self.lock_wait_us),
+            wal: CumHist::capture(&self.wal_us),
+            plan_compile: CumHist::capture(&self.plan_compile_us),
+            exec,
+            staleness,
+            events_traced: self.ring.pushed(),
+            plan_choices: self.plan_choices.load(Ordering::Relaxed),
+            tasks_run: 0, // filled by the collector from its tick counters
+            busy_us: 0,
+        }
+    }
+
+    /// Record a contention observation against the hot-key/shard map:
+    /// `resource` is a lock resource (`table`, `table#column=key`) or a
+    /// storage shard latch (`table/shard<i>`).
+    #[inline]
+    pub fn record_contention(&self, resource: &str, wait_us: u64) {
+        if self.is_enabled() {
+            self.windows.record_contention(resource, wait_us);
+        }
+    }
+
+    /// Declare (or update) a staleness SLO: p99 lag for derived `table`
+    /// must stay ≤ `p99_bound_us`, with the default 1% window error budget.
+    pub fn declare_slo(&self, table: &str, p99_bound_us: u64) {
+        self.windows
+            .declare_slo(table, p99_bound_us, crate::window::DEFAULT_BUDGET_PCT);
+    }
+
+    /// Declare an SLO with an explicit error budget (percent of evaluated
+    /// windows allowed to violate).
+    pub fn declare_slo_with_budget(&self, table: &str, p99_bound_us: u64, budget_pct: f64) {
+        self.windows.declare_slo(table, p99_bound_us, budget_pct);
+    }
+
+    /// Registered SLO specs, sorted by table.
+    pub fn slo_specs(&self) -> Vec<SloSpec> {
+        self.windows.slo_specs()
+    }
+
+    /// The telemetry window width in µs.
+    pub fn window_us(&self) -> u64 {
+        self.windows.window_us()
+    }
+
+    /// Snapshot of the window ring: retained sealed frames plus the open
+    /// tail. Merging all frames reproduces the run aggregate unless
+    /// `truncated` is set.
+    pub fn windows_snapshot(&self) -> WindowsSnapshot {
+        self.windows.snapshot(self.cum_snapshot())
+    }
+
+    /// Live/end-of-run SLO compliance report (includes the open window).
+    pub fn slo_report(&self) -> SloReport {
+        self.windows.slo_report(self.cum_snapshot())
+    }
+
+    /// Top-`k` contended resources in the open window.
+    pub fn hot_window(&self, k: usize) -> Vec<HotEntry> {
+        self.windows.hot_window(k)
+    }
+
+    /// Top-`k` contended resources over the whole run.
+    pub fn hot_run(&self, k: usize) -> Vec<HotEntry> {
+        self.windows.hot_run(k)
     }
 
     // ---- reading --------------------------------------------------------

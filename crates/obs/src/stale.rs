@@ -36,6 +36,19 @@ impl StalenessTracker {
             .record(lag_us);
     }
 
+    /// The live per-table histograms, sorted by table name — used by the
+    /// windowed collector to capture cumulative snapshots.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut out: Vec<(String, Arc<Histogram>)> = self
+            .tables
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Per-table summaries, sorted by table name.
     pub fn summaries(&self) -> Vec<(String, HistSummary)> {
         let mut out: Vec<(String, HistSummary)> = self

@@ -1,0 +1,138 @@
+//! Property tests for the windowed collector: merging all window frames
+//! (sealed + open) reproduces the run-level aggregates exactly — counts,
+//! sums, maxes, and full bucket arrays, for the core histograms, per-kind
+//! exec, and per-table staleness — and ring overwrite degrades to an
+//! explicitly marked truncation that only ever *under*-counts.
+
+use proptest::prelude::*;
+use strip_obs::hist::bucket_hi;
+use strip_obs::window::HistFrame;
+use strip_obs::{HistSummary, ObsSink, WindowsSnapshot};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance the virtual clock by this many µs and tick.
+    Advance(u64),
+    Queue(u64),
+    Exec(u8, u64),
+    Staleness(u8, u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2500).prop_map(Op::Advance),
+        (0u64..100_000).prop_map(Op::Queue),
+        (0u8..3, 0u64..100_000).prop_map(|(k, v)| Op::Exec(k, v)),
+        (0u8..2, 0u64..10_000_000).prop_map(|(t, v)| Op::Staleness(t, v)),
+    ]
+}
+
+const KINDS: [&str; 3] = ["update", "recompute:f", "delta:f"];
+const TABLES: [&str; 2] = ["comp_prices", "option_prices"];
+
+/// Run the op sequence against a sink with 1ms windows and the given ring
+/// capacity; returns the sink and its final windows snapshot.
+fn run(ops: &[Op], window_cap: usize) -> (std::sync::Arc<ObsSink>, WindowsSnapshot) {
+    let sink = ObsSink::with_windows(16, 1000, window_cap);
+    let mut now = 0u64;
+    let mut tasks = 0u64;
+    let mut busy = 0u64;
+    for o in ops {
+        match o {
+            Op::Advance(dt) => {
+                now += dt;
+                tasks += 1;
+                busy += dt;
+                sink.window_tick(now, tasks, busy);
+            }
+            Op::Queue(v) => sink.record_queue(*v),
+            Op::Exec(k, v) => sink.record_exec(KINDS[*k as usize], *v),
+            Op::Staleness(t, v) => sink.record_staleness(TABLES[*t as usize], *v),
+        }
+    }
+    let snap = sink.windows_snapshot();
+    (sink, snap)
+}
+
+/// Fold one frame-level histogram across every frame of the snapshot.
+fn merged<F>(snap: &WindowsSnapshot, pick: F) -> HistFrame
+where
+    F: Fn(&strip_obs::WindowFrame) -> Option<&HistFrame>,
+{
+    let mut acc = HistFrame::default();
+    for f in &snap.frames {
+        if let Some(h) = pick(f) {
+            acc.merge(h);
+        }
+    }
+    acc
+}
+
+/// Exact equality between a merged frame and the run-level summary,
+/// including the full (edge, count) bucket array.
+fn assert_matches(merged: &HistFrame, agg: &HistSummary, what: &str) {
+    assert_eq!(merged.count, agg.count, "{what}: count");
+    assert_eq!(merged.sum, agg.sum, "{what}: sum");
+    assert_eq!(merged.max, agg.max, "{what}: max");
+    let merged_edges: Vec<(u64, u64)> = merged
+        .buckets
+        .iter()
+        .map(|&(k, n)| (bucket_hi(k), n))
+        .collect();
+    assert_eq!(merged_edges, agg.buckets, "{what}: buckets");
+}
+
+proptest! {
+    // With a ring large enough to retain every window, merging all frames
+    // reproduces the run aggregate bit-for-bit.
+    #[test]
+    fn merged_frames_equal_run_aggregate(ops in proptest::collection::vec(op(), 1..200)) {
+        let (sink, snap) = run(&ops, 4096);
+        prop_assert!(!snap.truncated);
+        let agg = sink.snapshot();
+
+        assert_matches(&merged(&snap, |f| Some(&f.queue)), &agg.queue_us, "queue");
+        for kind in KINDS {
+            let m = merged(&snap, |f| {
+                f.exec.iter().find(|(k, _)| k == kind).map(|(_, h)| h)
+            });
+            let a = agg.exec_us.iter().find(|(k, _)| k == kind);
+            match a {
+                Some((_, s)) => assert_matches(&m, s, kind),
+                None => prop_assert_eq!(m.count, 0),
+            }
+        }
+        for table in TABLES {
+            let m = merged(&snap, |f| {
+                f.staleness.iter().find(|(t, _)| t == table).map(|(_, h)| h)
+            });
+            let a = agg.staleness.iter().find(|(t, _)| t == table);
+            match a {
+                Some((_, s)) => assert_matches(&m, s, table),
+                None => prop_assert_eq!(m.count, 0),
+            }
+        }
+        // Counter deltas telescope the same way.
+        let tasks: u64 = snap.frames.iter().map(|f| f.tasks_run).sum();
+        let advances = ops.iter().filter(|o| matches!(o, Op::Advance(_))).count() as u64;
+        prop_assert_eq!(tasks, advances);
+    }
+
+    // With a tiny ring, overwrite is marked `truncated` and the retained
+    // frames only ever under-count the aggregate.
+    #[test]
+    fn ring_overwrite_is_marked_and_undercounts(ops in proptest::collection::vec(op(), 50..200)) {
+        let (sink, snap) = run(&ops, 2);
+        let agg = sink.snapshot();
+        prop_assert_eq!(snap.truncated, snap.sealed > 2);
+        let mq = merged(&snap, |f| Some(&f.queue));
+        prop_assert!(mq.count <= agg.queue_us.count);
+        prop_assert!(mq.sum <= agg.queue_us.sum);
+        if !snap.truncated {
+            assert_matches(&mq, &agg.queue_us, "queue (untruncated)");
+        }
+        // The watermark max is always the run max once any frame saw it,
+        // and never exceeds it.
+        prop_assert!(mq.max <= agg.queue_us.max);
+    }
+}

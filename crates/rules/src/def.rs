@@ -30,6 +30,10 @@ pub struct CompiledRule {
     /// Whether the rule's bound queries are delta-capable (see
     /// [`DeltaClass`]); computed once at compile time.
     pub delta: DeltaClass,
+    /// Staleness SLO declared with the rule: the derived table (lower-cased)
+    /// and its p99 lag bound in µs. Registered with the observability sink
+    /// when the rule is installed.
+    pub slo: Option<(String, u64)>,
 }
 
 /// Whether a rule's bound tables are a *linear* view of the transaction's
@@ -229,6 +233,10 @@ impl CompiledRule {
             unique: ast.unique.clone(),
             after_us: ast.after_us,
             delta: classify_rule(&ast.condition, &ast.evaluate),
+            slo: ast
+                .slo
+                .as_ref()
+                .map(|s| (s.table.to_ascii_lowercase(), s.p99_bound_us)),
         })
     }
 
@@ -394,6 +402,18 @@ mod tests {
         assert_eq!(r.unique, Some(vec!["comp".to_string()]));
         assert_eq!(r.after_us, 1_000_000);
         assert_eq!(r.updated_filters(), vec![Some(&["price".to_string()][..])]);
+    }
+
+    #[test]
+    fn compiles_slo_clause_lowercased() {
+        let r = compile(
+            "create rule r on stocks when updated price then execute f \
+             slo on COMP_PRICES p99 500 ms",
+        )
+        .unwrap();
+        assert_eq!(r.slo, Some(("comp_prices".to_string(), 500_000)));
+        let r = compile("create rule r on stocks when updated then execute f").unwrap();
+        assert_eq!(r.slo, None);
     }
 
     #[test]

@@ -100,6 +100,19 @@ pub struct CreateRule {
     pub unique: Option<Vec<String>>,
     /// Release delay in virtual microseconds (`after x seconds`).
     pub after_us: u64,
+    /// Optional staleness SLO declared with the rule (`slo <table> p99 <t>`).
+    pub slo: Option<SloClause>,
+}
+
+/// `slo [on] <derived-table> [p99] <bound> [unit]` — declares a staleness
+/// objective for the derived table this rule maintains: the per-window p99
+/// lag between a base commit and the derived commit absorbing it must stay
+/// within the bound. The table is named explicitly because the maintained
+/// table is hidden inside the opaque `execute` function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloClause {
+    pub table: String,
+    pub p99_bound_us: u64,
 }
 
 /// A query optionally bound as a named table (`... bind as name`).

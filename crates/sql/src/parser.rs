@@ -271,7 +271,8 @@ impl Parser {
     }
 
     /// `create rule name on table when events [if ...] then [evaluate ...]
-    ///  execute f [unique [on cols]] [after t seconds] [end rule]`
+    ///  execute f [unique [on cols]] [after t seconds]
+    ///  [slo [on] table [p99] t [seconds|ms|us]] [end rule]`
     fn create_rule(&mut self) -> Result<Statement> {
         let name = self.ident()?;
         self.expect_kw("on")?;
@@ -345,26 +346,23 @@ impl Parser {
 
         let mut after_us = 0u64;
         if self.accept_kw("after") {
-            let v = match self.next() {
-                Token::Int(i) => i as f64,
-                Token::Float(f) => f,
-                other => {
-                    return Err(SqlError::parse(format!(
-                        "expected time value after AFTER, found `{other}`"
-                    )))
-                }
-            };
-            let unit_us: f64 = if self.accept_kw("seconds") || self.accept_kw("second") {
-                1_000_000.0
-            } else if self.accept_kw("milliseconds") || self.accept_kw("ms") {
-                1_000.0
-            } else if self.accept_kw("microseconds") || self.accept_kw("us") {
-                1.0
-            } else {
-                1_000_000.0 // bare numbers are seconds, as in the paper
-            };
-            after_us = (v * unit_us).round() as u64;
+            after_us = self.time_value_us("AFTER")?;
         }
+
+        // `slo [on] <derived-table> [p99] <bound> [unit]`: a staleness
+        // objective for the derived table the rule maintains.
+        let mut slo = None;
+        if self.accept_kw("slo") {
+            let _ = self.accept_kw("on");
+            let slo_table = self.ident()?;
+            let _ = self.accept_kw("p99");
+            let bound = self.time_value_us("SLO")?;
+            slo = Some(crate::ast::SloClause {
+                table: slo_table,
+                p99_bound_us: bound,
+            });
+        }
+
         // Optional `end rule` terminator (used in the paper's figures).
         if self.accept_kw("end") {
             let _ = self.accept_kw("rule") || self.accept_kw("function");
@@ -379,7 +377,32 @@ impl Parser {
             execute,
             unique,
             after_us,
+            slo,
         }))
+    }
+
+    /// A time literal with an optional unit, in µs; bare numbers are
+    /// seconds, as in the paper's `after` clause.
+    fn time_value_us(&mut self, what: &str) -> Result<u64> {
+        let v = match self.next() {
+            Token::Int(i) => i as f64,
+            Token::Float(f) => f,
+            other => {
+                return Err(SqlError::parse(format!(
+                    "expected time value after {what}, found `{other}`"
+                )))
+            }
+        };
+        let unit_us: f64 = if self.accept_kw("seconds") || self.accept_kw("second") {
+            1_000_000.0
+        } else if self.accept_kw("milliseconds") || self.accept_kw("ms") {
+            1_000.0
+        } else if self.accept_kw("microseconds") || self.accept_kw("us") {
+            1.0
+        } else {
+            1_000_000.0
+        };
+        Ok((v * unit_us).round() as u64)
     }
 
     /// `create timer name every <t> [seconds|ms|us] execute f [limit n]`
@@ -1020,6 +1043,49 @@ mod tests {
         );
         assert_eq!(r.unique, Some(vec![]));
         assert_eq!(r.after_us, 250_000);
+    }
+
+    #[test]
+    fn parse_rule_with_slo_clause() {
+        let s = parse_statement(
+            "create rule comp on stocks when updated price \
+             then execute f unique on comp after 2 seconds \
+             slo on comp_prices p99 1 second end rule",
+        )
+        .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.after_us, 2_000_000);
+        let slo = r.slo.expect("slo clause");
+        assert_eq!(slo.table, "comp_prices");
+        assert_eq!(slo.p99_bound_us, 1_000_000);
+    }
+
+    #[test]
+    fn parse_rule_slo_units_and_optional_keywords() {
+        // `on` and `p99` are optional; ms/us units work; bare numbers are
+        // seconds.
+        let s = parse_statement("create rule r on t when inserted then execute f slo d 250 ms")
+            .unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        let slo = r.slo.expect("slo clause");
+        assert_eq!(slo.table, "d");
+        assert_eq!(slo.p99_bound_us, 250_000);
+
+        let s = parse_statement("create rule r on t when inserted then execute f slo d 3").unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.slo.unwrap().p99_bound_us, 3_000_000);
+        // No slo clause -> None.
+        let s = parse_statement("create rule r on t when inserted then execute f").unwrap();
+        let Statement::CreateRule(r) = s else {
+            panic!("expected rule")
+        };
+        assert_eq!(r.slo, None);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::schema::SchemaRef;
-use crate::table::StandardTable;
+use crate::table::{LatchObserver, StandardTable};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,7 +29,7 @@ pub struct ViewDef {
 }
 
 /// The database catalog.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, TableRef>>,
     views: RwLock<HashMap<String, ViewDef>>,
@@ -37,6 +37,19 @@ pub struct Catalog {
     /// drop). Prepared physical plans are valid only for the epoch they were
     /// built under; a mismatch forces replanning.
     epoch: AtomicU64,
+    /// Latch-contention observer installed on every table — existing ones at
+    /// [`Catalog::set_latch_observer`] time and future ones at creation.
+    latch_obs: RwLock<Option<LatchObserver>>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.tables)
+            .field("views", &self.views)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Catalog {
@@ -71,6 +84,15 @@ impl Catalog {
             .fold(0u64, |acc, t| acc.wrapping_add(t.stats_epoch()))
     }
 
+    /// Install (or clear) a shard-latch contention observer on every table:
+    /// the ones that already exist and any created afterwards.
+    pub fn set_latch_observer(&self, obs: Option<LatchObserver>) {
+        *self.latch_obs.write() = obs.clone();
+        for table in self.tables.read().values() {
+            table.set_latch_observer(obs.clone());
+        }
+    }
+
     /// Create a table. Fails if a table or view of that name exists.
     pub fn create_table(&self, name: &str, schema: SchemaRef) -> Result<TableRef> {
         let key = name.to_ascii_lowercase();
@@ -79,6 +101,7 @@ impl Catalog {
             return Err(StorageError::TableExists(key));
         }
         let table = Arc::new(StandardTable::new(key.clone(), schema));
+        table.set_latch_observer(self.latch_obs.read().clone());
         tables.insert(key, table.clone());
         self.bump_epoch();
         Ok(table)

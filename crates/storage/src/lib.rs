@@ -29,8 +29,8 @@ pub use index::{Index, IndexKind};
 pub use meter::{CountingMeter, Meter, NullMeter, Op};
 pub use schema::{Column, Schema, SchemaRef};
 pub use table::{
-    estimate_distinct, RecordData, RecordRef, RowId, StandardTable, TableIndex, SHARD_BITS,
-    SHARD_COUNT,
+    estimate_distinct, LatchObserver, RecordData, RecordRef, RowId, StandardTable, TableIndex,
+    SHARD_BITS, SHARD_COUNT,
 };
 pub use temp::{ColumnSource, StaticMap, TempTable, TempTuple};
 pub use value::{DataType, Value};

@@ -31,10 +31,18 @@ use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
 use crate::schema::SchemaRef;
 use crate::value::Value;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Callback invoked when a shard latch acquisition was *contended*:
+/// `(resource_label, wait_us)` with labels of the form `table/shard<i>`.
+/// Defined here (the bottom of the crate stack) as a plain callback so
+/// storage needs no dependency on the observability crate; `strip-core`
+/// installs one that feeds the obs contention map.
+pub type LatchObserver = Arc<dyn Fn(&str, u64) + Send + Sync>;
 
 /// Monotonic version-id source, global across tables so tests can track
 /// version identity.
@@ -160,6 +168,23 @@ pub struct StandardTable {
     /// The cache invalidates on the same size-class signal as cached plans,
     /// so a plan and the statistics it priced stay in step.
     distinct_cache: RwLock<Vec<Option<(u64, usize)>>>,
+    /// Contention observer for shard latches (see [`LatchObserver`]).
+    latch_obs: ObserverCell,
+}
+
+/// Holder for the optional latch observer; exists so `StandardTable` can
+/// keep deriving `Debug` (closures have no `Debug` impl).
+#[derive(Default)]
+struct ObserverCell(RwLock<Option<LatchObserver>>);
+
+impl fmt::Debug for ObserverCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.read().is_some() {
+            "ObserverCell(installed)"
+        } else {
+            "ObserverCell(none)"
+        })
+    }
 }
 
 /// Power-of-two size class of a row count: 0, 1, 2–3, 4–7, 8–15, … each
@@ -255,6 +280,47 @@ impl StandardTable {
             stats_epoch: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
             distinct_cache: RwLock::new(Vec::new()),
+            latch_obs: ObserverCell::default(),
+        }
+    }
+
+    /// Install (or clear) the shard-latch contention observer. Subsequent
+    /// *contended* latch acquisitions report `("{table}/shard{i}", wait_us)`
+    /// to it; uncontended acquisitions never touch the observer.
+    pub fn set_latch_observer(&self, obs: Option<LatchObserver>) {
+        *self.latch_obs.0.write() = obs;
+    }
+
+    /// Acquire a shard's read latch. Uncontended acquisitions take the
+    /// try-lock fast path (no timing, no observer lookup); contended ones
+    /// measure the blocking wait and report it.
+    fn shard_read(&self, shard: usize) -> RwLockReadGuard<'_, Shard> {
+        if let Some(g) = self.shards[shard].try_read() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.shards[shard].read();
+        self.note_latch_wait(shard, t0.elapsed());
+        g
+    }
+
+    /// Write-latch counterpart of [`Self::shard_read`].
+    fn shard_write(&self, shard: usize) -> RwLockWriteGuard<'_, Shard> {
+        if let Some(g) = self.shards[shard].try_write() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.shards[shard].write();
+        self.note_latch_wait(shard, t0.elapsed());
+        g
+    }
+
+    fn note_latch_wait(&self, shard: usize, waited: std::time::Duration) {
+        if let Some(obs) = self.latch_obs.0.read().clone() {
+            // Round sub-µs waits up to 1 so every contended acquisition
+            // carries weight in the hot-key map.
+            let us = (waited.as_micros() as u64).max(1);
+            obs(&format!("{}/shard{shard}", self.name), us);
         }
     }
 
@@ -301,7 +367,7 @@ impl StandardTable {
             if self.free_count.load(Ordering::Acquire) > 0 {
                 for i in 0..SHARD_COUNT {
                     let shard = (start + i) % SHARD_COUNT;
-                    let mut s = self.shards[shard].write();
+                    let mut s = self.shard_write(shard);
                     if let Some(local) = s.free.pop() {
                         self.free_count.fetch_sub(1, Ordering::AcqRel);
                         let slot = &mut s.slots[local as usize];
@@ -311,7 +377,7 @@ impl StandardTable {
                 }
             }
             let shard = start % SHARD_COUNT;
-            let mut s = self.shards[shard].write();
+            let mut s = self.shard_write(shard);
             let local = s.slots.len() as u32;
             s.slots.push(Slot {
                 generation: 0,
@@ -329,7 +395,7 @@ impl StandardTable {
 
     /// Fetch the current version of a row.
     pub fn get(&self, id: RowId) -> Result<RecordRef> {
-        let s = self.shards[id.shard()].read();
+        let s = self.shard_read(id.shard());
         let slot = s
             .slots
             .get(id.local() as usize)
@@ -347,7 +413,7 @@ impl StandardTable {
         let row = self.schema.check_row(row)?;
         let new_rec = RecordData::new(row);
         let old_rec = {
-            let mut s = self.shards[id.shard()].write();
+            let mut s = self.shard_write(id.shard());
             let slot = s
                 .slots
                 .get_mut(id.local() as usize)
@@ -376,7 +442,7 @@ impl StandardTable {
     /// `deleted` transition table.
     pub fn delete(&self, id: RowId) -> Result<RecordRef> {
         let old = {
-            let mut s = self.shards[id.shard()].write();
+            let mut s = self.shard_write(id.shard());
             let slot = s
                 .slots
                 .get_mut(id.local() as usize)
@@ -427,8 +493,8 @@ impl StandardTable {
         let rows = self.len();
         let mut seen = std::collections::HashSet::new();
         let mut sampled = 0usize;
-        'shards: for lock in &self.shards {
-            let s = lock.read();
+        'shards: for shard in 0..SHARD_COUNT {
+            let s = self.shard_read(shard);
             for slot in &s.slots {
                 if let Some(r) = &slot.rec {
                     seen.insert(r.get(column).clone());
@@ -452,8 +518,8 @@ impl StandardTable {
     /// only while that shard is copied.
     pub fn scan(&self) -> Vec<(RowId, RecordRef)> {
         let mut out = Vec::with_capacity(self.len());
-        for (shard, lock) in self.shards.iter().enumerate() {
-            let s = lock.read();
+        for shard in 0..SHARD_COUNT {
+            let s = self.shard_read(shard);
             for (local, slot) in s.slots.iter().enumerate() {
                 if let Some(r) = &slot.rec {
                     out.push((RowId::pack(shard, local as u32, slot.generation), r.clone()));
@@ -552,6 +618,58 @@ mod tests {
     fn stocks() -> StandardTable {
         let schema = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
         StandardTable::new("stocks", schema.into_ref())
+    }
+
+    #[test]
+    fn contended_shard_latch_reports_to_observer() {
+        use std::sync::{Barrier, Mutex};
+        let t = Arc::new(stocks());
+        let events: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        t.set_latch_observer(Some(Arc::new(move |res: &str, us: u64| {
+            sink.lock().unwrap().push((res.to_string(), us));
+        })));
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        let shard = id.shard();
+        // Hold the row's shard write latch so the reader's try-lock fast
+        // path fails and it must block (and therefore report the wait).
+        let guard = t.shards[shard].write();
+        let barrier = Arc::new(Barrier::new(2));
+        let reader = {
+            let (t, barrier) = (t.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                t.get(id).unwrap()
+            })
+        };
+        barrier.wait();
+        // The reader is now running `get`; give it time to fail the
+        // try-lock and park before releasing the latch.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard);
+        reader.join().unwrap();
+        let events = events.lock().unwrap();
+        let label = format!("stocks/shard{shard}");
+        assert!(
+            events.iter().any(|(r, us)| r == &label && *us >= 1),
+            "expected a contended-latch event for {label}, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn uncontended_access_never_fires_observer() {
+        use std::sync::Mutex;
+        let t = stocks();
+        let events: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        t.set_latch_observer(Some(Arc::new(move |res: &str, us: u64| {
+            sink.lock().unwrap().push((res.to_string(), us));
+        })));
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
+        t.get(id).unwrap();
+        t.delete(id).unwrap();
+        assert!(events.lock().unwrap().is_empty());
     }
 
     #[test]

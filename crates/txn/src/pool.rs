@@ -246,7 +246,7 @@ fn worker_loop(inner: Arc<PoolInner>) {
         let spawned = std::mem::take(&mut ctx.spawned);
         let charged = meter.charged_us();
 
-        {
+        let (tasks_run, busy_us) = {
             let mut stats = inner.stats.lock();
             stats.tasks_run += 1;
             if deadline_us.is_some_and(|dl| start_us >= dl) {
@@ -258,9 +258,13 @@ fn worker_loop(inner: Arc<PoolInner>) {
             ks.total_us += charged;
             ks.max_us = ks.max_us.max(charged);
             ks.queue_us += start_us.saturating_sub(release_us);
-        }
+            (stats.tasks_run, stats.busy_us)
+        };
         if let Some(obs) = &inner.obs {
             obs.record_exec(&kind, charged);
+            // Pool-mode windows advance over the wall clock; concurrent
+            // seal attempts are serialized inside the collector.
+            obs.window_tick(inner.now_us(), tasks_run, busy_us);
         }
         if !spawned.is_empty() {
             let mut st = inner.state.lock();

@@ -295,6 +295,7 @@ impl Simulator {
         ks.queue_us += queue_us;
         if let Some(obs) = &self.obs {
             obs.record_exec(&kind, charged);
+            obs.window_tick(self.clock_us, self.stats.tasks_run, self.stats.busy_us);
         }
 
         // Tasks created during execution are submitted afterwards — a rule
@@ -331,6 +332,7 @@ impl Simulator {
         ks.max_us = ks.max_us.max(charged);
         if let Some(obs) = &self.obs {
             obs.record_exec(kind, charged);
+            obs.window_tick(self.clock_us, self.stats.tasks_run, self.stats.busy_us);
         }
         for t in spawned {
             self.submit(t);
@@ -344,6 +346,14 @@ impl Simulator {
         self.clock_us
     }
 
+    /// Tick the windowed telemetry collector at the current virtual time
+    /// (idle horizon jumps seal windows too, not just task completions).
+    fn tick_windows(&self) {
+        if let Some(obs) = &self.obs {
+            obs.window_tick(self.clock_us, self.stats.tasks_run, self.stats.busy_us);
+        }
+    }
+
     /// Run until the virtual clock passes `until_us` or everything drains.
     pub fn run_until(&mut self, until_us: u64) {
         loop {
@@ -353,6 +363,7 @@ impl Simulator {
                     Some(r) if r <= until_us => {}
                     _ => {
                         self.clock_us = self.clock_us.max(until_us);
+                        self.tick_windows();
                         return;
                     }
                 }
@@ -362,6 +373,7 @@ impl Simulator {
             }
             if !self.step() {
                 self.clock_us = self.clock_us.max(until_us);
+                self.tick_windows();
                 return;
             }
         }

@@ -21,10 +21,16 @@ const REPS: usize = 7;
 /// staggered releases so the delay queue and queue-time accounting are
 /// exercised.
 fn run_workload(with_obs: bool) -> Duration {
+    run_workload_with(if with_obs {
+        Some(ObsSink::disabled())
+    } else {
+        None
+    })
+}
+
+fn run_workload_with(obs: Option<std::sync::Arc<ObsSink>>) -> Duration {
     let mut sim = Simulator::new(CostModel::paper_calibrated(), Policy::Fifo);
-    if with_obs {
-        sim.set_obs(Some(ObsSink::disabled()));
-    }
+    sim.set_obs(obs);
     let t0 = Instant::now();
     for i in 0..TASKS {
         let release = (i as u64) * 40;
@@ -87,6 +93,40 @@ fn disabled_sink_overhead_within_noise() {
     assert!(
         inst_s <= budget,
         "instrumented (no-op sink) min {:?} exceeds baseline min {:?} + 5% (budget {:.6}s)",
+        inst,
+        base,
+        budget
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock guard is only meaningful in release mode (CI obs job runs it with --release)"
+)]
+fn windowed_collector_overhead_within_budget() {
+    // Isolate the windowed collector's cost: both runs use a fully enabled
+    // sink; the baseline's window width is effectively infinite (the open
+    // window never seals, so ticks take only the fast path), while the
+    // candidate seals a frame every virtual millisecond — the workload
+    // spans ~160 virtual ms, so ~160 seals, far denser than the default
+    // 1-second windows.
+    let frequent = || run_workload_with(Some(ObsSink::with_windows(4096, 1_000, 256)));
+    let never = || run_workload_with(Some(ObsSink::with_windows(4096, u64::MAX, 256)));
+    frequent();
+    never();
+
+    let mut base = Duration::MAX;
+    let mut inst = Duration::MAX;
+    for _ in 0..REPS {
+        base = base.min(never());
+        inst = inst.min(frequent());
+    }
+
+    let budget = base.as_secs_f64() * 1.05 + 0.002;
+    assert!(
+        inst.as_secs_f64() <= budget,
+        "windowed collector min {:?} exceeds non-sealing baseline min {:?} + 5% (budget {:.6}s)",
         inst,
         base,
         budget

@@ -25,7 +25,9 @@ use strip::core::Strip;
 use strip::shell::{run_shell_input, StatementBuffer};
 
 fn main() {
-    let db = Strip::new();
+    // Windowed telemetry on by default so `.slo` / `.hot` have live data
+    // (1 s virtual-time windows, 512-frame ring — the obs defaults).
+    let db = Strip::builder().telemetry_windows(1_000_000, 512).build();
     // A demo action so `create rule ... execute log_changes` does something
     // visible in the shell.
     db.register_function("log_changes", |txn| {

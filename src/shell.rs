@@ -212,6 +212,35 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 Err(_) => "usage: .obs [json|prom|<n last trace events>]\n".to_string(),
             },
         },
+        Some("slo") => {
+            let obs = db.obs();
+            if obs.slo_specs().is_empty() {
+                "no staleness SLOs declared (StripBuilder::staleness_slo, or \
+                 `create rule ... slo on <table> p99 <bound>`)\n"
+                    .to_string()
+            } else {
+                obs.slo_report().render_table()
+            }
+        }
+        Some("hot") => match parts.next().map(str::parse::<usize>) {
+            Some(Err(_)) | Some(Ok(0)) => {
+                "usage: .hot [N]  (N must be a positive integer)\n".to_string()
+            }
+            n => {
+                let n = n.map_or(8, |r| r.unwrap());
+                let obs = db.obs();
+                let window = obs.hot_window(n);
+                let run = obs.hot_run(n);
+                if window.is_empty() && run.is_empty() {
+                    "no contention recorded\n".to_string()
+                } else {
+                    let mut out =
+                        strip_obs::export::render_hot("hot resources (open window)", &window);
+                    out.push_str(&strip_obs::export::render_hot("hot resources (run)", &run));
+                    out
+                }
+            }
+        },
         Some("trace") => {
             let lin = db.obs().lineage();
             match parts.next() {
@@ -254,6 +283,8 @@ meta commands:
   .advance <secs>    advance virtual time
   .stats             executor statistics
   .obs [json|prom|N] observability report (or JSON/Prometheus dump, or last N trace events)
+  .slo               per-table staleness-SLO compliance and current burn rates
+  .hot [N]           top-N contended keys/shards (open window and whole run; default 8)
   .trace [<txn id>]  staleness attribution, or a txn's causal span tree
   .errors            drain background task errors
   .help              this help
@@ -333,6 +364,48 @@ mod tests {
         let tail = run_shell_input(&db, ".obs 5");
         assert!(tail.contains("txn.commit"), "{tail}");
         assert!(run_shell_input(&db, ".obs wat").starts_with("usage:"));
+    }
+
+    #[test]
+    fn slo_command_reports_declared_tables() {
+        let db = Strip::builder()
+            .telemetry_windows(1_000_000, 64)
+            .staleness_slo("derived", 5_000)
+            .build();
+        // One staleness sample over the 5 ms bound -> violated window.
+        db.obs().record_staleness("derived", 10_000);
+        let out = run_shell_input(&db, ".slo");
+        assert!(out.contains("derived"), "{out}");
+        assert!(out.contains("burn"), "{out}");
+        assert!(run_shell_input(&db, ".help").contains(".slo"));
+
+        // A database with no SLOs explains itself instead of an empty table.
+        let bare = Strip::new();
+        assert!(run_shell_input(&bare, ".slo").contains("no staleness SLOs declared"));
+    }
+
+    #[test]
+    fn hot_command_ranks_contended_resources() {
+        let db = Strip::builder().telemetry_windows(1_000_000, 64).build();
+        db.obs().record_contention("stocks#symbol=HOT", 900);
+        db.obs().record_contention("stocks#symbol=HOT", 600);
+        db.obs().record_contention("stocks/shard3", 200);
+        let out = run_shell_input(&db, ".hot 2");
+        assert!(out.contains("hot resources (open window)"), "{out}");
+        assert!(out.contains("hot resources (run)"), "{out}");
+        assert!(out.contains("stocks#symbol=HOT"), "{out}");
+        assert!(out.contains("stocks/shard3"), "{out}");
+        // Ranked: the heavier key precedes the shard latch.
+        assert!(
+            out.find("stocks#symbol=HOT").unwrap() < out.find("stocks/shard3").unwrap(),
+            "{out}"
+        );
+
+        // Bad argument and empty-state paths.
+        assert!(run_shell_input(&db, ".hot zero").starts_with("usage: .hot"));
+        assert!(run_shell_input(&db, ".hot 0").starts_with("usage: .hot"));
+        let bare = Strip::new();
+        assert_eq!(run_shell_input(&bare, ".hot"), "no contention recorded\n");
     }
 
     #[test]
