@@ -35,10 +35,13 @@
 //! baseline with `--write-baseline` (see README).
 
 use std::process::ExitCode;
-use strip_bench::{fresh_pta_windowed, Scale};
+use strip_bench::{fresh_pta_windowed, fresh_pta_windowed_durable, Scale};
 use strip_finance::CompVariant;
 use strip_obs::json::{self, Json};
-use strip_obs::{render_attribution, AttributionSummary, ObsSnapshot, SloReport, WindowsSnapshot};
+use strip_obs::{
+    render_attribution, AttributionSummary, ObsSnapshot, SloReport, WindowsSnapshot,
+    MEM_CLASS_NAMES,
+};
 
 /// Telemetry window width (1s of virtual time) and ring capacity.
 const WINDOW_US: u64 = 1_000_000;
@@ -128,8 +131,17 @@ struct Run {
     slo: SloReport,
 }
 
-fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
-    let pta = fresh_pta_windowed(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)]);
+/// The `durable` series label: the non-unique workload on a WAL-keeping
+/// database, so `wal_us` carries real append/commit latencies. The two
+/// default (virtual-time, WAL-free) series are unchanged.
+const DURABLE_SERIES: &str = "durable";
+
+fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64, durable: bool) -> Run {
+    let pta = if durable {
+        fresh_pta_windowed_durable(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)])
+    } else {
+        fresh_pta_windowed(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)])
+    };
     pta.install_comp_rule(variant, delay_s)
         .expect("install rule");
     let report = pta.run_trace().expect("run trace");
@@ -144,7 +156,11 @@ fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64) -> Run {
         .filter(|b| b.phase_sum() != b.lag_us)
         .count() as u64;
     Run {
-        series: variant.label().to_string(),
+        series: if durable {
+            DURABLE_SERIES.to_string()
+        } else {
+            variant.label().to_string()
+        },
         delay_s,
         recompute_count: report.recompute_count,
         snapshot: pta.db.obs().snapshot(),
@@ -273,6 +289,26 @@ fn slo_baseline_json(r: &Run) -> String {
     format!("[{}]", tables.join(","))
 }
 
+/// The gated memory subset of one run: table count exact, byte sums per
+/// accounting side within tolerance (virtual-clock workloads are
+/// deterministic, but the tolerance shields the gate from intentional
+/// pricing-model adjustments smaller than a real regression).
+fn mem_baseline_json(r: &Run) -> String {
+    let m = &r.snapshot.memory;
+    let (mut rows, mut index, mut versions) = (0u64, 0u64, 0u64);
+    for t in &m.tables {
+        rows += t.row_bytes;
+        index += t.index_bytes;
+        versions += t.version_bytes;
+    }
+    format!(
+        "{{\"tables\":{},\"row_bytes\":{rows},\"index_bytes\":{index},\
+         \"version_bytes\":{versions},\"total_bytes\":{}}}",
+        m.tables.len(),
+        m.total_bytes
+    )
+}
+
 /// The committed-baseline document: the gated subset only.
 fn baseline_json(scale: Scale, runs: &[Run]) -> String {
     let entries: Vec<String> = runs
@@ -281,12 +317,13 @@ fn baseline_json(scale: Scale, runs: &[Run]) -> String {
             let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
             format!(
                 "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
-                 \"attribution\":[{}],\"slo\":{}}}",
+                 \"attribution\":[{}],\"slo\":{},\"memory\":{}}}",
                 strip_obs::export::json_escape(&r.series),
                 r.delay_s,
                 r.recompute_count,
                 attr.join(","),
-                slo_baseline_json(r)
+                slo_baseline_json(r),
+                mem_baseline_json(r)
             )
         })
         .collect();
@@ -381,9 +418,12 @@ fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
             }
         }
     }
-    // The declared bound separates the two runs: the un-batched baseline
-    // must meet it, the 2s-batched run must miss it.
-    if let [base, batched] = runs {
+    // The declared bound separates the first two runs: the un-batched
+    // baseline must meet it, the 2s-batched run must miss it. (The third,
+    // `durable`, series repeats the baseline workload on a WAL-keeping
+    // database and is checked for WAL coverage below instead.)
+    if runs.len() >= 2 {
+        let (base, batched) = (&runs[0], &runs[1]);
         let met = |r: &Run| {
             r.slo
                 .tables
@@ -403,12 +443,134 @@ fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
                 batched.slo
             ));
         }
+        if batched.recompute_count > base.recompute_count {
+            bad.push(format!(
+                "batched run recomputed more than the baseline ({} > {})",
+                batched.recompute_count, base.recompute_count
+            ));
+        }
     }
-    if runs.len() == 2 && runs[1].recompute_count > runs[0].recompute_count {
+    // WAL coverage: only the durable series logs, and it must have logged.
+    for r in runs {
+        let durable = r.series == DURABLE_SERIES;
+        if durable && r.snapshot.wal_us.count == 0 {
+            bad.push("durable run recorded no wal_us samples".to_string());
+        }
+        if !durable && r.snapshot.wal_us.count != 0 {
+            bad.push(format!(
+                "non-durable run `{}` recorded {} wal_us samples (should be WAL-free)",
+                r.series, r.snapshot.wal_us.count
+            ));
+        }
+    }
+    bad.extend(check_memory(runs, json_doc));
+    bad
+}
+
+/// Schema-check the `memory` section each run carries in BENCH_obs.json
+/// (under `obs`): all six classes present as non-negative integers, totals
+/// internally consistent, per-table footprints present and exact against
+/// the in-process snapshot, watermarks at or above current.
+fn check_memory(runs: &[Run], json_doc: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    let doc = match json::parse(json_doc) {
+        Ok(d) => d,
+        // Unparseable JSON is already reported by `check`.
+        Err(_) => return bad,
+    };
+    let entries = doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]);
+    if entries.len() != runs.len() {
         bad.push(format!(
-            "batched run recomputed more than the baseline ({} > {})",
-            runs[1].recompute_count, runs[0].recompute_count
+            "BENCH_obs.json has {} runs, expected {}",
+            entries.len(),
+            runs.len()
         ));
+        return bad;
+    }
+    for (r, entry) in runs.iter().zip(entries) {
+        let series = &r.series;
+        let Some(m) = entry.get("obs").and_then(|o| o.get("memory")) else {
+            bad.push(format!("run `{series}`: no memory section in JSON"));
+            continue;
+        };
+        let mut class_sum = 0u64;
+        for name in MEM_CLASS_NAMES {
+            match m
+                .get("classes")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+            {
+                Some(b) => class_sum += b,
+                None => bad.push(format!(
+                    "run `{series}`: memory class `{name}` missing or not a non-negative integer"
+                )),
+            }
+        }
+        let total = m.get("total_bytes").and_then(Json::as_u64);
+        if total != Some(class_sum) {
+            bad.push(format!(
+                "run `{series}`: memory total_bytes {total:?} != class sum {class_sum}"
+            ));
+        }
+        if total == Some(0) {
+            bad.push(format!("run `{series}`: memory total_bytes is zero"));
+        }
+        let hwm = m.get("hwm_bytes").and_then(Json::as_u64);
+        if hwm < total {
+            bad.push(format!(
+                "run `{series}`: memory hwm {hwm:?} below current total {total:?}"
+            ));
+        }
+        if m.get("temp_hwm_bytes").and_then(Json::as_u64) == Some(0) {
+            bad.push(format!(
+                "run `{series}`: temp high-water mark is zero (bound tables never metered)"
+            ));
+        }
+        let tables = m.get("tables").and_then(Json::as_arr).unwrap_or(&[]);
+        if tables.is_empty() {
+            bad.push(format!("run `{series}`: memory section lists no tables"));
+        }
+        for t in tables {
+            let name = t.get("table").and_then(Json::as_str).unwrap_or("?");
+            let parts: Option<[u64; 4]> = (|| {
+                Some([
+                    t.get("row_bytes")?.as_u64()?,
+                    t.get("index_bytes")?.as_u64()?,
+                    t.get("version_bytes")?.as_u64()?,
+                    t.get("total_bytes")?.as_u64()?,
+                ])
+            })();
+            match parts {
+                None => bad.push(format!(
+                    "run `{series}` table `{name}`: memory fields missing or non-integer"
+                )),
+                Some([rows, index, versions, tot]) => {
+                    if rows + index + versions != tot {
+                        bad.push(format!(
+                            "run `{series}` table `{name}`: {rows}+{index}+{versions} != total {tot}"
+                        ));
+                    }
+                    // The JSON must be the exact in-process meters.
+                    if let Some(got) = r.snapshot.memory.tables.iter().find(|x| x.table == name) {
+                        if got.total() != tot {
+                            bad.push(format!(
+                                "run `{series}` table `{name}`: JSON total {tot} != metered {}",
+                                got.total()
+                            ));
+                        }
+                    } else {
+                        bad.push(format!(
+                            "run `{series}` table `{name}`: in JSON but not in the snapshot"
+                        ));
+                    }
+                    if t.get("hwm_bytes").and_then(Json::as_u64) < Some(tot) {
+                        bad.push(format!(
+                            "run `{series}` table `{name}`: hwm below current total"
+                        ));
+                    }
+                }
+            }
+        }
     }
     bad
 }
@@ -537,6 +699,45 @@ fn diff_baseline(runs: &[Run], doc: &Json, tol_pct: f64) -> Vec<String> {
                 ));
             }
         }
+        // Memory footprints: table count exact, byte sums within tolerance.
+        let Some(want_mem) = want.get("memory") else {
+            bad.push(format!("baseline series `{series}`: missing memory"));
+            continue;
+        };
+        let m = &got.snapshot.memory;
+        let (mut rows, mut index, mut versions) = (0u64, 0u64, 0u64);
+        for t in &m.tables {
+            rows += t.row_bytes;
+            index += t.index_bytes;
+            versions += t.version_bytes;
+        }
+        let want_tables = want_mem.get("tables").and_then(Json::as_u64);
+        if want_tables != Some(m.tables.len() as u64) {
+            bad.push(format!(
+                "series `{series}`: memory table count {} != baseline {want_tables:?}",
+                m.tables.len()
+            ));
+        }
+        let sums: [(&str, u64); 4] = [
+            ("row_bytes", rows),
+            ("index_bytes", index),
+            ("version_bytes", versions),
+            ("total_bytes", m.total_bytes),
+        ];
+        for (key, got_v) in sums {
+            let Some(want_v) = want_mem.get(key).and_then(Json::as_f64) else {
+                bad.push(format!(
+                    "baseline series `{series}`: memory missing `{key}`"
+                ));
+                continue;
+            };
+            if !within(got_v as f64, want_v) {
+                bad.push(format!(
+                    "series `{series}`: memory {key} {got_v} drifted >{tol_pct}% \
+                     from baseline {want_v}"
+                ));
+            }
+        }
     }
     bad
 }
@@ -552,8 +753,9 @@ fn main() -> ExitCode {
     eprintln!("strip-report: running PTA at {:?} scale", args.scale);
 
     let runs = vec![
-        run_variant(args.scale, CompVariant::NonUnique, 0.0),
-        run_variant(args.scale, CompVariant::UniqueOnComp, args.delay_s),
+        run_variant(args.scale, CompVariant::NonUnique, 0.0, false),
+        run_variant(args.scale, CompVariant::UniqueOnComp, args.delay_s, false),
+        run_variant(args.scale, CompVariant::NonUnique, 0.0, true),
     ];
 
     for r in &runs {
@@ -568,6 +770,8 @@ fn main() -> ExitCode {
         }
         println!();
         print!("{}", r.slo.render_table());
+        println!();
+        print!("{}", r.snapshot.memory.render_table(None));
         if args.series {
             println!();
             print!("{}", render_series(r));

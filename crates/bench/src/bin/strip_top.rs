@@ -3,8 +3,9 @@
 //! Drives the composite-maintenance workload (`unique on comp after
 //! <delay>`) on the virtual-time simulator, advancing one telemetry window
 //! at a time, and refreshes a terminal dashboard after each window: the
-//! latest sealed frame's task/latency/staleness numbers, the hot-resource
-//! contention maps (window and run), and the staleness-SLO verdict table.
+//! latest sealed frame's task/latency/staleness numbers and per-window
+//! memory movement, the hot-resource contention maps (window and run), the
+//! staleness-SLO verdict table, and the memory-accounting table.
 //!
 //! `--once` skips the live refresh: it runs the trace to completion and
 //! prints the final dashboard a single time — the mode CI uses to assert
@@ -16,9 +17,9 @@
 //! ```
 
 use std::process::ExitCode;
-use strip_bench::{fresh_pta_windowed, Scale};
+use strip_bench::{fresh_pta_windowed, top_liveness_failures, Scale};
 use strip_finance::CompVariant;
-use strip_obs::export::render_hot;
+use strip_obs::export::{fmt_bytes, render_hot};
 use strip_obs::WindowFrame;
 use strip_storage::Value;
 
@@ -92,7 +93,8 @@ fn frame_line(f: &WindowFrame) -> String {
         .map(|(t, h)| format!("{t} n={} p99={}us", h.count, h.percentile(0.99)))
         .collect();
     format!(
-        "window {:>4} [{:>5.1}s..{:>5.1}s){} tasks={} busy={}us queue_p99={}us  staleness: {}",
+        "window {:>4} [{:>5.1}s..{:>5.1}s){} tasks={} busy={}us queue_p99={}us \
+         mem={} ({:+}B)  staleness: {}",
         f.index,
         f.start_us as f64 / 1e6,
         f.end_us as f64 / 1e6,
@@ -100,6 +102,8 @@ fn frame_line(f: &WindowFrame) -> String {
         f.tasks_run,
         f.busy_us,
         f.queue.percentile(0.99),
+        fmt_bytes(f.mem.end_bytes),
+        f.mem.delta_bytes,
         if stale.is_empty() {
             "-".to_string()
         } else {
@@ -143,6 +147,8 @@ fn dashboard(pta: &strip_finance::Pta, top_k: usize, live: bool) -> String {
     s.push_str(&render_hot("hot resources (run)", &obs.hot_run(top_k)));
     let _ = writeln!(s);
     s.push_str(&obs.slo_report().render_table());
+    let _ = writeln!(s);
+    s.push_str(&pta.db.memory_snapshot().render_table(None));
     s
 }
 
@@ -196,27 +202,20 @@ fn main() -> ExitCode {
     }
     print!("{}", dashboard(&pta, args.top_k, false));
 
-    // Sanity for CI: the pipeline must actually have produced windows and
-    // an SLO verdict for the maintained table.
-    let snap = pta.db.obs().windows_snapshot();
-    if snap.frames.iter().all(|f| f.is_empty()) {
-        eprintln!("strip-top: no telemetry windows recorded");
-        return ExitCode::FAILURE;
-    }
-    if !pta
-        .db
-        .obs()
-        .slo_report()
-        .tables
-        .iter()
-        .any(|t| t.table == SLO_TABLE)
-    {
-        eprintln!("strip-top: no SLO verdict for {SLO_TABLE}");
-        return ExitCode::FAILURE;
-    }
+    // Sanity for CI: the pipeline must have produced windows, an SLO
+    // verdict for the maintained table, and non-zero memory accounting.
     let errors = pta.db.take_errors();
-    if !errors.is_empty() {
-        eprintln!("strip-top: {} background task error(s)", errors.len());
+    let failures = top_liveness_failures(
+        &pta.db.obs().windows_snapshot(),
+        &pta.db.obs().slo_report(),
+        SLO_TABLE,
+        &pta.db.memory_snapshot(),
+        &errors,
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("strip-top: {f}");
+        }
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -110,12 +110,64 @@ pub fn fresh_pta_windowed(
     capacity: usize,
     slos: &[(&str, u64)],
 ) -> Pta {
+    build_pta_windowed(scale, window_us, capacity, slos, false)
+}
+
+/// Like [`fresh_pta_windowed`] but on a durable (WAL-keeping) database, so
+/// the `wal_us` histograms carry real append/commit latencies. Used by
+/// `strip-report`'s `durable` series; the default series stay WAL-free.
+pub fn fresh_pta_windowed_durable(
+    scale: Scale,
+    window_us: u64,
+    capacity: usize,
+    slos: &[(&str, u64)],
+) -> Pta {
+    build_pta_windowed(scale, window_us, capacity, slos, true)
+}
+
+fn build_pta_windowed(
+    scale: Scale,
+    window_us: u64,
+    capacity: usize,
+    slos: &[(&str, u64)],
+    durable: bool,
+) -> Pta {
     let obs = strip_obs::ObsSink::with_windows(ring_capacity(scale), window_us, capacity);
     for (table, bound_us) in slos {
         obs.declare_slo(table, *bound_us);
     }
-    let db = Strip::builder().observability(obs).build();
-    Pta::build(scale.config(), db).expect("PTA build")
+    let mut builder = Strip::builder().observability(obs);
+    if durable {
+        builder = builder.durable();
+    }
+    Pta::build(scale.config(), builder.build()).expect("PTA build")
+}
+
+/// `strip-top`'s end-of-run liveness audit: every way the end-to-end
+/// telemetry pipeline can die silently, as a failure list (empty ⇒ alive).
+/// The binary maps a non-empty list to exit code 1; factored out here so
+/// each failure mode is unit-testable without driving a full trace.
+pub fn top_liveness_failures(
+    windows: &strip_obs::WindowsSnapshot,
+    slo: &strip_obs::SloReport,
+    slo_table: &str,
+    memory: &strip_obs::MemorySnapshot,
+    errors: &[String],
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    if windows.frames.iter().all(|f| f.is_empty()) {
+        bad.push("no telemetry windows recorded".to_string());
+    }
+    if !slo.tables.iter().any(|t| t.table == slo_table) {
+        bad.push(format!("no SLO verdict for {slo_table}"));
+    }
+    if memory.total_bytes == 0 {
+        bad.push("memory accounting reported zero bytes".to_string());
+    }
+    if !errors.is_empty() {
+        bad.push(format!("{} background task error(s)", errors.len()));
+    }
+    bad
 }
 
 /// Run the composite-maintenance experiment: the non-unique baseline plus
@@ -314,6 +366,62 @@ mod tests {
         assert!(fig.contains("unique on comp"));
         let csv = render_csv(&points);
         assert_eq!(csv.lines().count(), 1 + points.len());
+    }
+
+    #[test]
+    fn top_liveness_passes_on_a_live_pipeline() {
+        let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
+        sink.declare_slo("comp_prices", 1_000_000);
+        sink.record_staleness("comp_prices", 500);
+        sink.window_tick(1_500, 3, 900); // crosses the boundary: seals window 0
+        let bad = top_liveness_failures(
+            &sink.windows_snapshot(),
+            &sink.slo_report(),
+            "comp_prices",
+            &sink.memory_snapshot(),
+            &[],
+        );
+        assert!(bad.is_empty(), "live pipeline flagged: {bad:?}");
+    }
+
+    #[test]
+    fn top_liveness_flags_every_dead_mode_at_once() {
+        // Nothing recorded, no SLO declared, the ring's own footprint
+        // zeroed out, and a background error: all four modes fire.
+        let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
+        sink.memory().set_ring_bytes(0);
+        let errs = ["boom".to_string()];
+        let bad = top_liveness_failures(
+            &sink.windows_snapshot(),
+            &sink.slo_report(),
+            "comp_prices",
+            &sink.memory_snapshot(),
+            &errs,
+        );
+        assert!(bad.iter().any(|m| m.contains("no telemetry windows")));
+        assert!(bad
+            .iter()
+            .any(|m| m.contains("no SLO verdict for comp_prices")));
+        assert!(bad.iter().any(|m| m.contains("zero bytes")));
+        assert!(bad.iter().any(|m| m.contains("1 background task error")));
+        assert_eq!(bad.len(), 4);
+    }
+
+    #[test]
+    fn top_liveness_modes_fire_independently() {
+        // A live sink checked against the wrong SLO table: only the
+        // verdict check fails. Same sink with errors: only the error check.
+        let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
+        sink.declare_slo("comp_prices", 1_000_000);
+        sink.record_staleness("comp_prices", 500);
+        sink.window_tick(1_500, 3, 900);
+        let w = sink.windows_snapshot();
+        let m = sink.memory_snapshot();
+        let bad = top_liveness_failures(&w, &sink.slo_report(), "other_table", &m, &[]);
+        assert_eq!(bad, vec!["no SLO verdict for other_table".to_string()]);
+        let errs = ["e1".to_string(), "e2".to_string()];
+        let bad = top_liveness_failures(&w, &sink.slo_report(), "comp_prices", &m, &errs);
+        assert_eq!(bad, vec!["2 background task error(s)".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! `strip-top --once` CLI contract: exit 0 on a live run (dashboard
+//! includes the memory-accounting table), exit 2 on flag errors. The
+//! per-mode exit-1 paths are unit-tested against `top_liveness_failures`
+//! in the bench lib; the binary maps any non-empty failure list to
+//! `ExitCode::FAILURE`.
+
+use std::process::Command;
+
+#[test]
+fn once_runs_live_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_strip-top"))
+        .args(["--small", "--once", "--delay", "1.0"])
+        .output()
+        .expect("spawn strip-top");
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("strip-top"), "missing header: {stdout}");
+    assert!(
+        stdout.contains("memory: "),
+        "missing memory section: {stdout}"
+    );
+    assert!(
+        stdout.contains("comp_prices"),
+        "missing maintained table: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_strip-top"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn strip-top");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

@@ -162,6 +162,7 @@ pub struct StripBuilder {
     granularity: LockGranularity,
     planner: strip_sql::PlannerMode,
     maintenance: MaintenanceMode,
+    memory_budget_bytes: Option<u64>,
 }
 
 impl Default for StripBuilder {
@@ -178,6 +179,7 @@ impl Default for StripBuilder {
             granularity: LockGranularity::Key,
             planner: strip_sql::PlannerMode::CostBased,
             maintenance: MaintenanceMode::Delta,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -275,6 +277,16 @@ impl StripBuilder {
         self
     }
 
+    /// Declare a memory budget in bytes. The memory observer projects when
+    /// the metered footprint will cross it (burn-rate style, over the
+    /// trailing window deltas) and raises `projected_breach` / `over_budget`
+    /// alerts in [`strip_obs::MemBudgetReport`]. Accounting itself is always
+    /// on; the budget only adds the projection and alerting.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> Strip {
         let obs = self.obs.unwrap_or_else(|| match self.telemetry {
@@ -312,31 +324,57 @@ impl StripBuilder {
         catalog.set_latch_observer(Some(Arc::new(move |resource: &str, wait_us: u64| {
             latch_obs.record_contention(resource, wait_us);
         })));
-        Strip {
-            inner: Arc::new(StripInner {
-                catalog,
-                model,
-                views: RwLock::new(HashMap::new()),
-                timers: Mutex::new(HashMap::new()),
-                locks,
-                engine: RuleEngine::with_plan_cache(plan_cache.clone())
-                    .with_obs(obs.clone())
-                    .with_maintenance(self.maintenance),
-                plan_cache,
-                user_fns: RwLock::new(HashMap::new()),
-                scalar_fns: RwLock::new(HashMap::new()),
-                exec,
-                errors: Mutex::new(Vec::new()),
-                wal,
-                injector: self.injector,
-                crashed: std::sync::atomic::AtomicBool::new(false),
-                obs,
-                granularity: self.granularity,
-                planner: self.planner,
-                maintenance: self.maintenance,
-                txn_ids: AtomicU64::new(1),
-            }),
+        let inner = Arc::new(StripInner {
+            catalog,
+            model,
+            views: RwLock::new(HashMap::new()),
+            timers: Mutex::new(HashMap::new()),
+            locks,
+            engine: RuleEngine::with_plan_cache(plan_cache.clone())
+                .with_obs(obs.clone())
+                .with_maintenance(self.maintenance),
+            plan_cache,
+            user_fns: RwLock::new(HashMap::new()),
+            scalar_fns: RwLock::new(HashMap::new()),
+            exec,
+            errors: Mutex::new(Vec::new()),
+            wal,
+            injector: self.injector,
+            crashed: std::sync::atomic::AtomicBool::new(false),
+            obs,
+            granularity: self.granularity,
+            planner: self.planner,
+            maintenance: self.maintenance,
+            txn_ids: AtomicU64::new(1),
+        });
+        // Memory probe: the observer pulls exact per-table byte meters and
+        // the plan-cache footprint on demand (window seals and snapshots
+        // only — nothing on the per-task hot path). Weak, so the probe
+        // never keeps a dropped database alive.
+        let probe_inner = Arc::downgrade(&inner);
+        inner.obs.memory().set_probe(Some(Arc::new(move || {
+            let Some(inner) = probe_inner.upgrade() else {
+                return strip_obs::MemReading::default();
+            };
+            strip_obs::MemReading {
+                tables: inner
+                    .catalog
+                    .mem_tables()
+                    .into_iter()
+                    .map(|(table, m)| strip_obs::TableMemReading {
+                        table,
+                        row_bytes: m.row_bytes,
+                        index_bytes: m.index_bytes,
+                        version_bytes: m.version_bytes,
+                    })
+                    .collect(),
+                plan_cache_bytes: inner.plan_cache.cached_bytes(),
+            }
+        })));
+        if self.memory_budget_bytes.is_some() {
+            inner.obs.memory().set_budget(self.memory_budget_bytes);
         }
+        Strip { inner }
     }
 }
 
@@ -428,6 +466,13 @@ impl Strip {
     /// per-derived-table staleness tracker.
     pub fn obs(&self) -> &Arc<ObsSink> {
         &self.inner.obs
+    }
+
+    /// Detached memory-accounting snapshot: class gauges, per-table
+    /// footprints with high-water marks, and (when a budget is declared)
+    /// the capacity projection.
+    pub fn memory_snapshot(&self) -> strip_obs::MemorySnapshot {
+        self.inner.obs.memory_snapshot()
     }
 
     /// Errors recorded by background action tasks (drained).

@@ -843,6 +843,12 @@ pub(crate) fn run_txn<R>(
 ) -> Result<R> {
     ctx.meter.charge(Op::BeginTxn, 1);
     let id = inner.next_txn_id();
+    // Bound/transition tables pinned by this transaction count against the
+    // `temp_tables` memory class for exactly the span of the transaction.
+    let temp_bytes: u64 = overlay.values().map(|t| t.mem_bytes()).sum();
+    if temp_bytes > 0 {
+        inner.obs.memory().temp_begin(temp_bytes);
+    }
     let mut txn = Txn::new(
         inner,
         ctx.meter,
@@ -853,19 +859,25 @@ pub(crate) fn run_txn<R>(
         origin_us,
         ctx.trace,
     );
-    match f(&mut txn) {
-        Ok(r) => {
-            let tasks = txn.commit()?;
-            for t in tasks {
-                ctx.spawn(t);
+    let result = match f(&mut txn) {
+        Ok(r) => match txn.commit() {
+            Ok(tasks) => {
+                for t in tasks {
+                    ctx.spawn(t);
+                }
+                Ok(r)
             }
-            Ok(r)
-        }
+            Err(e) => Err(e),
+        },
         Err(e) => {
             txn.rollback();
             Err(e)
         }
+    };
+    if temp_bytes > 0 {
+        inner.obs.memory().temp_end(temp_bytes);
     }
+    result
 }
 
 /// Wrap a rule's action (a [`SpawnAction`]) into an executor task. The task:

@@ -1,0 +1,171 @@
+//! End-to-end memory accounting: the probe installed by `StripBuilder`
+//! reports exact per-table byte meters through the obs snapshot, temp
+//! (bound-table) scopes show up in the `temp_tables` class watermark, the
+//! plan cache is metered, and a declared budget produces a projection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use strip_core::Strip;
+use strip_obs::{MemAlert, ObsSink, MEM_CLASS_NAMES};
+
+fn class_index(name: &str) -> usize {
+    MEM_CLASS_NAMES.iter().position(|n| *n == name).unwrap()
+}
+
+#[test]
+fn snapshot_reports_exact_table_bytes_through_the_probe() {
+    let db = Strip::new();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_stocks_symbol on stocks (symbol); \
+         insert into stocks values ('S1', 30), ('S2', 40), ('S3', 50);",
+    )
+    .unwrap();
+
+    let snap = db.memory_snapshot();
+    let stocks = snap.tables.iter().find(|t| t.table == "stocks").unwrap();
+    assert!(stocks.row_bytes > 0);
+    assert!(stocks.index_bytes > 0);
+
+    // The probe's figures are the storage engine's exact meters: they match
+    // the deep-walk oracle and the catalog's own view.
+    let t = db.catalog().table("stocks").unwrap();
+    let walked = t.__walk_mem();
+    assert_eq!(stocks.row_bytes, walked.row_bytes);
+    assert_eq!(stocks.index_bytes, walked.index_bytes);
+    assert_eq!(stocks.version_bytes, walked.version_bytes);
+
+    // Class gauges aggregate the per-table figures.
+    assert_eq!(
+        snap.class_bytes[class_index("table_rows")],
+        stocks.row_bytes
+    );
+    assert_eq!(
+        snap.class_bytes[class_index("table_index")],
+        stocks.index_bytes
+    );
+    assert_eq!(snap.total_bytes, snap.class_bytes.iter().sum::<u64>());
+    assert!(snap.hwm_bytes >= snap.total_bytes);
+
+    // Cached statements are metered in the plan_cache class.
+    db.query("select price from stocks where symbol = 'S1'")
+        .unwrap();
+    let snap = db.memory_snapshot();
+    assert!(snap.class_bytes[class_index("plan_cache")] > 0);
+
+    // DML moves the meters and the high-water mark survives shrinkage.
+    let before = db.memory_snapshot();
+    db.execute("delete from stocks where symbol = 'S3'")
+        .unwrap();
+    let after = db.memory_snapshot();
+    assert!(
+        after.class_bytes[class_index("table_rows")]
+            < before.class_bytes[class_index("table_rows")]
+    );
+    assert!(after.hwm_bytes >= before.total_bytes);
+}
+
+#[test]
+fn bound_tables_count_against_the_temp_class() {
+    let db = Strip::new();
+    db.execute_script(
+        "create table events (v int); \
+         create table audit (total int); \
+         insert into audit values (0);",
+    )
+    .unwrap();
+    let peak = Arc::new(AtomicU64::new(0));
+    let peak_in_fn = peak.clone();
+    let obs = db.obs().clone();
+    db.register_function("tally", move |txn| {
+        let b = txn.bound("batch").unwrap();
+        // While the action transaction runs, its bound table's bytes are
+        // held in the temp_tables class.
+        let now = obs.memory_snapshot().class_bytes[3];
+        peak_in_fn.fetch_max(now, Ordering::SeqCst);
+        txn.exec(
+            "update audit set total = total + ?",
+            &[(b.len() as i64).into()],
+        )?;
+        Ok(())
+    });
+    db.execute(
+        "create rule r on events when inserted \
+         then evaluate select * from inserted bind as batch \
+         execute tally",
+    )
+    .unwrap();
+    db.execute("insert into events values (1), (2), (3)")
+        .unwrap();
+    db.drain();
+    assert!(db.take_errors().is_empty());
+
+    assert!(peak.load(Ordering::SeqCst) > 0, "bound table never metered");
+    let snap = db.memory_snapshot();
+    assert_eq!(snap.class_bytes[3], 0, "temp scope must release its bytes");
+    assert!(snap.temp_hwm_bytes >= peak.load(Ordering::SeqCst));
+}
+
+#[test]
+fn budget_projection_flows_through_windows() {
+    let db = Strip::builder()
+        .observability(ObsSink::with_windows(4096, 1_000, 64))
+        .memory_budget(1 << 30)
+        .build();
+    db.execute_script("create table t (k int, v str)").unwrap();
+    for i in 0..20u64 {
+        db.execute_with(
+            "insert into t values (?, ?)",
+            &[(i as i64).into(), format!("v{i}").into()],
+        )
+        .unwrap();
+        db.advance_to((i + 1) * 1_000);
+    }
+    let snap = db.memory_snapshot();
+    let b = snap.budget.expect("budget declared at build time");
+    assert_eq!(b.budget_bytes, 1 << 30);
+    assert_eq!(b.current_bytes, snap.total_bytes);
+    assert!(b.growth_short_bpw >= 0.0);
+    assert_eq!(b.alert, MemAlert::Ok, "1 GiB budget cannot be near breach");
+
+    // A budget below the current footprint flips to over_budget.
+    db.obs().memory().set_budget(Some(1));
+    let b = db.memory_snapshot().budget.unwrap();
+    assert_eq!(b.alert, MemAlert::OverBudget);
+    assert_eq!(b.windows_to_budget, Some(0));
+
+    // Sealed window frames carry the memory deltas that drove the
+    // projection; they telescope to the current gauge.
+    let w = db.obs().windows_snapshot();
+    let sum: i64 = w.frames.iter().map(|f| f.mem.delta_bytes).sum();
+    assert_eq!(sum, w.frames.last().unwrap().mem.end_bytes as i64);
+}
+
+#[test]
+fn obs_json_includes_schema_valid_memory_section() {
+    let db = Strip::builder().memory_budget(1 << 20).build();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         insert into stocks values ('S1', 30);",
+    )
+    .unwrap();
+    let j = db.obs().snapshot().to_json();
+    let v = strip_obs::json::parse(&j).unwrap();
+    let m = v.get("memory").expect("memory section");
+    let classes = m.get("classes").unwrap();
+    for name in MEM_CLASS_NAMES {
+        assert!(
+            classes.get(name).and_then(|c| c.as_u64()).is_some(),
+            "class `{name}` missing or non-integer in {j}"
+        );
+    }
+    let total = m.get("total_bytes").unwrap().as_u64().unwrap();
+    assert!(total > 0);
+    let tables = m.get("tables").unwrap().as_arr().unwrap();
+    assert!(tables
+        .iter()
+        .any(|t| t.get("table").and_then(|n| n.as_str()) == Some("stocks")));
+    let budget = m.get("budget").unwrap();
+    assert_eq!(budget.get("budget_bytes").unwrap().as_u64(), Some(1 << 20));
+    assert!(budget.get("alert").unwrap().as_str().is_some());
+}

@@ -1,0 +1,93 @@
+//! Guard: memory accounting must stay within noise of the un-sampled path.
+//!
+//! The byte meters themselves are a handful of relaxed atomics on the DML
+//! path and are always on; what this guard bounds is the *observable* cost
+//! of the sampling machinery — the probe pull (catalog walk + plan-cache
+//! read) at every window seal plus the budget projection — against an
+//! identical run whose window never seals, on a DML-heavy workload. Same
+//! noise discipline as `crates/txn/tests/obs_overhead.rs`: interleaved
+//! configurations, min-over-reps, 5% relative budget plus a small absolute
+//! epsilon. Release mode only (CI `obs` job).
+
+use std::time::{Duration, Instant};
+use strip_core::Strip;
+use strip_obs::ObsSink;
+
+const ROWS: u64 = 1_500;
+const REPS: usize = 7;
+
+/// DML-heavy workload: inserts, key-churning updates, deletes, and cached
+/// point queries, all through metered tables and the plan cache.
+fn run_workload(window_us: u64) -> Duration {
+    let db = Strip::builder()
+        .observability(ObsSink::with_windows(4096, window_us, 256))
+        .memory_budget(1 << 30)
+        .build();
+    db.execute_script(
+        "create table stocks (symbol str, price float); \
+         create index ix_stocks_symbol on stocks (symbol);",
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    for i in 0..ROWS {
+        db.execute_with(
+            "insert into stocks values (?, ?)",
+            &[format!("S{:05}", i % 400).into(), (i as f64).into()],
+        )
+        .unwrap();
+        if i % 4 == 0 {
+            db.execute_with(
+                "update stocks set price = price + 1 where symbol = ?",
+                &[format!("S{:05}", i % 400).into()],
+            )
+            .unwrap();
+        }
+        if i % 16 == 0 {
+            db.execute_with(
+                "delete from stocks where symbol = ?",
+                &[format!("S{:05}", (i / 2) % 400).into()],
+            )
+            .unwrap();
+        }
+        if i % 8 == 0 {
+            db.query("select price from stocks where symbol = 'S00001'")
+                .unwrap();
+        }
+    }
+    db.drain();
+    let dt = t0.elapsed();
+    assert!(db.memory_snapshot().total_bytes > 0, "metering must run");
+    dt
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock guard is only meaningful in release mode (CI obs job runs it with --release)"
+)]
+fn memory_sampling_overhead_within_budget() {
+    // Baseline: the open window never seals, so the memory probe is pulled
+    // only at explicit snapshot points (one per run, in the assert above).
+    // Candidate: a seal — and thus a probe pull over every table — each
+    // virtual millisecond.
+    let never = || run_workload(u64::MAX);
+    let frequent = || run_workload(1_000);
+    never();
+    frequent();
+
+    let mut base = Duration::MAX;
+    let mut inst = Duration::MAX;
+    for _ in 0..REPS {
+        base = base.min(never());
+        inst = inst.min(frequent());
+    }
+
+    let budget = base.as_secs_f64() * 1.05 + 0.002;
+    assert!(
+        inst.as_secs_f64() <= budget,
+        "memory-sampled run min {:?} exceeds un-sampled baseline min {:?} + 5% (budget {:.6}s)",
+        inst,
+        base,
+        budget
+    );
+}

@@ -19,6 +19,7 @@
 //! ```
 
 use crate::hist::{bucket_hi, HistSummary};
+use crate::mem::{MemorySnapshot, MEM_CLASS_NAMES};
 use crate::sink::ObsSnapshot;
 use crate::window::{HistFrame, HotEntry, SloReport, WindowFrame, WindowsSnapshot};
 use std::fmt::Write as _;
@@ -135,7 +136,7 @@ impl ObsSnapshot {
             })
             .collect();
         format!(
-            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{},\"plan_choices\":{},\"card_est_sum\":{},\"card_actual_sum\":{},\"plan_misestimates\":[{}]}}",
+            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{},\"plan_choices\":{},\"card_est_sum\":{},\"card_actual_sum\":{},\"plan_misestimates\":[{}],\"memory\":{}}}",
             self.enabled,
             self.events_traced,
             self.ring_capacity,
@@ -146,6 +147,7 @@ impl ObsSnapshot {
             self.card_est_sum,
             self.card_actual_sum,
             misses.join(","),
+            self.memory.to_json(),
         )
     }
 
@@ -235,6 +237,74 @@ impl ObsSnapshot {
                 m.factor()
             );
         }
+        let _ = writeln!(out, "# TYPE strip_mem_bytes gauge");
+        for (name, bytes) in MEM_CLASS_NAMES.iter().zip(self.memory.class_bytes) {
+            let _ = writeln!(out, "strip_mem_bytes{{class=\"{name}\"}} {bytes}");
+        }
+        let _ = writeln!(out, "# TYPE strip_mem_total_bytes gauge");
+        let _ = writeln!(out, "strip_mem_total_bytes {}", self.memory.total_bytes);
+        let _ = writeln!(out, "# TYPE strip_mem_hwm_bytes gauge");
+        let _ = writeln!(out, "strip_mem_hwm_bytes {}", self.memory.hwm_bytes);
+        let _ = writeln!(out, "# TYPE strip_mem_temp_hwm_bytes gauge");
+        let _ = writeln!(
+            out,
+            "strip_mem_temp_hwm_bytes {}",
+            self.memory.temp_hwm_bytes
+        );
+        let _ = writeln!(out, "# TYPE strip_mem_table_bytes gauge");
+        let _ = writeln!(out, "# TYPE strip_mem_table_hwm_bytes gauge");
+        for t in &self.memory.tables {
+            if !prom_label_valid(&t.table) {
+                skipped.push(t.table.clone());
+                continue;
+            }
+            let l = prom_escape(&t.table);
+            for (class, bytes) in [
+                ("rows", t.row_bytes),
+                ("index", t.index_bytes),
+                ("versions", t.version_bytes),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "strip_mem_table_bytes{{table=\"{l}\",class=\"{class}\"}} {bytes}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "strip_mem_table_hwm_bytes{{table=\"{l}\"}} {}",
+                t.hwm_bytes
+            );
+        }
+        if let Some(b) = &self.memory.budget {
+            let _ = writeln!(out, "# TYPE strip_mem_budget_bytes gauge");
+            let _ = writeln!(out, "strip_mem_budget_bytes {}", b.budget_bytes);
+            let _ = writeln!(out, "# TYPE strip_mem_growth_bytes_per_window gauge");
+            let _ = writeln!(
+                out,
+                "strip_mem_growth_bytes_per_window{{span=\"short\"}} {}",
+                json_f64(b.growth_short_bpw)
+            );
+            let _ = writeln!(
+                out,
+                "strip_mem_growth_bytes_per_window{{span=\"long\"}} {}",
+                json_f64(b.growth_long_bpw)
+            );
+            if let Some(w) = b.windows_to_budget {
+                let _ = writeln!(out, "# TYPE strip_mem_windows_to_budget gauge");
+                let _ = writeln!(out, "strip_mem_windows_to_budget {w}");
+            }
+            // Encoded as the ordinal severity so it can graph/alert numerically.
+            let _ = writeln!(out, "# TYPE strip_mem_budget_alert gauge");
+            let _ = writeln!(
+                out,
+                "strip_mem_budget_alert {}",
+                match b.alert {
+                    crate::mem::MemAlert::Ok => 0,
+                    crate::mem::MemAlert::ProjectedBreach => 1,
+                    crate::mem::MemAlert::OverBudget => 2,
+                }
+            );
+        }
         if !skipped.is_empty() {
             let _ = writeln!(
                 out,
@@ -314,6 +384,16 @@ impl ObsSnapshot {
             );
         }
 
+        if self.memory.total_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "\nmemory: {} current, {} high-water (temp hwm {})",
+                fmt_bytes(self.memory.total_bytes),
+                fmt_bytes(self.memory.hwm_bytes),
+                fmt_bytes(self.memory.temp_hwm_bytes)
+            );
+        }
+
         if self.plan_choices > 0 {
             let _ = writeln!(
                 out,
@@ -340,6 +420,133 @@ impl ObsSnapshot {
             }
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting exporters
+// ---------------------------------------------------------------------------
+
+impl MemorySnapshot {
+    /// Serialise as a JSON object: per-class gauges keyed by
+    /// [`MEM_CLASS_NAMES`], totals and watermarks, per-table footprints,
+    /// and the budget projection (`null` when no budget is declared).
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = MEM_CLASS_NAMES
+            .iter()
+            .zip(self.class_bytes)
+            .map(|(name, bytes)| format!("\"{name}\":{bytes}"))
+            .collect();
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"table\":\"{}\",\"row_bytes\":{},\"index_bytes\":{},\"version_bytes\":{},\"total_bytes\":{},\"hwm_bytes\":{}}}",
+                    json_escape(&t.table),
+                    t.row_bytes,
+                    t.index_bytes,
+                    t.version_bytes,
+                    t.total(),
+                    t.hwm_bytes
+                )
+            })
+            .collect();
+        let budget = match &self.budget {
+            None => "null".to_string(),
+            Some(b) => format!(
+                "{{\"budget_bytes\":{},\"current_bytes\":{},\"hwm_bytes\":{},\"growth_short_bpw\":{},\"growth_long_bpw\":{},\"windows_to_budget\":{},\"alert\":\"{}\"}}",
+                b.budget_bytes,
+                b.current_bytes,
+                b.hwm_bytes,
+                json_f64(b.growth_short_bpw),
+                json_f64(b.growth_long_bpw),
+                b.windows_to_budget
+                    .map_or("null".to_string(), |w| w.to_string()),
+                b.alert.as_str()
+            ),
+        };
+        format!(
+            "{{\"classes\":{{{}}},\"total_bytes\":{},\"hwm_bytes\":{},\"temp_hwm_bytes\":{},\"tables\":[{}],\"budget\":{}}}",
+            classes.join(","),
+            self.total_bytes,
+            self.hwm_bytes,
+            self.temp_hwm_bytes,
+            tables.join(","),
+            budget
+        )
+    }
+
+    /// Human-readable accounting table (shell `.mem`, strip-report). With
+    /// `filter`, only tables whose name contains it are listed.
+    pub fn render_table(&self, filter: Option<&str>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "memory: {} current, {} high-water (temp hwm {})",
+            fmt_bytes(self.total_bytes),
+            fmt_bytes(self.hwm_bytes),
+            fmt_bytes(self.temp_hwm_bytes)
+        );
+        let _ = writeln!(out, "  {:<16} {:>12}", "class", "bytes");
+        for (name, bytes) in MEM_CLASS_NAMES.iter().zip(self.class_bytes) {
+            let _ = writeln!(out, "  {:<16} {:>12}", name, fmt_bytes(bytes));
+        }
+        let tables: Vec<_> = self
+            .tables
+            .iter()
+            .filter(|t| filter.is_none_or(|f| t.table.contains(f)))
+            .collect();
+        if !tables.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n  {:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "table", "rows", "index", "versions", "total", "hwm"
+            );
+            for t in tables {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                    t.table,
+                    fmt_bytes(t.row_bytes),
+                    fmt_bytes(t.index_bytes),
+                    fmt_bytes(t.version_bytes),
+                    fmt_bytes(t.total()),
+                    fmt_bytes(t.hwm_bytes)
+                );
+            }
+        } else if filter.is_some() {
+            let _ = writeln!(out, "\n  no table matches the filter");
+        }
+        if let Some(b) = &self.budget {
+            let horizon = match b.windows_to_budget {
+                Some(0) => "crossed".to_string(),
+                Some(w) => format!("~{w} windows out"),
+                None => "none projected".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "\n  budget {} ({} used, {:.1}%): growth {:+.0} B/win short, {:+.0} B/win long; crossing {horizon} [{}]",
+                fmt_bytes(b.budget_bytes),
+                fmt_bytes(b.current_bytes),
+                100.0 * b.current_bytes as f64 / b.budget_bytes.max(1) as f64,
+                b.growth_short_bpw,
+                b.growth_long_bpw,
+                b.alert.as_str()
+            );
+        }
+        out
+    }
+}
+
+/// Format a byte quantity with a readable unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 10 * 1024 * 1024 {
+        format!("{:.1}MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 10 * 1024 {
+        format!("{:.1}KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
     }
 }
 
@@ -406,8 +613,9 @@ impl WindowFrame {
                 )
             })
             .collect();
+        let class_delta: Vec<String> = self.mem.class_delta.iter().map(|d| d.to_string()).collect();
         format!(
-            "{{\"index\":{},\"start_us\":{},\"end_us\":{},\"open\":{},\"tasks_run\":{},\"busy_us\":{},\"events_traced\":{},\"plan_choices\":{},\"queue_us\":{},\"lock_wait_us\":{},\"wal_us\":{},\"plan_compile_us\":{},\"exec_us\":{},\"staleness_us\":{},\"slo\":[{}],\"hot\":{}}}",
+            "{{\"index\":{},\"start_us\":{},\"end_us\":{},\"open\":{},\"tasks_run\":{},\"busy_us\":{},\"events_traced\":{},\"plan_choices\":{},\"queue_us\":{},\"lock_wait_us\":{},\"wal_us\":{},\"plan_compile_us\":{},\"exec_us\":{},\"staleness_us\":{},\"slo\":[{}],\"hot\":{},\"mem\":{{\"end_bytes\":{},\"delta_bytes\":{},\"class_delta\":[{}]}}}}",
             self.index,
             self.start_us,
             self.end_us,
@@ -424,6 +632,9 @@ impl WindowFrame {
             named_frames_json(&self.staleness),
             slo.join(","),
             hot_json(&self.hot),
+            self.mem.end_bytes,
+            self.mem.delta_bytes,
+            class_delta.join(","),
         )
     }
 }
@@ -473,6 +684,10 @@ impl WindowsSnapshot {
                     sf.percentile(0.99)
                 );
             }
+            let _ = writeln!(out, "# TYPE strip_window_mem_end_bytes gauge");
+            let _ = writeln!(out, "strip_window_mem_end_bytes {}", f.mem.end_bytes);
+            let _ = writeln!(out, "# TYPE strip_window_mem_delta_bytes gauge");
+            let _ = writeln!(out, "strip_window_mem_delta_bytes {}", f.mem.delta_bytes);
             let _ = writeln!(out, "# TYPE strip_window_hot_wait_us gauge");
             for e in &f.hot {
                 if !prom_label_valid(&e.resource) {
@@ -743,6 +958,97 @@ mod tests {
 
         let hot = render_hot("hot resources (run)", &s.hot_run(4));
         assert!(hot.contains("stocks#symbol=S00001"), "{hot}");
+    }
+
+    #[test]
+    fn memory_section_exports_json_prometheus_and_table() {
+        use crate::mem::{MemReading, TableMemReading};
+        use std::sync::Arc;
+        let s = ObsSink::with_windows(16, 1000, 8);
+        s.memory().set_probe(Some(Arc::new(|| MemReading {
+            tables: vec![
+                TableMemReading {
+                    table: "stocks".into(),
+                    row_bytes: 1_000,
+                    index_bytes: 200,
+                    version_bytes: 64,
+                },
+                TableMemReading {
+                    table: "evil\ttab".into(),
+                    row_bytes: 7,
+                    index_bytes: 0,
+                    version_bytes: 0,
+                },
+            ],
+            plan_cache_bytes: 512,
+        })));
+        s.memory().set_budget(Some(1 << 20));
+        s.window_tick(1500, 3, 30);
+
+        let snap = s.snapshot();
+        let j = snap.to_json();
+        crate::json::validate(&j).unwrap();
+        assert!(
+            j.contains("\"memory\":{\"classes\":{\"table_rows\":1007"),
+            "{j}"
+        );
+        assert!(j.contains("\"plan_cache\":512"), "{j}");
+        assert!(j.contains("\"budget_bytes\":1048576"), "{j}");
+        assert!(j.contains("\"table\":\"stocks\",\"row_bytes\":1000"), "{j}");
+
+        let p = snap.to_prometheus();
+        assert!(
+            p.contains("strip_mem_bytes{class=\"table_rows\"} 1007"),
+            "{p}"
+        );
+        assert!(
+            p.contains("strip_mem_bytes{class=\"plan_cache\"} 512"),
+            "{p}"
+        );
+        assert!(
+            p.contains("strip_mem_table_bytes{table=\"stocks\",class=\"rows\"} 1000"),
+            "{p}"
+        );
+        assert!(
+            p.contains("strip_mem_table_hwm_bytes{table=\"stocks\"}"),
+            "{p}"
+        );
+        assert!(p.contains("strip_mem_budget_bytes 1048576"), "{p}");
+        assert!(p.contains("strip_mem_budget_alert 0"), "{p}");
+        // Hostile table name is skipped, not emitted malformed.
+        assert!(!p.contains("evil\ttab"), "{p}");
+        assert!(p.contains("series skipped"), "{p}");
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: {line:?}"
+            );
+        }
+
+        let t = snap.memory.render_table(None);
+        assert!(t.contains("stocks"), "{t}");
+        assert!(t.contains("budget"), "{t}");
+        let filtered = snap.memory.render_table(Some("stock"));
+        assert!(filtered.contains("stocks"), "{filtered}");
+        let none = snap.memory.render_table(Some("nope"));
+        assert!(none.contains("no table matches"), "{none}");
+
+        // The sealed window frame carries the memory delta and exports it.
+        let w = s.windows_snapshot();
+        let wj = w.to_json(false);
+        crate::json::validate(&wj).unwrap();
+        assert!(wj.contains("\"mem\":{\"end_bytes\":"), "{wj}");
+        let wp = w.to_prometheus();
+        assert!(wp.contains("strip_window_mem_end_bytes"), "{wp}");
+        assert!(wp.contains("strip_window_mem_delta_bytes"), "{wp}");
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(20 * 1024), "20.0KiB");
+        assert_eq!(fmt_bytes(64 * 1024 * 1024), "64.0MiB");
     }
 
     #[test]

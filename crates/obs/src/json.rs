@@ -376,6 +376,30 @@ mod tests {
     }
 
     #[test]
+    fn numeric_accessors_reject_wrong_shapes() {
+        // as_u64 is the strict accessor: non-negative integers only.
+        assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-0.25).as_u64(), None);
+        // Largest exactly-representable f64 integer round-trips.
+        assert_eq!(
+            parse("9007199254740992").unwrap().as_u64(),
+            Some(1u64 << 53)
+        );
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+        assert_eq!(parse("2.0e2").unwrap().as_u64(), Some(200));
+        // as_f64 accepts any number, nothing else.
+        assert_eq!(Json::Num(-2.5).as_f64(), Some(-2.5));
+        assert_eq!(Json::Bool(true).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_f64(), None);
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+        assert_eq!(Json::Str("7".into()).as_f64(), None);
+        assert_eq!(Json::Null.as_u64(), None);
+        assert_eq!(Json::Null.as_f64(), None);
+    }
+
+    #[test]
     fn parse_handles_surrogate_pairs_and_lone_surrogates() {
         assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
         assert_eq!(

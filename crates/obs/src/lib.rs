@@ -18,6 +18,10 @@
 //!   histogram and counter into fixed-width virtual-time [`WindowFrame`]s,
 //!   a per-derived-table staleness-SLO engine with burn-rate alerting, and
 //!   a SpaceSaving hot-key/shard contention map;
+//! * a memory observer ([`MemoryObserver`]) pulling exact byte footprints
+//!   from the engine through a probe, with class gauges, high-water marks,
+//!   per-window signed memory deltas in the frame ring, and budget
+//!   projection ([`MemBudgetReport`]);
 //! * exporters: a JSON snapshot, a Prometheus-text dump, and a rendered
 //!   per-run table (consumed by the `strip-report` binary in `strip-bench`).
 //!
@@ -34,6 +38,7 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod lineage;
+pub mod mem;
 pub mod ring;
 pub mod sink;
 pub mod stale;
@@ -43,6 +48,10 @@ pub mod window;
 pub use event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 pub use hist::{HistSummary, Histogram};
 pub use lineage::{render_attribution, AttributionSummary, Lineage, PhaseBreakdown, TraceDag};
+pub use mem::{
+    MemAlert, MemBudgetReport, MemCum, MemFrame, MemProbe, MemReading, MemoryObserver,
+    MemorySnapshot, TableMemReading, TableMemSnapshot, MEM_CLASSES, MEM_CLASS_NAMES,
+};
 pub use ring::TraceRing;
 pub use sink::{ObsSink, ObsSnapshot, PlanMisestimate};
 pub use stale::StalenessTracker;

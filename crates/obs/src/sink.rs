@@ -8,6 +8,7 @@
 
 use crate::event::{EventKind, Interner, ResolvedEvent, Sym, TraceEvent};
 use crate::hist::{HistSummary, Histogram};
+use crate::mem::{MemoryObserver, MemorySnapshot};
 use crate::ring::TraceRing;
 use crate::stale::StalenessTracker;
 use crate::trace::TraceCtx;
@@ -51,6 +52,8 @@ pub struct ObsSink {
     misestimates: RwLock<HashMap<String, (u64, u64)>>,
     /// Windowed time-series collector, SLO engine, and contention map.
     windows: WindowCollector,
+    /// Memory observer: probe holder, class gauges, watermarks, budget.
+    memory: MemoryObserver,
 }
 
 impl ObsSink {
@@ -64,10 +67,19 @@ impl ObsSink {
     /// An enabled sink with an explicit telemetry window width (virtual µs)
     /// and ring capacity (sealed frames retained).
     pub fn with_windows(ring_capacity: usize, window_us: u64, window_cap: usize) -> Arc<ObsSink> {
+        let ring = TraceRing::new(ring_capacity);
+        let memory = MemoryObserver::new();
+        // The trace ring's own (fixed) footprint: one event slot plus one
+        // seqlock word per capacity slot. Metered so the observability
+        // layer accounts for itself.
+        memory.set_ring_bytes(
+            ring.capacity() as u64
+                * (std::mem::size_of::<TraceEvent>() + std::mem::size_of::<AtomicU64>()) as u64,
+        );
         Arc::new(ObsSink {
             enabled: AtomicBool::new(true),
             interner: Interner::new(),
-            ring: TraceRing::new(ring_capacity),
+            ring,
             queue_us: Histogram::new(),
             lock_wait_us: Histogram::new(),
             lock_wait_table_us: Histogram::new(),
@@ -81,6 +93,7 @@ impl ObsSink {
             card_actual: AtomicU64::new(0),
             misestimates: RwLock::new(HashMap::new()),
             windows: WindowCollector::new(window_us, window_cap),
+            memory,
         })
     }
 
@@ -308,7 +321,27 @@ impl ObsSink {
             plan_choices: self.plan_choices.load(Ordering::Relaxed),
             tasks_run: 0, // filled by the collector from its tick counters
             busy_us: 0,
+            mem: self.memory.sample(),
         }
+    }
+
+    /// The memory observer (probe installation, budget, temp scopes).
+    pub fn memory(&self) -> &MemoryObserver {
+        &self.memory
+    }
+
+    /// Detached memory snapshot: class gauges, watermarks, per-table
+    /// footprints, and the budget projection fed by the sealed windows'
+    /// memory deltas.
+    pub fn memory_snapshot(&self) -> MemorySnapshot {
+        let ws = self.windows.snapshot(self.cum_snapshot());
+        let deltas: Vec<i64> = ws
+            .frames
+            .iter()
+            .filter(|f| !f.open)
+            .map(|f| f.mem.delta_bytes)
+            .collect();
+        self.memory.snapshot(&deltas)
     }
 
     /// Record a contention observation against the hot-key/shard map:
@@ -430,6 +463,7 @@ impl ObsSink {
             enabled: self.is_enabled(),
             events_traced: self.ring.pushed(),
             ring_capacity: self.ring.capacity() as u64,
+            memory: self.memory_snapshot(),
             queue_us: self.queue_us.summary(),
             lock_wait_us: self.lock_wait_us.summary(),
             lock_wait_table_us: self.lock_wait_table_us.summary(),
@@ -500,6 +534,9 @@ pub struct ObsSnapshot {
     pub enabled: bool,
     pub events_traced: u64,
     pub ring_capacity: u64,
+    /// Resource-accounting snapshot: class gauges, watermarks, per-table
+    /// footprints, and the optional budget projection.
+    pub memory: MemorySnapshot,
     pub queue_us: HistSummary,
     pub lock_wait_us: HistSummary,
     pub lock_wait_table_us: HistSummary,

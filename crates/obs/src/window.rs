@@ -54,6 +54,7 @@
 //! open window (drained into the sealed frame) plus one run-level instance.
 
 use crate::hist::{percentile_over, Histogram, BUCKETS};
+use crate::mem::{MemCum, MemFrame};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,6 +124,8 @@ pub struct CumSnapshot {
     pub plan_choices: u64,
     pub tasks_run: u64,
     pub busy_us: u64,
+    /// Memory gauge by accounting class (sampled at seal time).
+    pub mem: MemCum,
 }
 
 /// Delta of one histogram over one window: sparse `(bucket_index, count)`
@@ -234,6 +237,8 @@ pub struct WindowFrame {
     pub staleness: Vec<(String, HistFrame)>,
     pub slo: Vec<SloWindowEval>,
     pub hot: Vec<HotEntry>,
+    /// Signed memory movement over this window (gauge deltas telescope).
+    pub mem: MemFrame,
 }
 
 impl WindowFrame {
@@ -246,6 +251,7 @@ impl WindowFrame {
             && self.exec.iter().all(|(_, f)| f.is_empty())
             && self.staleness.iter().all(|(_, f)| f.is_empty())
             && self.hot.is_empty()
+            && self.mem.is_empty()
     }
 }
 
@@ -624,6 +630,7 @@ impl WindowCollector {
                 staleness: Vec::new(),
                 slo: Vec::new(),
                 hot: Vec::new(),
+                mem: MemFrame::default(),
             };
             inner.push_frame(frame, self.capacity);
         }
@@ -682,6 +689,7 @@ impl WindowCollector {
             staleness,
             slo,
             hot,
+            mem: MemFrame::delta(&inner.last.mem, &cum.mem),
         }
     }
 
@@ -902,6 +910,30 @@ mod tests {
         assert!(t.worst_p99_us >= 150);
         assert!(t.burn_short > FAST_BURN);
         assert_eq!(t.alert, SloAlert::FastBurn);
+    }
+
+    #[test]
+    fn mem_gauge_deltas_seal_into_frames() {
+        let c = WindowCollector::new(1000, 8);
+        let cum_mem = |bytes: u64| {
+            let mut s = CumSnapshot::default();
+            s.mem.by_class[0] = bytes;
+            s
+        };
+        c.tick(1000, 1, 1, || cum_mem(500)); // window 0: +500
+        c.tick(2000, 2, 2, || cum_mem(200)); // window 1: -300 (shrink)
+        let snap = c.snapshot(cum_mem(200));
+        assert_eq!(snap.frames[0].mem.delta_bytes, 500);
+        assert_eq!(snap.frames[0].mem.end_bytes, 500);
+        assert_eq!(snap.frames[1].mem.delta_bytes, -300);
+        assert_eq!(snap.frames[1].mem.class_delta[0], -300);
+        // Telescoping: the deltas sum to final - initial despite the shrink.
+        let sum: i64 = snap.frames.iter().map(|f| f.mem.delta_bytes).sum();
+        assert_eq!(sum, 200);
+        // A memory-only frame is not "empty": it must survive series
+        // filtering even though no tasks ran in it.
+        assert!(!snap.frames[1].is_empty());
+        assert!(snap.frames[2].open && snap.frames[2].is_empty());
     }
 
     #[test]

@@ -27,6 +27,22 @@ fn op() -> impl Strategy<Value = Op> {
     ]
 }
 
+#[derive(Debug, Clone)]
+enum MemOp {
+    /// Advance the virtual clock by this many µs and tick.
+    Advance(u64),
+    Grow(u64),
+    Shrink(u64),
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0u64..2500).prop_map(MemOp::Advance),
+        (0u64..10_000).prop_map(MemOp::Grow),
+        (0u64..10_000).prop_map(MemOp::Shrink),
+    ]
+}
+
 const KINDS: [&str; 3] = ["update", "recompute:f", "delta:f"];
 const TABLES: [&str; 2] = ["comp_prices", "option_prices"];
 
@@ -116,6 +132,59 @@ proptest! {
         let tasks: u64 = snap.frames.iter().map(|f| f.tasks_run).sum();
         let advances = ops.iter().filter(|o| matches!(o, Op::Advance(_))).count() as u64;
         prop_assert_eq!(tasks, advances);
+    }
+
+    // Memory gauge deltas are signed and telescope: summing every frame's
+    // delta (gap windows included — they carry zero) reproduces the final
+    // gauge exactly, totals and per-class alike.
+    #[test]
+    fn mem_frame_deltas_telescope(ops in proptest::collection::vec(mem_op(), 1..200)) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use strip_obs::{MemReading, TableMemReading};
+
+        let sink = ObsSink::with_windows(16, 1000, 4096);
+        let cell = Arc::new(AtomicU64::new(0));
+        let probe_cell = cell.clone();
+        sink.memory().set_probe(Some(Arc::new(move || MemReading {
+            tables: vec![TableMemReading {
+                table: "t".into(),
+                row_bytes: probe_cell.load(Ordering::Relaxed),
+                index_bytes: 0,
+                version_bytes: 0,
+            }],
+            plan_cache_bytes: 0,
+        })));
+        let mut now = 0u64;
+        let mut ticks = 0u64;
+        for o in &ops {
+            match o {
+                MemOp::Advance(dt) => {
+                    now += dt;
+                    ticks += 1;
+                    sink.window_tick(now, ticks, 0);
+                }
+                MemOp::Grow(b) => {
+                    cell.fetch_add(*b, Ordering::Relaxed);
+                }
+                MemOp::Shrink(b) => {
+                    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(*b))
+                    });
+                }
+            }
+        }
+        let snap = sink.windows_snapshot();
+        prop_assert!(!snap.truncated);
+        let total: i64 = snap.frames.iter().map(|f| f.mem.delta_bytes).sum();
+        let last_end = snap.frames.last().map_or(0, |f| f.mem.end_bytes);
+        prop_assert_eq!(total, last_end as i64);
+        let rows: i64 = snap.frames.iter().map(|f| f.mem.class_delta[0]).sum();
+        prop_assert_eq!(rows, cell.load(Ordering::Relaxed) as i64);
+        // The non-row classes net out to whatever the final gauge holds
+        // (the trace ring is class 5 and constant from the first sample).
+        let ring: i64 = snap.frames.iter().map(|f| f.mem.class_delta[5]).sum();
+        prop_assert_eq!(rows + ring, last_end as i64);
     }
 
     // With a tiny ring, overwrite is marked `truncated` and the retained

@@ -19,13 +19,29 @@ struct CachedPlan {
     plan: Arc<PhysicalPlan>,
 }
 
+/// Modeled bytes per cached plan beyond its key: the map entry plus a flat
+/// allowance for the compiled plan tree. Plans are recursive enums whose
+/// true size is not worth walking; the accounting contract (exact counts,
+/// modeled sizes — see `strip_storage::mem`) only needs the figure to be
+/// deterministic and maintained exactly per entry.
+pub const PLAN_CACHE_ENTRY_BYTES: u64 = 256;
+
 /// A concurrent prepared-plan cache keyed by `(statement key, schema epoch)`.
 #[derive(Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<String, CachedPlan>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Modeled bytes held by cached entries (entry allowance + key length),
+    /// maintained on insert/invalidate/clear. Atomic so memory probes can
+    /// read it without touching the cache lock.
+    bytes: AtomicU64,
     obs: Option<Arc<ObsSink>>,
+}
+
+/// Modeled bytes of one cache entry.
+fn entry_bytes(key: &str) -> u64 {
+    PLAN_CACHE_ENTRY_BYTES + key.len() as u64
 }
 
 impl PlanCache {
@@ -95,24 +111,38 @@ impl PlanCache {
             obs.event_ctx(at_us, 0, EventKind::PlanCompile, key, compile_us, ctx, 0);
             obs.record_plan_compile(compile_us);
         }
-        self.plans.lock().expect("plan cache lock").insert(
+        let prev = self.plans.lock().expect("plan cache lock").insert(
             key.to_string(),
             CachedPlan {
                 epoch,
                 plan: plan.clone(),
             },
         );
+        if prev.is_none() {
+            // Same-key replacement (epoch replan) reuses the existing
+            // entry's allowance; only a fresh key charges bytes.
+            self.bytes.fetch_add(entry_bytes(key), Ordering::Relaxed);
+        }
         Ok(plan)
     }
 
     /// Drop one entry (used when a cached plan turned out stale mid-epoch).
     pub fn invalidate(&self, key: &str) {
-        self.plans.lock().expect("plan cache lock").remove(key);
+        if self
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .remove(key)
+            .is_some()
+        {
+            self.bytes.fetch_sub(entry_bytes(key), Ordering::Relaxed);
+        }
     }
 
     /// Drop every entry.
     pub fn clear(&self) {
         self.plans.lock().expect("plan cache lock").clear();
+        self.bytes.store(0, Ordering::Relaxed);
     }
 
     /// Number of cached plans.
@@ -133,6 +163,12 @@ impl PlanCache {
     /// Cache misses (including epoch-mismatch replans) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Modeled bytes currently held by cached entries. Lock-free, so the
+    /// obs memory probe may call it from any context.
+    pub fn cached_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -223,5 +259,25 @@ mod tests {
         assert!(c.is_empty());
         c.get_or_plan("k", 1, || Ok(dummy_plan())).unwrap();
         assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn cached_bytes_follow_entry_lifecycle() {
+        let c = PlanCache::new();
+        assert_eq!(c.cached_bytes(), 0);
+        c.get_or_plan("key-a", 1, || Ok(dummy_plan())).unwrap();
+        assert_eq!(c.cached_bytes(), PLAN_CACHE_ENTRY_BYTES + 5);
+        // Epoch replan replaces the same key: no extra charge.
+        c.get_or_plan("key-a", 2, || Ok(dummy_plan())).unwrap();
+        assert_eq!(c.cached_bytes(), PLAN_CACHE_ENTRY_BYTES + 5);
+        c.get_or_plan("kb", 2, || Ok(dummy_plan())).unwrap();
+        assert_eq!(c.cached_bytes(), 2 * PLAN_CACHE_ENTRY_BYTES + 7);
+        // Invalidating a present key releases it; a missing key is free.
+        c.invalidate("key-a");
+        assert_eq!(c.cached_bytes(), PLAN_CACHE_ENTRY_BYTES + 2);
+        c.invalidate("missing");
+        assert_eq!(c.cached_bytes(), PLAN_CACHE_ENTRY_BYTES + 2);
+        c.clear();
+        assert_eq!(c.cached_bytes(), 0);
     }
 }

@@ -44,7 +44,7 @@ pub mod plan;
 
 pub use ast::Statement;
 pub use batch::{invocations as batch_invocations, RowBatch};
-pub use cache::PlanCache;
+pub use cache::{PlanCache, PLAN_CACHE_ENTRY_BYTES};
 pub use cost::PlannerMode;
 pub use delta::{
     checkpoint, delta_apply, digest_result, digest_rows, DeltaMutant, DeltaOutcome, DeltaSpec,

@@ -134,6 +134,20 @@ impl Catalog {
         self.tables.read().contains_key(&name.to_ascii_lowercase())
     }
 
+    /// Byte footprint of every table, sorted by name. One consistent-ish
+    /// pass for memory probes: each table's meters are read in turn (exact
+    /// per table at mutation-quiescent points).
+    pub fn mem_tables(&self) -> Vec<(String, crate::mem::TableMem)> {
+        let mut v: Vec<(String, crate::mem::TableMem)> = self
+            .tables
+            .read()
+            .iter()
+            .map(|(name, t)| (name.clone(), t.mem()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// All table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.tables.read().keys().cloned().collect();

@@ -42,15 +42,28 @@ impl Index {
         }
     }
 
-    /// Add an entry.
-    pub fn insert(&mut self, key: Value, id: RowId) {
+    /// Add an entry. Returns `true` when this allocated a new distinct key
+    /// (the caller charges key bytes on top of the posting — see
+    /// [`crate::mem`]).
+    pub fn insert(&mut self, key: Value, id: RowId) -> bool {
         match self {
-            Index::Hash(m) => m.entry(key).or_default().push(id),
+            Index::Hash(m) => match m.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    e.into_mut().push(id);
+                    false
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![id]);
+                    true
+                }
+            },
             Index::RbTree(m) => {
                 if let Some(v) = m.get_mut(&key) {
                     v.push(id);
+                    false
                 } else {
                     m.insert(key, vec![id]);
+                    true
                 }
             }
         }
@@ -111,6 +124,21 @@ impl Index {
         match self {
             Index::Hash(m) => m.len(),
             Index::RbTree(m) => m.iter().count(),
+        }
+    }
+
+    /// Deep-walk byte oracle: recompute this index's footprint from scratch
+    /// under the model of [`crate::mem`]. Emptied posting lists still hold
+    /// their key allocation and stay priced, matching the incremental
+    /// charges (keys are only freed when the whole index is dropped).
+    pub fn walk_bytes(&self) -> u64 {
+        let price = |key: &Value, postings: &Vec<RowId>| {
+            crate::mem::index_key_bytes(key)
+                + postings.len() as u64 * crate::mem::INDEX_POSTING_BYTES
+        };
+        match self {
+            Index::Hash(m) => m.iter().map(|(k, v)| price(k, v)).sum(),
+            Index::RbTree(m) => m.iter().map(|(k, v)| price(k, v)).sum(),
         }
     }
 }

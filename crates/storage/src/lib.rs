@@ -12,10 +12,14 @@
 //! * [`catalog`] — named tables and view definitions.
 //! * [`meter`] — the operation-accounting vocabulary shared by every layer;
 //!   the cost model itself lives in `strip-txn`.
+//! * [`mem`] — the exact byte-metering model: every table/index/version/
+//!   temp-tuple byte is priced by one deterministic model, maintained
+//!   incrementally and pinned against a deep-walk oracle.
 
 pub mod catalog;
 pub mod error;
 pub mod index;
+pub mod mem;
 pub mod meter;
 pub mod rbtree;
 pub mod schema;
@@ -26,6 +30,7 @@ pub mod value;
 pub use catalog::{Catalog, TableRef, ViewDef};
 pub use error::{Result, StorageError};
 pub use index::{Index, IndexKind};
+pub use mem::{record_bytes, row_bytes, value_bytes, TableMem};
 pub use meter::{CountingMeter, Meter, NullMeter, Op};
 pub use schema::{Column, Schema, SchemaRef};
 pub use table::{

@@ -1,0 +1,139 @@
+//! Exact byte metering: the resource-accounting model of the storage engine.
+//!
+//! Every structure that holds user data — record versions, secondary-index
+//! entries, temporary-table tuples — is priced by the deterministic model in
+//! this module, and the counters maintained against it are **exact by
+//! construction**: the same functions price an object when it is charged at
+//! a mutation point and when the deep-walk oracle recomputes a footprint
+//! from scratch, so `metered == walked` is an invariant, not an estimate
+//! (pinned by `tests/prop_mem.rs`).
+//!
+//! The model measures *logical* bytes:
+//!
+//! * every [`Value`] costs its inline enum size plus, for strings, the
+//!   UTF-8 payload length — `Arc<str>` sharing between clones is **not**
+//!   discounted (each holder is charged the full payload);
+//! * a record version costs a fixed header (the `RecordData` struct plus
+//!   the `Arc` control block) plus its values;
+//! * an index entry costs one posting word per `(key, row)` pair plus, per
+//!   *distinct key currently allocated*, the key value and a posting-list
+//!   header (keys whose posting lists were emptied by removals stay
+//!   allocated until the index is dropped, and stay metered — matching
+//!   [`crate::index::Index::distinct_keys`]);
+//! * allocator slack, `HashMap`/`Vec` spare capacity, and latch words are
+//!   deliberately **not** metered (see KNOWN_FAILURES.md).
+
+use crate::table::{RecordData, RowId};
+use crate::value::Value;
+
+/// Fixed per-record-version overhead: the `RecordData` struct (version id +
+/// boxed-slice fat pointer) plus the two `Arc` control-block words.
+pub const RECORD_HEADER_BYTES: u64 =
+    (std::mem::size_of::<RecordData>() + 2 * std::mem::size_of::<usize>()) as u64;
+
+/// One `(key, row)` posting in a secondary index.
+pub const INDEX_POSTING_BYTES: u64 = std::mem::size_of::<RowId>() as u64;
+
+/// Per-distinct-key overhead in a secondary index: the posting-list header
+/// (`Vec` triple word) — the key's own bytes are priced by [`value_bytes`].
+pub const INDEX_KEY_OVERHEAD_BYTES: u64 = (3 * std::mem::size_of::<usize>()) as u64;
+
+/// Per-tuple overhead of a temporary table: the two boxed-slice fat
+/// pointers of a `TempTuple`.
+pub const TEMP_TUPLE_HEADER_BYTES: u64 = (4 * std::mem::size_of::<usize>()) as u64;
+
+/// One pinning record pointer in a temporary tuple (the `Arc` itself; the
+/// pinned version's bytes are accounted at its owning table, under rows if
+/// current or under the version chain once superseded).
+pub const TEMP_PTR_BYTES: u64 = std::mem::size_of::<usize>() as u64;
+
+/// Modeled bytes of one value: inline enum size, plus the string payload.
+pub fn value_bytes(v: &Value) -> u64 {
+    let inline = std::mem::size_of::<Value>() as u64;
+    match v {
+        Value::Str(s) => inline + s.len() as u64,
+        _ => inline,
+    }
+}
+
+/// Modeled bytes of a slice of values (one row image).
+pub fn row_bytes(values: &[Value]) -> u64 {
+    values.iter().map(value_bytes).sum()
+}
+
+/// Modeled bytes of one record version: header + values.
+pub fn record_bytes(rec: &RecordData) -> u64 {
+    RECORD_HEADER_BYTES + row_bytes(rec.values())
+}
+
+/// Modeled bytes of one distinct index key (first posting under that key).
+pub fn index_key_bytes(key: &Value) -> u64 {
+    INDEX_KEY_OVERHEAD_BYTES + value_bytes(key)
+}
+
+/// Byte footprint of one table, split by what holds the bytes. Produced
+/// both by the incremental per-shard counters ([`crate::StandardTable::mem`])
+/// and by the deep-walk oracle ([`crate::StandardTable::__walk_mem`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableMem {
+    /// Current (live) record versions referenced by row slots.
+    pub row_bytes: u64,
+    /// Secondary-index entries (postings + distinct keys), across all
+    /// indexes of the table.
+    pub index_bytes: u64,
+    /// Superseded or deleted record versions still pinned by an outstanding
+    /// reference (paper §6.1's reference-counted retention): bytes freed
+    /// the moment the last transition/bound table retires.
+    pub version_bytes: u64,
+}
+
+impl TableMem {
+    /// Total bytes across all components.
+    pub fn total(&self) -> u64 {
+        self.row_bytes + self.index_bytes + self.version_bytes
+    }
+
+    /// Component-wise sum (shard roll-up).
+    pub fn add(&mut self, other: TableMem) {
+        self.row_bytes += other.row_bytes;
+        self.index_bytes += other.index_bytes;
+        self.version_bytes += other.version_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bytes_charges_string_payload() {
+        let inline = std::mem::size_of::<Value>() as u64;
+        assert_eq!(value_bytes(&Value::Int(7)), inline);
+        assert_eq!(value_bytes(&Value::Null), inline);
+        assert_eq!(value_bytes(&Value::str("IBM")), inline + 3);
+        assert_eq!(value_bytes(&Value::str("")), inline);
+    }
+
+    #[test]
+    fn row_bytes_is_sum_of_values() {
+        let row = [Value::str("IBM"), Value::Float(1.0)];
+        assert_eq!(row_bytes(&row), value_bytes(&row[0]) + value_bytes(&row[1]));
+    }
+
+    #[test]
+    fn table_mem_totals_and_sums() {
+        let mut a = TableMem {
+            row_bytes: 10,
+            index_bytes: 20,
+            version_bytes: 30,
+        };
+        assert_eq!(a.total(), 60);
+        a.add(TableMem {
+            row_bytes: 1,
+            index_bytes: 2,
+            version_bytes: 3,
+        });
+        assert_eq!(a.total(), 66);
+        assert_eq!(a.row_bytes, 11);
+    }
+}

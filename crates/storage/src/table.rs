@@ -29,12 +29,13 @@
 
 use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
+use crate::mem::{self, TableMem};
 use crate::schema::SchemaRef;
 use crate::value::Value;
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Callback invoked when a shard latch acquisition was *contended*:
@@ -141,6 +142,47 @@ struct Shard {
     free: Vec<u32>,
 }
 
+/// Sweep the retired-version list inline once it reaches this length, so a
+/// sustained update churn with short-lived pins keeps the list bounded.
+const RETIRED_SWEEP_LEN: usize = 256;
+
+/// Per-shard byte meters (model: [`crate::mem`]). Each DML charge lands on
+/// the mutated row's shard, so the table total is *defined* as the sum of
+/// the shards — Σ shard bytes == table bytes holds by construction.
+#[derive(Debug, Default)]
+struct ShardMem {
+    /// Bytes of current record versions referenced by this shard's slots.
+    row_bytes: AtomicU64,
+    /// Bytes of index entries charged to this shard (postings for its rows,
+    /// plus each distinct key first introduced by one of its rows).
+    index_bytes: AtomicU64,
+    /// Superseded/deleted versions with their modeled byte price, kept as
+    /// weak references: a version still pinned by a transition or bound
+    /// table (strong count > 0) still owes its bytes; released versions are
+    /// dropped by the lazy sweep.
+    retired: Mutex<Vec<(Weak<RecordData>, u64)>>,
+}
+
+impl ShardMem {
+    /// Record a superseded/deleted version. Its bytes move from the row
+    /// meter to the version-chain meter until the last pin drops.
+    fn retire(&self, rec: &RecordRef) {
+        let bytes = mem::record_bytes(rec);
+        let mut r = self.retired.lock();
+        if r.len() >= RETIRED_SWEEP_LEN {
+            r.retain(|(w, _)| w.strong_count() > 0);
+        }
+        r.push((Arc::downgrade(rec), bytes));
+    }
+
+    /// Bytes still owed by pinned retired versions (sweeps released ones).
+    fn version_bytes(&self) -> u64 {
+        let mut r = self.retired.lock();
+        r.retain(|(w, _)| w.strong_count() > 0);
+        r.iter().map(|(_, b)| *b).sum()
+    }
+}
+
 /// A standard (user-visible, SQL-created) table. All methods take `&self`:
 /// row storage is sharded behind per-bucket latches and indexes carry their
 /// own, so catalog handles are plain `Arc<StandardTable>`.
@@ -170,6 +212,8 @@ pub struct StandardTable {
     distinct_cache: RwLock<Vec<Option<(u64, usize)>>>,
     /// Contention observer for shard latches (see [`LatchObserver`]).
     latch_obs: ObserverCell,
+    /// Per-shard byte meters; the table footprint is their sum.
+    mem: Vec<ShardMem>,
 }
 
 /// Holder for the optional latch observer; exists so `StandardTable` can
@@ -281,7 +325,28 @@ impl StandardTable {
             indexes: RwLock::new(Vec::new()),
             distinct_cache: RwLock::new(Vec::new()),
             latch_obs: ObserverCell::default(),
+            mem: (0..SHARD_COUNT).map(|_| ShardMem::default()).collect(),
         }
+    }
+
+    /// Charge one index posting (plus the key, when `new_key`) to a shard.
+    fn charge_index_insert(&self, shard: usize, key: &Value, new_key: bool) {
+        let mut bytes = mem::INDEX_POSTING_BYTES;
+        if new_key {
+            bytes += mem::index_key_bytes(key);
+        }
+        self.mem[shard]
+            .index_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release one index posting from a shard. Key bytes are *not* released:
+    /// an emptied posting list keeps its key allocated (and metered) until
+    /// the index is dropped, matching [`Index::distinct_keys`].
+    fn charge_index_remove(&self, shard: usize) {
+        self.mem[shard]
+            .index_bytes
+            .fetch_sub(mem::INDEX_POSTING_BYTES, Ordering::Relaxed);
     }
 
     /// Install (or clear) the shard-latch contention observer. Subsequent
@@ -385,10 +450,15 @@ impl StandardTable {
             });
             RowId::pack(shard, local, 0)
         };
+        self.mem[id.shard()]
+            .row_bytes
+            .fetch_add(mem::record_bytes(&rec), Ordering::Relaxed);
         let before = self.live.fetch_add(1, Ordering::AcqRel);
         self.note_cardinality_change(before, before + 1);
         for ix in self.indexes() {
-            ix.index.write().insert(rec.get(ix.column).clone(), id);
+            let key = rec.get(ix.column);
+            let new_key = ix.index.write().insert(key.clone(), id);
+            self.charge_index_insert(id.shard(), key, new_key);
         }
         Ok((id, rec))
     }
@@ -423,13 +493,25 @@ impl StandardTable {
             }
             slot.rec.replace(new_rec.clone()).expect("checked live")
         };
+        let shard_mem = &self.mem[id.shard()];
+        shard_mem
+            .row_bytes
+            .fetch_add(mem::record_bytes(&new_rec), Ordering::Relaxed);
+        shard_mem
+            .row_bytes
+            .fetch_sub(mem::record_bytes(&old_rec), Ordering::Relaxed);
+        shard_mem.retire(&old_rec);
         for ix in self.indexes() {
             let old_key = old_rec.get(ix.column);
             let new_key = new_rec.get(ix.column);
             if old_key != new_key {
-                let mut w = ix.index.write();
-                w.remove(old_key, id);
-                w.insert(new_key.clone(), id);
+                let fresh = {
+                    let mut w = ix.index.write();
+                    w.remove(old_key, id);
+                    w.insert(new_key.clone(), id)
+                };
+                self.charge_index_remove(id.shard());
+                self.charge_index_insert(id.shard(), new_key, fresh);
             } else {
                 // RowId is stable across updates, so an unchanged key needs
                 // no index maintenance at all.
@@ -456,11 +538,17 @@ impl StandardTable {
             s.free.push(local);
             old
         };
+        let shard_mem = &self.mem[id.shard()];
+        shard_mem
+            .row_bytes
+            .fetch_sub(mem::record_bytes(&old), Ordering::Relaxed);
+        shard_mem.retire(&old);
         self.free_count.fetch_add(1, Ordering::AcqRel);
         let before = self.live.fetch_sub(1, Ordering::AcqRel);
         self.note_cardinality_change(before, before - 1);
         for ix in self.indexes() {
             ix.index.write().remove(old.get(ix.column), id);
+            self.charge_index_remove(id.shard());
         }
         Ok(old)
     }
@@ -544,7 +632,11 @@ impl StandardTable {
         let column = self.schema.index_of_ok(column_name)?;
         let mut index = Index::new(kind);
         for (id, rec) in self.scan() {
-            index.insert(rec.get(column).clone(), id);
+            let key = rec.get(column);
+            let new_key = index.insert(key.clone(), id);
+            // Backfill charges land on each row's own shard so the
+            // Σ-shard == table invariant survives DDL too.
+            self.charge_index_insert(id.shard(), key, new_key);
         }
         indexes.push(Arc::new(TableIndex {
             name: index_name,
@@ -606,6 +698,60 @@ impl StandardTable {
             }
         }
         Ok(())
+    }
+
+    /// Byte footprint charged to one shard. Row and index components read
+    /// the incremental counters; the version component sweeps released
+    /// retirees first, so it reflects only still-pinned versions.
+    pub fn shard_mem(&self, shard: usize) -> TableMem {
+        let m = &self.mem[shard];
+        TableMem {
+            row_bytes: m.row_bytes.load(Ordering::Relaxed),
+            index_bytes: m.index_bytes.load(Ordering::Relaxed),
+            version_bytes: m.version_bytes(),
+        }
+    }
+
+    /// Exact byte footprint of the table: the sum of the per-shard meters.
+    /// Exact at mutation-quiescent points (a mutation mid-flight may have
+    /// charged some components but not yet others).
+    pub fn mem(&self) -> TableMem {
+        let mut out = TableMem::default();
+        for shard in 0..SHARD_COUNT {
+            out.add(self.shard_mem(shard));
+        }
+        out
+    }
+
+    /// Deep-walk size oracle: recompute the table's entire footprint from
+    /// scratch under the model of [`crate::mem`], ignoring every incremental
+    /// counter. Test-only contract (`tests/prop_mem.rs` pins
+    /// `mem() == __walk_mem()` after arbitrary DML/DDL interleavings);
+    /// hidden because it takes every shard and index latch in turn.
+    #[doc(hidden)]
+    pub fn __walk_mem(&self) -> TableMem {
+        let mut out = TableMem::default();
+        for shard in 0..SHARD_COUNT {
+            let s = self.shard_read(shard);
+            for slot in &s.slots {
+                if let Some(r) = &slot.rec {
+                    out.row_bytes += mem::record_bytes(r);
+                }
+            }
+        }
+        for ix in self.indexes() {
+            out.index_bytes += ix.index.read().walk_bytes();
+        }
+        for shard_mem in &self.mem {
+            // Re-price pinned retirees from the live record, independently
+            // of the byte figure cached at retirement time.
+            for (weak, _) in shard_mem.retired.lock().iter() {
+                if let Some(rec) = weak.upgrade() {
+                    out.version_bytes += mem::record_bytes(&rec);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -879,5 +1025,99 @@ mod tests {
         }
         assert_eq!(t.len(), 64);
         t.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn metering_matches_walk_oracle_after_mixed_dml() {
+        let t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let (a, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        let (b, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
+        assert_eq!(t.mem(), t.__walk_mem());
+        // Update with a key change, keep the old version pinned.
+        let (old, _) = t.update(a, vec!["SUNW".into(), 101.0.into()]).unwrap();
+        assert_eq!(t.mem(), t.__walk_mem());
+        assert_eq!(t.mem().version_bytes, mem::record_bytes(&old));
+        // Delete while the pin is held: both versions owe bytes.
+        let deleted = t.delete(b).unwrap();
+        assert_eq!(t.mem(), t.__walk_mem());
+        assert_eq!(
+            t.mem().version_bytes,
+            mem::record_bytes(&old) + mem::record_bytes(&deleted)
+        );
+        // Dropping the pins releases the version-chain bytes.
+        drop(old);
+        drop(deleted);
+        assert_eq!(t.mem().version_bytes, 0);
+        assert_eq!(t.mem(), t.__walk_mem());
+        // DDL after the fact backfills index charges consistently.
+        t.create_index("ix_price", "price", IndexKind::RbTree)
+            .unwrap();
+        assert_eq!(t.mem(), t.__walk_mem());
+        assert!(t.mem().index_bytes > 0);
+    }
+
+    #[test]
+    fn emptied_index_key_stays_metered() {
+        let t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let (a, _) = t.insert(vec!["IBM".into(), 1.0.into()]).unwrap();
+        let with_key = t.mem().index_bytes;
+        t.delete(a).unwrap();
+        // The posting is released but the key allocation remains (matching
+        // `distinct_keys`), and the oracle agrees.
+        assert_eq!(t.mem().index_bytes, with_key - mem::INDEX_POSTING_BYTES);
+        assert_eq!(t.mem(), t.__walk_mem());
+    }
+
+    #[test]
+    fn concurrent_writers_keep_shard_sum_and_oracle_exact() {
+        let t = Arc::new(stocks());
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            ids.push(
+                t.insert(vec![format!("S{i}").into(), 0.0.into()])
+                    .unwrap()
+                    .0,
+            );
+        }
+        let threads: Vec<_> = ids
+            .chunks(16)
+            .map(|chunk| {
+                let t = t.clone();
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for (n, id) in chunk.iter().enumerate() {
+                        for step in 0..50 {
+                            // Growing symbol strings force row-byte changes
+                            // and index key churn on every step.
+                            let sym = format!("S{n}x{step}");
+                            t.update(*id, vec![sym.into(), (step as f64).into()])
+                                .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        // Quiescent again: incremental meters equal the deep walk, per
+        // shard and in total, and nothing pins old versions any more.
+        let walked = t.__walk_mem();
+        assert_eq!(t.mem(), walked);
+        assert_eq!(t.mem().version_bytes, 0);
+        let mut sum = TableMem::default();
+        let mut shard_rows = [0u64; SHARD_COUNT];
+        for (id, rec) in t.scan() {
+            shard_rows[id.shard()] += mem::record_bytes(&rec);
+        }
+        for (shard, rows) in shard_rows.iter().enumerate() {
+            let m = t.shard_mem(shard);
+            assert_eq!(m.row_bytes, *rows);
+            sum.add(m);
+        }
+        assert_eq!(sum, t.mem());
     }
 }

@@ -141,6 +141,11 @@ pub struct TempTable {
     schema: SchemaRef,
     map: Arc<StaticMap>,
     tuples: Vec<TempTuple>,
+    /// Incrementally-maintained byte footprint of `tuples` under the model
+    /// of [`crate::mem`]: per tuple, a fixed header plus one pointer word
+    /// per pin plus the materialized slot values. Pinned record versions
+    /// themselves are accounted at their owning table.
+    tuple_bytes: u64,
 }
 
 impl TempTable {
@@ -159,6 +164,7 @@ impl TempTable {
             schema,
             map: Arc::new(map),
             tuples: Vec::new(),
+            tuple_bytes: 0,
         })
     }
 
@@ -170,6 +176,7 @@ impl TempTable {
             schema,
             map: Arc::new(StaticMap::all_slots(arity)),
             tuples: Vec::new(),
+            tuple_bytes: 0,
         }
     }
 
@@ -215,10 +222,12 @@ impl TempTable {
                 self.map.n_slots
             )));
         }
-        self.tuples.push(TempTuple {
+        let tuple = TempTuple {
             ptrs: ptrs.into_boxed_slice(),
             slots: slots.into_boxed_slice(),
-        });
+        };
+        self.tuple_bytes += tuple_bytes(&tuple);
+        self.tuples.push(tuple);
         Ok(())
     }
 
@@ -279,6 +288,7 @@ impl TempTable {
             )));
         }
         self.tuples.extend(other.tuples.iter().cloned());
+        self.tuple_bytes += other.tuple_bytes;
         Ok(())
     }
 
@@ -287,6 +297,27 @@ impl TempTable {
     pub fn pinned_versions(&self) -> usize {
         self.tuples.iter().map(|t| t.ptrs.len()).sum()
     }
+
+    /// Byte footprint of this table's own tuples (headers + pointer words +
+    /// materialized slot values). Maintained incrementally on every push
+    /// and merge; the versions pinned through the pointers are charged at
+    /// the owning standard table, never here (no double counting).
+    pub fn mem_bytes(&self) -> u64 {
+        self.tuple_bytes
+    }
+
+    /// Deep-walk size oracle: recompute [`Self::mem_bytes`] from scratch.
+    #[doc(hidden)]
+    pub fn __walk_mem(&self) -> u64 {
+        self.tuples.iter().map(tuple_bytes).sum()
+    }
+}
+
+/// Modeled bytes of one temporary tuple.
+fn tuple_bytes(t: &TempTuple) -> u64 {
+    crate::mem::TEMP_TUPLE_HEADER_BYTES
+        + t.ptrs.len() as u64 * crate::mem::TEMP_PTR_BYTES
+        + crate::mem::row_bytes(&t.slots)
 }
 
 #[cfg(test)]
@@ -437,5 +468,33 @@ mod tests {
     fn non_contiguous_static_map_rejected() {
         assert!(StaticMap::new(vec![ColumnSource::Pointer { ptr: 1, offset: 0 }]).is_err());
         assert!(StaticMap::new(vec![ColumnSource::Slot(2)]).is_err());
+    }
+
+    #[test]
+    fn mem_bytes_tracks_pushes_and_merges_exactly() {
+        let s = Schema::of(&[("sym", DataType::Str), ("v", DataType::Float)]).into_ref();
+        let mut t = TempTable::materialized("m", s.clone());
+        assert_eq!(t.mem_bytes(), 0);
+        t.push_row(vec!["IBM".into(), 1.0.into()]).unwrap();
+        t.push_row(vec!["SUNW".into(), 2.0.into()]).unwrap();
+        assert_eq!(t.mem_bytes(), t.__walk_mem());
+        assert!(t.mem_bytes() > 0);
+        let mut merged = TempTable::materialized("m", s);
+        merged.push_row(vec!["HWP".into(), 3.0.into()]).unwrap();
+        merged.append_from(&t).unwrap();
+        assert_eq!(merged.mem_bytes(), merged.__walk_mem());
+        // Pointer tuples charge header + pointer words, not the pinned
+        // record's bytes (those stay with the owning standard table).
+        let base = Schema::of(&[("x", DataType::Int)]);
+        let st = StandardTable::new("t", base.clone().into_ref());
+        let (_, rec) = st.insert(vec![7i64.into()]).unwrap();
+        let map = StaticMap::new(vec![ColumnSource::Pointer { ptr: 0, offset: 0 }]).unwrap();
+        let mut ptr_t = TempTable::new("b", base.into_ref(), map).unwrap();
+        ptr_t.push(vec![rec], vec![]).unwrap();
+        assert_eq!(
+            ptr_t.mem_bytes(),
+            crate::mem::TEMP_TUPLE_HEADER_BYTES + crate::mem::TEMP_PTR_BYTES
+        );
+        assert_eq!(ptr_t.mem_bytes(), ptr_t.__walk_mem());
     }
 }

@@ -241,6 +241,7 @@ fn run_meta(db: &Strip, meta: &str) -> String {
                 }
             }
         },
+        Some("mem") => db.memory_snapshot().render_table(parts.next()),
         Some("trace") => {
             let lin = db.obs().lineage();
             match parts.next() {
@@ -285,6 +286,7 @@ meta commands:
   .obs [json|prom|N] observability report (or JSON/Prometheus dump, or last N trace events)
   .slo               per-table staleness-SLO compliance and current burn rates
   .hot [N]           top-N contended keys/shards (open window and whole run; default 8)
+  .mem [table]       memory accounting: class gauges, per-table bytes, budget (filter by name)
   .trace [<txn id>]  staleness attribution, or a txn's causal span tree
   .errors            drain background task errors
   .help              this help
@@ -406,6 +408,26 @@ mod tests {
         assert!(run_shell_input(&db, ".hot 0").starts_with("usage: .hot"));
         let bare = Strip::new();
         assert_eq!(run_shell_input(&bare, ".hot"), "no contention recorded\n");
+    }
+
+    #[test]
+    fn mem_command_reports_accounting() {
+        let db = Strip::builder().memory_budget(1 << 20).build();
+        run_shell_input(&db, "create table stocks (symbol str, price float)");
+        run_shell_input(&db, "insert into stocks values ('S1', 30)");
+        run_shell_input(&db, "create table unrelated (x int)");
+        let out = run_shell_input(&db, ".mem");
+        assert!(out.contains("memory: "), "{out}");
+        assert!(out.contains("table_rows"), "{out}");
+        assert!(out.contains("stocks"), "{out}");
+        assert!(out.contains("unrelated"), "{out}");
+        assert!(out.contains("budget 1024.0KiB"), "{out}");
+        // The optional argument filters the per-table listing by substring.
+        let filtered = run_shell_input(&db, ".mem stock");
+        assert!(filtered.contains("stocks"), "{filtered}");
+        assert!(!filtered.contains("unrelated"), "{filtered}");
+        assert!(run_shell_input(&db, ".mem zzz").contains("no table matches"));
+        assert!(run_shell_input(&db, ".help").contains(".mem"));
     }
 
     #[test]
