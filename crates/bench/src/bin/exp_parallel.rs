@@ -27,12 +27,22 @@
 //! ```
 
 use std::process::ExitCode;
-use strip_bench::parallel::{makespan_observed, profile, sweep, ScalePoint, HOT_SYMBOLS};
+use strip_bench::parallel::{
+    makespan_observed, profile, profile_read_mostly, sweep, ScalePoint, HOT_SYMBOLS,
+    READ_MOSTLY_PERIOD,
+};
 use strip_core::LockGranularity;
 use strip_obs::export::{hot_json, render_hot};
 use strip_obs::{json, HotEntry, ObsSink};
 
 const REQUIRED_SPEEDUP_AT_4: f64 = 3.0;
+/// The read-mostly acceptance bar: at 8 workers, lock-free snapshot
+/// readers must beat the locked-reader ablation's makespan by at least
+/// this factor (the gap strict 2PL's reader-blocks-writer conflicts cost).
+const REQUIRED_SNAPSHOT_ADVANTAGE_AT_8: f64 = 1.25;
+/// Read-mostly stream length; smaller than the scaling sweep because each
+/// reader is a full-table aggregate, not a keyed touch.
+const READ_MOSTLY_TXNS: usize = 200;
 const HOT_TOP_K: usize = 8;
 
 struct Scenario {
@@ -74,11 +84,47 @@ fn run_all(n_txns: usize) -> (Vec<Scenario>, Vec<HotEntry>) {
     (scenarios, hot_map)
 }
 
+/// One reader-mode arm of the read-mostly comparison.
+struct ReadMostlyScenario {
+    /// `"snapshot"` (lock-free read-only txns) or `"locked"` (strict 2PL).
+    readers: &'static str,
+    points: Vec<ScalePoint>,
+}
+
+fn run_read_mostly(n_txns: usize) -> Vec<ReadMostlyScenario> {
+    [("snapshot", true), ("locked", false)]
+        .iter()
+        .map(|&(readers, snap)| {
+            eprintln!(
+                "profiling {n_txns} read-mostly txns (1 writer per {READ_MOSTLY_PERIOD}): \
+                 readers={readers}"
+            );
+            let profiles = profile_read_mostly(snap, n_txns);
+            ReadMostlyScenario {
+                readers,
+                points: sweep(&profiles),
+            }
+        })
+        .collect()
+}
+
+/// Makespan of one read-mostly arm at `workers` (0 if the sweep lacks it).
+fn read_mostly_makespan(scenarios: &[ReadMostlyScenario], readers: &str, workers: usize) -> u64 {
+    scenarios
+        .iter()
+        .find(|s| s.readers == readers)
+        .and_then(|s| s.points.iter().find(|p| p.workers == workers))
+        .map(|p| p.makespan_us)
+        .unwrap_or(0)
+}
+
 fn render_json(
     n_txns: usize,
     scenarios: &[Scenario],
     hot_map: &[HotEntry],
     speedup_at_4: f64,
+    read_mostly: &[ReadMostlyScenario],
+    advantage_at_8: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"parallel_scaling\",\n");
@@ -115,6 +161,39 @@ fn render_json(
         hot_json(hot_map)
     ));
     s.push_str(&format!(
+        "  \"read_mostly\": {{\"txns\": {READ_MOSTLY_TXNS}, \"writer_period\": \
+         {READ_MOSTLY_PERIOD}, \"scenarios\": [\n"
+    ));
+    for (i, sc) in read_mostly.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"readers\": \"{}\", \"results\": [",
+            sc.readers
+        ));
+        for (j, p) in sc.points.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"workers\": {}, \"makespan_us\": {}, \"speedup\": {:.3}, \
+                 \"throughput_ktxn_s\": {:.3}}}",
+                if j == 0 { "" } else { ", " },
+                p.workers,
+                p.makespan_us,
+                p.speedup,
+                p.throughput_ktxn_s
+            ));
+        }
+        s.push_str(if i + 1 == read_mostly.len() {
+            "]}\n"
+        } else {
+            "]},\n"
+        });
+    }
+    s.push_str(&format!(
+        "  ], \"check\": {{\"snapshot_advantage_at_8\": {:.3}, \"required_min\": {:.2}, \
+         \"pass\": {}}}}},\n",
+        advantage_at_8,
+        REQUIRED_SNAPSHOT_ADVANTAGE_AT_8,
+        advantage_at_8 >= REQUIRED_SNAPSHOT_ADVANTAGE_AT_8
+    ));
+    s.push_str(&format!(
         "  \"check\": {{\"disjoint_key_speedup_at_4\": {:.3}, \"required_min\": {:.1}, \
          \"pass\": {}}}\n",
         speedup_at_4,
@@ -145,6 +224,7 @@ fn main() -> ExitCode {
         }
     }
     let (scenarios, hot_map) = run_all(n_txns);
+    let read_mostly = run_read_mostly(READ_MOSTLY_TXNS);
 
     println!("workload  granularity  workers  makespan_us  speedup  ktxn/s");
     for sc in &scenarios {
@@ -163,6 +243,18 @@ fn main() -> ExitCode {
     println!();
     print!("{}", render_hot("hot/key contention (8 workers)", &hot_map));
 
+    println!();
+    println!("read-mostly (1 writer per {READ_MOSTLY_PERIOD} txns):");
+    println!("readers   workers  makespan_us  speedup  ktxn/s");
+    for sc in &read_mostly {
+        for p in &sc.points {
+            println!(
+                "{:<9} {:>7} {:>12} {:>8.2} {:>7.1}",
+                sc.readers, p.workers, p.makespan_us, p.speedup, p.throughput_ktxn_s
+            );
+        }
+    }
+
     let speedup_at_4 = scenarios
         .iter()
         .find(|s| s.workload == "disjoint" && s.granularity == "key")
@@ -170,20 +262,53 @@ fn main() -> ExitCode {
         .map(|p| p.speedup)
         .unwrap_or(0.0);
 
-    let rendered = render_json(n_txns, &scenarios, &hot_map, speedup_at_4);
+    let locked_at_8 = read_mostly_makespan(&read_mostly, "locked", 8);
+    let snapshot_at_8 = read_mostly_makespan(&read_mostly, "snapshot", 8);
+    let advantage_at_8 = if snapshot_at_8 == 0 {
+        0.0
+    } else {
+        locked_at_8 as f64 / snapshot_at_8 as f64
+    };
+
+    let rendered = render_json(
+        n_txns,
+        &scenarios,
+        &hot_map,
+        speedup_at_4,
+        &read_mostly,
+        advantage_at_8,
+    );
     json::validate(&rendered).expect("BENCH_parallel.json must be valid JSON");
     std::fs::write(&json_path, &rendered).expect("write json");
     eprintln!("wrote {json_path}");
 
+    let mut failed = false;
     if speedup_at_4 < REQUIRED_SPEEDUP_AT_4 {
         eprintln!(
             "FAIL: disjoint-key speedup at 4 workers is {speedup_at_4:.2}, \
              required >= {REQUIRED_SPEEDUP_AT_4}"
         );
+        failed = true;
+    } else {
+        println!(
+            "check: disjoint-key speedup at 4 workers = {speedup_at_4:.2} (>= {REQUIRED_SPEEDUP_AT_4}) ok"
+        );
+    }
+    if advantage_at_8 < REQUIRED_SNAPSHOT_ADVANTAGE_AT_8 {
+        eprintln!(
+            "FAIL: snapshot readers beat locked readers by {advantage_at_8:.2}x at 8 workers \
+             ({snapshot_at_8}us vs {locked_at_8}us), required >= \
+             {REQUIRED_SNAPSHOT_ADVANTAGE_AT_8}"
+        );
+        failed = true;
+    } else {
+        println!(
+            "check: read-mostly snapshot advantage at 8 workers = {advantage_at_8:.2}x \
+             ({snapshot_at_8}us vs {locked_at_8}us, >= {REQUIRED_SNAPSHOT_ADVANTAGE_AT_8}) ok"
+        );
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
-    println!(
-        "check: disjoint-key speedup at 4 workers = {speedup_at_4:.2} (>= {REQUIRED_SPEEDUP_AT_4}) ok"
-    );
     ExitCode::SUCCESS
 }

@@ -136,15 +136,40 @@ struct Run {
 /// default (virtual-time, WAL-free) series are unchanged.
 const DURABLE_SERIES: &str = "durable";
 
-fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64, durable: bool) -> Run {
-    let pta = if durable {
+/// The `read-mostly` series label: the non-unique workload with lock-free
+/// snapshot-read probes issued between telemetry windows, so the
+/// `strip_snap_*` counters (snapshot txns/reads, version GC) carry real
+/// traffic.
+const READ_MOSTLY_SERIES: &str = "read-mostly";
+
+/// Snapshot probes per telemetry window in the read-mostly series.
+const SNAP_PROBES_PER_WINDOW: usize = 4;
+
+/// How a series drives the trace.
+#[derive(Clone, Copy, PartialEq)]
+enum SeriesMode {
+    /// Virtual-time, WAL-free, update transactions only.
+    Plain,
+    /// WAL-keeping database, so `wal_us` carries real latencies.
+    Durable,
+    /// Updates plus snapshot-read probes between windows.
+    ReadMostly,
+}
+
+fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64, mode: SeriesMode) -> Run {
+    let pta = if mode == SeriesMode::Durable {
         fresh_pta_windowed_durable(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)])
     } else {
         fresh_pta_windowed(scale, WINDOW_US, WINDOW_CAP, &[(SLO_TABLE, SLO_BOUND_US)])
     };
     pta.install_comp_rule(variant, delay_s)
         .expect("install rule");
-    let report = pta.run_trace().expect("run trace");
+    let report = match mode {
+        SeriesMode::ReadMostly => pta
+            .run_trace_read_mostly(WINDOW_US, SNAP_PROBES_PER_WINDOW)
+            .expect("run read-mostly trace"),
+        _ => pta.run_trace().expect("run trace"),
+    };
     assert_eq!(
         report.errors, 0,
         "background task errors in {variant:?} run"
@@ -156,10 +181,10 @@ fn run_variant(scale: Scale, variant: CompVariant, delay_s: f64, durable: bool) 
         .filter(|b| b.phase_sum() != b.lag_us)
         .count() as u64;
     Run {
-        series: if durable {
-            DURABLE_SERIES.to_string()
-        } else {
-            variant.label().to_string()
+        series: match mode {
+            SeriesMode::Durable => DURABLE_SERIES.to_string(),
+            SeriesMode::ReadMostly => READ_MOSTLY_SERIES.to_string(),
+            SeriesMode::Plain => variant.label().to_string(),
         },
         delay_s,
         recompute_count: report.recompute_count,
@@ -309,6 +334,18 @@ fn mem_baseline_json(r: &Run) -> String {
     )
 }
 
+/// The gated snapshot-path subset of one run: the `strip_snap_*` counters.
+/// Probe counts are fixed per window and the trace is virtual-clock
+/// deterministic, so txns/reads reproduce exactly; GC volumes ride the
+/// shared tolerance like the other sums.
+fn snap_baseline_json(r: &Run) -> String {
+    let s = &r.snapshot.snap;
+    format!(
+        "{{\"txns\":{},\"reads\":{},\"gc_runs\":{},\"gc_pruned\":{}}}",
+        s.txns, s.reads, s.gc_runs, s.gc_pruned
+    )
+}
+
 /// The committed-baseline document: the gated subset only.
 fn baseline_json(scale: Scale, runs: &[Run]) -> String {
     let entries: Vec<String> = runs
@@ -317,13 +354,14 @@ fn baseline_json(scale: Scale, runs: &[Run]) -> String {
             let attr: Vec<String> = r.attribution.iter().map(attribution_json).collect();
             format!(
                 "{{\"series\":\"{}\",\"delay_s\":{},\"recompute_count\":{},\
-                 \"attribution\":[{}],\"slo\":{},\"memory\":{}}}",
+                 \"attribution\":[{}],\"slo\":{},\"memory\":{},\"snap\":{}}}",
                 strip_obs::export::json_escape(&r.series),
                 r.delay_s,
                 r.recompute_count,
                 attr.join(","),
                 slo_baseline_json(r),
-                mem_baseline_json(r)
+                mem_baseline_json(r),
+                snap_baseline_json(r)
             )
         })
         .collect();
@@ -463,7 +501,79 @@ fn check(runs: &[Run], json_doc: &str) -> Vec<String> {
             ));
         }
     }
+    // Snapshot-read path liveness: the read-mostly series issues lock-free
+    // snapshot probes every window, so its counters must be alive — zero
+    // snapshot reads there means the read-only path silently fell back to
+    // (or never left) the locked executor. Version GC rides every
+    // publishing commit, so quote traffic alone must have produced runs
+    // and pruned superseded versions. No series may end with a snapshot
+    // still registered.
+    for r in runs {
+        let s = &r.snapshot.snap;
+        if r.series == READ_MOSTLY_SERIES {
+            if s.txns == 0 || s.reads == 0 {
+                bad.push(format!(
+                    "read-mostly run reports a dead snapshot path \
+                     (snap_txns={} snap_reads={})",
+                    s.txns, s.reads
+                ));
+            }
+            if s.gc_runs == 0 || s.gc_pruned == 0 {
+                bad.push(format!(
+                    "read-mostly run reports no version GC activity \
+                     (gc_runs={} gc_pruned={})",
+                    s.gc_runs, s.gc_pruned
+                ));
+            }
+        }
+        if s.active != 0 {
+            bad.push(format!(
+                "run `{}`: {} snapshot(s) still registered after drain",
+                r.series, s.active
+            ));
+        }
+    }
     bad.extend(check_memory(runs, json_doc));
+    bad.extend(check_snap(runs, json_doc));
+    bad
+}
+
+/// Schema-check the `snap` section each run carries in BENCH_obs.json
+/// (under `obs`): all seven counters present as non-negative integers and
+/// exact against the in-process sink.
+fn check_snap(runs: &[Run], json_doc: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    let doc = match json::parse(json_doc) {
+        Ok(d) => d,
+        // Unparseable JSON is already reported by `check`.
+        Err(_) => return bad,
+    };
+    let entries = doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]);
+    for (r, entry) in runs.iter().zip(entries) {
+        let series = &r.series;
+        let Some(s) = entry.get("obs").and_then(|o| o.get("snap")) else {
+            bad.push(format!("run `{series}`: no snap section in JSON"));
+            continue;
+        };
+        let got = &r.snapshot.snap;
+        let expect: [(&str, u64); 7] = [
+            ("txns", got.txns),
+            ("reads", got.reads),
+            ("active", got.active),
+            ("gc_runs", got.gc_runs),
+            ("gc_pruned", got.gc_pruned),
+            ("gc_freed", got.gc_freed),
+            ("gc_horizon", got.gc_horizon),
+        ];
+        for (key, want) in expect {
+            match s.get(key).and_then(Json::as_u64) {
+                Some(v) if v == want => {}
+                other => bad.push(format!(
+                    "run `{series}`: snap `{key}` is {other:?} in JSON, metered {want}"
+                )),
+            }
+        }
+    }
     bad
 }
 
@@ -738,6 +848,38 @@ fn diff_baseline(runs: &[Run], doc: &Json, tol_pct: f64) -> Vec<String> {
                 ));
             }
         }
+        // Snapshot-path counters: probe counts are fixed per window on a
+        // deterministic virtual clock, so txns/reads gate exactly; GC
+        // volumes ride the shared tolerance.
+        let Some(want_snap) = want.get("snap") else {
+            bad.push(format!("baseline series `{series}`: missing snap"));
+            continue;
+        };
+        let s = &got.snapshot.snap;
+        let exact: [(&str, u64); 2] = [("txns", s.txns), ("reads", s.reads)];
+        for (key, got_v) in exact {
+            let want_v = want_snap.get(key).and_then(Json::as_u64);
+            if want_v != Some(got_v) {
+                bad.push(format!(
+                    "series `{series}`: snap {key} {got_v} != baseline {want_v:?}"
+                ));
+            }
+        }
+        let approx: [(&str, u64); 2] = [("gc_runs", s.gc_runs), ("gc_pruned", s.gc_pruned)];
+        for (key, got_v) in approx {
+            let Some(want_v) = want_snap.get(key).and_then(Json::as_f64) else {
+                bad.push(format!(
+                    "baseline series `{series}`: snap missing `{key}`"
+                ));
+                continue;
+            };
+            if !within(got_v as f64, want_v) {
+                bad.push(format!(
+                    "series `{series}`: snap {key} {got_v} drifted >{tol_pct}% \
+                     from baseline {want_v}"
+                ));
+            }
+        }
     }
     bad
 }
@@ -753,9 +895,20 @@ fn main() -> ExitCode {
     eprintln!("strip-report: running PTA at {:?} scale", args.scale);
 
     let runs = vec![
-        run_variant(args.scale, CompVariant::NonUnique, 0.0, false),
-        run_variant(args.scale, CompVariant::UniqueOnComp, args.delay_s, false),
-        run_variant(args.scale, CompVariant::NonUnique, 0.0, true),
+        run_variant(args.scale, CompVariant::NonUnique, 0.0, SeriesMode::Plain),
+        run_variant(
+            args.scale,
+            CompVariant::UniqueOnComp,
+            args.delay_s,
+            SeriesMode::Plain,
+        ),
+        run_variant(args.scale, CompVariant::NonUnique, 0.0, SeriesMode::Durable),
+        run_variant(
+            args.scale,
+            CompVariant::NonUnique,
+            0.0,
+            SeriesMode::ReadMostly,
+        ),
     ];
 
     for r in &runs {

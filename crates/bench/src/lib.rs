@@ -152,6 +152,7 @@ pub fn top_liveness_failures(
     slo: &strip_obs::SloReport,
     slo_table: &str,
     memory: &strip_obs::MemorySnapshot,
+    snap: &strip_obs::SnapStats,
     errors: &[String],
 ) -> Vec<String> {
     let mut bad = Vec::new();
@@ -163,6 +164,22 @@ pub fn top_liveness_failures(
     }
     if memory.total_bytes == 0 {
         bad.push("memory accounting reported zero bytes".to_string());
+    }
+    // The dashboard issues lock-free snapshot probes throughout the run:
+    // zero recorded snapshot reads means the read-only path went dead (or
+    // the counters did). A snapshot still registered after drain is a
+    // leak that pins version-chain GC forever.
+    if snap.txns == 0 || snap.reads == 0 {
+        bad.push(format!(
+            "snapshot-read path recorded no activity (txns={} reads={})",
+            snap.txns, snap.reads
+        ));
+    }
+    if snap.active != 0 {
+        bad.push(format!(
+            "{} snapshot(s) still registered after drain",
+            snap.active
+        ));
     }
     if !errors.is_empty() {
         bad.push(format!("{} background task error(s)", errors.len()));
@@ -368,17 +385,27 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + points.len());
     }
 
+    /// Record one complete snapshot-read transaction on the sink, so the
+    /// snapshot-path liveness mode sees a live counter set.
+    fn record_live_snapshot(sink: &strip_obs::ObsSink) {
+        sink.record_snapshot_begin();
+        sink.record_snapshot_read(1_000, 1, "stocks", 7, strip_obs::TraceCtx::NONE);
+        sink.record_snapshot_end();
+    }
+
     #[test]
     fn top_liveness_passes_on_a_live_pipeline() {
         let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
         sink.declare_slo("comp_prices", 1_000_000);
         sink.record_staleness("comp_prices", 500);
         sink.window_tick(1_500, 3, 900); // crosses the boundary: seals window 0
+        record_live_snapshot(&sink);
         let bad = top_liveness_failures(
             &sink.windows_snapshot(),
             &sink.slo_report(),
             "comp_prices",
             &sink.memory_snapshot(),
+            &sink.snap_stats(),
             &[],
         );
         assert!(bad.is_empty(), "live pipeline flagged: {bad:?}");
@@ -387,7 +414,8 @@ mod tests {
     #[test]
     fn top_liveness_flags_every_dead_mode_at_once() {
         // Nothing recorded, no SLO declared, the ring's own footprint
-        // zeroed out, and a background error: all four modes fire.
+        // zeroed out, no snapshot reads, and a background error: all five
+        // modes fire.
         let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
         sink.memory().set_ring_bytes(0);
         let errs = ["boom".to_string()];
@@ -396,6 +424,7 @@ mod tests {
             &sink.slo_report(),
             "comp_prices",
             &sink.memory_snapshot(),
+            &sink.snap_stats(),
             &errs,
         );
         assert!(bad.iter().any(|m| m.contains("no telemetry windows")));
@@ -403,8 +432,11 @@ mod tests {
             .iter()
             .any(|m| m.contains("no SLO verdict for comp_prices")));
         assert!(bad.iter().any(|m| m.contains("zero bytes")));
+        assert!(bad
+            .iter()
+            .any(|m| m.contains("snapshot-read path recorded no activity")));
         assert!(bad.iter().any(|m| m.contains("1 background task error")));
-        assert_eq!(bad.len(), 4);
+        assert_eq!(bad.len(), 5);
     }
 
     #[test]
@@ -415,13 +447,39 @@ mod tests {
         sink.declare_slo("comp_prices", 1_000_000);
         sink.record_staleness("comp_prices", 500);
         sink.window_tick(1_500, 3, 900);
+        record_live_snapshot(&sink);
         let w = sink.windows_snapshot();
         let m = sink.memory_snapshot();
-        let bad = top_liveness_failures(&w, &sink.slo_report(), "other_table", &m, &[]);
+        let snap = sink.snap_stats();
+        let bad = top_liveness_failures(&w, &sink.slo_report(), "other_table", &m, &snap, &[]);
         assert_eq!(bad, vec!["no SLO verdict for other_table".to_string()]);
         let errs = ["e1".to_string(), "e2".to_string()];
-        let bad = top_liveness_failures(&w, &sink.slo_report(), "comp_prices", &m, &errs);
+        let bad = top_liveness_failures(&w, &sink.slo_report(), "comp_prices", &m, &snap, &errs);
         assert_eq!(bad, vec!["2 background task error(s)".to_string()]);
+    }
+
+    #[test]
+    fn top_liveness_flags_a_leaked_snapshot() {
+        // A snapshot registered but never released: the leak mode fires
+        // alone on an otherwise-live pipeline.
+        let sink = strip_obs::ObsSink::with_windows(64, 1_000, 16);
+        sink.declare_slo("comp_prices", 1_000_000);
+        sink.record_staleness("comp_prices", 500);
+        sink.window_tick(1_500, 3, 900);
+        sink.record_snapshot_begin();
+        sink.record_snapshot_read(1_000, 1, "stocks", 7, strip_obs::TraceCtx::NONE);
+        let bad = top_liveness_failures(
+            &sink.windows_snapshot(),
+            &sink.slo_report(),
+            "comp_prices",
+            &sink.memory_snapshot(),
+            &sink.snap_stats(),
+            &[],
+        );
+        assert_eq!(
+            bad,
+            vec!["1 snapshot(s) still registered after drain".to_string()]
+        );
     }
 
     #[test]

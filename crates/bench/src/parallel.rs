@@ -71,6 +71,71 @@ pub fn profile(granularity: LockGranularity, hot: Option<usize>, n_txns: usize) 
     out
 }
 
+/// Stream shape of the read-mostly workload: one writer per
+/// `READ_MOSTLY_PERIOD` transactions, the rest analytic readers (a 90%
+/// read mix at the default of 10).
+pub const READ_MOSTLY_PERIOD: usize = 10;
+
+/// Profile a read-mostly stream: `n_txns` transactions of which every
+/// `READ_MOSTLY_PERIOD`-th is a keyed quote update and the rest are
+/// analytic full-table aggregates over `stocks`.
+///
+/// With `snapshot_readers` the readers run as lock-free read-only
+/// snapshot transactions ([`Strip::read_txn`]) — their lock footprint is
+/// empty, so the scheduler may overlap them with anything. Without it
+/// they run as ordinary strict-2PL transactions whose table-granular
+/// shared lock conflicts with every writer's intent-exclusive — the
+/// reader-blocks-writer regime the snapshot path exists to remove.
+/// Charged virtual costs are comparable in both modes (the snapshot path
+/// charges lock-parity costs), so the makespan gap isolates the protocol,
+/// not the pricing.
+pub fn profile_read_mostly(snapshot_readers: bool, n_txns: usize) -> Vec<TxnProfile> {
+    let db = Strip::builder()
+        .lock_granularity(LockGranularity::Key)
+        .build();
+    let pta = Pta::build(PtaConfig::small(), db).expect("PTA build");
+    let n_symbols = pta.symbols.len();
+    let upd = std::sync::Arc::new(
+        strip_sql::parse_statement("update stocks set price = ? where symbol = ?")
+            .expect("prepared update"),
+    );
+    let mut out = Vec::with_capacity(n_txns);
+    for (i, q) in pta.trace.quotes.iter().cycle().take(n_txns).enumerate() {
+        let t0 = pta.db.now_us();
+        let footprint = if i % READ_MOSTLY_PERIOD == 0 {
+            // The writer: one keyed quote update, round-robin over the
+            // whole universe so writers rarely conflict with each other.
+            let sym = pta.symbols[i % n_symbols].clone();
+            let price = q.price;
+            let upd = upd.clone();
+            pta.db
+                .txn(move |t| {
+                    t.exec_ast(&upd, &[price.into(), Value::Str(sym)])?;
+                    Ok(t.lock_footprint())
+                })
+                .expect("quote txn")
+        } else if snapshot_readers {
+            pta.db
+                .read_txn(|t| {
+                    t.query("select count(*) as n, sum(price) as total from stocks", &[])?;
+                    Ok(t.lock_footprint())
+                })
+                .expect("snapshot reader")
+        } else {
+            pta.db
+                .txn(|t| {
+                    t.query("select count(*) as n, sum(price) as total from stocks", &[])?;
+                    Ok(t.lock_footprint())
+                })
+                .expect("locked reader")
+        };
+        let cost_us = (pta.db.now_us() - t0).max(1);
+        out.push(TxnProfile { cost_us, footprint });
+    }
+    pta.db.drain();
+    out
+}
+
 /// Greedy conflict-aware list schedule: transactions are placed in stream
 /// order on the earliest-free worker, but may not start before the finish
 /// time of any earlier transaction whose footprint conflicts (shares a

@@ -28,6 +28,10 @@ fn once_runs_live_and_exits_zero() {
         stdout.contains("comp_prices"),
         "missing maintained table: {stdout}"
     );
+    assert!(
+        stdout.contains("snapshots: "),
+        "missing snapshot-read counters: {stdout}"
+    );
 }
 
 #[test]

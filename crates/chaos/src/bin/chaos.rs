@@ -18,6 +18,7 @@ struct Args {
     fixed: u64,
     random: u64,
     delta: u64,
+    snapshot: u64,
     seed: Option<u64>,
     interleavings: u64,
 }
@@ -27,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
         fixed: 50,
         random: 0,
         delta: 20,
+        snapshot: 20,
         seed: None,
         interleavings: 6,
     };
@@ -42,12 +44,13 @@ fn parse_args() -> Result<Args, String> {
             "--fixed" => args.fixed = grab("--fixed")?,
             "--random" => args.random = grab("--random")?,
             "--delta" => args.delta = grab("--delta")?,
+            "--snapshot" => args.snapshot = grab("--snapshot")?,
             "--seed" => args.seed = Some(grab("--seed")?),
             "--interleavings" => args.interleavings = grab("--interleavings")?,
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--fixed N] [--random M] [--delta D] [--seed S] \
-                     [--interleavings K]"
+                    "usage: chaos [--fixed N] [--random M] [--delta D] [--snapshot P] \
+                     [--seed S] [--interleavings K]"
                 );
                 std::process::exit(0);
             }
@@ -68,13 +71,14 @@ fn run_cfg(cfg: &ScenarioConfig) -> bool {
         let kinds: Vec<String> = out.plan.kinds().iter().map(|k| k.to_string()).collect();
         println!(
             "seed {seed:>6}  ok   faults=[{}] fired={} crashed={} maintenance={} \
-             deadline_misses={} max_delay_len={}",
+             deadline_misses={} max_delay_len={} snapshot_reads={}",
             kinds.join(","),
             out.fired.len(),
             out.crashed,
             out.recompute_runs,
             out.deadline_misses,
             out.max_delay_len,
+            out.snapshot_reads,
         );
         return true;
     }
@@ -144,6 +148,19 @@ fn main() -> ExitCode {
         println!("== delta battery: seeds 1..={} ==", args.delta);
         for seed in 1..=args.delta {
             if !run_cfg(&ScenarioConfig::delta(seed)) {
+                failures += 1;
+            }
+        }
+    }
+
+    if args.snapshot > 0 {
+        // The same battery with snapshot-reader probes: lock-free
+        // read-only transactions run throughout, gated by the
+        // snapshot-consistency oracle, while publish-crash faults land in
+        // the commit-stamp → clock-publish window.
+        println!("== snapshot battery: seeds 1..={} ==", args.snapshot);
+        for seed in 1..=args.snapshot {
+            if !run_cfg(&ScenarioConfig::snapshot(seed)) {
                 failures += 1;
             }
         }

@@ -68,6 +68,11 @@ pub struct ScenarioConfig {
     /// dyadic grid makes either path float-exact, so every oracle applies
     /// unchanged to both.
     pub maintenance: MaintenanceMode,
+    /// Run lock-free snapshot-read probes throughout the workload and gate
+    /// them with the snapshot-consistency oracle: every probe must observe
+    /// a stable, lock-free, timestamp-consistent view of `stocks`, and the
+    /// quiescent snapshot view must equal the locked view exactly.
+    pub snapshot_readers: bool,
 }
 
 impl ScenarioConfig {
@@ -85,6 +90,19 @@ impl ScenarioConfig {
             policy_seed: None,
             workers: 1,
             maintenance: MaintenanceMode::Recompute,
+            snapshot_readers: false,
+        }
+    }
+
+    /// The battery scenario with snapshot-reader probes: the same market,
+    /// workload, and fault plan, plus continuous read-only snapshot
+    /// transactions gated by the snapshot-consistency oracle. The allowed
+    /// fault set already includes [`FaultKind::PublishCrash`], so crashes
+    /// land in the window between commit-stamp and version-publish.
+    pub fn snapshot(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            snapshot_readers: true,
+            ..ScenarioConfig::for_seed(seed)
         }
     }
 
@@ -133,6 +151,9 @@ pub struct Outcome {
     pub crashed: bool,
     /// Times the maintenance function ran.
     pub recompute_runs: u64,
+    /// Snapshot-reader probes that completed (0 unless the scenario
+    /// enables `snapshot_readers`).
+    pub snapshot_reads: u64,
     /// Deadline misses recorded by the executor.
     pub deadline_misses: u64,
     /// High-water mark of the executor's delay queue.
@@ -365,6 +386,89 @@ fn window_groups(mut times: Vec<u64>, window_us: u64) -> u64 {
     groups
 }
 
+/// Running state of the snapshot-consistency oracle: per-timestamp
+/// observed digests, the monotonicity cursor, and the probe count.
+#[derive(Default)]
+struct SnapshotProbe {
+    last_ts: u64,
+    by_ts: BTreeMap<u64, Vec<(String, String)>>,
+    reads: u64,
+}
+
+/// Canonical `stocks` digest through a transaction's (snapshot) view.
+fn snapshot_scan(t: &mut Txn<'_>) -> strip_core::Result<Vec<(String, String)>> {
+    let rs = t.query("select symbol, price from stocks", &[])?;
+    let mut v: Vec<(String, String)> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap_or("").to_string(),
+                format!("{:?}", r[1]),
+            )
+        })
+        .collect();
+    v.sort();
+    Ok(v)
+}
+
+/// One snapshot-reader probe: pin a snapshot, scan `stocks` twice, and
+/// feed the snapshot-consistency oracle — stability (two scans in one
+/// snapshot identical), lock-freedom (empty footprint), timestamp
+/// monotonicity, and same-timestamp determinism (two snapshots pinned at
+/// the same ts must observe the same state).
+fn snapshot_probe(db: &Strip, probe: &mut SnapshotProbe, violations: &mut Vec<String>) {
+    if db.has_crashed() {
+        return;
+    }
+    let res = db.read_txn(|t| {
+        let ts = t.snapshot_ts().unwrap_or(0);
+        let first = snapshot_scan(t)?;
+        let second = snapshot_scan(t)?;
+        let locks = t.lock_footprint().len();
+        Ok((ts, first, second, locks))
+    });
+    match res {
+        Ok((ts, first, second, locks)) => {
+            probe.reads += 1;
+            if locks != 0 {
+                violations.push(format!(
+                    "snapshot: read-only txn at ts {ts} held {locks} lock(s)"
+                ));
+            }
+            if first != second {
+                violations.push(format!(
+                    "snapshot: torn read at ts {ts} (two scans in one snapshot differ)"
+                ));
+            }
+            if ts < probe.last_ts {
+                violations.push(format!(
+                    "snapshot: timestamp moved backwards ({} -> {ts})",
+                    probe.last_ts
+                ));
+            }
+            probe.last_ts = probe.last_ts.max(ts);
+            match probe.by_ts.get(&ts) {
+                Some(prev) if prev != &first => violations.push(format!(
+                    "snapshot: two snapshots at ts {ts} observed different states"
+                )),
+                Some(_) => {}
+                None => {
+                    probe.by_ts.insert(ts, first);
+                }
+            }
+        }
+        // A probe racing a crash legitimately fails, and a planned
+        // `TxnCommit -> Abort` can pick the probe as its victim; anything
+        // else is a violation — snapshot readers take no locks and cannot
+        // deadlock or time out.
+        Err(e) if db.has_crashed() || e.to_string().contains("injected") => {
+            let _ = e;
+        }
+        Err(e) => violations.push(format!("snapshot: read-only txn failed: {e}")),
+    }
+}
+
 /// Run one scenario under an explicit plan. This is the primitive both the
 /// battery (generated plans) and the minimizer (shrunken plans) use.
 pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
@@ -511,7 +615,10 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     }
 
     // Drive to quiescence in steps, checking the cheap oracles at every
-    // quiescent point (advance_to returns with no task mid-flight).
+    // quiescent point (advance_to returns with no task mid-flight). With
+    // snapshot readers enabled, a probe runs between every step — on the
+    // pool executor that is genuinely concurrent with in-flight writers.
+    let mut probe = SnapshotProbe::default();
     let mut clock = 0u64;
     for _ in 0..200 {
         if db.pending_tasks() == 0 {
@@ -521,17 +628,66 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
         db.advance_to(clock);
         violations.extend(oracle::check_no_leaked_locks(&db));
         violations.extend(oracle::check_unique_pending(&db));
+        if cfg.snapshot_readers {
+            snapshot_probe(&db, &mut probe, &mut violations);
+        }
     }
     db.drain();
     let crashed = db.has_crashed();
+    if cfg.snapshot_readers && !crashed {
+        snapshot_probe(&db, &mut probe, &mut violations);
+        // At quiescence the snapshot view and the locked (2PL) view must
+        // agree exactly — a row stuck unpublished, or one reclaimed too
+        // early, shows up as a diff here.
+        let locked: Vec<(String, String)> = {
+            let mut v: Vec<(String, String)> = db
+                .table_rows("stocks")
+                .unwrap_or_default()
+                .iter()
+                .map(|r| {
+                    (
+                        r[0].as_str().unwrap_or("").to_string(),
+                        format!("{:?}", r[1]),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        match db.read_txn(|t| snapshot_scan(t)) {
+            Ok(snap) if snap != locked => violations.push(format!(
+                "snapshot: quiescent snapshot view diverges from locked view \
+                 (snapshot {} rows, locked {} rows)",
+                snap.len(),
+                locked.len()
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(format!("snapshot: quiescent probe failed: {e}")),
+        }
+        // Liveness of the observability counters: the probes above must be
+        // visible as snapshot transactions, or the telemetry went blind.
+        if probe.reads > 0 && db.obs().snapshot().snap.txns == 0 {
+            violations.push("snapshot: probes ran but strip_snap_txns is zero".into());
+        }
+    }
 
     // Classify what survived: errors identify aborted tasks, the fired log
     // identifies dropped and delayed submissions.
     let errors = db.take_errors();
     let fired = injector.fired();
+    // A commit-publish crash fires only *after* the WAL commit record is
+    // durable: the victim transaction is committed (present in the live
+    // tables and the log) even though its submitter saw a crash — the
+    // classic ambiguous-commit outcome. Treat it as survived, not failed.
+    let publish_committed: BTreeSet<usize> = fired
+        .iter()
+        .filter(|l| l.starts_with("commit-publish") && l.contains("-> Crash"))
+        .filter_map(|l| parse_feed_index(l))
+        .collect();
     let failed: BTreeSet<usize> = errors
         .iter()
         .filter_map(|e| parse_failed_update(e))
+        .filter(|i| !publish_committed.contains(i))
         .collect();
     let dropped: BTreeSet<usize> = fired
         .iter()
@@ -667,6 +823,7 @@ pub fn run_with_plan(cfg: &ScenarioConfig, plan: &FaultPlan) -> Outcome {
     // covers the recompute path (and any hypothetical fallback).
     out.recompute_runs = runs.load(std::sync::atomic::Ordering::SeqCst)
         + db.delta_stats("chaos_recompute").map_or(0, |s| s.fired);
+    out.snapshot_reads = probe.reads;
     out
 }
 
@@ -798,6 +955,7 @@ fn finish(
         violations,
         crashed: db.has_crashed(),
         recompute_runs: 0,
+        snapshot_reads: 0,
         deadline_misses: stats.deadline_misses,
         max_delay_len: stats.max_delay_len,
         trace_tail: db

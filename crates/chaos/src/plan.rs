@@ -14,8 +14,10 @@ use std::fmt;
 use std::sync::Arc;
 use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
 
-/// The five fault families the harness can draw from (ISSUE: WAL crash,
-/// forced abort, lock-wait timeout, scheduler deadline miss, feed hiccup).
+/// The six fault families the harness can draw from (ISSUE: WAL crash,
+/// forced abort, lock-wait timeout, scheduler deadline miss, feed hiccup,
+/// plus a crash in the window between a commit's version-stamping and its
+/// publication to the global commit clock).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaultKind {
     /// Crash mid-WAL-write (`wal-append` or `wal-commit`).
@@ -28,16 +30,21 @@ pub enum FaultKind {
     SchedDelay,
     /// External submission dropped or delayed (market-feed hiccup).
     FeedHiccup,
+    /// Crash between stamping a commit's versions and publishing the
+    /// commit timestamp to the global clock — the window where a half-done
+    /// publish could leak into snapshot reads.
+    PublishCrash,
 }
 
 impl FaultKind {
-    /// All five families.
-    pub const ALL: [FaultKind; 5] = [
+    /// All six families.
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::WalCrash,
         FaultKind::CommitAbort,
         FaultKind::LockTimeout,
         FaultKind::SchedDelay,
         FaultKind::FeedHiccup,
+        FaultKind::PublishCrash,
     ];
 
     /// Stable name (used in fired logs and coverage accounting).
@@ -48,6 +55,7 @@ impl FaultKind {
             FaultKind::LockTimeout => "lock-timeout",
             FaultKind::SchedDelay => "sched-delay",
             FaultKind::FeedHiccup => "feed-hiccup",
+            FaultKind::PublishCrash => "publish-crash",
         }
     }
 
@@ -59,6 +67,7 @@ impl FaultKind {
             (FaultPoint::LockAcquire, _) => FaultKind::LockTimeout,
             (FaultPoint::SchedDispatch, _) => FaultKind::SchedDelay,
             (FaultPoint::FeedSubmit, _) => FaultKind::FeedHiccup,
+            (FaultPoint::CommitPublish, _) => FaultKind::PublishCrash,
         }
     }
 }
@@ -181,6 +190,11 @@ impl FaultPlan {
                     };
                     PlannedFault::at(FaultPoint::FeedSubmit, rng.gen_range(1..=40u64), decision)
                 }
+                FaultKind::PublishCrash => PlannedFault::at(
+                    FaultPoint::CommitPublish,
+                    rng.gen_range(1..=60u64),
+                    FaultDecision::Crash,
+                ),
             });
         }
         FaultPlan { seed, faults }

@@ -195,6 +195,78 @@ fn delta_seeded_battery() {
     }
 }
 
+/// Directed publish-crash: the database dies in the window between
+/// stamping a feed commit's versions and publishing the commit timestamp.
+/// The commit is durable (WAL committed first), so the shadow keeps it,
+/// and no snapshot may ever have observed the unpublished stamp.
+#[test]
+fn directed_publish_crash() {
+    let out = driver::run_with_plan(
+        &ScenarioConfig {
+            snapshot_readers: true,
+            ..ScenarioConfig::fault_free(107)
+        },
+        &FaultPlan::single(PlannedFault {
+            point: FaultPoint::CommitPublish,
+            detail_substr: "feed:".into(),
+            nth: 4,
+            decision: FaultDecision::Crash,
+        }),
+    );
+    assert_clean(&out);
+    assert!(out.crashed, "a commit-publish crash must kill the database");
+    assert!(out.fired.iter().any(|f| f.starts_with("commit-publish")));
+}
+
+/// The Figure-4 scenario with snapshot-reader probes: the same seeded
+/// workloads and generated fault plans as `seeded_battery`, plus
+/// continuous lock-free read-only transactions gated by the
+/// snapshot-consistency oracle (stability, lock-freedom, timestamp
+/// monotonicity, same-ts determinism, quiescent snapshot == locked view).
+/// Publish-crash faults land in the commit-stamp → clock-publish window.
+///
+/// `CHAOS_SEED=<n>` narrows to one seed.
+#[test]
+fn snapshot_seeded_battery() {
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => (1..=20).collect(),
+    };
+    let mut total_reads = 0u64;
+    let mut publish_crashes = 0usize;
+    for &seed in &seeds {
+        let out = driver::run_scenario(&ScenarioConfig::snapshot(seed));
+        assert_clean(&out);
+        total_reads += out.snapshot_reads;
+        if out.fired.iter().any(|f| f.starts_with("commit-publish")) {
+            publish_crashes += 1;
+        }
+    }
+    if seeds.len() > 1 {
+        assert!(total_reads > 0, "the snapshot probes never ran");
+        assert!(
+            publish_crashes > 0,
+            "sweep must land at least one publish-window crash"
+        );
+    }
+}
+
+/// Fault-free snapshot baseline: clean, no crash, probes genuinely ran —
+/// guards against the snapshot oracle passing vacuously.
+#[test]
+fn snapshot_fault_free_baseline_is_clean() {
+    let out = driver::run_with_plan(
+        &ScenarioConfig {
+            snapshot_readers: true,
+            ..ScenarioConfig::fault_free(1)
+        },
+        &FaultPlan::none(),
+    );
+    assert_clean(&out);
+    assert!(!out.crashed);
+    assert!(out.snapshot_reads > 0, "probes must actually run");
+}
+
 /// Fault-free delta baseline: clean run, no crash, and the delta path
 /// genuinely engaged (`recompute_runs` counts spec firings in delta mode;
 /// the maintenance-path oracle inside the run asserts zero recompute
@@ -242,6 +314,7 @@ fn point_prefix(k: FaultKind) -> &'static str {
         FaultKind::LockTimeout => "lock-acquire",
         FaultKind::SchedDelay => "sched-dispatch",
         FaultKind::FeedHiccup => "feed-submit",
+        FaultKind::PublishCrash => "commit-publish",
     }
 }
 

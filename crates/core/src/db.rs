@@ -11,9 +11,9 @@
 //! * **Pool** — a wall-clock worker pool; `after` delays are real time.
 
 use crate::error::{Error, Result};
-use crate::txn::{action_task, run_txn, timer_task, Txn, UserFn};
+use crate::txn::{action_task, run_txn, run_txn_kind, timer_task, Txn, TxnKind, UserFn};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use strip_obs::ObsSink;
@@ -21,7 +21,7 @@ use strip_rules::{CompiledRule, MaintenanceMode, RuleEngine};
 use strip_sql::exec::ResultSet;
 use strip_sql::expr::ScalarFn;
 use strip_sql::{parse_script, parse_statement, PlanCache, Statement};
-use strip_storage::{Catalog, IndexKind, Meter, Schema, TempTable, Value, ViewDef};
+use strip_storage::{Catalog, GcStats, IndexKind, Meter, RowId, Schema, TempTable, Value, ViewDef};
 use strip_txn::fault::{decide, FaultDecision, FaultInjector, FaultPoint, InjectorHandle};
 use strip_txn::{
     CostModel, LockManager, Policy, SimStats, Simulator, Task, TxnId, Wal, WorkerPool,
@@ -140,12 +140,90 @@ pub struct StripInner {
     /// Derived-data maintenance mode (see [`MaintenanceMode`]): delta by
     /// default, full recompute as the ablation/oracle baseline.
     pub(crate) maintenance: MaintenanceMode,
+    /// The global commit clock: the timestamp of the newest published
+    /// commit. A committing transaction stamps its versions with
+    /// `clock + 1` and then stores the new value (release); snapshot
+    /// readers pin the value they load (acquire) and resolve every read
+    /// against the committed prefix at that timestamp.
+    pub(crate) commit_clock: AtomicU64,
+    /// Serializes stamp-then-announce across committers, so the clock never
+    /// advances past a commit whose versions are not all stamped yet.
+    pub(crate) commit_publish: Mutex<()>,
+    /// Active snapshot registry: pinned timestamp → number of read-only
+    /// transactions pinned there. The minimum key is the version-GC
+    /// horizon; pinning holds the lock while loading the clock so GC can
+    /// never sweep a timestamp that is about to be registered.
+    pub(crate) snapshots: Mutex<BTreeMap<u64, u64>>,
     txn_ids: AtomicU64,
 }
 
 impl StripInner {
     pub(crate) fn next_txn_id(&self) -> TxnId {
         TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Pin a snapshot at the current commit clock and register it. Holding
+    /// the registry lock across the clock load closes the race where GC
+    /// computes a horizon after the load but before the registration.
+    pub(crate) fn pin_snapshot(&self) -> u64 {
+        let mut s = self.snapshots.lock();
+        let ts = self.commit_clock.load(Ordering::Acquire);
+        *s.entry(ts).or_insert(0) += 1;
+        ts
+    }
+
+    /// Deregister one pin at `ts`. Returns true when this was (one of) the
+    /// oldest registered snapshot(s) — the GC horizon may have advanced.
+    pub(crate) fn drop_snapshot(&self, ts: u64) -> bool {
+        let mut s = self.snapshots.lock();
+        let was_min = s.keys().next() == Some(&ts);
+        if let Some(n) = s.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                s.remove(&ts);
+            }
+        }
+        was_min
+    }
+
+    /// The version-GC horizon: the oldest pinned snapshot timestamp, or the
+    /// commit clock when no snapshot is live. Versions superseded at or
+    /// before the horizon are invisible to every current and future reader.
+    pub(crate) fn gc_horizon(&self) -> u64 {
+        let s = self.snapshots.lock();
+        s.keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.commit_clock.load(Ordering::Acquire))
+    }
+
+    /// One version-GC pass over every table at the current horizon,
+    /// reporting reclaim counts and the horizon gauge to the sink.
+    pub(crate) fn collect_garbage(&self, detail: &str, now_us: u64) {
+        let horizon = self.gc_horizon();
+        let mut total = GcStats::default();
+        for name in self.catalog.table_names() {
+            if let Ok(t) = self.catalog.table(&name) {
+                total.add(t.collect_versions(horizon));
+            }
+        }
+        self.obs
+            .record_version_gc(now_us, detail, horizon, total.pruned, total.freed_slots);
+    }
+
+    /// Publish rows inserted outside any transaction (recovery, materialized
+    /// -view population) at one fresh commit timestamp, so snapshot readers
+    /// can see them.
+    pub(crate) fn publish_rows(&self, t: &strip_storage::TableRef, ids: &[RowId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let _publish = self.commit_publish.lock();
+        let ts = self.commit_clock.load(Ordering::Relaxed) + 1;
+        for id in ids {
+            t.publish_versions(*id, ts);
+        }
+        self.commit_clock.store(ts, Ordering::Release);
     }
 }
 
@@ -345,6 +423,9 @@ impl StripBuilder {
             granularity: self.granularity,
             planner: self.planner,
             maintenance: self.maintenance,
+            commit_clock: AtomicU64::new(0),
+            commit_publish: Mutex::new(()),
+            snapshots: Mutex::new(BTreeMap::new()),
             txn_ids: AtomicU64::new(1),
         });
         // Memory probe: the observer pulls exact per-table byte meters and
@@ -614,12 +695,16 @@ impl Strip {
                         .inner
                         .catalog
                         .create_table(&cv.name, rows.schema.clone())?;
-                    self.with_table_x(table.name(), || {
+                    let ids = self.with_table_x(table.name(), || {
+                        let mut ids = Vec::with_capacity(rows.rows.len());
                         for row in rows.rows {
-                            table.insert(row)?;
+                            ids.push(table.insert(row)?.0);
                         }
-                        Ok(())
+                        Ok(ids)
                     })?;
+                    // Stamp the seeded rows with a commit timestamp so
+                    // snapshot readers see the view's initial contents.
+                    self.inner.publish_rows(&table, &ids);
                 }
                 self.inner.catalog.create_view(ViewDef {
                     name: cv.name.clone(),
@@ -653,7 +738,10 @@ impl Strip {
                 Ok(ExecOutcome::Ddl)
             }
             Statement::Select(q) => {
-                let rs = self.txn_named("adhoc-query", |t| match text {
+                // A pure SELECT is auto-detected as a lock-free snapshot
+                // read: it pins the commit clock and reads the version
+                // chains without ever entering the lock manager.
+                let rs = self.txn_mode("adhoc-query", TxnKind::ReadOnly, |t| match text {
                     Some(sql) => t.query_ast_cached(q, sql, params),
                     None => t.query_ast(q, params),
                 })?;
@@ -715,6 +803,32 @@ impl Strip {
 
     /// Like [`Strip::txn`] with a task-kind label for statistics.
     pub fn txn_named<R>(&self, kind: &str, f: impl FnOnce(&mut Txn<'_>) -> Result<R>) -> Result<R> {
+        self.txn_mode(kind, TxnKind::ReadWrite, f)
+    }
+
+    /// Run a **read-only snapshot transaction**: it pins the commit clock at
+    /// begin and reads the version chains at that timestamp without touching
+    /// the lock manager. Any write attempted inside `f` is an error. See
+    /// DESIGN.md §14.
+    pub fn read_txn<R>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<R>) -> Result<R> {
+        self.txn_mode("snapshot-read", TxnKind::ReadOnly, f)
+    }
+
+    /// Like [`Strip::read_txn`] with a task-kind label for statistics.
+    pub fn read_txn_named<R>(
+        &self,
+        kind: &str,
+        f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+    ) -> Result<R> {
+        self.txn_mode(kind, TxnKind::ReadOnly, f)
+    }
+
+    fn txn_mode<R>(
+        &self,
+        kind: &str,
+        mode: TxnKind,
+        f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+    ) -> Result<R> {
         let inner = self.inner.clone();
         let kind_owned = kind.to_string();
         match &self.inner.exec {
@@ -722,7 +836,7 @@ impl Strip {
                 let mut sim = s.lock();
                 sim.run_inline(kind, move |ctx| {
                     ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                    let r = run_txn(&inner, ctx, &kind_owned, HashMap::new(), None, f);
+                    let r = run_txn_kind(&inner, ctx, &kind_owned, HashMap::new(), None, mode, f);
                     ctx.meter.charge(strip_storage::Op::EndTask, 1);
                     r
                 })
@@ -739,7 +853,7 @@ impl Strip {
                     trace: strip_obs::TraceCtx::NONE,
                 };
                 ctx.meter.charge(strip_storage::Op::BeginTask, 1);
-                let r = run_txn(&inner, &mut ctx, kind, HashMap::new(), None, f);
+                let r = run_txn_kind(&inner, &mut ctx, kind, HashMap::new(), None, mode, f);
                 ctx.meter.charge(strip_storage::Op::EndTask, 1);
                 for t in ctx.spawned {
                     p.submit(t);
@@ -921,6 +1035,59 @@ impl Strip {
         self.inner.locks.held_count()
     }
 
+    // ---- snapshots ----------------------------------------------------------
+
+    /// The current value of the global commit clock: the timestamp of the
+    /// newest published commit. A snapshot transaction begun now pins this
+    /// value and observes exactly the committed prefix up to it.
+    pub fn commit_ts(&self) -> u64 {
+        self.inner.commit_clock.load(Ordering::Acquire)
+    }
+
+    /// Number of currently pinned snapshots (read-only transactions in
+    /// flight). Zero whenever no read-only transaction is running.
+    pub fn active_snapshots(&self) -> usize {
+        self.inner.snapshots.lock().values().map(|n| *n as usize).sum()
+    }
+
+    /// The garbage-collection horizon: the oldest snapshot timestamp still
+    /// pinned, or the commit clock when no snapshot is pinned. Versions
+    /// superseded at or before this timestamp are reclaimable.
+    pub fn gc_horizon(&self) -> u64 {
+        self.inner.gc_horizon()
+    }
+
+    /// Run a version-chain garbage-collection pass now (tests and tools;
+    /// the engine also collects after every publishing commit and when the
+    /// oldest snapshot drains).
+    pub fn collect_versions(&self) {
+        let now = match &self.inner.exec {
+            ExecutorHandle::Sim(s) => s.lock().now_us(),
+            ExecutorHandle::Pool(p) => p.now_us(),
+        };
+        self.inner.collect_garbage("manual", now);
+    }
+
+    /// Stamp every bulk-loaded (still unpublished) row in every table with
+    /// a fresh commit timestamp. Setup code that inserts straight into
+    /// storage via [`Strip::catalog`] bypasses the transaction commit path,
+    /// so its rows stay pending and invisible to snapshot reads until this
+    /// is called. Must not run while writer transactions are in flight — a
+    /// pending version cannot be told apart from an uncommitted one.
+    pub fn publish_bulk_load(&self) {
+        let _publish = self.inner.commit_publish.lock();
+        let ts = self.inner.commit_clock.load(Ordering::Relaxed) + 1;
+        let mut stamped = 0;
+        for name in self.inner.catalog.table_names() {
+            if let Ok(t) = self.inner.catalog.table(&name) {
+                stamped += t.publish_all(ts);
+            }
+        }
+        if stamped > 0 {
+            self.inner.commit_clock.store(ts, Ordering::Release);
+        }
+    }
+
     /// Replay a WAL into this (freshly built, schema-only) database:
     /// committed transactions are redone table by table, bypassing rules
     /// and locking — recovery is offline. Partial transactions at the torn
@@ -930,10 +1097,13 @@ impl Strip {
         let mut rows_applied = 0;
         for (table, images) in rec.tables() {
             let t = self.inner.catalog.table(&table)?;
+            let mut ids = Vec::new();
             for (_row, values) in images {
-                t.insert(values)?;
+                ids.push(t.insert(values)?.0);
                 rows_applied += 1;
             }
+            // Stamp recovered rows so post-recovery snapshot reads see them.
+            self.inner.publish_rows(&t, &ids);
         }
         Ok(RecoveryReport {
             committed_txns: rec.txns.len(),

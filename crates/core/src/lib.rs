@@ -28,4 +28,4 @@ pub use strip_rules::MaintenanceMode;
 pub use strip_sql::PlannerMode;
 pub use strip_sql::{digest_result, digest_rows, DeltaMutant, DeltaSpec, DeltaStats};
 pub use strip_txn::fault::{FaultDecision, FaultInjector, FaultPoint};
-pub use txn::{Txn, UserFn};
+pub use txn::{Txn, TxnKind, UserFn};

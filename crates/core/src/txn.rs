@@ -11,7 +11,7 @@
 
 use crate::db::{LockGranularity, StripInner};
 use crate::error::{Error, Result};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -28,6 +28,23 @@ use strip_txn::{key_resource, LockMode, LogEntry, Task, TaskCtx, TxnId, TxnLog};
 
 /// A user-provided action function, run by a rule's action transaction.
 pub type UserFn = Arc<dyn for<'a> Fn(&mut Txn<'a>) -> Result<()> + Send + Sync>;
+
+/// How a transaction interacts with the concurrency-control machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnKind {
+    /// Strict two-phase locking, reads *and* writes (the default). Reads
+    /// see the newest version of every row; locks are held to commit.
+    #[default]
+    ReadWrite,
+    /// Lock-free snapshot reads. The transaction pins the commit clock at
+    /// begin and resolves every standard-table read through the version
+    /// chains (newest version with `commit_ts <=` its snapshot timestamp)
+    /// without touching the lock manager. Lock *costs* are still charged
+    /// (one `GetLock`/`ReleaseLock` per table, exactly what a locked reader
+    /// would pay in the virtual cost model) so throughput comparisons
+    /// isolate contention, not accounting. DML is rejected.
+    ReadOnly,
+}
 
 /// An in-flight transaction.
 pub struct Txn<'a> {
@@ -59,6 +76,12 @@ pub struct Txn<'a> {
     /// task; plain transactions mint a fresh root trace when observability
     /// is on, so every event they emit joins one lineage DAG.
     trace: TraceCtx,
+    /// Concurrency-control mode (strict 2PL vs lock-free snapshot reads).
+    mode: TxnKind,
+    /// The commit timestamp this transaction's reads are pinned at, for
+    /// [`TxnKind::ReadOnly`]. Registered with the database's snapshot
+    /// registry at begin; taken (and deregistered) exactly once at finish.
+    snapshot: Cell<Option<u64>>,
     finished: bool,
 }
 
@@ -73,6 +96,7 @@ impl<'a> Txn<'a> {
         overlay: HashMap<String, Arc<TempTable>>,
         origin_us: Option<u64>,
         trace: TraceCtx,
+        mode: TxnKind,
     ) -> Txn<'a> {
         // Mint the root of a new trace for transactions that arrive without
         // one (feeds, ad-hoc statements). Action tasks carry their span in.
@@ -80,6 +104,18 @@ impl<'a> Txn<'a> {
             TraceCtx::root()
         } else {
             trace
+        };
+        // A read-only transaction pins the commit clock *now*: every read
+        // it performs resolves against the committed prefix at this
+        // timestamp, and the registry entry holds the GC horizon back until
+        // the transaction finishes.
+        let snapshot = match mode {
+            TxnKind::ReadWrite => None,
+            TxnKind::ReadOnly => {
+                let ts = inner.pin_snapshot();
+                inner.obs.record_snapshot_begin();
+                Some(ts)
+            }
         };
         Txn {
             inner,
@@ -93,8 +129,25 @@ impl<'a> Txn<'a> {
             footprint: RefCell::new(HashMap::new()),
             origin_us,
             trace,
+            mode,
+            snapshot: Cell::new(snapshot),
             finished: false,
         }
+    }
+
+    /// This transaction's concurrency-control mode.
+    pub fn txn_kind(&self) -> TxnKind {
+        self.mode
+    }
+
+    /// True for a lock-free snapshot-read transaction.
+    pub fn is_read_only(&self) -> bool {
+        self.mode == TxnKind::ReadOnly
+    }
+
+    /// The snapshot timestamp pinned at begin (`None` for read-write).
+    pub fn snapshot_ts(&self) -> Option<u64> {
+        self.snapshot.get()
     }
 
     /// The transaction's causal identity (root span for plain transactions,
@@ -423,6 +476,38 @@ impl<'a> Txn<'a> {
         Ok(())
     }
 
+    /// Read entry for a [`TxnKind::ReadOnly`] transaction: no lock-manager
+    /// traffic at all, but the same `GetLock` charge a locked reader would
+    /// pay for this table — cost parity keeps throughput comparisons about
+    /// contention, not accounting. The first touch of each table traces a
+    /// `SnapshotRead` event carrying the pinned timestamp.
+    fn snapshot_read_entry(&self, table: &str) -> strip_sql::Result<()> {
+        let table = table.to_ascii_lowercase();
+        let first = !self
+            .charged
+            .borrow()
+            .contains(&(table.clone(), LockMode::Shared));
+        self.charge_get_lock(&table, LockMode::Shared);
+        if first {
+            if let Some(ts) = self.snapshot.get() {
+                self.inner
+                    .obs
+                    .record_snapshot_read(self.now_us(), self.id.0, &table, ts, self.trace);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reject any write attempted by a read-only snapshot transaction.
+    fn forbid_writes(&self, table: &str) -> strip_sql::Result<()> {
+        if self.mode == TxnKind::ReadOnly {
+            return Err(strip_sql::SqlError::exec(format!(
+                "read-only snapshot transaction cannot write `{table}`"
+            )));
+        }
+        Ok(())
+    }
+
     /// The lock-manager resources this transaction holds right now, sorted:
     /// `(resource, strongest requested mode)`. Key resources contain `#`.
     /// Benchmarks use this to build conflict graphs from real footprints.
@@ -523,6 +608,54 @@ impl<'a> Txn<'a> {
             self.finished = true;
             return Err(Error::Crashed);
         }
+        // Make this commit visible to snapshot readers: stamp every version
+        // the transaction wrote with the next commit timestamp, then publish
+        // that timestamp to the global commit clock. The publish mutex makes
+        // stamp-then-announce atomic with respect to other committers, so a
+        // reader pinned at clock value `ts` always observes exactly the
+        // committed prefix `<= ts` — never a partially stamped commit.
+        let mut published = None;
+        let crash_at_publish = {
+            let log = self.log.borrow();
+            if log.is_empty() {
+                false
+            } else {
+                let _publish = self.inner.commit_publish.lock();
+                let ts = self.inner.commit_clock.load(Ordering::Relaxed) + 1;
+                for e in log.entries() {
+                    let (table, row) = match e {
+                        LogEntry::Insert { table, row, .. }
+                        | LogEntry::Delete { table, row, .. }
+                        | LogEntry::Update { table, row, .. } => (table, *row),
+                    };
+                    if let Ok(t) = self.inner.catalog.table(table) {
+                        t.publish_versions(row, ts);
+                    }
+                }
+                // Injected crash between stamping and announcing. The
+                // stamped versions carry `ts = clock + 1`, a timestamp no
+                // snapshot can be pinned at until the store below runs, so
+                // they stay invisible to every snapshot reader — while the
+                // WAL (already durable) and the 2PL-visible state both have
+                // the commit, exactly what recovery will rebuild.
+                if self.fault_decision(FaultPoint::CommitPublish, &self.kind)
+                    == FaultDecision::Crash
+                {
+                    true
+                } else {
+                    self.inner.commit_clock.store(ts, Ordering::Release);
+                    published = Some(ts);
+                    false
+                }
+            }
+        };
+        if crash_at_publish {
+            drop(tasks);
+            self.inner.crashed.store(true, Ordering::SeqCst);
+            self.release_locks();
+            self.finished = true;
+            return Err(Error::Crashed);
+        }
         let end_us = self.now_us();
         if self.inner.obs.is_enabled() {
             self.inner.obs.event_ctx(
@@ -575,6 +708,12 @@ impl<'a> Txn<'a> {
         }
         self.release_locks();
         self.finished = true;
+        // Opportunistic version GC: this commit superseded versions (its
+        // writes marked their slots dirty); reclaim whatever no live
+        // snapshot can still see. Cheap when nothing is dirty.
+        if published.is_some() {
+            self.inner.collect_garbage(&self.kind, end_us);
+        }
         Ok(tasks)
     }
 
@@ -602,27 +741,30 @@ impl<'a> Txn<'a> {
         }
     }
 
+    /// Undo all logged changes by popping their still-pending chain entries
+    /// in reverse execution order. Every write this transaction performed
+    /// appended a `TS_PENDING` version (or tombstone) to its row's chain;
+    /// reverting restores the pre-transaction head without ever making an
+    /// intermediate state visible to snapshot readers. Best-effort on a
+    /// consistent store: failures mean the table vanished mid-transaction,
+    /// which the catalog forbids.
     fn undo(&self) {
         let entries = self.log.borrow_mut().drain_for_undo();
         for e in entries {
-            // Undo is best-effort on a consistent store; failures here mean
-            // the table vanished mid-transaction, which the catalog forbids.
             match e {
                 LogEntry::Insert { table, row, .. } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.delete(row);
+                        let _ = t.revert_insert(row);
                     }
                 }
-                LogEntry::Delete { table, old, .. } => {
+                LogEntry::Delete { table, row, .. } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.reinsert(&old);
+                        let _ = t.revert_delete(row);
                     }
                 }
-                LogEntry::Update {
-                    table, row, old, ..
-                } => {
+                LogEntry::Update { table, row, .. } => {
                     if let Ok(t) = self.inner.catalog.table(&table) {
-                        let _ = t.update(row, old.values().to_vec());
+                        let _ = t.revert_update(row);
                     }
                 }
             }
@@ -637,15 +779,28 @@ impl<'a> Txn<'a> {
         self.inner.locks.release_all(self.id);
         self.charged.borrow_mut().clear();
         self.footprint.borrow_mut().clear();
+        self.release_snapshot();
+    }
+
+    /// Deregister this transaction's pinned snapshot (once). Dropping the
+    /// oldest snapshot advances the GC horizon, so a collection pass runs.
+    fn release_snapshot(&self) {
+        if let Some(ts) = self.snapshot.take() {
+            self.inner.obs.record_snapshot_end();
+            if self.inner.drop_snapshot(ts) {
+                self.inner.collect_garbage(&self.kind, self.now_us());
+            }
+        }
     }
 }
 
 impl Drop for Txn<'_> {
     fn drop(&mut self) {
         // A dropped-without-commit transaction (panic path) must not leave
-        // locks behind.
+        // locks — or a registered snapshot pin — behind.
         if !self.finished {
             self.inner.locks.release_all(self.id);
+            self.release_snapshot();
         }
     }
 }
@@ -743,17 +898,30 @@ impl Env for Txn<'_> {
             .cloned()
     }
 
+    fn snapshot_ts(&self) -> Option<u64> {
+        self.snapshot.get()
+    }
+
     fn before_read(&self, table: &str) -> strip_sql::Result<()> {
+        if self.mode == TxnKind::ReadOnly {
+            return self.snapshot_read_entry(table);
+        }
         self.acquire(table, LockMode::Shared)
             .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
     }
 
     fn before_write(&self, table: &str) -> strip_sql::Result<()> {
+        if let Err(e) = self.forbid_writes(table) {
+            return Err(e);
+        }
         self.acquire(table, LockMode::Exclusive)
             .map_err(|e| strip_sql::SqlError::exec(e.to_string()))
     }
 
     fn before_read_keyed(&self, table: &str, column: &str, key: &Value) -> strip_sql::Result<()> {
+        if self.mode == TxnKind::ReadOnly {
+            return self.snapshot_read_entry(table);
+        }
         if self.inner.granularity == LockGranularity::Table {
             return self.before_read(table);
         }
@@ -762,6 +930,9 @@ impl Env for Txn<'_> {
     }
 
     fn before_write_keyed(&self, table: &str, column: &str, key: &Value) -> strip_sql::Result<()> {
+        if let Err(e) = self.forbid_writes(table) {
+            return Err(e);
+        }
         if self.inner.granularity == LockGranularity::Table {
             return self.before_write(table);
         }
@@ -770,6 +941,7 @@ impl Env for Txn<'_> {
     }
 
     fn dml_insert(&self, table: &str, row: Vec<Value>) -> strip_sql::Result<()> {
+        self.forbid_writes(table)?;
         let t = self.inner.catalog.table(table)?;
         // X the new row's key resources before it becomes visible: this is
         // what phantom-protects concurrent `column = key` probe readers.
@@ -784,6 +956,7 @@ impl Env for Txn<'_> {
     }
 
     fn dml_update(&self, table: &str, id: RowId, new: Vec<Value>) -> strip_sql::Result<()> {
+        self.forbid_writes(table)?;
         let t = self.inner.catalog.table(table)?;
         // Lock the old *and* new images' key resources before mutating, so
         // readers probing either value of any indexed column are excluded.
@@ -806,6 +979,7 @@ impl Env for Txn<'_> {
     }
 
     fn dml_delete(&self, table: &str, id: RowId) -> strip_sql::Result<()> {
+        self.forbid_writes(table)?;
         let t = self.inner.catalog.table(table)?;
         let old_vals = t.get(id)?.values().to_vec();
         self.acquire_for_write(&t, &[&old_vals])
@@ -841,6 +1015,20 @@ pub(crate) fn run_txn<R>(
     origin_us: Option<u64>,
     f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
 ) -> Result<R> {
+    run_txn_kind(inner, ctx, kind, overlay, origin_us, TxnKind::ReadWrite, f)
+}
+
+/// [`run_txn`] with an explicit concurrency-control mode; read-only
+/// snapshot transactions pin the commit clock at begin and read lock-free.
+pub(crate) fn run_txn_kind<R>(
+    inner: &Arc<StripInner>,
+    ctx: &mut TaskCtx<'_>,
+    kind: &str,
+    overlay: HashMap<String, Arc<TempTable>>,
+    origin_us: Option<u64>,
+    mode: TxnKind,
+    f: impl FnOnce(&mut Txn<'_>) -> Result<R>,
+) -> Result<R> {
     ctx.meter.charge(Op::BeginTxn, 1);
     let id = inner.next_txn_id();
     // Bound/transition tables pinned by this transaction count against the
@@ -858,6 +1046,7 @@ pub(crate) fn run_txn<R>(
         overlay,
         origin_us,
         ctx.trace,
+        mode,
     );
     let result = match f(&mut txn) {
         Ok(r) => match txn.commit() {

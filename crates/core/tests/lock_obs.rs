@@ -54,12 +54,17 @@ fn lock_wait_histograms_label_by_granularity() {
             .unwrap();
         })
     };
+    // The scan must run inside an explicit read-write transaction: a bare
+    // `db.query` SELECT is auto-detected as a lock-free snapshot read and
+    // would never touch the lock manager (see DESIGN.md §14).
     let scan_waiter = {
         let db = db.clone();
         let start = Arc::clone(&start);
         std::thread::spawn(move || {
             start.wait();
-            let rows = db.query("select price from quotes").unwrap();
+            let rows = db
+                .txn(|t| t.query("select price from quotes", &[]))
+                .unwrap();
             assert_eq!(rows.len(), 2);
         })
     };

@@ -1,0 +1,170 @@
+//! Satellite stress proof: read-only snapshot transactions acquire **zero**
+//! lock-manager resources and are never chosen as deadlock victims, even
+//! while writer transactions genuinely deadlock around them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use strip_core::{Error, Strip};
+
+fn setup(db: &Strip) {
+    db.execute_script(
+        "create table left_t (id int, v int); \
+         create index ix_l on left_t (id); \
+         create table right_t (id int, v int); \
+         create index ix_r on right_t (id);",
+    )
+    .unwrap();
+    for i in 0..4i64 {
+        db.execute_with("insert into left_t values (?, 0)", &[i.into()])
+            .unwrap();
+        db.execute_with("insert into right_t values (?, 0)", &[i.into()])
+            .unwrap();
+    }
+}
+
+/// Writers lock `left_t` then `right_t` and vice versa — a deliberate
+/// deadlock mill. Readers run lock-free snapshot transactions throughout:
+/// every reader must report an empty lock footprint, never abort as a
+/// deadlock victim, and always observe the cross-table invariant
+/// (`sum(left_t.v) == sum(right_t.v)` — writers bump both in one txn).
+#[test]
+fn snapshot_readers_hold_no_locks_and_never_deadlock() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 3;
+    const STEPS: usize = 40;
+
+    let db = Strip::builder().pool(4).build();
+    setup(&db);
+
+    let start = Arc::new(Barrier::new(WRITERS + READERS));
+    let stop = Arc::new(AtomicU64::new(0));
+    let deadlocks = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let db = db.clone();
+        let start = start.clone();
+        let deadlocks = deadlocks.clone();
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            for s in 0..STEPS {
+                let id = ((w + s) % 4) as i64;
+                // Half the writers take left→right, half right→left: the
+                // opposite acquisition orders close waits-for cycles.
+                let (first, second) = if w % 2 == 0 {
+                    ("left_t", "right_t")
+                } else {
+                    ("right_t", "left_t")
+                };
+                let r = db.txn(|t| {
+                    t.exec(
+                        &format!("update {first} set v += 1 where id = ?"),
+                        &[id.into()],
+                    )?;
+                    t.exec(
+                        &format!("update {second} set v += 1 where id = ?"),
+                        &[id.into()],
+                    )?;
+                    Ok(())
+                });
+                if let Err(e) = r {
+                    // Writer deadlock victims are expected; anything else
+                    // is not.
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains("deadlock") || matches!(e, Error::Aborted(_)),
+                        "unexpected writer error: {msg}"
+                    );
+                    deadlocks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        let db = db.clone();
+        let start = start.clone();
+        let stop = stop.clone();
+        let reads = reads.clone();
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            while stop.load(Ordering::Acquire) == 0 {
+                let r = db.read_txn(|t| {
+                    let sum = |table: &str, t: &mut strip_core::Txn<'_>| {
+                        t.query(&format!("select sum(v) as s from {table}"), &[])
+                            .map(|rs| rs.single("s").map(|v| v.as_i64().unwrap_or(0)).unwrap_or(0))
+                    };
+                    let l = sum("left_t", t)?;
+                    let r = sum("right_t", t)?;
+                    assert_eq!(
+                        l, r,
+                        "snapshot tore a writer txn apart (left {l} != right {r})"
+                    );
+                    assert!(
+                        t.lock_footprint().is_empty(),
+                        "read-only txn acquired lock-manager resources: {:?}",
+                        t.lock_footprint()
+                    );
+                    Ok(())
+                });
+                // A snapshot reader can never be a deadlock victim — it
+                // holds nothing and waits on nothing.
+                match r {
+                    Ok(()) => {
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("snapshot reader failed: {e}"),
+                }
+            }
+        }));
+    }
+    for h in handles.drain(..WRITERS) {
+        h.join().unwrap();
+    }
+    stop.store(1, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.drain();
+
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers must have run");
+    assert_eq!(db.locks_held(), 0, "no lock leaked");
+    assert_eq!(db.active_snapshots(), 0, "no snapshot leaked");
+    // The obs counters saw every snapshot transaction.
+    let snap = db.obs().snapshot().snap;
+    assert!(snap.txns >= reads.load(Ordering::Relaxed));
+    assert_eq!(snap.active, 0);
+}
+
+/// Writes inside a read-only transaction are rejected up front — DML,
+/// keyed or not, never reaches the lock manager or the table.
+#[test]
+fn read_only_txn_rejects_writes() {
+    let db = Strip::new();
+    setup(&db);
+    let err = db
+        .read_txn(|t| t.exec("update left_t set v += 1 where id = 0", &[]))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("read-only"),
+        "want a read-only violation, got: {err}"
+    );
+    let err = db
+        .read_txn(|t| t.exec("insert into left_t values (9, 9)", &[]))
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"), "got: {err}");
+    let err = db
+        .read_txn(|t| t.exec("delete from left_t where id = 0", &[]))
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"), "got: {err}");
+    // The failed attempts left no lock and no pending version behind.
+    assert_eq!(db.locks_held(), 0);
+    let n = db
+        .query("select count(*) as n from left_t")
+        .unwrap()
+        .single("n")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, 4);
+}

@@ -322,6 +322,11 @@ impl Pta {
             }
         }
 
+        // The bulk load above bypassed transaction commit, so stamp the
+        // loaded rows with a commit timestamp — otherwise snapshot reads
+        // (every plain SELECT) would see empty tables.
+        db.publish_bulk_load();
+
         let pta = Pta {
             db,
             trace,
@@ -631,6 +636,52 @@ impl Pta {
     /// Use with an EDF or value-density [`strip_txn::Policy`] to study
     /// scheduling (§6.2).
     pub fn run_trace_with_deadlines(&self, deadline_slack_us: Option<u64>) -> Result<RunReport> {
+        self.submit_quotes(deadline_slack_us)?;
+        self.db.drain();
+        self.assemble_report()
+    }
+
+    /// [`Pta::run_trace`] with a read-mostly foreground: the quote stream
+    /// drives maintenance exactly as in [`Pta::run_trace`], but the driver
+    /// advances virtual time one `window_us`-wide step at a time and issues
+    /// `probes_per_window` lock-free snapshot read transactions between
+    /// steps — a keyed quote probe plus an aggregate over the maintained
+    /// composites, the ad-hoc monitoring queries of a live trading floor.
+    /// Every probe must succeed (snapshot readers hold no locks and cannot
+    /// deadlock); the run errors out otherwise.
+    pub fn run_trace_read_mostly(
+        &self,
+        window_us: u64,
+        probes_per_window: usize,
+    ) -> Result<RunReport> {
+        self.submit_quotes(None)?;
+        let mut horizon = window_us;
+        let mut probe = 0usize;
+        while horizon < self.trace.duration_us {
+            self.db.advance_to(horizon);
+            for _ in 0..probes_per_window {
+                let sym = self.symbols[probe % self.symbols.len()].clone();
+                probe += 1;
+                self.db.read_txn(move |t| {
+                    t.query(
+                        "select price from stocks where symbol = ?",
+                        &[Value::Str(sym)],
+                    )?;
+                    t.query(
+                        "select count(*) as n, sum(price) as total from comp_prices",
+                        &[],
+                    )?;
+                    Ok(())
+                })?;
+            }
+            horizon += window_us;
+        }
+        self.db.drain();
+        self.assemble_report()
+    }
+
+    /// Submit the whole quote trace (releases are virtual timestamps).
+    fn submit_quotes(&self, deadline_slack_us: Option<u64>) -> Result<()> {
         let upd = prepared("update stocks set price = ? where symbol = ?")?;
         for q in &self.trace.quotes {
             let upd = upd.clone();
@@ -643,8 +694,12 @@ impl Pta {
                     Ok(())
                 });
         }
-        self.db.drain();
+        Ok(())
+    }
 
+    /// Build the [`RunReport`] from the database's task statistics after a
+    /// drained trace run.
+    fn assemble_report(&self) -> Result<RunReport> {
         let stats = self.db.stats();
         let upd_stats = stats.kind("update");
         let recompute_count = stats.count_with_prefix("recompute:");

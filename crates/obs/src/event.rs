@@ -58,6 +58,15 @@ pub enum EventKind {
     /// [`EventKind::PlanChoice`], never a duration — lineage must not
     /// carve it out of the exec phase).
     DeltaApply = 17,
+    /// A read-only snapshot transaction read a standard table through the
+    /// version chains (no lock-manager traffic); `detail` is the table,
+    /// `dur_us` carries the snapshot timestamp it was pinned at (a logical
+    /// commit number, never a duration).
+    SnapshotRead = 18,
+    /// Version-chain garbage collection ran; `detail` is the task kind that
+    /// triggered it, `dur_us` carries the GC horizon (the oldest snapshot
+    /// timestamp still protected — a logical commit number, not a duration).
+    VersionGc = 19,
 }
 
 impl EventKind {
@@ -82,6 +91,8 @@ impl EventKind {
             EventKind::DeadlineMiss => "deadline.miss",
             EventKind::PlanChoice => "plan.choice",
             EventKind::DeltaApply => "delta.apply",
+            EventKind::SnapshotRead => "snapshot.read",
+            EventKind::VersionGc => "version.gc",
         }
     }
 }

@@ -135,8 +135,18 @@ impl ObsSnapshot {
                 )
             })
             .collect();
+        let snap = format!(
+            "{{\"txns\":{},\"reads\":{},\"active\":{},\"gc_runs\":{},\"gc_pruned\":{},\"gc_freed\":{},\"gc_horizon\":{}}}",
+            self.snap.txns,
+            self.snap.reads,
+            self.snap.active,
+            self.snap.gc_runs,
+            self.snap.gc_pruned,
+            self.snap.gc_freed,
+            self.snap.gc_horizon,
+        );
         format!(
-            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{},\"plan_choices\":{},\"card_est_sum\":{},\"card_actual_sum\":{},\"plan_misestimates\":[{}],\"memory\":{}}}",
+            "{{\"enabled\":{},\"events_traced\":{},\"ring_capacity\":{},\"histograms\":{{{}}},\"exec_us\":{},\"staleness_us\":{},\"plan_choices\":{},\"card_est_sum\":{},\"card_actual_sum\":{},\"snap\":{},\"plan_misestimates\":[{}],\"memory\":{}}}",
             self.enabled,
             self.events_traced,
             self.ring_capacity,
@@ -146,6 +156,7 @@ impl ObsSnapshot {
             self.plan_choices,
             self.card_est_sum,
             self.card_actual_sum,
+            snap,
             misses.join(","),
             self.memory.to_json(),
         )
@@ -237,6 +248,20 @@ impl ObsSnapshot {
                 m.factor()
             );
         }
+        let _ = writeln!(out, "# TYPE strip_snap_txns_total counter");
+        let _ = writeln!(out, "strip_snap_txns_total {}", self.snap.txns);
+        let _ = writeln!(out, "# TYPE strip_snap_reads_total counter");
+        let _ = writeln!(out, "strip_snap_reads_total {}", self.snap.reads);
+        let _ = writeln!(out, "# TYPE strip_snap_active gauge");
+        let _ = writeln!(out, "strip_snap_active {}", self.snap.active);
+        let _ = writeln!(out, "# TYPE strip_snap_gc_runs_total counter");
+        let _ = writeln!(out, "strip_snap_gc_runs_total {}", self.snap.gc_runs);
+        let _ = writeln!(out, "# TYPE strip_snap_gc_pruned_total counter");
+        let _ = writeln!(out, "strip_snap_gc_pruned_total {}", self.snap.gc_pruned);
+        let _ = writeln!(out, "# TYPE strip_snap_gc_freed_total counter");
+        let _ = writeln!(out, "strip_snap_gc_freed_total {}", self.snap.gc_freed);
+        let _ = writeln!(out, "# TYPE strip_snap_gc_horizon gauge");
+        let _ = writeln!(out, "strip_snap_gc_horizon {}", self.snap.gc_horizon);
         let _ = writeln!(out, "# TYPE strip_mem_bytes gauge");
         for (name, bytes) in MEM_CLASS_NAMES.iter().zip(self.memory.class_bytes) {
             let _ = writeln!(out, "strip_mem_bytes{{class=\"{name}\"}} {bytes}");
@@ -391,6 +416,20 @@ impl ObsSnapshot {
                 fmt_bytes(self.memory.total_bytes),
                 fmt_bytes(self.memory.hwm_bytes),
                 fmt_bytes(self.memory.temp_hwm_bytes)
+            );
+        }
+
+        if self.snap.txns > 0 || self.snap.gc_runs > 0 {
+            let _ = writeln!(
+                out,
+                "\nsnapshots: {} read-only txns ({} active), {} chain reads; gc: {} runs, {} pruned, {} slots freed, horizon {}",
+                self.snap.txns,
+                self.snap.active,
+                self.snap.reads,
+                self.snap.gc_runs,
+                self.snap.gc_pruned,
+                self.snap.gc_freed,
+                self.snap.gc_horizon
             );
         }
 

@@ -53,7 +53,7 @@ pub use mem::{
     MemorySnapshot, TableMemReading, TableMemSnapshot, MEM_CLASSES, MEM_CLASS_NAMES,
 };
 pub use ring::TraceRing;
-pub use sink::{ObsSink, ObsSnapshot, PlanMisestimate};
+pub use sink::{ObsSink, ObsSnapshot, PlanMisestimate, SnapStats};
 pub use stale::StalenessTracker;
 pub use trace::TraceCtx;
 pub use window::{

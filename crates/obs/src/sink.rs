@@ -54,6 +54,22 @@ pub struct ObsSink {
     windows: WindowCollector,
     /// Memory observer: probe holder, class gauges, watermarks, budget.
     memory: MemoryObserver,
+    /// Read-only snapshot transactions begun.
+    snap_txns: AtomicU64,
+    /// Standard-table reads served through the version chains (one per
+    /// table access by a snapshot transaction — scan or index probe).
+    snap_reads: AtomicU64,
+    /// Snapshots currently registered (gauge: begun − finished).
+    snap_active: AtomicU64,
+    /// Version-GC passes run.
+    snap_gc_runs: AtomicU64,
+    /// Superseded chain versions reclaimed by GC.
+    snap_gc_pruned: AtomicU64,
+    /// Tombstoned slots freed by GC.
+    snap_gc_freed: AtomicU64,
+    /// Horizon of the most recent GC pass (gauge; the oldest snapshot
+    /// timestamp still protected, or the commit clock when none are live).
+    snap_gc_horizon: AtomicU64,
 }
 
 impl ObsSink {
@@ -94,6 +110,13 @@ impl ObsSink {
             misestimates: RwLock::new(HashMap::new()),
             windows: WindowCollector::new(window_us, window_cap),
             memory,
+            snap_txns: AtomicU64::new(0),
+            snap_reads: AtomicU64::new(0),
+            snap_active: AtomicU64::new(0),
+            snap_gc_runs: AtomicU64::new(0),
+            snap_gc_pruned: AtomicU64::new(0),
+            snap_gc_freed: AtomicU64::new(0),
+            snap_gc_horizon: AtomicU64::new(0),
         })
     }
 
@@ -325,6 +348,69 @@ impl ObsSink {
         }
     }
 
+    // ---- snapshot reads & version GC ------------------------------------
+
+    /// A read-only snapshot transaction was pinned (begun). Counted even
+    /// when tracing is off so the gauge pair stays balanced.
+    #[inline]
+    pub fn record_snapshot_begin(&self) {
+        if self.is_enabled() {
+            self.snap_txns.fetch_add(1, Ordering::Relaxed);
+        }
+        self.snap_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read-only snapshot transaction finished (its timestamp was
+    /// deregistered and no longer holds the GC horizon back).
+    #[inline]
+    pub fn record_snapshot_end(&self) {
+        self.snap_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot transaction read one standard table through the version
+    /// chains: bump the counter and trace a [`EventKind::SnapshotRead`]
+    /// event (`dur_us` carries the pinned snapshot timestamp — a logical
+    /// commit number, never a duration).
+    #[inline]
+    pub fn record_snapshot_read(&self, at_us: u64, txn: u64, table: &str, ts: u64, ctx: TraceCtx) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.snap_reads.fetch_add(1, Ordering::Relaxed);
+        self.event_ctx(at_us, txn, EventKind::SnapshotRead, table, ts, ctx, 0);
+    }
+
+    /// A version-GC pass completed at `horizon`, reclaiming `pruned`
+    /// superseded versions and freeing `freed` tombstoned slots. The
+    /// horizon gauge always updates; a [`EventKind::VersionGc`] event is
+    /// traced only when the pass reclaimed something, so idle commits do
+    /// not flood the ring.
+    pub fn record_version_gc(&self, at_us: u64, detail: &str, horizon: u64, pruned: u64, freed: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.snap_gc_runs.fetch_add(1, Ordering::Relaxed);
+        self.snap_gc_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.snap_gc_freed.fetch_add(freed, Ordering::Relaxed);
+        self.snap_gc_horizon.store(horizon, Ordering::Relaxed);
+        if pruned + freed > 0 {
+            self.event(at_us, 0, EventKind::VersionGc, detail, horizon);
+        }
+    }
+
+    /// Detached snapshot-read / version-GC counter block.
+    pub fn snap_stats(&self) -> SnapStats {
+        SnapStats {
+            txns: self.snap_txns.load(Ordering::Relaxed),
+            reads: self.snap_reads.load(Ordering::Relaxed),
+            active: self.snap_active.load(Ordering::Relaxed),
+            gc_runs: self.snap_gc_runs.load(Ordering::Relaxed),
+            gc_pruned: self.snap_gc_pruned.load(Ordering::Relaxed),
+            gc_freed: self.snap_gc_freed.load(Ordering::Relaxed),
+            gc_horizon: self.snap_gc_horizon.load(Ordering::Relaxed),
+        }
+    }
+
     /// The memory observer (probe installation, budget, temp scopes).
     pub fn memory(&self) -> &MemoryObserver {
         &self.memory
@@ -475,6 +561,7 @@ impl ObsSink {
             plan_choices: self.plan_choices.load(Ordering::Relaxed),
             card_est_sum: self.card_est.load(Ordering::Relaxed),
             card_actual_sum: self.card_actual.load(Ordering::Relaxed),
+            snap: self.snap_stats(),
             plan_misestimates: {
                 let mut v: Vec<PlanMisestimate> = self
                     .misestimates
@@ -553,8 +640,29 @@ pub struct ObsSnapshot {
     pub card_est_sum: u64,
     /// Sum of observed joined cardinalities.
     pub card_actual_sum: u64,
+    /// Snapshot-read / version-GC counters.
+    pub snap: SnapStats,
     /// Worst estimated-vs-actual discrepancy per plan shape, worst first.
     pub plan_misestimates: Vec<PlanMisestimate>,
+}
+
+/// Counters for the lock-free snapshot-read path and its version GC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapStats {
+    /// Read-only snapshot transactions begun.
+    pub txns: u64,
+    /// Standard-table reads served through the version chains.
+    pub reads: u64,
+    /// Snapshots currently registered (gauge).
+    pub active: u64,
+    /// Version-GC passes run.
+    pub gc_runs: u64,
+    /// Superseded chain versions reclaimed.
+    pub gc_pruned: u64,
+    /// Tombstoned slots freed.
+    pub gc_freed: u64,
+    /// Horizon of the most recent GC pass (gauge).
+    pub gc_horizon: u64,
 }
 
 #[cfg(test)]

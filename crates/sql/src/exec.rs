@@ -120,6 +120,14 @@ pub trait Env {
     /// joined-row cardinality. Transaction environments forward this to the
     /// observability sink; the default discards it.
     fn plan_feedback(&self, _choice: &str, _est_rows: u64, _actual_rows: u64) {}
+    /// The snapshot timestamp this environment reads at, when it is a
+    /// read-only snapshot transaction. `Some(ts)` routes every standard-
+    /// table read through the version chains (`get_at`/`scan_at`) — the
+    /// newest version with `commit_ts <= ts` — without consulting the lock
+    /// manager. `None` (the default) keeps strict-2PL current reads.
+    fn snapshot_ts(&self) -> Option<u64> {
+        None
+    }
     /// Called once before reading a standard table (S-lock acquisition).
     fn before_read(&self, _table: &str) -> Result<()> {
         Ok(())
@@ -300,8 +308,12 @@ pub(crate) fn scan_item(
     m.charge(Op::OpenCursor, 1);
     let out = match &item.rel {
         Rel::Standard(t) => {
-            let mut v = Vec::new();
-            for (_, rec) in t.scan() {
+            let rows = match env.snapshot_ts() {
+                Some(ts) => t.scan_at(ts),
+                None => t.scan(),
+            };
+            let mut v = Vec::with_capacity(rows.len());
+            for (_, rec) in rows {
                 v.push((rec.values().to_vec(), Some(rec)));
             }
             m.charge(Op::FetchCursor, v.len() as u64);
@@ -346,9 +358,18 @@ pub(crate) fn probe_item(
     let m = env.meter();
     m.charge(Op::IndexProbe, 1);
     m.charge(Op::FetchCursor, ids.len() as u64);
+    let ts = env.snapshot_ts();
     Ok(Some(
         ids.into_iter()
-            .filter_map(|id| t.get(id).ok())
+            .filter_map(|id| match ts {
+                Some(ts) => t.get_at(id, ts),
+                None => t.get(id).ok(),
+            })
+            // The planner consumed the `column = key` conjunct when it chose
+            // this probe, and a version chain keeps a posting for every key
+            // any retained version carries — so a posting may resolve to a
+            // version that no longer has the probed key. Revalidate here.
+            .filter(|rec| rec.get(column) == key)
             .map(|rec| (rec.values().to_vec(), Some(rec)))
             .collect(),
     ))
@@ -369,9 +390,16 @@ pub(crate) fn range_item(
     let m = env.meter();
     m.charge(Op::IndexProbe, 1);
     m.charge(Op::FetchCursor, ids.len() as u64);
+    let ts = env.snapshot_ts();
+    // No key revalidation needed: the planner retains range conjuncts as
+    // residual filters, which drop rows whose resolved version left the
+    // range (stale postings, snapshot-visible older versions).
     Some(
         ids.into_iter()
-            .filter_map(|id| t.get(id).ok())
+            .filter_map(|id| match ts {
+                Some(ts) => t.get_at(id, ts),
+                None => t.get(id).ok(),
+            })
             .map(|rec| (rec.values().to_vec(), Some(rec)))
             .collect(),
     )

@@ -34,8 +34,8 @@ pub use mem::{record_bytes, row_bytes, value_bytes, TableMem};
 pub use meter::{CountingMeter, Meter, NullMeter, Op};
 pub use schema::{Column, Schema, SchemaRef};
 pub use table::{
-    estimate_distinct, LatchObserver, RecordData, RecordRef, RowId, StandardTable, TableIndex,
-    SHARD_BITS, SHARD_COUNT,
+    estimate_distinct, GcStats, LatchObserver, RecordData, RecordRef, RowId, StandardTable,
+    TableIndex, SHARD_BITS, SHARD_COUNT, TS_PENDING,
 };
 pub use temp::{ColumnSource, StaticMap, TempTable, TempTuple};
 pub use value::{DataType, Value};

@@ -5,27 +5,39 @@
 //! from the relation but kept in the system until the last bound table that
 //! references it is retired, as determined by a reference counting scheme."
 //!
-//! We implement the reference-counting scheme with `Arc<RecordData>`: the
-//! table's slot holds one strong reference to the *current* version of each
-//! row; transition tables and bound tables hold strong references to the
-//! versions they captured. Replacing a slot's `Arc` on update is exactly the
-//! paper's create-new/unlink-old step, and the old version is freed when the
-//! last bound table holding it is dropped — no explicit retirement pass
-//! needed.
+//! We extend the paper's reference-counted retention into full **version
+//! chains**: each row slot holds an ordered chain of record versions, newest
+//! last, each stamped with the commit timestamp of the transaction that
+//! produced it (or [`TS_PENDING`] while that transaction is still running).
+//! Writers under strict 2PL always act on the newest version, exactly as
+//! before; read-only transactions pinned to a snapshot timestamp `ts`
+//! resolve the newest version with `commit_ts <= ts` via [`get_at`] /
+//! [`scan_at`] without touching the lock manager. Superseded versions are
+//! reclaimed by [`collect_versions`] once no live snapshot can see them
+//! (the caller supplies the GC horizon = minimum active snapshot ts).
 //!
-//! # Sharding
+//! [`get_at`]: StandardTable::get_at
+//! [`scan_at`]: StandardTable::scan_at
+//! [`collect_versions`]: StandardTable::collect_versions
+//!
+//! # Sharding and latch discipline
 //!
 //! Row storage is split into [`SHARD_COUNT`] independently-latched buckets
 //! so writers on different rows never contend on the same `RwLock` (the
 //! PTA's thousands of distinct-symbol quote transactions are the motivating
 //! workload). A [`RowId`]'s slot word packs the shard into its low
 //! [`SHARD_BITS`] bits, so locating a row never consults shared state.
-//! Secondary indexes carry their own latches. The latch discipline is
-//! two-phase: no code path holds a shard latch while taking an index latch
-//! (or vice versa), so physical latching cannot deadlock; *logical*
-//! consistency between a row and its index entries is the lock manager's
-//! job (strict 2PL over key resources), and probe paths revalidate every
-//! `RowId` against the slot generation anyway.
+//! Secondary indexes carry their own latches. The latch order is
+//! **shard before index**: version GC (and the integrity walker) hold a
+//! shard latch while taking an index latch, so postings and the chain they
+//! describe change atomically; no code path ever takes latches in the
+//! opposite order (probes acquire and fully release the index latch before
+//! touching a shard), so physical latching cannot deadlock. *Logical*
+//! consistency between a row and its index entries remains the lock
+//! manager's job (strict 2PL over key resources) for read-write
+//! transactions; snapshot readers instead revalidate the fetched version's
+//! key against the probe key, because index postings for superseded
+//! versions are only removed at GC time.
 
 use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
@@ -33,6 +45,7 @@ use crate::mem::{self, TableMem};
 use crate::schema::SchemaRef;
 use crate::value::Value;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -53,6 +66,12 @@ static VERSION_IDS: AtomicU64 = AtomicU64::new(1);
 pub const SHARD_COUNT: usize = 16;
 /// Bits of a `RowId` slot word that select the shard.
 pub const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
+
+/// Commit timestamp of a version whose transaction has not committed yet.
+/// `u64::MAX`, so a pending version is invisible to every snapshot (all
+/// real snapshot timestamps are smaller) while still being "the newest
+/// version" for strict-2PL readers, which ignore timestamps entirely.
+pub const TS_PENDING: u64 = u64::MAX;
 
 /// One immutable version of a record. Attribute values are stored inline
 /// (paper §6.1: standard tuples store values, not pointers).
@@ -91,7 +110,7 @@ impl RecordData {
 pub type RecordRef = Arc<RecordData>;
 
 /// Identifies a row slot within one table. Carries a generation counter so a
-/// stale `RowId` for a deleted-then-reused slot is detected instead of
+/// stale `RowId` for a reclaimed-then-reused slot is detected instead of
 /// silently reading an unrelated row. The slot word packs the owning shard
 /// into its low [`SHARD_BITS`] bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,17 +147,67 @@ impl fmt::Display for RowId {
     }
 }
 
+/// One entry of a slot's version chain. `rec: None` is a **tombstone**: the
+/// row was deleted by the transaction that committed at `commit_ts`. A
+/// tombstone is always the newest entry of its chain (slots are only reused
+/// after GC clears the whole chain).
+#[derive(Debug)]
+struct Version {
+    rec: Option<RecordRef>,
+    commit_ts: u64,
+}
+
+impl Version {
+    fn pending(rec: Option<RecordRef>) -> Version {
+        Version {
+            rec,
+            commit_ts: TS_PENDING,
+        }
+    }
+}
+
+/// A row slot: generation counter plus the version chain, oldest first.
+/// An empty chain means the slot is free (on its shard's free list).
 #[derive(Debug)]
 struct Slot {
     generation: u32,
-    rec: Option<RecordRef>,
+    versions: Vec<Version>,
+}
+
+impl Slot {
+    /// The current version's record: what strict-2PL readers see. `None`
+    /// when the chain is empty (free slot) or the newest entry is a
+    /// tombstone (deleted row).
+    fn current(&self) -> Option<&RecordRef> {
+        self.versions.last().and_then(|v| v.rec.as_ref())
+    }
+
+    /// MVCC visibility: the newest version with `commit_ts <= ts`. Returns
+    /// `None` when no version is visible at `ts` *or* the visible version
+    /// is a tombstone — both mean "no row here" to a snapshot reader.
+    fn visible_at(&self, ts: u64) -> Option<RecordRef> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts)
+            .and_then(|v| v.rec.clone())
+    }
+
+    /// True if some retained version (tombstones excluded) carries `key` in
+    /// `column` — i.e. an index posting `(key, id)` already exists for this
+    /// slot, since postings are deduplicated per (slot, key).
+    fn chain_has_key(&self, column: usize, key: &Value) -> bool {
+        self.versions
+            .iter()
+            .any(|v| v.rec.as_ref().is_some_and(|r| r.get(column) == key))
+    }
 }
 
 /// One independently-latched bucket of row slots.
 #[derive(Debug, Default)]
 struct Shard {
     slots: Vec<Slot>,
-    /// Local indices of dead slots available for reuse.
+    /// Local indices of reclaimed slots available for reuse.
     free: Vec<u32>,
 }
 
@@ -156,16 +225,19 @@ struct ShardMem {
     /// Bytes of index entries charged to this shard (postings for its rows,
     /// plus each distinct key first introduced by one of its rows).
     index_bytes: AtomicU64,
-    /// Superseded/deleted versions with their modeled byte price, kept as
-    /// weak references: a version still pinned by a transition or bound
-    /// table (strong count > 0) still owes its bytes; released versions are
+    /// Bytes of superseded (non-current) versions still retained on their
+    /// slots' chains, awaiting GC. The version-chain meter proper.
+    chain_bytes: AtomicU64,
+    /// Versions pruned from a chain by GC but still pinned by a transition
+    /// or bound table (strong count > 0 at prune time), kept as weak
+    /// references with their modeled byte price; released versions are
     /// dropped by the lazy sweep.
     retired: Mutex<Vec<(Weak<RecordData>, u64)>>,
 }
 
 impl ShardMem {
-    /// Record a superseded/deleted version. Its bytes move from the row
-    /// meter to the version-chain meter until the last pin drops.
+    /// Record a GC-pruned version that is still externally pinned. Its
+    /// bytes stay on the version-chain meter until the last pin drops.
     fn retire(&self, rec: &RecordRef) {
         let bytes = mem::record_bytes(rec);
         let mut r = self.retired.lock();
@@ -175,11 +247,31 @@ impl ShardMem {
         r.push((Arc::downgrade(rec), bytes));
     }
 
-    /// Bytes still owed by pinned retired versions (sweeps released ones).
+    /// Version-chain bytes: retained chain versions plus pruned-but-pinned
+    /// retirees (sweeps released ones).
     fn version_bytes(&self) -> u64 {
+        let chained = self.chain_bytes.load(Ordering::Relaxed);
         let mut r = self.retired.lock();
         r.retain(|(w, _)| w.strong_count() > 0);
-        r.iter().map(|(_, b)| *b).sum()
+        chained + r.iter().map(|(_, b)| *b).sum::<u64>()
+    }
+}
+
+/// Counters returned by one [`StandardTable::collect_versions`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Superseded versions pruned from chains.
+    pub pruned: u64,
+    /// Slots whose whole chain (ending in a committed tombstone) was
+    /// reclaimed for reuse.
+    pub freed_slots: u64,
+}
+
+impl GcStats {
+    /// Component-wise sum, for rolling up across tables.
+    pub fn add(&mut self, other: GcStats) {
+        self.pruned += other.pruned;
+        self.freed_slots += other.freed_slots;
     }
 }
 
@@ -193,7 +285,7 @@ pub struct StandardTable {
     shards: Vec<RwLock<Shard>>,
     /// Round-robin cursor for spreading fresh inserts across shards.
     next_shard: AtomicUsize,
-    /// Total dead slots awaiting reuse, across all shards.
+    /// Total reclaimed slots awaiting reuse, across all shards.
     free_count: AtomicUsize,
     live: AtomicUsize,
     /// Statistics epoch: bumped whenever the live-row count crosses a
@@ -214,6 +306,11 @@ pub struct StandardTable {
     latch_obs: ObserverCell,
     /// Per-shard byte meters; the table footprint is their sum.
     mem: Vec<ShardMem>,
+    /// Slot words (shard packed in the low bits) whose chains may hold
+    /// collectible versions: populated by update/delete, drained by
+    /// [`Self::collect_versions`]. A `BTreeSet` so repeated churn on one
+    /// row costs one entry.
+    gc_dirty: Mutex<BTreeSet<u32>>,
 }
 
 /// Holder for the optional latch observer; exists so `StandardTable` can
@@ -288,12 +385,15 @@ impl TableIndex {
         self.kind
     }
 
-    /// Point probe: row ids whose indexed column equals `key`.
+    /// Point probe: row ids whose indexed column equals `key` in *some
+    /// retained version* — callers must revalidate against the fetched
+    /// record (postings for superseded versions persist until GC).
     pub fn lookup(&self, key: &Value) -> Vec<RowId> {
         self.index.read().lookup(key)
     }
 
-    /// Range probe (ordered indexes only): `lo <= key <= hi`.
+    /// Range probe (ordered indexes only): `lo <= key <= hi`. Same staleness
+    /// contract as [`Self::lookup`].
     pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
         self.index.read().range(lo, hi)
     }
@@ -326,6 +426,7 @@ impl StandardTable {
             distinct_cache: RwLock::new(Vec::new()),
             latch_obs: ObserverCell::default(),
             mem: (0..SHARD_COUNT).map(|_| ShardMem::default()).collect(),
+            gc_dirty: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -422,8 +523,19 @@ impl StandardTable {
         }
     }
 
-    /// Insert a row. Returns its `RowId`. Dead slots are reused before new
-    /// ones are allocated; fresh allocations round-robin across shards.
+    /// Mark a slot's chain as potentially collectible.
+    fn mark_dirty(&self, id: RowId) {
+        self.gc_dirty.lock().insert(id.slot);
+    }
+
+    /// Slots currently queued for version GC (observability / tests).
+    pub fn gc_backlog(&self) -> usize {
+        self.gc_dirty.lock().len()
+    }
+
+    /// Insert a row as a new pending version. Returns its `RowId`.
+    /// Reclaimed slots are reused before new ones are allocated; fresh
+    /// allocations round-robin across shards.
     pub fn insert(&self, row: Vec<Value>) -> Result<(RowId, RecordRef)> {
         let row = self.schema.check_row(row)?;
         let rec = RecordData::new(row);
@@ -436,7 +548,8 @@ impl StandardTable {
                     if let Some(local) = s.free.pop() {
                         self.free_count.fetch_sub(1, Ordering::AcqRel);
                         let slot = &mut s.slots[local as usize];
-                        slot.rec = Some(rec.clone());
+                        debug_assert!(slot.versions.is_empty(), "free slot has versions");
+                        slot.versions.push(Version::pending(Some(rec.clone())));
                         break 'placed RowId::pack(shard, local, slot.generation);
                     }
                 }
@@ -446,7 +559,7 @@ impl StandardTable {
             let local = s.slots.len() as u32;
             s.slots.push(Slot {
                 generation: 0,
-                rec: Some(rec.clone()),
+                versions: vec![Version::pending(Some(rec.clone()))],
             });
             RowId::pack(shard, local, 0)
         };
@@ -463,7 +576,7 @@ impl StandardTable {
         Ok((id, rec))
     }
 
-    /// Fetch the current version of a row.
+    /// Fetch the current (newest) version of a row: the strict-2PL read.
     pub fn get(&self, id: RowId) -> Result<RecordRef> {
         let s = self.shard_read(id.shard());
         let slot = s
@@ -473,25 +586,58 @@ impl StandardTable {
         if slot.generation != id.generation {
             return Err(StorageError::DeadRow(id.as_u64()));
         }
-        slot.rec.clone().ok_or(StorageError::DeadRow(id.as_u64()))
+        slot.current()
+            .cloned()
+            .ok_or(StorageError::DeadRow(id.as_u64()))
     }
 
-    /// Update a row to new attribute values. A **new record version** is
-    /// created (paper §6.1); the old version is returned so callers
-    /// (transition-table builders) may pin it.
+    /// Snapshot read: the newest version visible at snapshot timestamp
+    /// `ts` (`commit_ts <= ts`). `None` means the row does not exist at
+    /// that snapshot — never born yet, already deleted, or the slot was
+    /// reclaimed (in which case no snapshot at `ts` could see it anyway).
+    /// Takes no locks beyond the shard latch.
+    pub fn get_at(&self, id: RowId, ts: u64) -> Option<RecordRef> {
+        let s = self.shard_read(id.shard());
+        let slot = s.slots.get(id.local() as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.visible_at(ts)
+    }
+
+    /// Update a row to new attribute values. A **new pending version** is
+    /// appended to the chain (paper §6.1); the superseded version is
+    /// returned so callers (transition-table builders) may pin it, and
+    /// stays on the chain for snapshot readers until GC.
     pub fn update(&self, id: RowId, row: Vec<Value>) -> Result<(RecordRef, RecordRef)> {
         let row = self.schema.check_row(row)?;
         let new_rec = RecordData::new(row);
+        // Clone the index list *before* the shard latch: the latch order is
+        // shard → per-index latch, and the index-list lock may be write-held
+        // by DDL that then takes shard latches.
+        let indexes = self.indexes();
+        // For each index whose key changed, decide under the shard latch
+        // whether some retained version already carries the new key (then a
+        // posting for it exists and must not be duplicated).
+        let mut post_new: Vec<(usize, bool)> = Vec::new();
         let old_rec = {
             let mut s = self.shard_write(id.shard());
             let slot = s
                 .slots
                 .get_mut(id.local() as usize)
                 .ok_or(StorageError::DeadRow(id.as_u64()))?;
-            if slot.generation != id.generation || slot.rec.is_none() {
+            if slot.generation != id.generation || slot.current().is_none() {
                 return Err(StorageError::DeadRow(id.as_u64()));
             }
-            slot.rec.replace(new_rec.clone()).expect("checked live")
+            let old_rec = slot.current().expect("checked live").clone();
+            for (i, ix) in indexes.iter().enumerate() {
+                let new_key = new_rec.get(ix.column);
+                if old_rec.get(ix.column) != new_key {
+                    post_new.push((i, !slot.chain_has_key(ix.column, new_key)));
+                }
+            }
+            slot.versions.push(Version::pending(Some(new_rec.clone())));
+            old_rec
         };
         let shard_mem = &self.mem[id.shard()];
         shard_mem
@@ -500,28 +646,27 @@ impl StandardTable {
         shard_mem
             .row_bytes
             .fetch_sub(mem::record_bytes(&old_rec), Ordering::Relaxed);
-        shard_mem.retire(&old_rec);
-        for ix in self.indexes() {
-            let old_key = old_rec.get(ix.column);
-            let new_key = new_rec.get(ix.column);
-            if old_key != new_key {
-                let fresh = {
-                    let mut w = ix.index.write();
-                    w.remove(old_key, id);
-                    w.insert(new_key.clone(), id)
-                };
-                self.charge_index_remove(id.shard());
+        shard_mem
+            .chain_bytes
+            .fetch_add(mem::record_bytes(&old_rec), Ordering::Relaxed);
+        self.mark_dirty(id);
+        // Old-key postings are *retained* (snapshot probes may still need
+        // them) and removed by GC once the superseded version is pruned.
+        for (i, fresh_posting) in post_new {
+            if fresh_posting {
+                let ix = &indexes[i];
+                let new_key = new_rec.get(ix.column);
+                let fresh = ix.index.write().insert(new_key.clone(), id);
                 self.charge_index_insert(id.shard(), new_key, fresh);
-            } else {
-                // RowId is stable across updates, so an unchanged key needs
-                // no index maintenance at all.
             }
         }
         Ok((old_rec, new_rec))
     }
 
-    /// Delete a row. Returns the final version so callers may pin it in a
-    /// `deleted` transition table.
+    /// Delete a row: append a pending **tombstone** to its chain. Returns
+    /// the final version so callers may pin it in a `deleted` transition
+    /// table. The slot itself (and its index postings) are reclaimed by GC
+    /// once no snapshot can see any of its versions.
     pub fn delete(&self, id: RowId) -> Result<RecordRef> {
         let old = {
             let mut s = self.shard_write(id.shard());
@@ -529,35 +674,307 @@ impl StandardTable {
                 .slots
                 .get_mut(id.local() as usize)
                 .ok_or(StorageError::DeadRow(id.as_u64()))?;
-            if slot.generation != id.generation || slot.rec.is_none() {
+            if slot.generation != id.generation || slot.current().is_none() {
                 return Err(StorageError::DeadRow(id.as_u64()));
             }
-            let old = slot.rec.take().expect("checked live");
-            slot.generation = slot.generation.wrapping_add(1);
-            let local = id.local();
-            s.free.push(local);
+            let old = slot.current().expect("checked live").clone();
+            slot.versions.push(Version::pending(None));
             old
         };
         let shard_mem = &self.mem[id.shard()];
         shard_mem
             .row_bytes
             .fetch_sub(mem::record_bytes(&old), Ordering::Relaxed);
-        shard_mem.retire(&old);
-        self.free_count.fetch_add(1, Ordering::AcqRel);
+        shard_mem
+            .chain_bytes
+            .fetch_add(mem::record_bytes(&old), Ordering::Relaxed);
         let before = self.live.fetch_sub(1, Ordering::AcqRel);
         self.note_cardinality_change(before, before - 1);
-        for ix in self.indexes() {
-            ix.index.write().remove(old.get(ix.column), id);
-            self.charge_index_remove(id.shard());
-        }
+        self.mark_dirty(id);
         Ok(old)
     }
 
-    /// Re-insert a specific version at a fresh row id. Used by transaction
-    /// rollback to undo a delete.
-    pub fn reinsert(&self, rec: &RecordRef) -> Result<RowId> {
-        let (id, _) = self.insert(rec.values().to_vec())?;
-        Ok(id)
+    /// Stamp every pending version of `id`'s chain with commit timestamp
+    /// `ts`. Called at transaction commit, under the owner's commit mutex,
+    /// for every row the transaction touched; until the global commit clock
+    /// is then advanced to `ts`, no snapshot can observe the stamp.
+    /// Returns the number of versions stamped (0 for a stale id).
+    pub fn publish_versions(&self, id: RowId, ts: u64) -> usize {
+        let mut s = self.shard_write(id.shard());
+        let Some(slot) = s.slots.get_mut(id.local() as usize) else {
+            return 0;
+        };
+        if slot.generation != id.generation {
+            return 0;
+        }
+        let mut stamped = 0;
+        for v in &mut slot.versions {
+            if v.commit_ts == TS_PENDING {
+                v.commit_ts = ts;
+                stamped += 1;
+            }
+        }
+        stamped
+    }
+
+    /// Stamp **every** pending version in the table with commit timestamp
+    /// `ts`. This is the bulk-load publish: setup code that inserts straight
+    /// into storage (bypassing the transaction commit path) leaves its rows
+    /// at [`TS_PENDING`], invisible to snapshot readers. Must only be called
+    /// while no writer transaction is in flight — it cannot tell a loaded
+    /// row from an uncommitted one. Returns the number of versions stamped.
+    pub fn publish_all(&self, ts: u64) -> usize {
+        let mut stamped = 0;
+        for shard in 0..SHARD_COUNT {
+            let mut s = self.shard_write(shard);
+            for slot in &mut s.slots {
+                for v in &mut slot.versions {
+                    if v.commit_ts == TS_PENDING {
+                        v.commit_ts = ts;
+                        stamped += 1;
+                    }
+                }
+            }
+        }
+        stamped
+    }
+
+    /// Roll back an uncommitted insert: pop the pending version and free
+    /// the slot (bumping its generation and removing its index postings).
+    pub fn revert_insert(&self, id: RowId) -> Result<()> {
+        let indexes = self.indexes();
+        let rec = {
+            let mut s = self.shard_write(id.shard());
+            let slot = s
+                .slots
+                .get_mut(id.local() as usize)
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            if slot.generation != id.generation {
+                return Err(StorageError::DeadRow(id.as_u64()));
+            }
+            let v = slot
+                .versions
+                .pop()
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            debug_assert!(v.commit_ts == TS_PENDING, "reverting a committed version");
+            debug_assert!(slot.versions.is_empty(), "insert was not chain-initial");
+            slot.generation = slot.generation.wrapping_add(1);
+            let local = id.local();
+            s.free.push(local);
+            v.rec.ok_or(StorageError::DeadRow(id.as_u64()))?
+        };
+        self.free_count.fetch_add(1, Ordering::AcqRel);
+        self.mem[id.shard()]
+            .row_bytes
+            .fetch_sub(mem::record_bytes(&rec), Ordering::Relaxed);
+        let before = self.live.fetch_sub(1, Ordering::AcqRel);
+        self.note_cardinality_change(before, before - 1);
+        for ix in &indexes {
+            ix.index.write().remove(rec.get(ix.column), id);
+            self.charge_index_remove(id.shard());
+        }
+        Ok(())
+    }
+
+    /// Roll back an uncommitted update: pop the pending version, restoring
+    /// its predecessor as current. The new version's postings are removed
+    /// iff no retained version still carries the key (mirror of the dedup
+    /// rule at insert time).
+    pub fn revert_update(&self, id: RowId) -> Result<()> {
+        let indexes = self.indexes();
+        let mut drop_post: Vec<usize> = Vec::new();
+        let (new_rec, prev_rec) = {
+            let mut s = self.shard_write(id.shard());
+            let slot = s
+                .slots
+                .get_mut(id.local() as usize)
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            if slot.generation != id.generation {
+                return Err(StorageError::DeadRow(id.as_u64()));
+            }
+            let v = slot
+                .versions
+                .pop()
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            debug_assert!(v.commit_ts == TS_PENDING, "reverting a committed version");
+            let new_rec = v.rec.ok_or(StorageError::DeadRow(id.as_u64()))?;
+            let prev_rec = slot
+                .current()
+                .cloned()
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            for (i, ix) in indexes.iter().enumerate() {
+                let key = new_rec.get(ix.column);
+                if prev_rec.get(ix.column) != key && !slot.chain_has_key(ix.column, key) {
+                    drop_post.push(i);
+                }
+            }
+            (new_rec, prev_rec)
+        };
+        let shard_mem = &self.mem[id.shard()];
+        shard_mem
+            .row_bytes
+            .fetch_sub(mem::record_bytes(&new_rec), Ordering::Relaxed);
+        shard_mem
+            .row_bytes
+            .fetch_add(mem::record_bytes(&prev_rec), Ordering::Relaxed);
+        shard_mem
+            .chain_bytes
+            .fetch_sub(mem::record_bytes(&prev_rec), Ordering::Relaxed);
+        for i in drop_post {
+            let ix = &indexes[i];
+            ix.index.write().remove(new_rec.get(ix.column), id);
+            self.charge_index_remove(id.shard());
+        }
+        Ok(())
+    }
+
+    /// Roll back an uncommitted delete: pop the pending tombstone,
+    /// restoring its predecessor as current.
+    pub fn revert_delete(&self, id: RowId) -> Result<()> {
+        let prev_rec = {
+            let mut s = self.shard_write(id.shard());
+            let slot = s
+                .slots
+                .get_mut(id.local() as usize)
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            if slot.generation != id.generation {
+                return Err(StorageError::DeadRow(id.as_u64()));
+            }
+            let v = slot
+                .versions
+                .pop()
+                .ok_or(StorageError::DeadRow(id.as_u64()))?;
+            debug_assert!(v.commit_ts == TS_PENDING, "reverting a committed version");
+            debug_assert!(v.rec.is_none(), "revert_delete popped a non-tombstone");
+            slot.current()
+                .cloned()
+                .ok_or(StorageError::DeadRow(id.as_u64()))?
+        };
+        let shard_mem = &self.mem[id.shard()];
+        shard_mem
+            .chain_bytes
+            .fetch_sub(mem::record_bytes(&prev_rec), Ordering::Relaxed);
+        shard_mem
+            .row_bytes
+            .fetch_add(mem::record_bytes(&prev_rec), Ordering::Relaxed);
+        let before = self.live.fetch_add(1, Ordering::AcqRel);
+        self.note_cardinality_change(before, before + 1);
+        Ok(())
+    }
+
+    /// Version GC: prune every chain version superseded at `horizon` (the
+    /// minimum active snapshot timestamp, or the commit clock when no
+    /// snapshot is live) and reclaim slots whose chain ends in a committed
+    /// tombstone no snapshot can see. Index postings whose key no longer
+    /// appears in any surviving version are removed under the shard latch
+    /// (latch order shard → index, see the module docs). Pruned versions
+    /// still pinned by a transition/bound table move to the weak retired
+    /// list so the `version_chains` meter keeps charging them.
+    pub fn collect_versions(&self, horizon: u64) -> GcStats {
+        self.collect_versions_impl(horizon)
+    }
+
+    /// Test-only mutant of [`Self::collect_versions`] with an off-by-one GC
+    /// horizon: collects versions that a snapshot pinned *at* the horizon
+    /// can still see. Exists so the snapshot-consistency oracle can prove
+    /// it detects premature reclamation.
+    #[doc(hidden)]
+    pub fn __collect_versions_overshoot(&self, horizon: u64) -> GcStats {
+        self.collect_versions_impl(horizon.saturating_add(1))
+    }
+
+    fn collect_versions_impl(&self, horizon: u64) -> GcStats {
+        let dirty: Vec<u32> = std::mem::take(&mut *self.gc_dirty.lock()).into_iter().collect();
+        let indexes = self.indexes();
+        let mut stats = GcStats::default();
+        let mut requeue: Vec<u32> = Vec::new();
+        for word in dirty {
+            let shard = (word as usize) & (SHARD_COUNT - 1);
+            let local = (word >> SHARD_BITS) as usize;
+            let mut collected: Vec<Version> = Vec::new();
+            let mut s = self.shard_write(shard);
+            let Some(slot) = s.slots.get_mut(local) else {
+                continue;
+            };
+            if slot.versions.is_empty() {
+                continue;
+            }
+            // Everything older than the newest version visible at the
+            // horizon is superseded for every live and future snapshot.
+            let keep_from = slot
+                .versions
+                .iter()
+                .rposition(|v| v.commit_ts <= horizon)
+                .unwrap_or(0);
+            collected.extend(slot.versions.drain(..keep_from));
+            stats.pruned += collected.len() as u64;
+            // A chain reduced to one committed tombstone is invisible to
+            // every snapshot at or after the horizon: reclaim the slot.
+            let free_now = slot.versions.len() == 1
+                && slot.versions[0].rec.is_none()
+                && slot.versions[0].commit_ts <= horizon;
+            if free_now {
+                collected.extend(slot.versions.drain(..));
+                slot.generation = slot.generation.wrapping_add(1);
+                stats.freed_slots += 1;
+            } else if slot.versions.len() > 1 || slot.versions[0].rec.is_none() {
+                requeue.push(word);
+            }
+            // Remove postings for keys that vanished from the chain. The
+            // posting was deduplicated per (slot, key), so each dead key
+            // maps to exactly one posting. Note the generation in the
+            // posting's RowId predates any bump above.
+            let id = RowId::pack(
+                shard,
+                local as u32,
+                if free_now {
+                    s.slots[local].generation.wrapping_sub(1)
+                } else {
+                    s.slots[local].generation
+                },
+            );
+            for ix in &indexes {
+                let surviving: HashSet<&Value> = s.slots[local]
+                    .versions
+                    .iter()
+                    .filter_map(|v| v.rec.as_ref().map(|r| r.get(ix.column)))
+                    .collect();
+                let mut removed: HashSet<Value> = HashSet::new();
+                for v in &collected {
+                    if let Some(rec) = &v.rec {
+                        let key = rec.get(ix.column);
+                        if !surviving.contains(key) && !removed.contains(key) {
+                            ix.index.write().remove(key, id);
+                            self.charge_index_remove(shard);
+                            removed.insert(key.clone());
+                        }
+                    }
+                }
+            }
+            if free_now {
+                s.slots[local].versions.clear();
+                s.free.push(local as u32);
+                self.free_count.fetch_add(1, Ordering::AcqRel);
+            }
+            drop(s);
+            // Meter the pruned versions out of the chain class; externally
+            // pinned ones move to the weak retired list and keep charging.
+            let shard_mem = &self.mem[shard];
+            for v in collected {
+                if let Some(rec) = v.rec {
+                    shard_mem
+                        .chain_bytes
+                        .fetch_sub(mem::record_bytes(&rec), Ordering::Relaxed);
+                    if Arc::strong_count(&rec) > 1 {
+                        shard_mem.retire(&rec);
+                    }
+                }
+            }
+        }
+        if !requeue.is_empty() {
+            self.gc_dirty.lock().extend(requeue);
+        }
+        stats
     }
 
     /// Estimated number of distinct values in `column`, for planner
@@ -584,7 +1001,7 @@ impl StandardTable {
         'shards: for shard in 0..SHARD_COUNT {
             let s = self.shard_read(shard);
             for slot in &s.slots {
-                if let Some(r) = &slot.rec {
+                if let Some(r) = slot.current() {
                     seen.insert(r.get(column).clone());
                     sampled += 1;
                     if sampled >= SAMPLE_ROWS {
@@ -602,14 +1019,14 @@ impl StandardTable {
         d
     }
 
-    /// Snapshot of the live rows, shard by shard. Each shard latch is held
-    /// only while that shard is copied.
+    /// Snapshot of the current rows (strict-2PL view), shard by shard. Each
+    /// shard latch is held only while that shard is copied.
     pub fn scan(&self) -> Vec<(RowId, RecordRef)> {
         let mut out = Vec::with_capacity(self.len());
         for shard in 0..SHARD_COUNT {
             let s = self.shard_read(shard);
             for (local, slot) in s.slots.iter().enumerate() {
-                if let Some(r) = &slot.rec {
+                if let Some(r) = slot.current() {
                     out.push((RowId::pack(shard, local as u32, slot.generation), r.clone()));
                 }
             }
@@ -617,7 +1034,25 @@ impl StandardTable {
         out
     }
 
-    /// Create a secondary index over `column_name`.
+    /// MVCC scan: every row visible at snapshot timestamp `ts`, resolved
+    /// through the version chains. Takes no locks beyond the shard latches.
+    pub fn scan_at(&self, ts: u64) -> Vec<(RowId, RecordRef)> {
+        let mut out = Vec::new();
+        for shard in 0..SHARD_COUNT {
+            let s = self.shard_read(shard);
+            for (local, slot) in s.slots.iter().enumerate() {
+                if let Some(r) = slot.visible_at(ts) {
+                    out.push((RowId::pack(shard, local as u32, slot.generation), r));
+                }
+            }
+        }
+        out
+    }
+
+    /// Create a secondary index over `column_name`. Backfills postings for
+    /// every *retained version's* key — not just current rows — so snapshot
+    /// probes through the fresh index still find superseded versions.
+    /// (DDL runs under a table X lock, so chains are stable here.)
     pub fn create_index(
         &self,
         index_name: impl Into<String>,
@@ -631,12 +1066,23 @@ impl StandardTable {
         }
         let column = self.schema.index_of_ok(column_name)?;
         let mut index = Index::new(kind);
-        for (id, rec) in self.scan() {
-            let key = rec.get(column);
-            let new_key = index.insert(key.clone(), id);
-            // Backfill charges land on each row's own shard so the
-            // Σ-shard == table invariant survives DDL too.
-            self.charge_index_insert(id.shard(), key, new_key);
+        for shard in 0..SHARD_COUNT {
+            let s = self.shard_read(shard);
+            for (local, slot) in s.slots.iter().enumerate() {
+                let id = RowId::pack(shard, local as u32, slot.generation);
+                let mut keys_done: HashSet<&Value> = HashSet::new();
+                for v in &slot.versions {
+                    if let Some(rec) = &v.rec {
+                        let key = rec.get(column);
+                        if keys_done.insert(key) {
+                            let new_key = index.insert(key.clone(), id);
+                            // Backfill charges land on each row's own shard
+                            // so Σ-shard == table survives DDL too.
+                            self.charge_index_insert(shard, key, new_key);
+                        }
+                    }
+                }
+            }
         }
         indexes.push(Arc::new(TableIndex {
             name: index_name,
@@ -661,39 +1107,59 @@ impl StandardTable {
         self.indexes.read().clone()
     }
 
-    /// Probe the index on `column` for `key`. Returns matching row ids.
-    /// Returns `None` if no index exists on that column.
+    /// Probe the index on `column` for `key`. Returns candidate row ids;
+    /// callers must revalidate the fetched record's key (postings for
+    /// superseded versions persist until GC). Returns `None` if no index
+    /// exists on that column.
     pub fn index_lookup(&self, column: usize, key: &Value) -> Option<Vec<RowId>> {
         self.index_on(column).map(|ix| ix.lookup(key))
     }
 
-    /// Range probe (ordered indexes only): rows with `lo <= key <= hi`.
+    /// Range probe (ordered indexes only): candidate rows with
+    /// `lo <= key <= hi`. A row whose chain holds several keys inside the
+    /// range appears under each, so candidates are deduplicated here;
+    /// callers still filter on the fetched record's current key.
     pub fn index_range(&self, column: usize, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
-        self.index_on(column).and_then(|ix| ix.range(lo, hi))
+        let ids = self.index_on(column).and_then(|ix| ix.range(lo, hi))?;
+        let mut seen = HashSet::with_capacity(ids.len());
+        Some(ids.into_iter().filter(|id| seen.insert(*id)).collect())
     }
 
-    /// Debug/test helper: verify that every index exactly covers the live
-    /// rows. Only meaningful at logically quiescent points (no in-flight
-    /// writers), like all cross-cutting consistency checks.
+    /// Debug/test helper: verify that every index exactly covers the
+    /// retained chains — one posting per (slot, distinct retained key).
+    /// Only meaningful at logically quiescent points (no in-flight
+    /// writers), like all cross-cutting consistency checks; snapshots may
+    /// be live (their retained versions are part of the expectation).
     pub fn check_index_integrity(&self) -> Result<()> {
         for ix in self.indexes() {
-            let mut indexed = 0usize;
-            for (id, rec) in self.scan() {
-                let hits = ix.lookup(rec.get(ix.column));
-                if !hits.contains(&id) {
-                    return Err(StorageError::Invariant(format!(
-                        "index `{}` missing entry for row {id}",
-                        ix.name
-                    )));
+            let mut expected = 0usize;
+            for shard in 0..SHARD_COUNT {
+                let s = self.shard_read(shard);
+                for (local, slot) in s.slots.iter().enumerate() {
+                    let id = RowId::pack(shard, local as u32, slot.generation);
+                    let mut keys: HashSet<&Value> = HashSet::new();
+                    for v in &slot.versions {
+                        if let Some(rec) = &v.rec {
+                            keys.insert(rec.get(ix.column));
+                        }
+                    }
+                    for key in keys {
+                        if !ix.lookup(key).contains(&id) {
+                            return Err(StorageError::Invariant(format!(
+                                "index `{}` missing entry for row {id} key {key:?}",
+                                ix.name
+                            )));
+                        }
+                        expected += 1;
+                    }
                 }
-                indexed += 1;
             }
-            if ix.entry_count() != indexed {
+            if ix.entry_count() != expected {
                 return Err(StorageError::Invariant(format!(
-                    "index `{}` has {} entries but table has {} live rows",
+                    "index `{}` has {} entries but chains expect {}",
                     ix.name,
                     ix.entry_count(),
-                    indexed
+                    expected
                 )));
             }
         }
@@ -701,8 +1167,8 @@ impl StandardTable {
     }
 
     /// Byte footprint charged to one shard. Row and index components read
-    /// the incremental counters; the version component sweeps released
-    /// retirees first, so it reflects only still-pinned versions.
+    /// the incremental counters; the version component adds retained chain
+    /// bytes to still-pinned pruned versions (sweeping released ones).
     pub fn shard_mem(&self, shard: usize) -> TableMem {
         let m = &self.mem[shard];
         TableMem {
@@ -725,17 +1191,28 @@ impl StandardTable {
 
     /// Deep-walk size oracle: recompute the table's entire footprint from
     /// scratch under the model of [`crate::mem`], ignoring every incremental
-    /// counter. Test-only contract (`tests/prop_mem.rs` pins
-    /// `mem() == __walk_mem()` after arbitrary DML/DDL interleavings);
-    /// hidden because it takes every shard and index latch in turn.
+    /// counter. The newest rec-bearing chain entry of a slot is a row byte
+    /// holder iff it is the chain head (not superseded by a tombstone);
+    /// every other retained version — plus pruned-but-pinned retirees —
+    /// belongs to the version-chain class. Test-only contract
+    /// (`tests/prop_mem.rs` pins `mem() == __walk_mem()` after arbitrary
+    /// DML/DDL/GC interleavings); hidden because it takes every shard and
+    /// index latch in turn.
     #[doc(hidden)]
     pub fn __walk_mem(&self) -> TableMem {
         let mut out = TableMem::default();
         for shard in 0..SHARD_COUNT {
             let s = self.shard_read(shard);
             for slot in &s.slots {
-                if let Some(r) = &slot.rec {
-                    out.row_bytes += mem::record_bytes(r);
+                let n = slot.versions.len();
+                for (i, v) in slot.versions.iter().enumerate() {
+                    if let Some(r) = &v.rec {
+                        if i + 1 == n {
+                            out.row_bytes += mem::record_bytes(r);
+                        } else {
+                            out.version_bytes += mem::record_bytes(r);
+                        }
+                    }
                 }
             }
         }
@@ -764,6 +1241,16 @@ mod tests {
     fn stocks() -> StandardTable {
         let schema = Schema::of(&[("symbol", DataType::Str), ("price", DataType::Float)]);
         StandardTable::new("stocks", schema.into_ref())
+    }
+
+    /// Publish every pending version of the given rows at `ts` and collect
+    /// with no live snapshots (horizon = ts): the single-writer equivalent
+    /// of commit + quiescent GC.
+    fn commit_rows(t: &StandardTable, ids: &[RowId], ts: u64) {
+        for id in ids {
+            t.publish_versions(*id, ts);
+        }
+        t.collect_versions(ts);
     }
 
     #[test]
@@ -815,6 +1302,7 @@ mod tests {
         t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
         t.get(id).unwrap();
         t.delete(id).unwrap();
+        commit_rows(&t, &[id], 1);
         assert!(events.lock().unwrap().is_empty());
     }
 
@@ -846,11 +1334,14 @@ mod tests {
     fn delete_then_stale_rowid_is_detected() {
         let t = stocks();
         let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.publish_versions(id, 1);
         t.delete(id).unwrap();
+        t.publish_versions(id, 2);
         assert!(matches!(t.get(id), Err(StorageError::DeadRow(_))));
-        // Dead slots are reused (possibly in another shard thanks to the
-        // round-robin cursor) with a new generation; the stale id still
-        // fails.
+        // GC reclaims the tombstoned slot; it is then reused (possibly in
+        // another shard thanks to the round-robin cursor) with a new
+        // generation, and the stale id still fails.
+        t.collect_versions(2);
         let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
         assert_ne!(id2, id);
         assert!(t.get(id).is_err());
@@ -860,14 +1351,32 @@ mod tests {
     }
 
     #[test]
-    fn freed_slot_is_reused_not_leaked() {
+    fn freed_slot_is_reused_after_gc_not_leaked() {
         let t = stocks();
         let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.publish_versions(id, 1);
         t.delete(id).unwrap();
+        t.publish_versions(id, 2);
+        let stats = t.collect_versions(2);
+        assert_eq!(stats.freed_slots, 1);
         let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
         // Same packed slot word, bumped generation.
         assert_eq!(id2.slot, id.slot);
         assert_ne!(id2.generation, id.generation);
+    }
+
+    #[test]
+    fn tombstoned_slot_is_not_reused_before_gc() {
+        let t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.publish_versions(id, 1);
+        t.delete(id).unwrap();
+        t.publish_versions(id, 2);
+        // No GC yet: a snapshot at ts=1 can still see the row, so the slot
+        // must not be handed out to a new insert.
+        let (id2, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
+        assert_ne!(id2.slot, id.slot);
+        assert_eq!(t.get_at(id, 1).unwrap().get(0).as_str(), Some("IBM"));
     }
 
     #[test]
@@ -888,10 +1397,17 @@ mod tests {
         let (b, _) = t.insert(vec!["B".into(), 2.0.into()]).unwrap();
         let col = 0;
         assert_eq!(t.index_lookup(col, &"A".into()), Some(vec![a]));
+        commit_rows(&t, &[a, b], 1);
         t.update(b, vec!["C".into(), 2.0.into()]).unwrap();
+        // Before GC the old-key posting is retained for snapshot probes...
+        assert_eq!(t.index_lookup(col, &"B".into()), Some(vec![b]));
+        assert_eq!(t.index_lookup(col, &"C".into()), Some(vec![b]));
+        // ...and GC removes it once the superseded version is pruned.
+        commit_rows(&t, &[b], 2);
         assert_eq!(t.index_lookup(col, &"B".into()), Some(vec![]));
         assert_eq!(t.index_lookup(col, &"C".into()), Some(vec![b]));
         t.delete(a).unwrap();
+        commit_rows(&t, &[a], 3);
         assert_eq!(t.index_lookup(col, &"A".into()), Some(vec![]));
         t.check_index_integrity().unwrap();
     }
@@ -910,6 +1426,20 @@ mod tests {
     }
 
     #[test]
+    fn range_probe_dedups_chained_keys() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let t = StandardTable::new("t", schema.into_ref());
+        t.create_index("ix_k", "k", IndexKind::RbTree).unwrap();
+        let (id, _) = t.insert(vec![1i64.into()]).unwrap();
+        t.publish_versions(id, 1);
+        // Chain now holds keys 1 and 3 for the same row; a range probe
+        // covering both must yield the row once.
+        t.update(id, vec![3i64.into()]).unwrap();
+        let hits = t.index_range(0, &0i64.into(), &5i64.into()).unwrap();
+        assert_eq!(hits, vec![id]);
+    }
+
+    #[test]
     fn index_on_unchanged_key_keeps_rowid() {
         let t = stocks();
         t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
@@ -917,6 +1447,28 @@ mod tests {
         // Price-only update: the symbol key is unchanged, RowId stays valid.
         t.update(id, vec!["A".into(), 9.0.into()]).unwrap();
         assert_eq!(t.index_lookup(0, &"A".into()), Some(vec![id]));
+        t.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn chained_key_flip_does_not_duplicate_postings() {
+        let t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let (id, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        t.publish_versions(id, 1);
+        t.update(id, vec!["B".into(), 2.0.into()]).unwrap();
+        t.publish_versions(id, 2);
+        // Key flips back to A while version 1 (key A) is still retained:
+        // the posting (A, id) already exists and must not be duplicated.
+        t.update(id, vec!["A".into(), 3.0.into()]).unwrap();
+        t.publish_versions(id, 3);
+        assert_eq!(t.index_lookup(0, &"A".into()), Some(vec![id]));
+        t.check_index_integrity().unwrap();
+        // GC at horizon 3 prunes both superseded versions; the A posting
+        // survives (current key) and B's is removed.
+        t.collect_versions(3);
+        assert_eq!(t.index_lookup(0, &"A".into()), Some(vec![id]));
+        assert_eq!(t.index_lookup(0, &"B".into()), Some(vec![]));
         t.check_index_integrity().unwrap();
     }
 
@@ -942,6 +1494,89 @@ mod tests {
             .map(|(_, r)| r.get(0).as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["B"]);
+    }
+
+    #[test]
+    fn snapshot_reads_resolve_versions_by_timestamp() {
+        let t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        // Pending versions are invisible to every snapshot.
+        assert!(t.get_at(id, u64::MAX - 1).is_none());
+        t.publish_versions(id, 5);
+        assert!(t.get_at(id, 4).is_none());
+        assert_eq!(t.get_at(id, 5).unwrap().get(1).as_f64(), Some(100.0));
+        t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
+        // Uncommitted update: snapshots still see the old version.
+        assert_eq!(t.get_at(id, 9).unwrap().get(1).as_f64(), Some(100.0));
+        t.publish_versions(id, 7);
+        assert_eq!(t.get_at(id, 6).unwrap().get(1).as_f64(), Some(100.0));
+        assert_eq!(t.get_at(id, 7).unwrap().get(1).as_f64(), Some(101.0));
+        t.delete(id).unwrap();
+        t.publish_versions(id, 9);
+        assert_eq!(t.get_at(id, 8).unwrap().get(1).as_f64(), Some(101.0));
+        assert!(t.get_at(id, 9).is_none());
+        // scan_at agrees with get_at.
+        assert_eq!(t.scan_at(5).len(), 1);
+        assert_eq!(t.scan_at(9).len(), 0);
+    }
+
+    #[test]
+    fn gc_respects_horizon_and_mutant_overshoots() {
+        let t = stocks();
+        let (id, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.publish_versions(id, 1);
+        t.update(id, vec!["IBM".into(), 101.0.into()]).unwrap();
+        t.publish_versions(id, 2);
+        // A snapshot pinned at ts=1 is live: horizon 1 must retain v1.
+        t.collect_versions(1);
+        assert_eq!(t.get_at(id, 1).unwrap().get(1).as_f64(), Some(100.0));
+        // The off-by-one mutant collects v1 even though the snapshot at 1
+        // still needs it — the read now (wrongly) sees nothing.
+        t.__collect_versions_overshoot(1);
+        assert!(t.get_at(id, 1).is_none());
+        // Correct-horizon behavior once the snapshot would have dropped.
+        assert_eq!(t.get_at(id, 2).unwrap().get(1).as_f64(), Some(101.0));
+    }
+
+    #[test]
+    fn revert_ops_undo_pending_chain_entries() {
+        let t = stocks();
+        t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
+        let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        t.publish_versions(a, 1);
+        let base_mem = t.mem();
+
+        // Abort an update with a key change: posting for B disappears.
+        // (The emptied key allocation stays metered, matching the walk
+        // oracle, so only row/version bytes return to baseline.)
+        t.update(a, vec!["B".into(), 2.0.into()]).unwrap();
+        assert_eq!(t.index_lookup(0, &"B".into()), Some(vec![a]));
+        t.revert_update(a).unwrap();
+        assert_eq!(t.get(a).unwrap().get(0).as_str(), Some("A"));
+        assert_eq!(t.index_lookup(0, &"B".into()), Some(vec![]));
+        assert_eq!(t.mem().row_bytes, base_mem.row_bytes);
+        assert_eq!(t.mem().version_bytes, base_mem.version_bytes);
+        assert_eq!(t.mem(), t.__walk_mem());
+
+        // Abort a delete: the row is live again.
+        t.delete(a).unwrap();
+        assert!(t.get(a).is_err());
+        t.revert_delete(a).unwrap();
+        assert_eq!(t.get(a).unwrap().get(0).as_str(), Some("A"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mem().row_bytes, base_mem.row_bytes);
+        assert_eq!(t.mem().version_bytes, base_mem.version_bytes);
+
+        // Abort an insert: slot freed, generation bumped, postings gone.
+        let (b, _) = t.insert(vec!["C".into(), 3.0.into()]).unwrap();
+        t.revert_insert(b).unwrap();
+        assert!(t.get(b).is_err());
+        assert_eq!(t.index_lookup(0, &"C".into()), Some(vec![]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mem().row_bytes, base_mem.row_bytes);
+        assert_eq!(t.mem().version_bytes, base_mem.version_bytes);
+        assert_eq!(t.mem(), t.__walk_mem());
+        t.check_index_integrity().unwrap();
     }
 
     #[test]
@@ -1004,6 +1639,9 @@ mod tests {
                     .0,
             );
         }
+        for id in &ids {
+            t.publish_versions(*id, 1);
+        }
         let threads: Vec<_> = ids
             .chunks(16)
             .map(|chunk| {
@@ -1024,6 +1662,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.len(), 64);
+        commit_rows(&t, &ids, 2);
         t.check_index_integrity().unwrap();
     }
 
@@ -1033,19 +1672,31 @@ mod tests {
         t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
         let (a, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
         let (b, _) = t.insert(vec!["HWP".into(), 40.0.into()]).unwrap();
+        commit_rows(&t, &[a, b], 1);
         assert_eq!(t.mem(), t.__walk_mem());
-        // Update with a key change, keep the old version pinned.
+        // Update with a key change: the superseded version moves to the
+        // version-chain class until GC prunes it.
         let (old, _) = t.update(a, vec!["SUNW".into(), 101.0.into()]).unwrap();
+        t.publish_versions(a, 2);
         assert_eq!(t.mem(), t.__walk_mem());
         assert_eq!(t.mem().version_bytes, mem::record_bytes(&old));
-        // Delete while the pin is held: both versions owe bytes.
+        // Delete while the chain retains the other row: both superseded
+        // versions owe bytes.
         let deleted = t.delete(b).unwrap();
+        t.publish_versions(b, 3);
         assert_eq!(t.mem(), t.__walk_mem());
         assert_eq!(
             t.mem().version_bytes,
             mem::record_bytes(&old) + mem::record_bytes(&deleted)
         );
-        // Dropping the pins releases the version-chain bytes.
+        // GC prunes the chains; the externally pinned versions keep owing
+        // via the weak retired list until the pins drop.
+        t.collect_versions(3);
+        assert_eq!(t.mem(), t.__walk_mem());
+        assert_eq!(
+            t.mem().version_bytes,
+            mem::record_bytes(&old) + mem::record_bytes(&deleted)
+        );
         drop(old);
         drop(deleted);
         assert_eq!(t.mem().version_bytes, 0);
@@ -1058,12 +1709,33 @@ mod tests {
     }
 
     #[test]
+    fn unpinned_chain_versions_free_fully_at_gc() {
+        let t = stocks();
+        let (a, _) = t.insert(vec!["IBM".into(), 100.0.into()]).unwrap();
+        t.publish_versions(a, 1);
+        let baseline = t.mem();
+        {
+            // Update without keeping the returned pin alive.
+            let _ = t.update(a, vec!["IBM".into(), 101.0.into()]).unwrap();
+        }
+        t.publish_versions(a, 2);
+        assert!(t.mem().version_bytes > 0, "superseded version is retained");
+        t.collect_versions(2);
+        assert_eq!(t.mem().version_bytes, 0);
+        assert_eq!(t.mem().row_bytes, baseline.row_bytes);
+        assert_eq!(t.mem(), t.__walk_mem());
+    }
+
+    #[test]
     fn emptied_index_key_stays_metered() {
         let t = stocks();
         t.create_index("ix", "symbol", IndexKind::Hash).unwrap();
         let (a, _) = t.insert(vec!["IBM".into(), 1.0.into()]).unwrap();
+        t.publish_versions(a, 1);
         let with_key = t.mem().index_bytes;
         t.delete(a).unwrap();
+        t.publish_versions(a, 2);
+        t.collect_versions(2);
         // The posting is released but the key allocation remains (matching
         // `distinct_keys`), and the oracle agrees.
         assert_eq!(t.mem().index_bytes, with_key - mem::INDEX_POSTING_BYTES);
@@ -1081,6 +1753,9 @@ mod tests {
                     .unwrap()
                     .0,
             );
+        }
+        for id in &ids {
+            t.publish_versions(*id, 1);
         }
         let threads: Vec<_> = ids
             .chunks(16)
@@ -1103,8 +1778,9 @@ mod tests {
         for h in threads {
             h.join().unwrap();
         }
-        // Quiescent again: incremental meters equal the deep walk, per
-        // shard and in total, and nothing pins old versions any more.
+        // Publish and GC to quiescence: incremental meters equal the deep
+        // walk, per shard and in total, and no chain retains old versions.
+        commit_rows(&t, &ids, 2);
         let walked = t.__walk_mem();
         assert_eq!(t.mem(), walked);
         assert_eq!(t.mem().version_bytes, 0);
@@ -1119,5 +1795,20 @@ mod tests {
             sum.add(m);
         }
         assert_eq!(sum, t.mem());
+    }
+
+    #[test]
+    fn gc_backlog_drains_at_quiescence() {
+        let t = stocks();
+        let (a, _) = t.insert(vec!["A".into(), 1.0.into()]).unwrap();
+        t.publish_versions(a, 1);
+        for i in 0..5 {
+            t.update(a, vec!["A".into(), (i as f64).into()]).unwrap();
+        }
+        t.publish_versions(a, 2);
+        assert!(t.gc_backlog() > 0);
+        let stats = t.collect_versions(2);
+        assert_eq!(stats.pruned, 5);
+        assert_eq!(t.gc_backlog(), 0);
     }
 }

@@ -410,6 +410,10 @@ mod tests {
         let mut bound = TempTable::new("b", schema.into_ref(), map).unwrap();
         bound.push(vec![old_rec], vec![]).unwrap();
         drop(t.update(id, vec![2i64.into()]).unwrap());
+        // Publish and GC the chain so the superseded version is held only
+        // by the bound table (the chain itself retains it until collected).
+        t.publish_versions(id, 1);
+        t.collect_versions(1);
 
         assert!(weak.upgrade().is_some(), "pinned by bound table");
         drop(bound);

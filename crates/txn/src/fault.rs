@@ -30,17 +30,23 @@ pub enum FaultPoint {
     /// When a feed task is submitted to the executor, or a change event is
     /// forwarded to an export subscriber.
     FeedSubmit,
+    /// Between stamping a committing transaction's versions with their
+    /// commit timestamp and publishing that timestamp to the global commit
+    /// clock. A crash here leaves stamped-but-unannounced versions: snapshot
+    /// readers pinned at the old clock must never observe them.
+    CommitPublish,
 }
 
 impl FaultPoint {
     /// Every defined point, for plan generators.
-    pub const ALL: [FaultPoint; 6] = [
+    pub const ALL: [FaultPoint; 7] = [
         FaultPoint::WalAppend,
         FaultPoint::WalCommit,
         FaultPoint::TxnCommit,
         FaultPoint::LockAcquire,
         FaultPoint::SchedDispatch,
         FaultPoint::FeedSubmit,
+        FaultPoint::CommitPublish,
     ];
 
     /// Stable name used in fault-plan descriptions and repro output.
@@ -52,6 +58,7 @@ impl FaultPoint {
             FaultPoint::LockAcquire => "lock-acquire",
             FaultPoint::SchedDispatch => "sched-dispatch",
             FaultPoint::FeedSubmit => "feed-submit",
+            FaultPoint::CommitPublish => "commit-publish",
         }
     }
 }
